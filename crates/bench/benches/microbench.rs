@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the performance-critical paths:
+//! Domino's window feature extraction and chain search (the "continuous,
+//! near real-time" requirement of §1), the RAN simulator's slot loop, and
+//! the GCC building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use domino_core::{compile, default_graph, extract_features, Domino, Feature, FeatureVector, Thresholds};
+use ran_sim::phy;
+use rtc_sim::gcc::trendline::{PacketTiming, TrendlineEstimator};
+use scenarios::{run_cell_session, SessionConfig};
+use simcore::{SimDuration, SimTime};
+
+fn session_bundle() -> telemetry::TraceBundle {
+    let cfg = SessionConfig {
+        duration: SimDuration::from_secs(20),
+        seed: 999,
+        ..Default::default()
+    };
+    run_cell_session(scenarios::amarisoft(), &cfg, |_| {})
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let bundle = session_bundle();
+    let th = Thresholds::default();
+    c.bench_function("domino/extract_features_5s_window", |b| {
+        b.iter(|| {
+            extract_features(
+                black_box(&bundle),
+                SimTime::from_secs(10),
+                SimTime::from_secs(15),
+                &th,
+            )
+        })
+    });
+}
+
+fn bench_full_window_analysis(c: &mut Criterion) {
+    let bundle = session_bundle();
+    let domino = Domino::with_defaults();
+    c.bench_function("domino/analyze_window", |b| {
+        b.iter(|| domino.analyze_window(black_box(&bundle), SimTime::from_secs(10)))
+    });
+}
+
+fn bench_chain_search(c: &mut Criterion) {
+    let domino = Domino::with_defaults();
+    let mut fv = FeatureVector::new();
+    for name in [
+        "ul_harq_retx",
+        "dl_cross_traffic",
+        "forward_delay_up",
+        "reverse_delay_up",
+        "local_jitter_buffer_drain",
+        "local_target_bitrate_down",
+        "local_pushback_rate_down",
+    ] {
+        fv.set(Feature::parse(name).expect("feature"), true);
+    }
+    c.bench_function("domino/backward_trace_busy_window", |b| {
+        b.iter(|| domino.trace_chains(black_box(&fv)))
+    });
+    let g = default_graph();
+    let prog = compile(&g);
+    c.bench_function("domino/compiled_program_run", |b| {
+        b.iter(|| prog.run(black_box(&g), black_box(&fv)))
+    });
+}
+
+fn bench_dsl_parse(c: &mut Criterion) {
+    c.bench_function("domino/dsl_parse_default_config", |b| {
+        b.iter(|| domino_core::parse(black_box(domino_core::DEFAULT_CONFIG)).expect("parses"))
+    });
+}
+
+fn bench_ran_session(c: &mut Criterion) {
+    c.bench_function("ran/two_party_session_per_sim_second", |b| {
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(1),
+            seed: 5,
+            ..Default::default()
+        };
+        b.iter(|| run_cell_session(scenarios::amarisoft(), black_box(&cfg), |_| {}))
+    });
+}
+
+fn bench_phy(c: &mut Criterion) {
+    c.bench_function("phy/tbs_bits_full_carrier", |b| {
+        b.iter(|| phy::tbs_bits(black_box(27), black_box(273)))
+    });
+    c.bench_function("phy/select_mcs", |b| {
+        b.iter(|| phy::select_mcs(black_box(17.3), 0.0, -1.0, 28))
+    });
+}
+
+fn bench_trendline(c: &mut Criterion) {
+    c.bench_function("gcc/trendline_1000_packets", |b| {
+        b.iter(|| {
+            let mut est = TrendlineEstimator::new();
+            for i in 0..1000u64 {
+                est.on_packet(PacketTiming {
+                    sent: SimTime::from_millis(i * 20),
+                    arrival: SimTime::from_millis(i * 20 + 30 + (i % 7)),
+                });
+            }
+            black_box(est.state())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_feature_extraction,
+        bench_full_window_analysis,
+        bench_chain_search,
+        bench_dsl_parse,
+        bench_ran_session,
+        bench_phy,
+        bench_trendline
+);
+criterion_main!(benches);

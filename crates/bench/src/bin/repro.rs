@@ -1,0 +1,42 @@
+//! `repro` — regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! repro list           # list experiment ids
+//! repro fig2 table2    # run selected experiments
+//! repro all            # run everything (Table 1 order)
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <list|all|EXPERIMENT...>");
+        eprintln!("experiments: {}", domino_bench::EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for id in domino_bench::EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        domino_bench::EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let start = Instant::now();
+        match domino_bench::run(id) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{id} finished in {:.1?}]", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try `repro list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}

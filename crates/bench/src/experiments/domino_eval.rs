@@ -1,0 +1,70 @@
+//! Domino evaluation experiments (paper §4.2): Fig. 10, Table 2, Table 4.
+//!
+//! Runs Domino over commercial-cell and private-cell sessions separately —
+//! the paper reports each statistic "distinguishing between commercial
+//! (blue) and private (red) 5G cells".
+
+use std::fmt::Write as _;
+
+use domino_core::{
+    render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats,
+    Domino,
+};
+use telemetry::CellClass;
+
+use scenarios::{all_cells, run_cell_session};
+
+use crate::util::session_cfg;
+
+/// Analyses all four cells and aggregates stats per cell class.
+fn class_stats() -> (Domino, ChainStats, ChainStats) {
+    let domino = Domino::with_defaults();
+    let mut commercial = ChainStats::default();
+    let mut private = ChainStats::default();
+    for (i, cell) in all_cells().into_iter().enumerate() {
+        let class = cell.class;
+        let cfg = session_cfg(4000 + i as u64);
+        let bundle = run_cell_session(cell, &cfg, |_| {});
+        let analysis = domino.analyze(&bundle);
+        let stats = ChainStats::compute(domino.graph(), &analysis);
+        match class {
+            CellClass::Commercial => commercial.merge(&stats),
+            CellClass::Private => private.merge(&stats),
+        }
+    }
+    (domino, commercial, private)
+}
+
+/// Fig. 10 — absolute occurrence frequency of causes and consequences.
+pub fn fig10() -> String {
+    let (domino, commercial, private) = class_stats();
+    let mut out =
+        String::from("Fig. 10 — 5G cause and VCA consequence occurrence frequency (per minute)\n");
+    let _ = writeln!(out, "### Commercial 5G");
+    out.push_str(&render_frequency_table(domino.graph(), &commercial));
+    let _ = writeln!(out, "### Private 5G");
+    out.push_str(&render_frequency_table(domino.graph(), &private));
+    out
+}
+
+/// Table 2 — conditional probability of causes given each consequence.
+pub fn table2() -> String {
+    let (domino, commercial, private) = class_stats();
+    let mut out = String::from("Table 2 — P(cause | consequence)\n");
+    let _ = writeln!(out, "### Commercial 5G");
+    out.push_str(&render_conditional_table(domino.graph(), &commercial));
+    let _ = writeln!(out, "### Private 5G");
+    out.push_str(&render_conditional_table(domino.graph(), &private));
+    out
+}
+
+/// Table 4 — each chain's ratio over all detected chains.
+pub fn table4() -> String {
+    let (domino, commercial, private) = class_stats();
+    let mut out = String::from("Table 4 — chain ratio over all detected chains\n");
+    let _ = writeln!(out, "### Commercial 5G");
+    out.push_str(&render_chain_ratio_table(domino.graph(), &commercial));
+    let _ = writeln!(out, "### Private 5G");
+    out.push_str(&render_chain_ratio_table(domino.graph(), &private));
+    out
+}

@@ -1,0 +1,546 @@
+//! The twenty event-detection conditions of Table 5 (Appendix D), applied
+//! to one sliding window of cross-layer telemetry to produce the
+//! 36-dimension [`FeatureVector`].
+
+use simcore::SimTime;
+use telemetry::{
+    AppStatsRecord, DciRecord, Direction, GccNetworkState, GnbEvent, PacketRecord, StreamKind,
+    TraceBundle,
+};
+
+use crate::features::{AppEvent, ClientSide, Feature, FeatureVector, RanEvent};
+
+/// All tunable constants of the Table 5 conditions. Defaults are the
+/// paper's values.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Frame-rate drop: max must exceed this (rows 1–2).
+    pub framerate_high: f64,
+    /// Frame-rate drop: min must fall below this.
+    pub framerate_low: f64,
+    /// Packet-delay uptrend requires a sample above this (rows 11–12), ms.
+    pub delay_floor_ms: f64,
+    /// Sub-window length for windowed means (rows 9, 11, 12), samples.
+    pub trend_subwindow: usize,
+    /// TBS drop: min below this fraction of max (row 13).
+    pub tbs_drop_fraction: f64,
+    /// App-exceeds-TBS: fraction of bins required (row 14).
+    pub rate_exceed_fraction: f64,
+    /// Cross traffic: other-UE PRB sum over ours (row 15).
+    pub cross_traffic_fraction: f64,
+    /// Channel degraded: p90 of grouped MCS below this (row 16).
+    pub mcs_p90_below: f64,
+    /// Channel degraded: groups with median MCS below this...
+    pub mcs_low_value: f64,
+    /// ...must appear more than this many times.
+    pub mcs_low_count: usize,
+    /// MCS grouping window (row 16), ms.
+    pub mcs_group_ms: u64,
+    /// HARQ retransmissions needed in the window (row 17).
+    pub harq_retx_count: usize,
+    /// Relative tolerance for "decrease" comparisons on rates.
+    pub rate_drop_epsilon: f64,
+    /// Jitter-buffer drain level (ms at or below counts as drained).
+    pub drain_level_ms: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            framerate_high: 27.0,
+            framerate_low: 25.0,
+            delay_floor_ms: 80.0,
+            trend_subwindow: 10,
+            tbs_drop_fraction: 0.8,
+            rate_exceed_fraction: 0.1,
+            cross_traffic_fraction: 0.2,
+            mcs_p90_below: 20.0,
+            mcs_low_value: 10.0,
+            mcs_low_count: 10,
+            mcs_group_ms: 50,
+            harq_retx_count: 10,
+            rate_drop_epsilon: 0.01,
+            drain_level_ms: 0.5,
+        }
+    }
+}
+
+/// Extracts the full 36-dim feature vector for the window `[from, to)`.
+pub fn extract_features(
+    bundle: &TraceBundle,
+    from: SimTime,
+    to: SimTime,
+    th: &Thresholds,
+) -> FeatureVector {
+    let mut v = FeatureVector::new();
+
+    // Application events, both clients (rows 1–10).
+    for (side, samples) in [
+        (ClientSide::Local, bundle.app_local_window(from, to)),
+        (ClientSide::Remote, bundle.app_remote_window(from, to)),
+    ] {
+        for e in AppEvent::ALL {
+            v.set(Feature::App(side, e), app_event(samples, e, th));
+        }
+    }
+
+    // Packet-delay trends (rows 11–12). Forward = media packets, reverse =
+    // RTCP feedback packets (§6.3's forward/reverse path terminology);
+    // either direction's trend raises the flag.
+    let packets = bundle.packets_window(from, to);
+    let media_up = delay_uptrend(packets, Direction::Uplink, false, th)
+        || delay_uptrend(packets, Direction::Downlink, false, th);
+    let rtcp_up = delay_uptrend(packets, Direction::Uplink, true, th)
+        || delay_uptrend(packets, Direction::Downlink, true, th);
+    v.set(Feature::ForwardDelayUp, media_up);
+    v.set(Feature::ReverseDelayUp, rtcp_up);
+
+    // 5G events per direction (rows 13–18).
+    let dci = bundle.dci_window(from, to);
+    let gnb = bundle.gnb_window(from, to);
+    for dir in [Direction::Uplink, Direction::Downlink] {
+        v.set(Feature::Ran(dir, RanEvent::AllocatedTbsDown), tbs_down(dci, dir, th));
+        v.set(
+            Feature::Ran(dir, RanEvent::AppExceedsTbs),
+            app_exceeds_tbs(packets, dci, dir, from, to, th),
+        );
+        v.set(Feature::Ran(dir, RanEvent::CrossTraffic), cross_traffic(dci, dir, th));
+        v.set(Feature::Ran(dir, RanEvent::ChannelDegrades), channel_degrades(dci, dir, from, th));
+        v.set(Feature::Ran(dir, RanEvent::HarqRetx), harq_retx(dci, dir, th));
+        v.set(
+            Feature::Ran(dir, RanEvent::RlcRetx),
+            gnb.iter().any(|g| matches!(g.event, GnbEvent::RlcRetx { direction, .. } if direction == dir)),
+        );
+    }
+
+    // Row 19: transmission uses the 5G uplink channel.
+    v.set(
+        Feature::UlScheduling,
+        dci.iter().any(|d| d.is_target_ue && d.direction == Direction::Uplink),
+    );
+    // Row 20: RNTI change within the window.
+    v.set(Feature::RrcStateChange, rnti_changed(dci));
+
+    v
+}
+
+fn app_event(samples: &[AppStatsRecord], e: AppEvent, th: &Thresholds) -> bool {
+    if samples.len() < 2 {
+        return false;
+    }
+    match e {
+        AppEvent::InboundFramerateDown => framerate_down(samples.iter().map(|s| s.inbound_fps), th),
+        AppEvent::OutboundFramerateDown => {
+            framerate_down(samples.iter().map(|s| s.outbound_fps), th)
+        }
+        AppEvent::OutboundResolutionDown => samples
+            .windows(2)
+            .any(|w| w[1].outbound_resolution < w[0].outbound_resolution),
+        AppEvent::JitterBufferDrain => samples
+            .iter()
+            .any(|s| s.video_jitter_buffer_ms <= th.drain_level_ms && s.inbound_fps > 0.0),
+        AppEvent::TargetBitrateDown => samples.windows(2).any(|w| {
+            w[1].target_bitrate_bps < w[0].target_bitrate_bps * (1.0 - th.rate_drop_epsilon)
+        }),
+        AppEvent::GccOveruse => samples.iter().any(|s| s.gcc_state == GccNetworkState::Overuse),
+        AppEvent::PushbackRateDown => samples.windows(2).any(|w| {
+            w[1].pushback_rate_bps < w[0].pushback_rate_bps * (1.0 - th.rate_drop_epsilon)
+        }),
+        AppEvent::CwndFull => samples.iter().any(|s| s.outstanding_bytes > s.cwnd_bytes),
+        AppEvent::OutstandingBytesUp => {
+            let means = windowed_means(
+                samples.iter().map(|s| s.outstanding_bytes as f64),
+                th.trend_subwindow,
+            );
+            means.windows(2).any(|w| w[1] > w[0] * 1.05 && w[1] > 1000.0)
+        }
+        AppEvent::PushbackNeqTarget => samples.iter().any(|s| {
+            (s.pushback_rate_bps - s.target_bitrate_bps).abs()
+                > th.rate_drop_epsilon * s.target_bitrate_bps
+        }),
+    }
+}
+
+/// Rows 1–2: max fps > high, min fps < low, and the max occurs before the
+/// min (a genuine downward move).
+fn framerate_down(fps: impl Iterator<Item = f64>, th: &Thresholds) -> bool {
+    let vals: Vec<f64> = fps.collect();
+    let (mut max_i, mut max_v) = (0usize, f64::NEG_INFINITY);
+    let (mut min_i, mut min_v) = (0usize, f64::INFINITY);
+    for (i, &x) in vals.iter().enumerate() {
+        if x > max_v {
+            max_v = x;
+            max_i = i;
+        }
+        if x < min_v {
+            min_v = x;
+            min_i = i;
+        }
+    }
+    max_v > th.framerate_high && min_v < th.framerate_low && max_i < min_i
+}
+
+fn windowed_means(values: impl Iterator<Item = f64>, sub: usize) -> Vec<f64> {
+    let vals: Vec<f64> = values.collect();
+    vals.chunks(sub.max(1))
+        .filter(|c| c.len() == sub.max(1))
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Rows 11–12: uptrend in windowed packet delay plus a sample above the
+/// floor. `rtcp` selects the feedback path; otherwise media packets.
+fn delay_uptrend(packets: &[PacketRecord], dir: Direction, rtcp: bool, th: &Thresholds) -> bool {
+    let delays: Vec<f64> = packets
+        .iter()
+        .filter(|p| p.direction == dir && (p.stream == StreamKind::Rtcp) == rtcp)
+        .filter_map(|p| p.one_way_delay())
+        .map(|d| d.as_millis_f64())
+        .collect();
+    if delays.len() < 2 * th.trend_subwindow {
+        return false;
+    }
+    let any_high = delays.iter().any(|&d| d > th.delay_floor_ms);
+    if !any_high {
+        return false;
+    }
+    let means = windowed_means(delays.into_iter(), th.trend_subwindow);
+    means.windows(2).any(|w| w[1] > w[0] * 1.05)
+}
+
+/// Row 13: min TBS < fraction × max TBS, drop happening after the peak.
+fn tbs_down(dci: &[DciRecord], dir: Direction, th: &Thresholds) -> bool {
+    let tbs: Vec<f64> = dci
+        .iter()
+        .filter(|d| d.is_target_ue && d.direction == dir && d.harq_retx_idx == 0)
+        .map(|d| d.tbs_bits as f64)
+        .collect();
+    if tbs.len() < 4 {
+        return false;
+    }
+    let (mut max_i, mut max_v) = (0usize, f64::NEG_INFINITY);
+    let (mut min_i, mut min_v) = (0usize, f64::INFINITY);
+    for (i, &x) in tbs.iter().enumerate() {
+        if x > max_v {
+            max_v = x;
+            max_i = i;
+        }
+        if x < min_v {
+            min_v = x;
+            min_i = i;
+        }
+    }
+    min_v < th.tbs_drop_fraction * max_v && max_i < min_i
+}
+
+/// Row 14: the app's send rate exceeds the PHY-allocated rate for more than
+/// a fraction of the window (computed over 100 ms bins).
+fn app_exceeds_tbs(
+    packets: &[PacketRecord],
+    dci: &[DciRecord],
+    dir: Direction,
+    from: SimTime,
+    to: SimTime,
+    th: &Thresholds,
+) -> bool {
+    const BIN_US: u64 = 100_000;
+    let n_bins = ((to.as_micros() - from.as_micros()) / BIN_US).max(1) as usize;
+    let mut app_bits = vec![0f64; n_bins];
+    let mut tbs_bits = vec![0f64; n_bins];
+    for p in packets.iter().filter(|p| p.direction == dir) {
+        let bin = ((p.sent.as_micros() - from.as_micros()) / BIN_US) as usize;
+        if bin < n_bins {
+            app_bits[bin] += p.size_bytes as f64 * 8.0;
+        }
+    }
+    for d in dci.iter().filter(|d| d.is_target_ue && d.direction == dir && d.harq_retx_idx == 0) {
+        let bin = ((d.ts.as_micros() - from.as_micros()) / BIN_US) as usize;
+        if bin < n_bins {
+            tbs_bits[bin] += d.tbs_bits as f64;
+        }
+    }
+    let exceeding = app_bits
+        .iter()
+        .zip(&tbs_bits)
+        .filter(|(a, t)| **a > 0.0 && **a > **t)
+        .count();
+    exceeding as f64 > th.rate_exceed_fraction * n_bins as f64
+}
+
+/// Row 15: other UEs' PRB sum exceeds a fraction of ours.
+fn cross_traffic(dci: &[DciRecord], dir: Direction, th: &Thresholds) -> bool {
+    let mut ours = 0u64;
+    let mut others = 0u64;
+    for d in dci.iter().filter(|d| d.direction == dir) {
+        if d.is_target_ue {
+            ours += d.n_prbs as u64;
+        } else {
+            others += d.n_prbs as u64;
+        }
+    }
+    ours > 0 && others as f64 > th.cross_traffic_fraction * ours as f64
+}
+
+/// Row 16: grouped-MCS statistics indicate a degraded channel.
+fn channel_degrades(dci: &[DciRecord], dir: Direction, from: SimTime, th: &Thresholds) -> bool {
+    let group_us = th.mcs_group_ms * 1000;
+    let mut groups: Vec<Vec<f64>> = Vec::new();
+    for d in dci.iter().filter(|d| d.is_target_ue && d.direction == dir) {
+        let g = ((d.ts.as_micros() - from.as_micros()) / group_us) as usize;
+        if groups.len() <= g {
+            groups.resize(g + 1, Vec::new());
+        }
+        groups[g].push(d.mcs as f64);
+    }
+    let mut medians: Vec<f64> = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let mut s = g.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s[s.len() / 2]
+        })
+        .collect();
+    if medians.len() < 4 {
+        return false;
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p90 = medians[((medians.len() - 1) as f64 * 0.9) as usize];
+    let low_count = medians.iter().filter(|&&m| m < th.mcs_low_value).count();
+    p90 < th.mcs_p90_below && low_count > th.mcs_low_count
+}
+
+/// Row 17: enough HARQ retransmissions in the window.
+fn harq_retx(dci: &[DciRecord], dir: Direction, th: &Thresholds) -> bool {
+    dci.iter()
+        .filter(|d| d.is_target_ue && d.direction == dir && d.harq_retx_idx > 0)
+        .count()
+        > th.harq_retx_count
+}
+
+/// Row 20: the target UE's RNTI changed within the window.
+fn rnti_changed(dci: &[DciRecord]) -> bool {
+    let mut rntis = dci.iter().filter(|d| d.is_target_ue).map(|d| d.rnti);
+    match rntis.next() {
+        Some(first) => rntis.any(|r| r != first),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+    use telemetry::{Resolution, SessionMeta};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample(ms: u64) -> AppStatsRecord {
+        let mut s = AppStatsRecord::baseline(t(ms));
+        s.inbound_fps = 30.0;
+        s.outbound_fps = 30.0;
+        s.video_jitter_buffer_ms = 120.0;
+        s.cwnd_bytes = 100_000;
+        s
+    }
+
+    fn dci(ms: u64, dir: Direction, ours: bool, prbs: u16, mcs: u8, retx: u8) -> DciRecord {
+        DciRecord {
+            ts: t(ms),
+            rnti: if ours { 100 } else { 999 },
+            direction: dir,
+            is_target_ue: ours,
+            n_prbs: prbs,
+            mcs,
+            tbs_bits: (prbs as u32) * 1500,
+            harq_id: 0,
+            harq_retx_idx: retx,
+            decoded_ok: true,
+            proactive: false,
+            used_bits: 0,
+        }
+    }
+
+    fn bundle_with(
+        app: Vec<AppStatsRecord>,
+        packets: Vec<PacketRecord>,
+        dci: Vec<DciRecord>,
+    ) -> TraceBundle {
+        let mut b =
+            TraceBundle::new(SessionMeta::baseline("test", SimDuration::from_secs(5), 0));
+        b.app_local = app;
+        b.packets = packets;
+        b.dci = dci;
+        b.sort();
+        b
+    }
+
+    #[test]
+    fn framerate_drop_requires_order() {
+        let th = Thresholds::default();
+        // 30 → 20: drop.
+        assert!(framerate_down([30.0, 29.0, 24.0, 20.0].into_iter(), &th));
+        // 20 → 30: recovery, not a drop.
+        assert!(!framerate_down([20.0, 24.0, 29.0, 30.0].into_iter(), &th));
+        // Steady high: no.
+        assert!(!framerate_down([30.0, 30.0, 29.0].into_iter(), &th));
+    }
+
+    #[test]
+    fn jitter_buffer_drain_detected() {
+        let th = Thresholds::default();
+        let mut app: Vec<AppStatsRecord> = (0..100).map(|i| sample(i * 50)).collect();
+        app[50].video_jitter_buffer_ms = 0.0;
+        app[50].inbound_fps = 12.0;
+        let b = bundle_with(app, vec![], vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::JitterBufferDrain)));
+        assert!(!v.get(Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain)));
+    }
+
+    #[test]
+    fn target_and_pushback_drops() {
+        let th = Thresholds::default();
+        let mut app: Vec<AppStatsRecord> = (0..100).map(|i| sample(i * 50)).collect();
+        for s in app.iter_mut().skip(60) {
+            s.target_bitrate_bps = 1_000_000.0;
+            s.pushback_rate_bps = 600_000.0;
+        }
+        for s in app.iter_mut().take(60) {
+            s.target_bitrate_bps = 2_000_000.0;
+            s.pushback_rate_bps = 2_000_000.0;
+        }
+        let b = bundle_with(app, vec![], vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::TargetBitrateDown)));
+        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::PushbackRateDown)));
+        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::PushbackNeqTarget)));
+    }
+
+    #[test]
+    fn delay_uptrend_needs_floor_and_trend() {
+        let th = Thresholds::default();
+        let mk = |ms: u64, delay: u64, stream: StreamKind| PacketRecord {
+            sent: t(ms),
+            received: Some(t(ms + delay)),
+            direction: Direction::Uplink,
+            stream,
+            seq: ms,
+            size_bytes: 1200,
+        };
+        // Rising media delay crossing 80 ms → forward path trend.
+        let rising: Vec<PacketRecord> =
+            (0..60).map(|i| mk(i * 50, 20 + i * 3, StreamKind::Video)).collect();
+        let b = bundle_with(vec![], rising, vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::ForwardDelayUp));
+        assert!(!v.get(Feature::ReverseDelayUp));
+        // Rising RTCP delay, flat media → reverse path trend only.
+        let mut mixed: Vec<PacketRecord> =
+            (0..60).map(|i| mk(i * 50, 20 + i * 3, StreamKind::Rtcp)).collect();
+        mixed.extend((0..60).map(|i| mk(i * 50 + 5, 30, StreamKind::Video)));
+        let b = bundle_with(vec![], mixed, vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::ReverseDelayUp));
+        assert!(!v.get(Feature::ForwardDelayUp));
+        // Flat low delay: neither.
+        let flat: Vec<PacketRecord> =
+            (0..60).map(|i| mk(i * 50, 30, StreamKind::Video)).collect();
+        let b = bundle_with(vec![], flat, vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(!v.get(Feature::ForwardDelayUp));
+    }
+
+    #[test]
+    fn cross_traffic_threshold() {
+        let th = Thresholds::default();
+        let mut recs = vec![dci(0, Direction::Downlink, true, 50, 20, 0)];
+        // 5 PRBs of cross traffic: 10% of ours — below threshold.
+        recs.push(dci(10, Direction::Downlink, false, 5, 16, 0));
+        let b = bundle_with(vec![], vec![], recs.clone());
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(!v.get(Feature::Ran(Direction::Downlink, RanEvent::CrossTraffic)));
+        // 30 PRBs: 60% — above.
+        recs.push(dci(20, Direction::Downlink, false, 30, 16, 0));
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Ran(Direction::Downlink, RanEvent::CrossTraffic)));
+    }
+
+    #[test]
+    fn harq_and_rnti_conditions() {
+        let th = Thresholds::default();
+        let mut recs: Vec<DciRecord> =
+            (0..12).map(|i| dci(i * 100, Direction::Uplink, true, 20, 15, 1)).collect();
+        let b = bundle_with(vec![], vec![], recs.clone());
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Ran(Direction::Uplink, RanEvent::HarqRetx)));
+        assert!(v.get(Feature::UlScheduling));
+        assert!(!v.get(Feature::RrcStateChange));
+        // RNTI change.
+        let mut changed = dci(4900, Direction::Uplink, true, 20, 15, 0);
+        changed.rnti = 777;
+        recs.push(changed);
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::RrcStateChange));
+    }
+
+    #[test]
+    fn channel_degrades_needs_sustained_low_mcs() {
+        let th = Thresholds::default();
+        // 100 groups of 50 ms with MCS 4: p90 < 20 and low-count > 10.
+        let recs: Vec<DciRecord> =
+            (0..100).map(|i| dci(i * 50, Direction::Uplink, true, 20, 4, 0)).collect();
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Ran(Direction::Uplink, RanEvent::ChannelDegrades)));
+        // Healthy MCS 25: no.
+        let recs: Vec<DciRecord> =
+            (0..100).map(|i| dci(i * 50, Direction::Uplink, true, 20, 25, 0)).collect();
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(!v.get(Feature::Ran(Direction::Uplink, RanEvent::ChannelDegrades)));
+    }
+
+    #[test]
+    fn tbs_down_requires_peak_then_drop() {
+        let th = Thresholds::default();
+        let mk = |ms: u64, prbs: u16| dci(ms, Direction::Downlink, true, prbs, 20, 0);
+        // High then low.
+        let recs = vec![mk(0, 50), mk(100, 50), mk(200, 20), mk(300, 10)];
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Ran(Direction::Downlink, RanEvent::AllocatedTbsDown)));
+        // Low then high (recovery): no.
+        let recs = vec![mk(0, 10), mk(100, 20), mk(200, 50), mk(300, 50)];
+        let b = bundle_with(vec![], vec![], recs);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(!v.get(Feature::Ran(Direction::Downlink, RanEvent::AllocatedTbsDown)));
+    }
+
+    #[test]
+    fn resolution_drop() {
+        let th = Thresholds::default();
+        let mut app: Vec<AppStatsRecord> = (0..100).map(|i| sample(i * 50)).collect();
+        for s in app.iter_mut().take(50) {
+            s.outbound_resolution = Resolution::R540p;
+        }
+        for s in app.iter_mut().skip(50) {
+            s.outbound_resolution = Resolution::R360p;
+        }
+        let b = bundle_with(app, vec![], vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::OutboundResolutionDown)));
+    }
+
+    #[test]
+    fn empty_window_is_all_false() {
+        let th = Thresholds::default();
+        let b = bundle_with(vec![], vec![], vec![]);
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert_eq!(v.count_active(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The 36-dimensional feature space of Domino's sliding-window detector.
+//!
+//! Per paper §4.2 / Appendix D: 10 application events extracted from both
+//! clients (20 dims), 6 bidirectional 5G events extracted for UL and DL
+//! (12 dims), plus forward/reverse packet-delay trends, uplink scheduling,
+//! and RRC state change (4 dims) — 2×10 + 6×2 + 4 = 36.
+
+use telemetry::Direction;
+
+/// The ten per-client application events (Table 5, rows 1–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppEvent {
+    /// 1. Inbound frame rate dropped.
+    InboundFramerateDown,
+    /// 2. Outbound frame rate dropped.
+    OutboundFramerateDown,
+    /// 3. Outbound resolution stepped down.
+    OutboundResolutionDown,
+    /// 4. Jitter buffer drained to 0 ms.
+    JitterBufferDrain,
+    /// 5. Target bitrate decreased.
+    TargetBitrateDown,
+    /// 6. GCC detected overuse.
+    GccOveruse,
+    /// 7. Pushback rate decreased.
+    PushbackRateDown,
+    /// 8. Outstanding bytes exceeded the congestion window.
+    CwndFull,
+    /// 9. Windowed outstanding bytes trended up.
+    OutstandingBytesUp,
+    /// 10. Pushback rate diverged from the target bitrate.
+    PushbackNeqTarget,
+}
+
+impl AppEvent {
+    /// All ten, in Table 5 order.
+    pub const ALL: [AppEvent; 10] = [
+        AppEvent::InboundFramerateDown,
+        AppEvent::OutboundFramerateDown,
+        AppEvent::OutboundResolutionDown,
+        AppEvent::JitterBufferDrain,
+        AppEvent::TargetBitrateDown,
+        AppEvent::GccOveruse,
+        AppEvent::PushbackRateDown,
+        AppEvent::CwndFull,
+        AppEvent::OutstandingBytesUp,
+        AppEvent::PushbackNeqTarget,
+    ];
+
+    fn ordinal(self) -> usize {
+        Self::ALL.iter().position(|&e| e == self).expect("in ALL")
+    }
+
+    /// Canonical snake_case name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppEvent::InboundFramerateDown => "inbound_framerate_down",
+            AppEvent::OutboundFramerateDown => "outbound_framerate_down",
+            AppEvent::OutboundResolutionDown => "outbound_resolution_down",
+            AppEvent::JitterBufferDrain => "jitter_buffer_drain",
+            AppEvent::TargetBitrateDown => "target_bitrate_down",
+            AppEvent::GccOveruse => "gcc_overuse",
+            AppEvent::PushbackRateDown => "pushback_rate_down",
+            AppEvent::CwndFull => "cwnd_full",
+            AppEvent::OutstandingBytesUp => "outstanding_bytes_up",
+            AppEvent::PushbackNeqTarget => "pushback_neq_target",
+        }
+    }
+}
+
+/// The six bidirectional 5G events (Table 5, rows 13–18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RanEvent {
+    /// 13. Allocated TBS dropped.
+    AllocatedTbsDown,
+    /// 14. App bitrate exceeded the allocated TBS.
+    AppExceedsTbs,
+    /// 15. Cross traffic took PRBs.
+    CrossTraffic,
+    /// 16. Channel degraded (low MCS).
+    ChannelDegrades,
+    /// 17. HARQ retransmissions above threshold.
+    HarqRetx,
+    /// 18. RLC retransmission logged by the gNB.
+    RlcRetx,
+}
+
+impl RanEvent {
+    /// All six, in Table 5 order.
+    pub const ALL: [RanEvent; 6] = [
+        RanEvent::AllocatedTbsDown,
+        RanEvent::AppExceedsTbs,
+        RanEvent::CrossTraffic,
+        RanEvent::ChannelDegrades,
+        RanEvent::HarqRetx,
+        RanEvent::RlcRetx,
+    ];
+
+    fn ordinal(self) -> usize {
+        Self::ALL.iter().position(|&e| e == self).expect("in ALL")
+    }
+
+    /// Canonical snake_case name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            RanEvent::AllocatedTbsDown => "tbs_down",
+            RanEvent::AppExceedsTbs => "app_exceeds_tbs",
+            RanEvent::CrossTraffic => "cross_traffic",
+            RanEvent::ChannelDegrades => "channel_degrades",
+            RanEvent::HarqRetx => "harq_retx",
+            RanEvent::RlcRetx => "rlc_retx",
+        }
+    }
+}
+
+/// Which client an application event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientSide {
+    /// The UE-side (cellular) client.
+    Local,
+    /// The wired peer.
+    Remote,
+}
+
+impl ClientSide {
+    /// Prefix used in feature names.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            ClientSide::Local => "local",
+            ClientSide::Remote => "remote",
+        }
+    }
+}
+
+/// One of the 36 features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Application event at one client.
+    App(ClientSide, AppEvent),
+    /// 5G event in one direction.
+    Ran(Direction, RanEvent),
+    /// 11. Forward-path (media packets, either direction) delay uptrend.
+    ///
+    /// §6.3 defines forward as "the forward (media) path" and reverse as
+    /// "the reverse (RTCP feedback) path".
+    ForwardDelayUp,
+    /// 12. Reverse-path (RTCP feedback packets) delay uptrend.
+    ReverseDelayUp,
+    /// 19. Transmission uses the 5G uplink channel.
+    UlScheduling,
+    /// 20. The UE's RNTI changed within the window.
+    RrcStateChange,
+}
+
+/// Total number of features.
+pub const FEATURE_COUNT: usize = 36;
+
+impl Feature {
+    /// Fixed index of this feature in the vector.
+    pub fn index(self) -> usize {
+        match self {
+            Feature::App(ClientSide::Local, e) => e.ordinal(),
+            Feature::App(ClientSide::Remote, e) => 10 + e.ordinal(),
+            Feature::ForwardDelayUp => 20,
+            Feature::ReverseDelayUp => 21,
+            Feature::Ran(Direction::Uplink, e) => 22 + e.ordinal(),
+            Feature::Ran(Direction::Downlink, e) => 28 + e.ordinal(),
+            Feature::UlScheduling => 34,
+            Feature::RrcStateChange => 35,
+        }
+    }
+
+    /// All 36 features in index order.
+    pub fn all() -> Vec<Feature> {
+        let mut v = Vec::with_capacity(FEATURE_COUNT);
+        for e in AppEvent::ALL {
+            v.push(Feature::App(ClientSide::Local, e));
+        }
+        for e in AppEvent::ALL {
+            v.push(Feature::App(ClientSide::Remote, e));
+        }
+        v.push(Feature::ForwardDelayUp);
+        v.push(Feature::ReverseDelayUp);
+        for e in RanEvent::ALL {
+            v.push(Feature::Ran(Direction::Uplink, e));
+        }
+        for e in RanEvent::ALL {
+            v.push(Feature::Ran(Direction::Downlink, e));
+        }
+        v.push(Feature::UlScheduling);
+        v.push(Feature::RrcStateChange);
+        v
+    }
+
+    /// Canonical name, e.g. `local_jitter_buffer_drain`, `dl_rlc_retx`.
+    pub fn name(self) -> String {
+        match self {
+            Feature::App(side, e) => format!("{}_{}", side.prefix(), e.name()),
+            Feature::Ran(dir, e) => {
+                let d = match dir {
+                    Direction::Uplink => "ul",
+                    Direction::Downlink => "dl",
+                };
+                format!("{}_{}", d, e.name())
+            }
+            Feature::ForwardDelayUp => "forward_delay_up".to_string(),
+            Feature::ReverseDelayUp => "reverse_delay_up".to_string(),
+            Feature::UlScheduling => "ul_scheduling".to_string(),
+            Feature::RrcStateChange => "rrc_state_change".to_string(),
+        }
+    }
+
+    /// Parses a canonical feature name.
+    pub fn parse(name: &str) -> Option<Feature> {
+        Feature::all().into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// A boolean vector over the 36 features for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureVector {
+    bits: [bool; FEATURE_COUNT],
+}
+
+impl Default for FeatureVector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureVector {
+    /// All-false vector.
+    pub fn new() -> Self {
+        FeatureVector { bits: [false; FEATURE_COUNT] }
+    }
+
+    /// Sets a feature.
+    pub fn set(&mut self, f: Feature, v: bool) {
+        self.bits[f.index()] = v;
+    }
+
+    /// Reads a feature.
+    pub fn get(&self, f: Feature) -> bool {
+        self.bits[f.index()]
+    }
+
+    /// Number of active features.
+    pub fn count_active(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Active feature names (for reports/debugging).
+    pub fn active_names(&self) -> Vec<String> {
+        Feature::all().into_iter().filter(|f| self.get(*f)).map(|f| f.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_36_features_with_unique_indices() {
+        let all = Feature::all();
+        assert_eq!(all.len(), FEATURE_COUNT);
+        let mut seen = [false; FEATURE_COUNT];
+        for f in &all {
+            assert!(!seen[f.index()], "duplicate index {}", f.index());
+            seen[f.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for f in Feature::all() {
+            assert_eq!(Feature::parse(&f.name()), Some(f), "{}", f.name());
+        }
+        assert_eq!(Feature::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn paper_fig11_names_exist() {
+        // The names used in the paper's Fig. 11 example must parse.
+        assert!(Feature::parse("dl_rlc_retx").is_some());
+        assert!(Feature::parse("dl_harq_retx").is_some());
+        assert!(Feature::parse("forward_delay_up").is_some());
+        assert!(Feature::parse("local_jitter_buffer_drain").is_some());
+    }
+
+    #[test]
+    fn vector_set_get() {
+        let mut v = FeatureVector::new();
+        assert_eq!(v.count_active(), 0);
+        v.set(Feature::RrcStateChange, true);
+        v.set(Feature::App(ClientSide::Local, AppEvent::GccOveruse), true);
+        assert!(v.get(Feature::RrcStateChange));
+        assert_eq!(v.count_active(), 2);
+        assert!(v.active_names().contains(&"local_gcc_overuse".to_string()));
+    }
+}

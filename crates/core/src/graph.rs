@@ -1,0 +1,378 @@
+//! The user-reconfigurable causal DAG (paper §4, Fig. 9).
+//!
+//! Nodes are named events whose *predicate* is a disjunction of features
+//! from the 36-dim vector (so a mechanism-level node like `harq_retx` can
+//! cover both the UL and DL features). Edges point from cause toward
+//! consequence. Roots of the DAG are root causes, leaves are user-visible
+//! consequences; every root→leaf path is a candidate causal chain — the
+//! default Fig. 9 graph yields exactly 24.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::features::{Feature, FeatureVector};
+
+/// Index of a node in the graph.
+pub type NodeId = usize;
+
+/// Graph construction / validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references an unknown node and the name is not a feature.
+    UnknownNode(String),
+    /// The graph contains a directed cycle through the named node.
+    Cycle(String),
+    /// A node has an empty predicate.
+    EmptyPredicate(String),
+    /// Duplicate alias definition.
+    DuplicateAlias(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => {
+                write!(f, "node {n:?} is neither an alias nor a feature name")
+            }
+            GraphError::Cycle(n) => write!(f, "causal graph has a cycle through {n:?}"),
+            GraphError::EmptyPredicate(n) => write!(f, "node {n:?} has no features"),
+            GraphError::DuplicateAlias(n) => write!(f, "alias {n:?} defined twice"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    predicate: Vec<Feature>,
+}
+
+/// The causal DAG.
+#[derive(Debug, Clone)]
+pub struct CausalGraph {
+    nodes: Vec<Node>,
+    name_to_id: HashMap<String, NodeId>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+/// Incremental builder for [`CausalGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    name_to_id: HashMap<String, NodeId>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a named node with an explicit feature disjunction (an alias).
+    pub fn define(&mut self, name: &str, features: Vec<Feature>) -> Result<NodeId, GraphError> {
+        if let Some(&id) = self.name_to_id.get(name) {
+            if !self.nodes[id].predicate.is_empty() {
+                return Err(GraphError::DuplicateAlias(name.to_string()));
+            }
+            self.nodes[id].predicate = features;
+            return Ok(id);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node { name: name.to_string(), predicate: features });
+        self.name_to_id.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks a node up by name, creating it implicitly if the name is a
+    /// canonical feature name.
+    pub fn node(&mut self, name: &str) -> Result<NodeId, GraphError> {
+        if let Some(&id) = self.name_to_id.get(name) {
+            return Ok(id);
+        }
+        match Feature::parse(name) {
+            Some(f) => {
+                let id = self.nodes.len();
+                self.nodes.push(Node { name: name.to_string(), predicate: vec![f] });
+                self.name_to_id.insert(name.to_string(), id);
+                Ok(id)
+            }
+            None => Err(GraphError::UnknownNode(name.to_string())),
+        }
+    }
+
+    /// Adds a directed edge `from → to` (idempotent).
+    pub fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.edges.contains(&(from, to)) {
+            self.edges.push((from, to));
+        }
+    }
+
+    /// Validates (DAG, non-empty predicates) and produces the graph.
+    pub fn build(self) -> Result<CausalGraph, GraphError> {
+        for n in &self.nodes {
+            if n.predicate.is_empty() {
+                return Err(GraphError::EmptyPredicate(n.name.clone()));
+            }
+        }
+        let n = self.nodes.len();
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            children[a].push(b);
+            parents[b].push(a);
+        }
+        // Cycle check: Kahn's algorithm.
+        let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &children[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            let cyclic = (0..n).find(|&i| indeg[i] > 0).expect("cycle member exists");
+            return Err(GraphError::Cycle(self.nodes[cyclic].name.clone()));
+        }
+        Ok(CausalGraph {
+            nodes: self.nodes,
+            name_to_id: self.name_to_id,
+            children,
+            parents,
+        })
+    }
+}
+
+impl CausalGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node name.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id].name
+    }
+
+    /// Node id by name.
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.name_to_id.get(name).copied()
+    }
+
+    /// The node's feature disjunction.
+    pub fn predicate(&self, id: NodeId) -> &[Feature] {
+        &self.nodes[id].predicate
+    }
+
+    /// Direct causes of `id`.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id]
+    }
+
+    /// Direct effects of `id`.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v = Vec::new();
+        for (a, ch) in self.children.iter().enumerate() {
+            for &b in ch {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+
+    /// Root causes: nodes with no parents.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.parents[i].is_empty()).collect()
+    }
+
+    /// Consequences: nodes with no children.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.children[i].is_empty()).collect()
+    }
+
+    /// Whether the node's predicate holds under a feature vector.
+    pub fn is_active(&self, id: NodeId, fv: &FeatureVector) -> bool {
+        self.nodes[id].predicate.iter().any(|&f| fv.get(f))
+    }
+
+    /// Enumerates every root→leaf path (the candidate causal chains).
+    pub fn enumerate_chains(&self) -> Vec<Vec<NodeId>> {
+        let mut chains = Vec::new();
+        for root in self.roots() {
+            let mut path = vec![root];
+            self.dfs_chains(root, &mut path, &mut chains);
+        }
+        chains
+    }
+
+    fn dfs_chains(&self, at: NodeId, path: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>) {
+        if self.children[at].is_empty() {
+            out.push(path.clone());
+            return;
+        }
+        for &c in &self.children[at] {
+            path.push(c);
+            self.dfs_chains(c, path, out);
+            path.pop();
+        }
+    }
+
+    /// Backward trace (paper §4.2): starting from an *active* consequence,
+    /// walk edges backward through active nodes; returns every complete
+    /// active path root→…→consequence, as paths in forward order.
+    pub fn backward_trace(&self, consequence: NodeId, fv: &FeatureVector) -> Vec<Vec<NodeId>> {
+        let mut results = Vec::new();
+        if !self.is_active(consequence, fv) {
+            return results;
+        }
+        let mut path = vec![consequence];
+        self.backward_dfs(consequence, fv, &mut path, &mut results);
+        results
+    }
+
+    fn backward_dfs(
+        &self,
+        at: NodeId,
+        fv: &FeatureVector,
+        path: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let active_parents: Vec<NodeId> = self.parents[at]
+            .iter()
+            .copied()
+            .filter(|&p| self.is_active(p, fv))
+            .collect();
+        if active_parents.is_empty() {
+            if self.parents[at].is_empty() {
+                // Reached a root: a complete chain.
+                let mut chain = path.clone();
+                chain.reverse();
+                out.push(chain);
+            }
+            return;
+        }
+        for p in active_parents {
+            path.push(p);
+            self.backward_dfs(p, fv, path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{AppEvent, ClientSide};
+
+    fn diamond() -> CausalGraph {
+        // a → m → c1 ; a → m → c2 ; b → m → c1/c2
+        let mut g = GraphBuilder::new();
+        let a = g.node("ul_harq_retx").unwrap();
+        let b = g.node("dl_harq_retx").unwrap();
+        let m = g.node("forward_delay_up").unwrap();
+        let c1 = g.node("local_jitter_buffer_drain").unwrap();
+        let c2 = g.node("local_target_bitrate_down").unwrap();
+        g.edge(a, m);
+        g.edge(b, m);
+        g.edge(m, c1);
+        g.edge(m, c2);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn roots_leaves_chains() {
+        let g = diamond();
+        assert_eq!(g.roots().len(), 2);
+        assert_eq!(g.leaves().len(), 2);
+        let chains = g.enumerate_chains();
+        assert_eq!(chains.len(), 4);
+        for c in &chains {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = GraphBuilder::new();
+        let a = g.node("forward_delay_up").unwrap();
+        let b = g.node("reverse_delay_up").unwrap();
+        g.edge(a, b);
+        g.edge(b, a);
+        assert!(matches!(g.build(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = GraphBuilder::new();
+        assert!(matches!(g.node("not_a_feature"), Err(GraphError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn alias_predicate_is_disjunction() {
+        let mut g = GraphBuilder::new();
+        let jb = g
+            .define(
+                "jitter_buffer_drain",
+                vec![
+                    Feature::App(ClientSide::Local, AppEvent::JitterBufferDrain),
+                    Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain),
+                ],
+            )
+            .unwrap();
+        let m = g.node("forward_delay_up").unwrap();
+        g.edge(m, jb);
+        let g = g.build().unwrap();
+        let mut fv = FeatureVector::new();
+        assert!(!g.is_active(jb, &fv));
+        fv.set(Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain), true);
+        assert!(g.is_active(jb, &fv));
+    }
+
+    #[test]
+    fn backward_trace_finds_only_active_paths() {
+        let g = diamond();
+        let c1 = g.id("local_jitter_buffer_drain").unwrap();
+        let mut fv = FeatureVector::new();
+        // Nothing active: no chains.
+        assert!(g.backward_trace(c1, &fv).is_empty());
+        // Consequence + intermediate + one cause: one chain.
+        fv.set(Feature::parse("local_jitter_buffer_drain").unwrap(), true);
+        fv.set(Feature::parse("forward_delay_up").unwrap(), true);
+        fv.set(Feature::parse("ul_harq_retx").unwrap(), true);
+        let chains = g.backward_trace(c1, &fv);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(g.name(chains[0][0]), "ul_harq_retx");
+        assert_eq!(g.name(chains[0][2]), "local_jitter_buffer_drain");
+        // Both causes active: two chains.
+        fv.set(Feature::parse("dl_harq_retx").unwrap(), true);
+        assert_eq!(g.backward_trace(c1, &fv).len(), 2);
+        // Consequence active but intermediate not: no *complete* chain.
+        let mut fv2 = FeatureVector::new();
+        fv2.set(Feature::parse("local_jitter_buffer_drain").unwrap(), true);
+        fv2.set(Feature::parse("ul_harq_retx").unwrap(), true);
+        assert!(g.backward_trace(c1, &fv2).is_empty());
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let mut g = GraphBuilder::new();
+        g.define("x", vec![Feature::parse("forward_delay_up").unwrap()]).unwrap();
+        assert!(matches!(
+            g.define("x", vec![Feature::parse("reverse_delay_up").unwrap()]),
+            Err(GraphError::DuplicateAlias(_))
+        ));
+    }
+}

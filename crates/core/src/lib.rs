@@ -1,0 +1,50 @@
+//! # domino-core — automated, cross-layer causal-chain detection
+//!
+//! The paper's primary contribution: given cross-layer trace data
+//! (a [`telemetry::TraceBundle`]), Domino detects WebRTC quality
+//! degradations and traces each back to its 5G root cause.
+//!
+//! Pipeline (paper §4):
+//!
+//! 1. [`features`] — the 36-dimension event space (2×10 app events +
+//!    6×2 directional 5G events + 4 singletons).
+//! 2. [`events`] — the 20 detection conditions of Table 5 / Appendix D,
+//!    evaluated over a sliding window (W = 5 s, Δt = 0.5 s).
+//! 3. [`graph`] — the user-reconfigurable causal DAG of Fig. 9
+//!    (6 causes → delay intermediates → 3 consequences, 24 chains).
+//! 4. [`dsl`] — the text configuration language (`a --> b --> c`,
+//!    Fig. 11) with parse/emit round-tripping.
+//! 5. [`detect`] — the sliding-window engine and backward-trace search.
+//! 6. [`codegen`] — compilation of chain definitions into an executable
+//!    decision program, with Python and Rust source emission (Fig. 11).
+//! 7. [`stats`] — occurrence frequencies (Fig. 10), conditional
+//!    probabilities (Table 2), and chain ratios (Table 4).
+//!
+//! ```
+//! use domino_core::{Domino, ChainStats};
+//! # use telemetry::{TraceBundle, SessionMeta};
+//! # use simcore::SimDuration;
+//! let domino = Domino::with_defaults();
+//! # let bundle = TraceBundle::new(SessionMeta::baseline("x", SimDuration::from_secs(10), 0));
+//! let analysis = domino.analyze(&bundle);
+//! let stats = ChainStats::compute(domino.graph(), &analysis);
+//! println!("{}", domino_core::stats::render_conditional_table(domino.graph(), &stats));
+//! ```
+
+pub mod codegen;
+pub mod detect;
+pub mod dsl;
+pub mod events;
+pub mod features;
+pub mod graph;
+pub mod stats;
+
+pub use codegen::{compile, DetectionProgram, ProgramOutput};
+pub use detect::{Analysis, ChainHit, Domino, DominoConfig, WindowAnalysis};
+pub use dsl::{default_graph, emit, parse, ParseError, DEFAULT_CONFIG};
+pub use events::{extract_features, Thresholds};
+pub use features::{AppEvent, ClientSide, Feature, FeatureVector, RanEvent, FEATURE_COUNT};
+pub use graph::{CausalGraph, GraphBuilder, GraphError, NodeId};
+pub use stats::{
+    render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats,
+};

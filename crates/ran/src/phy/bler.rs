@@ -1,0 +1,71 @@
+//! Block-error-rate abstraction: probability that a transport block fails to
+//! decode, as a function of SINR, MCS, and HARQ retransmission index.
+//!
+//! A logistic curve in SINR around the per-MCS decoding threshold is the
+//! standard link-level abstraction. HARQ retransmissions benefit from chase
+//! combining, modelled as an effective-SINR gain per accumulated copy — this
+//! is what makes a first retransmission succeed with high probability and
+//! produces the "+10 ms per HARQ round" delay signature of Fig. 17.
+
+use super::mcs::sinr_required_db;
+
+/// Decode threshold offset: at the selection point (SINR = requirement) the
+/// failure probability is ≈ the 10 % BLER target.
+const THRESHOLD_BACKOFF_DB: f64 = 1.8;
+/// Logistic slope (dB); smaller = sharper waterfall.
+const WATERFALL_SCALE_DB: f64 = 0.8;
+/// Effective SINR gain per accumulated HARQ copy (chase combining).
+const COMBINING_GAIN_DB: f64 = 3.0;
+
+/// Probability that a TB at `mcs` fails decoding at `sinr_db` on HARQ
+/// attempt `retx_idx` (0 = initial transmission).
+pub fn fail_probability(sinr_db: f64, mcs: u8, retx_idx: u8) -> f64 {
+    let effective = sinr_db + COMBINING_GAIN_DB * retx_idx as f64;
+    let threshold = sinr_required_db(mcs) - THRESHOLD_BACKOFF_DB;
+    1.0 / (1.0 + ((effective - threshold) / WATERFALL_SCALE_DB).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bler_near_target_at_selection_point() {
+        for mcs in [0u8, 9, 16, 28] {
+            let p = fail_probability(sinr_required_db(mcs), mcs, 0);
+            assert!((0.05..0.20).contains(&p), "mcs {mcs}: {p}");
+        }
+    }
+
+    #[test]
+    fn bler_waterfall() {
+        let mcs = 10;
+        let req = sinr_required_db(mcs);
+        assert!(fail_probability(req + 5.0, mcs, 0) < 0.01);
+        assert!(fail_probability(req - 5.0, mcs, 0) > 0.95);
+    }
+
+    #[test]
+    fn retransmissions_help() {
+        let mcs = 15;
+        let sinr = sinr_required_db(mcs) - 2.0; // marginal channel
+        let p0 = fail_probability(sinr, mcs, 0);
+        let p1 = fail_probability(sinr, mcs, 1);
+        let p2 = fail_probability(sinr, mcs, 2);
+        assert!(p1 < p0 && p2 < p1);
+        assert!(p2 < 0.1, "two combines should almost always decode: {p2}");
+    }
+
+    proptest! {
+        /// Failure probability is a valid probability, decreasing in SINR
+        /// and in retransmission index.
+        #[test]
+        fn prop_fail_probability_sane(sinr in -30.0f64..50.0, mcs in 0u8..=28, retx in 0u8..4) {
+            let p = fail_probability(sinr, mcs, retx);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(fail_probability(sinr + 1.0, mcs, retx) <= p);
+            prop_assert!(fail_probability(sinr, mcs, retx + 1) <= p);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Modulation and Coding Scheme table (3GPP TS 38.214 Table 5.1.3.1-1,
+//! 64-QAM table) and MCS selection with outer-loop link adaptation.
+//!
+//! The achievable physical-layer bit rate of a UE is primarily determined by
+//! the MCS, "selected based on the UE's wireless channel conditions" (paper
+//! §5.1). We model the gNB's inner-loop selection as a SINR-threshold rule
+//! derived from the Shannon capacity with an implementation-efficiency gap,
+//! plus an outer loop that trims an offset to hold the block-error-rate
+//! target, as production schedulers do.
+
+/// One row of the MCS table: modulation order and code rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McsEntry {
+    /// Bits per modulation symbol (2 = QPSK, 4 = 16QAM, 6 = 64QAM).
+    pub qm: u8,
+    /// Code rate × 1024, as specified.
+    pub rate_x1024: u16,
+}
+
+impl McsEntry {
+    /// Code rate as a fraction.
+    pub fn code_rate(&self) -> f64 {
+        self.rate_x1024 as f64 / 1024.0
+    }
+
+    /// Spectral efficiency in information bits per resource element.
+    pub fn spectral_efficiency(&self) -> f64 {
+        self.qm as f64 * self.code_rate()
+    }
+}
+
+/// TS 38.214 Table 5.1.3.1-1 (MCS index table 1 for PDSCH), indices 0–28.
+pub const MCS_TABLE: [McsEntry; 29] = [
+    McsEntry { qm: 2, rate_x1024: 120 },
+    McsEntry { qm: 2, rate_x1024: 157 },
+    McsEntry { qm: 2, rate_x1024: 193 },
+    McsEntry { qm: 2, rate_x1024: 251 },
+    McsEntry { qm: 2, rate_x1024: 308 },
+    McsEntry { qm: 2, rate_x1024: 379 },
+    McsEntry { qm: 2, rate_x1024: 449 },
+    McsEntry { qm: 2, rate_x1024: 526 },
+    McsEntry { qm: 2, rate_x1024: 602 },
+    McsEntry { qm: 2, rate_x1024: 679 },
+    McsEntry { qm: 4, rate_x1024: 340 },
+    McsEntry { qm: 4, rate_x1024: 378 },
+    McsEntry { qm: 4, rate_x1024: 434 },
+    McsEntry { qm: 4, rate_x1024: 490 },
+    McsEntry { qm: 4, rate_x1024: 553 },
+    McsEntry { qm: 4, rate_x1024: 616 },
+    McsEntry { qm: 4, rate_x1024: 658 },
+    McsEntry { qm: 6, rate_x1024: 438 },
+    McsEntry { qm: 6, rate_x1024: 466 },
+    McsEntry { qm: 6, rate_x1024: 517 },
+    McsEntry { qm: 6, rate_x1024: 567 },
+    McsEntry { qm: 6, rate_x1024: 616 },
+    McsEntry { qm: 6, rate_x1024: 666 },
+    McsEntry { qm: 6, rate_x1024: 719 },
+    McsEntry { qm: 6, rate_x1024: 772 },
+    McsEntry { qm: 6, rate_x1024: 822 },
+    McsEntry { qm: 6, rate_x1024: 873 },
+    McsEntry { qm: 6, rate_x1024: 910 },
+    McsEntry { qm: 6, rate_x1024: 948 },
+];
+
+/// Highest valid MCS index.
+pub const MAX_MCS: u8 = 28;
+
+/// Implementation efficiency relative to Shannon capacity used to derive the
+/// per-MCS SINR requirement; 0.75 is a common link-level abstraction value.
+const SHANNON_EFFICIENCY: f64 = 0.75;
+
+/// SINR (dB) at which MCS `mcs` achieves roughly the 10 % BLER target.
+///
+/// Derived by inverting `SE = η · log2(1 + SINR)`.
+pub fn sinr_required_db(mcs: u8) -> f64 {
+    let se = MCS_TABLE[mcs as usize].spectral_efficiency();
+    let snr_linear = 2f64.powf(se / SHANNON_EFFICIENCY) - 1.0;
+    10.0 * snr_linear.log10()
+}
+
+/// Inner-loop MCS selection: the highest MCS whose SINR requirement is met by
+/// `sinr_db + olla_offset_db + margin_db`, clamped to `cap`.
+///
+/// `margin_db` < 0 models the conservative UL selection strategy the paper
+/// observes on the Amarisoft cell (§5.1.1: "the cell's conservative UL MCS
+/// selection strategy").
+pub fn select_mcs(sinr_db: f64, olla_offset_db: f64, margin_db: f64, cap: u8) -> u8 {
+    let effective = sinr_db + olla_offset_db + margin_db;
+    let cap = cap.min(MAX_MCS);
+    let mut best = 0u8;
+    for mcs in 0..=cap {
+        if sinr_required_db(mcs) <= effective {
+            best = mcs;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Outer-loop link adaptation: walks an SINR offset so that the realised
+/// BLER converges to `bler_target`.
+#[derive(Debug, Clone)]
+pub struct OuterLoop {
+    offset_db: f64,
+    step_down_db: f64,
+    step_up_db: f64,
+    min_db: f64,
+    max_db: f64,
+}
+
+impl OuterLoop {
+    /// Creates an outer loop for the given BLER target with the conventional
+    /// asymmetric steps (`up = down · target/(1-target)`).
+    pub fn new(bler_target: f64, step_down_db: f64) -> Self {
+        assert!((0.0..1.0).contains(&bler_target) && bler_target > 0.0);
+        OuterLoop {
+            offset_db: 0.0,
+            step_down_db,
+            step_up_db: step_down_db * bler_target / (1.0 - bler_target),
+            min_db: -10.0,
+            max_db: 3.0,
+        }
+    }
+
+    /// Current offset applied to the measured SINR.
+    pub fn offset_db(&self) -> f64 {
+        self.offset_db
+    }
+
+    /// Feeds the outcome of an *initial* HARQ transmission.
+    pub fn observe(&mut self, decoded_ok: bool) {
+        if decoded_ok {
+            self.offset_db = (self.offset_db + self.step_up_db).min(self.max_db);
+        } else {
+            self.offset_db = (self.offset_db - self.step_down_db).max(self.min_db);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_spot_values() {
+        // Spot-check against TS 38.214 Table 5.1.3.1-1.
+        assert_eq!(MCS_TABLE[0], McsEntry { qm: 2, rate_x1024: 120 });
+        assert_eq!(MCS_TABLE[9], McsEntry { qm: 2, rate_x1024: 679 });
+        assert_eq!(MCS_TABLE[10], McsEntry { qm: 4, rate_x1024: 340 });
+        assert_eq!(MCS_TABLE[16], McsEntry { qm: 4, rate_x1024: 658 });
+        assert_eq!(MCS_TABLE[17], McsEntry { qm: 6, rate_x1024: 438 });
+        assert_eq!(MCS_TABLE[28], McsEntry { qm: 6, rate_x1024: 948 });
+    }
+
+    #[test]
+    fn spectral_efficiency_monotone() {
+        // The real table has one known dip at the 16QAM→64QAM boundary
+        // (index 16→17: 2.5703 vs 2.5664); everywhere else SE increases.
+        for (i, w) in MCS_TABLE.windows(2).enumerate() {
+            if i == 16 {
+                assert!((w[1].spectral_efficiency() - w[0].spectral_efficiency()).abs() < 0.01);
+            } else {
+                assert!(w[1].spectral_efficiency() > w[0].spectral_efficiency(), "at {i}");
+            }
+        }
+        assert!((MCS_TABLE[28].spectral_efficiency() - 5.5547).abs() < 0.001);
+    }
+
+    #[test]
+    fn sinr_requirement_range() {
+        // QPSK rate-0.117 decodes well below 0 dB; MCS 28 needs ~20+ dB.
+        assert!(sinr_required_db(0) < -4.0);
+        assert!(sinr_required_db(28) > 18.0);
+        for mcs in 1..=MAX_MCS {
+            // Same known non-monotonicity at 16→17 as spectral efficiency.
+            if mcs == 17 {
+                assert!((sinr_required_db(17) - sinr_required_db(16)).abs() < 0.1);
+            } else {
+                assert!(sinr_required_db(mcs) > sinr_required_db(mcs - 1), "at {mcs}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_monotone_in_sinr() {
+        let mut last = 0;
+        for s in -10..30 {
+            let m = select_mcs(s as f64, 0.0, 0.0, MAX_MCS);
+            assert!(m >= last);
+            last = m;
+        }
+        assert_eq!(select_mcs(100.0, 0.0, 0.0, MAX_MCS), MAX_MCS);
+        assert_eq!(select_mcs(-100.0, 0.0, 0.0, MAX_MCS), 0);
+    }
+
+    #[test]
+    fn selection_respects_cap_and_margin() {
+        assert_eq!(select_mcs(40.0, 0.0, 0.0, 12), 12);
+        let unmargined = select_mcs(12.0, 0.0, 0.0, MAX_MCS);
+        let margined = select_mcs(12.0, 0.0, -4.0, MAX_MCS);
+        assert!(margined < unmargined);
+    }
+
+    #[test]
+    fn outer_loop_tracks_target() {
+        let mut ol = OuterLoop::new(0.1, 0.5);
+        // 50% NACKs: way above target, offset must fall.
+        for i in 0..100 {
+            ol.observe(i % 2 == 0);
+        }
+        assert!(ol.offset_db() < -5.0);
+        // All ACKs: offset recovers toward max.
+        for _ in 0..2000 {
+            ol.observe(true);
+        }
+        assert!(ol.offset_db() > 2.0);
+    }
+
+    proptest! {
+        /// The selected MCS never requires more SINR than available.
+        #[test]
+        fn prop_selection_feasible(sinr in -20.0f64..40.0, margin in -6.0f64..0.0) {
+            let m = select_mcs(sinr, 0.0, margin, MAX_MCS);
+            if m > 0 {
+                prop_assert!(sinr_required_db(m) <= sinr + margin);
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The four 5G cells of the paper's testbed (Table 1), as simulator
+//! configurations, plus the wired/Wi-Fi baseline paths.
+//!
+//! | Cell | Type | Carrier | BW | Duplex | Character |
+//! |---|---|---|---|---|---|
+//! | T-Mobile 1 | public | 622.85 MHz | 15 MHz | FDD | heavily utilised; DL cross traffic; RRC transitions |
+//! | T-Mobile 2 | public | 2506.95 MHz | 100 MHz | TDD | wide carrier, moderate load |
+//! | Amarisoft | private | 3547.20 MHz | 20 MHz | TDD | persistent poor UL channel, conservative UL MCS; gNB logs |
+//! | Mosolabs | private | 3630.72 MHz | 20 MHz | TDD | proactive UL grants |
+
+use ran_sim::{
+    CellConfig, ChannelConfig, CrossTrafficConfig, FrameStructure, MacConfig,
+    ProactiveGrantConfig, RrcConfig,
+};
+use simcore::SimDuration;
+use telemetry::CellClass;
+
+/// T-Mobile 15 MHz FDD low-band cell (n71, 622.85 MHz).
+///
+/// The paper's most problematic cell: narrow carrier, heavy asymmetric DL
+/// cross traffic (§5.1.2), and intermittent RRC releases during active
+/// transfer (§5.3).
+pub fn tmobile_fdd_15mhz() -> CellConfig {
+    CellConfig {
+        name: "T-Mobile 15 MHz FDD".to_string(),
+        class: CellClass::Commercial,
+        carrier_mhz: 622.85,
+        bandwidth_mhz: 15.0,
+        frame: FrameStructure::fdd(SimDuration::from_millis(1)),
+        mac: MacConfig {
+            n_prbs: 79, // 15 MHz @ 15 kHz SCS
+            harq_rtt: SimDuration::from_millis(8),
+            sr_period: SimDuration::from_millis(5),
+            grant_pipeline_slots: 8,
+            rlc_status_delay: SimDuration::from_millis(60),
+            ..Default::default()
+        },
+        ul_channel: ChannelConfig {
+            base_sinr_db: 16.0,
+            shadow_sigma_db: 2.5,
+            fade_every: Some(SimDuration::from_secs(15)),
+            fade_depth_db: 14.0,
+            fade_duration: SimDuration::from_millis(900),
+            ..Default::default()
+        },
+        dl_channel: ChannelConfig {
+            base_sinr_db: 19.0,
+            shadow_sigma_db: 2.0,
+            fade_every: Some(SimDuration::from_secs(20)),
+            fade_depth_db: 12.0,
+            ..Default::default()
+        },
+        ul_cross: CrossTrafficConfig::moderate(),
+        dl_cross: CrossTrafficConfig::heavy(),
+        rrc: RrcConfig {
+            // Intermittent; when active, up to 3–4/min (§5.3). A mean of
+            // 30 s gives ≈2/min, between the quiet and bursty regimes.
+            random_release_every: Some(SimDuration::from_secs(30)),
+            ..Default::default()
+        },
+        has_gnb_log: false,
+        gnb_buffer_sample_every: SimDuration::from_millis(5),
+    }
+}
+
+/// T-Mobile 100 MHz TDD mid-band cell (n41, 2506.95 MHz).
+pub fn tmobile_tdd_100mhz() -> CellConfig {
+    CellConfig {
+        name: "T-Mobile 100 MHz TDD".to_string(),
+        class: CellClass::Commercial,
+        carrier_mhz: 2506.95,
+        bandwidth_mhz: 100.0,
+        frame: FrameStructure::tdd(SimDuration::from_micros(500), "DDDSU"),
+        mac: MacConfig {
+            n_prbs: 273, // 100 MHz @ 30 kHz SCS
+            harq_rtt: SimDuration::from_millis(8),
+            sr_period: SimDuration::from_millis(5),
+            grant_pipeline_slots: 10,
+            rlc_status_delay: SimDuration::from_millis(55),
+            ..Default::default()
+        },
+        ul_channel: ChannelConfig {
+            base_sinr_db: 17.0,
+            shadow_sigma_db: 2.5,
+            fade_every: Some(SimDuration::from_secs(40)),
+            fade_depth_db: 12.0,
+            ..Default::default()
+        },
+        dl_channel: ChannelConfig {
+            base_sinr_db: 21.0,
+            shadow_sigma_db: 2.0,
+            fade_every: Some(SimDuration::from_secs(45)),
+            fade_depth_db: 10.0,
+            ..Default::default()
+        },
+        ul_cross: CrossTrafficConfig::light(),
+        dl_cross: CrossTrafficConfig::moderate(),
+        rrc: RrcConfig::default(), // no anomalous releases on this cell
+        has_gnb_log: false,
+        gnb_buffer_sample_every: SimDuration::from_millis(5),
+    }
+}
+
+/// Amarisoft Callbox private CBRS cell (n78, 3547.20 MHz, 20 MHz TDD).
+///
+/// Persistent poor uplink channel and conservative UL MCS selection
+/// (§5.1.1, Fig. 12); gNB logs available, so RLC events are observable.
+pub fn amarisoft() -> CellConfig {
+    CellConfig {
+        name: "Amarisoft".to_string(),
+        class: CellClass::Private,
+        carrier_mhz: 3547.20,
+        bandwidth_mhz: 20.0,
+        frame: FrameStructure::tdd(SimDuration::from_micros(500), "DDDSU"),
+        mac: MacConfig {
+            n_prbs: 51, // 20 MHz @ 30 kHz SCS
+            harq_rtt: SimDuration::from_millis(10), // Fig. 17: +10 ms per round
+            sr_period: SimDuration::from_millis(5),
+            grant_pipeline_slots: 8,
+            rlc_status_delay: SimDuration::from_millis(60), // Fig. 18: ≈105 ms total
+            mcs_cap_ul: 12,     // conservative UL MCS strategy
+            margin_db_ul: -3.0, // extra UL selection margin
+            ..Default::default()
+        },
+        ul_channel: ChannelConfig {
+            base_sinr_db: 9.0, // persistently poor UL
+            shadow_sigma_db: 3.0,
+            fade_every: Some(SimDuration::from_secs(12)),
+            fade_depth_db: 10.0,
+            fade_duration: SimDuration::from_millis(900),
+            ..Default::default()
+        },
+        dl_channel: ChannelConfig {
+            base_sinr_db: 22.0,
+            shadow_sigma_db: 1.5,
+            fade_every: Some(SimDuration::from_secs(60)),
+            fade_depth_db: 8.0,
+            ..Default::default()
+        },
+        ul_cross: CrossTrafficConfig::quiet(),
+        dl_cross: CrossTrafficConfig::light(),
+        rrc: RrcConfig::default(),
+        has_gnb_log: true,
+        gnb_buffer_sample_every: SimDuration::from_millis(2),
+    }
+}
+
+/// Mosolabs Canopy private CBRS cell (n78, 3630.72 MHz, 20 MHz TDD).
+///
+/// Uses proactive UL grants (Fig. 16); per Table 1 its gNB log feed was not
+/// captured, so RLC events are invisible to the detector here too.
+pub fn mosolabs() -> CellConfig {
+    CellConfig {
+        name: "Mosolabs".to_string(),
+        class: CellClass::Private,
+        carrier_mhz: 3630.72,
+        bandwidth_mhz: 20.0,
+        frame: FrameStructure::tdd(SimDuration::from_micros(500), "DDDSU"),
+        mac: MacConfig {
+            n_prbs: 51,
+            harq_rtt: SimDuration::from_millis(10),
+            sr_period: SimDuration::from_millis(5),
+            grant_pipeline_slots: 8,
+            rlc_status_delay: SimDuration::from_millis(55),
+            proactive_grant: Some(ProactiveGrantConfig {
+                period: SimDuration::from_millis(5),
+                bytes: 900,
+            }),
+            ..Default::default()
+        },
+        ul_channel: ChannelConfig {
+            base_sinr_db: 15.0,
+            shadow_sigma_db: 2.5,
+            fade_every: Some(SimDuration::from_secs(20)),
+            fade_depth_db: 11.0,
+            ..Default::default()
+        },
+        dl_channel: ChannelConfig {
+            base_sinr_db: 21.0,
+            shadow_sigma_db: 2.0,
+            fade_every: Some(SimDuration::from_secs(50)),
+            fade_depth_db: 9.0,
+            ..Default::default()
+        },
+        ul_cross: CrossTrafficConfig::quiet(),
+        dl_cross: CrossTrafficConfig::light(),
+        rrc: RrcConfig::default(),
+        has_gnb_log: false,
+        gnb_buffer_sample_every: SimDuration::from_millis(5),
+    }
+}
+
+/// All four cells in Table 1 order.
+pub fn all_cells() -> Vec<CellConfig> {
+    vec![tmobile_fdd_15mhz(), tmobile_tdd_100mhz(), amarisoft(), mosolabs()]
+}
+
+/// The T-Mobile FDD cell with all ambient randomness (fades, cross-traffic
+/// bursts, spontaneous RRC releases) disabled, for scripted trace figures
+/// where exactly one mechanism must be visible (Figs. 13, 14b, 19).
+pub fn tmobile_fdd_15mhz_quiet() -> CellConfig {
+    let mut cfg = tmobile_fdd_15mhz();
+    cfg.name = "T-Mobile 15 MHz FDD (quiet)".to_string();
+    cfg.ul_channel.fade_every = None;
+    cfg.dl_channel.fade_every = None;
+    cfg.ul_cross = CrossTrafficConfig::quiet();
+    cfg.dl_cross = CrossTrafficConfig::quiet();
+    cfg.rrc.random_release_every = None;
+    cfg
+}
+
+/// The Amarisoft cell with a healthy uplink and no ambient events, so a
+/// scripted HARQ/RLC failure is the only impairment in the trace
+/// (Figs. 17, 18).
+pub fn amarisoft_ideal() -> CellConfig {
+    let mut cfg = amarisoft();
+    cfg.name = "Amarisoft (ideal channel)".to_string();
+    cfg.ul_channel.base_sinr_db = 22.0;
+    cfg.ul_channel.fade_every = None;
+    cfg.ul_channel.shadow_sigma_db = 0.5;
+    cfg.dl_channel.fade_every = None;
+    cfg.mac.mcs_cap_ul = 28;
+    cfg.mac.margin_db_ul = 0.0;
+    cfg.ul_cross = CrossTrafficConfig::quiet();
+    cfg.dl_cross = CrossTrafficConfig::quiet();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Duplexing;
+
+    #[test]
+    fn four_cells_match_table1() {
+        let cells = all_cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].frame.duplexing, Duplexing::Fdd);
+        assert_eq!(cells[1].frame.duplexing, Duplexing::Tdd);
+        assert_eq!(cells[1].mac.n_prbs, 273);
+        assert!(cells[2].has_gnb_log, "Amarisoft has gNB logs");
+        assert!(!cells[3].has_gnb_log, "Mosolabs gNB feed not captured");
+        assert!(cells[3].mac.proactive_grant.is_some());
+        assert!(cells[2].mac.mcs_cap_ul < 28, "conservative UL MCS");
+    }
+
+    #[test]
+    fn commercial_cells_hide_gnb_logs() {
+        assert!(!tmobile_fdd_15mhz().has_gnb_log);
+        assert!(!tmobile_tdd_100mhz().has_gnb_log);
+    }
+
+    #[test]
+    fn only_fdd_cell_has_rrc_releases() {
+        assert!(tmobile_fdd_15mhz().rrc.random_release_every.is_some());
+        assert!(tmobile_tdd_100mhz().rrc.random_release_every.is_none());
+        assert!(amarisoft().rrc.random_release_every.is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # scenarios — testbed configurations and the session engine
+//!
+//! Reconstructs the paper's experimental setups:
+//!
+//! * [`cells`] — the four 5G cells of Table 1 as `ran-sim` configurations.
+//! * [`session`] — the two-party WebRTC call engine (Fig. 7): UE client ↔
+//!   access network ↔ core ↔ transit ↔ wired peer, with full cross-layer
+//!   trace collection into a [`telemetry::TraceBundle`].
+//! * [`zoom_campus`] — the synthetic stand-in for the proprietary campus
+//!   Zoom QSS dataset (§2.2, Figs. 5–6).
+
+pub mod cells;
+pub mod session;
+pub mod zoom_campus;
+
+pub use cells::{
+    all_cells, amarisoft, amarisoft_ideal, mosolabs, tmobile_fdd_15mhz, tmobile_fdd_15mhz_quiet,
+    tmobile_tdd_100mhz,
+};
+pub use session::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+pub use zoom_campus::{generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord};

@@ -1,0 +1,425 @@
+//! The two-party session engine: couples two WebRTC endpoints through an
+//! access network (5G cell or wired/Wi-Fi baseline) and the non-RAN path
+//! segments, collecting the full cross-layer [`TraceBundle`].
+//!
+//! Mirrors the paper's experimental setup (Fig. 7): the UE-side client "A"
+//! reaches the peer through the access network, a core segment, and a
+//! transit segment; the peer "B" is a wired host (GCP for commercial cells,
+//! a local server for private cells). Both media and RTCP feedback traverse
+//! the network in both directions, so feedback-path impairments (Fig. 22)
+//! arise naturally.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
+use telemetry::{
+    Direction, PacketRecord, SessionMeta, StreamKind, TraceBundle,
+};
+
+use netpath::{PathConfig, PathModel};
+use ran_sim::{CellConfig, CellSim};
+use rtc_sim::{OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig};
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Call duration.
+    pub duration: SimDuration,
+    /// Master seed; all component streams derive from it.
+    pub seed: u64,
+    /// UE-side sender configuration.
+    pub ue_sender: SenderConfig,
+    /// Wired-side sender configuration.
+    pub wired_sender: SenderConfig,
+    /// App-stats sampling interval (the paper's client: 50 ms).
+    pub stats_interval: SimDuration,
+    /// Engine tick granularity.
+    pub tick: SimDuration,
+    /// Path between the core/access egress and the peer (WAN for
+    /// commercial cells, local subnet for private cells).
+    pub peer_path: PathConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            duration: SimDuration::from_secs(60),
+            seed: 42,
+            ue_sender: SenderConfig::default(),
+            wired_sender: SenderConfig::default(),
+            stats_interval: SimDuration::from_millis(50),
+            tick: SimDuration::from_millis(1),
+            peer_path: PathConfig::wired_wan(),
+        }
+    }
+}
+
+/// Baseline (non-cellular) access types for the §2 comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineAccess {
+    /// Campus wired Ethernet.
+    Wired,
+    /// Campus Wi-Fi.
+    Wifi,
+}
+
+enum AccessSim {
+    Cell(Box<CellSim>),
+    Direct { ul: PathModel, dl: PathModel, rng_ul: StdRng, rng_dl: StdRng, out: Vec<(u64, Direction, SimTime)> },
+}
+
+impl AccessSim {
+    fn enqueue(&mut self, now: SimTime, dir: Direction, id: u64, size: u32) {
+        match self {
+            AccessSim::Cell(cell) => cell.enqueue(now, dir, id, size),
+            AccessSim::Direct { ul, dl, rng_ul, rng_dl, out } => {
+                let arrival = match dir {
+                    Direction::Uplink => ul.traverse(now, size, rng_ul),
+                    Direction::Downlink => dl.traverse(now, size, rng_dl),
+                };
+                if let Some(at) = arrival {
+                    out.push((id, dir, at));
+                }
+                // Lost packets simply never come out.
+            }
+        }
+    }
+
+    fn poll(&mut self, now: SimTime) {
+        if let AccessSim::Cell(cell) = self {
+            cell.poll(now);
+        }
+    }
+
+    fn drain_deliveries(&mut self) -> Vec<(u64, Direction, SimTime)> {
+        match self {
+            AccessSim::Cell(cell) => cell
+                .drain_deliveries()
+                .into_iter()
+                .map(|d| (d.id, d.direction, d.delivered_at))
+                .collect(),
+            AccessSim::Direct { out, .. } => std::mem::take(out),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteEvent {
+    /// Reached the wired peer's NIC.
+    ArriveAtPeer(u64),
+    /// Reached the UE client's stack.
+    ArriveAtUe(u64),
+    /// Reached the gNB / access ingress for the downlink.
+    EnqueueDownlink(u64),
+}
+
+struct Pending {
+    record_idx: usize,
+    payload: PacketPayload,
+    sent: SimTime,
+    size: u32,
+}
+
+/// Runs a session over a 5G cell. `script` can install scripted overrides
+/// (forced fades, cross-traffic windows, HARQ failures, RRC releases) on
+/// the cell before the call starts.
+pub fn run_cell_session(
+    cell_cfg: CellConfig,
+    cfg: &SessionConfig,
+    script: impl FnOnce(&mut CellSim),
+) -> TraceBundle {
+    let meta = SessionMeta {
+        cell_name: cell_cfg.name.clone(),
+        cell_class: cell_cfg.class,
+        carrier_mhz: cell_cfg.carrier_mhz,
+        bandwidth_mhz: cell_cfg.bandwidth_mhz,
+        duplexing: cell_cfg.frame.duplexing,
+        duration: cfg.duration,
+        seed: cfg.seed,
+        has_gnb_log: cell_cfg.has_gnb_log,
+    };
+    let mut cell = CellSim::new(cell_cfg, cfg.seed);
+    script(&mut cell);
+    let access = AccessSim::Cell(Box::new(cell));
+    run(access, Some(PathConfig::core_network()), meta, cfg)
+}
+
+/// Runs a baseline (wired or Wi-Fi) session for the §2 comparisons.
+pub fn run_baseline_session(access: BaselineAccess, cfg: &SessionConfig) -> TraceBundle {
+    let (name, path) = match access {
+        BaselineAccess::Wired => ("Wired baseline", PathConfig::wired_lan()),
+        BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
+    };
+    let meta = SessionMeta::baseline(name, cfg.duration, cfg.seed);
+    let sim = AccessSim::Direct {
+        ul: PathModel::new(path.clone()),
+        dl: PathModel::new(path),
+        rng_ul: rng_for(cfg.seed, RngStream::Custom(101)),
+        rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
+        out: Vec::new(),
+    };
+    run(sim, None, meta, cfg)
+}
+
+fn run(
+    mut access: AccessSim,
+    core_path: Option<PathConfig>,
+    meta: SessionMeta,
+    cfg: &SessionConfig,
+) -> TraceBundle {
+    let mut bundle = TraceBundle::new(meta);
+    let mut a = RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11);
+    let mut b = RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12);
+
+    // Non-RAN segments, one instance per direction.
+    let mut core_ul = core_path.clone().map(PathModel::new);
+    let mut core_dl = core_path.map(PathModel::new);
+    let mut peer_ul = PathModel::new(cfg.peer_path.clone()); // egress → peer
+    let mut peer_dl = PathModel::new(cfg.peer_path.clone()); // peer → ingress
+    let mut rng_fwd = rng_for(cfg.seed, RngStream::PathForward);
+    let mut rng_rev = rng_for(cfg.seed, RngStream::PathReverse);
+
+    let mut q: EventQueue<RouteEvent> = EventQueue::new();
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut next_stats = SimTime::ZERO + cfg.stats_interval;
+
+    let ticks = cfg.duration / cfg.tick;
+    for i in 1..=ticks {
+        let now = SimTime::ZERO + cfg.tick * i;
+
+        // 1. Endpoints emit (media from senders, RTCP from receivers).
+        let from_a: Vec<OutgoingPacket> =
+            a.sender.poll(now).into_iter().chain(a.receiver.poll(now)).collect();
+        for p in from_a {
+            let id = next_id;
+            next_id += 1;
+            let record_idx = bundle.packets.len();
+            bundle.packets.push(packet_record(&p, Direction::Uplink));
+            pending.insert(
+                id,
+                Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
+            );
+            access.enqueue(p.at, Direction::Uplink, id, p.size_bytes);
+        }
+        let from_b: Vec<OutgoingPacket> =
+            b.sender.poll(now).into_iter().chain(b.receiver.poll(now)).collect();
+        for p in from_b {
+            let id = next_id;
+            next_id += 1;
+            let record_idx = bundle.packets.len();
+            bundle.packets.push(packet_record(&p, Direction::Downlink));
+            // Peer → (transit, core) → access ingress.
+            let hop1 = peer_dl.traverse(p.at, p.size_bytes, &mut rng_rev);
+            let arrival = hop1.and_then(|t| match &mut core_dl {
+                Some(core) => core.traverse(t, p.size_bytes, &mut rng_rev),
+                None => Some(t),
+            });
+            match arrival {
+                Some(at) => {
+                    pending.insert(
+                        id,
+                        Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
+                    );
+                    q.schedule(at, RouteEvent::EnqueueDownlink(id));
+                }
+                None => {} // lost before the access network; record stays unreceived
+            }
+        }
+
+        // 2. Access network advances; deliveries continue along the path.
+        access.poll(now);
+        for (id, dir, t_out) in access.drain_deliveries() {
+            match dir {
+                Direction::Uplink => {
+                    let Some(p) = pending.get(&id) else { continue };
+                    let hop1 = match &mut core_ul {
+                        Some(core) => core.traverse(t_out, p.size, &mut rng_fwd),
+                        None => Some(t_out),
+                    };
+                    let arrival =
+                        hop1.and_then(|t| peer_ul.traverse(t, p.size, &mut rng_fwd));
+                    match arrival {
+                        Some(at) => q.schedule(at, RouteEvent::ArriveAtPeer(id)),
+                        None => {
+                            pending.remove(&id); // lost in transit
+                        }
+                    }
+                }
+                Direction::Downlink => {
+                    q.schedule(t_out, RouteEvent::ArriveAtUe(id));
+                }
+            }
+        }
+
+        // 3. Due route events.
+        while let Some(ev) = q.pop_due(now) {
+            match ev.event {
+                RouteEvent::EnqueueDownlink(id) => {
+                    if let Some(p) = pending.get(&id) {
+                        let size = p.size;
+                        access.enqueue(ev.at, Direction::Downlink, id, size);
+                    }
+                }
+                RouteEvent::ArriveAtPeer(id) => {
+                    deliver(&mut pending, &mut bundle, id, ev.at, &mut b);
+                }
+                RouteEvent::ArriveAtUe(id) => {
+                    deliver(&mut pending, &mut bundle, id, ev.at, &mut a);
+                }
+            }
+        }
+
+        // 4. 50 ms app-stats sampling on both clients.
+        if now >= next_stats {
+            bundle.app_local.push(a.sample_stats(now));
+            bundle.app_remote.push(b.sample_stats(now));
+            next_stats = next_stats + cfg.stats_interval;
+        }
+    }
+
+    // Collect RAN telemetry.
+    if let AccessSim::Cell(cell) = &mut access {
+        bundle.dci = cell.drain_dci();
+        bundle.gnb = cell.drain_gnb();
+    }
+    bundle.sort();
+    bundle
+}
+
+fn deliver(
+    pending: &mut HashMap<u64, Pending>,
+    bundle: &mut TraceBundle,
+    id: u64,
+    at: SimTime,
+    endpoint: &mut RtcEndpoint,
+) {
+    let Some(p) = pending.remove(&id) else { return };
+    bundle.packets[p.record_idx].received = Some(at);
+    match &p.payload {
+        PacketPayload::Video { .. } | PacketPayload::Audio { .. } => {
+            let seq = bundle.packets[p.record_idx].seq;
+            endpoint.receiver.on_packet(at, seq, p.sent, &p.payload);
+        }
+        PacketPayload::Feedback(fb) => endpoint.sender.on_transport_feedback(at, fb),
+        PacketPayload::Report(rr) => endpoint.sender.on_receiver_report(at, rr),
+    }
+}
+
+fn packet_record(p: &OutgoingPacket, dir: Direction) -> PacketRecord {
+    PacketRecord {
+        sent: p.at,
+        received: None,
+        direction: dir,
+        stream: p.payload.stream(),
+        seq: if p.payload.stream() == StreamKind::Rtcp { 0 } else { p.transport_seq },
+        size_bytes: p.size_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+
+    fn short_cfg(seed: u64) -> SessionConfig {
+        SessionConfig {
+            duration: SimDuration::from_secs(15),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_wired_session_is_clean() {
+        let b = run_baseline_session(BaselineAccess::Wired, &short_cfg(1));
+        assert!(b.is_sorted());
+        assert!(b.packets.len() > 1_000, "packets {}", b.packets.len());
+        assert!(b.dci.is_empty());
+        // Media should flow with sub-5 ms one-way delay on wired LAN.
+        let delays: Vec<f64> = b
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink && p.stream == StreamKind::Video)
+            .filter_map(|p| p.one_way_delay())
+            .map(|d| d.as_millis_f64())
+            .collect();
+        assert!(!delays.is_empty());
+        // LAN access (~0.4 ms) + WAN transit (~3 ms) + jitter.
+        let cdf = telemetry::Cdf::from_samples(delays);
+        assert!(cdf.median().unwrap() < 8.0, "median {:?}", cdf.median());
+        // Both clients produced stats at 50 ms cadence.
+        assert!(b.app_local.len() > 250);
+        let last = b.app_local.last().unwrap();
+        assert!(last.total_audio_samples > 0);
+    }
+
+    #[test]
+    fn cell_session_produces_full_bundle() {
+        let b = run_cell_session(cells::amarisoft(), &short_cfg(2), |_| {});
+        assert!(b.is_sorted());
+        assert!(!b.dci.is_empty(), "cell sessions must emit DCI telemetry");
+        assert!(!b.gnb.is_empty(), "Amarisoft emits gNB logs");
+        assert!(b.meta.has_gnb_log);
+        // Media flows in both directions.
+        let ul_media = b
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink && p.stream != StreamKind::Rtcp)
+            .count();
+        let dl_media = b
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink && p.stream != StreamKind::Rtcp)
+            .count();
+        assert!(ul_media > 500, "ul {ul_media}");
+        assert!(dl_media > 500, "dl {dl_media}");
+        // Most packets get delivered (RLC is reliable; only path loss drops).
+        let delivered = b.packets.iter().filter(|p| p.received.is_some()).count();
+        assert!(delivered as f64 > 0.95 * b.packets.len() as f64);
+    }
+
+    #[test]
+    fn commercial_cell_hides_gnb_log() {
+        let b = run_cell_session(cells::tmobile_tdd_100mhz(), &short_cfg(3), |_| {});
+        assert!(b.gnb.is_empty());
+        assert!(!b.meta.has_gnb_log);
+    }
+
+    #[test]
+    fn cellular_delay_exceeds_wired() {
+        let cfg = short_cfg(4);
+        let cell = run_cell_session(cells::tmobile_fdd_15mhz(), &cfg, |_| {});
+        let wired = run_baseline_session(BaselineAccess::Wired, &cfg);
+        let med = |b: &TraceBundle, dir| {
+            let d: Vec<f64> = b
+                .packets
+                .iter()
+                .filter(|p| p.direction == dir && p.stream != StreamKind::Rtcp)
+                .filter_map(|p| p.one_way_delay())
+                .map(|d| d.as_millis_f64())
+                .collect();
+            telemetry::Cdf::from_samples(d).median().unwrap()
+        };
+        let cell_ul = med(&cell, Direction::Uplink);
+        let wired_ul = med(&wired, Direction::Uplink);
+        assert!(
+            cell_ul > 3.0 * wired_ul,
+            "5G UL {cell_ul} ms should dominate wired {wired_ul} ms"
+        );
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let cfg = short_cfg(7);
+        let x = run_cell_session(cells::mosolabs(), &cfg, |_| {});
+        let y = run_cell_session(cells::mosolabs(), &cfg, |_| {});
+        assert_eq!(x.packets.len(), y.packets.len());
+        assert_eq!(x.dci.len(), y.dci.len());
+        for (p, q) in x.packets.iter().zip(&y.packets) {
+            assert_eq!(p.sent, q.sent);
+            assert_eq!(p.received, q.received);
+        }
+    }
+}

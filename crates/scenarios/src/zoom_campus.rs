@@ -1,0 +1,184 @@
+//! Synthetic organisation-wide Zoom QoS dataset (paper §2.2).
+//!
+//! The paper analyses one week of campus Zoom QSS exports — per-participant,
+//! per-minute QoS records tagged with the access-network type (409 days of
+//! Wi-Fi, 86 days of wired, 165 hours of cellular data in total). That data
+//! is proprietary; this generator produces records whose *marginal
+//! distributions* carry the paper's findings: cellular shows consistently
+//! higher network jitter (Fig. 5) and packet loss (Fig. 6) than Wi-Fi and
+//! wired, with heavy upper tails.
+
+use rand::Rng;
+use simcore::dist::log_normal;
+use simcore::{rng_for, RngStream};
+
+/// Access-network type reported by the Zoom dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Wired Ethernet.
+    Wired,
+    /// Wi-Fi.
+    Wifi,
+    /// Any cellular generation (3G/4G/5G — the dashboard does not say).
+    Cellular,
+}
+
+impl AccessType {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessType::Wired => "Wired",
+            AccessType::Wifi => "Wifi",
+            AccessType::Cellular => "Cellular",
+        }
+    }
+}
+
+/// One per-minute QoS record of one meeting participant.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoomQosRecord {
+    /// Access network the participant used.
+    pub access: AccessType,
+    /// Send-side (outbound) network jitter in ms.
+    pub outbound_jitter_ms: f64,
+    /// Receive-side (inbound) network jitter in ms.
+    pub inbound_jitter_ms: f64,
+    /// Send-side average packet loss, percent.
+    pub outbound_loss_pct: f64,
+    /// Receive-side average packet loss, percent.
+    pub inbound_loss_pct: f64,
+}
+
+/// Dataset volumes, in minutes of telemetry per access type.
+///
+/// Defaults follow the paper's proportions (409 d Wi-Fi : 86 d wired :
+/// 165 h cellular) scaled down ×1000 for tractable generation.
+#[derive(Debug, Clone, Copy)]
+pub struct CampusDatasetSize {
+    /// Wi-Fi minutes.
+    pub wifi_minutes: usize,
+    /// Wired minutes.
+    pub wired_minutes: usize,
+    /// Cellular minutes.
+    pub cellular_minutes: usize,
+}
+
+impl Default for CampusDatasetSize {
+    fn default() -> Self {
+        CampusDatasetSize {
+            wifi_minutes: 589, // 409 days ≈ 589k min, ×1/1000
+            wired_minutes: 124,
+            cellular_minutes: 10, // 165 h ≈ 9.9k min
+        }
+    }
+}
+
+impl CampusDatasetSize {
+    /// A larger sample for smoother CDFs (≈ ×100 the default).
+    pub fn large() -> Self {
+        CampusDatasetSize {
+            wifi_minutes: 58_900,
+            wired_minutes: 12_400,
+            cellular_minutes: 990,
+        }
+    }
+}
+
+/// Generates the synthetic campus dataset.
+pub fn generate(seed: u64, size: CampusDatasetSize) -> Vec<ZoomQosRecord> {
+    let mut rng = rng_for(seed, RngStream::CampusDataset);
+    let mut out =
+        Vec::with_capacity(size.wifi_minutes + size.wired_minutes + size.cellular_minutes);
+    for _ in 0..size.wired_minutes {
+        out.push(sample(&mut rng, AccessType::Wired));
+    }
+    for _ in 0..size.wifi_minutes {
+        out.push(sample(&mut rng, AccessType::Wifi));
+    }
+    for _ in 0..size.cellular_minutes {
+        out.push(sample(&mut rng, AccessType::Cellular));
+    }
+    out
+}
+
+fn sample<R: Rng + ?Sized>(rng: &mut R, access: AccessType) -> ZoomQosRecord {
+    // Jitter: log-normal; parameters chosen so medians/orderings match the
+    // campus CDFs (Fig. 5): wired ≈ 2–3 ms, Wi-Fi ≈ 4–5 ms, cellular ≈ 10+ ms
+    // with a long tail. Inbound (downlink) slightly lower than outbound for
+    // cellular, per the figure.
+    let (mu_out, sigma_out, mu_in, sigma_in) = match access {
+        AccessType::Wired => (1.0, 0.45, 0.9, 0.45),
+        AccessType::Wifi => (1.5, 0.55, 1.4, 0.55),
+        AccessType::Cellular => (2.4, 0.70, 2.1, 0.70),
+    };
+    // Loss: zero-inflated log-normal percentage; cellular loses far more
+    // often and far more heavily (Fig. 6).
+    let (p_loss, loss_mu, loss_sigma) = match access {
+        AccessType::Wired => (0.08, -1.2, 1.0),
+        AccessType::Wifi => (0.15, -0.9, 1.1),
+        AccessType::Cellular => (0.55, 0.3, 1.3),
+    };
+    let loss = |rng: &mut R| {
+        if rng.gen::<f64>() < p_loss {
+            log_normal(rng, loss_mu, loss_sigma).min(100.0)
+        } else {
+            0.0
+        }
+    };
+    ZoomQosRecord {
+        access,
+        outbound_jitter_ms: log_normal(rng, mu_out, sigma_out),
+        inbound_jitter_ms: log_normal(rng, mu_in, sigma_in),
+        outbound_loss_pct: loss(rng),
+        inbound_loss_pct: loss(rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Cdf;
+
+    fn cdf_of(records: &[ZoomQosRecord], access: AccessType, f: impl Fn(&ZoomQosRecord) -> f64) -> Cdf {
+        Cdf::from_samples(
+            records.iter().filter(|r| r.access == access).map(f).collect(),
+        )
+    }
+
+    #[test]
+    fn volumes_match_request() {
+        let size = CampusDatasetSize { wifi_minutes: 100, wired_minutes: 50, cellular_minutes: 25 };
+        let data = generate(1, size);
+        assert_eq!(data.len(), 175);
+        assert_eq!(data.iter().filter(|r| r.access == AccessType::Wifi).count(), 100);
+    }
+
+    #[test]
+    fn jitter_ordering_cellular_worst() {
+        let data = generate(2, CampusDatasetSize::large());
+        let med = |a| cdf_of(&data, a, |r| r.outbound_jitter_ms).median().unwrap();
+        assert!(med(AccessType::Cellular) > med(AccessType::Wifi));
+        assert!(med(AccessType::Wifi) > med(AccessType::Wired));
+    }
+
+    #[test]
+    fn loss_ordering_cellular_worst() {
+        let data = generate(3, CampusDatasetSize::large());
+        let frac_lossy = |a| {
+            let c = cdf_of(&data, a, |r| r.inbound_loss_pct);
+            1.0 - c.fraction_at_or_below(0.0)
+        };
+        assert!(frac_lossy(AccessType::Cellular) > 2.0 * frac_lossy(AccessType::Wifi));
+        assert!(frac_lossy(AccessType::Wifi) > frac_lossy(AccessType::Wired));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(9, CampusDatasetSize::default());
+        let b = generate(9, CampusDatasetSize::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outbound_jitter_ms, y.outbound_jitter_ms);
+        }
+    }
+}

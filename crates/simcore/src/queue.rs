@@ -1,0 +1,181 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over [`BinaryHeap`] that orders events by `(time, sequence)`
+//! so that events scheduled for the same instant pop in insertion order. This
+//! is the property that makes whole-session simulations replay byte-identically
+//! from a seed: `BinaryHeap` alone gives no stable order for ties.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event of type `E` scheduled for a particular instant.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "b");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(2), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]); // FIFO among equal times
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the earliest event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_millis(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "early");
+        q.schedule(SimTime::from_millis(15), "late");
+        assert_eq!(q.pop_due(SimTime::from_millis(10)).unwrap().event, "early");
+        assert!(q.pop_due(SimTime::from_millis(10)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_millis(20)).unwrap().event, "late");
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_millis(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+    }
+
+    proptest! {
+        /// Popping everything always yields a non-decreasing time sequence, and
+        /// among equal times the original insertion order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some(s) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(s.at >= lt);
+                    if s.at == lt {
+                        prop_assert!(s.event > li, "FIFO violated among ties");
+                    }
+                }
+                last = Some((s.at, s.event));
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The [`TraceBundle`]: one session's worth of correlated cross-layer
+//! telemetry, the interchange format between the simulators and Domino.
+//!
+//! All record vectors are kept sorted by timestamp; windowed access used by
+//! the sliding-window detector is `O(log n + k)` via binary search.
+
+use simcore::{SimDuration, SimTime};
+
+use crate::records::{
+    AppStatsRecord, CellClass, DciRecord, Duplexing, GnbLogRecord, PacketRecord,
+};
+
+/// Descriptive metadata of a capture session (one row of Table 1).
+#[derive(Debug, Clone)]
+pub struct SessionMeta {
+    /// Human-readable cell name, e.g. "T-Mobile 15 MHz FDD".
+    pub cell_name: String,
+    /// Public carrier or private CBRS.
+    pub cell_class: CellClass,
+    /// Carrier frequency in MHz.
+    pub carrier_mhz: f64,
+    /// Channel bandwidth in MHz.
+    pub bandwidth_mhz: f64,
+    /// FDD or TDD.
+    pub duplexing: Duplexing,
+    /// Session duration.
+    pub duration: SimDuration,
+    /// Seed the session was generated from (0 for real captures).
+    pub seed: u64,
+    /// Whether gNB-internal logs are part of the bundle (private cells).
+    pub has_gnb_log: bool,
+}
+
+impl SessionMeta {
+    /// Metadata for a non-cellular (wired/Wi-Fi) baseline session.
+    pub fn baseline(name: &str, duration: SimDuration, seed: u64) -> Self {
+        SessionMeta {
+            cell_name: name.to_string(),
+            cell_class: CellClass::Private,
+            carrier_mhz: 0.0,
+            bandwidth_mhz: 0.0,
+            duplexing: Duplexing::Fdd,
+            duration,
+            seed,
+            has_gnb_log: false,
+        }
+    }
+}
+
+/// Event counts of a bundle normalised to per-minute rates (Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRates {
+    /// DCI records per minute.
+    pub dci_per_min: f64,
+    /// gNB log records per minute.
+    pub gnb_per_min: f64,
+    /// Packet records per minute.
+    pub packets_per_min: f64,
+    /// WebRTC stats samples per minute (both clients).
+    pub webrtc_per_min: f64,
+}
+
+/// One session's correlated cross-layer telemetry.
+///
+/// `app_local` is the cellular (UE-side) client; `app_remote` the wired peer.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Session description.
+    pub meta: SessionMeta,
+    /// PHY/MAC scheduling records, sorted by time.
+    pub dci: Vec<DciRecord>,
+    /// gNB log records (empty for commercial cells), sorted by time.
+    pub gnb: Vec<GnbLogRecord>,
+    /// Packet records, sorted by send time.
+    pub packets: Vec<PacketRecord>,
+    /// 50 ms app stats of the UE-side client, sorted by time.
+    pub app_local: Vec<AppStatsRecord>,
+    /// 50 ms app stats of the wired client, sorted by time.
+    pub app_remote: Vec<AppStatsRecord>,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle with the given metadata.
+    pub fn new(meta: SessionMeta) -> Self {
+        TraceBundle {
+            meta,
+            dci: Vec::new(),
+            gnb: Vec::new(),
+            packets: Vec::new(),
+            app_local: Vec::new(),
+            app_remote: Vec::new(),
+        }
+    }
+
+    /// Sorts every record vector by timestamp. Simulators append records in
+    /// emission order which is already time-sorted, but scripted scenarios or
+    /// merged bundles may not be; detectors require sortedness.
+    pub fn sort(&mut self) {
+        self.dci.sort_by_key(|r| r.ts);
+        self.gnb.sort_by_key(|r| r.ts);
+        self.packets.sort_by_key(|r| r.sent);
+        self.app_local.sort_by_key(|r| r.ts);
+        self.app_remote.sort_by_key(|r| r.ts);
+    }
+
+    /// Verifies all record vectors are time-sorted.
+    pub fn is_sorted(&self) -> bool {
+        self.dci.windows(2).all(|w| w[0].ts <= w[1].ts)
+            && self.gnb.windows(2).all(|w| w[0].ts <= w[1].ts)
+            && self.packets.windows(2).all(|w| w[0].sent <= w[1].sent)
+            && self.app_local.windows(2).all(|w| w[0].ts <= w[1].ts)
+            && self.app_remote.windows(2).all(|w| w[0].ts <= w[1].ts)
+    }
+
+    /// End of the last record in any stream (bundle horizon).
+    pub fn horizon(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        if let Some(r) = self.dci.last() {
+            t = t.max(r.ts);
+        }
+        if let Some(r) = self.gnb.last() {
+            t = t.max(r.ts);
+        }
+        if let Some(r) = self.packets.last() {
+            t = t.max(r.received.unwrap_or(r.sent).max(r.sent));
+        }
+        if let Some(r) = self.app_local.last() {
+            t = t.max(r.ts);
+        }
+        if let Some(r) = self.app_remote.last() {
+            t = t.max(r.ts);
+        }
+        t
+    }
+
+    /// DCI records with `ts` in `[from, to)`.
+    pub fn dci_window(&self, from: SimTime, to: SimTime) -> &[DciRecord] {
+        window_by(&self.dci, from, to, |r| r.ts)
+    }
+
+    /// gNB records with `ts` in `[from, to)`.
+    pub fn gnb_window(&self, from: SimTime, to: SimTime) -> &[GnbLogRecord] {
+        window_by(&self.gnb, from, to, |r| r.ts)
+    }
+
+    /// Packets *sent* in `[from, to)`.
+    pub fn packets_window(&self, from: SimTime, to: SimTime) -> &[PacketRecord] {
+        window_by(&self.packets, from, to, |r| r.sent)
+    }
+
+    /// UE-client app samples in `[from, to)`.
+    pub fn app_local_window(&self, from: SimTime, to: SimTime) -> &[AppStatsRecord] {
+        window_by(&self.app_local, from, to, |r| r.ts)
+    }
+
+    /// Wired-client app samples in `[from, to)`.
+    pub fn app_remote_window(&self, from: SimTime, to: SimTime) -> &[AppStatsRecord] {
+        window_by(&self.app_remote, from, to, |r| r.ts)
+    }
+
+    /// Per-minute event rates (Table 1 columns).
+    pub fn event_rates(&self) -> EventRates {
+        let minutes = (self.meta.duration.as_secs_f64() / 60.0).max(1e-9);
+        EventRates {
+            dci_per_min: self.dci.len() as f64 / minutes,
+            gnb_per_min: self.gnb.len() as f64 / minutes,
+            packets_per_min: self.packets.len() as f64 / minutes,
+            webrtc_per_min: (self.app_local.len() + self.app_remote.len()) as f64 / minutes,
+        }
+    }
+}
+
+/// Half-open time-window slice of a sorted vector via binary search.
+fn window_by<T>(v: &[T], from: SimTime, to: SimTime, key: impl Fn(&T) -> SimTime) -> &[T] {
+    let lo = v.partition_point(|r| key(r) < from);
+    let hi = v.partition_point(|r| key(r) < to);
+    &v[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{Direction, StreamKind};
+
+    fn meta() -> SessionMeta {
+        SessionMeta::baseline("test", SimDuration::from_secs(60), 1)
+    }
+
+    fn pkt(ms: u64) -> PacketRecord {
+        PacketRecord {
+            sent: SimTime::from_millis(ms),
+            received: Some(SimTime::from_millis(ms + 20)),
+            direction: Direction::Uplink,
+            stream: StreamKind::Video,
+            seq: ms,
+            size_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn windowing_is_half_open() {
+        let mut b = TraceBundle::new(meta());
+        for ms in [0, 100, 200, 300, 400] {
+            b.packets.push(pkt(ms));
+        }
+        let w = b.packets_window(SimTime::from_millis(100), SimTime::from_millis(300));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].seq, 100);
+        assert_eq!(w[1].seq, 200);
+    }
+
+    #[test]
+    fn sort_restores_invariant() {
+        let mut b = TraceBundle::new(meta());
+        b.packets.push(pkt(500));
+        b.packets.push(pkt(100));
+        assert!(!b.is_sorted());
+        b.sort();
+        assert!(b.is_sorted());
+    }
+
+    #[test]
+    fn horizon_covers_receive_times() {
+        let mut b = TraceBundle::new(meta());
+        b.packets.push(pkt(100));
+        assert_eq!(b.horizon(), SimTime::from_millis(120));
+    }
+
+    #[test]
+    fn event_rates_normalised_per_minute() {
+        let mut b = TraceBundle::new(meta());
+        for ms in 0..120 {
+            b.packets.push(pkt(ms));
+        }
+        let r = b.event_rates();
+        assert!((r.packets_per_min - 120.0).abs() < 1e-9);
+        assert_eq!(r.gnb_per_min, 0.0);
+    }
+
+    #[test]
+    fn empty_window_on_empty_bundle() {
+        let b = TraceBundle::new(meta());
+        assert!(b.packets_window(SimTime::ZERO, SimTime::from_secs(10)).is_empty());
+        assert_eq!(b.horizon(), SimTime::ZERO);
+    }
+}

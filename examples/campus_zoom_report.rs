@@ -1,0 +1,40 @@
+//! Campus-wide Zoom QoS report (paper §2.2): generate the synthetic
+//! organisation-wide dataset and print the per-access-network jitter and
+//! loss comparison behind Figs. 5–6.
+//!
+//! ```text
+//! cargo run --release --example campus_zoom_report
+//! ```
+
+use domino::scenarios::{generate_campus_dataset, AccessType, CampusDatasetSize};
+use domino::telemetry::Cdf;
+
+fn main() {
+    let data = generate_campus_dataset(2026, CampusDatasetSize::large());
+    println!("campus dataset: {} participant-minutes", data.len());
+
+    println!(
+        "\n{:<10} {:>8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "access", "minutes", "jit p50[ms]", "jit p90[ms]", "jit p99[ms]", "loss>0 frac", "loss p99[%]"
+    );
+    for access in [AccessType::Wired, AccessType::Wifi, AccessType::Cellular] {
+        let subset: Vec<_> = data.iter().filter(|r| r.access == access).collect();
+        let jitter = Cdf::from_samples(subset.iter().map(|r| r.outbound_jitter_ms).collect());
+        let loss = Cdf::from_samples(subset.iter().map(|r| r.outbound_loss_pct).collect());
+        println!(
+            "{:<10} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>14.3} {:>14.2}",
+            access.label(),
+            subset.len(),
+            jitter.median().unwrap_or(0.0),
+            jitter.quantile(0.9).unwrap_or(0.0),
+            jitter.quantile(0.99).unwrap_or(0.0),
+            1.0 - loss.fraction_at_or_below(0.0),
+            loss.quantile(0.99).unwrap_or(0.0),
+        );
+    }
+
+    println!(
+        "\nFinding (paper §2.2): cellular networks consistently show higher\n\
+         network jitter and packet loss than wired and Wi-Fi networks."
+    );
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the full Domino workspace API.
+pub use domino_core as core;
+pub use netpath;
+pub use ran_sim as ran;
+pub use rtc_sim as rtc;
+pub use scenarios;
+pub use simcore;
+pub use telemetry;

@@ -1,0 +1,83 @@
+//! DSL ⇄ graph ⇄ generated-code consistency on real session data: the
+//! compiled detection program must agree with the graph backward trace on
+//! every window of an actual simulated trace.
+
+use domino::core::{compile, default_graph, emit, parse, Domino, DominoConfig};
+use domino::scenarios::{run_cell_session, SessionConfig};
+use domino::simcore::SimDuration;
+
+#[test]
+fn program_agrees_with_search_on_real_trace() {
+    let cfg = SessionConfig {
+        duration: SimDuration::from_secs(20),
+        seed: 404,
+        ..Default::default()
+    };
+    let bundle = run_cell_session(domino::scenarios::tmobile_fdd_15mhz(), &cfg, |_| {});
+
+    let domino = Domino::with_defaults();
+    let program = compile(domino.graph());
+    let analysis = domino.analyze(&bundle);
+    assert!(!analysis.windows.is_empty());
+
+    for w in &analysis.windows {
+        let out = program.run(domino.graph(), &w.features);
+        // Same set of (cause, consequence, path) detections.
+        let mut from_search: Vec<Vec<usize>> =
+            w.chains.iter().map(|c| c.path.clone()).collect();
+        let mut from_program: Vec<Vec<usize>> =
+            out.chains.iter().map(|&id| program.chains[id].clone()).collect();
+        from_search.sort();
+        from_program.sort();
+        assert_eq!(from_search, from_program, "window at {}", w.start);
+    }
+}
+
+#[test]
+fn dsl_round_trip_preserves_detection_behaviour() {
+    let g1 = default_graph();
+    let g2 = parse(&emit(&g1)).expect("emitted text parses");
+    let cfg = SessionConfig {
+        duration: SimDuration::from_secs(15),
+        seed: 405,
+        ..Default::default()
+    };
+    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg, |_| {});
+    let d1 = Domino::new(g1, DominoConfig::default());
+    let d2 = Domino::new(g2, DominoConfig::default());
+    let a1 = d1.analyze(&bundle);
+    let a2 = d2.analyze(&bundle);
+    assert_eq!(a1.windows.len(), a2.windows.len());
+    for (w1, w2) in a1.windows.iter().zip(&a2.windows) {
+        // Node ids and edge order may differ after a round trip; the *set*
+        // of detected (cause, consequence) chains must not.
+        let mut n1: Vec<(String, String)> = w1
+            .chains
+            .iter()
+            .map(|c| {
+                (d1.graph().name(c.cause).to_string(), d1.graph().name(c.consequence).to_string())
+            })
+            .collect();
+        let mut n2: Vec<(String, String)> = w2
+            .chains
+            .iter()
+            .map(|c| {
+                (d2.graph().name(c.cause).to_string(), d2.graph().name(c.consequence).to_string())
+            })
+            .collect();
+        n1.sort();
+        n2.sort();
+        assert_eq!(n1, n2);
+    }
+}
+
+#[test]
+fn generated_python_mentions_every_feature_in_use() {
+    let g = default_graph();
+    let py = compile(&g).emit_python(&g);
+    for node in ["jitter_buffer_drain", "target_bitrate_down", "pushback_rate_down",
+                 "forward_delay_up", "reverse_delay_up", "poor_channel", "cross_traffic",
+                 "ul_scheduling", "harq_retx", "rlc_retx", "rrc_state_change"] {
+        assert!(py.contains(node), "{node} missing from generated Python");
+    }
+}
