@@ -15,7 +15,8 @@ use domino_core::{ChainStats, Domino, DominoConfig};
 use simcore::{SimDuration, SimTime};
 use telemetry::{Direction, StreamKind};
 
-use scenarios::run_cell_session;
+use domino_sweep::run_bundles;
+use scenarios::{ScriptAction, SessionSpec};
 
 use crate::util::{session_cfg, short_session_cfg};
 
@@ -31,13 +32,20 @@ pub fn proactive_grants() -> String {
         "{:<12} {:>14} {:>14} {:>14} {:>16}",
         "mode", "UL p50 [ms]", "UL p90 [ms]", "UL p99 [ms]", "grant waste [%]"
     );
-    for proactive in [true, false] {
-        let mut cell = scenarios::mosolabs();
-        if !proactive {
-            cell.mac.proactive_grant = None;
-        }
-        let cfg = short_session_cfg(6001, 45);
-        let bundle = run_cell_session(cell, &cfg, |_| {});
+    // Both variants as specs, run concurrently by the sweep engine.
+    let specs: Vec<SessionSpec> = [true, false]
+        .into_iter()
+        .map(|proactive| {
+            let mut cell = scenarios::mosolabs();
+            if !proactive {
+                cell.mac.proactive_grant = None;
+            }
+            SessionSpec::cell(cell, short_session_cfg(6001, 45))
+                .labelled(if proactive { "proactive" } else { "bsr-only" })
+        })
+        .collect();
+    let bundles = run_bundles(&specs, 0);
+    for (spec, bundle) in specs.iter().zip(&bundles) {
         let delays = telemetry::Cdf::from_samples(
             bundle
                 .packets
@@ -64,7 +72,7 @@ pub fn proactive_grants() -> String {
         let _ = writeln!(
             out,
             "{:<12} {:>14.2} {:>14.2} {:>14.2} {:>16.1}",
-            if proactive { "proactive" } else { "bsr-only" },
+            spec.label,
             delays.quantile(0.5).unwrap_or(f64::NAN),
             delays.quantile(0.9).unwrap_or(f64::NAN),
             delays.quantile(0.99).unwrap_or(f64::NAN),
@@ -88,17 +96,23 @@ pub fn harq_attempts() -> String {
         "{:<10} {:>12} {:>12} {:>14} {:>12}",
         "attempts", "p50 [ms]", "p99 [ms]", "RLC retx/min", "max [ms]"
     );
-    for attempts in [1u8, 2, 4, 6] {
-        let mut cell = scenarios::amarisoft();
-        cell.mac.max_harq_attempts = attempts;
-        // Aggressive MCS selection ("prioritizing rate over robustness",
-        // §5.2.2) so initial transmissions fail often enough for the HARQ
-        // budget to matter.
-        cell.mac.margin_db_ul = 2.5;
-        cell.mac.mcs_cap_ul = 28;
-        cell.mac.olla_step_db = 0.0; // hold the aggressive operating point
-        let cfg = short_session_cfg(6002, 45);
-        let bundle = run_cell_session(cell, &cfg, |_| {});
+    const ATTEMPTS: [u8; 4] = [1, 2, 4, 6];
+    let specs: Vec<SessionSpec> = ATTEMPTS
+        .into_iter()
+        .map(|attempts| {
+            let mut cell = scenarios::amarisoft();
+            cell.mac.max_harq_attempts = attempts;
+            // Aggressive MCS selection ("prioritizing rate over robustness",
+            // §5.2.2) so initial transmissions fail often enough for the HARQ
+            // budget to matter.
+            cell.mac.margin_db_ul = 2.5;
+            cell.mac.mcs_cap_ul = 28;
+            cell.mac.olla_step_db = 0.0; // hold the aggressive operating point
+            SessionSpec::cell(cell, short_session_cfg(6002, 45))
+        })
+        .collect();
+    let bundles = run_bundles(&specs, 0);
+    for (attempts, bundle) in ATTEMPTS.into_iter().zip(&bundles) {
         let delays = telemetry::Cdf::from_samples(
             bundle
                 .packets
@@ -134,8 +148,21 @@ pub fn harq_attempts() -> String {
 /// Domino window length W around the paper's 5 s choice.
 pub fn window_length() -> String {
     let mut out = String::from("Ablation — Domino sliding-window length W (T-Mobile FDD session)\n");
-    let cfg = session_cfg(6003);
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz(), &cfg, |_| {});
+    // Both sessions (the main sweep trace and the scripted check) run as one
+    // parallel sweep; analyses below use the streaming fast path.
+    let specs = [
+        SessionSpec::cell(scenarios::tmobile_fdd_15mhz(), session_cfg(6003)),
+        SessionSpec::cell(scenarios::tmobile_fdd_15mhz_quiet(), short_session_cfg(6004, 20))
+            .with_script(ScriptAction::CrossTraffic {
+                dir: Direction::Downlink,
+                from: t(10.0),
+                to: t(13.0),
+                prb_fraction: 0.97,
+            }),
+    ];
+    let mut bundles = run_bundles(&specs, 0);
+    let scripted = bundles.pop().expect("two specs");
+    let bundle = bundles.pop().expect("two specs");
     let _ = writeln!(
         out,
         "{:<8} {:>10} {:>14} {:>18} {:>16}",
@@ -146,7 +173,7 @@ pub fn window_length() -> String {
             domino_core::default_graph(),
             DominoConfig { window: SimDuration::from_secs(w_secs), ..Default::default() },
         );
-        let analysis = domino.analyze(&bundle);
+        let analysis = domino.analyze_streaming(&bundle);
         let stats = ChainStats::compute(domino.graph(), &analysis);
         let cons_windows: usize = stats.consequence_windows.values().sum();
         let unknown: usize = stats.unknown_windows.values().sum();
@@ -168,12 +195,7 @@ pub fn window_length() -> String {
     );
     let _ = writeln!(out, "\n(scripted check at W = 5 s: cause at t≈10 s is attributed)");
     let domino = Domino::with_defaults();
-    let scripted = run_cell_session(
-        scenarios::tmobile_fdd_15mhz_quiet(),
-        &short_session_cfg(6004, 20),
-        |cell| cell.script_cross_traffic(Direction::Downlink, t(10.0), t(13.0), 0.97),
-    );
-    let analysis = domino.analyze(&scripted);
+    let analysis = domino.analyze_streaming(&scripted);
     let attributed = analysis.windows.iter().flat_map(|w| &w.chains).count();
     let _ = writeln!(out, "chains detected: {attributed}");
     out

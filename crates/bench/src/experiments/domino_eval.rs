@@ -12,26 +12,23 @@ use domino_core::{
 };
 use telemetry::CellClass;
 
-use scenarios::{all_cells, run_cell_session};
+use domino_sweep::{run_sweep, SweepOptions};
+use scenarios::{all_cells, SessionSpec};
 
 use crate::util::session_cfg;
 
-/// Analyses all four cells and aggregates stats per cell class.
+/// Analyses all four cells in parallel (streaming analyzer per worker) and
+/// aggregates stats per cell class, in spec order.
 fn class_stats() -> (Domino, ChainStats, ChainStats) {
     let domino = Domino::with_defaults();
-    let mut commercial = ChainStats::default();
-    let mut private = ChainStats::default();
-    for (i, cell) in all_cells().into_iter().enumerate() {
-        let class = cell.class;
-        let cfg = session_cfg(4000 + i as u64);
-        let bundle = run_cell_session(cell, &cfg, |_| {});
-        let analysis = domino.analyze(&bundle);
-        let stats = ChainStats::compute(domino.graph(), &analysis);
-        match class {
-            CellClass::Commercial => commercial.merge(&stats),
-            CellClass::Private => private.merge(&stats),
-        }
-    }
+    let specs: Vec<SessionSpec> = all_cells()
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| SessionSpec::cell(cell, session_cfg(4000 + i as u64)))
+        .collect();
+    let report = run_sweep(&specs, &domino, &SweepOptions::default());
+    let commercial = report.aggregate_where(|o| o.meta.cell_class == CellClass::Commercial);
+    let private = report.aggregate_where(|o| o.meta.cell_class == CellClass::Private);
     (domino, commercial, private)
 }
 

@@ -4,19 +4,20 @@ use std::fmt::Write as _;
 
 use telemetry::{Direction, Resolution, TraceBundle};
 
-use scenarios::{all_cells, run_cell_session};
+use domino_sweep::run_bundles;
+use scenarios::{all_cells, SessionSpec};
 
 use crate::util::{delay_samples, print_cdf, session_cfg};
 
 fn run_all_cells() -> Vec<TraceBundle> {
-    all_cells()
+    // One spec per cell (seeds preserved from the sequential harness), fanned
+    // across cores by the sweep engine; bundles come back in spec order.
+    let specs: Vec<SessionSpec> = all_cells()
         .into_iter()
         .enumerate()
-        .map(|(i, cell)| {
-            let cfg = session_cfg(3000 + i as u64);
-            run_cell_session(cell, &cfg, |_| {})
-        })
-        .collect()
+        .map(|(i, cell)| SessionSpec::cell(cell, session_cfg(3000 + i as u64)))
+        .collect();
+    run_bundles(&specs, 0)
 }
 
 /// Fig. 8 — per-cell CDFs: one-way delay, target bitrate, frame rate,

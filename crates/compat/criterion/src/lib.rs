@@ -1,0 +1,157 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! small interface the workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Each benchmark is auto-calibrated to a target batch time, run for the
+//! configured number of samples, and reported as `min / median / max` ns per
+//! iteration on stdout — enough to track relative trajectories over PRs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they prefer.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_batch: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30, target_batch: Duration::from_millis(25) }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Calibrate: grow the batch until it runs long enough to time well.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= self.target_batch || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (self.target_batch.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            b.iters = (b.iters * grow.max(2)).min(1 << 30);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        per_iter_ns.sort_by(|a, x| a.partial_cmp(x).expect("finite"));
+        let min = per_iter_ns[0];
+        let med = per_iter_ns[per_iter_ns.len() / 2];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_ns(min),
+            fmt_ns(med),
+            fmt_ns(max),
+            b.iters,
+            self.sample_size
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine for the calibrated number of iterations and records
+    /// the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions under a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3, target_batch: Duration::from_micros(200) };
+        let mut count = 0u64;
+        c.bench_function("selftest/add", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+}

@@ -103,7 +103,7 @@ impl Domino {
         let mut start = SimTime::ZERO + self.cfg.warmup;
         while start + self.cfg.window <= horizon {
             windows.push(self.analyze_window(bundle, start));
-            start = start + self.cfg.step;
+            start += self.cfg.step;
         }
         Analysis { windows, duration: bundle.meta.duration }
     }
@@ -118,27 +118,39 @@ impl Domino {
 
     /// Backward-traces every active consequence in a feature vector.
     pub fn trace_chains(&self, features: &FeatureVector) -> (Vec<ChainHit>, Vec<NodeId>) {
-        let mut chains = Vec::new();
-        let mut unknown = Vec::new();
-        for leaf in self.graph.leaves() {
-            if !self.graph.is_active(leaf, features) {
-                continue;
-            }
-            let paths = self.graph.backward_trace(leaf, features);
-            if paths.is_empty() {
-                unknown.push(leaf);
-            } else {
-                for path in paths {
-                    chains.push(ChainHit {
-                        cause: path[0],
-                        consequence: *path.last().expect("non-empty path"),
-                        path,
-                    });
-                }
+        trace_chains_in(&self.graph, features)
+    }
+}
+
+/// Backward-traces every active consequence of `features` in `graph`.
+///
+/// Shared by the batch [`Domino`] engine and the incremental
+/// [`crate::stream::StreamingAnalyzer`] so both produce chains from a
+/// feature vector in exactly the same way.
+pub fn trace_chains_in(
+    graph: &CausalGraph,
+    features: &FeatureVector,
+) -> (Vec<ChainHit>, Vec<NodeId>) {
+    let mut chains = Vec::new();
+    let mut unknown = Vec::new();
+    for leaf in graph.leaves() {
+        if !graph.is_active(leaf, features) {
+            continue;
+        }
+        let paths = graph.backward_trace(leaf, features);
+        if paths.is_empty() {
+            unknown.push(leaf);
+        } else {
+            for path in paths {
+                chains.push(ChainHit {
+                    cause: path[0],
+                    consequence: *path.last().expect("non-empty path"),
+                    path,
+                });
             }
         }
-        (chains, unknown)
     }
+    (chains, unknown)
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod events;
 pub mod features;
 pub mod graph;
 pub mod stats;
+pub mod stream;
 
 pub use codegen::{compile, DetectionProgram, ProgramOutput};
 pub use detect::{Analysis, ChainHit, Domino, DominoConfig, WindowAnalysis};
@@ -48,3 +49,4 @@ pub use graph::{CausalGraph, GraphBuilder, GraphError, NodeId};
 pub use stats::{
     render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats,
 };
+pub use stream::{StreamingAnalyzer, UnsupportedConfig};

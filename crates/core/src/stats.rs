@@ -253,11 +253,11 @@ mod tests {
     fn onset_counting_dedups_overlapping_windows() {
         // Two distinct episodes: windows 2-5 and 10-12 → 2 onsets.
         let mut pattern = vec![false; 20];
-        for i in 2..=5 {
-            pattern[i] = true;
+        for w in &mut pattern[2..=5] {
+            *w = true;
         }
-        for i in 10..=12 {
-            pattern[i] = true;
+        for w in &mut pattern[10..=12] {
+            *w = true;
         }
         let (g, a) = synthetic(&pattern);
         let s = ChainStats::compute(&g, &a);

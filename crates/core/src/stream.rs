@@ -1,0 +1,1097 @@
+//! Streaming incremental window analysis.
+//!
+//! The batch path ([`crate::events::extract_features`]) re-scans every record
+//! of all five telemetry streams for each sliding-window position, so a
+//! longitudinal sweep with step Δt over windows of length W redoes ≈ W/Δt
+//! times the necessary work. The [`StreamingAnalyzer`] instead ingests
+//! records once, in timestamp order, and maintains rolling window state —
+//! monotonic min/max deques for the peak-then-drop conditions, rolling
+//! counters and adjacent-pair counts for the existence conditions, rolling
+//! 100 ms rate bins and 50 ms MCS groups for the binned conditions — so each
+//! step costs O(records entering/leaving the window) plus a small
+//! evaluation pass over pre-filtered per-feature series, with **bit-identical
+//! output to the batch path** (the equivalence tests in this module and in
+//! `tests/streaming_equivalence.rs` enforce it window by window).
+//!
+//! Exactness contract: the binned conditions (Table 5 rows 14 and 16) bin
+//! time relative to the window start, so rolling bins reproduce them exactly
+//! only when every window start falls on a bin boundary. [`StreamingAnalyzer::supports`]
+//! checks that `warmup`, `step`, and `window` are multiples of the bin
+//! granule (the LCM of the 100 ms rate bin and the configured MCS group);
+//! [`Domino::analyze_streaming`] falls back to the batch path for
+//! non-conforming configurations. The paper's configuration (W = 5 s,
+//! Δt = 0.5 s, warmup 3 s, 50 ms MCS groups) conforms.
+
+use std::collections::VecDeque;
+
+use simcore::{SimDuration, SimTime};
+use telemetry::{
+    AppStatsRecord, DciRecord, Direction, GccNetworkState, GnbEvent, GnbLogRecord, PacketRecord,
+    Resolution, StreamKind, TraceBundle,
+};
+
+use crate::detect::{trace_chains_in, Analysis, Domino, DominoConfig, WindowAnalysis};
+use crate::events::Thresholds;
+use crate::features::{AppEvent, ClientSide, Feature, FeatureVector};
+use crate::features::RanEvent;
+use crate::graph::CausalGraph;
+
+/// Width of the rate-comparison bins of Table 5 row 14, µs.
+const BIN_US: u64 = 100_000;
+
+/// Why a configuration cannot run on the streaming fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedConfig {
+    /// The bin granule (µs) the window positions must align to.
+    pub granule_us: u64,
+}
+
+impl std::fmt::Display for UnsupportedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "streaming analysis requires warmup/step/window to be multiples of {} µs",
+            self.granule_us
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedConfig {}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn granule_us(th: &Thresholds) -> u64 {
+    // Clamp before scaling, matching the group size the analyzer itself
+    // uses for a degenerate `mcs_group_ms: 0`.
+    let group_us = th.mcs_group_ms.max(1) * 1000;
+    BIN_US / gcd(BIN_US, group_us) * group_us
+}
+
+// ---------------------------------------------------------------------------
+// Rolling building blocks
+// ---------------------------------------------------------------------------
+
+/// Sliding min/max with first-occurrence order, via monotonic deques.
+///
+/// `push` keeps the max deque non-increasing and the min deque
+/// non-decreasing while preserving the earliest occurrence of each extreme,
+/// which is exactly the "first index attaining the extreme" the batch
+/// peak-then-drop conditions (Table 5 rows 1–2 and 13) compute.
+#[derive(Debug, Clone, Default)]
+struct MinMaxWindow {
+    max: VecDeque<(u64, SimTime, f64)>,
+    min: VecDeque<(u64, SimTime, f64)>,
+    next_seq: u64,
+}
+
+impl MinMaxWindow {
+    fn push(&mut self, ts: SimTime, v: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        while self.max.back().is_some_and(|&(_, _, b)| b < v) {
+            self.max.pop_back();
+        }
+        self.max.push_back((seq, ts, v));
+        while self.min.back().is_some_and(|&(_, _, b)| b > v) {
+            self.min.pop_back();
+        }
+        self.min.push_back((seq, ts, v));
+    }
+
+    fn expire(&mut self, from: SimTime) {
+        while self.max.front().is_some_and(|&(_, ts, _)| ts < from) {
+            self.max.pop_front();
+        }
+        while self.min.front().is_some_and(|&(_, ts, _)| ts < from) {
+            self.min.pop_front();
+        }
+    }
+
+    /// `(first_max_seq, max, first_min_seq, min)` of the live window.
+    fn extrema(&self) -> Option<(u64, f64, u64, f64)> {
+        let &(max_seq, _, max_v) = self.max.front()?;
+        let &(min_seq, _, min_v) = self.min.front()?;
+        Some((max_seq, max_v, min_seq, min_v))
+    }
+
+    fn clear(&mut self) {
+        self.max.clear();
+        self.min.clear();
+        self.next_seq = 0;
+    }
+}
+
+/// Rolling per-bin `f64` sums keyed by absolute bin index.
+#[derive(Debug, Clone, Default)]
+struct RollingBins {
+    base: u64,
+    bins: VecDeque<f64>,
+}
+
+impl RollingBins {
+    fn add(&mut self, bin: u64, v: f64) {
+        if self.bins.is_empty() {
+            self.base = bin;
+        }
+        debug_assert!(bin >= self.base, "bins must fill in time order");
+        while self.base + self.bins.len() as u64 <= bin {
+            self.bins.push_back(0.0);
+        }
+        self.bins[(bin - self.base) as usize] += v;
+    }
+
+    fn expire(&mut self, first_kept: u64) {
+        while self.base < first_kept && !self.bins.is_empty() {
+            self.bins.pop_front();
+            self.base += 1;
+        }
+        if self.bins.is_empty() && self.base < first_kept {
+            self.base = first_kept;
+        }
+    }
+
+    fn get(&self, bin: u64) -> f64 {
+        if bin < self.base {
+            return 0.0;
+        }
+        self.bins.get((bin - self.base) as usize).copied().unwrap_or(0.0)
+    }
+
+    fn clear(&mut self) {
+        self.base = 0;
+        self.bins.clear();
+    }
+}
+
+/// One 50 ms MCS group: values in arrival order plus a lazily cached median.
+#[derive(Debug, Clone, Default)]
+struct McsGroup {
+    values: Vec<f64>,
+    median: Option<f64>,
+}
+
+/// Rolling MCS groups keyed by absolute group index.
+#[derive(Debug, Clone, Default)]
+struct RollingGroups {
+    base: u64,
+    groups: VecDeque<McsGroup>,
+}
+
+impl RollingGroups {
+    fn add(&mut self, group: u64, mcs: f64) {
+        if self.groups.is_empty() {
+            self.base = group;
+        }
+        debug_assert!(group >= self.base, "groups must fill in time order");
+        while self.base + self.groups.len() as u64 <= group {
+            self.groups.push_back(McsGroup::default());
+        }
+        let g = &mut self.groups[(group - self.base) as usize];
+        g.values.push(mcs);
+        g.median = None;
+    }
+
+    fn expire(&mut self, first_kept: u64) {
+        while self.base < first_kept && !self.groups.is_empty() {
+            self.groups.pop_front();
+            self.base += 1;
+        }
+        if self.groups.is_empty() && self.base < first_kept {
+            self.base = first_kept;
+        }
+    }
+
+    /// Pushes the medians of all non-empty groups in `[from_g, to_g)` onto
+    /// `out`, in group order — the exact sequence the batch condition sorts.
+    fn medians_into(&mut self, from_g: u64, to_g: u64, out: &mut Vec<f64>) {
+        for g in from_g.max(self.base)..to_g.min(self.base + self.groups.len() as u64) {
+            let slot = &mut self.groups[(g - self.base) as usize];
+            if slot.values.is_empty() {
+                continue;
+            }
+            let m = *slot.median.get_or_insert_with(|| {
+                let mut s = slot.values.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                s[s.len() / 2]
+            });
+            out.push(m);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.base = 0;
+        self.groups.clear();
+    }
+}
+
+/// The per-sample facts the app-event conditions need, precomputed at ingest.
+#[derive(Debug, Clone, Copy)]
+struct AppEntry {
+    ts: SimTime,
+    drain: bool,
+    overuse: bool,
+    cwnd_full: bool,
+    pushback_neq_target: bool,
+    resolution: Resolution,
+    target_bitrate_bps: f64,
+    pushback_rate_bps: f64,
+    outstanding: f64,
+}
+
+/// Rolling state for one client's app-stats stream.
+#[derive(Debug, Clone, Default)]
+struct AppWindow {
+    entries: VecDeque<AppEntry>,
+    drain_count: usize,
+    overuse_count: usize,
+    cwnd_full_count: usize,
+    neq_count: usize,
+    res_down_pairs: usize,
+    target_down_pairs: usize,
+    pushback_down_pairs: usize,
+    inbound_fps: MinMaxWindow,
+    outbound_fps: MinMaxWindow,
+}
+
+fn target_drops(prev: &AppEntry, next: &AppEntry, eps: f64) -> bool {
+    next.target_bitrate_bps < prev.target_bitrate_bps * (1.0 - eps)
+}
+
+fn pushback_drops(prev: &AppEntry, next: &AppEntry, eps: f64) -> bool {
+    next.pushback_rate_bps < prev.pushback_rate_bps * (1.0 - eps)
+}
+
+impl AppWindow {
+    fn push(&mut self, s: &AppStatsRecord, th: &Thresholds) {
+        let e = AppEntry {
+            ts: s.ts,
+            drain: s.video_jitter_buffer_ms <= th.drain_level_ms && s.inbound_fps > 0.0,
+            overuse: s.gcc_state == GccNetworkState::Overuse,
+            cwnd_full: s.outstanding_bytes > s.cwnd_bytes,
+            pushback_neq_target: (s.pushback_rate_bps - s.target_bitrate_bps).abs()
+                > th.rate_drop_epsilon * s.target_bitrate_bps,
+            resolution: s.outbound_resolution,
+            target_bitrate_bps: s.target_bitrate_bps,
+            pushback_rate_bps: s.pushback_rate_bps,
+            outstanding: s.outstanding_bytes as f64,
+        };
+        self.drain_count += e.drain as usize;
+        self.overuse_count += e.overuse as usize;
+        self.cwnd_full_count += e.cwnd_full as usize;
+        self.neq_count += e.pushback_neq_target as usize;
+        if let Some(prev) = self.entries.back() {
+            self.res_down_pairs += (e.resolution < prev.resolution) as usize;
+            self.target_down_pairs += target_drops(prev, &e, th.rate_drop_epsilon) as usize;
+            self.pushback_down_pairs += pushback_drops(prev, &e, th.rate_drop_epsilon) as usize;
+        }
+        self.inbound_fps.push(s.ts, s.inbound_fps);
+        self.outbound_fps.push(s.ts, s.outbound_fps);
+        self.entries.push_back(e);
+    }
+
+    fn expire(&mut self, from: SimTime, th: &Thresholds) {
+        while self.entries.front().is_some_and(|e| e.ts < from) {
+            let e = self.entries.pop_front().expect("non-empty");
+            self.drain_count -= e.drain as usize;
+            self.overuse_count -= e.overuse as usize;
+            self.cwnd_full_count -= e.cwnd_full as usize;
+            self.neq_count -= e.pushback_neq_target as usize;
+            if let Some(next) = self.entries.front() {
+                self.res_down_pairs -= (next.resolution < e.resolution) as usize;
+                self.target_down_pairs -= target_drops(&e, next, th.rate_drop_epsilon) as usize;
+                self.pushback_down_pairs -=
+                    pushback_drops(&e, next, th.rate_drop_epsilon) as usize;
+            }
+        }
+        self.inbound_fps.expire(from);
+        self.outbound_fps.expire(from);
+    }
+
+    /// Evaluates one app event exactly as the batch `app_event` does.
+    fn event(&self, e: AppEvent, th: &Thresholds) -> bool {
+        if self.entries.len() < 2 {
+            return false;
+        }
+        match e {
+            AppEvent::InboundFramerateDown => framerate_down(&self.inbound_fps, th),
+            AppEvent::OutboundFramerateDown => framerate_down(&self.outbound_fps, th),
+            AppEvent::OutboundResolutionDown => self.res_down_pairs > 0,
+            AppEvent::JitterBufferDrain => self.drain_count > 0,
+            AppEvent::TargetBitrateDown => self.target_down_pairs > 0,
+            AppEvent::GccOveruse => self.overuse_count > 0,
+            AppEvent::PushbackRateDown => self.pushback_down_pairs > 0,
+            AppEvent::CwndFull => self.cwnd_full_count > 0,
+            AppEvent::OutstandingBytesUp => rising_windowed_means(
+                self.entries.iter().map(|e| e.outstanding),
+                th.trend_subwindow,
+                |prev, mean| mean > prev * 1.05 && mean > 1000.0,
+            ),
+            AppEvent::PushbackNeqTarget => self.neq_count > 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.drain_count = 0;
+        self.overuse_count = 0;
+        self.cwnd_full_count = 0;
+        self.neq_count = 0;
+        self.res_down_pairs = 0;
+        self.target_down_pairs = 0;
+        self.pushback_down_pairs = 0;
+        self.inbound_fps.clear();
+        self.outbound_fps.clear();
+    }
+}
+
+/// Rows 1–2 on rolling extrema: max > high, min < low, max strictly first.
+fn framerate_down(w: &MinMaxWindow, th: &Thresholds) -> bool {
+    match w.extrema() {
+        Some((max_seq, max_v, min_seq, min_v)) => {
+            max_v > th.framerate_high && min_v < th.framerate_low && max_seq < min_seq
+        }
+        None => false,
+    }
+}
+
+/// Streaming equivalent of `windowed_means(values, sub).windows(2).any(pred)`:
+/// one pass, no allocation, identical f64 accumulation order.
+fn rising_windowed_means(
+    values: impl Iterator<Item = f64>,
+    sub: usize,
+    pred: impl Fn(f64, f64) -> bool,
+) -> bool {
+    let sub = sub.max(1);
+    let mut prev: Option<f64> = None;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        acc += v;
+        n += 1;
+        if n == sub {
+            let mean = acc / sub as f64;
+            if let Some(p) = prev {
+                if pred(p, mean) {
+                    return true;
+                }
+            }
+            prev = Some(mean);
+            acc = 0.0;
+            n = 0;
+        }
+    }
+    false
+}
+
+/// Rolling state for one of the four delay series (direction × RTCP-or-media).
+#[derive(Debug, Clone, Default)]
+struct DelaySeries {
+    /// `(sent, delay_ms)` of delivered packets, in send order.
+    delays: VecDeque<(SimTime, f64)>,
+    above_floor: usize,
+}
+
+impl DelaySeries {
+    fn push(&mut self, sent: SimTime, delay_ms: f64, th: &Thresholds) {
+        self.above_floor += (delay_ms > th.delay_floor_ms) as usize;
+        self.delays.push_back((sent, delay_ms));
+    }
+
+    fn expire(&mut self, from: SimTime, th: &Thresholds) {
+        while self.delays.front().is_some_and(|&(ts, _)| ts < from) {
+            let (_, d) = self.delays.pop_front().expect("non-empty");
+            self.above_floor -= (d > th.delay_floor_ms) as usize;
+        }
+    }
+
+    /// Rows 11–12, exactly as the batch `delay_uptrend`.
+    fn uptrend(&self, th: &Thresholds) -> bool {
+        if self.delays.len() < 2 * th.trend_subwindow || self.above_floor == 0 {
+            return false;
+        }
+        rising_windowed_means(
+            self.delays.iter().map(|&(_, d)| d),
+            th.trend_subwindow,
+            |prev, mean| mean > prev * 1.05,
+        )
+    }
+
+    fn clear(&mut self) {
+        self.delays.clear();
+        self.above_floor = 0;
+    }
+}
+
+/// The compact DCI facts needed to reverse counters on expiry.
+#[derive(Debug, Clone, Copy)]
+struct DciEntry {
+    ts: SimTime,
+    direction: Direction,
+    target: bool,
+    first_tx: bool,
+    retx: bool,
+    prbs: u64,
+}
+
+fn dir_idx(d: Direction) -> usize {
+    match d {
+        Direction::Uplink => 0,
+        Direction::Downlink => 1,
+    }
+}
+
+/// Rolling state for the DCI stream, per direction where applicable.
+#[derive(Debug, Clone, Default)]
+struct DciWindow {
+    entries: VecDeque<DciEntry>,
+    prbs_ours: [u64; 2],
+    prbs_others: [u64; 2],
+    harq_retx: [usize; 2],
+    first_tx_count: [usize; 2],
+    ul_sched_count: usize,
+    tbs: [MinMaxWindow; 2],
+    tbs_bins: [RollingBins; 2],
+    mcs_groups: [RollingGroups; 2],
+    /// Target-UE RNTI sequence with rolling adjacent-difference count.
+    rntis: VecDeque<(SimTime, u32)>,
+    rnti_change_pairs: usize,
+}
+
+impl DciWindow {
+    fn expire(&mut self, from: SimTime) {
+        while self.entries.front().is_some_and(|e| e.ts < from) {
+            let e = self.entries.pop_front().expect("non-empty");
+            let i = dir_idx(e.direction);
+            if e.target {
+                self.prbs_ours[i] -= e.prbs;
+                if e.direction == Direction::Uplink {
+                    self.ul_sched_count -= 1;
+                }
+            } else {
+                self.prbs_others[i] -= e.prbs;
+            }
+            if e.retx {
+                self.harq_retx[i] -= 1;
+            }
+            if e.first_tx {
+                self.first_tx_count[i] -= 1;
+            }
+        }
+        while self.rntis.front().is_some_and(|&(ts, _)| ts < from) {
+            let (_, old) = self.rntis.pop_front().expect("non-empty");
+            if let Some(&(_, next)) = self.rntis.front() {
+                self.rnti_change_pairs -= (next != old) as usize;
+            }
+        }
+        for i in 0..2 {
+            self.tbs[i].expire(from);
+            self.tbs_bins[i].expire(from.as_micros() / BIN_US);
+        }
+    }
+
+    /// Row 13 on rolling extrema: peak-then-drop with ≥ 4 first transmissions.
+    fn tbs_down(&self, dir: Direction, th: &Thresholds) -> bool {
+        let i = dir_idx(dir);
+        if self.first_tx_count[i] < 4 {
+            return false;
+        }
+        match self.tbs[i].extrema() {
+            Some((max_seq, max_v, min_seq, min_v)) => {
+                min_v < th.tbs_drop_fraction * max_v && max_seq < min_seq
+            }
+            None => false,
+        }
+    }
+
+    /// Row 15 on rolling PRB sums.
+    fn cross_traffic(&self, dir: Direction, th: &Thresholds) -> bool {
+        let i = dir_idx(dir);
+        self.prbs_ours[i] > 0
+            && self.prbs_others[i] as f64 > th.cross_traffic_fraction * self.prbs_ours[i] as f64
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.prbs_ours = [0; 2];
+        self.prbs_others = [0; 2];
+        self.harq_retx = [0; 2];
+        self.first_tx_count = [0; 2];
+        self.ul_sched_count = 0;
+        for i in 0..2 {
+            self.tbs[i].clear();
+            self.tbs_bins[i].clear();
+            self.mcs_groups[i].clear();
+        }
+        self.rntis.clear();
+        self.rnti_change_pairs = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+/// Incremental drop-in for the sliding-window pipeline: same configuration,
+/// same [`WindowAnalysis`] output, O(records entering/leaving) per step.
+///
+/// Records are pushed in per-stream timestamp order (any interleaving across
+/// streams); [`Self::emit`] then produces the analysis for one window. The
+/// caller must have pushed every record with timestamp below the window end
+/// before emitting — [`Self::analyze`] drives exactly that schedule over a
+/// recorded [`TraceBundle`] via the telemetry crate's incremental cursor.
+#[derive(Debug, Clone)]
+pub struct StreamingAnalyzer {
+    graph: CausalGraph,
+    cfg: DominoConfig,
+    group_us: u64,
+    app: [AppWindow; 2],
+    /// Indexed `[dir][rtcp]`.
+    delays: [[DelaySeries; 2]; 2],
+    app_bins: [RollingBins; 2],
+    dci: DciWindow,
+    rlc: VecDeque<(SimTime, Direction)>,
+    rlc_count: [usize; 2],
+    median_scratch: Vec<f64>,
+    /// Highest record timestamp ingested; [`Self::emit`] checks it against
+    /// the window end so live callers can't silently evaluate a window with
+    /// future records already folded into the rolling counters.
+    watermark: SimTime,
+}
+
+impl StreamingAnalyzer {
+    /// Creates a streaming analyzer, or reports why the configuration cannot
+    /// run on the exact incremental path.
+    pub fn new(graph: CausalGraph, cfg: DominoConfig) -> Result<Self, UnsupportedConfig> {
+        if !Self::supports(&cfg) {
+            return Err(UnsupportedConfig { granule_us: granule_us(&cfg.thresholds) });
+        }
+        let group_us = cfg.thresholds.mcs_group_ms.max(1) * 1000;
+        Ok(StreamingAnalyzer {
+            graph,
+            cfg,
+            group_us,
+            app: Default::default(),
+            delays: Default::default(),
+            app_bins: Default::default(),
+            dci: Default::default(),
+            rlc: VecDeque::new(),
+            rlc_count: [0; 2],
+            median_scratch: Vec::new(),
+            watermark: SimTime::ZERO,
+        })
+    }
+
+    /// The paper's default configuration (always supported).
+    pub fn with_defaults() -> Self {
+        Self::new(crate::dsl::default_graph(), DominoConfig::default())
+            .expect("default config is aligned")
+    }
+
+    /// Whether `cfg` aligns every window edge with the bin/group granule, the
+    /// condition for bit-identical equivalence with the batch path.
+    pub fn supports(cfg: &DominoConfig) -> bool {
+        let g = granule_us(&cfg.thresholds);
+        cfg.warmup.as_micros().is_multiple_of(g)
+            && cfg.step.as_micros().is_multiple_of(g)
+            && cfg.window.as_micros().is_multiple_of(g)
+            && cfg.step > SimDuration::ZERO
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DominoConfig {
+        &self.cfg
+    }
+
+    /// The underlying causal graph.
+    pub fn graph(&self) -> &CausalGraph {
+        &self.graph
+    }
+
+    /// Drops all window state (allocations are kept for reuse).
+    pub fn reset(&mut self) {
+        for a in &mut self.app {
+            a.clear();
+        }
+        for row in &mut self.delays {
+            for s in row {
+                s.clear();
+            }
+        }
+        for b in &mut self.app_bins {
+            b.clear();
+        }
+        self.dci.clear();
+        self.rlc.clear();
+        self.rlc_count = [0; 2];
+        self.watermark = SimTime::ZERO;
+    }
+
+    /// Ingests one app-stats sample for one client.
+    pub fn push_app(&mut self, side: ClientSide, s: &AppStatsRecord) {
+        self.watermark = self.watermark.max(s.ts);
+        let i = match side {
+            ClientSide::Local => 0,
+            ClientSide::Remote => 1,
+        };
+        self.app[i].push(s, &self.cfg.thresholds);
+    }
+
+    /// Ingests one packet record. The record's `received` field must be
+    /// final (this is a trace-analysis API, not an in-flight packet hook).
+    pub fn push_packet(&mut self, p: &PacketRecord) {
+        self.watermark = self.watermark.max(p.sent);
+        let di = dir_idx(p.direction);
+        self.app_bins[di].add(p.sent.as_micros() / BIN_US, p.size_bytes as f64 * 8.0);
+        if let Some(d) = p.one_way_delay() {
+            let rtcp = (p.stream == StreamKind::Rtcp) as usize;
+            self.delays[di][rtcp].push(p.sent, d.as_millis_f64(), &self.cfg.thresholds);
+        }
+    }
+
+    /// Ingests one DCI record.
+    pub fn push_dci(&mut self, d: &DciRecord) {
+        self.watermark = self.watermark.max(d.ts);
+        // The per-direction group index uses the configured MCS granule.
+        let group = d.ts.as_micros() / self.group_us;
+        let i = dir_idx(d.direction);
+        if d.is_target_ue {
+            self.dci.mcs_groups[i].add(group, d.mcs as f64);
+        }
+        self.push_dci_inner(d);
+    }
+
+    fn push_dci_inner(&mut self, d: &DciRecord) {
+        let i = dir_idx(d.direction);
+        let e = DciEntry {
+            ts: d.ts,
+            direction: d.direction,
+            target: d.is_target_ue,
+            first_tx: d.is_target_ue && d.harq_retx_idx == 0,
+            retx: d.is_target_ue && d.harq_retx_idx > 0,
+            prbs: d.n_prbs as u64,
+        };
+        if e.target {
+            self.dci.prbs_ours[i] += e.prbs;
+            if d.direction == Direction::Uplink {
+                self.dci.ul_sched_count += 1;
+            }
+            if let Some(&(_, last)) = self.dci.rntis.back() {
+                self.dci.rnti_change_pairs += (last != d.rnti) as usize;
+            }
+            self.dci.rntis.push_back((d.ts, d.rnti));
+        } else {
+            self.dci.prbs_others[i] += e.prbs;
+        }
+        if e.retx {
+            self.dci.harq_retx[i] += 1;
+        }
+        if e.first_tx {
+            self.dci.first_tx_count[i] += 1;
+            self.dci.tbs[i].push(d.ts, d.tbs_bits as f64);
+            self.dci.tbs_bins[i].add(d.ts.as_micros() / BIN_US, d.tbs_bits as f64);
+        }
+        self.dci.entries.push_back(e);
+    }
+
+    /// Ingests one gNB log record.
+    pub fn push_gnb(&mut self, g: &GnbLogRecord) {
+        self.watermark = self.watermark.max(g.ts);
+        if let GnbEvent::RlcRetx { direction, .. } = g.event {
+            self.rlc_count[dir_idx(direction)] += 1;
+            self.rlc.push_back((g.ts, direction));
+        }
+    }
+
+    /// Ingests one batch of records surfaced by the telemetry cursor.
+    pub fn push_slices(&mut self, s: &telemetry::StreamSlices<'_>) {
+        for r in s.app_local {
+            self.push_app(ClientSide::Local, r);
+        }
+        for r in s.app_remote {
+            self.push_app(ClientSide::Remote, r);
+        }
+        for r in s.packets {
+            self.push_packet(r);
+        }
+        for r in s.dci {
+            self.push_dci(r);
+        }
+        for r in s.gnb {
+            self.push_gnb(r);
+        }
+    }
+
+    fn expire(&mut self, from: SimTime) {
+        let th = self.cfg.thresholds.clone();
+        for a in &mut self.app {
+            a.expire(from, &th);
+        }
+        for row in &mut self.delays {
+            for s in row {
+                s.expire(from, &th);
+            }
+        }
+        let from_bin = from.as_micros() / BIN_US;
+        for b in &mut self.app_bins {
+            b.expire(from_bin);
+        }
+        self.dci.expire(from);
+        let from_group = from.as_micros() / self.group_us;
+        for i in 0..2 {
+            self.dci.mcs_groups[i].expire(from_group);
+        }
+        while self.rlc.front().is_some_and(|&(ts, _)| ts < from) {
+            let (_, dir) = self.rlc.pop_front().expect("non-empty");
+            self.rlc_count[dir_idx(dir)] -= 1;
+        }
+    }
+
+    /// Emits the analysis for the window starting at `start`, expiring all
+    /// state older than the window.
+    ///
+    /// Ingestion must sit exactly at the window end: every record with
+    /// timestamp below `start + window` pushed, and none at or beyond it
+    /// (the rolling counters have no upper clamp, so a future record would
+    /// silently leak into this window). Checked in debug builds. Live
+    /// consumers that receive records ahead of the analysis frontier must
+    /// buffer them and release per window — which is exactly what
+    /// [`TraceBundle::advance_until`] does for recorded traces.
+    pub fn emit(&mut self, start: SimTime) -> WindowAnalysis {
+        self.expire(start);
+        let end = start + self.cfg.window;
+        debug_assert!(
+            self.watermark < end,
+            "emit({start:?}): records up to {:?} already ingested past the window end {end:?}",
+            self.watermark
+        );
+        let features = self.features(start, end);
+        let (chains, unknown_consequences) = trace_chains_in(&self.graph, &features);
+        WindowAnalysis { start, features, chains, unknown_consequences }
+    }
+
+    /// Assembles the 36-dim feature vector from the rolling state.
+    fn features(&mut self, from: SimTime, to: SimTime) -> FeatureVector {
+        // All-scalar struct; cloning sidesteps a borrow conflict with the
+        // `&mut self` median cache below.
+        let th = self.cfg.thresholds.clone();
+        let th = &th;
+        let mut v = FeatureVector::new();
+
+        // Application events (rows 1–10), both clients.
+        for (i, side) in [(0usize, ClientSide::Local), (1, ClientSide::Remote)] {
+            for e in AppEvent::ALL {
+                v.set(Feature::App(side, e), self.app[i].event(e, th));
+            }
+        }
+
+        // Packet-delay trends (rows 11–12).
+        let media_up = self.delays[0][0].uptrend(th) || self.delays[1][0].uptrend(th);
+        let rtcp_up = self.delays[0][1].uptrend(th) || self.delays[1][1].uptrend(th);
+        v.set(Feature::ForwardDelayUp, media_up);
+        v.set(Feature::ReverseDelayUp, rtcp_up);
+
+        // 5G events per direction (rows 13–18).
+        for dir in [Direction::Uplink, Direction::Downlink] {
+            let i = dir_idx(dir);
+            v.set(Feature::Ran(dir, RanEvent::AllocatedTbsDown), self.dci.tbs_down(dir, th));
+            v.set(
+                Feature::Ran(dir, RanEvent::AppExceedsTbs),
+                self.app_exceeds_tbs(dir, from, to, th),
+            );
+            v.set(Feature::Ran(dir, RanEvent::CrossTraffic), self.dci.cross_traffic(dir, th));
+            v.set(
+                Feature::Ran(dir, RanEvent::ChannelDegrades),
+                self.channel_degrades(i, from, to),
+            );
+            v.set(
+                Feature::Ran(dir, RanEvent::HarqRetx),
+                self.dci.harq_retx[i] > th.harq_retx_count,
+            );
+            v.set(Feature::Ran(dir, RanEvent::RlcRetx), self.rlc_count[i] > 0);
+        }
+
+        // Rows 19–20.
+        v.set(Feature::UlScheduling, self.dci.ul_sched_count > 0);
+        v.set(Feature::RrcStateChange, self.dci.rnti_change_pairs > 0);
+        v
+    }
+
+    /// Row 14 over the rolling absolute-index bins.
+    fn app_exceeds_tbs(&self, dir: Direction, from: SimTime, to: SimTime, th: &Thresholds) -> bool {
+        let i = dir_idx(dir);
+        let n_bins = ((to.as_micros() - from.as_micros()) / BIN_US).max(1);
+        let from_bin = from.as_micros() / BIN_US;
+        let mut exceeding = 0u64;
+        for b in from_bin..from_bin + n_bins {
+            let a = self.app_bins[i].get(b);
+            let t = self.dci.tbs_bins[i].get(b);
+            if a > 0.0 && a > t {
+                exceeding += 1;
+            }
+        }
+        exceeding as f64 > th.rate_exceed_fraction * n_bins as f64
+    }
+
+    /// Row 16 over the rolling MCS groups (medians cached once per group).
+    fn channel_degrades(&mut self, i: usize, from: SimTime, to: SimTime) -> bool {
+        let th = &self.cfg.thresholds;
+        let from_g = from.as_micros() / self.group_us;
+        let to_g = to.as_micros() / self.group_us;
+        self.median_scratch.clear();
+        let mut scratch = std::mem::take(&mut self.median_scratch);
+        self.dci.mcs_groups[i].medians_into(from_g, to_g, &mut scratch);
+        let result = if scratch.len() < 4 {
+            false
+        } else {
+            scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p90 = scratch[((scratch.len() - 1) as f64 * 0.9) as usize];
+            let low = scratch.iter().filter(|&&m| m < th.mcs_low_value).count();
+            p90 < th.mcs_p90_below && low > th.mcs_low_count
+        };
+        self.median_scratch = scratch;
+        result
+    }
+
+    /// Runs the full sliding-window sweep over a recorded bundle, producing
+    /// the same [`Analysis`] as [`Domino::analyze`] in one incremental pass.
+    pub fn analyze(&mut self, bundle: &TraceBundle) -> Analysis {
+        self.reset();
+        let horizon = bundle.horizon();
+        let mut cur = bundle.cursor();
+        let mut windows = Vec::new();
+        let mut start = SimTime::ZERO + self.cfg.warmup;
+        while start + self.cfg.window <= horizon {
+            let end = start + self.cfg.window;
+            let slices = bundle.advance_until(&mut cur, end);
+            self.push_slices(&slices);
+            windows.push(self.emit(start));
+            start += self.cfg.step;
+        }
+        Analysis { windows, duration: bundle.meta.duration }
+    }
+}
+
+impl Domino {
+    /// Analyzes a bundle on the streaming fast path when the configuration
+    /// supports it, falling back to the batch path otherwise. Output is
+    /// identical either way.
+    pub fn analyze_streaming(&self, bundle: &TraceBundle) -> Analysis {
+        match StreamingAnalyzer::new(self.graph().clone(), self.config().clone()) {
+            Ok(mut s) => s.analyze(bundle),
+            Err(_) => self.analyze(bundle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::SessionMeta;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn assert_equivalent(bundle: &TraceBundle) {
+        let domino = Domino::with_defaults();
+        let batch = domino.analyze(bundle);
+        let mut streaming =
+            StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).unwrap();
+        let inc = streaming.analyze(bundle);
+        assert_eq!(batch.windows.len(), inc.windows.len());
+        for (b, s) in batch.windows.iter().zip(&inc.windows) {
+            assert_eq!(b.start, s.start);
+            assert_eq!(
+                b.features, s.features,
+                "window at {:?}: batch {:?} vs streaming {:?}",
+                b.start,
+                b.features.active_names(),
+                s.features.active_names()
+            );
+            assert_eq!(b.chains, s.chains, "window at {:?}", b.start);
+            assert_eq!(b.unknown_consequences, s.unknown_consequences);
+        }
+    }
+
+    /// A deterministic pseudo-random bundle touching every feature family.
+    fn synthetic_bundle(seed: u64, secs: u64) -> TraceBundle {
+        use rand_like::Lcg;
+        let mut b = TraceBundle::new(SessionMeta::baseline(
+            "synthetic",
+            SimDuration::from_secs(secs),
+            seed,
+        ));
+        let mut rng = Lcg::new(seed);
+        // App samples at 50 ms on both sides with occasional anomalies.
+        for i in 0..(secs * 20) {
+            let ts = t(i * 50);
+            for side in 0..2 {
+                let mut s = AppStatsRecord::baseline(ts);
+                s.inbound_fps = 30.0 - (rng.next_f64() * 12.0) * ((rng.next_u64().is_multiple_of(7)) as u64 as f64);
+                s.outbound_fps = 28.0 + rng.next_f64() * 4.0 - ((rng.next_u64().is_multiple_of(11)) as u64 as f64) * 8.0;
+                s.video_jitter_buffer_ms = if rng.next_u64().is_multiple_of(37) { 0.0 } else { 40.0 + rng.next_f64() * 80.0 };
+                s.target_bitrate_bps = 1.0e6 + rng.next_f64() * 2.0e6;
+                s.pushback_rate_bps = s.target_bitrate_bps * (0.9 + rng.next_f64() * 0.2);
+                s.outstanding_bytes = (rng.next_f64() * 40_000.0) as u64;
+                s.cwnd_bytes = 30_000;
+                s.outbound_resolution = match rng.next_u64() % 3 {
+                    0 => Resolution::R360p,
+                    1 => Resolution::R540p,
+                    _ => Resolution::R720p,
+                };
+                if rng.next_u64().is_multiple_of(13) {
+                    s.gcc_state = GccNetworkState::Overuse;
+                }
+                if side == 0 {
+                    b.app_local.push(s);
+                } else {
+                    b.app_remote.push(s);
+                }
+            }
+        }
+        // Packets: media + RTCP, both directions, drifting delay, some loss.
+        for i in 0..(secs * 100) {
+            let sent = t(i * 10);
+            let dir = if i.is_multiple_of(2) { Direction::Uplink } else { Direction::Downlink };
+            let stream = if i.is_multiple_of(9) { StreamKind::Rtcp } else { StreamKind::Video };
+            let lost = rng.next_u64().is_multiple_of(41);
+            let base = 20.0 + (i as f64 / (secs * 100) as f64) * 90.0;
+            let delay_ms = base + rng.next_f64() * 15.0;
+            b.packets.push(PacketRecord {
+                sent,
+                received: if lost {
+                    None
+                } else {
+                    Some(sent + SimDuration::from_micros((delay_ms * 1000.0) as u64))
+                },
+                direction: dir,
+                stream,
+                seq: i,
+                size_bytes: 400 + (rng.next_u64() % 900) as u32,
+            });
+        }
+        // DCI: target + cross-traffic, occasional retx and RNTI churn.
+        for i in 0..(secs * 50) {
+            let ts = t(i * 20);
+            let dir = if i.is_multiple_of(2) { Direction::Uplink } else { Direction::Downlink };
+            let ours = !rng.next_u64().is_multiple_of(4);
+            let retx = (rng.next_u64().is_multiple_of(17)) as u8;
+            b.dci.push(DciRecord {
+                ts,
+                rnti: if ours {
+                    if i > secs * 25 && rng.next_u64().is_multiple_of(211) { 101 } else { 100 }
+                } else {
+                    900 + (rng.next_u64() % 50) as u32
+                },
+                direction: dir,
+                is_target_ue: ours,
+                n_prbs: 5 + (rng.next_u64() % 40) as u16,
+                mcs: (3 + rng.next_u64() % 25) as u8,
+                tbs_bits: 10_000 + (rng.next_u64() % 90_000) as u32,
+                harq_id: 0,
+                harq_retx_idx: retx,
+                decoded_ok: true,
+                proactive: false,
+                used_bits: 0,
+            });
+            if ours && rng.next_u64().is_multiple_of(97) {
+                b.gnb.push(GnbLogRecord {
+                    ts,
+                    event: GnbEvent::RlcRetx { direction: dir, sn: i as u32 },
+                });
+            }
+        }
+        b.sort();
+        b
+    }
+
+    /// Tiny deterministic generator for the synthetic bundles (keeps the
+    /// test independent of the workspace RNG crate).
+    mod rand_like {
+        pub struct Lcg(u64);
+        impl Lcg {
+            pub fn new(seed: u64) -> Self {
+                Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+            }
+            pub fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 >> 11
+            }
+            pub fn next_f64(&mut self) -> f64 {
+                (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+
+    #[test]
+    fn supports_checks_alignment() {
+        assert!(StreamingAnalyzer::supports(&DominoConfig::default()));
+        let odd = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        assert!(!StreamingAnalyzer::supports(&odd));
+        let odd_warmup =
+            DominoConfig { warmup: SimDuration::from_millis(150), ..Default::default() };
+        assert!(!StreamingAnalyzer::supports(&odd_warmup));
+    }
+
+    #[test]
+    fn empty_bundle_matches_batch() {
+        let b = TraceBundle::new(SessionMeta::baseline("empty", SimDuration::from_secs(10), 0));
+        assert_equivalent(&b);
+    }
+
+    #[test]
+    fn synthetic_bundles_match_batch_bit_for_bit() {
+        for seed in [1u64, 7, 42] {
+            let b = synthetic_bundle(seed, 25);
+            // The synthetic trace must actually exercise detections, or the
+            // equivalence claim is vacuous.
+            let domino = Domino::with_defaults();
+            let analysis = domino.analyze(&b);
+            if seed == 1 {
+                let active: usize =
+                    analysis.windows.iter().map(|w| w.features.count_active()).sum();
+                assert!(active > 0, "synthetic trace produced no active features");
+            }
+            assert_equivalent(&b);
+        }
+    }
+
+    #[test]
+    fn analyzer_reset_reuses_cleanly() {
+        let b1 = synthetic_bundle(3, 15);
+        let b2 = synthetic_bundle(4, 15);
+        let domino = Domino::with_defaults();
+        let mut s = StreamingAnalyzer::with_defaults();
+        // Same analyzer across bundles: reset must drop all carryover.
+        let first = s.analyze(&b1);
+        let second = s.analyze(&b2);
+        let batch2 = domino.analyze(&b2);
+        assert_eq!(second.windows.len(), batch2.windows.len());
+        for (a, e) in second.windows.iter().zip(&batch2.windows) {
+            assert_eq!(a.features, e.features);
+        }
+        // And re-analyzing the first bundle reproduces the original result.
+        let again = s.analyze(&b1);
+        for (a, e) in again.windows.iter().zip(&first.windows) {
+            assert_eq!(a.features, e.features);
+        }
+    }
+
+    #[test]
+    fn fallback_handles_unaligned_config() {
+        let cfg = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        let domino = Domino::new(crate::dsl::default_graph(), cfg);
+        let b = synthetic_bundle(9, 12);
+        let batch = domino.analyze(&b);
+        let via_streaming_entry = domino.analyze_streaming(&b);
+        assert_eq!(batch.windows.len(), via_streaming_entry.windows.len());
+        for (a, e) in via_streaming_entry.windows.iter().zip(&batch.windows) {
+            assert_eq!(a.features, e.features);
+        }
+    }
+}

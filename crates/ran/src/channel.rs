@@ -95,7 +95,7 @@ impl Channel {
     pub fn sinr_db<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> f64 {
         while now >= self.next_update {
             self.step(self.next_update, rng);
-            self.next_update = self.next_update + self.cfg.update_interval;
+            self.next_update += self.cfg.update_interval;
         }
         // Scripted overrides take precedence over everything.
         for ov in &self.overrides {

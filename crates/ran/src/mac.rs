@@ -669,7 +669,7 @@ mod tests {
         assert_eq!(out.deliveries.len(), 1);
         let d = out.deliveries[0].released_at.as_millis();
         // initial(0) + 3 retx (10,20,30) + status 55 ≈ 85+ ms, ≈105 with slack.
-        assert!(d >= 80 && d <= 130, "RLC recovery delay {d} ms");
+        assert!((80..=130).contains(&d), "RLC recovery delay {d} ms");
     }
 
     #[test]

@@ -123,7 +123,7 @@ mod tests {
         // MCS 0, 1 PRB: Ninfo = 156 * 0.1172 * 2 ≈ 36.6 → quantized 32 → table 32.
         let t = tbs_bits(0, 1);
         assert!(TBS_TABLE.contains(&t), "got {t}");
-        assert!(t >= 24 && t <= 48);
+        assert!((24..=48).contains(&t));
     }
 
     #[test]

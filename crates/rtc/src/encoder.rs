@@ -247,7 +247,7 @@ impl AudioSource {
                 size_bytes: self.packet_bytes,
             });
             self.seq += 1;
-            self.next_at = self.next_at + self.ptime;
+            self.next_at += self.ptime;
         }
         out
     }

@@ -165,7 +165,7 @@ mod tests {
     fn feedback_batches_arrivals() {
         let mut b = FeedbackBuilder::new();
         for i in 0..10u64 {
-            b.on_packet(t(i * 5), i, t(i * 5 - 0));
+            b.on_packet(t(i * 5), i, t(i * 5));
         }
         let (fb, _) = b.poll(t(60));
         let fb = fb.expect("feedback due");

@@ -390,7 +390,7 @@ impl AudioJitterBuffer {
                 }
             }
             self.next_play_seq += 1;
-            tick = tick + self.ptime;
+            tick += self.ptime;
         }
         self.next_tick_at = Some(tick);
     }

@@ -1,0 +1,311 @@
+//! Sweep-grid constructors: declarative session specifications the parallel
+//! sweep engine (`domino-sweep`) fans across OS threads.
+//!
+//! A [`SessionSpec`] is plain data — cell (or baseline access), scripted
+//! impairments, and a [`SessionConfig`] — so a grid can be built once,
+//! cloned, partitioned across threads in any order, and every session still
+//! runs identically. Seeds come from [`simcore::derive_seed`], keyed by
+//! `(master, index)` in build order: appending sessions to the end of a grid
+//! never perturbs the ones already in it (inserting or reordering earlier
+//! axes shifts indices and therefore seeds).
+
+use simcore::{derive_seed, SimDuration, SimTime};
+use telemetry::{Direction, TraceBundle};
+
+use ran_sim::{CellConfig, CellSim};
+
+use crate::cells::all_cells;
+use crate::session::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+
+/// Which access network a session runs over.
+#[derive(Debug, Clone)]
+pub enum AccessSpec {
+    /// A 5G cell (boxed: `CellConfig` dwarfs the baseline variant).
+    Cell(Box<CellConfig>),
+    /// A wired/Wi-Fi baseline.
+    Baseline(BaselineAccess),
+}
+
+/// A scripted impairment, as data (mirrors the `CellSim::script_*` hooks so
+/// specs stay `Clone + Send` for the parallel sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScriptAction {
+    /// Force the SINR of a direction during a window.
+    Sinr {
+        /// Affected direction.
+        dir: Direction,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Forced SINR in dB.
+        sinr_db: f64,
+    },
+    /// Force cross-traffic PRB load during a window.
+    CrossTraffic {
+        /// Affected direction.
+        dir: Direction,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Fraction of PRBs taken by other UEs.
+        prb_fraction: f64,
+    },
+    /// Force HARQ attempts below an index to fail during a window.
+    HarqFailures {
+        /// Affected direction.
+        dir: Direction,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Attempts with index below this fail.
+        fail_attempts: u8,
+    },
+    /// Force an RRC release.
+    RrcRelease {
+        /// Release instant.
+        at: SimTime,
+    },
+}
+
+impl ScriptAction {
+    /// Applies this action to a cell simulator before the call starts.
+    pub fn apply(&self, cell: &mut CellSim) {
+        match *self {
+            ScriptAction::Sinr { dir, from, to, sinr_db } => {
+                cell.script_sinr(dir, from, to, sinr_db)
+            }
+            ScriptAction::CrossTraffic { dir, from, to, prb_fraction } => {
+                cell.script_cross_traffic(dir, from, to, prb_fraction)
+            }
+            ScriptAction::HarqFailures { dir, from, to, fail_attempts } => {
+                cell.script_harq_failures(dir, from, to, fail_attempts)
+            }
+            ScriptAction::RrcRelease { at } => cell.script_rrc_release(at),
+        }
+    }
+}
+
+/// One fully specified session of a sweep.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Label for reports (defaults to the cell/baseline name).
+    pub label: String,
+    /// Access network.
+    pub access: AccessSpec,
+    /// Scripted impairments (applied to cells; ignored for baselines).
+    pub scripts: Vec<ScriptAction>,
+    /// Session configuration, including the derived seed.
+    pub cfg: SessionConfig,
+}
+
+impl SessionSpec {
+    /// A cell session spec with no scripts.
+    pub fn cell(cell: CellConfig, cfg: SessionConfig) -> Self {
+        SessionSpec {
+            label: cell.name.clone(),
+            access: AccessSpec::Cell(Box::new(cell)),
+            scripts: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// A baseline session spec.
+    pub fn baseline(access: BaselineAccess, cfg: SessionConfig) -> Self {
+        let label = match access {
+            BaselineAccess::Wired => "Wired baseline",
+            BaselineAccess::Wifi => "Wi-Fi baseline",
+        };
+        SessionSpec {
+            label: label.to_string(),
+            access: AccessSpec::Baseline(access),
+            scripts: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Adds a scripted impairment.
+    pub fn with_script(mut self, action: ScriptAction) -> Self {
+        self.scripts.push(action);
+        self
+    }
+
+    /// Replaces the label.
+    pub fn labelled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Runs the session, producing its trace bundle.
+    pub fn run(&self) -> TraceBundle {
+        match &self.access {
+            AccessSpec::Cell(cell) => run_cell_session((**cell).clone(), &self.cfg, |sim| {
+                for a in &self.scripts {
+                    a.apply(sim);
+                }
+            }),
+            AccessSpec::Baseline(access) => run_baseline_session(*access, &self.cfg),
+        }
+    }
+}
+
+/// Builder for grids of sessions: cells × durations × seeds.
+#[derive(Debug, Clone)]
+pub struct SessionGrid {
+    cells: Vec<CellConfig>,
+    durations: Vec<SimDuration>,
+    master_seed: u64,
+    sessions_per_point: usize,
+    base: SessionConfig,
+}
+
+impl Default for SessionGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionGrid {
+    /// An empty grid with the default session configuration.
+    pub fn new() -> Self {
+        SessionGrid {
+            cells: Vec::new(),
+            durations: vec![SessionConfig::default().duration],
+            master_seed: 0,
+            sessions_per_point: 1,
+            base: SessionConfig::default(),
+        }
+    }
+
+    /// Sets the cells to sweep.
+    pub fn cells(mut self, cells: impl IntoIterator<Item = CellConfig>) -> Self {
+        self.cells = cells.into_iter().collect();
+        self
+    }
+
+    /// Sets the session durations to sweep.
+    pub fn durations(mut self, durations: impl IntoIterator<Item = SimDuration>) -> Self {
+        self.durations = durations.into_iter().collect();
+        self
+    }
+
+    /// Sets the master seed; per-session seeds derive from it.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Number of seed repetitions per (cell, duration) point.
+    pub fn sessions_per_point(mut self, n: usize) -> Self {
+        self.sessions_per_point = n.max(1);
+        self
+    }
+
+    /// Base configuration applied to every session (duration/seed overridden).
+    pub fn base_config(mut self, cfg: SessionConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    /// Materialises the grid in deterministic order:
+    /// cell-major, then duration, then repetition.
+    pub fn build(&self) -> Vec<SessionSpec> {
+        let mut specs = Vec::new();
+        for cell in &self.cells {
+            for &duration in &self.durations {
+                for rep in 0..self.sessions_per_point {
+                    let index = specs.len() as u64;
+                    let cfg = SessionConfig {
+                        duration,
+                        seed: derive_seed(self.master_seed, index),
+                        ..self.base.clone()
+                    };
+                    let label = format!(
+                        "{} / {:.0}s / rep{}",
+                        cell.name,
+                        duration.as_secs_f64(),
+                        rep
+                    );
+                    specs.push(SessionSpec::cell(cell.clone(), cfg).labelled(label));
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// The standard four-cell grid of Table 1, one session per cell.
+pub fn all_cells_grid(master_seed: u64, duration: SimDuration) -> Vec<SessionSpec> {
+    SessionGrid::new()
+        .cells(all_cells())
+        .durations([duration])
+        .master_seed(master_seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_deterministic_and_covers_product() {
+        let g = SessionGrid::new()
+            .cells(all_cells())
+            .durations([SimDuration::from_secs(30), SimDuration::from_secs(60)])
+            .sessions_per_point(3)
+            .master_seed(7);
+        let a = g.build();
+        let b = g.build();
+        assert_eq!(a.len(), 4 * 2 * 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cfg.seed, y.cfg.seed);
+            assert_eq!(x.label, y.label);
+        }
+        // All seeds distinct.
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.cfg.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn scripted_spec_runs_like_manual_script() {
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(10),
+            seed: 5,
+            ..Default::default()
+        };
+        let spec = SessionSpec::cell(crate::cells::tmobile_fdd_15mhz_quiet(), cfg.clone())
+            .with_script(ScriptAction::CrossTraffic {
+                dir: Direction::Downlink,
+                from: SimTime::from_secs(4),
+                to: SimTime::from_secs(6),
+                prb_fraction: 0.9,
+            });
+        let from_spec = spec.run();
+        let manual = run_cell_session(crate::cells::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
+            cell.script_cross_traffic(
+                Direction::Downlink,
+                SimTime::from_secs(4),
+                SimTime::from_secs(6),
+                0.9,
+            );
+        });
+        assert_eq!(from_spec.packets.len(), manual.packets.len());
+        assert_eq!(from_spec.dci.len(), manual.dci.len());
+    }
+
+    #[test]
+    fn baseline_spec_runs() {
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(5),
+            seed: 1,
+            ..Default::default()
+        };
+        let b = SessionSpec::baseline(BaselineAccess::Wired, cfg).run();
+        assert!(b.dci.is_empty());
+        assert!(!b.packets.is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 //!   Zoom QSS dataset (§2.2, Figs. 5–6).
 
 pub mod cells;
+pub mod grid;
 pub mod session;
 pub mod zoom_campus;
 
@@ -17,5 +18,6 @@ pub use cells::{
     all_cells, amarisoft, amarisoft_ideal, mosolabs, tmobile_fdd_15mhz, tmobile_fdd_15mhz_quiet,
     tmobile_tdd_100mhz,
 };
+pub use grid::{all_cells_grid, AccessSpec, ScriptAction, SessionGrid, SessionSpec};
 pub use session::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
 pub use zoom_campus::{generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord};

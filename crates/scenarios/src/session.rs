@@ -66,20 +66,28 @@ pub enum BaselineAccess {
 
 enum AccessSim {
     Cell(Box<CellSim>),
-    Direct { ul: PathModel, dl: PathModel, rng_ul: StdRng, rng_dl: StdRng, out: Vec<(u64, Direction, SimTime)> },
+    Direct(Box<DirectAccess>),
+}
+
+struct DirectAccess {
+    ul: PathModel,
+    dl: PathModel,
+    rng_ul: StdRng,
+    rng_dl: StdRng,
+    out: Vec<(u64, Direction, SimTime)>,
 }
 
 impl AccessSim {
     fn enqueue(&mut self, now: SimTime, dir: Direction, id: u64, size: u32) {
         match self {
             AccessSim::Cell(cell) => cell.enqueue(now, dir, id, size),
-            AccessSim::Direct { ul, dl, rng_ul, rng_dl, out } => {
+            AccessSim::Direct(direct) => {
                 let arrival = match dir {
-                    Direction::Uplink => ul.traverse(now, size, rng_ul),
-                    Direction::Downlink => dl.traverse(now, size, rng_dl),
+                    Direction::Uplink => direct.ul.traverse(now, size, &mut direct.rng_ul),
+                    Direction::Downlink => direct.dl.traverse(now, size, &mut direct.rng_dl),
                 };
                 if let Some(at) = arrival {
-                    out.push((id, dir, at));
+                    direct.out.push((id, dir, at));
                 }
                 // Lost packets simply never come out.
             }
@@ -99,7 +107,7 @@ impl AccessSim {
                 .into_iter()
                 .map(|d| (d.id, d.direction, d.delivered_at))
                 .collect(),
-            AccessSim::Direct { out, .. } => std::mem::take(out),
+            AccessSim::Direct(direct) => std::mem::take(&mut direct.out),
         }
     }
 }
@@ -152,13 +160,13 @@ pub fn run_baseline_session(access: BaselineAccess, cfg: &SessionConfig) -> Trac
         BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
     };
     let meta = SessionMeta::baseline(name, cfg.duration, cfg.seed);
-    let sim = AccessSim::Direct {
+    let sim = AccessSim::Direct(Box::new(DirectAccess {
         ul: PathModel::new(path.clone()),
         dl: PathModel::new(path),
         rng_ul: rng_for(cfg.seed, RngStream::Custom(101)),
         rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
         out: Vec::new(),
-    };
+    }));
     run(sim, None, meta, cfg)
 }
 
@@ -180,7 +188,17 @@ fn run(
     let mut rng_fwd = rng_for(cfg.seed, RngStream::PathForward);
     let mut rng_rev = rng_for(cfg.seed, RngStream::PathReverse);
 
-    let mut q: EventQueue<RouteEvent> = EventQueue::new();
+    // Route-event queue, reused across every session this thread runs (the
+    // sweep engine drives many sessions per worker). `clear()` resets the
+    // tie-break sequence, so a recycled queue replays identically to a
+    // fresh one; the initial capacity covers the typical in-flight
+    // population of a two-party call so steady state never reallocates.
+    thread_local! {
+        static ROUTE_QUEUE: std::cell::RefCell<EventQueue<RouteEvent>> =
+            std::cell::RefCell::new(EventQueue::with_capacity(256));
+    }
+    let mut q = ROUTE_QUEUE.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    q.clear();
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut next_id: u64 = 0;
     let mut next_stats = SimTime::ZERO + cfg.stats_interval;
@@ -216,15 +234,14 @@ fn run(
                 Some(core) => core.traverse(t, p.size_bytes, &mut rng_rev),
                 None => Some(t),
             });
-            match arrival {
-                Some(at) => {
-                    pending.insert(
-                        id,
-                        Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
-                    );
-                    q.schedule(at, RouteEvent::EnqueueDownlink(id));
-                }
-                None => {} // lost before the access network; record stays unreceived
+            // A `None` arrival is a loss before the access network; the
+            // packet record simply stays unreceived.
+            if let Some(at) = arrival {
+                pending.insert(
+                    id,
+                    Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
+                );
+                q.schedule(at, RouteEvent::EnqueueDownlink(id));
             }
         }
 
@@ -271,19 +288,28 @@ fn run(
             }
         }
 
-        // 4. 50 ms app-stats sampling on both clients.
+        // 4. 50 ms app-stats sampling on both clients. The sorted-append
+        // hooks double as a debug-build check that sampling stays monotone.
         if now >= next_stats {
-            bundle.app_local.push(a.sample_stats(now));
-            bundle.app_remote.push(b.sample_stats(now));
-            next_stats = next_stats + cfg.stats_interval;
+            bundle.append_app_local(a.sample_stats(now));
+            bundle.append_app_remote(b.sample_stats(now));
+            next_stats += cfg.stats_interval;
         }
     }
 
-    // Collect RAN telemetry.
+    // Collect RAN telemetry. DCI goes through the sorted-append hook, which
+    // verifies (in debug builds) that the cell simulator emits in time
+    // order. The gNB log cannot: RLC retransmissions are logged with their
+    // scheduled (future) timestamps and interleave out of order with
+    // same-slot buffer samples, so it relies on the final sort.
     if let AccessSim::Cell(cell) = &mut access {
-        bundle.dci = cell.drain_dci();
+        for r in cell.drain_dci() {
+            bundle.append_dci(r);
+        }
         bundle.gnb = cell.drain_gnb();
     }
+    // Hand the (drained) queue back for the next session on this thread.
+    ROUTE_QUEUE.with(|cell| *cell.borrow_mut() = q);
     bundle.sort();
     bundle
 }

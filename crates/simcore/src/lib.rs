@@ -22,5 +22,5 @@ pub mod rng;
 pub mod time;
 
 pub use queue::{EventQueue, Scheduled};
-pub use rng::{rng_for, RngStream};
+pub use rng::{derive_seed, rng_for, RngStream};
 pub use time::{SimDuration, SimTime};

@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// An event of type `E` scheduled for a particular instant.
 #[derive(Debug, Clone)]
@@ -73,11 +73,30 @@ impl<E> EventQueue<E> {
         EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
+    /// Creates an empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Drops all pending events but keeps the allocation, so a session
+    /// engine or sweep runner can reuse one queue across many sessions.
+    /// The tie-break sequence restarts too: a cleared queue replays
+    /// identically to a fresh one.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule(now + delay, event);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -147,6 +166,28 @@ mod tests {
         assert_eq!(q.pop_due(SimTime::from_millis(10)).unwrap().event, "early");
         assert!(q.pop_due(SimTime::from_millis(10)).is_none());
         assert_eq!(q.pop_due(SimTime::from_millis(20)).unwrap().event, "late");
+    }
+
+    #[test]
+    fn schedule_in_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_millis(10), SimDuration::from_millis(5), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_ties() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..10 {
+            q.schedule(SimTime::from_millis(1), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        // After clear, tie order restarts from scratch like a fresh queue.
+        q.schedule(SimTime::from_millis(2), 100);
+        q.schedule(SimTime::from_millis(2), 200);
+        assert_eq!(q.pop().unwrap().event, 100);
+        assert_eq!(q.pop().unwrap().event, 200);
     }
 
     #[test]

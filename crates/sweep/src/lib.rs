@@ -1,0 +1,283 @@
+//! # domino-sweep — the parallel multi-session sweep engine
+//!
+//! Fans a grid of [`SessionSpec`]s across OS threads, runs each session's
+//! simulator, analyses the resulting trace with Domino (streaming fast path
+//! when the configuration supports it), and folds everything into a
+//! deterministic [`SweepReport`].
+//!
+//! Determinism is the design constraint: sessions are claimed from a shared
+//! atomic work index (so threads never idle while work remains), each session
+//! derives all randomness from its own spec seed, and aggregation happens
+//! *after* the join in spec order — so the report is byte-identical whether
+//! the sweep ran on 1 thread or 64. `tests/sweep_determinism.rs` enforces
+//! this.
+//!
+//! This crate is the shared driver for the benchmark harness's
+//! `longitudinal`, `domino_eval`, and `ablations` experiments (previously
+//! hand-rolled sequential loops), and the scaling substrate the ROADMAP's
+//! operator-scale ambitions build on: a sweep over seeds × scenarios ×
+//! durations is exactly the "many sessions, one report" shape a fleet-wide
+//! diagnoser runs continuously.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
+use scenarios::SessionSpec;
+use telemetry::{SessionMeta, TraceBundle};
+
+/// What each sweep worker does with a finished session's bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Keep only the bundle; no Domino pass.
+    None,
+    /// Batch sliding-window analysis ([`Domino::analyze`]).
+    Batch,
+    /// Incremental analysis ([`StreamingAnalyzer`]), falling back to batch
+    /// for configurations outside the streaming alignment contract.
+    #[default]
+    Streaming,
+}
+
+/// Sweep-wide options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means all available cores.
+    pub threads: usize,
+    /// Per-session analysis mode.
+    pub analysis: AnalysisMode,
+    /// Retain each session's [`TraceBundle`] in the outcome. Sweeps that
+    /// only need aggregates should leave this off: bundles dominate memory.
+    pub keep_bundles: bool,
+    /// Retain each session's full per-window [`Analysis`].
+    pub keep_analyses: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            analysis: AnalysisMode::Streaming,
+            keep_bundles: false,
+            keep_analyses: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Options for sweeps that need the raw bundles (figure experiments).
+    pub fn bundles_only() -> Self {
+        SweepOptions { analysis: AnalysisMode::None, keep_bundles: true, ..Default::default() }
+    }
+
+    /// Options for sweeps that need bundles *and* analyses.
+    pub fn full() -> Self {
+        SweepOptions { keep_bundles: true, keep_analyses: true, ..Default::default() }
+    }
+
+    fn resolved_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let n = if self.threads == 0 { hw } else { self.threads };
+        n.clamp(1, jobs.max(1))
+    }
+}
+
+/// One session's results.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Position in the input spec list.
+    pub index: usize,
+    /// Spec label.
+    pub label: String,
+    /// Session metadata (always retained; cheap).
+    pub meta: SessionMeta,
+    /// The raw bundle, if `keep_bundles` was set.
+    pub bundle: Option<TraceBundle>,
+    /// The per-window analysis, if `keep_analyses` was set.
+    pub analysis: Option<Analysis>,
+    /// Chain statistics of the analysis (present unless mode was `None`).
+    pub stats: Option<ChainStats>,
+}
+
+/// Aggregated results of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-session outcomes, in spec order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// All sessions' chain statistics merged in spec order.
+    pub aggregate: ChainStats,
+}
+
+impl SweepReport {
+    /// Merged chain statistics of the outcomes selected by `pred`, folded in
+    /// spec order (deterministic regardless of execution interleaving).
+    pub fn aggregate_where(&self, pred: impl Fn(&SessionOutcome) -> bool) -> ChainStats {
+        let mut agg = ChainStats::default();
+        for o in self.outcomes.iter().filter(|o| pred(o)) {
+            if let Some(s) = &o.stats {
+                agg.merge(s);
+            }
+        }
+        agg
+    }
+}
+
+/// Runs every spec, fanning sessions across `opts.threads` OS threads, and
+/// folds the results in spec order.
+pub fn run_sweep(specs: &[SessionSpec], domino: &Domino, opts: &SweepOptions) -> SweepReport {
+    let threads = opts.resolved_threads(specs.len());
+    let mut slots: Vec<Option<SessionOutcome>> = Vec::new();
+    slots.resize_with(specs.len(), || None);
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // One analyzer per worker: allocations (deques, scratch)
+                // are reused across every session the worker claims.
+                let mut analyzer = match opts.analysis {
+                    AnalysisMode::Streaming => {
+                        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
+                            .ok()
+                    }
+                    _ => None,
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let outcome = run_one(&specs[i], i, domino, analyzer.as_mut(), opts);
+                    slots.lock().expect("sweep worker panicked")[i] = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let outcomes: Vec<SessionOutcome> = slots
+        .into_inner()
+        .expect("sweep worker panicked")
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect();
+
+    let mut report = SweepReport { outcomes, aggregate: ChainStats::default() };
+    report.aggregate = report.aggregate_where(|_| true);
+    report
+}
+
+fn run_one(
+    spec: &SessionSpec,
+    index: usize,
+    domino: &Domino,
+    analyzer: Option<&mut StreamingAnalyzer>,
+    opts: &SweepOptions,
+) -> SessionOutcome {
+    let bundle = spec.run();
+    let analysis = match (opts.analysis, analyzer) {
+        (AnalysisMode::None, _) => None,
+        (AnalysisMode::Batch, _) | (AnalysisMode::Streaming, None) => {
+            Some(domino.analyze(&bundle))
+        }
+        (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(&bundle)),
+    };
+    let stats = analysis.as_ref().map(|a| ChainStats::compute(domino.graph(), a));
+    SessionOutcome {
+        index,
+        label: spec.label.clone(),
+        meta: bundle.meta.clone(),
+        bundle: opts.keep_bundles.then_some(bundle),
+        analysis: if opts.keep_analyses { analysis } else { None },
+        stats,
+    }
+}
+
+/// Convenience: run the specs and return only the bundles, in spec order.
+/// The figure experiments that post-process raw traces use this.
+pub fn run_bundles(specs: &[SessionSpec], threads: usize) -> Vec<TraceBundle> {
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions { threads, ..SweepOptions::bundles_only() };
+    run_sweep(specs, &domino, &opts)
+        .outcomes
+        .into_iter()
+        .map(|o| o.bundle.expect("keep_bundles set"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenarios::{all_cells_grid, SessionGrid};
+    use simcore::SimDuration;
+
+    fn small_grid() -> Vec<SessionSpec> {
+        SessionGrid::new()
+            .cells(scenarios::all_cells())
+            .durations([SimDuration::from_secs(12)])
+            .master_seed(11)
+            .build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let specs = small_grid();
+        let domino = Domino::with_defaults();
+        let seq = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions { threads: 1, ..Default::default() },
+        );
+        let par = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions { threads: 4, ..Default::default() },
+        );
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.meta.seed, b.meta.seed);
+        }
+        assert_eq!(seq.aggregate.total_chain_windows, par.aggregate.total_chain_windows);
+        assert_eq!(seq.aggregate.cause_onsets, par.aggregate.cause_onsets);
+        assert_eq!(seq.aggregate.consequence_onsets, par.aggregate.consequence_onsets);
+    }
+
+    #[test]
+    fn streaming_and_batch_modes_agree() {
+        let specs = all_cells_grid(3, SimDuration::from_secs(12));
+        let domino = Domino::with_defaults();
+        let streaming = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions { analysis: AnalysisMode::Streaming, ..Default::default() },
+        );
+        let batch = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions { analysis: AnalysisMode::Batch, ..Default::default() },
+        );
+        assert_eq!(
+            streaming.aggregate.total_chain_windows,
+            batch.aggregate.total_chain_windows
+        );
+        assert_eq!(streaming.aggregate.chain_windows, batch.aggregate.chain_windows);
+        assert_eq!(streaming.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+    }
+
+    #[test]
+    fn aggregate_where_filters_by_class() {
+        let specs = small_grid();
+        let domino = Domino::with_defaults();
+        let report = run_sweep(&specs, &domino, &SweepOptions::default());
+        let commercial =
+            report.aggregate_where(|o| o.meta.cell_class == telemetry::CellClass::Commercial);
+        let private =
+            report.aggregate_where(|o| o.meta.cell_class == telemetry::CellClass::Private);
+        assert!(
+            (commercial.minutes + private.minutes - report.aggregate.minutes).abs() < 1e-9
+        );
+    }
+}

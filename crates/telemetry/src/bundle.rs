@@ -158,6 +158,83 @@ impl TraceBundle {
         window_by(&self.app_remote, from, to, |r| r.ts)
     }
 
+    /// Appends a DCI record, keeping the time-sorted invariant.
+    ///
+    /// Streaming producers (live captures, incremental simulators) use these
+    /// hooks instead of pushing to the raw vectors and re-sorting: appends
+    /// must be in non-decreasing timestamp order, which is checked in debug
+    /// builds.
+    pub fn append_dci(&mut self, r: DciRecord) {
+        debug_assert!(self.dci.last().is_none_or(|l| l.ts <= r.ts), "unsorted DCI append");
+        self.dci.push(r);
+    }
+
+    /// Appends a gNB log record in timestamp order (see [`Self::append_dci`]).
+    pub fn append_gnb(&mut self, r: GnbLogRecord) {
+        debug_assert!(self.gnb.last().is_none_or(|l| l.ts <= r.ts), "unsorted gNB append");
+        self.gnb.push(r);
+    }
+
+    /// Appends a packet record in send-time order (see [`Self::append_dci`]).
+    pub fn append_packet(&mut self, r: PacketRecord) {
+        debug_assert!(
+            self.packets.last().is_none_or(|l| l.sent <= r.sent),
+            "unsorted packet append"
+        );
+        self.packets.push(r);
+    }
+
+    /// Appends a UE-client stats sample in timestamp order.
+    pub fn append_app_local(&mut self, r: AppStatsRecord) {
+        debug_assert!(
+            self.app_local.last().is_none_or(|l| l.ts <= r.ts),
+            "unsorted app_local append"
+        );
+        self.app_local.push(r);
+    }
+
+    /// Appends a wired-client stats sample in timestamp order.
+    pub fn append_app_remote(&mut self, r: AppStatsRecord) {
+        debug_assert!(
+            self.app_remote.last().is_none_or(|l| l.ts <= r.ts),
+            "unsorted app_remote append"
+        );
+        self.app_remote.push(r);
+    }
+
+    /// Starts an incremental read cursor at the beginning of every stream.
+    pub fn cursor(&self) -> TraceCursor {
+        TraceCursor::default()
+    }
+
+    /// All records that arrived since `cur`, restricted to timestamps before
+    /// `t`, as one slice per stream; advances the cursor past them.
+    ///
+    /// This is the incremental-ingestion hook the streaming analyzer drives:
+    /// calling it with a monotonically increasing `t` visits every record of
+    /// each stream exactly once, in that stream's time order, in `O(log n)`
+    /// per call plus `O(1)` per record returned.
+    pub fn advance_until<'a>(&'a self, cur: &mut TraceCursor, t: SimTime) -> StreamSlices<'a> {
+        fn take<'v, T>(
+            v: &'v [T],
+            pos: &mut usize,
+            t: SimTime,
+            key: impl Fn(&T) -> SimTime,
+        ) -> &'v [T] {
+            let start = *pos;
+            let hi = start + v[start..].partition_point(|r| key(r) < t);
+            *pos = hi;
+            &v[start..hi]
+        }
+        StreamSlices {
+            dci: take(&self.dci, &mut cur.dci, t, |r| r.ts),
+            gnb: take(&self.gnb, &mut cur.gnb, t, |r| r.ts),
+            packets: take(&self.packets, &mut cur.packets, t, |r| r.sent),
+            app_local: take(&self.app_local, &mut cur.app_local, t, |r| r.ts),
+            app_remote: take(&self.app_remote, &mut cur.app_remote, t, |r| r.ts),
+        }
+    }
+
     /// Per-minute event rates (Table 1 columns).
     pub fn event_rates(&self) -> EventRates {
         let minutes = (self.meta.duration.as_secs_f64() / 60.0).max(1e-9);
@@ -167,6 +244,48 @@ impl TraceBundle {
             packets_per_min: self.packets.len() as f64 / minutes,
             webrtc_per_min: (self.app_local.len() + self.app_remote.len()) as f64 / minutes,
         }
+    }
+}
+
+/// Read position into each stream of a [`TraceBundle`], for incremental
+/// consumption via [`TraceBundle::advance_until`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCursor {
+    dci: usize,
+    gnb: usize,
+    packets: usize,
+    app_local: usize,
+    app_remote: usize,
+}
+
+/// One batch of newly visible records, one slice per stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSlices<'a> {
+    /// New DCI records.
+    pub dci: &'a [DciRecord],
+    /// New gNB log records.
+    pub gnb: &'a [GnbLogRecord],
+    /// New packet records (by send time).
+    pub packets: &'a [PacketRecord],
+    /// New UE-client stats samples.
+    pub app_local: &'a [AppStatsRecord],
+    /// New wired-client stats samples.
+    pub app_remote: &'a [AppStatsRecord],
+}
+
+impl StreamSlices<'_> {
+    /// Total records across all five streams.
+    pub fn len(&self) -> usize {
+        self.dci.len()
+            + self.gnb.len()
+            + self.packets.len()
+            + self.app_local.len()
+            + self.app_remote.len()
+    }
+
+    /// Whether no stream produced a record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -235,6 +354,34 @@ mod tests {
         let r = b.event_rates();
         assert!((r.packets_per_min - 120.0).abs() < 1e-9);
         assert_eq!(r.gnb_per_min, 0.0);
+    }
+
+    #[test]
+    fn cursor_visits_each_record_once_in_order() {
+        let mut b = TraceBundle::new(meta());
+        for ms in [0, 100, 200, 300, 400] {
+            b.append_packet(pkt(ms));
+        }
+        let mut cur = b.cursor();
+        let first = b.advance_until(&mut cur, SimTime::from_millis(250));
+        assert_eq!(first.packets.len(), 3);
+        assert_eq!(first.len(), 3);
+        // Same horizon again: nothing new.
+        let again = b.advance_until(&mut cur, SimTime::from_millis(250));
+        assert!(again.is_empty());
+        // Advance to the end: exactly the remaining two.
+        let rest = b.advance_until(&mut cur, SimTime::from_secs(10));
+        assert_eq!(rest.packets.len(), 2);
+        assert_eq!(rest.packets[0].seq, 300);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unsorted packet append")]
+    fn append_rejects_time_travel() {
+        let mut b = TraceBundle::new(meta());
+        b.append_packet(pkt(500));
+        b.append_packet(pkt(100));
     }
 
     #[test]

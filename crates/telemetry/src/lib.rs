@@ -22,7 +22,7 @@ pub mod csv;
 pub mod records;
 pub mod series;
 
-pub use bundle::{SessionMeta, TraceBundle};
+pub use bundle::{SessionMeta, StreamSlices, TraceBundle, TraceCursor};
 pub use records::{
     AppStatsRecord, CellClass, DciRecord, Direction, Duplexing, GccNetworkState, GnbEvent,
     GnbLogRecord, PacketRecord, Resolution, RrcState, StreamKind,

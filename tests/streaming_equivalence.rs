@@ -1,0 +1,124 @@
+//! Streaming ↔ batch equivalence over real simulated sessions: the
+//! incremental analyzer must reproduce the batch sliding-window pipeline
+//! bit-for-bit across a full sweep of a `run_cell_session` bundle.
+
+use domino::core::stream::StreamingAnalyzer;
+use domino::core::{Analysis, Domino, DominoConfig};
+use domino::scenarios::{run_cell_session, ScriptAction, SessionConfig, SessionSpec};
+use domino::simcore::{SimDuration, SimTime};
+use domino::telemetry::{Direction, TraceBundle};
+
+fn cfg(seed: u64, secs: u64) -> SessionConfig {
+    SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+}
+
+fn assert_identical(batch: &Analysis, streaming: &Analysis) {
+    assert_eq!(batch.windows.len(), streaming.windows.len(), "window counts differ");
+    assert_eq!(batch.duration, streaming.duration);
+    for (b, s) in batch.windows.iter().zip(&streaming.windows) {
+        assert_eq!(b.start, s.start);
+        assert_eq!(
+            b.features,
+            s.features,
+            "features diverge at {:?}: batch {:?} vs streaming {:?}",
+            b.start,
+            b.features.active_names(),
+            s.features.active_names()
+        );
+        assert_eq!(b.chains, s.chains, "chains diverge at {:?}", b.start);
+        assert_eq!(b.unknown_consequences, s.unknown_consequences);
+    }
+}
+
+fn assert_equivalent_on(bundle: &TraceBundle, domino: &Domino) {
+    let batch = domino.analyze(bundle);
+    let mut streaming =
+        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
+            .expect("default config is streaming-aligned");
+    let incremental = streaming.analyze(bundle);
+    assert_identical(&batch, &incremental);
+}
+
+#[test]
+fn healthy_cell_session_is_bit_identical() {
+    let domino = Domino::with_defaults();
+    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg(901, 30), |_| {});
+    assert_equivalent_on(&bundle, &domino);
+}
+
+#[test]
+fn impaired_sessions_are_bit_identical() {
+    // Scripted impairments light up the RAN feature families (cross traffic,
+    // HARQ, RRC), so the equivalence claim covers active detections, not just
+    // all-false vectors.
+    let domino = Domino::with_defaults();
+    let t = |s: f64| SimTime::from_micros((s * 1e6) as u64);
+    let specs = [
+        SessionSpec::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), cfg(902, 25))
+            .with_script(ScriptAction::CrossTraffic {
+                dir: Direction::Downlink,
+                from: t(8.0),
+                to: t(12.0),
+                prb_fraction: 0.97,
+            }),
+        SessionSpec::cell(domino::scenarios::amarisoft_ideal(), cfg(903, 25)).with_script(
+            ScriptAction::HarqFailures {
+                dir: Direction::Uplink,
+                from: t(10.0),
+                to: t(12.0),
+                fail_attempts: 1,
+            },
+        ),
+        SessionSpec::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), cfg(904, 25))
+            .with_script(ScriptAction::RrcRelease { at: t(10.0) }),
+    ];
+    let mut any_chain = false;
+    for spec in &specs {
+        let bundle = spec.run();
+        let analysis = domino.analyze(&bundle);
+        any_chain |= analysis.windows.iter().any(|w| !w.chains.is_empty());
+        assert_equivalent_on(&bundle, &domino);
+    }
+    assert!(any_chain, "impaired sessions must produce at least one chain");
+}
+
+#[test]
+fn one_second_step_window_grid_is_bit_identical() {
+    // The perf-comparison configuration from the microbench: 1 s step.
+    let config = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let domino = Domino::new(domino::core::default_graph(), config);
+    let bundle = run_cell_session(domino::scenarios::mosolabs(), &cfg(905, 30), |_| {});
+    assert_equivalent_on(&bundle, &domino);
+}
+
+#[test]
+fn push_api_in_irregular_batches_matches_batch() {
+    // Drive the push API with awkward 73 ms ingestion batches instead of the
+    // per-window schedule `analyze` uses: emission must only depend on what
+    // has been pushed, not on the batching.
+    let domino = Domino::with_defaults();
+    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg(906, 20), |_| {});
+    let batch = domino.analyze(&bundle);
+
+    let mut streaming =
+        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).unwrap();
+    let step = domino.config().step;
+    let window = domino.config().window;
+    let horizon = bundle.horizon();
+    let mut cursor = bundle.cursor();
+    let mut ingested_to = SimTime::ZERO;
+    let mut windows = Vec::new();
+    let mut start = SimTime::ZERO + domino.config().warmup;
+    while start + window <= horizon {
+        let end = start + window;
+        while ingested_to < end {
+            ingested_to = (ingested_to + SimDuration::from_millis(73)).min(end);
+            let slices = bundle.advance_until(&mut cursor, ingested_to);
+            streaming.push_slices(&slices);
+        }
+        windows.push(streaming.emit(start));
+        start += step;
+    }
+    let incremental = Analysis { windows, duration: bundle.meta.duration };
+    assert_identical(&batch, &incremental);
+}
