@@ -79,6 +79,94 @@ fn bench_streaming_step(c: &mut Criterion) {
     });
 }
 
+/// Per-step cost of the full live pipeline at 1 s step / 5 s window: replay
+/// a recorded session's telemetry as emission-time tap events (packet sends
+/// at `sent`, deliveries at `received`, gNB logs at their out-of-order
+/// timestamps), one second of session time per iteration. The delta over
+/// `domino/streaming_step` is the price of the watermark reorder stage,
+/// in-flight packet staging, and constant-memory pruning.
+fn bench_live_step(c: &mut Criterion) {
+    use domino_live::{EarlyExit, LiveConfig, LivePipeline};
+    use telemetry::LiveTap;
+
+    let bundle = session_bundle();
+    enum Ev {
+        AppL(usize),
+        AppR(usize),
+        Dci(usize),
+        Gnb(usize),
+        Sent(usize),
+        Del(usize),
+    }
+    let mut events: Vec<(SimTime, Ev)> = Vec::new();
+    for (i, r) in bundle.app_local.iter().enumerate() {
+        events.push((r.ts, Ev::AppL(i)));
+    }
+    for (i, r) in bundle.app_remote.iter().enumerate() {
+        events.push((r.ts, Ev::AppR(i)));
+    }
+    for (i, r) in bundle.dci.iter().enumerate() {
+        events.push((r.ts, Ev::Dci(i)));
+    }
+    for (i, r) in bundle.gnb.iter().enumerate() {
+        events.push((r.ts, Ev::Gnb(i)));
+    }
+    let mut unsent = Vec::new();
+    for (i, p) in bundle.packets.iter().enumerate() {
+        // Packets are announced fate-unknown at send time...
+        let mut record = p.clone();
+        record.received = None;
+        unsent.push(record);
+        events.push((p.sent, Ev::Sent(i)));
+        // ...and patched at delivery.
+        if let Some(at) = p.received {
+            events.push((at, Ev::Del(i)));
+        }
+    }
+    // Stable: packet sends keep their (sent, id) emission order on ties.
+    events.sort_by_key(|e| e.0);
+
+    let cfg = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let mut pipe = LivePipeline::new(
+        default_graph(),
+        cfg,
+        LiveConfig { lateness: SimDuration::from_secs(1), early_exit: EarlyExit::Never },
+    )
+    .expect("aligned");
+    let step = SimDuration::from_secs(1);
+    let mut idx = 0usize;
+    let mut now = SimTime::ZERO;
+    c.bench_function("domino/live_step", |b| {
+        b.iter(|| {
+            if idx >= events.len() {
+                // Replayed the whole session: start over.
+                pipe.reset();
+                idx = 0;
+                now = SimTime::ZERO;
+            }
+            now += step;
+            while idx < events.len() && events[idx].0 < now {
+                match events[idx].1 {
+                    Ev::AppL(i) => pipe.on_app_local(&bundle.app_local[i]),
+                    Ev::AppR(i) => pipe.on_app_remote(&bundle.app_remote[i]),
+                    Ev::Dci(i) => pipe.on_dci(&bundle.dci[i]),
+                    Ev::Gnb(i) => pipe.on_gnb(&bundle.gnb[i]),
+                    Ev::Sent(i) => pipe.on_packet_sent(i as u64, &unsent[i]),
+                    Ev::Del(i) => {
+                        pipe.on_packet_delivered(
+                            i as u64,
+                            bundle.packets[i].received.expect("delivery implies received"),
+                        );
+                    }
+                }
+                idx += 1;
+            }
+            pipe.on_tick(now);
+            black_box(pipe.stats())
+        })
+    });
+}
+
 /// Full-sweep comparison at the same configuration: the end-to-end win of
 /// ingesting each record once instead of W/Δt times.
 fn bench_full_sweep(c: &mut Criterion) {
@@ -166,6 +254,7 @@ criterion_group!(
         bench_feature_extraction,
         bench_full_window_analysis,
         bench_streaming_step,
+        bench_live_step,
         bench_full_sweep,
         bench_chain_search,
         bench_dsl_parse,

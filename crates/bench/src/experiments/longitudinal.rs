@@ -2,9 +2,10 @@
 
 use std::fmt::Write as _;
 
+use domino_core::Domino;
 use telemetry::{Direction, Resolution, TraceBundle};
 
-use domino_sweep::run_bundles;
+use domino_sweep::{run_sweep_with_progress, AnalysisMode, SweepOptions, SweepProgress};
 use scenarios::{all_cells, SessionSpec};
 
 use crate::util::{delay_samples, print_cdf, session_cfg};
@@ -12,12 +13,33 @@ use crate::util::{delay_samples, print_cdf, session_cfg};
 fn run_all_cells() -> Vec<TraceBundle> {
     // One spec per cell (seeds preserved from the sequential harness), fanned
     // across cores by the sweep engine; bundles come back in spec order.
+    // These are the longest sessions the harness runs, so they exercise the
+    // operator-scale path: Domino analysis runs *inline* during each
+    // simulation (`AnalysisMode::Live`; no early exit, so the bundles the
+    // figures read are untouched) and throughput/ETA goes to stderr, keeping
+    // the figure text on stdout byte-stable.
     let specs: Vec<SessionSpec> = all_cells()
         .into_iter()
         .enumerate()
         .map(|(i, cell)| SessionSpec::cell(cell, session_cfg(3000 + i as u64)))
         .collect();
-    run_bundles(&specs, 0)
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        analysis: AnalysisMode::Live,
+        keep_bundles: true,
+        ..Default::default()
+    };
+    let progress = |p: SweepProgress| {
+        eprintln!(
+            "[longitudinal] {}/{} sessions ({:.2}/s, ETA {:.0} s)",
+            p.completed, p.total, p.sessions_per_sec, p.eta_secs
+        );
+    };
+    run_sweep_with_progress(&specs, &domino, &opts, &progress)
+        .outcomes
+        .into_iter()
+        .map(|o| o.bundle.expect("keep_bundles set"))
+        .collect()
 }
 
 /// Fig. 8 — per-cell CDFs: one-way delay, target bitrate, frame rate,

@@ -1,0 +1,55 @@
+//! # domino-live — online, in-session root-cause diagnosis
+//!
+//! The batch and streaming engines in `domino-core` analyse a *completed*
+//! [`telemetry::TraceBundle`]. This crate diagnoses the call **while it is
+//! running**: the [`LivePipeline`] implements [`telemetry::LiveTap`], plugs
+//! into the session engine's emission-time hooks
+//! (`scenarios::run_cell_session_with_tap`), and produces incremental
+//! [`LiveVerdict`]s with bounded memory — the online spine the ROADMAP's
+//! operator-scale diagnoser needs (one pipeline per watched call, millions
+//! of concurrent calls).
+//!
+//! Stages, in record order:
+//!
+//! 1. **Watermark reordering** ([`reorder::Reorder`]). Telemetry does not
+//!    arrive in timestamp order: gNB logs interleave RLC retransmissions
+//!    (stamped with scheduled, *future* times) with same-slot buffer
+//!    samples, and a packet's fate is only known at delivery. Every stream
+//!    is buffered until the watermark — session time minus the configured
+//!    [`LiveConfig::lateness`] bound — passes it, then released in exact
+//!    `(timestamp, emission sequence)` order, which reproduces the stable
+//!    sort order of the finished bundle bit for bit. Records that show up
+//!    *behind* the released frontier are dropped and counted
+//!    ([`LiveStats::late_records_dropped`]); packet deliveries that arrive
+//!    after their record was frozen are counted as
+//!    [`LiveStats::late_deliveries`].
+//! 2. **Constant-memory staging**. Released records are appended to a small
+//!    staging [`telemetry::TraceBundle`], read once through the telemetry
+//!    cursor ([`telemetry::TraceBundle::advance_until`]) into the
+//!    [`domino_core::StreamingAnalyzer`], and pruned
+//!    ([`telemetry::TraceBundle::prune_consumed`]) as soon as the window
+//!    closes — so retained trace stays O(window + lateness), never
+//!    O(session).
+//! 3. **Early-exit verdicts** ([`EarlyExit`]). Each closed window yields a
+//!    [`LiveVerdict`]; a policy can stop the session once enough chains are
+//!    confirmed or the verdict has been stable long enough, aborting the
+//!    simulation itself through [`telemetry::LiveTap::should_stop`].
+//!
+//! **Equivalence contract:** with [`EarlyExit::Never`] and a lateness bound
+//! that covers the longest in-network packet delay (so no late drops or
+//! late deliveries occur), [`LivePipeline::take_analysis`] is bit-identical
+//! to [`domino_core::Domino::analyze`] over the same session's bundle —
+//! enforced by `tests/live_equivalence.rs` at the workspace root and the
+//! unit tests here. Like the streaming analyzer it builds on, the pipeline
+//! requires the window grid to align with the detector's bin granule
+//! ([`domino_core::StreamingAnalyzer::supports`]); [`LivePipeline::new`]
+//! reports [`domino_core::UnsupportedConfig`] otherwise.
+
+pub mod pipeline;
+pub mod reorder;
+
+pub use pipeline::{EarlyExit, LiveConfig, LivePipeline, LiveStats, LiveVerdict};
+pub use reorder::Reorder;
+
+// Re-exported so callers configuring a pipeline need only this crate.
+pub use domino_core::UnsupportedConfig;

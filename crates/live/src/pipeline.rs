@@ -1,0 +1,823 @@
+//! The [`LivePipeline`]: an emission-time [`LiveTap`] that runs Domino's
+//! incremental window analysis *during* the session and produces
+//! [`LiveVerdict`]s with bounded memory. See the crate docs for the stage
+//! diagram and the equivalence contract.
+
+use std::collections::{HashMap, VecDeque};
+
+use simcore::{SimDuration, SimTime};
+use telemetry::{
+    AppStatsRecord, DciRecord, GnbLogRecord, LiveTap, PacketRecord, SessionMeta, TraceBundle,
+    TraceCursor,
+};
+
+use domino_core::detect::{Analysis, ChainHit, DominoConfig, WindowAnalysis};
+use domino_core::graph::{CausalGraph, NodeId};
+use domino_core::stream::{StreamingAnalyzer, UnsupportedConfig};
+
+use crate::reorder::Reorder;
+
+/// When the live pipeline may abort the session it is watching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EarlyExit {
+    /// Run to the end of the session (required for batch equivalence).
+    #[default]
+    Never,
+    /// Stop once `n` chain hits have been confirmed across all emitted
+    /// windows (`n = 0` is treated as 1). Overlapping windows re-confirm a
+    /// persisting chain, so small `n` stops at the first incident while
+    /// larger `n` waits for either a long-lived or a recurring one.
+    AfterChains(usize),
+    /// Stop once the verdict — the window's chain set plus unattributed
+    /// consequences — has been identical for `k` consecutive windows
+    /// (`k = 0` is treated as 1). Note the healthy (empty) verdict counts
+    /// as stable too: on a clean call this exits ~`k` windows after warmup,
+    /// which is exactly the fleet-scale triage behaviour (don't keep
+    /// watching healthy calls).
+    StableFor(usize),
+}
+
+/// Configuration of the live stages (the analysis itself is configured by
+/// the [`DominoConfig`] passed to [`LivePipeline::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Watermark lateness bound: a record with timestamp `t` is expected to
+    /// reach the tap by session time `t + lateness`. Larger bounds tolerate
+    /// slower telemetry (packets are only final at delivery, so this must
+    /// cover the longest one-way delay for exact batch equivalence) at the
+    /// cost of diagnosis latency and retained-memory, both O(lateness).
+    pub lateness: SimDuration,
+    /// Early-exit policy.
+    pub early_exit: EarlyExit,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig { lateness: SimDuration::from_secs(5), early_exit: EarlyExit::Never }
+    }
+}
+
+/// Callback type for [`LivePipeline::set_verdict_hook`].
+type VerdictHook = Box<dyn FnMut(&LiveVerdict)>;
+
+/// One incremental diagnosis event: the verdict of a just-closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveVerdict {
+    /// Start of the window this verdict covers.
+    pub window_start: SimTime,
+    /// Session time at which the verdict was emitted (window end + lateness
+    /// during the call; the session end for windows flushed at finish).
+    pub emitted_at: SimTime,
+    /// Complete causal chains active in the window.
+    pub chains: Vec<ChainHit>,
+    /// Active consequences with no complete chain to a root cause.
+    pub unknown_consequences: Vec<NodeId>,
+    /// Whether this verdict differs from the previous window's.
+    pub changed: bool,
+}
+
+/// Counters the pipeline maintains while it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStats {
+    /// Records that entered the tap (all five streams, packets once).
+    pub records_seen: usize,
+    /// Records dropped for arriving behind the released watermark frontier
+    /// (lateness-bound violations; each one may cost verdict fidelity).
+    pub late_records_dropped: usize,
+    /// Packet deliveries that arrived after their packet's fate was frozen
+    /// as lost — the packet-stream flavour of a lateness violation.
+    pub late_deliveries: usize,
+    /// Windows emitted so far.
+    pub windows_emitted: usize,
+    /// High-water mark of retained records (reorder buffers + in-flight
+    /// packets + staging bundle). Bounded by O(window + lateness) for any
+    /// session length — asserted by `tests/live_equivalence.rs`.
+    pub peak_retained_records: usize,
+    /// Whether an [`EarlyExit`] policy stopped the session.
+    pub early_exited: bool,
+}
+
+/// Tracks the packet contribution to the bundle horizon: the record with
+/// the greatest `(sent, emission id)`, and its receive time once known —
+/// reproducing exactly what `TraceBundle::horizon()` reads from the last
+/// element of the sorted packet vector.
+#[derive(Debug, Clone, Copy, Default)]
+struct PacketHorizon {
+    sent: SimTime,
+    id: u64,
+    contrib: SimTime,
+    any: bool,
+}
+
+impl PacketHorizon {
+    fn on_sent(&mut self, id: u64, sent: SimTime) {
+        if !self.any || sent >= self.sent {
+            *self = PacketHorizon { sent, id, contrib: sent, any: true };
+        }
+    }
+
+    fn on_delivered(&mut self, id: u64, at: SimTime) {
+        if self.any && id == self.id {
+            self.contrib = self.contrib.max(at);
+        }
+    }
+}
+
+/// In-flight packet staging: a ring sorted by `(sent, id)` — O(1) appends
+/// for the common in-emission-order case, stable insert for the small
+/// within-tick inversions — plus an `id → sent` index so deliveries can
+/// patch their record's fate in O(log n + ties).
+#[derive(Debug, Clone, Default)]
+struct PendingPackets {
+    buf: VecDeque<(SimTime, u64, PacketRecord)>,
+    in_flight: HashMap<u64, SimTime>,
+}
+
+impl PendingPackets {
+    fn insert(&mut self, id: u64, record: PacketRecord) {
+        let sent = record.sent;
+        if self.buf.back().is_none_or(|&(s, i, _)| (s, i) <= (sent, id)) {
+            self.buf.push_back((sent, id, record));
+        } else {
+            let at = self.buf.partition_point(|&(s, i, _)| (s, i) <= (sent, id));
+            self.buf.insert(at, (sent, id, record));
+        }
+        self.in_flight.insert(id, sent);
+    }
+
+    /// Patches the record announced as `id` with its delivery time; `false`
+    /// if that record's fate was already frozen (released).
+    fn deliver(&mut self, id: u64, at: SimTime) -> bool {
+        let Some(&sent) = self.in_flight.get(&id) else { return false };
+        let start = self.buf.partition_point(|&(s, _, _)| s < sent);
+        for slot in self.buf.range_mut(start..) {
+            if slot.0 != sent {
+                break;
+            }
+            if slot.1 == id {
+                slot.2.received = Some(at);
+                return true;
+            }
+        }
+        unreachable!("in_flight and buf are updated together")
+    }
+
+    /// Releases every packet with `sent < t` to `sink` in `(sent, id)`
+    /// order, freezing its fate.
+    fn release_below(&mut self, t: SimTime, mut sink: impl FnMut(PacketRecord)) {
+        while let Some(&(sent, _, _)) = self.buf.front() {
+            if sent >= t {
+                break;
+            }
+            let (_, id, record) = self.buf.pop_front().expect("checked non-empty");
+            self.in_flight.remove(&id);
+            sink(record);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.in_flight.clear();
+    }
+}
+
+/// Online diagnosis pipeline for one session; implements [`LiveTap`].
+///
+/// Drive it through a tapped session run and collect the results:
+///
+/// ```no_run
+/// use domino_live::{LiveConfig, LivePipeline};
+/// # let cfg = scenarios::SessionConfig::default();
+/// let mut pipe = LivePipeline::with_defaults(LiveConfig::default()).unwrap();
+/// let bundle = scenarios::run_cell_session_with_tap(
+///     scenarios::amarisoft(), &cfg, |_| {}, &mut pipe);
+/// let analysis = pipe.take_analysis(bundle.meta.duration);
+/// ```
+pub struct LivePipeline {
+    analyzer: StreamingAnalyzer,
+    live_cfg: LiveConfig,
+
+    // Reorder stage, one buffer per out-of-band stream; packets are staged
+    // in `pending` until their fate resolves or their window closes.
+    app_local: Reorder<AppStatsRecord>,
+    app_remote: Reorder<AppStatsRecord>,
+    dci: Reorder<DciRecord>,
+    gnb: Reorder<GnbLogRecord>,
+    pending: PendingPackets,
+    packet_frontier: SimTime,
+    late_sends: usize,
+    late_deliveries: usize,
+
+    // Constant-memory staging: released records transit this bundle, read
+    // once via the cursor and pruned at each window close.
+    staging: TraceBundle,
+    cursor: TraceCursor,
+
+    // Window schedule and horizon tracking.
+    next_start: SimTime,
+    now: SimTime,
+    horizon_lb: SimTime,
+    packet_horizon: PacketHorizon,
+
+    // Outputs.
+    windows: Vec<WindowAnalysis>,
+    verdicts: Vec<LiveVerdict>,
+    hook: Option<VerdictHook>,
+    records_seen: usize,
+    peak_retained: usize,
+    windows_emitted: usize,
+    chain_total: usize,
+    stable_run: usize,
+    stopped: bool,
+    finished: bool,
+}
+
+impl LivePipeline {
+    /// Creates a pipeline over `graph` with the given engine and live
+    /// configurations, or reports why the configuration cannot run on the
+    /// exact incremental path (same alignment contract as
+    /// [`StreamingAnalyzer::new`]).
+    pub fn new(
+        graph: CausalGraph,
+        cfg: DominoConfig,
+        live_cfg: LiveConfig,
+    ) -> Result<Self, UnsupportedConfig> {
+        let warmup = cfg.warmup;
+        let analyzer = StreamingAnalyzer::new(graph, cfg)?;
+        Ok(LivePipeline {
+            analyzer,
+            live_cfg,
+            app_local: Reorder::new(),
+            app_remote: Reorder::new(),
+            dci: Reorder::new(),
+            gnb: Reorder::new(),
+            pending: PendingPackets::default(),
+            packet_frontier: SimTime::ZERO,
+            late_sends: 0,
+            late_deliveries: 0,
+            staging: TraceBundle::new(SessionMeta::baseline(
+                "domino-live staging",
+                SimDuration::ZERO,
+                0,
+            )),
+            cursor: TraceCursor::default(),
+            next_start: SimTime::ZERO + warmup,
+            now: SimTime::ZERO,
+            horizon_lb: SimTime::ZERO,
+            packet_horizon: PacketHorizon::default(),
+            windows: Vec::new(),
+            verdicts: Vec::new(),
+            hook: None,
+            records_seen: 0,
+            peak_retained: 0,
+            windows_emitted: 0,
+            chain_total: 0,
+            stable_run: 0,
+            stopped: false,
+            finished: false,
+        })
+    }
+
+    /// A pipeline over the paper's default graph and engine configuration.
+    pub fn with_defaults(live_cfg: LiveConfig) -> Result<Self, UnsupportedConfig> {
+        Self::new(domino_core::dsl::default_graph(), DominoConfig::default(), live_cfg)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DominoConfig {
+        self.analyzer.config()
+    }
+
+    /// The live-stage configuration.
+    pub fn live_config(&self) -> &LiveConfig {
+        &self.live_cfg
+    }
+
+    /// Installs a callback invoked synchronously for every emitted verdict
+    /// (in addition to the retained stream drained by
+    /// [`Self::drain_verdicts`]).
+    pub fn set_verdict_hook(&mut self, hook: impl FnMut(&LiveVerdict) + 'static) {
+        self.hook = Some(Box::new(hook));
+    }
+
+    /// Counters so far (final after the session's `on_finish`).
+    pub fn stats(&self) -> LiveStats {
+        LiveStats {
+            records_seen: self.records_seen,
+            late_records_dropped: self.late_sends
+                + self.app_local.late_count()
+                + self.app_remote.late_count()
+                + self.dci.late_count()
+                + self.gnb.late_count(),
+            late_deliveries: self.late_deliveries,
+            windows_emitted: self.windows_emitted,
+            peak_retained_records: self.peak_retained,
+            early_exited: self.stopped,
+        }
+    }
+
+    /// Takes the verdicts emitted since the last drain.
+    pub fn drain_verdicts(&mut self) -> Vec<LiveVerdict> {
+        std::mem::take(&mut self.verdicts)
+    }
+
+    /// Takes the accumulated per-window results as a batch-shaped
+    /// [`Analysis`] (`duration` is the session duration, used for
+    /// per-minute normalisation — pass `bundle.meta.duration`).
+    pub fn take_analysis(&mut self, duration: SimDuration) -> Analysis {
+        Analysis { windows: std::mem::take(&mut self.windows), duration }
+    }
+
+    /// Clears all per-session state so the pipeline can watch another
+    /// session (allocations and the verdict hook are kept).
+    pub fn reset(&mut self) {
+        let warmup = self.analyzer.config().warmup;
+        self.analyzer.reset();
+        self.app_local.clear();
+        self.app_remote.clear();
+        self.dci.clear();
+        self.gnb.clear();
+        self.pending.clear();
+        self.packet_frontier = SimTime::ZERO;
+        self.late_sends = 0;
+        self.late_deliveries = 0;
+        self.staging.dci.clear();
+        self.staging.gnb.clear();
+        self.staging.packets.clear();
+        self.staging.app_local.clear();
+        self.staging.app_remote.clear();
+        self.cursor = TraceCursor::default();
+        self.next_start = SimTime::ZERO + warmup;
+        self.now = SimTime::ZERO;
+        self.horizon_lb = SimTime::ZERO;
+        self.packet_horizon = PacketHorizon::default();
+        self.windows.clear();
+        self.verdicts.clear();
+        self.records_seen = 0;
+        self.peak_retained = 0;
+        self.windows_emitted = 0;
+        self.chain_total = 0;
+        self.stable_run = 0;
+        self.stopped = false;
+        self.finished = false;
+    }
+
+    /// Records retained right now across all live stages.
+    pub fn retained_records(&self) -> usize {
+        self.staging.total_records()
+            + self.pending.len()
+            + self.app_local.len()
+            + self.app_remote.len()
+            + self.dci.len()
+            + self.gnb.len()
+    }
+
+    fn note_retained(&mut self) {
+        self.peak_retained = self.peak_retained.max(self.retained_records());
+    }
+
+    /// The watermark: session time minus the lateness bound.
+    fn watermark(&self) -> SimTime {
+        SimTime::from_micros(
+            self.now.as_micros().saturating_sub(self.live_cfg.lateness.as_micros()),
+        )
+    }
+
+    /// Closes every window whose end the watermark (and the horizon lower
+    /// bound — a window must not outrun the records that prove the session
+    /// actually extends past its end) has passed.
+    fn close_ready(&mut self) {
+        let window = self.analyzer.config().window;
+        while !self.stopped {
+            let end = self.next_start + window;
+            if self.watermark() < end || end > self.horizon_lb {
+                break;
+            }
+            self.close_one(end);
+        }
+    }
+
+    /// Releases everything the window `[next_start, end)` still needs into
+    /// the staging bundle, feeds it to the analyzer, emits the window, and
+    /// prunes the consumed staging prefix.
+    fn close_one(&mut self, end: SimTime) {
+        let staging = &mut self.staging;
+        self.app_local.release_below(end, |r| staging.append_app_local(r));
+        self.app_remote.release_below(end, |r| staging.append_app_remote(r));
+        self.dci.release_below(end, |r| staging.append_dci(r));
+        self.gnb.release_below(end, |r| {
+            staging.append_gnb(r);
+        });
+        // Packets sent before the window end: their fate is frozen now —
+        // a delivery that arrives later is counted as late.
+        self.pending.release_below(end, |record| staging.append_packet(record));
+        self.packet_frontier = self.packet_frontier.max(end);
+
+        let slices = self.staging.advance_until(&mut self.cursor, end);
+        self.analyzer.push_slices(&slices);
+        let analysis = self.analyzer.emit(self.next_start);
+        self.note_retained();
+        self.staging.prune_consumed(&mut self.cursor);
+        self.next_start += self.analyzer.config().step;
+        self.record_window(analysis);
+    }
+
+    /// Appends one window's verdict to the output streams and applies the
+    /// early-exit policy.
+    fn record_window(&mut self, w: WindowAnalysis) {
+        let changed = self.windows.last().is_none_or(|prev| {
+            prev.chains != w.chains || prev.unknown_consequences != w.unknown_consequences
+        });
+        self.stable_run = if changed { 1 } else { self.stable_run + 1 };
+        self.chain_total += w.chains.len();
+        let verdict = LiveVerdict {
+            window_start: w.start,
+            emitted_at: self.now,
+            chains: w.chains.clone(),
+            unknown_consequences: w.unknown_consequences.clone(),
+            changed,
+        };
+        if let Some(hook) = &mut self.hook {
+            hook(&verdict);
+        }
+        self.verdicts.push(verdict);
+        self.windows.push(w);
+        self.windows_emitted += 1;
+        // A bound of 0 would stop unconditionally at the first (possibly
+        // empty) window; treat it as 1 so dynamically computed bounds
+        // degrade to "first confirmation" instead of "never look".
+        match self.live_cfg.early_exit {
+            EarlyExit::Never => {}
+            EarlyExit::AfterChains(n) => self.stopped = self.chain_total >= n.max(1),
+            EarlyExit::StableFor(k) => self.stopped = self.stable_run >= k.max(1),
+        }
+    }
+
+    /// The exact batch horizon: max last-record time over all five streams,
+    /// with the packet term read from the greatest-`(sent, id)` record just
+    /// like `TraceBundle::horizon()` reads the sorted vector's last element.
+    fn horizon(&self) -> SimTime {
+        let mut h = self.horizon_lb;
+        if self.packet_horizon.any {
+            h = h.max(self.packet_horizon.contrib);
+        }
+        h
+    }
+}
+
+impl LiveTap for LivePipeline {
+    fn on_app_local(&mut self, r: &AppStatsRecord) {
+        self.records_seen += 1;
+        self.horizon_lb = self.horizon_lb.max(r.ts);
+        self.app_local.push(r.ts, r.clone());
+    }
+
+    fn on_app_remote(&mut self, r: &AppStatsRecord) {
+        self.records_seen += 1;
+        self.horizon_lb = self.horizon_lb.max(r.ts);
+        self.app_remote.push(r.ts, r.clone());
+    }
+
+    fn on_dci(&mut self, r: &DciRecord) {
+        self.records_seen += 1;
+        self.horizon_lb = self.horizon_lb.max(r.ts);
+        self.dci.push(r.ts, r.clone());
+    }
+
+    fn on_gnb(&mut self, r: &GnbLogRecord) {
+        self.records_seen += 1;
+        self.horizon_lb = self.horizon_lb.max(r.ts);
+        self.gnb.push(r.ts, r.clone());
+    }
+
+    fn on_packet_sent(&mut self, id: u64, r: &PacketRecord) {
+        self.records_seen += 1;
+        self.packet_horizon.on_sent(id, r.sent);
+        if r.sent < self.packet_frontier {
+            // Can only happen when the lateness bound is violated at the
+            // source; the windows covering it have already closed.
+            self.late_sends += 1;
+            return;
+        }
+        self.pending.insert(id, r.clone());
+    }
+
+    fn on_packet_delivered(&mut self, id: u64, at: SimTime) {
+        self.packet_horizon.on_delivered(id, at);
+        if !self.pending.deliver(id, at) {
+            // Fate already frozen as lost when its window closed.
+            self.late_deliveries += 1;
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.now = now;
+        self.close_ready();
+        self.note_retained();
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        self.now = now;
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.stopped {
+            return;
+        }
+        // Flush: every record is now final, so release everything and close
+        // the remaining windows against the exact batch horizon.
+        let flush_to = SimTime::from_micros(u64::MAX);
+        let staging = &mut self.staging;
+        self.app_local.release_below(flush_to, |r| staging.append_app_local(r));
+        self.app_remote.release_below(flush_to, |r| staging.append_app_remote(r));
+        self.dci.release_below(flush_to, |r| staging.append_dci(r));
+        self.gnb.release_below(flush_to, |r| {
+            staging.append_gnb(r);
+        });
+        self.pending.release_below(flush_to, |record| staging.append_packet(record));
+        self.packet_frontier = flush_to;
+        self.note_retained();
+
+        let horizon = self.horizon();
+        let window = self.analyzer.config().window;
+        while !self.stopped && self.next_start + window <= horizon {
+            let end = self.next_start + window;
+            let slices = self.staging.advance_until(&mut self.cursor, end);
+            self.analyzer.push_slices(&slices);
+            let analysis = self.analyzer.emit(self.next_start);
+            self.next_start += self.analyzer.config().step;
+            self.record_window(analysis);
+        }
+        // Nothing further will be analysed: drop the consumed prefix and
+        // the tail past the last window alike.
+        self.staging.dci.clear();
+        self.staging.gnb.clear();
+        self.staging.packets.clear();
+        self.staging.app_local.clear();
+        self.staging.app_remote.clear();
+        self.cursor = TraceCursor::default();
+    }
+
+    fn should_stop(&self) -> bool {
+        self.stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_core::Domino;
+    use scenarios::{
+        amarisoft, run_cell_session_with_tap, tmobile_fdd_15mhz_quiet,
+        ScriptAction, SessionConfig, SessionSpec,
+    };
+    use telemetry::Direction;
+
+    fn cfg(seed: u64, secs: u64) -> SessionConfig {
+        SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+    }
+
+    fn generous() -> LiveConfig {
+        // Covers any in-network delay these short sessions can produce.
+        LiveConfig { lateness: SimDuration::from_secs(30), early_exit: EarlyExit::Never }
+    }
+
+    fn assert_identical(batch: &Analysis, live: &Analysis) {
+        assert_eq!(batch.windows.len(), live.windows.len(), "window counts differ");
+        assert_eq!(batch.duration, live.duration);
+        for (b, l) in batch.windows.iter().zip(&live.windows) {
+            assert_eq!(b.start, l.start);
+            assert_eq!(
+                b.features,
+                l.features,
+                "features diverge at {:?}: batch {:?} vs live {:?}",
+                b.start,
+                b.features.active_names(),
+                l.features.active_names()
+            );
+            assert_eq!(b.chains, l.chains, "chains diverge at {:?}", b.start);
+            assert_eq!(b.unknown_consequences, l.unknown_consequences);
+        }
+    }
+
+    #[test]
+    fn live_matches_batch_on_healthy_session() {
+        let domino = Domino::with_defaults();
+        let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
+        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(41, 20), |_| {}, &mut pipe);
+        let live = pipe.take_analysis(bundle.meta.duration);
+        let batch = domino.analyze(&bundle);
+        assert_identical(&batch, &live);
+        let stats = pipe.stats();
+        assert_eq!(stats.late_records_dropped, 0);
+        assert_eq!(stats.late_deliveries, 0);
+        assert!(!stats.early_exited);
+    }
+
+    #[test]
+    fn live_matches_batch_on_impaired_session() {
+        let domino = Domino::with_defaults();
+        let spec = SessionSpec::cell(tmobile_fdd_15mhz_quiet(), cfg(42, 25))
+            .with_script(ScriptAction::CrossTraffic {
+                dir: Direction::Downlink,
+                from: SimTime::from_secs(8),
+                to: SimTime::from_secs(12),
+                prb_fraction: 0.97,
+            })
+            .with_script(ScriptAction::RrcRelease { at: SimTime::from_secs(16) });
+        let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
+        let bundle = spec.run_with_tap(&mut pipe);
+        let live = pipe.take_analysis(bundle.meta.duration);
+        let batch = domino.analyze(&bundle);
+        assert!(
+            batch.windows.iter().any(|w| !w.chains.is_empty()),
+            "impairments must produce chains or the equivalence claim is weak"
+        );
+        assert_identical(&batch, &live);
+    }
+
+    #[test]
+    fn verdicts_arrive_during_the_call_not_after() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: SimDuration::from_secs(2),
+            early_exit: EarlyExit::Never,
+        })
+        .unwrap();
+        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(43, 20), |_| {}, &mut pipe);
+        let verdicts = pipe.drain_verdicts();
+        assert!(!verdicts.is_empty());
+        // With a 2 s bound, a window's verdict lands ~2 s after its end —
+        // not at the session end like a post-hoc pass. Windows whose
+        // watermark deadline falls past the session end are flushed at the
+        // finish instant instead.
+        let window = pipe.config().window;
+        let lateness = pipe.live_config().lateness;
+        let session_end = SimTime::ZERO + bundle.meta.duration;
+        for v in &verdicts {
+            let due = (v.window_start + window + lateness).min(session_end);
+            assert!(
+                v.emitted_at >= due && v.emitted_at <= due + SimDuration::from_millis(10),
+                "verdict for {:?} emitted at {:?}, expected ~{due:?}",
+                v.window_start,
+                v.emitted_at
+            );
+        }
+        // The first verdicts must predate the session end by a wide margin.
+        assert!(verdicts[0].emitted_at < SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn early_exit_stops_the_simulation() {
+        let impaired = |seed| {
+            SessionSpec::cell(tmobile_fdd_15mhz_quiet(), cfg(seed, 30)).with_script(
+                ScriptAction::CrossTraffic {
+                    dir: Direction::Downlink,
+                    from: SimTime::from_secs(6),
+                    to: SimTime::from_secs(26),
+                    prb_fraction: 0.97,
+                },
+            )
+        };
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: SimDuration::from_secs(1),
+            early_exit: EarlyExit::AfterChains(1),
+        })
+        .unwrap();
+        let truncated = impaired(44).run_with_tap(&mut pipe);
+        let full = impaired(44).run();
+        assert!(pipe.stats().early_exited);
+        assert!(pipe.stats().windows_emitted > 0);
+        assert!(
+            truncated.packets.len() < full.packets.len(),
+            "early exit must abort the simulation itself"
+        );
+        assert!(pipe.take_analysis(truncated.meta.duration).windows.iter().any(|w| !w
+            .chains
+            .is_empty()));
+    }
+
+    #[test]
+    fn stable_verdict_exits_quickly_on_healthy_call() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: SimDuration::from_secs(1),
+            early_exit: EarlyExit::StableFor(4),
+        })
+        .unwrap();
+        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(45, 60), |_| {}, &mut pipe);
+        let stats = pipe.stats();
+        assert!(stats.early_exited);
+        assert!(stats.windows_emitted >= 4, "needs at least the stability run");
+        // 60 s were requested; the triage verdict should land in well under
+        // a third of that.
+        assert!(bundle.horizon() < SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn reset_reuses_pipeline_across_sessions() {
+        let domino = Domino::with_defaults();
+        let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
+        let b1 = run_cell_session_with_tap(amarisoft(), &cfg(46, 15), |_| {}, &mut pipe);
+        let first = pipe.take_analysis(b1.meta.duration);
+        pipe.reset();
+        let b2 = run_cell_session_with_tap(amarisoft(), &cfg(47, 15), |_| {}, &mut pipe);
+        let second = pipe.take_analysis(b2.meta.duration);
+        assert_identical(&domino.analyze(&b1), &first);
+        assert_identical(&domino.analyze(&b2), &second);
+    }
+
+    #[test]
+    fn late_records_are_counted_not_crashing() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: SimDuration::from_millis(500),
+            early_exit: EarlyExit::Never,
+        })
+        .unwrap();
+        // Drive the tap by hand: advance far enough that windows close,
+        // then inject a record from the deep past.
+        for i in 0..400u64 {
+            let mut s = AppStatsRecord::baseline(SimTime::from_millis(i * 50));
+            s.inbound_fps = 30.0;
+            pipe.on_app_local(&s);
+            pipe.on_app_remote(&s);
+            pipe.on_tick(SimTime::from_millis(i * 50));
+        }
+        assert!(pipe.stats().windows_emitted > 0);
+        let stale = AppStatsRecord::baseline(SimTime::from_millis(100));
+        pipe.on_app_local(&stale);
+        assert_eq!(pipe.stats().late_records_dropped, 1);
+        // A delivery for an unknown (already-frozen) packet is late too.
+        pipe.on_packet_delivered(999, SimTime::from_secs(21));
+        assert_eq!(pipe.stats().late_deliveries, 1);
+    }
+
+    #[test]
+    fn verdict_hook_fires_per_window() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen = Rc::new(RefCell::new(0usize));
+        let seen2 = Rc::clone(&seen);
+        let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
+        pipe.set_verdict_hook(move |_| *seen2.borrow_mut() += 1);
+        run_cell_session_with_tap(amarisoft(), &cfg(48, 15), |_| {}, &mut pipe);
+        assert_eq!(*seen.borrow(), pipe.stats().windows_emitted);
+        assert!(*seen.borrow() > 0);
+    }
+
+    #[test]
+    fn unaligned_config_is_rejected() {
+        let odd = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        assert!(LivePipeline::new(
+            domino_core::dsl::default_graph(),
+            odd,
+            LiveConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn memory_stays_bounded_while_running() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: SimDuration::from_secs(2),
+            early_exit: EarlyExit::Never,
+        })
+        .unwrap();
+        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(49, 30), |_| {}, &mut pipe);
+        let stats = pipe.stats();
+        assert!(stats.records_seen as f64 >= bundle.total_records() as f64 * 0.99);
+        assert!(
+            stats.peak_retained_records < bundle.total_records() / 2,
+            "peak {} vs total {}",
+            stats.peak_retained_records,
+            bundle.total_records()
+        );
+        // Everything was drained by the finish flush.
+        assert_eq!(pipe.retained_records(), 0);
+    }
+
+    #[test]
+    fn verdicts_match_windows() {
+        let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
+        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(50, 15), |_| {}, &mut pipe);
+        let verdicts = pipe.drain_verdicts();
+        let analysis = pipe.take_analysis(bundle.meta.duration);
+        assert_eq!(verdicts.len(), analysis.windows.len());
+        for (v, w) in verdicts.iter().zip(&analysis.windows) {
+            assert_eq!(v.window_start, w.start);
+            assert_eq!(v.chains, w.chains);
+            assert_eq!(v.unknown_consequences, w.unknown_consequences);
+        }
+        // `changed` marks transitions: the first verdict always counts as a
+        // change, and consecutive equal verdicts must not.
+        assert!(verdicts[0].changed);
+        for pair in verdicts.windows(2) {
+            let same = pair[0].chains == pair[1].chains
+                && pair[0].unknown_consequences == pair[1].unknown_consequences;
+            assert_eq!(pair[1].changed, !same);
+        }
+    }
+}

@@ -359,10 +359,22 @@ impl CellSim {
         std::mem::take(&mut self.dci_log)
     }
 
+    /// Drains DCI records into `out`, keeping both the internal log's and
+    /// `out`'s capacity — the allocation-free variant for callers that poll
+    /// every tick (the live-tapped session engine).
+    pub fn drain_dci_into(&mut self, out: &mut Vec<DciRecord>) {
+        out.append(&mut self.dci_log);
+    }
+
     /// Drains gNB log records emitted since the last call (always empty for
     /// commercial cells).
     pub fn drain_gnb(&mut self) -> Vec<GnbLogRecord> {
         std::mem::take(&mut self.gnb_log)
+    }
+
+    /// Drains gNB log records into `out` (see [`Self::drain_dci_into`]).
+    pub fn drain_gnb_into(&mut self, out: &mut Vec<GnbLogRecord>) {
+        out.append(&mut self.gnb_log);
     }
 
     // ---- Scripted scenario hooks (figure-regeneration harness) ----

@@ -15,7 +15,9 @@ use telemetry::{Direction, TraceBundle};
 use ran_sim::{CellConfig, CellSim};
 
 use crate::cells::all_cells;
-use crate::session::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+use crate::session::{
+    run_baseline_session_with_tap, run_cell_session_with_tap, BaselineAccess, SessionConfig,
+};
 
 /// Which access network a session runs over.
 #[derive(Debug, Clone)]
@@ -140,13 +142,29 @@ impl SessionSpec {
 
     /// Runs the session, producing its trace bundle.
     pub fn run(&self) -> TraceBundle {
+        self.run_with_tap(&mut telemetry::NullTap)
+    }
+
+    /// Runs the session while streaming telemetry into `tap` at emission
+    /// time (see [`telemetry::LiveTap`]). The returned bundle matches
+    /// [`Self::run`] unless the tap aborts the session early.
+    pub fn run_with_tap(&self, tap: &mut dyn telemetry::LiveTap) -> TraceBundle {
         match &self.access {
-            AccessSpec::Cell(cell) => run_cell_session((**cell).clone(), &self.cfg, |sim| {
-                for a in &self.scripts {
-                    a.apply(sim);
-                }
-            }),
-            AccessSpec::Baseline(access) => run_baseline_session(*access, &self.cfg),
+            AccessSpec::Cell(cell) => {
+                run_cell_session_with_tap(
+                    (**cell).clone(),
+                    &self.cfg,
+                    |sim| {
+                        for a in &self.scripts {
+                            a.apply(sim);
+                        }
+                    },
+                    tap,
+                )
+            }
+            AccessSpec::Baseline(access) => {
+                run_baseline_session_with_tap(*access, &self.cfg, tap)
+            }
         }
     }
 }
@@ -248,6 +266,7 @@ pub fn all_cells_grid(master_seed: u64, duration: SimDuration) -> Vec<SessionSpe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::run_cell_session;
 
     #[test]
     fn grid_is_deterministic_and_covers_product() {

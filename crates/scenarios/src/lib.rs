@@ -19,5 +19,8 @@ pub use cells::{
     tmobile_tdd_100mhz,
 };
 pub use grid::{all_cells_grid, AccessSpec, ScriptAction, SessionGrid, SessionSpec};
-pub use session::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+pub use session::{
+    run_baseline_session, run_baseline_session_with_tap, run_cell_session,
+    run_cell_session_with_tap, BaselineAccess, SessionConfig,
+};
 pub use zoom_campus::{generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord};

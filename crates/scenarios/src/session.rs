@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
 use telemetry::{
-    Direction, PacketRecord, SessionMeta, StreamKind, TraceBundle,
+    Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle,
 };
 
 use netpath::{PathConfig, PathModel};
@@ -137,6 +137,20 @@ pub fn run_cell_session(
     cfg: &SessionConfig,
     script: impl FnOnce(&mut CellSim),
 ) -> TraceBundle {
+    run_cell_session_with_tap(cell_cfg, cfg, script, &mut telemetry::NullTap)
+}
+
+/// Runs a session over a 5G cell while streaming every telemetry record into
+/// `tap` at emission time (see [`telemetry::LiveTap`] for the event
+/// contract). The finished bundle is identical to [`run_cell_session`]'s for
+/// the same inputs unless the tap requests an early exit, in which case the
+/// bundle is truncated at the abort tick.
+pub fn run_cell_session_with_tap(
+    cell_cfg: CellConfig,
+    cfg: &SessionConfig,
+    script: impl FnOnce(&mut CellSim),
+    tap: &mut dyn LiveTap,
+) -> TraceBundle {
     let meta = SessionMeta {
         cell_name: cell_cfg.name.clone(),
         cell_class: cell_cfg.class,
@@ -150,11 +164,20 @@ pub fn run_cell_session(
     let mut cell = CellSim::new(cell_cfg, cfg.seed);
     script(&mut cell);
     let access = AccessSim::Cell(Box::new(cell));
-    run(access, Some(PathConfig::core_network()), meta, cfg)
+    run(access, Some(PathConfig::core_network()), meta, cfg, tap)
 }
 
 /// Runs a baseline (wired or Wi-Fi) session for the §2 comparisons.
 pub fn run_baseline_session(access: BaselineAccess, cfg: &SessionConfig) -> TraceBundle {
+    run_baseline_session_with_tap(access, cfg, &mut telemetry::NullTap)
+}
+
+/// Runs a baseline session with a live tap (see [`run_cell_session_with_tap`]).
+pub fn run_baseline_session_with_tap(
+    access: BaselineAccess,
+    cfg: &SessionConfig,
+    tap: &mut dyn LiveTap,
+) -> TraceBundle {
     let (name, path) = match access {
         BaselineAccess::Wired => ("Wired baseline", PathConfig::wired_lan()),
         BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
@@ -167,7 +190,7 @@ pub fn run_baseline_session(access: BaselineAccess, cfg: &SessionConfig) -> Trac
         rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
         out: Vec::new(),
     }));
-    run(sim, None, meta, cfg)
+    run(sim, None, meta, cfg, tap)
 }
 
 fn run(
@@ -175,7 +198,11 @@ fn run(
     core_path: Option<PathConfig>,
     meta: SessionMeta,
     cfg: &SessionConfig,
+    tap: &mut dyn LiveTap,
 ) -> TraceBundle {
+    // `NullTap` (the untapped wrappers) keeps the per-tick telemetry drain
+    // disabled so the classic path's allocation pattern is untouched.
+    let tapped = tap.is_active();
     let mut bundle = TraceBundle::new(meta);
     let mut a = RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11);
     let mut b = RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12);
@@ -204,6 +231,9 @@ fn run(
     let mut next_stats = SimTime::ZERO + cfg.stats_interval;
 
     let ticks = cfg.duration / cfg.tick;
+    let mut end_time = SimTime::ZERO + cfg.tick * ticks;
+    let mut aborted = false;
+    let mut ran_scratch = RanScratch::default();
     for i in 1..=ticks {
         let now = SimTime::ZERO + cfg.tick * i;
 
@@ -215,6 +245,9 @@ fn run(
             next_id += 1;
             let record_idx = bundle.packets.len();
             bundle.packets.push(packet_record(&p, Direction::Uplink));
+            if tapped {
+                tap.on_packet_sent(id, &bundle.packets[record_idx]);
+            }
             pending.insert(
                 id,
                 Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
@@ -228,6 +261,9 @@ fn run(
             next_id += 1;
             let record_idx = bundle.packets.len();
             bundle.packets.push(packet_record(&p, Direction::Downlink));
+            if tapped {
+                tap.on_packet_sent(id, &bundle.packets[record_idx]);
+            }
             // Peer → (transit, core) → access ingress.
             let hop1 = peer_dl.traverse(p.at, p.size_bytes, &mut rng_rev);
             let arrival = hop1.and_then(|t| match &mut core_dl {
@@ -280,10 +316,14 @@ fn run(
                     }
                 }
                 RouteEvent::ArriveAtPeer(id) => {
-                    deliver(&mut pending, &mut bundle, id, ev.at, &mut b);
+                    if deliver(&mut pending, &mut bundle, id, ev.at, &mut b) && tapped {
+                        tap.on_packet_delivered(id, ev.at);
+                    }
                 }
                 RouteEvent::ArriveAtUe(id) => {
-                    deliver(&mut pending, &mut bundle, id, ev.at, &mut a);
+                    if deliver(&mut pending, &mut bundle, id, ev.at, &mut a) && tapped {
+                        tap.on_packet_delivered(id, ev.at);
+                    }
                 }
             }
         }
@@ -291,18 +331,43 @@ fn run(
         // 4. 50 ms app-stats sampling on both clients. The sorted-append
         // hooks double as a debug-build check that sampling stays monotone.
         if now >= next_stats {
-            bundle.append_app_local(a.sample_stats(now));
-            bundle.append_app_remote(b.sample_stats(now));
+            let sa = a.sample_stats(now);
+            let sb = b.sample_stats(now);
+            if tapped {
+                tap.on_app_local(&sa);
+                tap.on_app_remote(&sb);
+            }
+            bundle.append_app_local(sa);
+            bundle.append_app_remote(sb);
             next_stats += cfg.stats_interval;
+        }
+
+        // 5. Live taps see RAN telemetry and the clock every tick, and may
+        // abort the session (early-exit diagnosis).
+        if tapped {
+            drain_ran_telemetry(&mut access, &mut bundle, tap, &mut ran_scratch);
+            tap.on_tick(now);
+            if tap.should_stop() {
+                end_time = now;
+                aborted = true;
+                break;
+            }
         }
     }
 
-    // Collect RAN telemetry. DCI goes through the sorted-append hook, which
-    // verifies (in debug builds) that the cell simulator emits in time
-    // order. The gNB log cannot: RLC retransmissions are logged with their
-    // scheduled (future) timestamps and interleave out of order with
-    // same-slot buffer samples, so it relies on the final sort.
-    if let AccessSim::Cell(cell) = &mut access {
+    // Collect any remaining RAN telemetry. The tapped path has drained all
+    // but the final tick's worth; the untapped path moves the whole log in
+    // one O(1) bulk transfer and lets the final sort order the gNB records.
+    if tapped {
+        drain_ran_telemetry(&mut access, &mut bundle, tap, &mut ran_scratch);
+        if aborted {
+            // An early exit truncates the session: record how much actually
+            // ran, so per-minute normalisation (event rates, chain stats)
+            // divides by simulated time, not by the configured duration.
+            bundle.meta.duration = end_time.saturating_since(SimTime::ZERO);
+        }
+        tap.on_finish(end_time);
+    } else if let AccessSim::Cell(cell) = &mut access {
         for r in cell.drain_dci() {
             bundle.append_dci(r);
         }
@@ -314,14 +379,48 @@ fn run(
     bundle
 }
 
+/// Per-tick scratch buffers for the tapped telemetry drain, reused across
+/// ticks so the hot loop stays allocation-free at steady state.
+#[derive(Default)]
+struct RanScratch {
+    dci: Vec<telemetry::DciRecord>,
+    gnb: Vec<telemetry::GnbLogRecord>,
+}
+
+/// Moves the cell simulator's accumulated DCI/gNB records into the tap and
+/// the bundle. DCI goes through the sorted-append hook, which verifies (in
+/// debug builds) that the cell simulator emits in time order; gNB records
+/// are emitted out of order — RLC retransmissions are logged with their
+/// scheduled (future) timestamps and interleave with same-slot buffer
+/// samples — so they go through [`TraceBundle::append_gnb`]'s stable
+/// insert-at-sorted-position policy.
+fn drain_ran_telemetry(
+    access: &mut AccessSim,
+    bundle: &mut TraceBundle,
+    tap: &mut dyn LiveTap,
+    scratch: &mut RanScratch,
+) {
+    let AccessSim::Cell(cell) = access else { return };
+    cell.drain_dci_into(&mut scratch.dci);
+    for r in scratch.dci.drain(..) {
+        tap.on_dci(&r);
+        bundle.append_dci(r);
+    }
+    cell.drain_gnb_into(&mut scratch.gnb);
+    for r in scratch.gnb.drain(..) {
+        tap.on_gnb(&r);
+        bundle.append_gnb(r);
+    }
+}
+
 fn deliver(
     pending: &mut HashMap<u64, Pending>,
     bundle: &mut TraceBundle,
     id: u64,
     at: SimTime,
     endpoint: &mut RtcEndpoint,
-) {
-    let Some(p) = pending.remove(&id) else { return };
+) -> bool {
+    let Some(p) = pending.remove(&id) else { return false };
     bundle.packets[p.record_idx].received = Some(at);
     match &p.payload {
         PacketPayload::Video { .. } | PacketPayload::Audio { .. } => {
@@ -331,6 +430,7 @@ fn deliver(
         PacketPayload::Feedback(fb) => endpoint.sender.on_transport_feedback(at, fb),
         PacketPayload::Report(rr) => endpoint.sender.on_receiver_report(at, rr),
     }
+    true
 }
 
 fn packet_record(p: &OutgoingPacket, dir: Direction) -> PacketRecord {
@@ -434,6 +534,120 @@ mod tests {
             cell_ul > 3.0 * wired_ul,
             "5G UL {cell_ul} ms should dominate wired {wired_ul} ms"
         );
+    }
+
+    /// Rebuilds a bundle purely from tap events, exercising the documented
+    /// [`LiveTap`] contract: packets announced at send time and patched at
+    /// delivery, app/DCI in order, gNB out of order through `append_gnb`.
+    struct RecordingTap {
+        rebuilt: TraceBundle,
+        index_of: std::collections::HashMap<u64, usize>,
+        ticks: usize,
+        finished_at: Option<SimTime>,
+        stop_after: Option<SimTime>,
+        now: SimTime,
+    }
+
+    impl RecordingTap {
+        fn new() -> Self {
+            RecordingTap {
+                rebuilt: TraceBundle::new(SessionMeta::baseline(
+                    "rebuilt",
+                    SimDuration::ZERO,
+                    0,
+                )),
+                index_of: std::collections::HashMap::new(),
+                ticks: 0,
+                finished_at: None,
+                stop_after: None,
+                now: SimTime::ZERO,
+            }
+        }
+    }
+
+    impl telemetry::LiveTap for RecordingTap {
+        fn on_app_local(&mut self, r: &telemetry::AppStatsRecord) {
+            self.rebuilt.append_app_local(r.clone());
+        }
+        fn on_app_remote(&mut self, r: &telemetry::AppStatsRecord) {
+            self.rebuilt.append_app_remote(r.clone());
+        }
+        fn on_dci(&mut self, r: &telemetry::DciRecord) {
+            self.rebuilt.append_dci(r.clone());
+        }
+        fn on_gnb(&mut self, r: &telemetry::GnbLogRecord) {
+            self.rebuilt.append_gnb(r.clone());
+        }
+        fn on_packet_sent(&mut self, id: u64, r: &PacketRecord) {
+            assert!(r.received.is_none(), "fate must be unknown at send time");
+            self.index_of.insert(id, self.rebuilt.packets.len());
+            self.rebuilt.packets.push(r.clone());
+        }
+        fn on_packet_delivered(&mut self, id: u64, at: SimTime) {
+            let idx = self.index_of[&id];
+            self.rebuilt.packets[idx].received = Some(at);
+        }
+        fn on_tick(&mut self, now: SimTime) {
+            self.ticks += 1;
+            self.now = now;
+        }
+        fn on_finish(&mut self, now: SimTime) {
+            self.finished_at = Some(now);
+        }
+        fn should_stop(&self) -> bool {
+            self.stop_after.is_some_and(|t| self.now >= t)
+        }
+    }
+
+    fn assert_bundles_identical(a: &TraceBundle, b: &TraceBundle) {
+        assert_eq!(a.packets.len(), b.packets.len());
+        for (x, y) in a.packets.iter().zip(&b.packets) {
+            assert_eq!((x.sent, x.received, x.seq, x.size_bytes), (y.sent, y.received, y.seq, y.size_bytes));
+        }
+        assert_eq!(a.dci.len(), b.dci.len());
+        for (x, y) in a.dci.iter().zip(&b.dci) {
+            assert_eq!((x.ts, x.rnti, x.tbs_bits), (y.ts, y.rnti, y.tbs_bits));
+        }
+        assert_eq!(a.gnb.len(), b.gnb.len());
+        for (x, y) in a.gnb.iter().zip(&b.gnb) {
+            assert_eq!((x.ts, &x.event), (y.ts, &y.event));
+        }
+        assert_eq!(a.app_local.len(), b.app_local.len());
+        assert_eq!(a.app_remote.len(), b.app_remote.len());
+    }
+
+    #[test]
+    fn tapped_session_matches_untapped_and_rebuilds_bundle() {
+        let cfg = short_cfg(8);
+        let untapped = run_cell_session(cells::amarisoft(), &cfg, |_| {});
+        let mut tap = RecordingTap::new();
+        let tapped = run_cell_session_with_tap(cells::amarisoft(), &cfg, |_| {}, &mut tap);
+        // The tap must not perturb the simulation.
+        assert_bundles_identical(&untapped, &tapped);
+        // Rebuilding from tap events reproduces the bundle after one sort
+        // (packet records are announced in emission order, like the engine's).
+        tap.rebuilt.sort();
+        assert_bundles_identical(&tapped, &tap.rebuilt);
+        assert!(tap.ticks > 10_000, "one tick per ms expected, got {}", tap.ticks);
+        assert_eq!(tap.finished_at, Some(SimTime::ZERO + cfg.duration));
+    }
+
+    #[test]
+    fn tap_can_abort_session_early() {
+        let cfg = short_cfg(9);
+        let mut tap = RecordingTap::new();
+        tap.stop_after = Some(SimTime::from_secs(5));
+        let truncated = run_cell_session_with_tap(cells::amarisoft(), &cfg, |_| {}, &mut tap);
+        let full = run_cell_session(cells::amarisoft(), &cfg, |_| {});
+        assert!(truncated.packets.len() < full.packets.len() / 2);
+        assert!(truncated.horizon() < SimTime::from_secs(6));
+        // Early exit reports the abort instant, not the configured duration.
+        let finished = tap.finished_at.unwrap();
+        assert!(finished >= SimTime::from_secs(5) && finished < SimTime::from_secs(6));
+        // And the bundle's metadata reflects the time that actually ran, so
+        // per-minute normalisation doesn't divide by unsimulated time.
+        assert_eq!(truncated.meta.duration, finished.saturating_since(SimTime::ZERO));
+        assert!(full.meta.duration == cfg.duration);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! Fans a grid of [`SessionSpec`]s across OS threads, runs each session's
 //! simulator, analyses the resulting trace with Domino (streaming fast path
-//! when the configuration supports it), and folds everything into a
-//! deterministic [`SweepReport`].
+//! when the configuration supports it, or inline *during* the simulation
+//! with [`AnalysisMode::Live`]), and folds everything into a deterministic
+//! [`SweepReport`]. [`run_sweep_with_progress`] reports sessions/sec and
+//! ETA while operator-scale grids drain.
 //!
 //! Determinism is the design constraint: sessions are claimed from a shared
 //! atomic work index (so threads never idle while work remains), each session
@@ -22,10 +24,14 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
+use domino_live::{LivePipeline, LiveStats};
 use scenarios::SessionSpec;
 use telemetry::{SessionMeta, TraceBundle};
+
+pub use domino_live::{EarlyExit, LiveConfig};
 
 /// What each sweep worker does with a finished session's bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +44,14 @@ pub enum AnalysisMode {
     /// for configurations outside the streaming alignment contract.
     #[default]
     Streaming,
+    /// Online analysis *during* the simulation: each session runs with a
+    /// [`LivePipeline`] tapped into the engine ([`SessionSpec::run_with_tap`]),
+    /// configured by [`SweepOptions::live`]. With [`EarlyExit::Never`] and a
+    /// sufficient lateness bound the aggregate is identical to the other
+    /// modes; with an early-exit policy, sessions abort once their verdict
+    /// is in, trading trace completeness for simulation time. Falls back to
+    /// batch for configurations outside the streaming alignment contract.
+    Live,
 }
 
 /// Sweep-wide options.
@@ -47,6 +61,9 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Per-session analysis mode.
     pub analysis: AnalysisMode,
+    /// Live-stage configuration (lateness bound and early-exit policy),
+    /// used by [`AnalysisMode::Live`] only.
+    pub live: LiveConfig,
     /// Retain each session's [`TraceBundle`] in the outcome. Sweeps that
     /// only need aggregates should leave this off: bundles dominate memory.
     pub keep_bundles: bool,
@@ -59,6 +76,7 @@ impl Default for SweepOptions {
         SweepOptions {
             threads: 0,
             analysis: AnalysisMode::Streaming,
+            live: LiveConfig::default(),
             keep_bundles: false,
             keep_analyses: false,
         }
@@ -98,6 +116,24 @@ pub struct SessionOutcome {
     pub analysis: Option<Analysis>,
     /// Chain statistics of the analysis (present unless mode was `None`).
     pub stats: Option<ChainStats>,
+    /// Live-pipeline counters (late drops, peak retained records, early
+    /// exit), present when the session ran under [`AnalysisMode::Live`].
+    pub live: Option<LiveStats>,
+}
+
+/// A progress snapshot delivered to the [`run_sweep_with_progress`]
+/// callback after every completed session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepProgress {
+    /// Sessions finished so far (including this one).
+    pub completed: usize,
+    /// Total sessions in the sweep.
+    pub total: usize,
+    /// Completion throughput since the sweep started.
+    pub sessions_per_sec: f64,
+    /// Estimated seconds until the sweep drains, extrapolated from the
+    /// throughput so far (`f64::INFINITY` until one session completes).
+    pub eta_secs: f64,
 }
 
 /// Aggregated results of one sweep.
@@ -126,17 +162,32 @@ impl SweepReport {
 /// Runs every spec, fanning sessions across `opts.threads` OS threads, and
 /// folds the results in spec order.
 pub fn run_sweep(specs: &[SessionSpec], domino: &Domino, opts: &SweepOptions) -> SweepReport {
+    run_sweep_with_progress(specs, domino, opts, &|_| {})
+}
+
+/// [`run_sweep`] with a progress callback, invoked from worker threads
+/// after every completed session (so it must be `Sync`; keep it cheap —
+/// e.g. a line to stderr or an atomic store a UI thread reads).
+pub fn run_sweep_with_progress(
+    specs: &[SessionSpec],
+    domino: &Domino,
+    opts: &SweepOptions,
+    progress: &(dyn Fn(SweepProgress) + Sync),
+) -> SweepReport {
     let threads = opts.resolved_threads(specs.len());
     let mut slots: Vec<Option<SessionOutcome>> = Vec::new();
     slots.resize_with(specs.len(), || None);
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // One analyzer per worker: allocations (deques, scratch)
-                // are reused across every session the worker claims.
+                // One analyzer/pipeline per worker: allocations (deques,
+                // buffers, scratch) are reused across every session the
+                // worker claims.
                 let mut analyzer = match opts.analysis {
                     AnalysisMode::Streaming => {
                         StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
@@ -144,13 +195,36 @@ pub fn run_sweep(specs: &[SessionSpec], domino: &Domino, opts: &SweepOptions) ->
                     }
                     _ => None,
                 };
+                let mut pipeline = match opts.analysis {
+                    AnalysisMode::Live => LivePipeline::new(
+                        domino.graph().clone(),
+                        domino.config().clone(),
+                        opts.live,
+                    )
+                    .ok(),
+                    _ => None,
+                };
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= specs.len() {
                         break;
                     }
-                    let outcome = run_one(&specs[i], i, domino, analyzer.as_mut(), opts);
+                    let outcome =
+                        run_one(&specs[i], i, domino, analyzer.as_mut(), pipeline.as_mut(), opts);
                     slots.lock().expect("sweep worker panicked")[i] = Some(outcome);
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let rate = if elapsed > 0.0 { completed as f64 / elapsed } else { 0.0 };
+                    progress(SweepProgress {
+                        completed,
+                        total: specs.len(),
+                        sessions_per_sec: rate,
+                        eta_secs: if rate > 0.0 {
+                            (specs.len() - completed) as f64 / rate
+                        } else {
+                            f64::INFINITY
+                        },
+                    });
                 }
             });
         }
@@ -173,15 +247,34 @@ fn run_one(
     index: usize,
     domino: &Domino,
     analyzer: Option<&mut StreamingAnalyzer>,
+    pipeline: Option<&mut LivePipeline>,
     opts: &SweepOptions,
 ) -> SessionOutcome {
-    let bundle = spec.run();
-    let analysis = match (opts.analysis, analyzer) {
-        (AnalysisMode::None, _) => None,
-        (AnalysisMode::Batch, _) | (AnalysisMode::Streaming, None) => {
-            Some(domino.analyze(&bundle))
+    let (bundle, analysis, live) = match (opts.analysis, pipeline) {
+        (AnalysisMode::Live, Some(p)) => {
+            // Analysis runs inline, during the simulation; the pipeline may
+            // abort the session early per `opts.live.early_exit`.
+            p.reset();
+            let bundle = spec.run_with_tap(p);
+            let analysis = p.take_analysis(bundle.meta.duration);
+            (bundle, Some(analysis), Some(p.stats()))
         }
-        (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(&bundle)),
+        (AnalysisMode::Live, None) => {
+            // Configuration outside the streaming alignment contract:
+            // fall back to a post-hoc batch pass.
+            let bundle = spec.run();
+            let analysis = domino.analyze(&bundle);
+            (bundle, Some(analysis), None)
+        }
+        (mode, _) => {
+            let bundle = spec.run();
+            let analysis = match (mode, analyzer) {
+                (AnalysisMode::None, _) => None,
+                (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(&bundle)),
+                _ => Some(domino.analyze(&bundle)),
+            };
+            (bundle, analysis, None)
+        }
     };
     let stats = analysis.as_ref().map(|a| ChainStats::compute(domino.graph(), a));
     SessionOutcome {
@@ -191,6 +284,7 @@ fn run_one(
         bundle: opts.keep_bundles.then_some(bundle),
         analysis: if opts.keep_analyses { analysis } else { None },
         stats,
+        live,
     }
 }
 
@@ -265,6 +359,66 @@ mod tests {
         );
         assert_eq!(streaming.aggregate.chain_windows, batch.aggregate.chain_windows);
         assert_eq!(streaming.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+    }
+
+    #[test]
+    fn live_mode_agrees_with_batch() {
+        let specs = all_cells_grid(5, SimDuration::from_secs(12));
+        let domino = Domino::with_defaults();
+        // A lateness bound far beyond any in-network delay in these short
+        // sessions: the equivalence contract's precondition.
+        let live = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions {
+                analysis: AnalysisMode::Live,
+                live: LiveConfig {
+                    lateness: SimDuration::from_secs(30),
+                    early_exit: EarlyExit::Never,
+                },
+                ..Default::default()
+            },
+        );
+        let batch = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions { analysis: AnalysisMode::Batch, ..Default::default() },
+        );
+        assert_eq!(live.aggregate.total_chain_windows, batch.aggregate.total_chain_windows);
+        assert_eq!(live.aggregate.chain_windows, batch.aggregate.chain_windows);
+        assert_eq!(live.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+        for o in &live.outcomes {
+            let stats = o.live.expect("live mode reports pipeline stats");
+            assert_eq!(stats.late_records_dropped, 0);
+            assert!(!stats.early_exited);
+            assert!(stats.windows_emitted > 0);
+        }
+        assert!(batch.outcomes.iter().all(|o| o.live.is_none()));
+    }
+
+    #[test]
+    fn progress_reports_every_session() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let specs = small_grid();
+        let domino = Domino::with_defaults();
+        let calls = AtomicUsize::new(0);
+        let max_completed = AtomicUsize::new(0);
+        let report = run_sweep_with_progress(
+            &specs,
+            &domino,
+            &SweepOptions { threads: 2, ..Default::default() },
+            &|p| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                max_completed.fetch_max(p.completed, Ordering::Relaxed);
+                assert_eq!(p.total, 4);
+                assert!(p.completed >= 1 && p.completed <= p.total);
+                assert!(p.sessions_per_sec >= 0.0);
+                assert!(p.eta_secs >= 0.0);
+            },
+        );
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "one callback per session");
+        assert_eq!(max_completed.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -169,10 +169,28 @@ impl TraceBundle {
         self.dci.push(r);
     }
 
-    /// Appends a gNB log record in timestamp order (see [`Self::append_dci`]).
-    pub fn append_gnb(&mut self, r: GnbLogRecord) {
-        debug_assert!(self.gnb.last().is_none_or(|l| l.ts <= r.ts), "unsorted gNB append");
-        self.gnb.push(r);
+    /// Appends a gNB log record, tolerating out-of-order arrivals.
+    ///
+    /// Unlike the other streams, gNB logs are *not* emitted in timestamp
+    /// order: RLC retransmissions are logged with their scheduled (future)
+    /// timestamps and interleave out of order with same-slot buffer samples.
+    /// Policy: an in-order record is pushed (`true`, O(1)); an out-of-order
+    /// record is inserted at its stable sorted position — after all records
+    /// with an equal timestamp, so a sequence of appends produces exactly
+    /// what a stable [`Self::sort`] of the emission order would (`false`,
+    /// O(n) worst case, O(displacement) memmove in practice). Records are
+    /// never rejected here; consumers that need bounded-lateness *rejection*
+    /// (with drop accounting) should use the `domino-live` reorder stage
+    /// instead of the bundle.
+    pub fn append_gnb(&mut self, r: GnbLogRecord) -> bool {
+        if self.gnb.last().is_none_or(|l| l.ts <= r.ts) {
+            self.gnb.push(r);
+            true
+        } else {
+            let at = self.gnb.partition_point(|x| x.ts <= r.ts);
+            self.gnb.insert(at, r);
+            false
+        }
     }
 
     /// Appends a packet record in send-time order (see [`Self::append_dci`]).
@@ -233,6 +251,38 @@ impl TraceBundle {
             app_local: take(&self.app_local, &mut cur.app_local, t, |r| r.ts),
             app_remote: take(&self.app_remote, &mut cur.app_remote, t, |r| r.ts),
         }
+    }
+
+    /// Total records across all five streams.
+    pub fn total_records(&self) -> usize {
+        self.dci.len()
+            + self.gnb.len()
+            + self.packets.len()
+            + self.app_local.len()
+            + self.app_remote.len()
+    }
+
+    /// Drops every record `cur` has already consumed (the prefix of each
+    /// stream behind its cursor position) and rebases `cur` to the start of
+    /// the compacted bundle, returning how many records were pruned.
+    ///
+    /// This is the constant-memory half of the incremental-ingestion
+    /// contract: a live consumer appends records as they arrive, reads them
+    /// once through [`Self::advance_until`], and prunes the consumed prefix
+    /// each time a window closes — so the retained trace stays
+    /// O(window + reorder lateness) instead of O(session). The cursor stays
+    /// valid across the prune; any slices previously returned by
+    /// [`Self::advance_until`] do not (they borrow the pruned storage), so
+    /// prune only between read batches.
+    pub fn prune_consumed(&mut self, cur: &mut TraceCursor) -> usize {
+        let pruned = cur.dci + cur.gnb + cur.packets + cur.app_local + cur.app_remote;
+        self.dci.drain(..cur.dci);
+        self.gnb.drain(..cur.gnb);
+        self.packets.drain(..cur.packets);
+        self.app_local.drain(..cur.app_local);
+        self.app_remote.drain(..cur.app_remote);
+        *cur = TraceCursor::default();
+        pruned
     }
 
     /// Per-minute event rates (Table 1 columns).
@@ -382,6 +432,60 @@ mod tests {
         let mut b = TraceBundle::new(meta());
         b.append_packet(pkt(500));
         b.append_packet(pkt(100));
+    }
+
+    #[test]
+    fn append_gnb_tolerates_out_of_order() {
+        use crate::records::GnbEvent;
+        let gnb = |ms: u64, sn: u32| GnbLogRecord {
+            ts: SimTime::from_millis(ms),
+            event: GnbEvent::RlcRetx { direction: Direction::Uplink, sn },
+        };
+        // Emission order with future timestamps and equal-ts interleaving,
+        // as the cell simulator produces them.
+        let emitted = [gnb(10, 0), gnb(30, 1), gnb(20, 2), gnb(20, 3), gnb(5, 4), gnb(30, 5)];
+        let mut appended = TraceBundle::new(meta());
+        let mut in_order = Vec::new();
+        for r in emitted.clone() {
+            in_order.push(appended.append_gnb(r));
+        }
+        assert_eq!(in_order, [true, true, false, false, false, true]);
+        assert!(appended.is_sorted());
+        // Must match a stable sort of the emission order exactly.
+        let mut sorted = TraceBundle::new(meta());
+        sorted.gnb = emitted.to_vec();
+        sorted.sort();
+        let sns = |b: &TraceBundle| -> Vec<u32> {
+            b.gnb
+                .iter()
+                .map(|r| match r.event {
+                    GnbEvent::RlcRetx { sn, .. } => sn,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        assert_eq!(sns(&appended), sns(&sorted));
+        assert_eq!(sns(&appended), vec![4, 0, 2, 3, 1, 5]);
+    }
+
+    #[test]
+    fn prune_consumed_rebases_cursor() {
+        let mut b = TraceBundle::new(meta());
+        for ms in [0, 100, 200, 300, 400] {
+            b.append_packet(pkt(ms));
+        }
+        let mut cur = b.cursor();
+        let first = b.advance_until(&mut cur, SimTime::from_millis(250));
+        assert_eq!(first.packets.len(), 3);
+        let pruned = b.prune_consumed(&mut cur);
+        assert_eq!(pruned, 3);
+        assert_eq!(b.total_records(), 2);
+        // The rebased cursor continues exactly where it left off.
+        let rest = b.advance_until(&mut cur, SimTime::from_secs(10));
+        assert_eq!(rest.packets.len(), 2);
+        assert_eq!(rest.packets[0].seq, 300);
+        // Pruning with a fresh-at-zero cursor is a no-op.
+        assert_eq!(b.prune_consumed(&mut TraceCursor::default()), 0);
     }
 
     #[test]

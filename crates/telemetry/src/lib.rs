@@ -19,10 +19,12 @@
 
 pub mod bundle;
 pub mod csv;
+pub mod livetap;
 pub mod records;
 pub mod series;
 
 pub use bundle::{SessionMeta, StreamSlices, TraceBundle, TraceCursor};
+pub use livetap::{LiveTap, NullTap};
 pub use records::{
     AppStatsRecord, CellClass, DciRecord, Direction, Duplexing, GccNetworkState, GnbEvent,
     GnbLogRecord, PacketRecord, Resolution, RrcState, StreamKind,

@@ -1,0 +1,84 @@
+//! The [`LiveTap`] trait: the emission-time hook a session engine drives so
+//! consumers can diagnose a call *while it is running*, instead of waiting
+//! for the completed [`crate::TraceBundle`].
+//!
+//! The contract mirrors what a real capture pipeline sees:
+//!
+//! * **Packets** are announced twice — once at *send* time (fate unknown,
+//!   [`LiveTap::on_packet_sent`] with `received == None`) and, if the packet
+//!   makes it across, once at *delivery* time
+//!   ([`LiveTap::on_packet_delivered`]). Lost packets simply never get a
+//!   delivery event; it is the consumer's job to decide when to give up on
+//!   one (the `domino-live` pipeline uses a watermark with bounded lateness).
+//!   The `id` is a per-session sequence number assigned in emission order, so
+//!   `(record.sent, id)` reproduces exactly the stable `sort_by_key(sent)`
+//!   order of the finished bundle's packet vector — tie-aware consumers can
+//!   reconstruct the batch ingestion order bit for bit.
+//! * **App stats / DCI** arrive in timestamp order, at their timestamps.
+//! * **gNB log records** arrive in *emission* order, which is not timestamp
+//!   order: RLC retransmissions are logged with their scheduled (future)
+//!   timestamps and interleave out of order with same-slot buffer samples.
+//!   Consumers must reorder (see `domino-live`'s watermark stage).
+//! * [`LiveTap::on_tick`] marks the advance of session time — the clock a
+//!   watermark is derived from. [`LiveTap::on_finish`] is called exactly once
+//!   when the session ends (normally or via early exit).
+//! * [`LiveTap::should_stop`] lets the consumer abort the session early
+//!   (e.g. once a diagnosis verdict is stable); the engine polls it every
+//!   tick.
+//!
+//! All methods have empty defaults so partial taps stay terse.
+
+use simcore::SimTime;
+
+use crate::records::{AppStatsRecord, DciRecord, GnbLogRecord, PacketRecord};
+
+/// Emission-time consumer of one session's cross-layer telemetry.
+pub trait LiveTap {
+    /// A UE-side (local) app-stats sample was taken at `r.ts`.
+    fn on_app_local(&mut self, _r: &AppStatsRecord) {}
+
+    /// A wired-side (remote) app-stats sample was taken at `r.ts`.
+    fn on_app_remote(&mut self, _r: &AppStatsRecord) {}
+
+    /// A DCI record was captured (records arrive in timestamp order).
+    fn on_dci(&mut self, _r: &DciRecord) {}
+
+    /// A gNB log record was captured (records arrive in **emission** order,
+    /// which may run ahead of or behind timestamp order — see module docs).
+    fn on_gnb(&mut self, _r: &GnbLogRecord) {}
+
+    /// A packet entered the network at `r.sent`; `r.received` is `None` and
+    /// its fate is not yet known. `id` increases in emission order.
+    fn on_packet_sent(&mut self, _id: u64, _r: &PacketRecord) {}
+
+    /// The packet announced as `id` was delivered at `at`.
+    fn on_packet_delivered(&mut self, _id: u64, _at: SimTime) {}
+
+    /// Session time advanced to `now` (called once per engine tick, after
+    /// all of the tick's records were emitted).
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    /// The session ended at `now` — no further events will arrive.
+    fn on_finish(&mut self, _now: SimTime) {}
+
+    /// Polled every tick; returning `true` aborts the session (early exit).
+    fn should_stop(&self) -> bool {
+        false
+    }
+
+    /// Whether this tap consumes events at all. Engines may skip tap-only
+    /// work (e.g. per-tick telemetry draining) when this returns `false`.
+    fn is_active(&self) -> bool {
+        true
+    }
+}
+
+/// A tap that ignores everything — useful as a default and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl LiveTap for NullTap {
+    fn is_active(&self) -> bool {
+        false
+    }
+}

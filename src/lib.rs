@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the full Domino workspace API.
 pub use domino_core as core;
+pub use domino_live as live;
 pub use domino_sweep as sweep;
 pub use netpath;
 pub use ran_sim as ran;

@@ -1,0 +1,195 @@
+//! Live ↔ batch equivalence and the constant-memory contract.
+//!
+//! The `domino-live` pipeline's promise (ISSUE 2): with early exit disabled
+//! and a lateness bound that covers the longest in-network delay, verdicts
+//! produced *during* the session are bit-identical to a post-hoc
+//! [`Domino::analyze`] over the finished bundle — while retaining only
+//! O(window + lateness) trace, not O(session).
+//!
+//! The first half is a fuzz-style property test over randomized sessions
+//! (cell, duration, seed, scripted impairment all drawn from the vendored
+//! proptest shim's strategies); the second half measures the retained-record
+//! high-water mark against session length.
+
+use domino::core::{Analysis, Domino};
+use domino::live::{EarlyExit, LiveConfig, LivePipeline};
+use domino::scenarios::{all_cells, ScriptAction, SessionConfig, SessionSpec};
+use domino::simcore::{SimDuration, SimTime};
+use domino::telemetry::Direction;
+
+use proptest::strategy::Strategy;
+
+fn assert_identical(batch: &Analysis, live: &Analysis, label: &str) {
+    assert_eq!(batch.windows.len(), live.windows.len(), "{label}: window counts differ");
+    assert_eq!(batch.duration, live.duration, "{label}");
+    for (b, l) in batch.windows.iter().zip(&live.windows) {
+        assert_eq!(b.start, l.start, "{label}");
+        assert_eq!(
+            b.features,
+            l.features,
+            "{label}: features diverge at {:?}: batch {:?} vs live {:?}",
+            b.start,
+            b.features.active_names(),
+            l.features.active_names()
+        );
+        assert_eq!(b.chains, l.chains, "{label}: chains diverge at {:?}", b.start);
+        assert_eq!(b.unknown_consequences, l.unknown_consequences, "{label}");
+    }
+}
+
+/// Runs one spec through both paths and asserts bit-identical output.
+fn assert_live_matches_batch(spec: &SessionSpec, lateness: SimDuration, label: &str) {
+    let domino = Domino::with_defaults();
+    let mut pipe = LivePipeline::with_defaults(LiveConfig {
+        lateness,
+        early_exit: EarlyExit::Never,
+    })
+    .expect("default config is aligned");
+    let bundle = spec.run_with_tap(&mut pipe);
+    let live = pipe.take_analysis(bundle.meta.duration);
+    let stats = pipe.stats();
+    assert_eq!(stats.late_records_dropped, 0, "{label}: lateness bound too small for test");
+    assert_eq!(stats.late_deliveries, 0, "{label}: lateness bound too small for test");
+    let batch = domino.analyze(&bundle);
+    assert_identical(&batch, &live, label);
+}
+
+#[test]
+fn randomized_sessions_are_bit_identical() {
+    // Fuzz-style: strategies from the proptest shim, explicit case count
+    // (each case simulates a full session twice-analysed, so the shim's
+    // default 96 cases would dominate the suite's runtime).
+    let mut rng = proptest::test_rng("randomized_sessions_are_bit_identical");
+    let cells = all_cells();
+    let mut any_chain = false;
+    for case in 0..6 {
+        let cell = cells[(0..cells.len()).generate(&mut rng)].clone();
+        let secs = (10u64..=16).generate(&mut rng);
+        let seed = proptest::any::<u64>().generate(&mut rng);
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..Default::default()
+        };
+        let mut spec = SessionSpec::cell(cell, cfg);
+        let script = (0u8..4).generate(&mut rng);
+        let from = (4.0f64..6.0).generate(&mut rng);
+        let until = from + (1.0f64..4.0).generate(&mut rng);
+        let t = |s: f64| SimTime::from_micros((s * 1e6) as u64);
+        let dir = if proptest::any::<bool>().generate(&mut rng) {
+            Direction::Uplink
+        } else {
+            Direction::Downlink
+        };
+        spec = match script {
+            0 => spec, // healthy
+            1 => spec.with_script(ScriptAction::CrossTraffic {
+                dir,
+                from: t(from),
+                to: t(until),
+                prb_fraction: (0.85f64..0.98).generate(&mut rng),
+            }),
+            2 => spec.with_script(ScriptAction::HarqFailures {
+                dir,
+                from: t(from),
+                to: t(until),
+                fail_attempts: 1,
+            }),
+            _ => spec.with_script(ScriptAction::RrcRelease { at: t(from) }),
+        };
+        let label = format!("case {case}: {} seed {seed} {secs}s script {script}", spec.label);
+        // Lateness covers the whole session: the contract's precondition
+        // holds by construction, so equality must be exact.
+        assert_live_matches_batch(&spec, SimDuration::from_secs(30), &label);
+        let analysis = Domino::with_defaults().analyze(&spec.run());
+        any_chain |= analysis.windows.iter().any(|w| !w.chains.is_empty());
+    }
+    assert!(any_chain, "randomized cases never produced a chain; the fuzz is too tame");
+}
+
+#[test]
+fn retained_trace_is_bounded_by_window_plus_lateness_not_session() {
+    // Same cell, same lateness, 3× the session length: the retained-record
+    // high-water mark must stay put while the trace triples.
+    let lateness = SimDuration::from_secs(2);
+    let peak_and_total = |secs: u64| {
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(secs),
+            seed: 77,
+            ..Default::default()
+        };
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness,
+            early_exit: EarlyExit::Never,
+        })
+        .expect("default config is aligned");
+        let bundle = domino::scenarios::run_cell_session_with_tap(
+            domino::scenarios::amarisoft(),
+            &cfg,
+            |_| {},
+            &mut pipe,
+        );
+        let stats = pipe.stats();
+        assert!(stats.windows_emitted > 0);
+        assert_eq!(pipe.retained_records(), 0, "everything drained at finish");
+        (stats.peak_retained_records, bundle.total_records())
+    };
+    let (peak_short, total_short) = peak_and_total(30);
+    let (peak_long, total_long) = peak_and_total(90);
+    assert!(total_long > 2 * total_short, "the long trace must actually be bigger");
+    assert!(
+        peak_long < total_long / 4,
+        "peak {} should be far below the {}-record session",
+        peak_long,
+        total_long
+    );
+    // O(window + lateness): session length must not move the peak by more
+    // than noise (record rates vary a little between the two runs).
+    assert!(
+        (peak_long as f64) < peak_short as f64 * 1.5,
+        "peak grew with session length: {peak_short} -> {peak_long}"
+    );
+}
+
+#[test]
+fn live_sweep_mode_matches_batch_sweep() {
+    use domino::sweep::{run_sweep, AnalysisMode, SweepOptions};
+    let specs: Vec<SessionSpec> = all_cells()
+        .into_iter()
+        .map(|cell| {
+            SessionSpec::cell(
+                cell,
+                SessionConfig {
+                    duration: SimDuration::from_secs(12),
+                    seed: 2024,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let domino = Domino::with_defaults();
+    let live = run_sweep(
+        &specs,
+        &domino,
+        &SweepOptions {
+            analysis: AnalysisMode::Live,
+            live: LiveConfig { lateness: SimDuration::from_secs(30), early_exit: EarlyExit::Never },
+            keep_analyses: true,
+            ..Default::default()
+        },
+    );
+    let batch = run_sweep(
+        &specs,
+        &domino,
+        &SweepOptions { analysis: AnalysisMode::Batch, keep_analyses: true, ..Default::default() },
+    );
+    for (l, b) in live.outcomes.iter().zip(&batch.outcomes) {
+        assert_identical(
+            b.analysis.as_ref().unwrap(),
+            l.analysis.as_ref().unwrap(),
+            &l.label,
+        );
+    }
+    assert_eq!(live.aggregate.chain_windows, batch.aggregate.chain_windows);
+    assert_eq!(live.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+}
