@@ -53,7 +53,10 @@ fn bench_full_window_analysis(c: &mut Criterion) {
 /// the same step — the ISSUE's acceptance bar is streaming ≥ 3× cheaper.
 fn bench_streaming_step(c: &mut Criterion) {
     let bundle = session_bundle();
-    let cfg = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
     let warmup = cfg.warmup;
     let window = cfg.window;
     let step = cfg.step;
@@ -126,11 +129,17 @@ fn bench_live_step(c: &mut Criterion) {
     // Stable: packet sends keep their (sent, id) emission order on ties.
     events.sort_by_key(|e| e.0);
 
-    let cfg = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
     let mut pipe = LivePipeline::new(
         default_graph(),
         cfg,
-        LiveConfig { lateness: SimDuration::from_secs(1), early_exit: EarlyExit::Never },
+        LiveConfig {
+            lateness: SimDuration::from_secs(1),
+            early_exit: EarlyExit::Never,
+        },
     )
     .expect("aligned");
     let step = SimDuration::from_secs(1);
@@ -155,7 +164,9 @@ fn bench_live_step(c: &mut Criterion) {
                     Ev::Del(i) => {
                         pipe.on_packet_delivered(
                             i as u64,
-                            bundle.packets[i].received.expect("delivery implies received"),
+                            bundle.packets[i]
+                                .received
+                                .expect("delivery implies received"),
                         );
                     }
                 }
@@ -171,7 +182,10 @@ fn bench_live_step(c: &mut Criterion) {
 /// ingesting each record once instead of W/Δt times.
 fn bench_full_sweep(c: &mut Criterion) {
     let bundle = session_bundle();
-    let cfg = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
     let domino = Domino::new(default_graph(), cfg.clone());
     c.bench_function("domino/batch_full_sweep_20s", |b| {
         b.iter(|| domino.analyze(black_box(&bundle)))

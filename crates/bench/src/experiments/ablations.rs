@@ -16,7 +16,7 @@ use simcore::{SimDuration, SimTime};
 use telemetry::{Direction, StreamKind};
 
 use domino_sweep::run_bundles;
-use scenarios::{ScriptAction, SessionSpec};
+use scenarios::{AxisPatch, ScenarioAxis, ScriptAction, SeedPolicy, SessionSpec};
 
 use crate::util::{session_cfg, short_session_cfg};
 
@@ -32,18 +32,18 @@ pub fn proactive_grants() -> String {
         "{:<12} {:>14} {:>14} {:>14} {:>16}",
         "mode", "UL p50 [ms]", "UL p90 [ms]", "UL p99 [ms]", "grant waste [%]"
     );
-    // Both variants as specs, run concurrently by the sweep engine.
-    let specs: Vec<SessionSpec> = [true, false]
-        .into_iter()
-        .map(|proactive| {
-            let mut cell = scenarios::mosolabs();
-            if !proactive {
-                cell.mac.proactive_grant = None;
-            }
-            SessionSpec::cell(cell, short_session_cfg(6001, 45))
-                .labelled(if proactive { "proactive" } else { "bsr-only" })
-        })
-        .collect();
+    // Declarative A/B: the toggle axis expands the base spec into the two
+    // variants (shared seed, so they differ only in the patched field), and
+    // the sweep engine runs them concurrently.
+    let base = SessionSpec::cell(scenarios::mosolabs(), short_session_cfg(6001, 45));
+    let specs = ScenarioAxis::toggle(
+        "grants",
+        "proactive",
+        "bsr-only",
+        vec![],
+        vec![AxisPatch::ProactiveGrant(None)],
+    )
+    .expand(&base, SeedPolicy::Shared);
     let bundles = run_bundles(&specs, 0);
     for (spec, bundle) in specs.iter().zip(&bundles) {
         let delays = telemetry::Cdf::from_samples(
@@ -97,20 +97,22 @@ pub fn harq_attempts() -> String {
         "attempts", "p50 [ms]", "p99 [ms]", "RLC retx/min", "max [ms]"
     );
     const ATTEMPTS: [u8; 4] = [1, 2, 4, 6];
-    let specs: Vec<SessionSpec> = ATTEMPTS
-        .into_iter()
-        .map(|attempts| {
-            let mut cell = scenarios::amarisoft();
-            cell.mac.max_harq_attempts = attempts;
-            // Aggressive MCS selection ("prioritizing rate over robustness",
-            // §5.2.2) so initial transmissions fail often enough for the HARQ
-            // budget to matter.
-            cell.mac.margin_db_ul = 2.5;
-            cell.mac.mcs_cap_ul = 28;
-            cell.mac.olla_step_db = 0.0; // hold the aggressive operating point
-            SessionSpec::cell(cell, short_session_cfg(6002, 45))
-        })
-        .collect();
+    // Aggressive MCS selection ("prioritizing rate over robustness", §5.2.2)
+    // so initial transmissions fail often enough for the HARQ budget to
+    // matter — patched into the base once; the axis sweeps only the budget.
+    let mut base = SessionSpec::cell(scenarios::amarisoft(), short_session_cfg(6002, 45));
+    scenarios::apply_patches(
+        &mut base,
+        &[
+            AxisPatch::MarginDbUl(2.5),
+            AxisPatch::McsCapUl(28),
+            AxisPatch::OllaStepDb(0.0), // hold the aggressive operating point
+        ],
+    );
+    let specs = ScenarioAxis::values("attempts", ATTEMPTS, |&a| {
+        vec![AxisPatch::MaxHarqAttempts(a)]
+    })
+    .expand(&base, SeedPolicy::Shared);
     let bundles = run_bundles(&specs, 0);
     for (attempts, bundle) in ATTEMPTS.into_iter().zip(&bundles) {
         let delays = telemetry::Cdf::from_samples(
@@ -147,18 +149,22 @@ pub fn harq_attempts() -> String {
 
 /// Domino window length W around the paper's 5 s choice.
 pub fn window_length() -> String {
-    let mut out = String::from("Ablation — Domino sliding-window length W (T-Mobile FDD session)\n");
+    let mut out =
+        String::from("Ablation — Domino sliding-window length W (T-Mobile FDD session)\n");
     // Both sessions (the main sweep trace and the scripted check) run as one
     // parallel sweep; analyses below use the streaming fast path.
     let specs = [
         SessionSpec::cell(scenarios::tmobile_fdd_15mhz(), session_cfg(6003)),
-        SessionSpec::cell(scenarios::tmobile_fdd_15mhz_quiet(), short_session_cfg(6004, 20))
-            .with_script(ScriptAction::CrossTraffic {
-                dir: Direction::Downlink,
-                from: t(10.0),
-                to: t(13.0),
-                prb_fraction: 0.97,
-            }),
+        SessionSpec::cell(
+            scenarios::tmobile_fdd_15mhz_quiet(),
+            short_session_cfg(6004, 20),
+        )
+        .with_script(ScriptAction::CrossTraffic {
+            dir: Direction::Downlink,
+            from: t(10.0),
+            to: t(13.0),
+            prb_fraction: 0.97,
+        }),
     ];
     let mut bundles = run_bundles(&specs, 0);
     let scripted = bundles.pop().expect("two specs");
@@ -171,13 +177,20 @@ pub fn window_length() -> String {
     for w_secs in [2u64, 5, 10, 20] {
         let domino = Domino::new(
             domino_core::default_graph(),
-            DominoConfig { window: SimDuration::from_secs(w_secs), ..Default::default() },
+            DominoConfig {
+                window: SimDuration::from_secs(w_secs),
+                ..Default::default()
+            },
         );
         let analysis = domino.analyze_streaming(&bundle);
         let stats = ChainStats::compute(domino.graph(), &analysis);
         let cons_windows: usize = stats.consequence_windows.values().sum();
         let unknown: usize = stats.unknown_windows.values().sum();
-        let frac = if cons_windows == 0 { 0.0 } else { unknown as f64 / cons_windows as f64 };
+        let frac = if cons_windows == 0 {
+            0.0
+        } else {
+            unknown as f64 / cons_windows as f64
+        };
         let _ = writeln!(
             out,
             "{:<8} {:>10} {:>14} {:>18} {:>16.2}",
@@ -193,7 +206,10 @@ pub fn window_length() -> String {
          unknown fraction); very long windows blur distinct events together\n\
          (attribution inflates). The paper's W = 5 s balances the two.\n",
     );
-    let _ = writeln!(out, "\n(scripted check at W = 5 s: cause at t≈10 s is attributed)");
+    let _ = writeln!(
+        out,
+        "\n(scripted check at W = 5 s: cause at t≈10 s is attributed)"
+    );
     let domino = Domino::with_defaults();
     let analysis = domino.analyze_streaming(&scripted);
     let attributed = analysis.windows.iter().flat_map(|w| &w.chains).count();

@@ -7,8 +7,7 @@
 use std::fmt::Write as _;
 
 use domino_core::{
-    render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats,
-    Domino,
+    render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats, Domino,
 };
 use telemetry::CellClass;
 

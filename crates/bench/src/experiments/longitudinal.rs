@@ -6,23 +6,22 @@ use domino_core::Domino;
 use telemetry::{Direction, Resolution, TraceBundle};
 
 use domino_sweep::{run_sweep_with_progress, AnalysisMode, SweepOptions, SweepProgress};
-use scenarios::{all_cells, SessionSpec};
+use scenarios::{all_cells, ScenarioAxis, SeedPolicy, SessionSpec};
 
 use crate::util::{delay_samples, print_cdf, session_cfg};
 
 fn run_all_cells() -> Vec<TraceBundle> {
-    // One spec per cell (seeds preserved from the sequential harness), fanned
-    // across cores by the sweep engine; bundles come back in spec order.
-    // These are the longest sessions the harness runs, so they exercise the
-    // operator-scale path: Domino analysis runs *inline* during each
-    // simulation (`AnalysisMode::Live`; no early exit, so the bundles the
-    // figures read are untouched) and throughput/ETA goes to stderr, keeping
-    // the figure text on stdout byte-stable.
-    let specs: Vec<SessionSpec> = all_cells()
-        .into_iter()
-        .enumerate()
-        .map(|(i, cell)| SessionSpec::cell(cell, session_cfg(3000 + i as u64)))
-        .collect();
+    // One spec per cell, declared as a cell axis (sequential seeds preserve
+    // the sequential harness's 3000+i numbering), fanned across cores by the
+    // sweep engine; bundles come back in spec order. These are the longest
+    // sessions the harness runs, so they exercise the operator-scale path:
+    // Domino analysis runs *inline* during each simulation
+    // (`AnalysisMode::Live`; no early exit, so the bundles the figures read
+    // are untouched) and throughput/ETA goes to stderr, keeping the figure
+    // text on stdout byte-stable.
+    let base = SessionSpec::cell(all_cells().remove(0), session_cfg(3000));
+    let specs =
+        ScenarioAxis::cells("cell", all_cells()).expand(&base, SeedPolicy::Sequential(3000));
     let domino = Domino::with_defaults();
     let opts = SweepOptions {
         analysis: AnalysisMode::Live,
@@ -51,18 +50,32 @@ pub fn fig8() -> String {
         let cell = &b.meta.cell_name;
         let _ = writeln!(out, "==== {cell} ====");
         // (a)-(d) one-way delay.
-        print_cdf(&mut out, &format!("{cell} / delay UL [ms]"), delay_samples(b, Direction::Uplink, true));
-        print_cdf(&mut out, &format!("{cell} / delay DL [ms]"), delay_samples(b, Direction::Downlink, true));
+        print_cdf(
+            &mut out,
+            &format!("{cell} / delay UL [ms]"),
+            delay_samples(b, Direction::Uplink, true),
+        );
+        print_cdf(
+            &mut out,
+            &format!("{cell} / delay DL [ms]"),
+            delay_samples(b, Direction::Downlink, true),
+        );
         // (e)-(h) target bitrate: UL stream = local sender, DL = remote.
         print_cdf(
             &mut out,
             &format!("{cell} / target bitrate UL [Mbps]"),
-            b.app_local.iter().map(|s| s.target_bitrate_bps / 1e6).collect(),
+            b.app_local
+                .iter()
+                .map(|s| s.target_bitrate_bps / 1e6)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("{cell} / target bitrate DL [Mbps]"),
-            b.app_remote.iter().map(|s| s.target_bitrate_bps / 1e6).collect(),
+            b.app_remote
+                .iter()
+                .map(|s| s.target_bitrate_bps / 1e6)
+                .collect(),
         );
         // (i)-(l) receiver-side frame rate: UL stream rendered at remote.
         print_cdf(
@@ -79,7 +92,10 @@ pub fn fig8() -> String {
         print_cdf(
             &mut out,
             &format!("{cell} / jitter buffer UL video [ms]"),
-            b.app_remote.iter().map(|s| s.min_jitter_buffer_ms).collect(),
+            b.app_remote
+                .iter()
+                .map(|s| s.min_jitter_buffer_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
@@ -89,12 +105,18 @@ pub fn fig8() -> String {
         print_cdf(
             &mut out,
             &format!("{cell} / jitter buffer UL audio [ms]"),
-            b.app_remote.iter().map(|s| s.audio_jitter_buffer_ms).collect(),
+            b.app_remote
+                .iter()
+                .map(|s| s.audio_jitter_buffer_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("{cell} / jitter buffer DL audio [ms]"),
-            b.app_local.iter().map(|s| s.audio_jitter_buffer_ms).collect(),
+            b.app_local
+                .iter()
+                .map(|s| s.audio_jitter_buffer_ms)
+                .collect(),
         );
     }
     out
@@ -117,7 +139,10 @@ pub fn table3() -> String {
                 if samples.is_empty() {
                     return 0.0;
                 }
-                samples.iter().filter(|s| s.outbound_resolution == res).count() as f64
+                samples
+                    .iter()
+                    .filter(|s| s.outbound_resolution == res)
+                    .count() as f64
                     / samples.len() as f64
             };
             let _ = write!(

@@ -39,18 +39,30 @@ pub fn fig12() -> String {
             .filter(|d| d.is_target_ue && d.direction == Direction::Uplink)
             .map(|d| d.mcs as f64)
             .fold((0.0, 0usize), |(s, n), m| (s + m, n + 1));
-        let mcs = if mcs.1 > 0 { mcs.0 / mcs.1 as f64 } else { f64::NAN };
-        let gap =
-            (app_rate_in(&bundle, Direction::Uplink, from, to) - phy_rate_in(&bundle, Direction::Uplink, from, to)) / 1e6;
+        let mcs = if mcs.1 > 0 {
+            mcs.0 / mcs.1 as f64
+        } else {
+            f64::NAN
+        };
+        let gap = (app_rate_in(&bundle, Direction::Uplink, from, to)
+            - phy_rate_in(&bundle, Direction::Uplink, from, to))
+            / 1e6;
         let buf = bundle
             .gnb_window(from, to)
             .iter()
             .filter_map(|g| match g.event {
-                GnbEvent::RlcBuffer { direction: Direction::Uplink, bytes } => Some(bytes as f64),
+                GnbEvent::RlcBuffer {
+                    direction: Direction::Uplink,
+                    bytes,
+                } => Some(bytes as f64),
                 _ => None,
             })
             .fold((0.0, 0usize), |(s, n), b| (s + b, n + 1));
-        let buf = if buf.1 > 0 { buf.0 / buf.1 as f64 / 1e3 } else { 0.0 };
+        let buf = if buf.1 > 0 {
+            buf.0 / buf.1 as f64 / 1e3
+        } else {
+            0.0
+        };
         let delay = mean_delay_in(&bundle, Direction::Uplink, from, to);
         let _ = writeln!(
             out,
@@ -92,10 +104,15 @@ pub fn fig13() -> String {
         {
             "Overuse".to_string()
         } else {
-            stats.last().map(|s| format!("{:?}", s.gcc_state)).unwrap_or_default()
+            stats
+                .last()
+                .map(|s| format!("{:?}", s.gcc_state))
+                .unwrap_or_default()
         };
-        let target =
-            stats.last().map(|s| s.target_bitrate_bps / 1e6).unwrap_or(f64::NAN);
+        let target = stats
+            .last()
+            .map(|s| s.target_bitrate_bps / 1e6)
+            .unwrap_or(f64::NAN);
         let _ = writeln!(
             out,
             "{center:>5.2} {prb_ue:>9.0} {prb_oth:>10.0} {gap:>15.2} {delay:>10.1} {state:>10} {target:>13.2}"
@@ -106,7 +123,8 @@ pub fn fig13() -> String {
 
 /// Fig. 14 — packet↔transport-block timelines showing UL delay spread.
 pub fn fig14() -> String {
-    let mut out = String::from("Fig. 14 — WebRTC packets vs PHY transport blocks (UL, 150 ms excerpts)\n");
+    let mut out =
+        String::from("Fig. 14 — WebRTC packets vs PHY transport blocks (UL, 150 ms excerpts)\n");
     for (cell, seed) in [
         (scenarios::tmobile_tdd_100mhz(), 5141u64),
         (scenarios::tmobile_fdd_15mhz_quiet(), 5142),
@@ -134,7 +152,12 @@ pub fn fig14() -> String {
                 StreamKind::Audio => "A",
                 StreamKind::Rtcp => "C",
             };
-            let _ = writeln!(out, "  {kind} seq={:<6} {s:>7.2} -> {r:>7.2}  owd={:>6.2}", p.seq, r - s);
+            let _ = writeln!(
+                out,
+                "  {kind} seq={:<6} {s:>7.2} -> {r:>7.2}  owd={:>6.2}",
+                p.seq,
+                r - s
+            );
         }
         let _ = writeln!(out, "transport blocks:");
         for d in bundle
@@ -177,9 +200,23 @@ pub fn fig16() -> String {
             req_waste += waste;
         }
     }
-    let pct = |u: u64, w: u64| if u + w == 0 { 0.0 } else { 100.0 * w as f64 / (u + w) as f64 };
-    let _ = writeln!(out, "proactive grants: used {pro_used} bits, wasted {pro_waste} bits ({:.1}% waste)", pct(pro_used, pro_waste));
-    let _ = writeln!(out, "requested grants: used {req_used} bits, wasted {req_waste} bits ({:.1}% waste)", pct(req_used, req_waste));
+    let pct = |u: u64, w: u64| {
+        if u + w == 0 {
+            0.0
+        } else {
+            100.0 * w as f64 / (u + w) as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "proactive grants: used {pro_used} bits, wasted {pro_waste} bits ({:.1}% waste)",
+        pct(pro_used, pro_waste)
+    );
+    let _ = writeln!(
+        out,
+        "requested grants: used {req_used} bits, wasted {req_waste} bits ({:.1}% waste)",
+        pct(req_used, req_waste)
+    );
     let _ = writeln!(out, "example 80 ms window of grants:");
     let from = t(10.0);
     let to = t(10.08);
@@ -192,7 +229,11 @@ pub fn fig16() -> String {
             out,
             "  t={:>6.2}ms {} tbs={:>6} used={:>6}",
             d.ts.saturating_since(from).as_millis_f64(),
-            if d.proactive { "proactive" } else { "requested" },
+            if d.proactive {
+                "proactive"
+            } else {
+                "requested"
+            },
             d.tbs_bits,
             d.used_bits
         );
@@ -215,10 +256,15 @@ pub fn fig17() -> String {
         .iter()
         .filter(|d| d.is_target_ue && d.direction == Direction::Uplink && d.harq_retx_idx > 0)
         .count();
-    let mut out = String::from("Fig. 17 — HARQ retransmission delay inflation (Amarisoft, RTT = 10 ms)\n");
+    let mut out =
+        String::from("Fig. 17 — HARQ retransmission delay inflation (Amarisoft, RTT = 10 ms)\n");
     let _ = writeln!(out, "mean UL delay without failures : {base:>7.2} ms");
     let _ = writeln!(out, "mean UL delay with forced HARQ : {with:>7.2} ms");
-    let _ = writeln!(out, "inflation                      : {:>7.2} ms (expect ≈ +10 ms)", with - base);
+    let _ = writeln!(
+        out,
+        "inflation                      : {:>7.2} ms (expect ≈ +10 ms)",
+        with - base
+    );
     let _ = writeln!(out, "HARQ retransmissions in window : {retx_count}");
     out
 }
@@ -242,9 +288,11 @@ pub fn fig18() -> String {
     let mut blocked = 0usize;
     let mut max_delay: f64 = 0.0;
     let mut release_cluster: Vec<f64> = Vec::new();
-    for p in bundle.packets_window(t(9.9), t(10.4)).iter().filter(|p| {
-        p.direction == Direction::Uplink && p.stream != StreamKind::Rtcp
-    }) {
+    for p in bundle
+        .packets_window(t(9.9), t(10.4))
+        .iter()
+        .filter(|p| p.direction == Direction::Uplink && p.stream != StreamKind::Rtcp)
+    {
         if let Some(d) = p.one_way_delay() {
             let ms = d.as_millis_f64();
             max_delay = max_delay.max(ms);
@@ -262,9 +310,15 @@ pub fn fig18() -> String {
         .zip(release_cluster.first())
         .map(|(l, f)| l - f)
         .unwrap_or(0.0);
-    let _ = writeln!(out, "max packet delay near event  : {max_delay:>7.1} ms (expect ≈ 105 ms)");
+    let _ = writeln!(
+        out,
+        "max packet delay near event  : {max_delay:>7.1} ms (expect ≈ 105 ms)"
+    );
     let _ = writeln!(out, "HoL-blocked packets (>60 ms) : {blocked}");
-    let _ = writeln!(out, "release-burst span           : {cluster_span:>7.1} ms (near-identical receive times)");
+    let _ = writeln!(
+        out,
+        "release-burst span           : {cluster_span:>7.1} ms (near-identical receive times)"
+    );
     out
 }
 
@@ -305,9 +359,13 @@ pub fn fig19() -> String {
     }
     let _ = writeln!(out, "t[s]  ul_delay[ms]");
     for (center, _) in time_bins(t(9.0), t(13.0), SimDuration::from_millis(250), |_, _| 0.0) {
-        let d = mean_delay_in(&bundle, Direction::Uplink, t(center - 0.125), t(center + 0.125));
+        let d = mean_delay_in(
+            &bundle,
+            Direction::Uplink,
+            t(center - 0.125),
+            t(center + 0.125),
+        );
         let _ = writeln!(out, "{center:>5.2} {d:>10.1}");
     }
     out
 }
-

@@ -17,10 +17,26 @@ pub fn fig2() -> String {
     let cell = run_cell_session(scenarios::tmobile_fdd_15mhz(), &cfg, |_| {});
     let wired = run_baseline_session(BaselineAccess::Wired, &cfg);
     let mut out = String::from("Fig. 2 — one-way delay [ms] CDF: 5G vs wired\n");
-    print_cdf(&mut out, "Uplink / Cellular", delay_samples(&cell, Direction::Uplink, true));
-    print_cdf(&mut out, "Uplink / Wired", delay_samples(&wired, Direction::Uplink, true));
-    print_cdf(&mut out, "Downlink / Cellular", delay_samples(&cell, Direction::Downlink, true));
-    print_cdf(&mut out, "Downlink / Wired", delay_samples(&wired, Direction::Downlink, true));
+    print_cdf(
+        &mut out,
+        "Uplink / Cellular",
+        delay_samples(&cell, Direction::Uplink, true),
+    );
+    print_cdf(
+        &mut out,
+        "Uplink / Wired",
+        delay_samples(&wired, Direction::Uplink, true),
+    );
+    print_cdf(
+        &mut out,
+        "Downlink / Cellular",
+        delay_samples(&cell, Direction::Downlink, true),
+    );
+    print_cdf(
+        &mut out,
+        "Downlink / Wired",
+        delay_samples(&wired, Direction::Downlink, true),
+    );
     out
 }
 
@@ -39,22 +55,38 @@ pub fn fig3() -> String {
         print_cdf(
             &mut out,
             &format!("Video / Uplink / {label}"),
-            bundle.app_remote.iter().map(|s| s.min_jitter_buffer_ms).collect(),
+            bundle
+                .app_remote
+                .iter()
+                .map(|s| s.min_jitter_buffer_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("Video / Downlink / {label}"),
-            bundle.app_local.iter().map(|s| s.min_jitter_buffer_ms).collect(),
+            bundle
+                .app_local
+                .iter()
+                .map(|s| s.min_jitter_buffer_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("Audio / Uplink / {label}"),
-            bundle.app_remote.iter().map(|s| s.audio_jitter_buffer_ms).collect(),
+            bundle
+                .app_remote
+                .iter()
+                .map(|s| s.audio_jitter_buffer_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("Audio / Downlink / {label}"),
-            bundle.app_local.iter().map(|s| s.audio_jitter_buffer_ms).collect(),
+            bundle
+                .app_local
+                .iter()
+                .map(|s| s.audio_jitter_buffer_ms)
+                .collect(),
         );
     }
     out
@@ -65,8 +97,7 @@ pub fn fig4() -> String {
     let cfg = session_cfg(2004);
     let cell = run_cell_session(scenarios::tmobile_fdd_15mhz(), &cfg, |_| {});
     let wired = run_baseline_session(BaselineAccess::Wired, &cfg);
-    let mut out =
-        String::from("Fig. 4 — concealed audio samples & video freeze fraction\n");
+    let mut out = String::from("Fig. 4 — concealed audio samples & video freeze fraction\n");
     let _ = writeln!(
         out,
         "{:<10} {:>12} {:>12} {:>12} {:>12}",
@@ -108,12 +139,18 @@ pub fn fig5() -> String {
         print_cdf(
             &mut out,
             &format!("Outbound / {}", access.label()),
-            data.iter().filter(|r| r.access == access).map(|r| r.outbound_jitter_ms).collect(),
+            data.iter()
+                .filter(|r| r.access == access)
+                .map(|r| r.outbound_jitter_ms)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("Inbound / {}", access.label()),
-            data.iter().filter(|r| r.access == access).map(|r| r.inbound_jitter_ms).collect(),
+            data.iter()
+                .filter(|r| r.access == access)
+                .map(|r| r.inbound_jitter_ms)
+                .collect(),
         );
     }
     out
@@ -127,12 +164,18 @@ pub fn fig6() -> String {
         print_cdf(
             &mut out,
             &format!("Outbound / {}", access.label()),
-            data.iter().filter(|r| r.access == access).map(|r| r.outbound_loss_pct).collect(),
+            data.iter()
+                .filter(|r| r.access == access)
+                .map(|r| r.outbound_loss_pct)
+                .collect(),
         );
         print_cdf(
             &mut out,
             &format!("Inbound / {}", access.label()),
-            data.iter().filter(|r| r.access == access).map(|r| r.inbound_loss_pct).collect(),
+            data.iter()
+                .filter(|r| r.access == access)
+                .map(|r| r.inbound_loss_pct)
+                .collect(),
         );
     }
     out
@@ -157,7 +200,13 @@ pub fn table1() -> String {
         let _ = writeln!(
             out,
             "{:<24} {:>6} {:>10.2} {:>6} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            name, class, bw, duplex, r.dci_per_min, r.gnb_per_min, r.packets_per_min,
+            name,
+            class,
+            bw,
+            duplex,
+            r.dci_per_min,
+            r.gnb_per_min,
+            r.packets_per_min,
             r.webrtc_per_min
         );
     }
@@ -165,7 +214,14 @@ pub fn table1() -> String {
     let _ = writeln!(
         out,
         "{:<24} {:>6} {:>10} {:>6} {:>10} {:>10} {:>10} {:>10}  ({} synthetic minutes)",
-        "Zoom API (campus)", "org", "-", "-", "-", "-", "-", "1/min",
+        "Zoom API (campus)",
+        "org",
+        "-",
+        "-",
+        "-",
+        "-",
+        "-",
+        "1/min",
         campus.len()
     );
     out

@@ -21,8 +21,29 @@ pub mod util;
 
 /// All experiment ids in paper order.
 pub const EXPERIMENTS: [&str; 23] = [
-    "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig8", "fig10", "table2", "table3",
-    "table4", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21-22", "ablation-proactive", "ablation-harq", "ablation-window",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+    "fig8",
+    "fig10",
+    "table2",
+    "table3",
+    "table4",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21-22",
+    "ablation-proactive",
+    "ablation-harq",
+    "ablation-window",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.

@@ -10,12 +10,20 @@ use scenarios::SessionConfig;
 
 /// Standard session length used by the CDF experiments.
 pub fn session_cfg(seed: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(120), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(120),
+        seed,
+        ..Default::default()
+    }
 }
 
 /// A shorter session for scripted trace figures.
 pub fn short_session_cfg(seed: u64, secs: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(secs),
+        seed,
+        ..Default::default()
+    }
 }
 
 /// One-way delay samples (ms) for one direction.
@@ -171,12 +179,15 @@ mod tests {
 
     #[test]
     fn loss_fraction_counts_unreceived() {
-        let mut b =
-            TraceBundle::new(SessionMeta::baseline("x", SimDuration::from_secs(1), 0));
+        let mut b = TraceBundle::new(SessionMeta::baseline("x", SimDuration::from_secs(1), 0));
         for i in 0..10u64 {
             b.packets.push(PacketRecord {
                 sent: SimTime::from_millis(i),
-                received: if i < 8 { Some(SimTime::from_millis(i + 5)) } else { None },
+                received: if i < 8 {
+                    Some(SimTime::from_millis(i + 5))
+                } else {
+                    None
+                },
                 direction: Direction::Uplink,
                 stream: StreamKind::Video,
                 seq: i,

@@ -6,7 +6,14 @@
 //! Each benchmark is auto-calibrated to a target batch time, run for the
 //! configured number of samples, and reported as `min / median / max` ns per
 //! iteration on stdout — enough to track relative trajectories over PRs.
+//!
+//! When the `BENCH_JSON` environment variable names a file, each runner
+//! additionally merges its results into that file as a JSON object mapping
+//! benchmark name → median ns/iter (sorted by name, written when the
+//! [`Criterion`] value drops). CI sets it to `BENCH_ci.json` so the perf
+//! trajectory is machine-readable per push.
 
+use std::collections::BTreeMap;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 
@@ -16,22 +23,32 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Benchmark harness configuration and runner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Criterion {
+    config: CriterionConfig,
+    /// Medians collected by this runner, flushed to `BENCH_JSON` on drop.
+    results: Vec<(String, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct CriterionConfig {
     sample_size: usize,
     target_batch: Duration,
 }
 
-impl Default for Criterion {
+impl Default for CriterionConfig {
     fn default() -> Self {
-        Criterion { sample_size: 30, target_batch: Duration::from_millis(25) }
+        CriterionConfig {
+            sample_size: 30,
+            target_batch: Duration::from_millis(25),
+        }
     }
 }
 
 impl Criterion {
     /// Number of timed batches per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(2);
+        self.config.sample_size = n.max(2);
         self
     }
 
@@ -40,25 +57,29 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
 
         // Calibrate: grow the batch until it runs long enough to time well.
         loop {
             b.elapsed = Duration::ZERO;
             f(&mut b);
-            if b.elapsed >= self.target_batch || b.iters >= 1 << 30 {
+            if b.elapsed >= self.config.target_batch || b.iters >= 1 << 30 {
                 break;
             }
             let grow = if b.elapsed.is_zero() {
                 16
             } else {
-                (self.target_batch.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+                (self.config.target_batch.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16)
+                    as u64
             };
             b.iters = (b.iters * grow.max(2)).min(1 << 30);
         }
 
-        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
             b.elapsed = Duration::ZERO;
             f(&mut b);
             per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
@@ -73,10 +94,66 @@ impl Criterion {
             fmt_ns(med),
             fmt_ns(max),
             b.iters,
-            self.sample_size
+            self.config.sample_size
         );
+        self.results.push((name.to_string(), med));
         self
     }
+}
+
+impl Drop for Criterion {
+    /// Merges this runner's medians into the `BENCH_JSON` file, if set.
+    /// Groups run sequentially, each with its own `Criterion`, so each drop
+    /// re-reads the file and rewrites the union (ours win on name clashes).
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let mut merged: BTreeMap<String, f64> = std::fs::read_to_string(&path)
+            .map(|text| parse_bench_json(&text))
+            .unwrap_or_default();
+        for (name, med) in &self.results {
+            merged.insert(name.clone(), *med);
+        }
+        let mut out = String::from("{\n");
+        for (i, (name, med)) in merged.iter().enumerate() {
+            let sep = if i + 1 == merged.len() { "" } else { "," };
+            out.push_str(&format!("  \"{}\": {med:.2}{sep}\n", escape_json(name)));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses the shim's own `BENCH_JSON` output (one `"name": median` entry
+/// per line). Unknown lines are ignored, so a corrupt file degrades to a
+/// fresh start instead of an error.
+fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.rsplit_once(": ") else {
+            continue;
+        };
+        let key = key
+            .trim()
+            .trim_matches('"')
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\");
+        if let Ok(v) = value.trim().parse::<f64>() {
+            map.insert(key, v);
+        }
+    }
+    map
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -144,7 +221,13 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_reports() {
-        let mut c = Criterion { sample_size: 3, target_batch: Duration::from_micros(200) };
+        let mut c = Criterion {
+            config: CriterionConfig {
+                sample_size: 3,
+                target_batch: Duration::from_micros(200),
+            },
+            results: Vec::new(),
+        };
         let mut count = 0u64;
         c.bench_function("selftest/add", |b| {
             b.iter(|| {
@@ -153,5 +236,23 @@ mod tests {
             })
         });
         assert!(count > 0);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "selftest/add");
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_merges() {
+        let text = "{\n  \"domino/streaming_step\": 63000.25,\n  \"phy/select_mcs\": 12.50\n}\n";
+        let map = parse_bench_json(text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["domino/streaming_step"], 63000.25);
+        assert_eq!(map["phy/select_mcs"], 12.5);
+        // Garbage degrades to empty, not an error.
+        assert!(parse_bench_json("not json at all").is_empty());
+        // Escaped names survive.
+        let esc = format!("{{\n  \"{}\": 1.00\n}}\n", escape_json("odd\"name\\x"));
+        let back = parse_bench_json(&esc);
+        assert_eq!(back.keys().next().map(String::as_str), Some("odd\"name\\x"));
     }
 }

@@ -119,7 +119,9 @@ pub mod strategy {
 
 /// Strategy over the "canonical arbitrary" values of `T`.
 pub fn any<T>() -> strategy::Any<T> {
-    strategy::Any { _marker: std::marker::PhantomData }
+    strategy::Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 pub mod collection {

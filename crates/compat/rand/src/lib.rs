@@ -265,7 +265,11 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        DistIter { distr, rng: self, _marker: std::marker::PhantomData }
+        DistIter {
+            distr,
+            rng: self,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -294,8 +298,14 @@ mod tests {
 
     #[test]
     fn deterministic_from_seed() {
-        let a: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(4).collect();
-        let b: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(4).collect();
+        let a: Vec<u64> = StdRng::seed_from_u64(7)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(7)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
         assert_eq!(a, b);
         let c: u64 = StdRng::seed_from_u64(8).gen();
         assert_ne!(a[0], c);

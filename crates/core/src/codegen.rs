@@ -60,7 +60,11 @@ pub fn compile(graph: &CausalGraph) -> DetectionProgram {
             let pos = match level.iter().position(|n| n.node == node) {
                 Some(p) => p,
                 None => {
-                    level.push(IfNode { node, then: Vec::new(), emit: None });
+                    level.push(IfNode {
+                        node,
+                        then: Vec::new(),
+                        emit: None,
+                    });
                     level.len() - 1
                 }
             };
@@ -165,7 +169,10 @@ impl DetectionProgram {
             let _ = writeln!(src, "{pad}if active({name:?}) {{");
             if let Some(id) = n.emit {
                 let _ = writeln!(src, "{pad}    chains.push({id});");
-                let _ = writeln!(src, "{pad}    if !causes.contains(&{name:?}) {{ causes.push({name:?}); }}");
+                let _ = writeln!(
+                    src,
+                    "{pad}    if !causes.contains(&{name:?}) {{ causes.push({name:?}); }}"
+                );
             }
             Self::emit_rust_level(&n.then, graph, indent + 1, src);
             let _ = writeln!(src, "{pad}}}");

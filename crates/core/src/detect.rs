@@ -105,7 +105,10 @@ impl Domino {
             windows.push(self.analyze_window(bundle, start));
             start += self.cfg.step;
         }
-        Analysis { windows, duration: bundle.meta.duration }
+        Analysis {
+            windows,
+            duration: bundle.meta.duration,
+        }
     }
 
     /// Analyses a single window position.
@@ -113,7 +116,12 @@ impl Domino {
         let end = start + self.cfg.window;
         let features = extract_features(bundle, start, end, &self.cfg.thresholds);
         let (chains, unknown_consequences) = self.trace_chains(&features);
-        WindowAnalysis { start, features, chains, unknown_consequences }
+        WindowAnalysis {
+            start,
+            features,
+            chains,
+            unknown_consequences,
+        }
     }
 
     /// Backward-traces every active consequence in a feature vector.
@@ -164,11 +172,7 @@ mod tests {
     }
 
     fn bundle_seconds(secs: u64) -> TraceBundle {
-        let mut b = TraceBundle::new(SessionMeta::baseline(
-            "t",
-            SimDuration::from_secs(secs),
-            0,
-        ));
+        let mut b = TraceBundle::new(SessionMeta::baseline("t", SimDuration::from_secs(secs), 0));
         // 50 ms cadence healthy samples so windows exist.
         for i in 0..(secs * 20) {
             let mut s = AppStatsRecord::baseline(t(i * 50));
@@ -207,7 +211,10 @@ mod tests {
             .iter()
             .filter(|w| w.unknown_consequences.contains(&jb))
             .collect();
-        assert!(!affected.is_empty(), "drain must be detected and unattributed");
+        assert!(
+            !affected.is_empty(),
+            "drain must be detected and unattributed"
+        );
     }
 
     #[test]
@@ -237,8 +244,7 @@ mod tests {
         let (chains, _) = d.trace_chains(&fv);
         // cross_traffic → fwd → pushback AND cross_traffic → rev → pushback.
         assert_eq!(chains.len(), 2);
-        let mut mids: Vec<&str> =
-            chains.iter().map(|c| d.graph().name(c.path[1])).collect();
+        let mut mids: Vec<&str> = chains.iter().map(|c| d.graph().name(c.path[1])).collect();
         mids.sort();
         assert_eq!(mids, vec!["forward_delay_up", "reverse_delay_up"]);
     }

@@ -77,7 +77,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn graph_err(line: usize, e: GraphError) -> ParseError {
-    ParseError { line, message: e.to_string() }
+    ParseError {
+        line,
+        message: e.to_string(),
+    }
 }
 
 /// Parses DSL text into a validated causal graph.
@@ -194,8 +197,9 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let g = parse("# hello\n\n  # indented comment\nul_harq_retx --> forward_delay_up # tail\n")
-            .unwrap();
+        let g =
+            parse("# hello\n\n  # indented comment\nul_harq_retx --> forward_delay_up # tail\n")
+                .unwrap();
         assert_eq!(g.node_count(), 2);
     }
 

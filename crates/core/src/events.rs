@@ -99,24 +99,39 @@ pub fn extract_features(
     let dci = bundle.dci_window(from, to);
     let gnb = bundle.gnb_window(from, to);
     for dir in [Direction::Uplink, Direction::Downlink] {
-        v.set(Feature::Ran(dir, RanEvent::AllocatedTbsDown), tbs_down(dci, dir, th));
+        v.set(
+            Feature::Ran(dir, RanEvent::AllocatedTbsDown),
+            tbs_down(dci, dir, th),
+        );
         v.set(
             Feature::Ran(dir, RanEvent::AppExceedsTbs),
             app_exceeds_tbs(packets, dci, dir, from, to, th),
         );
-        v.set(Feature::Ran(dir, RanEvent::CrossTraffic), cross_traffic(dci, dir, th));
-        v.set(Feature::Ran(dir, RanEvent::ChannelDegrades), channel_degrades(dci, dir, from, th));
-        v.set(Feature::Ran(dir, RanEvent::HarqRetx), harq_retx(dci, dir, th));
+        v.set(
+            Feature::Ran(dir, RanEvent::CrossTraffic),
+            cross_traffic(dci, dir, th),
+        );
+        v.set(
+            Feature::Ran(dir, RanEvent::ChannelDegrades),
+            channel_degrades(dci, dir, from, th),
+        );
+        v.set(
+            Feature::Ran(dir, RanEvent::HarqRetx),
+            harq_retx(dci, dir, th),
+        );
         v.set(
             Feature::Ran(dir, RanEvent::RlcRetx),
-            gnb.iter().any(|g| matches!(g.event, GnbEvent::RlcRetx { direction, .. } if direction == dir)),
+            gnb.iter().any(
+                |g| matches!(g.event, GnbEvent::RlcRetx { direction, .. } if direction == dir),
+            ),
         );
     }
 
     // Row 19: transmission uses the 5G uplink channel.
     v.set(
         Feature::UlScheduling,
-        dci.iter().any(|d| d.is_target_ue && d.direction == Direction::Uplink),
+        dci.iter()
+            .any(|d| d.is_target_ue && d.direction == Direction::Uplink),
     );
     // Row 20: RNTI change within the window.
     v.set(Feature::RrcStateChange, rnti_changed(dci));
@@ -142,7 +157,9 @@ fn app_event(samples: &[AppStatsRecord], e: AppEvent, th: &Thresholds) -> bool {
         AppEvent::TargetBitrateDown => samples.windows(2).any(|w| {
             w[1].target_bitrate_bps < w[0].target_bitrate_bps * (1.0 - th.rate_drop_epsilon)
         }),
-        AppEvent::GccOveruse => samples.iter().any(|s| s.gcc_state == GccNetworkState::Overuse),
+        AppEvent::GccOveruse => samples
+            .iter()
+            .any(|s| s.gcc_state == GccNetworkState::Overuse),
         AppEvent::PushbackRateDown => samples.windows(2).any(|w| {
             w[1].pushback_rate_bps < w[0].pushback_rate_bps * (1.0 - th.rate_drop_epsilon)
         }),
@@ -152,7 +169,9 @@ fn app_event(samples: &[AppStatsRecord], e: AppEvent, th: &Thresholds) -> bool {
                 samples.iter().map(|s| s.outstanding_bytes as f64),
                 th.trend_subwindow,
             );
-            means.windows(2).any(|w| w[1] > w[0] * 1.05 && w[1] > 1000.0)
+            means
+                .windows(2)
+                .any(|w| w[1] > w[0] * 1.05 && w[1] > 1000.0)
         }
         AppEvent::PushbackNeqTarget => samples.iter().any(|s| {
             (s.pushback_rate_bps - s.target_bitrate_bps).abs()
@@ -253,7 +272,10 @@ fn app_exceeds_tbs(
             app_bits[bin] += p.size_bytes as f64 * 8.0;
         }
     }
-    for d in dci.iter().filter(|d| d.is_target_ue && d.direction == dir && d.harq_retx_idx == 0) {
+    for d in dci
+        .iter()
+        .filter(|d| d.is_target_ue && d.direction == dir && d.harq_retx_idx == 0)
+    {
         let bin = ((d.ts.as_micros() - from.as_micros()) / BIN_US) as usize;
         if bin < n_bins {
             tbs_bits[bin] += d.tbs_bits as f64;
@@ -368,8 +390,7 @@ mod tests {
         packets: Vec<PacketRecord>,
         dci: Vec<DciRecord>,
     ) -> TraceBundle {
-        let mut b =
-            TraceBundle::new(SessionMeta::baseline("test", SimDuration::from_secs(5), 0));
+        let mut b = TraceBundle::new(SessionMeta::baseline("test", SimDuration::from_secs(5), 0));
         b.app_local = app;
         b.packets = packets;
         b.dci = dci;
@@ -397,7 +418,10 @@ mod tests {
         let b = bundle_with(app, vec![], vec![]);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(v.get(Feature::App(ClientSide::Local, AppEvent::JitterBufferDrain)));
-        assert!(!v.get(Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain)));
+        assert!(!v.get(Feature::App(
+            ClientSide::Remote,
+            AppEvent::JitterBufferDrain
+        )));
     }
 
     #[test]
@@ -431,23 +455,24 @@ mod tests {
             size_bytes: 1200,
         };
         // Rising media delay crossing 80 ms → forward path trend.
-        let rising: Vec<PacketRecord> =
-            (0..60).map(|i| mk(i * 50, 20 + i * 3, StreamKind::Video)).collect();
+        let rising: Vec<PacketRecord> = (0..60)
+            .map(|i| mk(i * 50, 20 + i * 3, StreamKind::Video))
+            .collect();
         let b = bundle_with(vec![], rising, vec![]);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(v.get(Feature::ForwardDelayUp));
         assert!(!v.get(Feature::ReverseDelayUp));
         // Rising RTCP delay, flat media → reverse path trend only.
-        let mut mixed: Vec<PacketRecord> =
-            (0..60).map(|i| mk(i * 50, 20 + i * 3, StreamKind::Rtcp)).collect();
+        let mut mixed: Vec<PacketRecord> = (0..60)
+            .map(|i| mk(i * 50, 20 + i * 3, StreamKind::Rtcp))
+            .collect();
         mixed.extend((0..60).map(|i| mk(i * 50 + 5, 30, StreamKind::Video)));
         let b = bundle_with(vec![], mixed, vec![]);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(v.get(Feature::ReverseDelayUp));
         assert!(!v.get(Feature::ForwardDelayUp));
         // Flat low delay: neither.
-        let flat: Vec<PacketRecord> =
-            (0..60).map(|i| mk(i * 50, 30, StreamKind::Video)).collect();
+        let flat: Vec<PacketRecord> = (0..60).map(|i| mk(i * 50, 30, StreamKind::Video)).collect();
         let b = bundle_with(vec![], flat, vec![]);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(!v.get(Feature::ForwardDelayUp));
@@ -472,8 +497,9 @@ mod tests {
     #[test]
     fn harq_and_rnti_conditions() {
         let th = Thresholds::default();
-        let mut recs: Vec<DciRecord> =
-            (0..12).map(|i| dci(i * 100, Direction::Uplink, true, 20, 15, 1)).collect();
+        let mut recs: Vec<DciRecord> = (0..12)
+            .map(|i| dci(i * 100, Direction::Uplink, true, 20, 15, 1))
+            .collect();
         let b = bundle_with(vec![], vec![], recs.clone());
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(v.get(Feature::Ran(Direction::Uplink, RanEvent::HarqRetx)));
@@ -492,14 +518,16 @@ mod tests {
     fn channel_degrades_needs_sustained_low_mcs() {
         let th = Thresholds::default();
         // 100 groups of 50 ms with MCS 4: p90 < 20 and low-count > 10.
-        let recs: Vec<DciRecord> =
-            (0..100).map(|i| dci(i * 50, Direction::Uplink, true, 20, 4, 0)).collect();
+        let recs: Vec<DciRecord> = (0..100)
+            .map(|i| dci(i * 50, Direction::Uplink, true, 20, 4, 0))
+            .collect();
         let b = bundle_with(vec![], vec![], recs);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(v.get(Feature::Ran(Direction::Uplink, RanEvent::ChannelDegrades)));
         // Healthy MCS 25: no.
-        let recs: Vec<DciRecord> =
-            (0..100).map(|i| dci(i * 50, Direction::Uplink, true, 20, 25, 0)).collect();
+        let recs: Vec<DciRecord> = (0..100)
+            .map(|i| dci(i * 50, Direction::Uplink, true, 20, 25, 0))
+            .collect();
         let b = bundle_with(vec![], vec![], recs);
         let v = extract_features(&b, t(0), t(5000), &th);
         assert!(!v.get(Feature::Ran(Direction::Uplink, RanEvent::ChannelDegrades)));
@@ -513,12 +541,18 @@ mod tests {
         let recs = vec![mk(0, 50), mk(100, 50), mk(200, 20), mk(300, 10)];
         let b = bundle_with(vec![], vec![], recs);
         let v = extract_features(&b, t(0), t(5000), &th);
-        assert!(v.get(Feature::Ran(Direction::Downlink, RanEvent::AllocatedTbsDown)));
+        assert!(v.get(Feature::Ran(
+            Direction::Downlink,
+            RanEvent::AllocatedTbsDown
+        )));
         // Low then high (recovery): no.
         let recs = vec![mk(0, 10), mk(100, 20), mk(200, 50), mk(300, 50)];
         let b = bundle_with(vec![], vec![], recs);
         let v = extract_features(&b, t(0), t(5000), &th);
-        assert!(!v.get(Feature::Ran(Direction::Downlink, RanEvent::AllocatedTbsDown)));
+        assert!(!v.get(Feature::Ran(
+            Direction::Downlink,
+            RanEvent::AllocatedTbsDown
+        )));
     }
 
     #[test]
@@ -533,7 +567,10 @@ mod tests {
         }
         let b = bundle_with(app, vec![], vec![]);
         let v = extract_features(&b, t(0), t(5000), &th);
-        assert!(v.get(Feature::App(ClientSide::Local, AppEvent::OutboundResolutionDown)));
+        assert!(v.get(Feature::App(
+            ClientSide::Local,
+            AppEvent::OutboundResolutionDown
+        )));
     }
 
     #[test]

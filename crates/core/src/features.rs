@@ -231,7 +231,9 @@ impl Default for FeatureVector {
 impl FeatureVector {
     /// All-false vector.
     pub fn new() -> Self {
-        FeatureVector { bits: [false; FEATURE_COUNT] }
+        FeatureVector {
+            bits: [false; FEATURE_COUNT],
+        }
     }
 
     /// Sets a feature.
@@ -251,7 +253,11 @@ impl FeatureVector {
 
     /// Active feature names (for reports/debugging).
     pub fn active_names(&self) -> Vec<String> {
-        Feature::all().into_iter().filter(|f| self.get(*f)).map(|f| f.name()).collect()
+        Feature::all()
+            .into_iter()
+            .filter(|f| self.get(*f))
+            .map(|f| f.name())
+            .collect()
     }
 }
 

@@ -82,7 +82,10 @@ impl GraphBuilder {
             return Ok(id);
         }
         let id = self.nodes.len();
-        self.nodes.push(Node { name: name.to_string(), predicate: features });
+        self.nodes.push(Node {
+            name: name.to_string(),
+            predicate: features,
+        });
         self.name_to_id.insert(name.to_string(), id);
         Ok(id)
     }
@@ -96,7 +99,10 @@ impl GraphBuilder {
         match Feature::parse(name) {
             Some(f) => {
                 let id = self.nodes.len();
-                self.nodes.push(Node { name: name.to_string(), predicate: vec![f] });
+                self.nodes.push(Node {
+                    name: name.to_string(),
+                    predicate: vec![f],
+                });
                 self.name_to_id.insert(name.to_string(), id);
                 Ok(id)
             }
@@ -195,12 +201,16 @@ impl CausalGraph {
 
     /// Root causes: nodes with no parents.
     pub fn roots(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.parents[i].is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .collect()
     }
 
     /// Consequences: nodes with no children.
     pub fn leaves(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.children[i].is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.children[i].is_empty())
+            .collect()
     }
 
     /// Whether the node's predicate holds under a feature vector.
@@ -317,7 +327,10 @@ mod tests {
     #[test]
     fn unknown_node_rejected() {
         let mut g = GraphBuilder::new();
-        assert!(matches!(g.node("not_a_feature"), Err(GraphError::UnknownNode(_))));
+        assert!(matches!(
+            g.node("not_a_feature"),
+            Err(GraphError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -337,7 +350,10 @@ mod tests {
         let g = g.build().unwrap();
         let mut fv = FeatureVector::new();
         assert!(!g.is_active(jb, &fv));
-        fv.set(Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain), true);
+        fv.set(
+            Feature::App(ClientSide::Remote, AppEvent::JitterBufferDrain),
+            true,
+        );
         assert!(g.is_active(jb, &fv));
     }
 
@@ -369,7 +385,8 @@ mod tests {
     #[test]
     fn duplicate_alias_rejected() {
         let mut g = GraphBuilder::new();
-        g.define("x", vec![Feature::parse("forward_delay_up").unwrap()]).unwrap();
+        g.define("x", vec![Feature::parse("forward_delay_up").unwrap()])
+            .unwrap();
         assert!(matches!(
             g.define("x", vec![Feature::parse("reverse_delay_up").unwrap()]),
             Err(GraphError::DuplicateAlias(_))

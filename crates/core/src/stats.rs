@@ -14,7 +14,7 @@ use crate::detect::Analysis;
 use crate::graph::{CausalGraph, NodeId};
 
 /// Aggregated statistics over one analysed trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChainStats {
     /// Trace length in minutes.
     pub minutes: f64,
@@ -36,7 +36,10 @@ impl ChainStats {
     /// Computes statistics from an analysis.
     pub fn compute(graph: &CausalGraph, analysis: &Analysis) -> ChainStats {
         let minutes = (analysis.duration.as_secs_f64() / 60.0).max(1e-9);
-        let mut s = ChainStats { minutes, ..Default::default() };
+        let mut s = ChainStats {
+            minutes,
+            ..Default::default()
+        };
         let roots = graph.roots();
         let leaves = graph.leaves();
 
@@ -73,7 +76,9 @@ impl ChainStats {
                 }
             }
             for &u in &w.unknown_consequences {
-                *s.unknown_windows.entry(graph.name(u).to_string()).or_default() += 1;
+                *s.unknown_windows
+                    .entry(graph.name(u).to_string())
+                    .or_default() += 1;
             }
         }
         s
@@ -99,6 +104,128 @@ impl ChainStats {
             *self.unknown_windows.entry(k.clone()).or_default() += v;
         }
         self.total_chain_windows += other.total_chain_windows;
+    }
+
+    /// Serialises the statistics as a versioned plain-text block (the
+    /// shard-report wire format of `domino-sweep`): tab-separated lines,
+    /// map keys escaped with [`escape_field`] and sorted, so equal stats
+    /// encode to identical bytes. `minutes` is written as the hex of its
+    /// IEEE-754 bits for an exact round trip.
+    pub fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "chainstats\tv1");
+        let _ = writeln!(out, "minutes\t{:016x}", self.minutes.to_bits());
+        for (tag, map) in [
+            ("cause_onsets", &self.cause_onsets),
+            ("consequence_onsets", &self.consequence_onsets),
+            ("consequence_windows", &self.consequence_windows),
+            ("unknown_windows", &self.unknown_windows),
+        ] {
+            let mut entries: Vec<(&String, &usize)> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            let _ = writeln!(out, "map\t{tag}\t{}", entries.len());
+            for (k, v) in entries {
+                let _ = writeln!(out, "kv\t{}\t{v}", escape_field(k));
+            }
+        }
+        let mut chains: Vec<(&(String, String), &usize)> = self.chain_windows.iter().collect();
+        chains.sort_by(|a, b| a.0.cmp(b.0));
+        let _ = writeln!(out, "map\tchain_windows\t{}", chains.len());
+        for ((cause, cons), v) in chains {
+            let _ = writeln!(
+                out,
+                "kv2\t{}\t{}\t{v}",
+                escape_field(cause),
+                escape_field(cons)
+            );
+        }
+        let _ = writeln!(out, "total_chain_windows\t{}", self.total_chain_windows);
+        let _ = writeln!(out, "end\tchainstats");
+    }
+
+    /// Parses one block written by [`Self::encode_into`] from a line
+    /// iterator, consuming up to and including the `end chainstats` line.
+    pub fn parse_from<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<ChainStats, StatsParseError> {
+        let err = |msg: &str| StatsParseError(msg.to_string());
+        let mut next = || lines.next().ok_or_else(|| err("unexpected end of input"));
+
+        let header = next()?;
+        if header != "chainstats\tv1" {
+            return Err(StatsParseError(format!(
+                "bad chainstats header: {header:?}"
+            )));
+        }
+        let minutes_line = next()?;
+        let bits = minutes_line
+            .strip_prefix("minutes\t")
+            .ok_or_else(|| err("expected minutes line"))?;
+        let minutes =
+            f64::from_bits(u64::from_str_radix(bits, 16).map_err(|_| err("bad minutes bits"))?);
+        let mut s = ChainStats {
+            minutes,
+            ..Default::default()
+        };
+
+        for tag in [
+            "cause_onsets",
+            "consequence_onsets",
+            "consequence_windows",
+            "unknown_windows",
+            "chain_windows",
+        ] {
+            let head = next()?;
+            let count: usize = head
+                .strip_prefix("map\t")
+                .and_then(|rest| rest.strip_prefix(tag))
+                .and_then(|rest| rest.strip_prefix('\t'))
+                .ok_or_else(|| StatsParseError(format!("expected map {tag}, got {head:?}")))?
+                .parse()
+                .map_err(|_| err("bad map count"))?;
+            for _ in 0..count {
+                let line = next()?;
+                if tag == "chain_windows" {
+                    let rest = line
+                        .strip_prefix("kv2\t")
+                        .ok_or_else(|| err("expected kv2 line"))?;
+                    let mut parts = rest.split('\t');
+                    let cause = unescape_field(parts.next().ok_or_else(|| err("kv2 cause"))?)?;
+                    let cons = unescape_field(parts.next().ok_or_else(|| err("kv2 consequence"))?)?;
+                    let v: usize = parts
+                        .next()
+                        .ok_or_else(|| err("kv2 count"))?
+                        .parse()
+                        .map_err(|_| err("bad kv2 count"))?;
+                    s.chain_windows.insert((cause, cons), v);
+                } else {
+                    let rest = line
+                        .strip_prefix("kv\t")
+                        .ok_or_else(|| err("expected kv line"))?;
+                    let (k, v) = rest
+                        .rsplit_once('\t')
+                        .ok_or_else(|| err("kv missing value"))?;
+                    let k = unescape_field(k)?;
+                    let v: usize = v.parse().map_err(|_| err("bad kv count"))?;
+                    match tag {
+                        "cause_onsets" => s.cause_onsets.insert(k, v),
+                        "consequence_onsets" => s.consequence_onsets.insert(k, v),
+                        "consequence_windows" => s.consequence_windows.insert(k, v),
+                        _ => s.unknown_windows.insert(k, v),
+                    };
+                }
+            }
+        }
+        let total = next()?;
+        s.total_chain_windows = total
+            .strip_prefix("total_chain_windows\t")
+            .ok_or_else(|| err("expected total_chain_windows"))?
+            .parse()
+            .map_err(|_| err("bad total_chain_windows"))?;
+        if next()? != "end\tchainstats" {
+            return Err(err("expected end chainstats"));
+        }
+        Ok(s)
     }
 
     /// Fig. 10 numbers: cause onsets per minute.
@@ -146,6 +273,58 @@ impl ChainStats {
     }
 }
 
+/// Error from [`ChainStats::parse_from`] (and the shard-report parsers
+/// built on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsParseError(pub String);
+
+impl std::fmt::Display for StatsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chainstats parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StatsParseError {}
+
+/// Escapes a string field for the tab-separated plain-text wire format:
+/// backslash, tab, newline, and carriage return become two-character
+/// escapes, so fields never collide with the format's separators.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`].
+pub fn unescape_field(s: &str) -> Result<String, StatsParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(StatsParseError(format!("bad escape \\{other:?} in {s:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Renders a Fig. 10-style frequency report.
 pub fn render_frequency_table(graph: &CausalGraph, stats: &ChainStats) -> String {
     let mut out = String::from("Causes in 5G (per minute)\n");
@@ -181,9 +360,15 @@ pub fn render_conditional_table(graph: &CausalGraph, stats: &ChainStats) -> Stri
         let cons = graph.name(leaf);
         out.push_str(&format!("{cons:<22}"));
         for c in &causes {
-            out.push_str(&format!(" {:>13.1}%", 100.0 * stats.conditional_probability(c, cons)));
+            out.push_str(&format!(
+                " {:>13.1}%",
+                100.0 * stats.conditional_probability(c, cons)
+            ));
         }
-        out.push_str(&format!(" {:>8.1}%\n", 100.0 * stats.unknown_probability(cons)));
+        out.push_str(&format!(
+            " {:>8.1}%\n",
+            100.0 * stats.unknown_probability(cons)
+        ));
     }
     out
 }
@@ -210,6 +395,8 @@ pub fn render_chain_ratio_table(graph: &CausalGraph, stats: &ChainStats) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
     use crate::detect::{ChainHit, WindowAnalysis};
     use crate::dsl::default_graph;
     use crate::features::{Feature, FeatureVector};
@@ -246,7 +433,13 @@ mod tests {
                 }
             })
             .collect();
-        (g, Analysis { windows, duration: SimDuration::from_secs(60) })
+        (
+            g,
+            Analysis {
+                windows,
+                duration: SimDuration::from_secs(60),
+            },
+        )
     }
 
     #[test]
@@ -271,8 +464,14 @@ mod tests {
         let pattern = vec![true; 10];
         let (g, a) = synthetic(&pattern);
         let s = ChainStats::compute(&g, &a);
-        assert_eq!(s.conditional_probability("harq_retx", "jitter_buffer_drain"), 1.0);
-        assert_eq!(s.conditional_probability("rlc_retx", "jitter_buffer_drain"), 0.0);
+        assert_eq!(
+            s.conditional_probability("harq_retx", "jitter_buffer_drain"),
+            1.0
+        );
+        assert_eq!(
+            s.conditional_probability("rlc_retx", "jitter_buffer_drain"),
+            0.0
+        );
         assert_eq!(s.unknown_probability("jitter_buffer_drain"), 0.0);
         assert_eq!(s.chain_ratio("harq_retx", "jitter_buffer_drain"), 1.0);
     }
@@ -282,7 +481,17 @@ mod tests {
         let (g, a) = synthetic(&[true, false, true]);
         let s = ChainStats::compute(&g, &a);
         let freq = render_frequency_table(&g, &s);
-        for name in ["poor_channel", "cross_traffic", "ul_scheduling", "harq_retx", "rlc_retx", "rrc_state_change", "jitter_buffer_drain", "target_bitrate_down", "pushback_rate_down"] {
+        for name in [
+            "poor_channel",
+            "cross_traffic",
+            "ul_scheduling",
+            "harq_retx",
+            "rlc_retx",
+            "rrc_state_change",
+            "jitter_buffer_drain",
+            "target_bitrate_down",
+            "pushback_rate_down",
+        ] {
             assert!(freq.contains(name), "{name} missing from frequency table");
         }
         let cond = render_conditional_table(&g, &s);
@@ -297,6 +506,156 @@ mod tests {
         let s = ChainStats::compute(&g, &a);
         assert_eq!(s.total_chain_windows, 0);
         assert_eq!(s.cause_frequency_per_min("harq_retx"), 0.0);
-        assert_eq!(s.conditional_probability("harq_retx", "jitter_buffer_drain"), 0.0);
+        assert_eq!(
+            s.conditional_probability("harq_retx", "jitter_buffer_drain"),
+            0.0
+        );
+    }
+
+    // ---- merge contract (the shard-merge layer in `domino-sweep` relies
+    // ---- on these properties) -----------------------------------------
+
+    /// A synthetic stats value keyed off `tag`, with every field populated.
+    fn sample_stats(tag: u64) -> ChainStats {
+        let causes = ["harq_retx", "rlc_retx", "cross_traffic"];
+        let conses = ["jitter_buffer_drain", "target_bitrate_down"];
+        let mut s = ChainStats {
+            // Multiples of 1/8 are exactly representable, so f64 sums over
+            // them never round: grouping order cannot perturb `minutes`.
+            minutes: (tag % 64) as f64 * 0.125,
+            ..Default::default()
+        };
+        for (i, c) in causes.iter().enumerate() {
+            if tag >> i & 1 == 1 {
+                s.cause_onsets.insert(c.to_string(), (tag % 7 + 1) as usize);
+            }
+        }
+        for (i, c) in conses.iter().enumerate() {
+            if tag >> (i + 3) & 1 == 1 {
+                s.consequence_onsets
+                    .insert(c.to_string(), (tag % 5 + 1) as usize);
+                s.consequence_windows
+                    .insert(c.to_string(), (tag % 11 + 2) as usize);
+                s.unknown_windows.insert(c.to_string(), (tag % 3) as usize);
+            }
+        }
+        for cause in causes {
+            for cons in conses {
+                if (tag ^ cause.len() as u64 ^ cons.len() as u64).is_multiple_of(3) {
+                    let n = (tag % 9 + 1) as usize;
+                    s.chain_windows
+                        .insert((cause.to_string(), cons.to_string()), n);
+                    s.total_chain_windows += n;
+                }
+            }
+        }
+        s
+    }
+
+    fn fold(stats: &[ChainStats]) -> ChainStats {
+        let mut agg = ChainStats::default();
+        for s in stats {
+            agg.merge(s);
+        }
+        agg
+    }
+
+    fn assert_counters_eq(a: &ChainStats, b: &ChainStats) {
+        assert_eq!(a.cause_onsets, b.cause_onsets);
+        assert_eq!(a.consequence_onsets, b.consequence_onsets);
+        assert_eq!(a.consequence_windows, b.consequence_windows);
+        assert_eq!(a.chain_windows, b.chain_windows);
+        assert_eq!(a.unknown_windows, b.unknown_windows);
+        assert_eq!(a.total_chain_windows, b.total_chain_windows);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = sample_stats(29);
+        // Empty into s.
+        let mut left = s.clone();
+        left.merge(&ChainStats::default());
+        assert_counters_eq(&left, &s);
+        assert_eq!(left.minutes, s.minutes);
+        // s into empty.
+        let mut right = ChainStats::default();
+        right.merge(&s);
+        assert_counters_eq(&right, &s);
+        assert_eq!(right.minutes, s.minutes);
+    }
+
+    #[test]
+    fn grouped_merge_matches_whole_fold_for_equal_order() {
+        // Shard-style grouping: fold [0..2], [2..5], [5..8] separately, then
+        // fold the group aggregates in the same order. Every counter must
+        // match the whole fold exactly; so does `minutes` here because the
+        // samples are exact binary fractions.
+        let stats: Vec<ChainStats> = (0..8).map(sample_stats).collect();
+        let whole = fold(&stats);
+        let grouped = fold(&[fold(&stats[0..2]), fold(&stats[2..5]), fold(&stats[5..8])]);
+        assert_counters_eq(&grouped, &whole);
+        assert_eq!(grouped.minutes, whole.minutes);
+    }
+
+    #[test]
+    fn encode_parse_round_trips_exactly() {
+        let mut s = sample_stats(13);
+        // Keys with wire-format separators must survive the trip.
+        s.cause_onsets
+            .insert("weird\tname\\with\nescapes".to_string(), 4);
+        s.minutes = 0.1 + 0.2; // not exactly representable; bits must survive
+        let mut text = String::new();
+        s.encode_into(&mut text);
+        let parsed = ChainStats::parse_from(&mut text.lines()).expect("parses");
+        assert_counters_eq(&parsed, &s);
+        assert_eq!(parsed.minutes.to_bits(), s.minutes.to_bits());
+        let mut again = String::new();
+        parsed.encode_into(&mut again);
+        assert_eq!(text, again, "encode must be canonical");
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_input() {
+        let mut text = String::new();
+        sample_stats(3).encode_into(&mut text);
+        let bad_version = text.replace("chainstats\tv1", "chainstats\tv9");
+        assert!(ChainStats::parse_from(&mut bad_version.lines()).is_err());
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(ChainStats::parse_from(&mut truncated.lines()).is_err());
+    }
+
+    proptest! {
+        /// Split-vs-whole: folding any contiguous split's per-item stats
+        /// across chunk boundaries reproduces the whole fold exactly — the
+        /// merge-shards refold contract. Grouped chunk aggregates agree on
+        /// every integer counter too.
+        #[test]
+        fn fuzz_split_vs_whole_equality(
+            tags in proptest::collection::vec(proptest::any::<u64>(), 1..12),
+            cut_a in 0usize..12,
+            cut_b in 0usize..12,
+        ) {
+            let stats: Vec<ChainStats> = tags.iter().map(|&t| sample_stats(t)).collect();
+            let (mut a, mut b) = (cut_a % (stats.len() + 1), cut_b % (stats.len() + 1));
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let whole = fold(&stats);
+            // Refold per-item across the chunk boundaries: identical
+            // operation sequence, bit-identical result.
+            let mut refold = ChainStats::default();
+            for chunk in [&stats[..a], &stats[a..b], &stats[b..]] {
+                for s in chunk {
+                    refold.merge(s);
+                }
+            }
+            assert_counters_eq(&refold, &whole);
+            prop_assert_eq!(refold.minutes.to_bits(), whole.minutes.to_bits());
+            // Grouped chunk aggregates: integer counters exact; minutes
+            // exact here because samples are 1/8-grained.
+            let grouped = fold(&[fold(&stats[..a]), fold(&stats[a..b]), fold(&stats[b..])]);
+            assert_counters_eq(&grouped, &whole);
+            prop_assert_eq!(grouped.minutes.to_bits(), whole.minutes.to_bits());
+        }
     }
 }

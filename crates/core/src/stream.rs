@@ -32,8 +32,8 @@ use telemetry::{
 
 use crate::detect::{trace_chains_in, Analysis, Domino, DominoConfig, WindowAnalysis};
 use crate::events::Thresholds;
-use crate::features::{AppEvent, ClientSide, Feature, FeatureVector};
 use crate::features::RanEvent;
+use crate::features::{AppEvent, ClientSide, Feature, FeatureVector};
 use crate::graph::CausalGraph;
 
 /// Width of the rate-comparison bins of Table 5 row 14, µs.
@@ -159,7 +159,10 @@ impl RollingBins {
         if bin < self.base {
             return 0.0;
         }
-        self.bins.get((bin - self.base) as usize).copied().unwrap_or(0.0)
+        self.bins
+            .get((bin - self.base) as usize)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn clear(&mut self) {
@@ -304,8 +307,7 @@ impl AppWindow {
             if let Some(next) = self.entries.front() {
                 self.res_down_pairs -= (next.resolution < e.resolution) as usize;
                 self.target_down_pairs -= target_drops(&e, next, th.rate_drop_epsilon) as usize;
-                self.pushback_down_pairs -=
-                    pushback_drops(&e, next, th.rate_drop_epsilon) as usize;
+                self.pushback_down_pairs -= pushback_drops(&e, next, th.rate_drop_epsilon) as usize;
             }
         }
         self.inbound_fps.expire(from);
@@ -568,7 +570,9 @@ impl StreamingAnalyzer {
     /// run on the exact incremental path.
     pub fn new(graph: CausalGraph, cfg: DominoConfig) -> Result<Self, UnsupportedConfig> {
         if !Self::supports(&cfg) {
-            return Err(UnsupportedConfig { granule_us: granule_us(&cfg.thresholds) });
+            return Err(UnsupportedConfig {
+                granule_us: granule_us(&cfg.thresholds),
+            });
         }
         let group_us = cfg.thresholds.mcs_group_ms.max(1) * 1000;
         Ok(StreamingAnalyzer {
@@ -771,7 +775,12 @@ impl StreamingAnalyzer {
         );
         let features = self.features(start, end);
         let (chains, unknown_consequences) = trace_chains_in(&self.graph, &features);
-        WindowAnalysis { start, features, chains, unknown_consequences }
+        WindowAnalysis {
+            start,
+            features,
+            chains,
+            unknown_consequences,
+        }
     }
 
     /// Assembles the 36-dim feature vector from the rolling state.
@@ -798,12 +807,18 @@ impl StreamingAnalyzer {
         // 5G events per direction (rows 13–18).
         for dir in [Direction::Uplink, Direction::Downlink] {
             let i = dir_idx(dir);
-            v.set(Feature::Ran(dir, RanEvent::AllocatedTbsDown), self.dci.tbs_down(dir, th));
+            v.set(
+                Feature::Ran(dir, RanEvent::AllocatedTbsDown),
+                self.dci.tbs_down(dir, th),
+            );
             v.set(
                 Feature::Ran(dir, RanEvent::AppExceedsTbs),
                 self.app_exceeds_tbs(dir, from, to, th),
             );
-            v.set(Feature::Ran(dir, RanEvent::CrossTraffic), self.dci.cross_traffic(dir, th));
+            v.set(
+                Feature::Ran(dir, RanEvent::CrossTraffic),
+                self.dci.cross_traffic(dir, th),
+            );
             v.set(
                 Feature::Ran(dir, RanEvent::ChannelDegrades),
                 self.channel_degrades(i, from, to),
@@ -872,7 +887,10 @@ impl StreamingAnalyzer {
             windows.push(self.emit(start));
             start += self.cfg.step;
         }
-        Analysis { windows, duration: bundle.meta.duration }
+        Analysis {
+            windows,
+            duration: bundle.meta.duration,
+        }
     }
 }
 
@@ -907,7 +925,8 @@ mod tests {
         for (b, s) in batch.windows.iter().zip(&inc.windows) {
             assert_eq!(b.start, s.start);
             assert_eq!(
-                b.features, s.features,
+                b.features,
+                s.features,
                 "window at {:?}: batch {:?} vs streaming {:?}",
                 b.start,
                 b.features.active_names(),
@@ -932,9 +951,15 @@ mod tests {
             let ts = t(i * 50);
             for side in 0..2 {
                 let mut s = AppStatsRecord::baseline(ts);
-                s.inbound_fps = 30.0 - (rng.next_f64() * 12.0) * ((rng.next_u64().is_multiple_of(7)) as u64 as f64);
-                s.outbound_fps = 28.0 + rng.next_f64() * 4.0 - ((rng.next_u64().is_multiple_of(11)) as u64 as f64) * 8.0;
-                s.video_jitter_buffer_ms = if rng.next_u64().is_multiple_of(37) { 0.0 } else { 40.0 + rng.next_f64() * 80.0 };
+                s.inbound_fps = 30.0
+                    - (rng.next_f64() * 12.0) * ((rng.next_u64().is_multiple_of(7)) as u64 as f64);
+                s.outbound_fps = 28.0 + rng.next_f64() * 4.0
+                    - ((rng.next_u64().is_multiple_of(11)) as u64 as f64) * 8.0;
+                s.video_jitter_buffer_ms = if rng.next_u64().is_multiple_of(37) {
+                    0.0
+                } else {
+                    40.0 + rng.next_f64() * 80.0
+                };
                 s.target_bitrate_bps = 1.0e6 + rng.next_f64() * 2.0e6;
                 s.pushback_rate_bps = s.target_bitrate_bps * (0.9 + rng.next_f64() * 0.2);
                 s.outstanding_bytes = (rng.next_f64() * 40_000.0) as u64;
@@ -957,8 +982,16 @@ mod tests {
         // Packets: media + RTCP, both directions, drifting delay, some loss.
         for i in 0..(secs * 100) {
             let sent = t(i * 10);
-            let dir = if i.is_multiple_of(2) { Direction::Uplink } else { Direction::Downlink };
-            let stream = if i.is_multiple_of(9) { StreamKind::Rtcp } else { StreamKind::Video };
+            let dir = if i.is_multiple_of(2) {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
+            let stream = if i.is_multiple_of(9) {
+                StreamKind::Rtcp
+            } else {
+                StreamKind::Video
+            };
             let lost = rng.next_u64().is_multiple_of(41);
             let base = 20.0 + (i as f64 / (secs * 100) as f64) * 90.0;
             let delay_ms = base + rng.next_f64() * 15.0;
@@ -978,13 +1011,21 @@ mod tests {
         // DCI: target + cross-traffic, occasional retx and RNTI churn.
         for i in 0..(secs * 50) {
             let ts = t(i * 20);
-            let dir = if i.is_multiple_of(2) { Direction::Uplink } else { Direction::Downlink };
+            let dir = if i.is_multiple_of(2) {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
             let ours = !rng.next_u64().is_multiple_of(4);
             let retx = (rng.next_u64().is_multiple_of(17)) as u8;
             b.dci.push(DciRecord {
                 ts,
                 rnti: if ours {
-                    if i > secs * 25 && rng.next_u64().is_multiple_of(211) { 101 } else { 100 }
+                    if i > secs * 25 && rng.next_u64().is_multiple_of(211) {
+                        101
+                    } else {
+                        100
+                    }
                 } else {
                     900 + (rng.next_u64() % 50) as u32
                 },
@@ -1002,7 +1043,10 @@ mod tests {
             if ours && rng.next_u64().is_multiple_of(97) {
                 b.gnb.push(GnbLogRecord {
                     ts,
-                    event: GnbEvent::RlcRetx { direction: dir, sn: i as u32 },
+                    event: GnbEvent::RlcRetx {
+                        direction: dir,
+                        sn: i as u32,
+                    },
                 });
             }
         }
@@ -1019,7 +1063,10 @@ mod tests {
                 Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
             }
             pub fn next_u64(&mut self) -> u64 {
-                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 self.0 >> 11
             }
             pub fn next_f64(&mut self) -> f64 {
@@ -1031,16 +1078,25 @@ mod tests {
     #[test]
     fn supports_checks_alignment() {
         assert!(StreamingAnalyzer::supports(&DominoConfig::default()));
-        let odd = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        let odd = DominoConfig {
+            step: SimDuration::from_millis(333),
+            ..Default::default()
+        };
         assert!(!StreamingAnalyzer::supports(&odd));
-        let odd_warmup =
-            DominoConfig { warmup: SimDuration::from_millis(150), ..Default::default() };
+        let odd_warmup = DominoConfig {
+            warmup: SimDuration::from_millis(150),
+            ..Default::default()
+        };
         assert!(!StreamingAnalyzer::supports(&odd_warmup));
     }
 
     #[test]
     fn empty_bundle_matches_batch() {
-        let b = TraceBundle::new(SessionMeta::baseline("empty", SimDuration::from_secs(10), 0));
+        let b = TraceBundle::new(SessionMeta::baseline(
+            "empty",
+            SimDuration::from_secs(10),
+            0,
+        ));
         assert_equivalent(&b);
     }
 
@@ -1053,8 +1109,11 @@ mod tests {
             let domino = Domino::with_defaults();
             let analysis = domino.analyze(&b);
             if seed == 1 {
-                let active: usize =
-                    analysis.windows.iter().map(|w| w.features.count_active()).sum();
+                let active: usize = analysis
+                    .windows
+                    .iter()
+                    .map(|w| w.features.count_active())
+                    .sum();
                 assert!(active > 0, "synthetic trace produced no active features");
             }
             assert_equivalent(&b);
@@ -1084,7 +1143,10 @@ mod tests {
 
     #[test]
     fn fallback_handles_unaligned_config() {
-        let cfg = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        let cfg = DominoConfig {
+            step: SimDuration::from_millis(333),
+            ..Default::default()
+        };
         let domino = Domino::new(crate::dsl::default_graph(), cfg);
         let b = synthetic_bundle(9, 12);
         let batch = domino.analyze(&b);

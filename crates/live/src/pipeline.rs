@@ -53,7 +53,10 @@ pub struct LiveConfig {
 
 impl Default for LiveConfig {
     fn default() -> Self {
-        LiveConfig { lateness: SimDuration::from_secs(5), early_exit: EarlyExit::Never }
+        LiveConfig {
+            lateness: SimDuration::from_secs(5),
+            early_exit: EarlyExit::Never,
+        }
     }
 }
 
@@ -112,7 +115,12 @@ struct PacketHorizon {
 impl PacketHorizon {
     fn on_sent(&mut self, id: u64, sent: SimTime) {
         if !self.any || sent >= self.sent {
-            *self = PacketHorizon { sent, id, contrib: sent, any: true };
+            *self = PacketHorizon {
+                sent,
+                id,
+                contrib: sent,
+                any: true,
+            };
         }
     }
 
@@ -136,7 +144,11 @@ struct PendingPackets {
 impl PendingPackets {
     fn insert(&mut self, id: u64, record: PacketRecord) {
         let sent = record.sent;
-        if self.buf.back().is_none_or(|&(s, i, _)| (s, i) <= (sent, id)) {
+        if self
+            .buf
+            .back()
+            .is_none_or(|&(s, i, _)| (s, i) <= (sent, id))
+        {
             self.buf.push_back((sent, id, record));
         } else {
             let at = self.buf.partition_point(|&(s, i, _)| (s, i) <= (sent, id));
@@ -148,7 +160,9 @@ impl PendingPackets {
     /// Patches the record announced as `id` with its delivery time; `false`
     /// if that record's fate was already frozen (released).
     fn deliver(&mut self, id: u64, at: SimTime) -> bool {
-        let Some(&sent) = self.in_flight.get(&id) else { return false };
+        let Some(&sent) = self.in_flight.get(&id) else {
+            return false;
+        };
         let start = self.buf.partition_point(|&(s, _, _)| s < sent);
         for slot in self.buf.range_mut(start..) {
             if slot.0 != sent {
@@ -284,7 +298,11 @@ impl LivePipeline {
 
     /// A pipeline over the paper's default graph and engine configuration.
     pub fn with_defaults(live_cfg: LiveConfig) -> Result<Self, UnsupportedConfig> {
-        Self::new(domino_core::dsl::default_graph(), DominoConfig::default(), live_cfg)
+        Self::new(
+            domino_core::dsl::default_graph(),
+            DominoConfig::default(),
+            live_cfg,
+        )
     }
 
     /// The engine configuration.
@@ -329,7 +347,10 @@ impl LivePipeline {
     /// [`Analysis`] (`duration` is the session duration, used for
     /// per-minute normalisation — pass `bundle.meta.duration`).
     pub fn take_analysis(&mut self, duration: SimDuration) -> Analysis {
-        Analysis { windows: std::mem::take(&mut self.windows), duration }
+        Analysis {
+            windows: std::mem::take(&mut self.windows),
+            duration,
+        }
     }
 
     /// Clears all per-session state so the pipeline can watch another
@@ -383,7 +404,9 @@ impl LivePipeline {
     /// The watermark: session time minus the lateness bound.
     fn watermark(&self) -> SimTime {
         SimTime::from_micros(
-            self.now.as_micros().saturating_sub(self.live_cfg.lateness.as_micros()),
+            self.now
+                .as_micros()
+                .saturating_sub(self.live_cfg.lateness.as_micros()),
         )
     }
 
@@ -406,15 +429,18 @@ impl LivePipeline {
     /// prunes the consumed staging prefix.
     fn close_one(&mut self, end: SimTime) {
         let staging = &mut self.staging;
-        self.app_local.release_below(end, |r| staging.append_app_local(r));
-        self.app_remote.release_below(end, |r| staging.append_app_remote(r));
+        self.app_local
+            .release_below(end, |r| staging.append_app_local(r));
+        self.app_remote
+            .release_below(end, |r| staging.append_app_remote(r));
         self.dci.release_below(end, |r| staging.append_dci(r));
         self.gnb.release_below(end, |r| {
             staging.append_gnb(r);
         });
         // Packets sent before the window end: their fate is frozen now —
         // a delivery that arrives later is counted as late.
-        self.pending.release_below(end, |record| staging.append_packet(record));
+        self.pending
+            .release_below(end, |record| staging.append_packet(record));
         self.packet_frontier = self.packet_frontier.max(end);
 
         let slices = self.staging.advance_until(&mut self.cursor, end);
@@ -533,13 +559,16 @@ impl LiveTap for LivePipeline {
         // the remaining windows against the exact batch horizon.
         let flush_to = SimTime::from_micros(u64::MAX);
         let staging = &mut self.staging;
-        self.app_local.release_below(flush_to, |r| staging.append_app_local(r));
-        self.app_remote.release_below(flush_to, |r| staging.append_app_remote(r));
+        self.app_local
+            .release_below(flush_to, |r| staging.append_app_local(r));
+        self.app_remote
+            .release_below(flush_to, |r| staging.append_app_remote(r));
         self.dci.release_below(flush_to, |r| staging.append_dci(r));
         self.gnb.release_below(flush_to, |r| {
             staging.append_gnb(r);
         });
-        self.pending.release_below(flush_to, |record| staging.append_packet(record));
+        self.pending
+            .release_below(flush_to, |record| staging.append_packet(record));
         self.packet_frontier = flush_to;
         self.note_retained();
 
@@ -573,22 +602,33 @@ mod tests {
     use super::*;
     use domino_core::Domino;
     use scenarios::{
-        amarisoft, run_cell_session_with_tap, tmobile_fdd_15mhz_quiet,
-        ScriptAction, SessionConfig, SessionSpec,
+        amarisoft, run_cell_session_with_tap, tmobile_fdd_15mhz_quiet, ScriptAction, SessionConfig,
+        SessionSpec,
     };
     use telemetry::Direction;
 
     fn cfg(seed: u64, secs: u64) -> SessionConfig {
-        SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+        SessionConfig {
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..Default::default()
+        }
     }
 
     fn generous() -> LiveConfig {
         // Covers any in-network delay these short sessions can produce.
-        LiveConfig { lateness: SimDuration::from_secs(30), early_exit: EarlyExit::Never }
+        LiveConfig {
+            lateness: SimDuration::from_secs(30),
+            early_exit: EarlyExit::Never,
+        }
     }
 
     fn assert_identical(batch: &Analysis, live: &Analysis) {
-        assert_eq!(batch.windows.len(), live.windows.len(), "window counts differ");
+        assert_eq!(
+            batch.windows.len(),
+            live.windows.len(),
+            "window counts differ"
+        );
         assert_eq!(batch.duration, live.duration);
         for (b, l) in batch.windows.iter().zip(&live.windows) {
             assert_eq!(b.start, l.start);
@@ -629,7 +669,9 @@ mod tests {
                 to: SimTime::from_secs(12),
                 prb_fraction: 0.97,
             })
-            .with_script(ScriptAction::RrcRelease { at: SimTime::from_secs(16) });
+            .with_script(ScriptAction::RrcRelease {
+                at: SimTime::from_secs(16),
+            });
         let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
         let bundle = spec.run_with_tap(&mut pipe);
         let live = pipe.take_analysis(bundle.meta.duration);
@@ -696,9 +738,11 @@ mod tests {
             truncated.packets.len() < full.packets.len(),
             "early exit must abort the simulation itself"
         );
-        assert!(pipe.take_analysis(truncated.meta.duration).windows.iter().any(|w| !w
-            .chains
-            .is_empty()));
+        assert!(pipe
+            .take_analysis(truncated.meta.duration)
+            .windows
+            .iter()
+            .any(|w| !w.chains.is_empty()));
     }
 
     #[test]
@@ -711,7 +755,10 @@ mod tests {
         let bundle = run_cell_session_with_tap(amarisoft(), &cfg(45, 60), |_| {}, &mut pipe);
         let stats = pipe.stats();
         assert!(stats.early_exited);
-        assert!(stats.windows_emitted >= 4, "needs at least the stability run");
+        assert!(
+            stats.windows_emitted >= 4,
+            "needs at least the stability run"
+        );
         // 60 s were requested; the triage verdict should land in well under
         // a third of that.
         assert!(bundle.horizon() < SimTime::from_secs(20));
@@ -770,7 +817,10 @@ mod tests {
 
     #[test]
     fn unaligned_config_is_rejected() {
-        let odd = DominoConfig { step: SimDuration::from_millis(333), ..Default::default() };
+        let odd = DominoConfig {
+            step: SimDuration::from_millis(333),
+            ..Default::default()
+        };
         assert!(LivePipeline::new(
             domino_core::dsl::default_graph(),
             odd,

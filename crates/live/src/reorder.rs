@@ -30,7 +30,11 @@ pub struct Reorder<T> {
 impl<T> Reorder<T> {
     /// An empty buffer with the frontier at the epoch.
     pub fn new() -> Self {
-        Reorder { buf: VecDeque::new(), frontier: SimTime::ZERO, late: 0 }
+        Reorder {
+            buf: VecDeque::new(),
+            frontier: SimTime::ZERO,
+            late: 0,
+        }
     }
 
     /// Buffers one record keyed by `ts`. Returns `false` — and drops the

@@ -217,7 +217,10 @@ mod tests {
         let mut r = rng();
         let n = 20_000u64;
         let lost = (0..n)
-            .filter(|i| p.traverse(SimTime::from_millis(i * 5), 500, &mut r).is_none())
+            .filter(|i| {
+                p.traverse(SimTime::from_millis(i * 5), 500, &mut r)
+                    .is_none()
+            })
             .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.05).abs() < 0.01, "loss {rate}");

@@ -9,9 +9,7 @@
 
 use rand::rngs::StdRng;
 use simcore::{rng_for, RngStream, SimDuration, SimTime};
-use telemetry::{
-    CellClass, DciRecord, Direction, GnbEvent, GnbLogRecord, RrcState,
-};
+use telemetry::{CellClass, DciRecord, Direction, GnbEvent, GnbLogRecord, RrcState};
 
 use crate::channel::{Channel, ChannelConfig, SinrOverride};
 use crate::crosstraffic::{CrossTraffic, CrossTrafficConfig, CrossTrafficOverride};
@@ -215,7 +213,10 @@ impl CellSim {
         while i < self.staged.len() {
             if self.staged[i].0 <= now {
                 let (_, dir, id, size) = self.staged.remove(i);
-                self.link_mut(dir).rlc_tx.enqueue(Sdu { id, size_bytes: size });
+                self.link_mut(dir).rlc_tx.enqueue(Sdu {
+                    id,
+                    size_bytes: size,
+                });
             } else {
                 i += 1;
             }
@@ -234,7 +235,10 @@ impl CellSim {
             if self.cfg.has_gnb_log {
                 self.gnb_log.push(GnbLogRecord {
                     ts: tr.at,
-                    event: GnbEvent::RrcTransition { state: tr.state, rnti: tr.rnti },
+                    event: GnbEvent::RrcTransition {
+                        state: tr.state,
+                        rnti: tr.rnti,
+                    },
                 });
             }
         }
@@ -381,7 +385,9 @@ impl CellSim {
 
     /// Forces the SINR of `dir` to `sinr_db` during `[from, to)`.
     pub fn script_sinr(&mut self, dir: Direction, from: SimTime, to: SimTime, sinr_db: f64) {
-        self.link_mut(dir).channel.add_override(SinrOverride { from, to, sinr_db });
+        self.link_mut(dir)
+            .channel
+            .add_override(SinrOverride { from, to, sinr_db });
     }
 
     /// Forces cross traffic in `dir` to `prb_fraction` during `[from, to)`.
@@ -392,7 +398,11 @@ impl CellSim {
         to: SimTime,
         prb_fraction: f64,
     ) {
-        let ov = CrossTrafficOverride { from, to, prb_fraction };
+        let ov = CrossTrafficOverride {
+            from,
+            to,
+            prb_fraction,
+        };
         match dir {
             Direction::Uplink => self.cross_ul.add_override(ov),
             Direction::Downlink => self.cross_dl.add_override(ov),
@@ -408,7 +418,11 @@ impl CellSim {
         to: SimTime,
         fail_attempts: u8,
     ) {
-        self.link_mut(dir).add_harq_override(HarqOverride { from, to, fail_attempts });
+        self.link_mut(dir).add_harq_override(HarqOverride {
+            from,
+            to,
+            fail_attempts,
+        });
     }
 
     /// Forces an RRC release at `at`.
@@ -432,9 +446,20 @@ mod tests {
             carrier_mhz: 3500.0,
             bandwidth_mhz: 20.0,
             frame: FrameStructure::tdd(SimDuration::from_micros(500), "DDDSU"),
-            mac: MacConfig { n_prbs: 51, ..Default::default() },
-            ul_channel: ChannelConfig { base_sinr_db: 25.0, shadow_sigma_db: 0.2, ..Default::default() },
-            dl_channel: ChannelConfig { base_sinr_db: 25.0, shadow_sigma_db: 0.2, ..Default::default() },
+            mac: MacConfig {
+                n_prbs: 51,
+                ..Default::default()
+            },
+            ul_channel: ChannelConfig {
+                base_sinr_db: 25.0,
+                shadow_sigma_db: 0.2,
+                ..Default::default()
+            },
+            dl_channel: ChannelConfig {
+                base_sinr_db: 25.0,
+                shadow_sigma_db: 0.2,
+                ..Default::default()
+            },
             ul_cross: CrossTrafficConfig::quiet(),
             dl_cross: CrossTrafficConfig::quiet(),
             rrc: RrcConfig::default(),
@@ -457,7 +482,11 @@ mod tests {
         assert_eq!(out[0].id, 7);
         assert_eq!(out[0].direction, Direction::Downlink);
         // DL needs no grant: one or two slots plus decode latency.
-        assert!(out[0].delivered_at.as_millis() <= 5, "{:?}", out[0].delivered_at);
+        assert!(
+            out[0].delivered_at.as_millis() <= 5,
+            "{:?}",
+            out[0].delivered_at
+        );
     }
 
     #[test]
@@ -466,7 +495,9 @@ mod tests {
         cell.enqueue(SimTime::from_millis(10), Direction::Uplink, 9, 1200);
         let out = run_until(&mut cell, 100);
         assert_eq!(out.len(), 1);
-        let delay = out[0].delivered_at.saturating_since(SimTime::from_millis(10));
+        let delay = out[0]
+            .delivered_at
+            .saturating_since(SimTime::from_millis(10));
         // SR wait + grant pipeline + U-slot wait: 5–25 ms per the paper.
         assert!(
             (4..=30).contains(&delay.as_millis()),
@@ -488,7 +519,9 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(ids, sorted, "RLC AM must deliver in order");
         // Delivery timestamps are non-decreasing.
-        assert!(out.windows(2).all(|w| w[0].delivered_at <= w[1].delivered_at));
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].delivered_at <= w[1].delivered_at));
     }
 
     #[test]
@@ -512,12 +545,18 @@ mod tests {
         let mut cell = CellSim::new(cfg, 5);
         cell.enqueue(SimTime::ZERO, Direction::Uplink, 1, 800);
         cell.poll(SimTime::from_millis(500));
-        assert!(cell.drain_gnb().is_empty(), "commercial-style cell must not leak gNB logs");
+        assert!(
+            cell.drain_gnb().is_empty(),
+            "commercial-style cell must not leak gNB logs"
+        );
 
         let mut cell = CellSim::new(quiet_cell(), 5);
         cell.enqueue(SimTime::ZERO, Direction::Uplink, 1, 800);
         cell.poll(SimTime::from_millis(500));
-        assert!(!cell.drain_gnb().is_empty(), "private cell emits buffer samples");
+        assert!(
+            !cell.drain_gnb().is_empty(),
+            "private cell emits buffer samples"
+        );
     }
 
     #[test]
@@ -530,12 +569,23 @@ mod tests {
         // Data enqueued mid-outage waits it out (≈300 ms total interruption).
         cell.enqueue(SimTime::from_millis(30), Direction::Downlink, 42, 500);
         cell.poll(SimTime::from_millis(200));
-        assert!(cell.drain_deliveries().is_empty(), "still in outage at 200 ms");
+        assert!(
+            cell.drain_deliveries().is_empty(),
+            "still in outage at 200 ms"
+        );
         cell.poll(SimTime::from_millis(500));
         let out = cell.drain_deliveries();
         assert!(!out.is_empty(), "delivery after re-establishment");
-        assert!(out[0].delivered_at.as_millis() >= 300, "{:?}", out[0].delivered_at);
-        assert_ne!(cell.rnti(), rnti_before, "re-establishment assigns a new RNTI");
+        assert!(
+            out[0].delivered_at.as_millis() >= 300,
+            "{:?}",
+            out[0].delivered_at
+        );
+        assert_ne!(
+            cell.rnti(),
+            rnti_before,
+            "re-establishment assigns a new RNTI"
+        );
     }
 
     #[test]

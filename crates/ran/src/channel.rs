@@ -114,15 +114,18 @@ impl Channel {
                 self.fading_until = None;
             }
         } else if let Some(every) = self.cfg.fade_every {
-            let p_onset =
-                self.cfg.update_interval.as_secs_f64() / every.as_secs_f64().max(1e-9);
+            let p_onset = self.cfg.update_interval.as_secs_f64() / every.as_secs_f64().max(1e-9);
             if rng.gen::<f64>() < p_onset {
                 // Exponential-ish duration: 0.5–1.5× the configured mean.
                 let dur = self.cfg.fade_duration.mul_f64(0.5 + rng.gen::<f64>());
                 self.fading_until = Some(at + dur);
             }
         }
-        let fade = if self.fading_until.is_some() { self.cfg.fade_depth_db } else { 0.0 };
+        let fade = if self.fading_until.is_some() {
+            self.cfg.fade_depth_db
+        } else {
+            0.0
+        };
         self.current_db = self.cfg.base_sinr_db + self.shadow.value() - fade;
     }
 }
@@ -190,7 +193,9 @@ mod tests {
         let mk = || {
             let mut ch = Channel::new(ChannelConfig::default());
             let mut rng = rng_for(9, RngStream::ChannelUl);
-            (0..100).map(|i| ch.sinr_db(at_ms(i * 10), &mut rng)).collect::<Vec<_>>()
+            (0..100)
+                .map(|i| ch.sinr_db(at_ms(i * 10), &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
     }

@@ -131,7 +131,10 @@ impl CrossTraffic {
     ) -> CrossDemand {
         for ov in &self.overrides {
             if now >= ov.from && now < ov.to {
-                return CrossDemand { prb_fraction: ov.prb_fraction, rnti: 50_001 };
+                return CrossDemand {
+                    prb_fraction: ov.prb_fraction,
+                    rnti: 50_001,
+                };
             }
         }
         // Burst state machine.
@@ -144,12 +147,16 @@ impl CrossTraffic {
             if rng.gen::<f64>() < p {
                 let (lo, hi) = self.cfg.burst_prb_fraction;
                 self.burst_fraction = lo + (hi - lo) * rng.gen::<f64>();
-                self.burst_until = Some(now + self.cfg.burst_duration.mul_f64(0.5 + rng.gen::<f64>()));
+                self.burst_until =
+                    Some(now + self.cfg.burst_duration.mul_f64(0.5 + rng.gen::<f64>()));
                 self.burst_rnti = 40_000 + rng.gen_range(0..10_000);
             }
         }
         if self.burst_until.is_some() {
-            return CrossDemand { prb_fraction: self.burst_fraction, rnti: self.burst_rnti };
+            return CrossDemand {
+                prb_fraction: self.burst_fraction,
+                rnti: self.burst_rnti,
+            };
         }
         if self.cfg.background_slot_probability > 0.0
             && rng.gen::<f64>() < self.cfg.background_slot_probability
@@ -159,7 +166,10 @@ impl CrossTraffic {
                 rnti: 30_000 + rng.gen_range(0..10_000),
             };
         }
-        CrossDemand { prb_fraction: 0.0, rnti: 0 }
+        CrossDemand {
+            prb_fraction: 0.0,
+            rnti: 0,
+        }
     }
 }
 
@@ -229,6 +239,9 @@ mod tests {
                 current = None;
             }
         }
-        assert!(longest > 500, "bursts should hold one RNTI for many slots: {longest}");
+        assert!(
+            longest > 500,
+            "bursts should hold one RNTI for many slots: {longest}"
+        );
     }
 }

@@ -34,7 +34,11 @@ pub struct FrameStructure {
 impl FrameStructure {
     /// FDD structure with the given slot duration.
     pub fn fdd(slot_duration: SimDuration) -> Self {
-        FrameStructure { duplexing: Duplexing::Fdd, slot_duration, pattern: Vec::new() }
+        FrameStructure {
+            duplexing: Duplexing::Fdd,
+            slot_duration,
+            pattern: Vec::new(),
+        }
     }
 
     /// TDD structure from a pattern string of `D`/`S`/`U` characters.
@@ -56,7 +60,11 @@ impl FrameStructure {
             pattern.contains(&SlotKind::Uplink),
             "TDD pattern must contain at least one U slot"
         );
-        FrameStructure { duplexing: Duplexing::Tdd, slot_duration, pattern }
+        FrameStructure {
+            duplexing: Duplexing::Tdd,
+            slot_duration,
+            pattern,
+        }
     }
 
     /// Start time of slot `idx`.
@@ -77,9 +85,7 @@ impl FrameStructure {
                 let kind = self.pattern[(idx % self.pattern.len() as u64) as usize];
                 match dir {
                     Direction::Uplink => kind == SlotKind::Uplink,
-                    Direction::Downlink => {
-                        kind == SlotKind::Downlink || kind == SlotKind::Special
-                    }
+                    Direction::Downlink => kind == SlotKind::Downlink || kind == SlotKind::Special,
                 }
             }
         }
@@ -109,7 +115,9 @@ impl FrameStructure {
             Duplexing::Fdd => 1.0,
             Duplexing::Tdd => {
                 let n = self.pattern.len() as f64;
-                let k = (0..self.pattern.len() as u64).filter(|&s| self.serves(s, dir)).count();
+                let k = (0..self.pattern.len() as u64)
+                    .filter(|&s| self.serves(s, dir))
+                    .count();
                 k as f64 / n
             }
         }

@@ -361,9 +361,11 @@ pub fn process_slot<R: Rng + ?Sized>(
         }
         used_prbs += p.n_prbs as u32;
         let retx_idx = p.attempts_done;
-        let fail = link.harq_overrides.iter().any(|ov| {
-            now >= ov.from && now < ov.to && retx_idx < ov.fail_attempts
-        }) || rng_harq.gen::<f64>() < phy::fail_probability(sinr, p.mcs, retx_idx);
+        let fail = link
+            .harq_overrides
+            .iter()
+            .any(|ov| now >= ov.from && now < ov.to && retx_idx < ov.fail_attempts)
+            || rng_harq.gen::<f64>() < phy::fail_probability(sinr, p.mcs, retx_idx);
         out.dci.push(DciRecord {
             ts: now,
             rnti,
@@ -401,8 +403,7 @@ pub fn process_slot<R: Rng + ?Sized>(
             let g = link.pending_grants.remove(&slot);
             if let Some(g) = &g {
                 // Only BSR-driven bytes were counted as covering the buffer.
-                link.granted_inflight =
-                    link.granted_inflight.saturating_sub(g.bsr_bytes as u64);
+                link.granted_inflight = link.granted_inflight.saturating_sub(g.bsr_bytes as u64);
             }
             g
         }
@@ -452,7 +453,9 @@ pub fn process_slot<R: Rng + ?Sized>(
         // wasted-bandwidth bars of Fig. 16.
         if let Some(g) = grant {
             if g.is_proactive() {
-                let prbs = phy::prbs_needed(mcs, g.total_bytes() * 8).min(budget as u16).max(1);
+                let prbs = phy::prbs_needed(mcs, g.total_bytes() * 8)
+                    .min(budget as u16)
+                    .max(1);
                 out.dci.push(DciRecord {
                     ts: now,
                     rnti,
@@ -479,7 +482,9 @@ pub fn process_slot<R: Rng + ?Sized>(
         return; // all HARQ processes busy; retry next slot
     };
 
-    let tb_limit_bytes = want_bytes.min(max_tb_bytes).max(if retx_pending { 1 } else { 0 });
+    let tb_limit_bytes = want_bytes
+        .min(max_tb_bytes)
+        .max(if retx_pending { 1 } else { 0 });
     let Some(pdu) = link.rlc_tx.build_pdu(now, tb_limit_bytes) else {
         if link.dir == Direction::Uplink {
             refresh_bsr(link);
@@ -495,14 +500,16 @@ pub fn process_slot<R: Rng + ?Sized>(
     let nominal_bits = match &grant {
         Some(g) => phy::tbs_bits(
             mcs,
-            phy::prbs_needed(mcs, g.total_bytes() * 8).min(mac.n_prbs).max(n_prbs),
+            phy::prbs_needed(mcs, g.total_bytes() * 8)
+                .min(mac.n_prbs)
+                .max(n_prbs),
         ),
         None => phy::tbs_bits(mcs, n_prbs),
     };
     let tbs = phy::tbs_bits(mcs, n_prbs).max(payload_bits);
 
-    let fail = link.forced_fail(now, 0)
-        || rng_harq.gen::<f64>() < phy::fail_probability(sinr, mcs, 0);
+    let fail =
+        link.forced_fail(now, 0) || rng_harq.gen::<f64>() < phy::fail_probability(sinr, mcs, 0);
     link.olla.observe(!fail);
     out.dci.push(DciRecord {
         ts: now,
@@ -557,7 +564,11 @@ mod tests {
     use simcore::{rng_for, RngStream};
 
     fn good_channel() -> Channel {
-        Channel::new(ChannelConfig { base_sinr_db: 25.0, shadow_sigma_db: 0.1, ..Default::default() })
+        Channel::new(ChannelConfig {
+            base_sinr_db: 25.0,
+            shadow_sigma_db: 0.1,
+            ..Default::default()
+        })
     }
 
     fn fdd() -> FrameStructure {
@@ -575,7 +586,17 @@ mod tests {
         let mut rng_harq = rng_for(1, RngStream::HarqDecode);
         let mut out = SlotOutputs::default();
         for slot in 0..max_slots {
-            process_slot(link, frame, mac, slot, 4242, 0.0, &mut rng_ch, &mut rng_harq, &mut out);
+            process_slot(
+                link,
+                frame,
+                mac,
+                slot,
+                4242,
+                0.0,
+                &mut rng_ch,
+                &mut rng_harq,
+                &mut out,
+            );
             // buffer_bytes includes pending RLC retransmissions.
             if link.rlc_tx.buffer_bytes() == 0 && !link.harq_active() {
                 break;
@@ -586,10 +607,16 @@ mod tests {
 
     #[test]
     fn dl_delivers_packet_quickly_on_good_channel() {
-        let mac = MacConfig { n_prbs: 100, ..Default::default() };
+        let mac = MacConfig {
+            n_prbs: 100,
+            ..Default::default()
+        };
         let frame = fdd();
         let mut link = LinkDir::new(Direction::Downlink, good_channel(), &mac);
-        link.rlc_tx.enqueue(Sdu { id: 1, size_bytes: 1200 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 1200,
+        });
         let out = drain_dl(&mut link, &frame, &mac, 100);
         assert_eq!(out.deliveries.len(), 1);
         assert_eq!(out.deliveries[0].sdu_id, 1);
@@ -600,10 +627,17 @@ mod tests {
 
     #[test]
     fn ul_requires_grant_pipeline() {
-        let mac = MacConfig { n_prbs: 100, grant_pipeline_slots: 8, ..Default::default() };
+        let mac = MacConfig {
+            n_prbs: 100,
+            grant_pipeline_slots: 8,
+            ..Default::default()
+        };
         let frame = fdd();
         let mut link = LinkDir::new(Direction::Uplink, good_channel(), &mac);
-        link.rlc_tx.enqueue(Sdu { id: 7, size_bytes: 1200 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 7,
+            size_bytes: 1200,
+        });
         let mut rng_ch = rng_for(2, RngStream::ChannelUl);
         let mut rng_harq = rng_for(2, RngStream::HarqDecode);
         let mut out = SlotOutputs::default();
@@ -611,7 +645,17 @@ mod tests {
             let now = frame.slot_start(slot);
             check_sr(&mut link, now, &mac);
             issue_ul_grants(&mut link, &frame, &mac, slot, now);
-            process_slot(&mut link, &frame, &mac, slot, 1, 0.0, &mut rng_ch, &mut rng_harq, &mut out);
+            process_slot(
+                &mut link,
+                &frame,
+                &mac,
+                slot,
+                1,
+                0.0,
+                &mut rng_ch,
+                &mut rng_harq,
+                &mut out,
+            );
             if !out.deliveries.is_empty() {
                 break;
             }
@@ -625,12 +669,19 @@ mod tests {
 
     #[test]
     fn forced_harq_failure_adds_one_rtt() {
-        let mac = MacConfig { n_prbs: 100, harq_rtt: SimDuration::from_millis(10), ..Default::default() };
+        let mac = MacConfig {
+            n_prbs: 100,
+            harq_rtt: SimDuration::from_millis(10),
+            ..Default::default()
+        };
         let frame = fdd();
 
         // Baseline: no failure.
         let mut link = LinkDir::new(Direction::Downlink, good_channel(), &mac);
-        link.rlc_tx.enqueue(Sdu { id: 1, size_bytes: 800 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 800,
+        });
         let base = drain_dl(&mut link, &frame, &mac, 200).deliveries[0].released_at;
 
         // One forced initial failure.
@@ -640,11 +691,17 @@ mod tests {
             to: SimTime::from_millis(5),
             fail_attempts: 1,
         });
-        link.rlc_tx.enqueue(Sdu { id: 1, size_bytes: 800 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 800,
+        });
         let delayed = drain_dl(&mut link, &frame, &mac, 200).deliveries[0].released_at;
 
         let inflation = delayed.saturating_since(base).as_millis();
-        assert!((9..=12).contains(&inflation), "HARQ should add ≈ one RTT, got {inflation} ms");
+        assert!(
+            (9..=12).contains(&inflation),
+            "HARQ should add ≈ one RTT, got {inflation} ms"
+        );
     }
 
     #[test]
@@ -663,7 +720,10 @@ mod tests {
             to: SimTime::from_millis(45),
             fail_attempts: 4,
         });
-        link.rlc_tx.enqueue(Sdu { id: 1, size_bytes: 800 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 800,
+        });
         let out = drain_dl(&mut link, &frame, &mac, 500);
         assert_eq!(out.rlc_retx.len(), 1, "exactly one RLC ARQ event");
         assert_eq!(out.deliveries.len(), 1);
@@ -691,21 +751,36 @@ mod tests {
             fail_attempts: 4,
         });
         for id in 0..20 {
-            link.rlc_tx.enqueue(Sdu { id, size_bytes: 1000 });
+            link.rlc_tx.enqueue(Sdu {
+                id,
+                size_bytes: 1000,
+            });
         }
         let out = drain_dl(&mut link, &frame, &mac, 2000);
         assert_eq!(out.deliveries.len(), 20);
         // Packet 0 blocked until RLC retx; a burst of packets releases at the
         // same instant as packet 0 (identical reception times, Fig. 18).
-        let t0 = out.deliveries.iter().find(|d| d.sdu_id == 0).unwrap().released_at;
-        let same = out.deliveries.iter().filter(|d| d.released_at == t0).count();
+        let t0 = out
+            .deliveries
+            .iter()
+            .find(|d| d.sdu_id == 0)
+            .unwrap()
+            .released_at;
+        let same = out
+            .deliveries
+            .iter()
+            .filter(|d| d.released_at == t0)
+            .count();
         assert!(same >= 5, "HoL release burst too small: {same}");
         assert!(t0.as_millis() >= 80);
     }
 
     #[test]
     fn cross_traffic_starves_target_ue() {
-        let mac = MacConfig { n_prbs: 50, ..Default::default() };
+        let mac = MacConfig {
+            n_prbs: 50,
+            ..Default::default()
+        };
         let frame = fdd();
         let mut link = LinkDir::new(Direction::Downlink, good_channel(), &mac);
         let mut rng_ch = rng_for(3, RngStream::ChannelDl);
@@ -714,12 +789,29 @@ mod tests {
         let mut out = SlotOutputs::default();
         for slot in 0..200u64 {
             if slot % 10 == 0 {
-                link.rlc_tx.enqueue(Sdu { id: slot, size_bytes: 6250 });
+                link.rlc_tx.enqueue(Sdu {
+                    id: slot,
+                    size_bytes: 6250,
+                });
             }
-            process_slot(&mut link, &frame, &mac, slot, 1, 0.96, &mut rng_ch, &mut rng_harq, &mut out);
+            process_slot(
+                &mut link,
+                &frame,
+                &mac,
+                slot,
+                1,
+                0.96,
+                &mut rng_ch,
+                &mut rng_harq,
+                &mut out,
+            );
         }
         // Severely constrained: buffer must have built up.
-        assert!(link.rlc_tx.buffer_bytes() > 20_000, "buffer {} should grow under cross traffic", link.rlc_tx.buffer_bytes());
+        assert!(
+            link.rlc_tx.buffer_bytes() > 20_000,
+            "buffer {} should grow under cross traffic",
+            link.rlc_tx.buffer_bytes()
+        );
     }
 
     #[test]
@@ -741,16 +833,37 @@ mod tests {
             let now = frame.slot_start(slot);
             check_sr(&mut link, now, &mac);
             issue_ul_grants(&mut link, &frame, &mac, slot, now);
-            process_slot(&mut link, &frame, &mac, slot, 1, 0.0, &mut rng_ch, &mut rng_harq, &mut out);
+            process_slot(
+                &mut link,
+                &frame,
+                &mac,
+                slot,
+                1,
+                0.0,
+                &mut rng_ch,
+                &mut rng_harq,
+                &mut out,
+            );
         }
         // UE had nothing to send: proactive grants logged with used_bits = 0.
-        let wasted: Vec<_> = out.dci.iter().filter(|d| d.proactive && d.used_bits == 0).collect();
-        assert!(wasted.len() >= 10, "wasted proactive grants: {}", wasted.len());
+        let wasted: Vec<_> = out
+            .dci
+            .iter()
+            .filter(|d| d.proactive && d.used_bits == 0)
+            .collect();
+        assert!(
+            wasted.len() >= 10,
+            "wasted proactive grants: {}",
+            wasted.len()
+        );
     }
 
     #[test]
     fn rrc_reset_preserves_data() {
-        let mac = MacConfig { n_prbs: 100, ..Default::default() };
+        let mac = MacConfig {
+            n_prbs: 100,
+            ..Default::default()
+        };
         let frame = fdd();
         let mut link = LinkDir::new(Direction::Downlink, good_channel(), &mac);
         // Force a failure so a HARQ process is in flight, then reset.
@@ -759,11 +872,24 @@ mod tests {
             to: SimTime::from_millis(1),
             fail_attempts: 1,
         });
-        link.rlc_tx.enqueue(Sdu { id: 1, size_bytes: 500 });
+        link.rlc_tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 500,
+        });
         let mut rng_ch = rng_for(5, RngStream::ChannelDl);
         let mut rng_harq = rng_for(5, RngStream::HarqDecode);
         let mut out = SlotOutputs::default();
-        process_slot(&mut link, &frame, &mac, 0, 1, 0.0, &mut rng_ch, &mut rng_harq, &mut out);
+        process_slot(
+            &mut link,
+            &frame,
+            &mac,
+            0,
+            1,
+            0.0,
+            &mut rng_ch,
+            &mut rng_harq,
+            &mut out,
+        );
         assert!(link.harq_active());
         link.reset_for_rrc(SimTime::from_millis(5));
         assert!(!link.harq_active());

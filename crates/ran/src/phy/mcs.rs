@@ -31,35 +31,122 @@ impl McsEntry {
 
 /// TS 38.214 Table 5.1.3.1-1 (MCS index table 1 for PDSCH), indices 0–28.
 pub const MCS_TABLE: [McsEntry; 29] = [
-    McsEntry { qm: 2, rate_x1024: 120 },
-    McsEntry { qm: 2, rate_x1024: 157 },
-    McsEntry { qm: 2, rate_x1024: 193 },
-    McsEntry { qm: 2, rate_x1024: 251 },
-    McsEntry { qm: 2, rate_x1024: 308 },
-    McsEntry { qm: 2, rate_x1024: 379 },
-    McsEntry { qm: 2, rate_x1024: 449 },
-    McsEntry { qm: 2, rate_x1024: 526 },
-    McsEntry { qm: 2, rate_x1024: 602 },
-    McsEntry { qm: 2, rate_x1024: 679 },
-    McsEntry { qm: 4, rate_x1024: 340 },
-    McsEntry { qm: 4, rate_x1024: 378 },
-    McsEntry { qm: 4, rate_x1024: 434 },
-    McsEntry { qm: 4, rate_x1024: 490 },
-    McsEntry { qm: 4, rate_x1024: 553 },
-    McsEntry { qm: 4, rate_x1024: 616 },
-    McsEntry { qm: 4, rate_x1024: 658 },
-    McsEntry { qm: 6, rate_x1024: 438 },
-    McsEntry { qm: 6, rate_x1024: 466 },
-    McsEntry { qm: 6, rate_x1024: 517 },
-    McsEntry { qm: 6, rate_x1024: 567 },
-    McsEntry { qm: 6, rate_x1024: 616 },
-    McsEntry { qm: 6, rate_x1024: 666 },
-    McsEntry { qm: 6, rate_x1024: 719 },
-    McsEntry { qm: 6, rate_x1024: 772 },
-    McsEntry { qm: 6, rate_x1024: 822 },
-    McsEntry { qm: 6, rate_x1024: 873 },
-    McsEntry { qm: 6, rate_x1024: 910 },
-    McsEntry { qm: 6, rate_x1024: 948 },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 120,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 157,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 193,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 251,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 308,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 379,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 449,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 526,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 602,
+    },
+    McsEntry {
+        qm: 2,
+        rate_x1024: 679,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 340,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 378,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 434,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 490,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 553,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 616,
+    },
+    McsEntry {
+        qm: 4,
+        rate_x1024: 658,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 438,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 466,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 517,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 567,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 616,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 666,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 719,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 772,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 822,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 873,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 910,
+    },
+    McsEntry {
+        qm: 6,
+        rate_x1024: 948,
+    },
 ];
 
 /// Highest valid MCS index.
@@ -146,12 +233,48 @@ mod tests {
     #[test]
     fn table_spot_values() {
         // Spot-check against TS 38.214 Table 5.1.3.1-1.
-        assert_eq!(MCS_TABLE[0], McsEntry { qm: 2, rate_x1024: 120 });
-        assert_eq!(MCS_TABLE[9], McsEntry { qm: 2, rate_x1024: 679 });
-        assert_eq!(MCS_TABLE[10], McsEntry { qm: 4, rate_x1024: 340 });
-        assert_eq!(MCS_TABLE[16], McsEntry { qm: 4, rate_x1024: 658 });
-        assert_eq!(MCS_TABLE[17], McsEntry { qm: 6, rate_x1024: 438 });
-        assert_eq!(MCS_TABLE[28], McsEntry { qm: 6, rate_x1024: 948 });
+        assert_eq!(
+            MCS_TABLE[0],
+            McsEntry {
+                qm: 2,
+                rate_x1024: 120
+            }
+        );
+        assert_eq!(
+            MCS_TABLE[9],
+            McsEntry {
+                qm: 2,
+                rate_x1024: 679
+            }
+        );
+        assert_eq!(
+            MCS_TABLE[10],
+            McsEntry {
+                qm: 4,
+                rate_x1024: 340
+            }
+        );
+        assert_eq!(
+            MCS_TABLE[16],
+            McsEntry {
+                qm: 4,
+                rate_x1024: 658
+            }
+        );
+        assert_eq!(
+            MCS_TABLE[17],
+            McsEntry {
+                qm: 6,
+                rate_x1024: 438
+            }
+        );
+        assert_eq!(
+            MCS_TABLE[28],
+            McsEntry {
+                qm: 6,
+                rate_x1024: 948
+            }
+        );
     }
 
     #[test]
@@ -162,7 +285,10 @@ mod tests {
             if i == 16 {
                 assert!((w[1].spectral_efficiency() - w[0].spectral_efficiency()).abs() < 0.01);
             } else {
-                assert!(w[1].spectral_efficiency() > w[0].spectral_efficiency(), "at {i}");
+                assert!(
+                    w[1].spectral_efficiency() > w[0].spectral_efficiency(),
+                    "at {i}"
+                );
             }
         }
         assert!((MCS_TABLE[28].spectral_efficiency() - 5.5547).abs() < 0.001);
@@ -178,7 +304,10 @@ mod tests {
             if mcs == 17 {
                 assert!((sinr_required_db(17) - sinr_required_db(16)).abs() < 0.1);
             } else {
-                assert!(sinr_required_db(mcs) > sinr_required_db(mcs - 1), "at {mcs}");
+                assert!(
+                    sinr_required_db(mcs) > sinr_required_db(mcs - 1),
+                    "at {mcs}"
+                );
             }
         }
     }

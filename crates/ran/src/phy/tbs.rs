@@ -10,12 +10,12 @@ use super::mcs::MCS_TABLE;
 
 /// TS 38.214 Table 5.1.3.2-1: valid TBS values (bits) for Ninfo ≤ 3824.
 const TBS_TABLE: [u32; 93] = [
-    24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144, 152, 160, 168, 176,
-    184, 192, 208, 224, 240, 256, 272, 288, 304, 320, 336, 352, 368, 384, 408, 432, 456, 480,
-    504, 528, 552, 576, 608, 640, 672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128,
-    1160, 1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736, 1800, 1864,
-    1928, 2024, 2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976,
-    3104, 3240, 3368, 3496, 3624, 3752, 3824,
+    24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144, 152, 160, 168, 176, 184,
+    192, 208, 224, 240, 256, 272, 288, 304, 320, 336, 352, 368, 384, 408, 432, 456, 480, 504, 528,
+    552, 576, 608, 640, 672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128, 1160, 1192,
+    1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736, 1800, 1864, 1928, 2024, 2088,
+    2152, 2216, 2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496,
+    3624, 3752, 3824,
 ];
 
 /// Subcarriers per PRB.
@@ -78,8 +78,7 @@ pub fn prbs_needed(mcs: u8, bits: u32) -> u16 {
         return 0;
     }
     let entry = MCS_TABLE[mcs as usize];
-    let per_prb =
-        (resource_elements(1) as f64 * entry.code_rate() * entry.qm as f64).max(1.0);
+    let per_prb = (resource_elements(1) as f64 * entry.code_rate() * entry.qm as f64).max(1.0);
     let est = (bits as f64 / per_prb).ceil() as u16;
     // The quantization can undershoot slightly; fix up by search.
     let mut n = est.max(1);

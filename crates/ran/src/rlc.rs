@@ -105,7 +105,11 @@ impl RlcTx {
         // Keep the retx queue sorted by availability (insertions are nearly
         // ordered already; linear scan from the back is cheap).
         let at = available_at;
-        let pos = self.retx.iter().rposition(|(t, _)| *t <= at).map_or(0, |p| p + 1);
+        let pos = self
+            .retx
+            .iter()
+            .rposition(|(t, _)| *t <= at)
+            .map_or(0, |p| p + 1);
         self.retx.insert(pos, (at, pdu));
     }
 
@@ -126,11 +130,17 @@ impl RlcTx {
         let mut segments = Vec::new();
         let mut remaining = max_bytes;
         while remaining > 0 {
-            let Some(front) = self.queue.front_mut() else { break };
+            let Some(front) = self.queue.front_mut() else {
+                break;
+            };
             let left = front.sdu.size_bytes - front.sent_bytes;
             let take = left.min(remaining);
             let last = take == left;
-            segments.push(Segment { sdu_id: front.sdu.id, bytes: take, last_of_sdu: last });
+            segments.push(Segment {
+                sdu_id: front.sdu.id,
+                bytes: take,
+                last_of_sdu: last,
+            });
             front.sent_bytes += take;
             remaining -= take;
             self.new_data_bytes -= take as u64;
@@ -144,7 +154,12 @@ impl RlcTx {
         let bytes = max_bytes - remaining;
         let sn = self.next_sn;
         self.next_sn += 1;
-        Some(Pdu { sn, segments, bytes, is_retx: false })
+        Some(Pdu {
+            sn,
+            segments,
+            bytes,
+            is_retx: false,
+        })
     }
 
     /// Re-inserts the payload of an abandoned PDU at the *front* of the new-
@@ -154,7 +169,10 @@ impl RlcTx {
         for seg in pdu.segments.into_iter().rev() {
             self.new_data_bytes += seg.bytes as u64;
             self.queue.push_front(SduProgress {
-                sdu: Sdu { id: seg.sdu_id, size_bytes: seg.bytes },
+                sdu: Sdu {
+                    id: seg.sdu_id,
+                    size_bytes: seg.bytes,
+                },
                 sent_bytes: 0,
             });
         }
@@ -206,7 +224,10 @@ impl RlcRx {
             self.next_expected_sn += 1;
             for seg in &pdu.segments {
                 if seg.last_of_sdu {
-                    released.push(SduDelivery { sdu_id: seg.sdu_id, released_at: now });
+                    released.push(SduDelivery {
+                        sdu_id: seg.sdu_id,
+                        released_at: now,
+                    });
                 }
             }
         }
@@ -226,7 +247,10 @@ mod tests {
     #[test]
     fn segmentation_across_pdus() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 1, size_bytes: 2500 });
+        tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 2500,
+        });
         assert_eq!(tx.buffer_bytes(), 2500);
         let p1 = tx.build_pdu(t(0), 1000).unwrap();
         let p2 = tx.build_pdu(t(0), 1000).unwrap();
@@ -243,8 +267,14 @@ mod tests {
     #[test]
     fn multiple_sdus_share_a_pdu() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 1, size_bytes: 300 });
-        tx.enqueue(Sdu { id: 2, size_bytes: 300 });
+        tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 300,
+        });
+        tx.enqueue(Sdu {
+            id: 2,
+            size_bytes: 300,
+        });
         let p = tx.build_pdu(t(0), 1000).unwrap();
         assert_eq!(p.segments.len(), 2);
         assert_eq!(p.bytes, 600);
@@ -255,7 +285,10 @@ mod tests {
     fn in_order_release() {
         let mut tx = RlcTx::new();
         for id in 0..3 {
-            tx.enqueue(Sdu { id, size_bytes: 100 });
+            tx.enqueue(Sdu {
+                id,
+                size_bytes: 100,
+            });
         }
         let p0 = tx.build_pdu(t(0), 100).unwrap();
         let p1 = tx.build_pdu(t(0), 100).unwrap();
@@ -275,16 +308,25 @@ mod tests {
     #[test]
     fn retx_has_priority_and_keeps_sn() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 1, size_bytes: 100 });
+        tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 100,
+        });
         let lost = tx.build_pdu(t(0), 100).unwrap();
-        tx.enqueue(Sdu { id: 2, size_bytes: 100 });
+        tx.enqueue(Sdu {
+            id: 2,
+            size_bytes: 100,
+        });
         tx.schedule_retx(t(60), lost.clone());
         // Before the status delay elapses the retx is not eligible.
         let p = tx.build_pdu(t(10), 100).unwrap();
         assert!(!p.is_retx);
         assert_eq!(p.segments[0].sdu_id, 2);
         // After: retx goes first, original SN preserved, flag set.
-        tx.enqueue(Sdu { id: 3, size_bytes: 100 });
+        tx.enqueue(Sdu {
+            id: 3,
+            size_bytes: 100,
+        });
         let r = tx.build_pdu(t(70), 100).unwrap();
         assert!(r.is_retx);
         assert_eq!(r.sn, lost.sn);
@@ -293,7 +335,10 @@ mod tests {
     #[test]
     fn buffer_accounts_retx() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 1, size_bytes: 500 });
+        tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 500,
+        });
         let pdu = tx.build_pdu(t(0), 500).unwrap();
         assert_eq!(tx.buffer_bytes(), 0);
         tx.schedule_retx(t(50), pdu);
@@ -304,7 +349,10 @@ mod tests {
     #[test]
     fn duplicate_pdu_ignored() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 7, size_bytes: 100 });
+        tx.enqueue(Sdu {
+            id: 7,
+            size_bytes: 100,
+        });
         let p = tx.build_pdu(t(0), 100).unwrap();
         let mut rx = RlcRx::new();
         assert_eq!(rx.receive(t(1), p.clone()).len(), 1);
@@ -314,8 +362,14 @@ mod tests {
     #[test]
     fn requeue_front_preserves_order() {
         let mut tx = RlcTx::new();
-        tx.enqueue(Sdu { id: 1, size_bytes: 100 });
-        tx.enqueue(Sdu { id: 2, size_bytes: 100 });
+        tx.enqueue(Sdu {
+            id: 1,
+            size_bytes: 100,
+        });
+        tx.enqueue(Sdu {
+            id: 2,
+            size_bytes: 100,
+        });
         let p = tx.build_pdu(t(0), 100).unwrap();
         tx.requeue_front(p);
         let again = tx.build_pdu(t(1), 200).unwrap();

@@ -103,8 +103,7 @@ impl RrcMachine {
     pub fn step<R: Rng + ?Sized>(&mut self, now: SimTime, dt: SimDuration, rng: &mut R) {
         match self.state {
             RrcState::Connected => {
-                let scripted_due =
-                    self.scripted_releases.first().is_some_and(|&t| t <= now);
+                let scripted_due = self.scripted_releases.first().is_some_and(|&t| t <= now);
                 let random_due = self.cfg.random_release_every.is_some_and(|every| {
                     rng.gen::<f64>() < dt.as_secs_f64() / every.as_secs_f64().max(1e-9)
                 });
@@ -189,10 +188,7 @@ mod tests {
         assert_eq!(tr[2].state, RrcState::Connected);
         // Total interruption ≈ idle + connecting ≈ 300 ms.
         let outage = tr[2].at.saturating_since(tr[0].at);
-        assert!(
-            (250..=350).contains(&outage.as_millis()),
-            "outage {outage}"
-        );
+        assert!((250..=350).contains(&outage.as_millis()), "outage {outage}");
     }
 
     #[test]

@@ -141,7 +141,11 @@ impl VideoEncoder {
             let mean_bytes = rate_bps / self.fps / 8.0;
             // Content variation: ±15% around the rate-derived mean.
             let variation = 0.85 + 0.3 * rng.gen::<f64>();
-            let factor = if keyframe { self.cfg.keyframe_factor } else { 1.0 };
+            let factor = if keyframe {
+                self.cfg.keyframe_factor
+            } else {
+                1.0
+            };
             let size = (mean_bytes * variation * factor).max(120.0) as u32;
             frames.push(VideoFrame {
                 capture_ts: ts,
@@ -176,9 +180,7 @@ impl VideoEncoder {
         }
 
         if let Some(higher) = rung_above(self.resolution) {
-            if higher <= self.cfg.max_resolution
-                && rate_bps > 1.15 * resolution_floor_bps(higher)
-            {
+            if higher <= self.cfg.max_resolution && rate_bps > 1.15 * resolution_floor_bps(higher) {
                 let since = *self.overshoot_since.get_or_insert(now);
                 if now.saturating_since(since) >= SimDuration::from_secs(2) {
                     self.resolution = higher;
@@ -293,7 +295,11 @@ mod tests {
         let frames = enc.poll(SimTime::from_secs(10), 1_500_000.0, &mut r);
         let kf: Vec<&VideoFrame> = frames.iter().filter(|f| f.keyframe).collect();
         assert!((3..=5).contains(&kf.len()), "{} keyframes", kf.len());
-        let df_mean = frames.iter().filter(|f| !f.keyframe).map(|f| f.size_bytes as f64).sum::<f64>()
+        let df_mean = frames
+            .iter()
+            .filter(|f| !f.keyframe)
+            .map(|f| f.size_bytes as f64)
+            .sum::<f64>()
             / frames.iter().filter(|f| !f.keyframe).count() as f64;
         assert!(kf[0].size_bytes as f64 > 2.0 * df_mean);
     }
@@ -326,7 +332,10 @@ mod tests {
 
     #[test]
     fn respects_max_resolution() {
-        let cfg = EncoderConfig { max_resolution: Resolution::R540p, ..Default::default() };
+        let cfg = EncoderConfig {
+            max_resolution: Resolution::R540p,
+            ..Default::default()
+        };
         let mut enc = VideoEncoder::new(cfg);
         let mut r = rng();
         enc.poll(SimTime::from_secs(30), 10_000_000.0, &mut r);

@@ -284,9 +284,16 @@ impl MediaReceiver {
         payload: &PacketPayload,
     ) {
         match payload {
-            PacketPayload::Video { frame_idx, packets_in_frame, capture_ts, resolution, .. } => {
+            PacketPayload::Video {
+                frame_idx,
+                packets_in_frame,
+                capture_ts,
+                resolution,
+                ..
+            } => {
                 self.feedback.on_packet(now, transport_seq, sent);
-                self.video.on_packet(now, *frame_idx, *packets_in_frame, *capture_ts);
+                self.video
+                    .on_packet(now, *frame_idx, *packets_in_frame, *capture_ts);
                 self.last_resolution = *resolution;
             }
             PacketPayload::Audio { seq, capture_ts } => {
@@ -401,7 +408,12 @@ mod tests {
             now_ms += 5;
             let now = t(now_ms);
             for p in a.sender.poll(now) {
-                to_b.push((p.at.as_millis() + delay_ms, p.transport_seq, p.at, p.payload));
+                to_b.push((
+                    p.at.as_millis() + delay_ms,
+                    p.transport_seq,
+                    p.at,
+                    p.payload,
+                ));
             }
             for p in b.receiver.poll(now) {
                 to_a.push((now_ms + delay_ms, p.transport_seq, p.at, p.payload));
@@ -436,13 +448,21 @@ mod tests {
         let stats_a = a.sample_stats(t(10_000));
         let stats_b = b.sample_stats(t(10_000));
         // Sender ramped up from the 1 Mbit/s start.
-        assert!(stats_a.target_bitrate_bps > 1_200_000.0, "{}", stats_a.target_bitrate_bps);
+        assert!(
+            stats_a.target_bitrate_bps > 1_200_000.0,
+            "{}",
+            stats_a.target_bitrate_bps
+        );
         // No pushback under healthy conditions.
         assert!(stats_a.pushback_rate_bps >= 0.95 * stats_a.target_bitrate_bps);
         // Receiver rendered ~30 fps with no freezes and no concealment.
         assert!(stats_b.inbound_fps > 20.0, "fps {}", stats_b.inbound_fps);
         assert_eq!(stats_b.concealed_samples, 0);
-        assert!(stats_b.total_freeze_ms < 200.0, "{}", stats_b.total_freeze_ms);
+        assert!(
+            stats_b.total_freeze_ms < 200.0,
+            "{}",
+            stats_b.total_freeze_ms
+        );
         assert!(stats_b.total_audio_samples > 100_000);
     }
 
@@ -450,7 +470,11 @@ mod tests {
     fn sender_ramps_up_over_time() {
         let (mut a, _) = run_loopback(15, 20_000);
         let s = a.sample_stats(t(20_000));
-        assert!(s.target_bitrate_bps > 2_000_000.0, "{}", s.target_bitrate_bps);
+        assert!(
+            s.target_bitrate_bps > 2_000_000.0,
+            "{}",
+            s.target_bitrate_bps
+        );
     }
 
     #[test]
@@ -463,7 +487,12 @@ mod tests {
             a.sender.poll(t(now_ms));
         }
         let s = a.sample_stats(t(2_000));
-        assert!(s.outstanding_bytes > s.cwnd_bytes, "{} vs {}", s.outstanding_bytes, s.cwnd_bytes);
+        assert!(
+            s.outstanding_bytes > s.cwnd_bytes,
+            "{} vs {}",
+            s.outstanding_bytes,
+            s.cwnd_bytes
+        );
         assert!(s.pushback_rate_bps < s.target_bitrate_bps);
     }
 

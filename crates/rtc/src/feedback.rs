@@ -87,10 +87,15 @@ impl FeedbackBuilder {
 
     /// Registers a received media packet.
     pub fn on_packet(&mut self, now: SimTime, transport_seq: u64, sent: SimTime) {
-        self.pending.push(ArrivalEntry { transport_seq, arrival: now });
+        self.pending.push(ArrivalEntry {
+            transport_seq,
+            arrival: now,
+        });
         self.received_in_interval += 1;
-        self.highest_seq =
-            Some(self.highest_seq.map_or(transport_seq, |h| h.max(transport_seq)));
+        self.highest_seq = Some(
+            self.highest_seq
+                .map_or(transport_seq, |h| h.max(transport_seq)),
+        );
         if self.expected_base_seq.is_none() {
             self.expected_base_seq = Some(transport_seq);
         }
@@ -109,7 +114,11 @@ impl FeedbackBuilder {
             let entries = std::mem::take(&mut self.pending);
             let size = RTCP_BASE_BYTES + PER_ENTRY_BYTES * entries.len() as u32;
             self.next_feedback_at = now + FEEDBACK_INTERVAL;
-            Some(TransportFeedback { built_at: now, entries, size_bytes: size })
+            Some(TransportFeedback {
+                built_at: now,
+                entries,
+                size_bytes: size,
+            })
         } else {
             None
         };
@@ -192,7 +201,11 @@ mod tests {
         }
         let (_, rr) = b.poll(t(1_000));
         let rr = rr.expect("rr due");
-        assert!((rr.loss_fraction - 0.3).abs() < 0.01, "loss {}", rr.loss_fraction);
+        assert!(
+            (rr.loss_fraction - 0.3).abs() < 0.01,
+            "loss {}",
+            rr.loss_fraction
+        );
     }
 
     #[test]

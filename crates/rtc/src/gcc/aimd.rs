@@ -163,7 +163,9 @@ impl AimdRateControl {
                 cap.mean_bps = (1.0 - alpha) * cap.mean_bps + alpha * acked_bps;
                 let dev = (acked_bps - cap.mean_bps).abs();
                 cap.deviation_bps = (1.0 - alpha) * cap.deviation_bps + alpha * dev;
-                cap.deviation_bps = cap.deviation_bps.clamp(0.02 * cap.mean_bps, 0.2 * cap.mean_bps);
+                cap.deviation_bps = cap
+                    .deviation_bps
+                    .clamp(0.02 * cap.mean_bps, 0.2 * cap.mean_bps);
                 // An acked rate far from the estimate invalidates it
                 // (enables fast multiplicative recovery — §6.2).
                 if (acked_bps - cap.mean_bps).abs() > 3.0 * cap.deviation_bps {
@@ -232,7 +234,7 @@ mod tests {
         c.set_rtt(SimDuration::from_millis(100));
         c.update(t(0), GccNetworkState::Overuse, Some(3_000_000.0));
         let floor = c.target_bps(); // 2.55 M
-        // Acked tracks the (reduced) send rate → stays near capacity estimate.
+                                    // Acked tracks the (reduced) send rate → stays near capacity estimate.
         let mut now = 0;
         let mut reached_at = None;
         for step in 0..1200 {

@@ -14,7 +14,10 @@ pub struct LossBasedControl {
 impl LossBasedControl {
     /// Creates the controller at `start_bps`.
     pub fn new(start_bps: f64, max_bps: f64) -> Self {
-        LossBasedControl { rate_bps: start_bps, max_bps }
+        LossBasedControl {
+            rate_bps: start_bps,
+            max_bps,
+        }
     }
 
     /// Current loss-based rate bound (bits/s).

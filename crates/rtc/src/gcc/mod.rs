@@ -73,7 +73,10 @@ impl SenderCc {
         for e in entries {
             match e.arrival {
                 Some(arrival) => {
-                    self.trendline.on_packet(PacketTiming { sent: e.sent, arrival });
+                    self.trendline.on_packet(PacketTiming {
+                        sent: e.sent,
+                        arrival,
+                    });
                     self.acked.on_acked(arrival, e.size_bytes);
                     self.pushback.on_acked(e.size_bytes);
                     newest_sent = Some(newest_sent.map_or(e.sent, |t| t.max(e.sent)));
@@ -86,20 +89,22 @@ impl SenderCc {
             let sample = now.saturating_since(sent);
             let alpha = 0.2;
             self.rtt = SimDuration::from_micros(
-                ((1.0 - alpha) * self.rtt.as_micros() as f64
-                    + alpha * sample.as_micros() as f64) as u64,
+                ((1.0 - alpha) * self.rtt.as_micros() as f64 + alpha * sample.as_micros() as f64)
+                    as u64,
             );
             self.aimd.set_rtt(self.rtt);
             self.pushback.set_rtt(self.rtt);
         }
-        let delay_based =
-            self.aimd.update(now, self.trendline.state(), self.acked.bitrate_bps());
+        let delay_based = self
+            .aimd
+            .update(now, self.trendline.state(), self.acked.bitrate_bps());
         self.target_bps = delay_based.min(self.loss.rate_bps());
     }
 
     /// Processes an RTCP receiver-report loss fraction.
     pub fn on_loss_report(&mut self, loss_fraction: f64) {
-        self.loss.on_loss_report(loss_fraction, self.aimd.target_bps());
+        self.loss
+            .on_loss_report(loss_fraction, self.aimd.target_bps());
         self.target_bps = self.aimd.target_bps().min(self.loss.rate_bps());
     }
 
@@ -171,7 +176,12 @@ mod tests {
                 cc.on_packet_sent(sent, 1200);
                 cc.on_transport_feedback(
                     arrival + SimDuration::from_millis(20),
-                    &[FeedbackEntry { transport_seq: seq, sent, arrival: Some(arrival), size_bytes: 1200 }],
+                    &[FeedbackEntry {
+                        transport_seq: seq,
+                        sent,
+                        arrival: Some(arrival),
+                        size_bytes: 1200,
+                    }],
                 );
                 seq += 1;
             }
@@ -180,7 +190,12 @@ mod tests {
         let before = cc.target_bps();
         assert_eq!(cc.network_state(), GccNetworkState::Normal);
         feed(&mut cc, 2000, 60, &|i| 40 + i * 6);
-        assert!(cc.target_bps() < before, "{} -> {}", before, cc.target_bps());
+        assert!(
+            cc.target_bps() < before,
+            "{} -> {}",
+            before,
+            cc.target_bps()
+        );
     }
 
     #[test]
@@ -191,7 +206,11 @@ mod tests {
             cc.on_packet_sent(t(i * 5), 2_000);
         }
         let pb = cc.pushback_rate_bps(t(600));
-        assert!(pb < cc.target_bps(), "pushback {pb} < target {}", cc.target_bps());
+        assert!(
+            pb < cc.target_bps(),
+            "pushback {pb} < target {}",
+            cc.target_bps()
+        );
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl PushbackController {
     /// scaled down proportionally once outstanding bytes exceed it.
     pub fn pushback_rate_bps(&mut self, _now: SimTime, target_bps: f64) -> f64 {
         let horizon = self.rtt + QUEUE_BUDGET;
-        self.cwnd_bytes =
-            ((target_bps * horizon.as_secs_f64() / 8.0) as u64).max(MIN_CWND_BYTES);
+        self.cwnd_bytes = ((target_bps * horizon.as_secs_f64() / 8.0) as u64).max(MIN_CWND_BYTES);
         if self.outstanding_bytes <= self.cwnd_bytes {
             return target_bps;
         }

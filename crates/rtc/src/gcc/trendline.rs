@@ -112,10 +112,7 @@ impl TrendlineEstimator {
     pub fn on_packet(&mut self, timing: PacketTiming) {
         match &mut self.current {
             Some(g) => {
-                let burst = timing
-                    .sent
-                    .saturating_since(g.first_sent)
-                    <= GROUP_WINDOW;
+                let burst = timing.sent.saturating_since(g.first_sent) <= GROUP_WINDOW;
                 if burst {
                     g.last_sent = g.last_sent.max(timing.sent);
                     g.last_arrival = g.last_arrival.max(timing.arrival);
@@ -123,8 +120,10 @@ impl TrendlineEstimator {
                     // Group complete: compute inter-group delay variation.
                     let completed = *g;
                     if let Some(prev) = self.previous {
-                        let send_delta =
-                            completed.last_sent.saturating_since(prev.last_sent).as_millis_f64();
+                        let send_delta = completed
+                            .last_sent
+                            .saturating_since(prev.last_sent)
+                            .as_millis_f64();
                         let arrival_delta = completed
                             .last_arrival
                             .saturating_since(prev.last_arrival)
@@ -156,7 +155,8 @@ impl TrendlineEstimator {
         self.smoothed_delay_ms =
             SMOOTHING * self.smoothed_delay_ms + (1.0 - SMOOTHING) * self.accumulated_delay_ms;
 
-        self.history.push((arrival.as_millis_f64(), self.smoothed_delay_ms));
+        self.history
+            .push((arrival.as_millis_f64(), self.smoothed_delay_ms));
         if self.history.len() > WINDOW_SIZE {
             self.history.remove(0);
         }
@@ -197,7 +197,11 @@ impl TrendlineEstimator {
             self.last_threshold_update = Some(now);
             return;
         }
-        let k = if trend.abs() < self.threshold { K_DOWN } else { K_UP };
+        let k = if trend.abs() < self.threshold {
+            K_DOWN
+        } else {
+            K_UP
+        };
         let dt_ms = self
             .last_threshold_update
             .map(|t| now.saturating_since(t).as_millis_f64().min(100.0))
@@ -313,7 +317,11 @@ mod tests {
             pairs.push((i * 20, i * 20 + 30 + (i - 20) * 3 / 2));
         }
         feed(&mut est, &pairs);
-        assert!(est.threshold() > initial, "threshold {} vs {initial}", est.threshold());
+        assert!(
+            est.threshold() > initial,
+            "threshold {} vs {initial}",
+            est.threshold()
+        );
     }
 
     #[test]

@@ -66,8 +66,9 @@ impl PlayoutDelayEstimator {
                 .last_decay_at
                 .map(|t| now.saturating_since(t).as_secs_f64())
                 .unwrap_or(0.0);
-            self.target_ms =
-                (self.target_ms - DECAY_MS_PER_S * dt).max(desired).max(MIN_TARGET_MS);
+            self.target_ms = (self.target_ms - DECAY_MS_PER_S * dt)
+                .max(desired)
+                .max(MIN_TARGET_MS);
         }
         self.last_decay_at = Some(now);
     }
@@ -192,19 +193,14 @@ impl VideoJitterBuffer {
                     .find(|(_, a)| a.complete_at.is_some())
                     .map(|(&idx, a)| {
                         let overdue = now.saturating_since(
-                            a.capture_ts
-                                + SimDuration::from_secs_f64(self.delay.target_ms() / 1e3),
+                            a.capture_ts + SimDuration::from_secs_f64(self.delay.target_ms() / 1e3),
                         );
                         (idx, overdue > SimDuration::from_millis(120))
                     });
                 match deadline_passed {
                     Some((idx, true)) if idx > self.next_render_idx => {
                         // Drop everything before idx.
-                        let stale: Vec<u64> = self
-                            .frames
-                            .range(..idx)
-                            .map(|(&i, _)| i)
-                            .collect();
+                        let stale: Vec<u64> = self.frames.range(..idx).map(|(&i, _)| i).collect();
                         for i in stale {
                             self.frames.remove(&i);
                         }
@@ -374,7 +370,9 @@ impl AudioJitterBuffer {
     /// Advances playout ticks to `now`. Each tick plays the next packet or
     /// conceals.
     pub fn poll(&mut self, now: SimTime) {
-        let Some(mut tick) = self.next_tick_at else { return };
+        let Some(mut tick) = self.next_tick_at else {
+            return;
+        };
         while tick <= now {
             self.total_samples += SAMPLES_PER_PACKET;
             match self.packets.remove(&self.next_play_seq) {
@@ -469,7 +467,10 @@ mod tests {
         let mut jb = VideoJitterBuffer::new();
         jb.on_packet(t(40), 0, 3, t(0));
         jb.on_packet(t(42), 0, 3, t(0));
-        assert!(jb.poll(t(200)).is_empty(), "incomplete frame must not render");
+        assert!(
+            jb.poll(t(200)).is_empty(),
+            "incomplete frame must not render"
+        );
         jb.on_packet(t(250), 0, 3, t(0));
         let r = jb.poll(t(260));
         assert_eq!(r.len(), 1);
@@ -495,7 +496,11 @@ mod tests {
             }
         }
         ab.poll(t(2_000));
-        assert!(ab.concealed_samples() >= 5 * 960, "{}", ab.concealed_samples());
+        assert!(
+            ab.concealed_samples() >= 5 * 960,
+            "{}",
+            ab.concealed_samples()
+        );
         assert!(ab.total_samples() > ab.concealed_samples());
     }
 

@@ -26,7 +26,9 @@ pub mod jitter;
 pub mod pacer;
 
 pub use encoder::{resolution_floor_bps, AudioSource, EncoderConfig, VideoEncoder, VideoFrame};
-pub use endpoint::{MediaReceiver, MediaSender, OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig};
+pub use endpoint::{
+    MediaReceiver, MediaSender, OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig,
+};
 pub use feedback::{ArrivalEntry, FeedbackBuilder, ReceiverReport, TransportFeedback};
 pub use gcc::{FeedbackEntry, SenderCc};
 pub use jitter::{AudioJitterBuffer, PlayoutDelayEstimator, RenderedFrame, VideoJitterBuffer};

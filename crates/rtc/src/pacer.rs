@@ -80,7 +80,10 @@ impl Pacer {
                 break;
             }
             let pkt = self.queue.pop_front().expect("checked front");
-            out.push(SentPacket { at: release, packet: pkt });
+            out.push(SentPacket {
+                at: release,
+                packet: pkt,
+            });
             let tx = SimDuration::from_secs_f64(pkt.size_bytes as f64 * 8.0 / pacing_bps);
             self.next_release_at = release + tx;
         }
@@ -89,7 +92,9 @@ impl Pacer {
 
     /// Time of the next pending release, if any packets are queued.
     pub fn next_release_time(&self) -> Option<SimTime> {
-        self.queue.front().map(|p| self.next_release_at.max(p.capture_ts))
+        self.queue
+            .front()
+            .map(|p| self.next_release_at.max(p.capture_ts))
     }
 }
 

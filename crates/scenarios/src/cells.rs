@@ -9,8 +9,8 @@
 //! | Mosolabs | private | 3630.72 MHz | 20 MHz | TDD | proactive UL grants |
 
 use ran_sim::{
-    CellConfig, ChannelConfig, CrossTrafficConfig, FrameStructure, MacConfig,
-    ProactiveGrantConfig, RrcConfig,
+    CellConfig, ChannelConfig, CrossTrafficConfig, FrameStructure, MacConfig, ProactiveGrantConfig,
+    RrcConfig,
 };
 use simcore::SimDuration;
 use telemetry::CellClass;
@@ -113,13 +113,13 @@ pub fn amarisoft() -> CellConfig {
         bandwidth_mhz: 20.0,
         frame: FrameStructure::tdd(SimDuration::from_micros(500), "DDDSU"),
         mac: MacConfig {
-            n_prbs: 51, // 20 MHz @ 30 kHz SCS
+            n_prbs: 51,                             // 20 MHz @ 30 kHz SCS
             harq_rtt: SimDuration::from_millis(10), // Fig. 17: +10 ms per round
             sr_period: SimDuration::from_millis(5),
             grant_pipeline_slots: 8,
             rlc_status_delay: SimDuration::from_millis(60), // Fig. 18: ≈105 ms total
-            mcs_cap_ul: 12,     // conservative UL MCS strategy
-            margin_db_ul: -3.0, // extra UL selection margin
+            mcs_cap_ul: 12,                                 // conservative UL MCS strategy
+            margin_db_ul: -3.0,                             // extra UL selection margin
             ..Default::default()
         },
         ul_channel: ChannelConfig {
@@ -192,7 +192,12 @@ pub fn mosolabs() -> CellConfig {
 
 /// All four cells in Table 1 order.
 pub fn all_cells() -> Vec<CellConfig> {
-    vec![tmobile_fdd_15mhz(), tmobile_tdd_100mhz(), amarisoft(), mosolabs()]
+    vec![
+        tmobile_fdd_15mhz(),
+        tmobile_tdd_100mhz(),
+        amarisoft(),
+        mosolabs(),
+    ]
 }
 
 /// The T-Mobile FDD cell with all ambient randomness (fades, cross-traffic

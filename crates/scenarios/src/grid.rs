@@ -76,15 +76,24 @@ impl ScriptAction {
     /// Applies this action to a cell simulator before the call starts.
     pub fn apply(&self, cell: &mut CellSim) {
         match *self {
-            ScriptAction::Sinr { dir, from, to, sinr_db } => {
-                cell.script_sinr(dir, from, to, sinr_db)
-            }
-            ScriptAction::CrossTraffic { dir, from, to, prb_fraction } => {
-                cell.script_cross_traffic(dir, from, to, prb_fraction)
-            }
-            ScriptAction::HarqFailures { dir, from, to, fail_attempts } => {
-                cell.script_harq_failures(dir, from, to, fail_attempts)
-            }
+            ScriptAction::Sinr {
+                dir,
+                from,
+                to,
+                sinr_db,
+            } => cell.script_sinr(dir, from, to, sinr_db),
+            ScriptAction::CrossTraffic {
+                dir,
+                from,
+                to,
+                prb_fraction,
+            } => cell.script_cross_traffic(dir, from, to, prb_fraction),
+            ScriptAction::HarqFailures {
+                dir,
+                from,
+                to,
+                fail_attempts,
+            } => cell.script_harq_failures(dir, from, to, fail_attempts),
             ScriptAction::RrcRelease { at } => cell.script_rrc_release(at),
         }
     }
@@ -150,30 +159,27 @@ impl SessionSpec {
     /// [`Self::run`] unless the tap aborts the session early.
     pub fn run_with_tap(&self, tap: &mut dyn telemetry::LiveTap) -> TraceBundle {
         match &self.access {
-            AccessSpec::Cell(cell) => {
-                run_cell_session_with_tap(
-                    (**cell).clone(),
-                    &self.cfg,
-                    |sim| {
-                        for a in &self.scripts {
-                            a.apply(sim);
-                        }
-                    },
-                    tap,
-                )
-            }
-            AccessSpec::Baseline(access) => {
-                run_baseline_session_with_tap(*access, &self.cfg, tap)
-            }
+            AccessSpec::Cell(cell) => run_cell_session_with_tap(
+                (**cell).clone(),
+                &self.cfg,
+                |sim| {
+                    for a in &self.scripts {
+                        a.apply(sim);
+                    }
+                },
+                tap,
+            ),
+            AccessSpec::Baseline(access) => run_baseline_session_with_tap(*access, &self.cfg, tap),
         }
     }
 }
 
-/// Builder for grids of sessions: cells × durations × seeds.
+/// Builder for grids of sessions: cells × durations × scenario axes × seeds.
 #[derive(Debug, Clone)]
 pub struct SessionGrid {
     cells: Vec<CellConfig>,
     durations: Vec<SimDuration>,
+    axes: Vec<crate::axis::ScenarioAxis>,
     master_seed: u64,
     sessions_per_point: usize,
     base: SessionConfig,
@@ -191,6 +197,7 @@ impl SessionGrid {
         SessionGrid {
             cells: Vec::new(),
             durations: vec![SessionConfig::default().duration],
+            axes: Vec::new(),
             master_seed: 0,
             sessions_per_point: 1,
             base: SessionConfig::default(),
@@ -206,6 +213,15 @@ impl SessionGrid {
     /// Sets the session durations to sweep.
     pub fn durations(mut self, durations: impl IntoIterator<Item = SimDuration>) -> Self {
         self.durations = durations.into_iter().collect();
+        self
+    }
+
+    /// Appends a [`ScenarioAxis`](crate::axis::ScenarioAxis): the grid
+    /// product gains one dimension per axis (the last added varies fastest,
+    /// just before repetitions). Each spec gets every active point's patches
+    /// applied in axis order and a `name=label` segment in its label.
+    pub fn axis(mut self, axis: crate::axis::ScenarioAxis) -> Self {
+        self.axes.push(axis);
         self
     }
 
@@ -227,26 +243,48 @@ impl SessionGrid {
         self
     }
 
-    /// Materialises the grid in deterministic order:
-    /// cell-major, then duration, then repetition.
+    /// Materialises the grid in deterministic order: cell-major, then
+    /// duration, then axis points (row-major, last axis fastest), then
+    /// repetition. Seeds derive from `(master_seed, build index)`: appending
+    /// **cells** (the outermost dimension) extends the spec list without
+    /// perturbing existing sessions, but growing an inner dimension
+    /// (durations, axes, repetitions) shifts later build indices and
+    /// therefore reseeds them.
     pub fn build(&self) -> Vec<SessionSpec> {
+        let combos: usize = self.axes.iter().map(|a| a.len().max(1)).product();
         let mut specs = Vec::new();
         for cell in &self.cells {
             for &duration in &self.durations {
-                for rep in 0..self.sessions_per_point {
-                    let index = specs.len() as u64;
-                    let cfg = SessionConfig {
-                        duration,
-                        seed: derive_seed(self.master_seed, index),
-                        ..self.base.clone()
-                    };
-                    let label = format!(
-                        "{} / {:.0}s / rep{}",
-                        cell.name,
-                        duration.as_secs_f64(),
-                        rep
-                    );
-                    specs.push(SessionSpec::cell(cell.clone(), cfg).labelled(label));
+                for combo in 0..combos {
+                    for rep in 0..self.sessions_per_point {
+                        let index = specs.len() as u64;
+                        let cfg = SessionConfig {
+                            duration,
+                            seed: derive_seed(self.master_seed, index),
+                            ..self.base.clone()
+                        };
+                        let mut label = format!("{} / {:.0}s", cell.name, duration.as_secs_f64());
+                        let mut spec = SessionSpec::cell(cell.clone(), cfg);
+                        // Decompose the combo index right-to-left so the
+                        // last axis varies fastest.
+                        let mut indices = vec![0usize; self.axes.len()];
+                        let mut rem = combo;
+                        for (k, axis) in self.axes.iter().enumerate().rev() {
+                            let n = axis.len().max(1);
+                            indices[k] = rem % n;
+                            rem /= n;
+                        }
+                        for (axis, &idx) in self.axes.iter().zip(&indices) {
+                            if axis.is_empty() {
+                                continue;
+                            }
+                            let point = &axis.points[idx];
+                            crate::axis::apply_patches(&mut spec, &point.patches);
+                            label.push_str(&format!(" / {}={}", axis.name, point.label));
+                        }
+                        label.push_str(&format!(" / rep{rep}"));
+                        specs.push(spec.labelled(label));
+                    }
                 }
             }
         }
@@ -287,6 +325,37 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn grid_axes_multiply_the_product_with_stable_seeds() {
+        use crate::axis::{AxisPatch, ScenarioAxis};
+        let plain = SessionGrid::new()
+            .cells([crate::cells::mosolabs()])
+            .durations([SimDuration::from_secs(20)])
+            .master_seed(13);
+        let with_axis = plain.clone().axis(ScenarioAxis::toggle(
+            "grants",
+            "on",
+            "off",
+            vec![],
+            vec![AxisPatch::ProactiveGrant(None)],
+        ));
+        let a = with_axis.build();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].label, "Mosolabs / 20s / grants=on / rep0");
+        assert_eq!(a[1].label, "Mosolabs / 20s / grants=off / rep0");
+        // Seeds key off the build index, exactly like the plain grid.
+        let p = plain.build();
+        assert_eq!(a[0].cfg.seed, p[0].cfg.seed);
+        assert_eq!(a[1].cfg.seed, derive_seed(13, 1));
+        // The axis patch landed.
+        let cell = |s: &SessionSpec| match &s.access {
+            AccessSpec::Cell(c) => c.mac.proactive_grant.is_some(),
+            AccessSpec::Baseline(_) => panic!("cell expected"),
+        };
+        assert!(cell(&a[0]));
+        assert!(!cell(&a[1]));
     }
 
     #[test]

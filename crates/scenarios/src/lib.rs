@@ -8,12 +8,16 @@
 //!   trace collection into a [`telemetry::TraceBundle`].
 //! * [`zoom_campus`] — the synthetic stand-in for the proprietary campus
 //!   Zoom QSS dataset (§2.2, Figs. 5–6).
+//! * [`axis`] — declarative [`ScenarioAxis`] parameter sweeps over
+//!   cell/session fields, expanded standalone or by the grid builder.
 
+pub mod axis;
 pub mod cells;
 pub mod grid;
 pub mod session;
 pub mod zoom_campus;
 
+pub use axis::{apply_patches, expand_product, AxisPatch, AxisPoint, ScenarioAxis, SeedPolicy};
 pub use cells::{
     all_cells, amarisoft, amarisoft_ideal, mosolabs, tmobile_fdd_15mhz, tmobile_fdd_15mhz_quiet,
     tmobile_tdd_100mhz,
@@ -23,4 +27,6 @@ pub use session::{
     run_baseline_session, run_baseline_session_with_tap, run_cell_session,
     run_cell_session_with_tap, BaselineAccess, SessionConfig,
 };
-pub use zoom_campus::{generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord};
+pub use zoom_campus::{
+    generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord,
+};

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
-use telemetry::{
-    Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle,
-};
+use telemetry::{Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle};
 
 use netpath::{PathConfig, PathModel};
 use ran_sim::{CellConfig, CellSim};
@@ -238,8 +236,12 @@ fn run(
         let now = SimTime::ZERO + cfg.tick * i;
 
         // 1. Endpoints emit (media from senders, RTCP from receivers).
-        let from_a: Vec<OutgoingPacket> =
-            a.sender.poll(now).into_iter().chain(a.receiver.poll(now)).collect();
+        let from_a: Vec<OutgoingPacket> = a
+            .sender
+            .poll(now)
+            .into_iter()
+            .chain(a.receiver.poll(now))
+            .collect();
         for p in from_a {
             let id = next_id;
             next_id += 1;
@@ -250,12 +252,21 @@ fn run(
             }
             pending.insert(
                 id,
-                Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
+                Pending {
+                    record_idx,
+                    payload: p.payload,
+                    sent: p.at,
+                    size: p.size_bytes,
+                },
             );
             access.enqueue(p.at, Direction::Uplink, id, p.size_bytes);
         }
-        let from_b: Vec<OutgoingPacket> =
-            b.sender.poll(now).into_iter().chain(b.receiver.poll(now)).collect();
+        let from_b: Vec<OutgoingPacket> = b
+            .sender
+            .poll(now)
+            .into_iter()
+            .chain(b.receiver.poll(now))
+            .collect();
         for p in from_b {
             let id = next_id;
             next_id += 1;
@@ -275,7 +286,12 @@ fn run(
             if let Some(at) = arrival {
                 pending.insert(
                     id,
-                    Pending { record_idx, payload: p.payload, sent: p.at, size: p.size_bytes },
+                    Pending {
+                        record_idx,
+                        payload: p.payload,
+                        sent: p.at,
+                        size: p.size_bytes,
+                    },
                 );
                 q.schedule(at, RouteEvent::EnqueueDownlink(id));
             }
@@ -291,8 +307,7 @@ fn run(
                         Some(core) => core.traverse(t_out, p.size, &mut rng_fwd),
                         None => Some(t_out),
                     };
-                    let arrival =
-                        hop1.and_then(|t| peer_ul.traverse(t, p.size, &mut rng_fwd));
+                    let arrival = hop1.and_then(|t| peer_ul.traverse(t, p.size, &mut rng_fwd));
                     match arrival {
                         Some(at) => q.schedule(at, RouteEvent::ArriveAtPeer(id)),
                         None => {
@@ -400,7 +415,9 @@ fn drain_ran_telemetry(
     tap: &mut dyn LiveTap,
     scratch: &mut RanScratch,
 ) {
-    let AccessSim::Cell(cell) = access else { return };
+    let AccessSim::Cell(cell) = access else {
+        return;
+    };
     cell.drain_dci_into(&mut scratch.dci);
     for r in scratch.dci.drain(..) {
         tap.on_dci(&r);
@@ -420,7 +437,9 @@ fn deliver(
     at: SimTime,
     endpoint: &mut RtcEndpoint,
 ) -> bool {
-    let Some(p) = pending.remove(&id) else { return false };
+    let Some(p) = pending.remove(&id) else {
+        return false;
+    };
     bundle.packets[p.record_idx].received = Some(at);
     match &p.payload {
         PacketPayload::Video { .. } | PacketPayload::Audio { .. } => {
@@ -439,7 +458,11 @@ fn packet_record(p: &OutgoingPacket, dir: Direction) -> PacketRecord {
         received: None,
         direction: dir,
         stream: p.payload.stream(),
-        seq: if p.payload.stream() == StreamKind::Rtcp { 0 } else { p.transport_seq },
+        seq: if p.payload.stream() == StreamKind::Rtcp {
+            0
+        } else {
+            p.transport_seq
+        },
         size_bytes: p.size_bytes,
     }
 }
@@ -551,11 +574,7 @@ mod tests {
     impl RecordingTap {
         fn new() -> Self {
             RecordingTap {
-                rebuilt: TraceBundle::new(SessionMeta::baseline(
-                    "rebuilt",
-                    SimDuration::ZERO,
-                    0,
-                )),
+                rebuilt: TraceBundle::new(SessionMeta::baseline("rebuilt", SimDuration::ZERO, 0)),
                 index_of: std::collections::HashMap::new(),
                 ticks: 0,
                 finished_at: None,
@@ -602,7 +621,10 @@ mod tests {
     fn assert_bundles_identical(a: &TraceBundle, b: &TraceBundle) {
         assert_eq!(a.packets.len(), b.packets.len());
         for (x, y) in a.packets.iter().zip(&b.packets) {
-            assert_eq!((x.sent, x.received, x.seq, x.size_bytes), (y.sent, y.received, y.seq, y.size_bytes));
+            assert_eq!(
+                (x.sent, x.received, x.seq, x.size_bytes),
+                (y.sent, y.received, y.seq, y.size_bytes)
+            );
         }
         assert_eq!(a.dci.len(), b.dci.len());
         for (x, y) in a.dci.iter().zip(&b.dci) {
@@ -628,7 +650,11 @@ mod tests {
         // (packet records are announced in emission order, like the engine's).
         tap.rebuilt.sort();
         assert_bundles_identical(&tapped, &tap.rebuilt);
-        assert!(tap.ticks > 10_000, "one tick per ms expected, got {}", tap.ticks);
+        assert!(
+            tap.ticks > 10_000,
+            "one tick per ms expected, got {}",
+            tap.ticks
+        );
         assert_eq!(tap.finished_at, Some(SimTime::ZERO + cfg.duration));
     }
 
@@ -646,7 +672,10 @@ mod tests {
         assert!(finished >= SimTime::from_secs(5) && finished < SimTime::from_secs(6));
         // And the bundle's metadata reflects the time that actually ran, so
         // per-minute normalisation doesn't divide by unsimulated time.
-        assert_eq!(truncated.meta.duration, finished.saturating_since(SimTime::ZERO));
+        assert_eq!(
+            truncated.meta.duration,
+            finished.saturating_since(SimTime::ZERO)
+        );
         assert!(full.meta.duration == cfg.duration);
     }
 

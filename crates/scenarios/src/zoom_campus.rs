@@ -139,18 +139,33 @@ mod tests {
     use super::*;
     use telemetry::Cdf;
 
-    fn cdf_of(records: &[ZoomQosRecord], access: AccessType, f: impl Fn(&ZoomQosRecord) -> f64) -> Cdf {
+    fn cdf_of(
+        records: &[ZoomQosRecord],
+        access: AccessType,
+        f: impl Fn(&ZoomQosRecord) -> f64,
+    ) -> Cdf {
         Cdf::from_samples(
-            records.iter().filter(|r| r.access == access).map(f).collect(),
+            records
+                .iter()
+                .filter(|r| r.access == access)
+                .map(f)
+                .collect(),
         )
     }
 
     #[test]
     fn volumes_match_request() {
-        let size = CampusDatasetSize { wifi_minutes: 100, wired_minutes: 50, cellular_minutes: 25 };
+        let size = CampusDatasetSize {
+            wifi_minutes: 100,
+            wired_minutes: 50,
+            cellular_minutes: 25,
+        };
         let data = generate(1, size);
         assert_eq!(data.len(), 175);
-        assert_eq!(data.iter().filter(|r| r.access == AccessType::Wifi).count(), 100);
+        assert_eq!(
+            data.iter().filter(|r| r.access == AccessType::Wifi).count(),
+            100
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl GaussMarkov {
     pub fn new(mean: f64, sigma: f64, rho: f64) -> Self {
         assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        GaussMarkov { mean, sigma, rho, state: mean }
+        GaussMarkov {
+            mean,
+            sigma,
+            rho,
+            state: mean,
+        }
     }
 
     /// Current value.
@@ -120,7 +125,11 @@ mod tests {
         for _ in 0..2000 {
             p.step(&mut r);
         }
-        assert!((p.value() - 10.0).abs() < 5.0, "did not revert: {}", p.value());
+        assert!(
+            (p.value() - 10.0).abs() < 5.0,
+            "did not revert: {}",
+            p.value()
+        );
     }
 
     #[test]

@@ -98,8 +98,14 @@ mod tests {
 
     #[test]
     fn same_key_same_stream() {
-        let a: Vec<u64> = rng_for(42, RngStream::HarqDecode).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = rng_for(42, RngStream::HarqDecode).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = rng_for(42, RngStream::HarqDecode)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = rng_for(42, RngStream::HarqDecode)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -250,17 +250,31 @@ mod tests {
             SimTime::from_millis(3).saturating_since(SimTime::from_millis(9)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::from_millis(9).checked_since(SimTime::from_millis(3)),
-            Some(SimDuration::from_millis(6)));
-        assert_eq!(SimTime::from_millis(3).checked_since(SimTime::from_millis(9)), None);
+        assert_eq!(
+            SimTime::from_millis(9).checked_since(SimTime::from_millis(3)),
+            Some(SimDuration::from_millis(6))
+        );
+        assert_eq!(
+            SimTime::from_millis(3).checked_since(SimTime::from_millis(9)),
+            None
+        );
     }
 
     #[test]
     fn duration_scaling() {
         assert_eq!(SimDuration::from_millis(10).mul_f64(1.5).as_millis(), 15);
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_millis(10) / SimDuration::from_millis(3), 3);
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 2,
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / SimDuration::from_millis(3),
+            3
+        );
     }
 
     #[test]

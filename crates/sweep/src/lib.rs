@@ -20,6 +20,19 @@
 //! operator-scale ambitions build on: a sweep over seeds × scenarios ×
 //! durations is exactly the "many sessions, one report" shape a fleet-wide
 //! diagnoser runs continuously.
+//!
+//! Past one machine, the [`shard`] module splits a grid into contiguous
+//! spec-index ranges ([`ShardPlan`]), runs each range anywhere
+//! ([`run_shard`]), serialises the results as versioned plain text
+//! ([`ShardReport`]), and folds the shard files back together
+//! ([`merge_shards`]) into a report byte-identical to a single-machine
+//! [`run_sweep`] — at any shard count and any per-shard thread count.
+
+pub mod shard;
+
+pub use shard::{
+    merge_shards, run_shard, LiveTotals, MergeError, Shard, ShardPlan, ShardReport, SpecOutcome,
+};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,16 +99,26 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// Options for sweeps that need the raw bundles (figure experiments).
     pub fn bundles_only() -> Self {
-        SweepOptions { analysis: AnalysisMode::None, keep_bundles: true, ..Default::default() }
+        SweepOptions {
+            analysis: AnalysisMode::None,
+            keep_bundles: true,
+            ..Default::default()
+        }
     }
 
     /// Options for sweeps that need bundles *and* analyses.
     pub fn full() -> Self {
-        SweepOptions { keep_bundles: true, keep_analyses: true, ..Default::default() }
+        SweepOptions {
+            keep_bundles: true,
+            keep_analyses: true,
+            ..Default::default()
+        }
     }
 
     fn resolved_threads(&self, jobs: usize) -> usize {
-        let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let hw = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
         let n = if self.threads == 0 { hw } else { self.threads };
         n.clamp(1, jobs.max(1))
     }
@@ -190,8 +213,7 @@ pub fn run_sweep_with_progress(
                 // worker claims.
                 let mut analyzer = match opts.analysis {
                     AnalysisMode::Streaming => {
-                        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
-                            .ok()
+                        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).ok()
                     }
                     _ => None,
                 };
@@ -209,12 +231,22 @@ pub fn run_sweep_with_progress(
                     if i >= specs.len() {
                         break;
                     }
-                    let outcome =
-                        run_one(&specs[i], i, domino, analyzer.as_mut(), pipeline.as_mut(), opts);
+                    let outcome = run_one(
+                        &specs[i],
+                        i,
+                        domino,
+                        analyzer.as_mut(),
+                        pipeline.as_mut(),
+                        opts,
+                    );
                     slots.lock().expect("sweep worker panicked")[i] = Some(outcome);
                     let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let elapsed = started.elapsed().as_secs_f64();
-                    let rate = if elapsed > 0.0 { completed as f64 / elapsed } else { 0.0 };
+                    let rate = if elapsed > 0.0 {
+                        completed as f64 / elapsed
+                    } else {
+                        0.0
+                    };
                     progress(SweepProgress {
                         completed,
                         total: specs.len(),
@@ -237,7 +269,10 @@ pub fn run_sweep_with_progress(
         .map(|s| s.expect("every slot filled"))
         .collect();
 
-    let mut report = SweepReport { outcomes, aggregate: ChainStats::default() };
+    let mut report = SweepReport {
+        outcomes,
+        aggregate: ChainStats::default(),
+    };
     report.aggregate = report.aggregate_where(|_| true);
     report
 }
@@ -276,7 +311,9 @@ fn run_one(
             (bundle, analysis, None)
         }
     };
-    let stats = analysis.as_ref().map(|a| ChainStats::compute(domino.graph(), a));
+    let stats = analysis
+        .as_ref()
+        .map(|a| ChainStats::compute(domino.graph(), a));
     SessionOutcome {
         index,
         label: spec.label.clone(),
@@ -292,7 +329,10 @@ fn run_one(
 /// The figure experiments that post-process raw traces use this.
 pub fn run_bundles(specs: &[SessionSpec], threads: usize) -> Vec<TraceBundle> {
     let domino = Domino::with_defaults();
-    let opts = SweepOptions { threads, ..SweepOptions::bundles_only() };
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::bundles_only()
+    };
     run_sweep(specs, &domino, &opts)
         .outcomes
         .into_iter()
@@ -321,12 +361,18 @@ mod tests {
         let seq = run_sweep(
             &specs,
             &domino,
-            &SweepOptions { threads: 1, ..Default::default() },
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
         );
         let par = run_sweep(
             &specs,
             &domino,
-            &SweepOptions { threads: 4, ..Default::default() },
+            &SweepOptions {
+                threads: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(seq.outcomes.len(), par.outcomes.len());
         for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
@@ -334,9 +380,15 @@ mod tests {
             assert_eq!(a.label, b.label);
             assert_eq!(a.meta.seed, b.meta.seed);
         }
-        assert_eq!(seq.aggregate.total_chain_windows, par.aggregate.total_chain_windows);
+        assert_eq!(
+            seq.aggregate.total_chain_windows,
+            par.aggregate.total_chain_windows
+        );
         assert_eq!(seq.aggregate.cause_onsets, par.aggregate.cause_onsets);
-        assert_eq!(seq.aggregate.consequence_onsets, par.aggregate.consequence_onsets);
+        assert_eq!(
+            seq.aggregate.consequence_onsets,
+            par.aggregate.consequence_onsets
+        );
     }
 
     #[test]
@@ -346,19 +398,31 @@ mod tests {
         let streaming = run_sweep(
             &specs,
             &domino,
-            &SweepOptions { analysis: AnalysisMode::Streaming, ..Default::default() },
+            &SweepOptions {
+                analysis: AnalysisMode::Streaming,
+                ..Default::default()
+            },
         );
         let batch = run_sweep(
             &specs,
             &domino,
-            &SweepOptions { analysis: AnalysisMode::Batch, ..Default::default() },
+            &SweepOptions {
+                analysis: AnalysisMode::Batch,
+                ..Default::default()
+            },
         );
         assert_eq!(
             streaming.aggregate.total_chain_windows,
             batch.aggregate.total_chain_windows
         );
-        assert_eq!(streaming.aggregate.chain_windows, batch.aggregate.chain_windows);
-        assert_eq!(streaming.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+        assert_eq!(
+            streaming.aggregate.chain_windows,
+            batch.aggregate.chain_windows
+        );
+        assert_eq!(
+            streaming.aggregate.unknown_windows,
+            batch.aggregate.unknown_windows
+        );
     }
 
     #[test]
@@ -382,11 +446,20 @@ mod tests {
         let batch = run_sweep(
             &specs,
             &domino,
-            &SweepOptions { analysis: AnalysisMode::Batch, ..Default::default() },
+            &SweepOptions {
+                analysis: AnalysisMode::Batch,
+                ..Default::default()
+            },
         );
-        assert_eq!(live.aggregate.total_chain_windows, batch.aggregate.total_chain_windows);
+        assert_eq!(
+            live.aggregate.total_chain_windows,
+            batch.aggregate.total_chain_windows
+        );
         assert_eq!(live.aggregate.chain_windows, batch.aggregate.chain_windows);
-        assert_eq!(live.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+        assert_eq!(
+            live.aggregate.unknown_windows,
+            batch.aggregate.unknown_windows
+        );
         for o in &live.outcomes {
             let stats = o.live.expect("live mode reports pipeline stats");
             assert_eq!(stats.late_records_dropped, 0);
@@ -406,7 +479,10 @@ mod tests {
         let report = run_sweep_with_progress(
             &specs,
             &domino,
-            &SweepOptions { threads: 2, ..Default::default() },
+            &SweepOptions {
+                threads: 2,
+                ..Default::default()
+            },
             &|p| {
                 calls.fetch_add(1, Ordering::Relaxed);
                 max_completed.fetch_max(p.completed, Ordering::Relaxed);
@@ -430,8 +506,6 @@ mod tests {
             report.aggregate_where(|o| o.meta.cell_class == telemetry::CellClass::Commercial);
         let private =
             report.aggregate_where(|o| o.meta.cell_class == telemetry::CellClass::Private);
-        assert!(
-            (commercial.minutes + private.minutes - report.aggregate.minutes).abs() < 1e-9
-        );
+        assert!((commercial.minutes + private.minutes - report.aggregate.minutes).abs() < 1e-9);
     }
 }

@@ -1,0 +1,795 @@
+//! Shard-and-merge: the distributed execution layer of the sweep engine.
+//!
+//! A grid too large for one machine is split by a [`ShardPlan`] into
+//! contiguous spec-index ranges. Each worker machine runs its range with
+//! [`run_shard`] (any per-shard thread count — the underlying
+//! [`run_sweep`](crate::run_sweep) is already schedule-independent) and
+//! serialises the resulting [`ShardReport`] to versioned plain text
+//! ([`ShardReport::encode`] / [`ShardReport::parse`]; hand-rolled, no
+//! serde — the offline workspace has no crates.io access). A coordinator
+//! collects the files and folds them with [`merge_shards`].
+//!
+//! **Determinism contract.** The merged report is *byte-identical* to a
+//! single-machine [`run_sweep`](crate::run_sweep) over the whole grid, at
+//! any shard count and any per-shard thread count. Two mechanisms make the
+//! bytes exact:
+//!
+//! * every float crosses the wire as the hex of its IEEE-754 bits, so
+//!   parsing reproduces the producing machine's values bit for bit;
+//! * [`merge_shards`] does **not** fold the shards' aggregate
+//!   [`ChainStats`] into each other (float addition is not associative, so
+//!   grouping by shard could perturb the last bit of `minutes`) — it
+//!   re-folds the *per-spec* stats in global spec order, replaying exactly
+//!   the operation sequence the single-machine sweep performs.
+//!
+//! `tests/shard_determinism.rs` at the workspace root enforces the
+//! contract across shard counts × thread counts, and CI runs
+//! `examples/sharded_sweep.rs` as one shard and as three, then byte-diffs
+//! the merged outputs.
+
+use std::ops::Range;
+
+use domino_core::stats::{escape_field, unescape_field, StatsParseError};
+use domino_core::{ChainStats, Domino};
+use domino_live::LiveStats;
+use scenarios::SessionSpec;
+use telemetry::{CellClass, Duplexing, SessionMeta};
+
+use crate::{run_sweep, SessionOutcome, SweepOptions, SweepReport};
+
+/// Splits `total` specs into `count` contiguous index ranges whose sizes
+/// differ by at most one (earlier shards take the remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    total: usize,
+    count: usize,
+}
+
+/// One shard of a plan: a contiguous, possibly empty spec-index range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard position in the plan.
+    pub index: usize,
+    /// Total shards in the plan.
+    pub count: usize,
+    /// Global spec indices this shard runs.
+    pub range: Range<usize>,
+}
+
+impl ShardPlan {
+    /// A plan over `total` specs in `count` shards (`count` is clamped to
+    /// at least 1; more shards than specs yields empty tail shards).
+    pub fn new(total: usize, count: usize) -> ShardPlan {
+        ShardPlan {
+            total,
+            count: count.max(1),
+        }
+    }
+
+    /// Total specs covered by the plan.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The `i`-th shard's range. Panics if `i >= count()`.
+    pub fn shard(&self, i: usize) -> Shard {
+        assert!(i < self.count, "shard {i} out of {}", self.count);
+        let base = self.total / self.count;
+        let rem = self.total % self.count;
+        let start = i * base + i.min(rem);
+        let len = base + usize::from(i < rem);
+        Shard {
+            index: i,
+            count: self.count,
+            range: start..start + len,
+        }
+    }
+
+    /// All shards in plan order.
+    pub fn shards(&self) -> Vec<Shard> {
+        (0..self.count).map(|i| self.shard(i)).collect()
+    }
+}
+
+/// The serialisable subset of a [`SessionOutcome`]: everything a shard
+/// report carries per spec (bundles and per-window analyses stay on the
+/// machine that produced them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecOutcome {
+    /// Global position in the grid's spec list.
+    pub index: usize,
+    /// Spec label.
+    pub label: String,
+    /// Session metadata.
+    pub meta: SessionMeta,
+    /// Chain statistics (absent when the shard ran `AnalysisMode::None`).
+    pub stats: Option<ChainStats>,
+    /// Live-pipeline counters (present under `AnalysisMode::Live`).
+    pub live: Option<LiveStats>,
+}
+
+impl SpecOutcome {
+    fn from_outcome(o: &SessionOutcome, offset: usize) -> SpecOutcome {
+        SpecOutcome {
+            index: o.index + offset,
+            label: o.label.clone(),
+            meta: o.meta.clone(),
+            stats: o.stats.clone(),
+            live: o.live,
+        }
+    }
+}
+
+/// Merged [`LiveStats`] across a report's sessions: counter sums, peak
+/// maxima, and the number of early-exited sessions. All-integer, so
+/// merging is exact and grouping-insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveTotals {
+    /// Sessions that ran with a live pipeline.
+    pub sessions: usize,
+    /// Sum of [`LiveStats::records_seen`].
+    pub records_seen: usize,
+    /// Sum of [`LiveStats::late_records_dropped`].
+    pub late_records_dropped: usize,
+    /// Sum of [`LiveStats::late_deliveries`].
+    pub late_deliveries: usize,
+    /// Sum of [`LiveStats::windows_emitted`].
+    pub windows_emitted: usize,
+    /// Maximum of [`LiveStats::peak_retained_records`].
+    pub peak_retained_records: usize,
+    /// Sessions an [`EarlyExit`](crate::EarlyExit) policy aborted.
+    pub early_exits: usize,
+}
+
+impl LiveTotals {
+    /// Folds one session's live counters in.
+    pub fn add(&mut self, s: &LiveStats) {
+        self.sessions += 1;
+        self.records_seen += s.records_seen;
+        self.late_records_dropped += s.late_records_dropped;
+        self.late_deliveries += s.late_deliveries;
+        self.windows_emitted += s.windows_emitted;
+        self.peak_retained_records = self.peak_retained_records.max(s.peak_retained_records);
+        self.early_exits += usize::from(s.early_exited);
+    }
+}
+
+/// One shard's results: per-spec outcomes plus the shard-local merged
+/// [`ChainStats`] and [`LiveTotals`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard position in its plan (0 for a merged or single-machine report).
+    pub shard_index: usize,
+    /// Shards in the plan (1 for a merged or single-machine report).
+    pub shard_count: usize,
+    /// First global spec index of the shard's range.
+    pub start: usize,
+    /// Specs in the full grid (for coverage validation at merge time).
+    pub grid_total: usize,
+    /// Per-spec outcomes, in global spec order.
+    pub outcomes: Vec<SpecOutcome>,
+    /// This report's per-spec stats folded in spec order.
+    pub aggregate: ChainStats,
+    /// This report's live counters folded in spec order.
+    pub live_totals: LiveTotals,
+}
+
+const FORMAT_HEADER: &str = "domino-shard-report\tv1";
+
+impl ShardReport {
+    /// Builds a report from sweep outcomes whose `index` fields are
+    /// *global* spec indices. The aggregate is re-folded here so it always
+    /// matches the outcome list.
+    fn from_spec_outcomes(
+        shard_index: usize,
+        shard_count: usize,
+        start: usize,
+        grid_total: usize,
+        outcomes: Vec<SpecOutcome>,
+    ) -> ShardReport {
+        let (aggregate, live_totals) = fold_outcomes(&outcomes);
+        ShardReport {
+            shard_index,
+            shard_count,
+            start,
+            grid_total,
+            outcomes,
+            aggregate,
+            live_totals,
+        }
+    }
+
+    /// Summarises a whole-grid [`SweepReport`] as the single-shard report
+    /// the merge contract compares against.
+    pub fn from_sweep(report: &SweepReport) -> ShardReport {
+        let outcomes: Vec<SpecOutcome> = report
+            .outcomes
+            .iter()
+            .map(|o| SpecOutcome::from_outcome(o, 0))
+            .collect();
+        let total = outcomes.len();
+        ShardReport::from_spec_outcomes(0, 1, 0, total, outcomes)
+    }
+
+    /// Spec indices this report covers.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.outcomes.len()
+    }
+
+    /// Serialises the report as versioned plain text. Equal reports encode
+    /// to identical bytes: map keys are sorted, floats are written as the
+    /// hex of their IEEE-754 bits, and strings are tab/newline-escaped.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT_HEADER}");
+        let _ = writeln!(out, "shard\t{}\t{}", self.shard_index, self.shard_count);
+        let _ = writeln!(out, "range\t{}\t{}", self.start, self.outcomes.len());
+        let _ = writeln!(out, "grid\t{}", self.grid_total);
+        let _ = writeln!(out, "outcomes\t{}", self.outcomes.len());
+        for o in &self.outcomes {
+            let _ = writeln!(out, "outcome\t{}\t{}", o.index, escape_field(&o.label));
+            let m = &o.meta;
+            let _ = writeln!(
+                out,
+                "meta\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
+                escape_field(&m.cell_name),
+                match m.cell_class {
+                    CellClass::Commercial => "commercial",
+                    CellClass::Private => "private",
+                },
+                m.carrier_mhz.to_bits(),
+                m.bandwidth_mhz.to_bits(),
+                match m.duplexing {
+                    Duplexing::Fdd => "fdd",
+                    Duplexing::Tdd => "tdd",
+                },
+                m.duration.as_micros(),
+                m.seed,
+                u8::from(m.has_gnb_log),
+            );
+            match &o.stats {
+                Some(s) => {
+                    let _ = writeln!(out, "stats\t1");
+                    s.encode_into(&mut out);
+                }
+                None => {
+                    let _ = writeln!(out, "stats\t0");
+                }
+            }
+            match &o.live {
+                Some(l) => {
+                    let _ = writeln!(
+                        out,
+                        "live\t1\t{}\t{}\t{}\t{}\t{}\t{}",
+                        l.records_seen,
+                        l.late_records_dropped,
+                        l.late_deliveries,
+                        l.windows_emitted,
+                        l.peak_retained_records,
+                        u8::from(l.early_exited),
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "live\t0");
+                }
+            }
+        }
+        let _ = writeln!(out, "aggregate");
+        self.aggregate.encode_into(&mut out);
+        let t = &self.live_totals;
+        let _ = writeln!(
+            out,
+            "livetotals\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            t.sessions,
+            t.records_seen,
+            t.late_records_dropped,
+            t.late_deliveries,
+            t.windows_emitted,
+            t.peak_retained_records,
+            t.early_exits,
+        );
+        let _ = writeln!(out, "end\tdomino-shard-report");
+        out
+    }
+
+    /// Parses text written by [`Self::encode`]. Validates the format
+    /// version, the outcome count against the declared range, and that the
+    /// aggregate block re-folds from the per-spec stats.
+    pub fn parse(text: &str) -> Result<ShardReport, StatsParseError> {
+        let err = |msg: String| StatsParseError(msg);
+        let mut lines = text.lines();
+
+        let header = next_line(&mut lines)?;
+        if header != FORMAT_HEADER {
+            return Err(err(format!("bad shard-report header: {header:?}")));
+        }
+        let (shard_index, shard_count) = {
+            let line = next_line(&mut lines)?;
+            let rest = line
+                .strip_prefix("shard\t")
+                .ok_or_else(|| err(format!("expected shard line, got {line:?}")))?;
+            parse_pair(rest)?
+        };
+        let (start, len) = {
+            let line = next_line(&mut lines)?;
+            let rest = line
+                .strip_prefix("range\t")
+                .ok_or_else(|| err(format!("expected range line, got {line:?}")))?;
+            parse_pair(rest)?
+        };
+        let grid_total: usize = next_line(&mut lines)?
+            .strip_prefix("grid\t")
+            .ok_or_else(|| err("expected grid line".into()))?
+            .parse()
+            .map_err(|_| err("bad grid total".into()))?;
+        let n: usize = next_line(&mut lines)?
+            .strip_prefix("outcomes\t")
+            .ok_or_else(|| err("expected outcomes line".into()))?
+            .parse()
+            .map_err(|_| err("bad outcome count".into()))?;
+        if n != len {
+            return Err(err(format!(
+                "range declares {len} specs but {n} outcomes follow"
+            )));
+        }
+
+        let mut outcomes = Vec::with_capacity(n);
+        for k in 0..n {
+            let line = next_line(&mut lines)?;
+            let rest = line
+                .strip_prefix("outcome\t")
+                .ok_or_else(|| err(format!("expected outcome line, got {line:?}")))?;
+            let (index_s, label_s) = rest
+                .split_once('\t')
+                .ok_or_else(|| err("outcome line missing label".into()))?;
+            let index: usize = index_s
+                .parse()
+                .map_err(|_| err("bad outcome index".into()))?;
+            if index != start + k {
+                return Err(err(format!(
+                    "outcome index {index} out of order (expected {})",
+                    start + k
+                )));
+            }
+            let label = unescape_field(label_s)?;
+            let meta = parse_meta(next_line(&mut lines)?)?;
+            let stats_line = next_line(&mut lines)?;
+            let stats = match stats_line {
+                "stats\t1" => Some(ChainStats::parse_from(&mut lines)?),
+                "stats\t0" => None,
+                other => return Err(err(format!("expected stats line, got {other:?}"))),
+            };
+            let live = parse_live(next_line(&mut lines)?)?;
+            outcomes.push(SpecOutcome {
+                index,
+                label,
+                meta,
+                stats,
+                live,
+            });
+        }
+
+        if next_line(&mut lines)? != "aggregate" {
+            return Err(err("expected aggregate section".into()));
+        }
+        let aggregate = ChainStats::parse_from(&mut lines)?;
+        let live_totals = parse_live_totals(next_line(&mut lines)?)?;
+        if next_line(&mut lines)? != "end\tdomino-shard-report" {
+            return Err(err("expected end of shard report".into()));
+        }
+
+        let report = ShardReport {
+            shard_index,
+            shard_count,
+            start,
+            grid_total,
+            outcomes,
+            aggregate,
+            live_totals,
+        };
+        // The aggregate must be what the per-spec stats fold to; a mismatch
+        // means the file was truncated or hand-edited.
+        let (refold, retotals) = fold_outcomes(&report.outcomes);
+        if refold != report.aggregate
+            || refold.minutes.to_bits() != report.aggregate.minutes.to_bits()
+            || retotals != report.live_totals
+        {
+            return Err(err(
+                "aggregate does not re-fold from per-spec outcomes".into()
+            ));
+        }
+        Ok(report)
+    }
+}
+
+fn next_line<'a>(lines: &mut std::str::Lines<'a>) -> Result<&'a str, StatsParseError> {
+    lines
+        .next()
+        .ok_or_else(|| StatsParseError("unexpected end of input".into()))
+}
+
+/// Folds per-spec stats and live counters in outcome (= spec) order.
+fn fold_outcomes(outcomes: &[SpecOutcome]) -> (ChainStats, LiveTotals) {
+    let mut agg = ChainStats::default();
+    let mut totals = LiveTotals::default();
+    for o in outcomes {
+        if let Some(s) = &o.stats {
+            agg.merge(s);
+        }
+        if let Some(l) = &o.live {
+            totals.add(l);
+        }
+    }
+    (agg, totals)
+}
+
+fn parse_pair(rest: &str) -> Result<(usize, usize), StatsParseError> {
+    let (a, b) = rest
+        .split_once('\t')
+        .ok_or_else(|| StatsParseError("expected two tab-separated fields".into()))?;
+    Ok((
+        a.parse()
+            .map_err(|_| StatsParseError("bad integer field".into()))?,
+        b.parse()
+            .map_err(|_| StatsParseError("bad integer field".into()))?,
+    ))
+}
+
+fn parse_meta(line: &str) -> Result<SessionMeta, StatsParseError> {
+    let err = |msg: &str| StatsParseError(format!("{msg} in meta line {line:?}"));
+    let rest = line
+        .strip_prefix("meta\t")
+        .ok_or_else(|| err("expected meta line"))?;
+    let fields: Vec<&str> = rest.split('\t').collect();
+    if fields.len() != 8 {
+        return Err(err("expected 8 meta fields"));
+    }
+    Ok(SessionMeta {
+        cell_name: unescape_field(fields[0])?,
+        cell_class: match fields[1] {
+            "commercial" => CellClass::Commercial,
+            "private" => CellClass::Private,
+            _ => return Err(err("bad cell class")),
+        },
+        carrier_mhz: f64::from_bits(
+            u64::from_str_radix(fields[2], 16).map_err(|_| err("bad carrier bits"))?,
+        ),
+        bandwidth_mhz: f64::from_bits(
+            u64::from_str_radix(fields[3], 16).map_err(|_| err("bad bandwidth bits"))?,
+        ),
+        duplexing: match fields[4] {
+            "fdd" => Duplexing::Fdd,
+            "tdd" => Duplexing::Tdd,
+            _ => return Err(err("bad duplexing")),
+        },
+        duration: simcore::SimDuration::from_micros(
+            fields[5].parse().map_err(|_| err("bad duration"))?,
+        ),
+        seed: fields[6].parse().map_err(|_| err("bad seed"))?,
+        has_gnb_log: match fields[7] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(err("bad gnb flag")),
+        },
+    })
+}
+
+fn parse_live(line: &str) -> Result<Option<LiveStats>, StatsParseError> {
+    let err = |msg: &str| StatsParseError(format!("{msg} in live line {line:?}"));
+    if line == "live\t0" {
+        return Ok(None);
+    }
+    let rest = line
+        .strip_prefix("live\t1\t")
+        .ok_or_else(|| err("expected live line"))?;
+    let fields: Vec<&str> = rest.split('\t').collect();
+    if fields.len() != 6 {
+        return Err(err("expected 6 live fields"));
+    }
+    let num =
+        |s: &str| -> Result<usize, StatsParseError> { s.parse().map_err(|_| err("bad count")) };
+    Ok(Some(LiveStats {
+        records_seen: num(fields[0])?,
+        late_records_dropped: num(fields[1])?,
+        late_deliveries: num(fields[2])?,
+        windows_emitted: num(fields[3])?,
+        peak_retained_records: num(fields[4])?,
+        early_exited: match fields[5] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(err("bad early-exit flag")),
+        },
+    }))
+}
+
+fn parse_live_totals(line: &str) -> Result<LiveTotals, StatsParseError> {
+    let err = |msg: &str| StatsParseError(format!("{msg} in livetotals line {line:?}"));
+    let rest = line
+        .strip_prefix("livetotals\t")
+        .ok_or_else(|| err("expected livetotals"))?;
+    let fields: Vec<&str> = rest.split('\t').collect();
+    if fields.len() != 7 {
+        return Err(err("expected 7 livetotals fields"));
+    }
+    let num =
+        |s: &str| -> Result<usize, StatsParseError> { s.parse().map_err(|_| err("bad count")) };
+    Ok(LiveTotals {
+        sessions: num(fields[0])?,
+        records_seen: num(fields[1])?,
+        late_records_dropped: num(fields[2])?,
+        late_deliveries: num(fields[3])?,
+        windows_emitted: num(fields[4])?,
+        peak_retained_records: num(fields[5])?,
+        early_exits: num(fields[6])?,
+    })
+}
+
+/// Runs one shard of a grid: the specs in `shard.range`, fanned across
+/// `opts.threads` like any sweep, with outcome indices mapped back to the
+/// *global* spec positions so shard reports concatenate into the
+/// single-machine report.
+pub fn run_shard(
+    specs: &[SessionSpec],
+    shard: &Shard,
+    domino: &Domino,
+    opts: &SweepOptions,
+) -> ShardReport {
+    assert!(
+        shard.range.end <= specs.len(),
+        "shard range {:?} exceeds grid of {}",
+        shard.range,
+        specs.len()
+    );
+    let report = run_sweep(&specs[shard.range.clone()], domino, opts);
+    let outcomes: Vec<SpecOutcome> = report
+        .outcomes
+        .iter()
+        .map(|o| SpecOutcome::from_outcome(o, shard.range.start))
+        .collect();
+    ShardReport::from_spec_outcomes(
+        shard.index,
+        shard.count,
+        shard.range.start,
+        specs.len(),
+        outcomes,
+    )
+}
+
+/// Error from [`merge_shards`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No reports were given.
+    Empty,
+    /// Reports disagree on the grid size.
+    GridMismatch {
+        /// Grid size of the first report.
+        expected: usize,
+        /// The disagreeing size.
+        found: usize,
+    },
+    /// After sorting by range start, coverage is not exactly `0..total`.
+    Coverage {
+        /// Where contiguous coverage broke (expected next index).
+        expected: usize,
+        /// The range start actually found (or the end of coverage).
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no shard reports to merge"),
+            MergeError::GridMismatch { expected, found } => {
+                write!(
+                    f,
+                    "shard reports disagree on grid size: {expected} vs {found}"
+                )
+            }
+            MergeError::Coverage { expected, found } => write!(
+                f,
+                "shard ranges do not tile the grid: expected index {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Folds shard reports — in shard (range) order — into the whole-grid
+/// report. Outcomes concatenate in global spec order and the aggregate is
+/// re-folded from per-spec stats, so the result is byte-identical
+/// (via [`ShardReport::encode`]) to a single-machine sweep of the grid.
+pub fn merge_shards(reports: &[ShardReport]) -> Result<ShardReport, MergeError> {
+    if reports.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    let grid_total = reports[0].grid_total;
+    for r in reports {
+        if r.grid_total != grid_total {
+            return Err(MergeError::GridMismatch {
+                expected: grid_total,
+                found: r.grid_total,
+            });
+        }
+    }
+    let mut ordered: Vec<&ShardReport> = reports.iter().collect();
+    ordered.sort_by_key(|r| r.start);
+    let mut outcomes: Vec<SpecOutcome> = Vec::with_capacity(grid_total);
+    for r in ordered {
+        if r.start != outcomes.len() {
+            return Err(MergeError::Coverage {
+                expected: outcomes.len(),
+                found: r.start,
+            });
+        }
+        outcomes.extend(r.outcomes.iter().cloned());
+    }
+    if outcomes.len() != grid_total {
+        return Err(MergeError::Coverage {
+            expected: grid_total,
+            found: outcomes.len(),
+        });
+    }
+    Ok(ShardReport::from_spec_outcomes(
+        0, 1, 0, grid_total, outcomes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(seed: u64) -> SessionMeta {
+        SessionMeta {
+            cell_name: "Test cell / tab\ttricky".to_string(),
+            cell_class: CellClass::Private,
+            carrier_mhz: 3547.2,
+            bandwidth_mhz: 20.0,
+            duplexing: Duplexing::Tdd,
+            duration: simcore::SimDuration::from_secs(12),
+            seed,
+            has_gnb_log: true,
+        }
+    }
+
+    fn stats(n: usize) -> ChainStats {
+        let mut s = ChainStats {
+            minutes: n as f64 * 0.2 + 0.01,
+            ..Default::default()
+        };
+        s.cause_onsets.insert("harq_retx".to_string(), n);
+        s.consequence_windows
+            .insert("jitter_buffer_drain".to_string(), 2 * n + 1);
+        s.chain_windows.insert(
+            ("harq_retx".to_string(), "jitter_buffer_drain".to_string()),
+            n,
+        );
+        s.total_chain_windows = n;
+        s
+    }
+
+    fn outcome(index: usize, with_live: bool) -> SpecOutcome {
+        SpecOutcome {
+            index,
+            label: format!("spec {index} / rep0"),
+            meta: meta(index as u64),
+            stats: Some(stats(index + 1)),
+            live: with_live.then_some(LiveStats {
+                records_seen: 100 * index + 7,
+                late_records_dropped: index,
+                late_deliveries: 0,
+                windows_emitted: 10 + index,
+                peak_retained_records: 500 - index,
+                early_exited: index % 2 == 1,
+            }),
+        }
+    }
+
+    fn report_over(range: Range<usize>, shard: (usize, usize), total: usize) -> ShardReport {
+        let outcomes: Vec<SpecOutcome> = range.clone().map(|i| outcome(i, true)).collect();
+        ShardReport::from_spec_outcomes(shard.0, shard.1, range.start, total, outcomes)
+    }
+
+    #[test]
+    fn plan_tiles_the_grid_contiguously() {
+        for total in [0usize, 1, 5, 8, 17] {
+            for count in [1usize, 2, 3, 5, 9] {
+                let plan = ShardPlan::new(total, count);
+                let mut covered = 0usize;
+                for s in plan.shards() {
+                    assert_eq!(s.range.start, covered, "contiguous");
+                    covered = s.range.end;
+                }
+                assert_eq!(covered, total, "full coverage");
+                let sizes: Vec<usize> = plan.shards().iter().map(|s| s.range.len()).collect();
+                let (min, max) = (
+                    sizes.iter().min().copied().unwrap_or(0),
+                    sizes.iter().max().copied().unwrap_or(0),
+                );
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let r = report_over(3..7, (1, 3), 10);
+        let text = r.encode();
+        let parsed = ShardReport::parse(&text).expect("parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.encode(), text, "canonical encode");
+    }
+
+    #[test]
+    fn parse_rejects_tampering() {
+        let r = report_over(0..3, (0, 1), 3);
+        let text = r.encode();
+        assert!(ShardReport::parse(&text.replace("v1", "v2")).is_err());
+        // Dropping an outcome breaks the declared count.
+        let mut truncated: Vec<&str> = text.lines().collect();
+        truncated.truncate(8);
+        assert!(ShardReport::parse(&truncated.join("\n")).is_err());
+        // Editing a per-spec counter breaks the aggregate refold check.
+        let tampered = text.replacen("kv\tharq_retx\t1", "kv\tharq_retx\t9", 1);
+        assert_ne!(tampered, text);
+        assert!(ShardReport::parse(&tampered).is_err());
+    }
+
+    #[test]
+    fn merge_requires_full_coverage() {
+        let a = report_over(0..4, (0, 3), 10);
+        let b = report_over(4..7, (1, 3), 10);
+        let c = report_over(7..10, (2, 3), 10);
+        assert!(merge_shards(&[]).is_err());
+        assert!(matches!(
+            merge_shards(&[a.clone(), c.clone()]),
+            Err(MergeError::Coverage {
+                expected: 4,
+                found: 7
+            })
+        ));
+        let merged = merge_shards(&[c.clone(), a.clone(), b.clone()]).expect("out of order ok");
+        assert_eq!(merged.range(), 0..10);
+        assert_eq!(merged.shard_count, 1);
+        // Merged == the whole-range report, byte for byte.
+        let whole = report_over(0..10, (0, 1), 10);
+        assert_eq!(merged.encode(), whole.encode());
+        // Grid-size disagreement is rejected.
+        let wrong = report_over(4..7, (1, 3), 11);
+        assert!(matches!(
+            merge_shards(&[a, wrong, c]),
+            Err(MergeError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_shards_merge_cleanly() {
+        let plan = ShardPlan::new(2, 4);
+        assert_eq!(plan.shard(3).range.len(), 0);
+        let reports: Vec<ShardReport> = plan
+            .shards()
+            .iter()
+            .map(|s| report_over(s.range.clone(), (s.index, s.count), 2))
+            .collect();
+        let merged = merge_shards(&reports).expect("merges");
+        assert_eq!(merged.encode(), report_over(0..2, (0, 1), 2).encode());
+    }
+
+    #[test]
+    fn live_totals_fold_counters_and_peaks() {
+        let r = report_over(0..4, (0, 1), 4);
+        let t = r.live_totals;
+        assert_eq!(t.sessions, 4);
+        assert_eq!(t.records_seen, 7 + 107 + 207 + 307);
+        assert_eq!(t.late_records_dropped, 6);
+        assert_eq!(t.peak_retained_records, 500);
+        assert_eq!(t.early_exits, 2);
+    }
+}

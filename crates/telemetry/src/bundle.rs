@@ -6,12 +6,10 @@
 
 use simcore::{SimDuration, SimTime};
 
-use crate::records::{
-    AppStatsRecord, CellClass, DciRecord, Duplexing, GnbLogRecord, PacketRecord,
-};
+use crate::records::{AppStatsRecord, CellClass, DciRecord, Duplexing, GnbLogRecord, PacketRecord};
 
 /// Descriptive metadata of a capture session (one row of Table 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionMeta {
     /// Human-readable cell name, e.g. "T-Mobile 15 MHz FDD".
     pub cell_name: String,
@@ -165,7 +163,10 @@ impl TraceBundle {
     /// must be in non-decreasing timestamp order, which is checked in debug
     /// builds.
     pub fn append_dci(&mut self, r: DciRecord) {
-        debug_assert!(self.dci.last().is_none_or(|l| l.ts <= r.ts), "unsorted DCI append");
+        debug_assert!(
+            self.dci.last().is_none_or(|l| l.ts <= r.ts),
+            "unsorted DCI append"
+        );
         self.dci.push(r);
     }
 
@@ -439,11 +440,21 @@ mod tests {
         use crate::records::GnbEvent;
         let gnb = |ms: u64, sn: u32| GnbLogRecord {
             ts: SimTime::from_millis(ms),
-            event: GnbEvent::RlcRetx { direction: Direction::Uplink, sn },
+            event: GnbEvent::RlcRetx {
+                direction: Direction::Uplink,
+                sn,
+            },
         };
         // Emission order with future timestamps and equal-ts interleaving,
         // as the cell simulator produces them.
-        let emitted = [gnb(10, 0), gnb(30, 1), gnb(20, 2), gnb(20, 3), gnb(5, 4), gnb(30, 5)];
+        let emitted = [
+            gnb(10, 0),
+            gnb(30, 1),
+            gnb(20, 2),
+            gnb(20, 3),
+            gnb(5, 4),
+            gnb(30, 5),
+        ];
         let mut appended = TraceBundle::new(meta());
         let mut in_order = Vec::new();
         for r in emitted.clone() {
@@ -491,7 +502,9 @@ mod tests {
     #[test]
     fn empty_window_on_empty_bundle() {
         let b = TraceBundle::new(meta());
-        assert!(b.packets_window(SimTime::ZERO, SimTime::from_secs(10)).is_empty());
+        assert!(b
+            .packets_window(SimTime::ZERO, SimTime::from_secs(10))
+            .is_empty());
         assert_eq!(b.horizon(), SimTime::ZERO);
     }
 }

@@ -31,7 +31,10 @@ pub fn cdf_to_csv(header: (&str, &str), series: &[(f64, f64)]) -> String {
 pub fn packets_to_csv(bundle: &TraceBundle) -> String {
     let mut out = String::from("sent_us,received_us,direction,stream,seq,size_bytes,owd_ms\n");
     for p in &bundle.packets {
-        let recv = p.received.map(|t| t.as_micros().to_string()).unwrap_or_default();
+        let recv = p
+            .received
+            .map(|t| t.as_micros().to_string())
+            .unwrap_or_default();
         let owd = p
             .one_way_delay()
             .map(|d| format!("{:.3}", d.as_millis_f64()))
@@ -177,11 +180,17 @@ mod tests {
         let mut b = TraceBundle::new(SessionMeta::baseline("x", SimDuration::from_secs(1), 0));
         b.gnb.push(GnbLogRecord {
             ts: SimTime::ZERO,
-            event: GnbEvent::RlcRetx { direction: Direction::Uplink, sn: 5 },
+            event: GnbEvent::RlcRetx {
+                direction: Direction::Uplink,
+                sn: 5,
+            },
         });
         b.gnb.push(GnbLogRecord {
             ts: SimTime::ZERO,
-            event: GnbEvent::RrcTransition { state: RrcState::Idle, rnti: 77 },
+            event: GnbEvent::RrcTransition {
+                state: RrcState::Idle,
+                rnti: 77,
+            },
         });
         let csv = gnb_to_csv(&b);
         assert!(csv.contains("rlc_retx"));

@@ -329,7 +329,10 @@ mod tests {
             size_bytes: 1200,
         };
         assert_eq!(p.one_way_delay(), Some(SimDuration::from_millis(35)));
-        let lost = PacketRecord { received: None, ..p };
+        let lost = PacketRecord {
+            received: None,
+            ..p
+        };
         assert_eq!(lost.one_way_delay(), None);
     }
 

@@ -121,13 +121,20 @@ impl SummaryStats {
         }
         let mean = sum / count as f64;
         let var = (sum2 / count as f64 - mean * mean).max(0.0);
-        Some(SummaryStats { count, mean, sd: var.sqrt(), min, max })
+        Some(SummaryStats {
+            count,
+            mean,
+            sd: var.sqrt(),
+            min,
+            max,
+        })
     }
 }
 
 /// The standard quantile grid used in the repro harness's CDF printouts.
-pub const CDF_GRID: [f64; 13] =
-    [0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999, 0.9999, 1.0];
+pub const CDF_GRID: [f64; 13] = [
+    0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999, 0.9999, 1.0,
+];
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,13 @@ fn main() {
 
     println!(
         "\n{:<10} {:>8} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "access", "minutes", "jit p50[ms]", "jit p90[ms]", "jit p99[ms]", "loss>0 frac", "loss p99[%]"
+        "access",
+        "minutes",
+        "jit p50[ms]",
+        "jit p90[ms]",
+        "jit p99[ms]",
+        "loss>0 frac",
+        "loss p99[%]"
     );
     for access in [AccessType::Wired, AccessType::Wifi, AccessType::Cellular] {
         let subset: Vec<_> = data.iter().filter(|r| r.access == access).collect();

@@ -29,7 +29,10 @@ fn main() {
 
     // Generate code from the definition, as Fig. 11 does.
     let program = compile(&graph);
-    println!("---- generated Python ----\n{}", program.emit_python(&graph));
+    println!(
+        "---- generated Python ----\n{}",
+        program.emit_python(&graph)
+    );
     println!("---- generated Rust  ----\n{}", program.emit_rust(&graph));
 
     // Run the custom detector on a session with a scripted DL cross-traffic
@@ -53,11 +56,13 @@ fn main() {
     let mut hits = 0;
     for w in &analysis.windows {
         for chain in &w.chains {
-            let path: Vec<&str> =
-                chain.path.iter().map(|&n| domino.graph().name(n)).collect();
+            let path: Vec<&str> = chain.path.iter().map(|&n| domino.graph().name(n)).collect();
             println!("t={:>7} detected: {}", w.start, path.join(" --> "));
             hits += 1;
         }
     }
-    println!("{hits} chain detections in {} windows", analysis.windows.len());
+    println!(
+        "{hits} chain detections in {} windows",
+        analysis.windows.len()
+    );
 }

@@ -23,19 +23,31 @@ use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 
 fn session_cfg() -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(60), seed: 31, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(60),
+        seed: 31,
+        ..Default::default()
+    }
 }
 
 fn degrading_call(cell: &mut domino::ran::CellSim) {
     cell.script_rrc_release(SimTime::from_secs(20));
-    cell.script_sinr(Direction::Uplink, SimTime::from_secs(40), SimTime::from_secs(43), -2.0);
+    cell.script_sinr(
+        Direction::Uplink,
+        SimTime::from_secs(40),
+        SimTime::from_secs(43),
+        -2.0,
+    );
 }
 
 fn main() {
     let graph = domino::core::default_graph();
 
     // ---- Run 1: watch the whole call, verdict by verdict -----------------
-    let live_cfg = LiveConfig { lateness: SimDuration::from_secs(2), early_exit: EarlyExit::Never };
+    let live_cfg = LiveConfig {
+        lateness: SimDuration::from_secs(2),
+        early_exit: EarlyExit::Never,
+    };
     let mut pipe = LivePipeline::with_defaults(live_cfg).expect("default config is aligned");
     {
         let graph = graph.clone();
@@ -45,7 +57,11 @@ fn main() {
                 .chains
                 .iter()
                 .map(|c| {
-                    c.path.iter().map(|&n| graph.name(n)).collect::<Vec<_>>().join(" --> ")
+                    c.path
+                        .iter()
+                        .map(|&n| graph.name(n))
+                        .collect::<Vec<_>>()
+                        .join(" --> ")
                 })
                 .chain(
                     v.unknown_consequences
@@ -63,8 +79,7 @@ fn main() {
             if last.as_deref() != Some(&report) {
                 println!(
                     "[seen {:>6} | window {:>6}] {report}",
-                    v.emitted_at,
-                    v.window_start
+                    v.emitted_at, v.window_start
                 );
                 last = Some(report);
             }
@@ -72,8 +87,12 @@ fn main() {
     }
 
     println!("== live diagnosis feed (lateness bound: 2 s) ==");
-    let bundle =
-        run_cell_session_with_tap(tmobile_fdd_15mhz_quiet(), &session_cfg(), degrading_call, &mut pipe);
+    let bundle = run_cell_session_with_tap(
+        tmobile_fdd_15mhz_quiet(),
+        &session_cfg(),
+        degrading_call,
+        &mut pipe,
+    );
 
     let stats = pipe.stats();
     let analysis = pipe.take_analysis(bundle.meta.duration);
@@ -104,8 +123,12 @@ fn main() {
         early_exit: EarlyExit::AfterChains(3),
     })
     .expect("default config is aligned");
-    let truncated =
-        run_cell_session_with_tap(tmobile_fdd_15mhz_quiet(), &session_cfg(), degrading_call, &mut triage);
+    let truncated = run_cell_session_with_tap(
+        tmobile_fdd_15mhz_quiet(),
+        &session_cfg(),
+        degrading_call,
+        &mut triage,
+    );
     let tstats = triage.stats();
     println!("\n== triage run (early exit after 3 confirmed chains) ==");
     println!(
@@ -115,12 +138,20 @@ fn main() {
         session_cfg().duration.as_secs_f64(),
         100.0 * (1.0 - truncated.horizon().as_secs_f64() / session_cfg().duration.as_secs_f64())
     );
-    for v in triage.drain_verdicts().iter().filter(|v| !v.chains.is_empty()) {
+    for v in triage
+        .drain_verdicts()
+        .iter()
+        .filter(|v| !v.chains.is_empty())
+    {
         for c in &v.chains {
             println!(
                 "  [seen {:>6}] {}",
                 v.emitted_at,
-                c.path.iter().map(|&n| graph.name(n)).collect::<Vec<_>>().join(" --> ")
+                c.path
+                    .iter()
+                    .map(|&n| graph.name(n))
+                    .collect::<Vec<_>>()
+                    .join(" --> ")
             );
         }
     }

@@ -40,8 +40,7 @@ fn main() {
     for w in &analysis.windows {
         let mut lines: Vec<String> = Vec::new();
         for chain in &w.chains {
-            let path: Vec<&str> =
-                chain.path.iter().map(|&n| domino.graph().name(n)).collect();
+            let path: Vec<&str> = chain.path.iter().map(|&n| domino.graph().name(n)).collect();
             lines.push(path.join(" --> "));
         }
         for &u in &w.unknown_consequences {

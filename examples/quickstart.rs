@@ -43,8 +43,7 @@ fn main() {
     let mut shown = 0;
     for w in &analysis.windows {
         for chain in &w.chains {
-            let path: Vec<&str> =
-                chain.path.iter().map(|&n| domino.graph().name(n)).collect();
+            let path: Vec<&str> = chain.path.iter().map(|&n| domino.graph().name(n)).collect();
             println!("t={:>7} chain: {}", w.start, path.join(" --> "));
             shown += 1;
             if shown >= 10 {

@@ -1,0 +1,186 @@
+//! Shard-and-merge sweep driver: run a fixed demo grid as N shards on
+//! (potentially) N machines, write one plain-text shard report per shard,
+//! then merge the files into the whole-grid report.
+//!
+//! The merged report is byte-identical to running the grid as a single
+//! shard on one machine — at any shard count and any per-shard thread
+//! count. CI exercises exactly that:
+//!
+//! ```sh
+//! # one machine
+//! cargo run --release --example sharded_sweep -- run --shards 1 --shard 0 \
+//!     --threads 2 --out single.txt
+//! # three "machines"
+//! for i in 0 1 2; do
+//!     cargo run --release --example sharded_sweep -- run --shards 3 \
+//!         --shard $i --threads 1 --out shard$i.txt
+//! done
+//! cargo run --release --example sharded_sweep -- merge --out merged.txt \
+//!     shard0.txt shard1.txt shard2.txt
+//! diff single.txt merged.txt        # byte-for-byte
+//! ```
+
+use std::process::ExitCode;
+
+use domino::core::Domino;
+use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
+use domino::simcore::SimDuration;
+use domino::sweep::{merge_shards, run_shard, ShardPlan, ShardReport, SweepOptions};
+
+/// The demo grid every invocation agrees on: the four Table 1 cells × a
+/// proactive-grant scenario axis, 20 s per session. Eight specs — small
+/// enough for CI, wide enough that every shard carries several cells and
+/// most specs contribute non-empty chain statistics to the merge.
+fn demo_grid() -> Vec<SessionSpec> {
+    SessionGrid::new()
+        .cells(all_cells())
+        .durations([SimDuration::from_secs(20)])
+        .axis(ScenarioAxis::toggle(
+            "grants",
+            "on",
+            "off",
+            vec![],
+            vec![AxisPatch::ProactiveGrant(None)],
+        ))
+        .master_seed(42)
+        .build()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sharded_sweep run [--shards N] [--shard I] [--threads T] --out FILE\n  \
+         sharded_sweep merge --out FILE <shard-report-files...>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        return usage();
+    };
+
+    let mut shards = 1usize;
+    let mut shard = 0usize;
+    let mut threads = 0usize;
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v.cloned()
+        };
+        match arg.as_str() {
+            "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) => shards = v,
+                None => return usage(),
+            },
+            "--shard" => match take("--shard").and_then(|v| v.parse().ok()) {
+                Some(v) => shard = v,
+                None => return usage(),
+            },
+            "--threads" => match take("--threads").and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return usage(),
+            },
+            "--out" => match take("--out") {
+                Some(v) => out = Some(v),
+                None => return usage(),
+            },
+            other if other.starts_with("--") || mode != "merge" => {
+                eprintln!("unknown argument {other:?}");
+                return usage();
+            }
+            other => inputs.push(other.to_string()),
+        }
+    }
+    let Some(out) = out else {
+        return usage();
+    };
+
+    match mode.as_str() {
+        "run" => {
+            if shard >= shards {
+                eprintln!("--shard {shard} out of range for --shards {shards}");
+                return usage();
+            }
+            let specs = demo_grid();
+            let plan = ShardPlan::new(specs.len(), shards);
+            let my = plan.shard(shard);
+            eprintln!(
+                "[sharded_sweep] shard {}/{} runs specs {:?} of {} on {} thread(s)",
+                my.index,
+                my.count,
+                my.range,
+                specs.len(),
+                if threads == 0 {
+                    "all".to_string()
+                } else {
+                    threads.to_string()
+                }
+            );
+            let domino = Domino::with_defaults();
+            let opts = SweepOptions {
+                threads,
+                ..Default::default()
+            };
+            let report = run_shard(&specs, &my, &domino, &opts);
+            if let Err(e) = std::fs::write(&out, report.encode()) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[sharded_sweep] wrote {out}: {} specs, {} chain windows, {:.1} min of calls",
+                report.outcomes.len(),
+                report.aggregate.total_chain_windows,
+                report.aggregate.minutes
+            );
+        }
+        "merge" => {
+            if inputs.is_empty() {
+                return usage();
+            }
+            let mut reports = Vec::with_capacity(inputs.len());
+            for path in &inputs {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match ShardReport::parse(&text) {
+                    Ok(r) => reports.push(r),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let merged = match merge_shards(&reports) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("merge failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&out, merged.encode()) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[sharded_sweep] merged {} shard(s) into {out}: {} specs, {} chain windows",
+                reports.len(),
+                merged.outcomes.len(),
+                merged.aggregate.total_chain_windows
+            );
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

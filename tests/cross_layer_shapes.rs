@@ -2,14 +2,16 @@
 //! reproduced mechanism. These encode the "who wins, by what factor" facts
 //! EXPERIMENTS.md reports.
 
-use domino::scenarios::{
-    run_baseline_session, run_cell_session, BaselineAccess, SessionConfig,
-};
+use domino::scenarios::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::{Cdf, Direction, StreamKind, TraceBundle};
 
 fn cfg(seed: u64, secs: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(secs),
+        seed,
+        ..Default::default()
+    }
 }
 
 fn t(s: f64) -> SimTime {
@@ -39,8 +41,12 @@ fn fig2_shape_cellular_dominates_wired() {
         assert!(c > 2.0 * w, "{dir:?}: cellular {c} ms vs wired {w} ms");
     }
     // And the tail is far heavier.
-    let c99 = media_delays(&cell, Direction::Uplink).quantile(0.99).unwrap();
-    let w99 = media_delays(&wired, Direction::Uplink).quantile(0.99).unwrap();
+    let c99 = media_delays(&cell, Direction::Uplink)
+        .quantile(0.99)
+        .unwrap();
+    let w99 = media_delays(&wired, Direction::Uplink)
+        .quantile(0.99)
+        .unwrap();
     assert!(c99 > 5.0 * w99, "p99 {c99} vs {w99}");
 }
 
@@ -64,9 +70,17 @@ fn fig8_shape_ul_delay_exceeds_dl() {
 #[test]
 fn fig8_shape_amarisoft_ul_bitrate_gap() {
     let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(73, 45), |_| {});
-    let ul_target: f64 = b.app_local.iter().map(|s| s.target_bitrate_bps).sum::<f64>()
+    let ul_target: f64 = b
+        .app_local
+        .iter()
+        .map(|s| s.target_bitrate_bps)
+        .sum::<f64>()
         / b.app_local.len() as f64;
-    let dl_target: f64 = b.app_remote.iter().map(|s| s.target_bitrate_bps).sum::<f64>()
+    let dl_target: f64 = b
+        .app_remote
+        .iter()
+        .map(|s| s.target_bitrate_bps)
+        .sum::<f64>()
         / b.app_remote.len() as f64;
     assert!(
         ul_target < 0.8 * dl_target,
@@ -132,7 +146,12 @@ fn fig19_shape_rrc_outage() {
         &cfg(76, 16),
         |cell| cell.script_rrc_release(t(10.0)),
     );
-    let mut rntis: Vec<u32> = b.dci.iter().filter(|d| d.is_target_ue).map(|d| d.rnti).collect();
+    let mut rntis: Vec<u32> = b
+        .dci
+        .iter()
+        .filter(|d| d.is_target_ue)
+        .map(|d| d.rnti)
+        .collect();
     rntis.dedup();
     assert_eq!(rntis.len(), 2, "exactly one RNTI change, got {rntis:?}");
     // Gap in target-UE scheduling around the release.
@@ -179,16 +198,26 @@ fn fig16_shape_proactive_waste() {
 fn fig22_shape_pushback_without_target_drop() {
     let mut session = cfg(78, 20);
     session.wired_sender.start_bps = 2_000_000.0;
-    let b = run_cell_session(domino::scenarios::tmobile_fdd_15mhz_quiet(), &session, |cell| {
-        cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.5), 0.99);
-    });
+    let b = run_cell_session(
+        domino::scenarios::tmobile_fdd_15mhz_quiet(),
+        &session,
+        |cell| {
+            cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.5), 0.99);
+        },
+    );
     // During the episode the local sender's pushback must dip below target.
     let episode = b.app_local_window(t(10.2), t(12.5));
     let pushback_hit = episode
         .iter()
         .any(|s| s.pushback_rate_bps < 0.95 * s.target_bitrate_bps);
-    assert!(pushback_hit, "pushback must dip below target during RTCP starvation");
+    assert!(
+        pushback_hit,
+        "pushback must dip below target during RTCP starvation"
+    );
     // While the UL media path stayed calm.
     let ul_median = media_delays(&b, Direction::Uplink).median().unwrap();
-    assert!(ul_median < 60.0, "UL media path should stay calm, median {ul_median}");
+    assert!(
+        ul_median < 60.0,
+        "UL media path should stay calm, median {ul_median}"
+    );
 }

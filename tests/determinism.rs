@@ -6,7 +6,11 @@ use domino::scenarios::{run_cell_session, SessionConfig};
 use domino::simcore::SimDuration;
 
 fn cfg(seed: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(12), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(12),
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]

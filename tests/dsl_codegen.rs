@@ -23,10 +23,12 @@ fn program_agrees_with_search_on_real_trace() {
     for w in &analysis.windows {
         let out = program.run(domino.graph(), &w.features);
         // Same set of (cause, consequence, path) detections.
-        let mut from_search: Vec<Vec<usize>> =
-            w.chains.iter().map(|c| c.path.clone()).collect();
-        let mut from_program: Vec<Vec<usize>> =
-            out.chains.iter().map(|&id| program.chains[id].clone()).collect();
+        let mut from_search: Vec<Vec<usize>> = w.chains.iter().map(|c| c.path.clone()).collect();
+        let mut from_program: Vec<Vec<usize>> = out
+            .chains
+            .iter()
+            .map(|&id| program.chains[id].clone())
+            .collect();
         from_search.sort();
         from_program.sort();
         assert_eq!(from_search, from_program, "window at {}", w.start);
@@ -55,14 +57,20 @@ fn dsl_round_trip_preserves_detection_behaviour() {
             .chains
             .iter()
             .map(|c| {
-                (d1.graph().name(c.cause).to_string(), d1.graph().name(c.consequence).to_string())
+                (
+                    d1.graph().name(c.cause).to_string(),
+                    d1.graph().name(c.consequence).to_string(),
+                )
             })
             .collect();
         let mut n2: Vec<(String, String)> = w2
             .chains
             .iter()
             .map(|c| {
-                (d2.graph().name(c.cause).to_string(), d2.graph().name(c.consequence).to_string())
+                (
+                    d2.graph().name(c.cause).to_string(),
+                    d2.graph().name(c.consequence).to_string(),
+                )
             })
             .collect();
         n1.sort();
@@ -75,9 +83,19 @@ fn dsl_round_trip_preserves_detection_behaviour() {
 fn generated_python_mentions_every_feature_in_use() {
     let g = default_graph();
     let py = compile(&g).emit_python(&g);
-    for node in ["jitter_buffer_drain", "target_bitrate_down", "pushback_rate_down",
-                 "forward_delay_up", "reverse_delay_up", "poor_channel", "cross_traffic",
-                 "ul_scheduling", "harq_retx", "rlc_retx", "rrc_state_change"] {
+    for node in [
+        "jitter_buffer_drain",
+        "target_bitrate_down",
+        "pushback_rate_down",
+        "forward_delay_up",
+        "reverse_delay_up",
+        "poor_channel",
+        "cross_traffic",
+        "ul_scheduling",
+        "harq_retx",
+        "rlc_retx",
+        "rrc_state_change",
+    ] {
         assert!(py.contains(node), "{node} missing from generated Python");
     }
 }

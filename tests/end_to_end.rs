@@ -3,14 +3,16 @@
 //! root cause — the paper's headline capability.
 
 use domino::core::{ChainStats, Domino};
-use domino::scenarios::{
-    run_baseline_session, run_cell_session, BaselineAccess, SessionConfig,
-};
+use domino::scenarios::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 
 fn cfg(seed: u64, secs: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(secs),
+        seed,
+        ..Default::default()
+    }
 }
 
 fn t(s: f64) -> SimTime {
@@ -34,7 +36,10 @@ fn wired_baseline_produces_no_degradation_chains() {
     let domino = Domino::with_defaults();
     let bundle = run_baseline_session(BaselineAccess::Wired, &cfg(60, 20));
     let causes = attributed_causes(&domino, &bundle);
-    assert!(causes.is_empty(), "wired call should be clean, got {causes:?}");
+    assert!(
+        causes.is_empty(),
+        "wired call should be clean, got {causes:?}"
+    );
 }
 
 #[test]
@@ -57,10 +62,13 @@ fn scripted_cross_traffic_attributed() {
     let domino = Domino::with_defaults();
     let mut session = cfg(62, 20);
     session.wired_sender.start_bps = 3_000_000.0;
-    let bundle =
-        run_cell_session(domino::scenarios::tmobile_fdd_15mhz_quiet(), &session, |cell| {
+    let bundle = run_cell_session(
+        domino::scenarios::tmobile_fdd_15mhz_quiet(),
+        &session,
+        |cell| {
             cell.script_cross_traffic(Direction::Downlink, t(10.0), t(13.0), 0.97);
-        });
+        },
+    );
     let causes = attributed_causes(&domino, &bundle);
     assert!(
         causes.iter().any(|c| c == "cross_traffic"),
@@ -71,10 +79,13 @@ fn scripted_cross_traffic_attributed() {
 #[test]
 fn scripted_rrc_release_attributed() {
     let domino = Domino::with_defaults();
-    let bundle =
-        run_cell_session(domino::scenarios::tmobile_fdd_15mhz_quiet(), &cfg(63, 20), |cell| {
+    let bundle = run_cell_session(
+        domino::scenarios::tmobile_fdd_15mhz_quiet(),
+        &cfg(63, 20),
+        |cell| {
             cell.script_rrc_release(t(10.0));
-        });
+        },
+    );
     let causes = attributed_causes(&domino, &bundle);
     assert!(
         causes.iter().any(|c| c == "rrc_state_change"),
@@ -85,12 +96,11 @@ fn scripted_rrc_release_attributed() {
 #[test]
 fn forced_harq_storm_attributed() {
     let domino = Domino::with_defaults();
-    let bundle =
-        run_cell_session(domino::scenarios::amarisoft_ideal(), &cfg(64, 20), |cell| {
-            // Enough failures to cross the >10-retx window threshold and
-            // inflate delay via serialization.
-            cell.script_harq_failures(Direction::Uplink, t(9.0), t(13.0), 1);
-        });
+    let bundle = run_cell_session(domino::scenarios::amarisoft_ideal(), &cfg(64, 20), |cell| {
+        // Enough failures to cross the >10-retx window threshold and
+        // inflate delay via serialization.
+        cell.script_harq_failures(Direction::Uplink, t(9.0), t(13.0), 1);
+    });
     let analysis = domino.analyze(&bundle);
     // The HARQ feature itself must fire even if delay stays tame.
     let harq = domino.graph().id("harq_retx").expect("node exists");
@@ -98,7 +108,10 @@ fn forced_harq_storm_attributed() {
         .windows
         .iter()
         .any(|w| domino.graph().is_active(harq, &w.features));
-    assert!(active, "forced HARQ failures must activate the harq_retx cause");
+    assert!(
+        active,
+        "forced HARQ failures must activate the harq_retx cause"
+    );
 }
 
 #[test]
@@ -107,14 +120,17 @@ fn consequence_frequencies_are_plausible() {
     // commercial 5G; our simulator should land within an order of
     // magnitude, and far above the wired baseline (≈0).
     let domino = Domino::with_defaults();
-    let bundle =
-        run_cell_session(domino::scenarios::tmobile_fdd_15mhz(), &cfg(65, 60), |_| {});
+    let bundle = run_cell_session(domino::scenarios::tmobile_fdd_15mhz(), &cfg(65, 60), |_| {});
     let analysis = domino.analyze(&bundle);
     let stats = ChainStats::compute(domino.graph(), &analysis);
-    let total: f64 = ["jitter_buffer_drain", "target_bitrate_down", "pushback_rate_down"]
-        .iter()
-        .map(|c| stats.consequence_frequency_per_min(c))
-        .sum();
+    let total: f64 = [
+        "jitter_buffer_drain",
+        "target_bitrate_down",
+        "pushback_rate_down",
+    ]
+    .iter()
+    .map(|c| stats.consequence_frequency_per_min(c))
+    .sum();
     assert!(
         (0.5..=50.0).contains(&total),
         "expected a plausible degradation rate, got {total}/min"

@@ -20,7 +20,11 @@ use domino::telemetry::Direction;
 use proptest::strategy::Strategy;
 
 fn assert_identical(batch: &Analysis, live: &Analysis, label: &str) {
-    assert_eq!(batch.windows.len(), live.windows.len(), "{label}: window counts differ");
+    assert_eq!(
+        batch.windows.len(),
+        live.windows.len(),
+        "{label}: window counts differ"
+    );
     assert_eq!(batch.duration, live.duration, "{label}");
     for (b, l) in batch.windows.iter().zip(&live.windows) {
         assert_eq!(b.start, l.start, "{label}");
@@ -32,7 +36,11 @@ fn assert_identical(batch: &Analysis, live: &Analysis, label: &str) {
             b.features.active_names(),
             l.features.active_names()
         );
-        assert_eq!(b.chains, l.chains, "{label}: chains diverge at {:?}", b.start);
+        assert_eq!(
+            b.chains, l.chains,
+            "{label}: chains diverge at {:?}",
+            b.start
+        );
         assert_eq!(b.unknown_consequences, l.unknown_consequences, "{label}");
     }
 }
@@ -48,8 +56,14 @@ fn assert_live_matches_batch(spec: &SessionSpec, lateness: SimDuration, label: &
     let bundle = spec.run_with_tap(&mut pipe);
     let live = pipe.take_analysis(bundle.meta.duration);
     let stats = pipe.stats();
-    assert_eq!(stats.late_records_dropped, 0, "{label}: lateness bound too small for test");
-    assert_eq!(stats.late_deliveries, 0, "{label}: lateness bound too small for test");
+    assert_eq!(
+        stats.late_records_dropped, 0,
+        "{label}: lateness bound too small for test"
+    );
+    assert_eq!(
+        stats.late_deliveries, 0,
+        "{label}: lateness bound too small for test"
+    );
     let batch = domino.analyze(&bundle);
     assert_identical(&batch, &live, label);
 }
@@ -97,14 +111,20 @@ fn randomized_sessions_are_bit_identical() {
             }),
             _ => spec.with_script(ScriptAction::RrcRelease { at: t(from) }),
         };
-        let label = format!("case {case}: {} seed {seed} {secs}s script {script}", spec.label);
+        let label = format!(
+            "case {case}: {} seed {seed} {secs}s script {script}",
+            spec.label
+        );
         // Lateness covers the whole session: the contract's precondition
         // holds by construction, so equality must be exact.
         assert_live_matches_batch(&spec, SimDuration::from_secs(30), &label);
         let analysis = Domino::with_defaults().analyze(&spec.run());
         any_chain |= analysis.windows.iter().any(|w| !w.chains.is_empty());
     }
-    assert!(any_chain, "randomized cases never produced a chain; the fuzz is too tame");
+    assert!(
+        any_chain,
+        "randomized cases never produced a chain; the fuzz is too tame"
+    );
 }
 
 #[test]
@@ -136,7 +156,10 @@ fn retained_trace_is_bounded_by_window_plus_lateness_not_session() {
     };
     let (peak_short, total_short) = peak_and_total(30);
     let (peak_long, total_long) = peak_and_total(90);
-    assert!(total_long > 2 * total_short, "the long trace must actually be bigger");
+    assert!(
+        total_long > 2 * total_short,
+        "the long trace must actually be bigger"
+    );
     assert!(
         peak_long < total_long / 4,
         "peak {} should be far below the {}-record session",
@@ -173,7 +196,10 @@ fn live_sweep_mode_matches_batch_sweep() {
         &domino,
         &SweepOptions {
             analysis: AnalysisMode::Live,
-            live: LiveConfig { lateness: SimDuration::from_secs(30), early_exit: EarlyExit::Never },
+            live: LiveConfig {
+                lateness: SimDuration::from_secs(30),
+                early_exit: EarlyExit::Never,
+            },
             keep_analyses: true,
             ..Default::default()
         },
@@ -181,7 +207,11 @@ fn live_sweep_mode_matches_batch_sweep() {
     let batch = run_sweep(
         &specs,
         &domino,
-        &SweepOptions { analysis: AnalysisMode::Batch, keep_analyses: true, ..Default::default() },
+        &SweepOptions {
+            analysis: AnalysisMode::Batch,
+            keep_analyses: true,
+            ..Default::default()
+        },
     );
     for (l, b) in live.outcomes.iter().zip(&batch.outcomes) {
         assert_identical(
@@ -191,5 +221,8 @@ fn live_sweep_mode_matches_batch_sweep() {
         );
     }
     assert_eq!(live.aggregate.chain_windows, batch.aggregate.chain_windows);
-    assert_eq!(live.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+    assert_eq!(
+        live.aggregate.unknown_windows,
+        batch.aggregate.unknown_windows
+    );
 }

@@ -1,0 +1,127 @@
+//! The shard-and-merge contract: splitting a grid into contiguous
+//! spec-index ranges, running each range independently (any per-shard
+//! thread count), serialising the shard reports to plain text, and merging
+//! the parsed files must reproduce the single-machine sweep report **byte
+//! for byte** — at any shard count.
+
+use domino::core::Domino;
+use domino::scenarios::{AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
+use domino::simcore::SimDuration;
+use domino::sweep::{
+    merge_shards, run_shard, run_sweep, AnalysisMode, EarlyExit, LiveConfig, ShardPlan,
+    ShardReport, SweepOptions,
+};
+
+/// Two cells × a proactive-grant axis × 10 s: four specs, small enough to
+/// run the grid many times, with non-empty per-spec statistics.
+fn grid() -> Vec<SessionSpec> {
+    SessionGrid::new()
+        .cells([
+            domino::scenarios::tmobile_fdd_15mhz(),
+            domino::scenarios::amarisoft(),
+        ])
+        .durations([SimDuration::from_secs(10)])
+        .axis(ScenarioAxis::toggle(
+            "grants",
+            "on",
+            "off",
+            vec![],
+            vec![AxisPatch::ProactiveGrant(None)],
+        ))
+        .master_seed(42)
+        .build()
+}
+
+/// Runs the plan's shards with `threads` each, round-trips every report
+/// through its text encoding (as a real multi-machine deployment would),
+/// and merges.
+fn run_sharded(specs: &[SessionSpec], shards: usize, threads: usize) -> ShardReport {
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        threads,
+        ..Default::default()
+    };
+    let plan = ShardPlan::new(specs.len(), shards);
+    let reports: Vec<ShardReport> = plan
+        .shards()
+        .iter()
+        .map(|s| {
+            let r = run_shard(specs, s, &domino, &opts);
+            let text = r.encode();
+            let parsed = ShardReport::parse(&text).expect("shard report parses");
+            assert_eq!(parsed.encode(), text, "canonical round trip");
+            parsed
+        })
+        .collect();
+    merge_shards(&reports).expect("shards tile the grid")
+}
+
+#[test]
+fn merged_shards_byte_identical_to_single_machine() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    // Single-machine reference: a plain `run_sweep` over the whole grid.
+    let single = ShardReport::from_sweep(&run_sweep(
+        &specs,
+        &domino,
+        &SweepOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    ))
+    .encode();
+    assert!(single.contains("chainstats"), "reference carries stats");
+
+    // ≥3 shard counts × ≥2 per-shard thread counts, all byte-identical.
+    for shards in [1usize, 2, 3, 5] {
+        for threads in [1usize, 3] {
+            let merged = run_sharded(&specs, shards, threads).encode();
+            assert_eq!(
+                merged, single,
+                "merge of {shards} shard(s) at {threads} thread(s) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_shards_than_specs_merge_cleanly() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let single =
+        ShardReport::from_sweep(&run_sweep(&specs, &domino, &SweepOptions::default())).encode();
+    // Empty tail shards must round-trip and merge without perturbing bytes.
+    let merged = run_sharded(&specs, specs.len() + 3, 1).encode();
+    assert_eq!(merged, single);
+}
+
+#[test]
+fn live_mode_shards_carry_and_merge_live_stats() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        analysis: AnalysisMode::Live,
+        live: LiveConfig {
+            lateness: SimDuration::from_secs(30),
+            early_exit: EarlyExit::Never,
+        },
+        ..Default::default()
+    };
+    let single = ShardReport::from_sweep(&run_sweep(&specs, &domino, &opts));
+    assert_eq!(single.live_totals.sessions, specs.len());
+    assert!(single.live_totals.windows_emitted > 0);
+    assert_eq!(single.live_totals.late_records_dropped, 0);
+
+    let plan = ShardPlan::new(specs.len(), 3);
+    let reports: Vec<ShardReport> = plan
+        .shards()
+        .iter()
+        .map(|s| {
+            let r = run_shard(specs.as_slice(), s, &domino, &opts);
+            ShardReport::parse(&r.encode()).expect("parses")
+        })
+        .collect();
+    let merged = merge_shards(&reports).expect("merges");
+    assert_eq!(merged.live_totals, single.live_totals);
+    assert_eq!(merged.encode(), single.encode());
+}

@@ -9,11 +9,19 @@ use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::{Direction, TraceBundle};
 
 fn cfg(seed: u64, secs: u64) -> SessionConfig {
-    SessionConfig { duration: SimDuration::from_secs(secs), seed, ..Default::default() }
+    SessionConfig {
+        duration: SimDuration::from_secs(secs),
+        seed,
+        ..Default::default()
+    }
 }
 
 fn assert_identical(batch: &Analysis, streaming: &Analysis) {
-    assert_eq!(batch.windows.len(), streaming.windows.len(), "window counts differ");
+    assert_eq!(
+        batch.windows.len(),
+        streaming.windows.len(),
+        "window counts differ"
+    );
     assert_eq!(batch.duration, streaming.duration);
     for (b, s) in batch.windows.iter().zip(&streaming.windows) {
         assert_eq!(b.start, s.start);
@@ -32,9 +40,8 @@ fn assert_identical(batch: &Analysis, streaming: &Analysis) {
 
 fn assert_equivalent_on(bundle: &TraceBundle, domino: &Domino) {
     let batch = domino.analyze(bundle);
-    let mut streaming =
-        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
-            .expect("default config is streaming-aligned");
+    let mut streaming = StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone())
+        .expect("default config is streaming-aligned");
     let incremental = streaming.analyze(bundle);
     assert_identical(&batch, &incremental);
 }
@@ -54,13 +61,14 @@ fn impaired_sessions_are_bit_identical() {
     let domino = Domino::with_defaults();
     let t = |s: f64| SimTime::from_micros((s * 1e6) as u64);
     let specs = [
-        SessionSpec::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), cfg(902, 25))
-            .with_script(ScriptAction::CrossTraffic {
+        SessionSpec::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), cfg(902, 25)).with_script(
+            ScriptAction::CrossTraffic {
                 dir: Direction::Downlink,
                 from: t(8.0),
                 to: t(12.0),
                 prb_fraction: 0.97,
-            }),
+            },
+        ),
         SessionSpec::cell(domino::scenarios::amarisoft_ideal(), cfg(903, 25)).with_script(
             ScriptAction::HarqFailures {
                 dir: Direction::Uplink,
@@ -79,13 +87,19 @@ fn impaired_sessions_are_bit_identical() {
         any_chain |= analysis.windows.iter().any(|w| !w.chains.is_empty());
         assert_equivalent_on(&bundle, &domino);
     }
-    assert!(any_chain, "impaired sessions must produce at least one chain");
+    assert!(
+        any_chain,
+        "impaired sessions must produce at least one chain"
+    );
 }
 
 #[test]
 fn one_second_step_window_grid_is_bit_identical() {
     // The perf-comparison configuration from the microbench: 1 s step.
-    let config = DominoConfig { step: SimDuration::from_secs(1), ..Default::default() };
+    let config = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
     let domino = Domino::new(domino::core::default_graph(), config);
     let bundle = run_cell_session(domino::scenarios::mosolabs(), &cfg(905, 30), |_| {});
     assert_equivalent_on(&bundle, &domino);
@@ -119,6 +133,9 @@ fn push_api_in_irregular_batches_matches_batch() {
         windows.push(streaming.emit(start));
         start += step;
     }
-    let incremental = Analysis { windows, duration: bundle.meta.duration };
+    let incremental = Analysis {
+        windows,
+        duration: bundle.meta.duration,
+    };
     assert_identical(&batch, &incremental);
 }

@@ -23,12 +23,20 @@ fn parallel_sweep_matches_sequential_order() {
     let sequential = run_sweep(
         &specs,
         &domino,
-        &SweepOptions { threads: 1, keep_analyses: true, ..Default::default() },
+        &SweepOptions {
+            threads: 1,
+            keep_analyses: true,
+            ..Default::default()
+        },
     );
     let parallel = run_sweep(
         &specs,
         &domino,
-        &SweepOptions { threads: 8, keep_analyses: true, ..Default::default() },
+        &SweepOptions {
+            threads: 8,
+            keep_analyses: true,
+            ..Default::default()
+        },
     );
 
     assert_eq!(sequential.outcomes.len(), parallel.outcomes.len());
@@ -45,11 +53,26 @@ fn parallel_sweep_matches_sequential_order() {
     }
 
     // Aggregates fold in spec order, so they are identical, not just close.
-    assert_eq!(sequential.aggregate.total_chain_windows, parallel.aggregate.total_chain_windows);
-    assert_eq!(sequential.aggregate.cause_onsets, parallel.aggregate.cause_onsets);
-    assert_eq!(sequential.aggregate.consequence_onsets, parallel.aggregate.consequence_onsets);
-    assert_eq!(sequential.aggregate.chain_windows, parallel.aggregate.chain_windows);
-    assert_eq!(sequential.aggregate.unknown_windows, parallel.aggregate.unknown_windows);
+    assert_eq!(
+        sequential.aggregate.total_chain_windows,
+        parallel.aggregate.total_chain_windows
+    );
+    assert_eq!(
+        sequential.aggregate.cause_onsets,
+        parallel.aggregate.cause_onsets
+    );
+    assert_eq!(
+        sequential.aggregate.consequence_onsets,
+        parallel.aggregate.consequence_onsets
+    );
+    assert_eq!(
+        sequential.aggregate.chain_windows,
+        parallel.aggregate.chain_windows
+    );
+    assert_eq!(
+        sequential.aggregate.unknown_windows,
+        parallel.aggregate.unknown_windows
+    );
     assert!((sequential.aggregate.minutes - parallel.aggregate.minutes).abs() < 1e-12);
 }
 
@@ -60,16 +83,31 @@ fn streaming_mode_equals_batch_mode_across_a_sweep() {
     let streaming = run_sweep(
         &specs,
         &domino,
-        &SweepOptions { analysis: AnalysisMode::Streaming, ..Default::default() },
+        &SweepOptions {
+            analysis: AnalysisMode::Streaming,
+            ..Default::default()
+        },
     );
     let batch = run_sweep(
         &specs,
         &domino,
-        &SweepOptions { analysis: AnalysisMode::Batch, ..Default::default() },
+        &SweepOptions {
+            analysis: AnalysisMode::Batch,
+            ..Default::default()
+        },
     );
-    assert_eq!(streaming.aggregate.total_chain_windows, batch.aggregate.total_chain_windows);
-    assert_eq!(streaming.aggregate.chain_windows, batch.aggregate.chain_windows);
-    assert_eq!(streaming.aggregate.unknown_windows, batch.aggregate.unknown_windows);
+    assert_eq!(
+        streaming.aggregate.total_chain_windows,
+        batch.aggregate.total_chain_windows
+    );
+    assert_eq!(
+        streaming.aggregate.chain_windows,
+        batch.aggregate.chain_windows
+    );
+    assert_eq!(
+        streaming.aggregate.unknown_windows,
+        batch.aggregate.unknown_windows
+    );
 }
 
 #[test]
