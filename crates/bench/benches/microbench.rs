@@ -10,10 +10,11 @@ use domino_core::{
     compile, default_graph, extract_features, Domino, DominoConfig, Feature, FeatureVector,
     StreamingAnalyzer, Thresholds,
 };
+use domino_sweep::{SweepOptions, WorkerScratch};
 use ran_sim::phy;
 use rtc_sim::gcc::trendline::{PacketTiming, TrendlineEstimator};
-use scenarios::{run_cell_session, SessionConfig};
-use simcore::{SimDuration, SimTime};
+use scenarios::{run_cell_session, SessionArena, SessionConfig, SessionSpec};
+use simcore::{EventQueue, SimDuration, SimTime};
 
 fn session_bundle() -> telemetry::TraceBundle {
     let cfg = SessionConfig {
@@ -237,6 +238,149 @@ fn bench_ran_session(c: &mut Criterion) {
     });
 }
 
+/// The calendar queue against the binary heap on the session engine's
+/// workload shape: near-monotonic schedules a few milliseconds ahead,
+/// `pop_due` draining per 1 ms tick, ~128 events in flight. Both benches
+/// run the identical op sequence; the pop order is identical too (the
+/// property test in simcore enforces it).
+fn bench_calendar_vs_heap(c: &mut Criterion) {
+    fn churn(q: &mut EventQueue<u64>) -> u64 {
+        q.clear();
+        let mut acc = 0u64;
+        let mut seq = 0u64;
+        for tick in 0..1_000u64 {
+            let now = SimTime::from_millis(tick);
+            for k in 0..4u64 {
+                // Mostly near-future (2–40 ms ahead), occasionally far out
+                // (RLC status-delay scale) to exercise the overflow tier.
+                let ahead = if seq.is_multiple_of(61) {
+                    300 + k
+                } else {
+                    2 + (seq % 38)
+                };
+                q.schedule(SimTime::from_millis(tick + ahead), seq);
+                seq += 1;
+            }
+            while let Some(s) = q.pop_due(now) {
+                acc = acc.wrapping_add(s.event);
+            }
+        }
+        while let Some(s) = q.pop() {
+            acc = acc.wrapping_add(s.event);
+        }
+        acc
+    }
+    let mut cal = EventQueue::calendar();
+    c.bench_function("simcore/calendar_vs_heap", |b| {
+        b.iter(|| churn(black_box(&mut cal)))
+    });
+    let mut heap = EventQueue::with_capacity(256);
+    c.bench_function("simcore/calendar_vs_heap_baseline", |b| {
+        b.iter(|| churn(black_box(&mut heap)))
+    });
+}
+
+/// End-to-end sweep-worker throughput: one 3 s simulate-then-analyze
+/// session per iteration. `sweep/sessions_per_sec` is the shipping
+/// configuration (persistent worker arena, calendar queue, recycled
+/// bundles); the `_fresh_heap` companion rebuilds a heap-backed arena per
+/// session, approximating the pre-arena path on current code. The
+/// PR-4 acceptance ratio against the seed tree is tracked by
+/// `ran/two_party_session_per_sim_second` in BENCH_baseline.json.
+fn bench_sweep_sessions(c: &mut Criterion) {
+    let spec = SessionSpec::cell(
+        scenarios::amarisoft(),
+        SessionConfig {
+            duration: SimDuration::from_secs(3),
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions::default();
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+    c.bench_function("sweep/sessions_per_sec", |b| {
+        b.iter(|| scratch.run_session(black_box(&spec), 0, &domino, &opts))
+    });
+    let mut analyzer = StreamingAnalyzer::with_defaults();
+    c.bench_function("sweep/sessions_per_sec_fresh_heap", |b| {
+        b.iter(|| {
+            let mut arena = SessionArena::with_heap_queue();
+            let bundle = black_box(&spec).run_in(&mut arena);
+            analyzer.analyze(&bundle)
+        })
+    });
+}
+
+/// Per-step streaming cost on *busy* windows — dense delay series where the
+/// old per-step delay-trend evaluation was O(window records). The two
+/// numbers run the identical dense trace at a 5 s and a 15 s window: with
+/// the amortized chunk means the per-step cost must stay ~flat instead of
+/// tripling with the window (each step still ingests one step's worth of
+/// records either way).
+fn bench_streaming_step_busy(c: &mut Criterion) {
+    use telemetry::{PacketRecord, SessionMeta, StreamKind, TraceBundle};
+    let secs = 60u64;
+    let mut bundle = TraceBundle::new(SessionMeta::baseline(
+        "busy",
+        SimDuration::from_secs(secs),
+        0,
+    ));
+    // ~2000 delivered packets per second, drifting delays → live trends.
+    for i in 0..(secs * 2000) {
+        let sent = SimTime::from_micros(i * 500);
+        let delay_us = 15_000 + ((i * 37) % 9_000) + ((i / 5_000) % 7) * 4_000;
+        bundle.packets.push(PacketRecord {
+            sent,
+            received: Some(sent + SimDuration::from_micros(delay_us)),
+            direction: if i % 2 == 0 {
+                telemetry::Direction::Uplink
+            } else {
+                telemetry::Direction::Downlink
+            },
+            stream: if i % 13 == 0 {
+                StreamKind::Rtcp
+            } else {
+                StreamKind::Video
+            },
+            seq: i,
+            size_bytes: 900,
+        });
+    }
+    bundle.sort();
+    for (name, window_secs) in [
+        ("domino/streaming_step_busy", 5u64),
+        ("domino/streaming_step_busy_15s_window", 15),
+    ] {
+        let cfg = DominoConfig {
+            step: SimDuration::from_secs(1),
+            window: SimDuration::from_secs(window_secs),
+            ..Default::default()
+        };
+        let warmup = cfg.warmup;
+        let window = cfg.window;
+        let step = cfg.step;
+        let horizon = bundle.horizon();
+        let mut analyzer = StreamingAnalyzer::new(default_graph(), cfg).expect("aligned");
+        let mut cursor = bundle.cursor();
+        let mut start = SimTime::ZERO + warmup;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                if start + window > horizon {
+                    analyzer.reset();
+                    cursor = bundle.cursor();
+                    start = SimTime::ZERO + warmup;
+                }
+                let slices = bundle.advance_until(&mut cursor, start + window);
+                analyzer.push_slices(&slices);
+                let w = analyzer.emit(start);
+                start += step;
+                w
+            })
+        });
+    }
+}
+
 fn bench_phy(c: &mut Criterion) {
     c.bench_function("phy/tbs_bits_full_carrier", |b| {
         b.iter(|| phy::tbs_bits(black_box(27), black_box(273)))
@@ -273,6 +417,9 @@ criterion_group!(
         bench_chain_search,
         bench_dsl_parse,
         bench_ran_session,
+        bench_calendar_vs_heap,
+        bench_sweep_sessions,
+        bench_streaming_step_busy,
         bench_phy,
         bench_trendline
 );

@@ -115,6 +115,21 @@ pub mod strategy {
             rng.gen()
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
 }
 
 /// Strategy over the "canonical arbitrary" values of `T`.

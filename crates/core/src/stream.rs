@@ -390,42 +390,148 @@ fn rising_windowed_means(
     false
 }
 
+/// The chunk predicate of the batch `delay_uptrend` (rows 11–12): a later
+/// sub-window mean exceeding the previous one by 5 %.
+fn delay_pair_rises(prev: f64, mean: f64) -> bool {
+    mean > prev * 1.05
+}
+
+/// One chunk-phase of a [`DelaySeries`]: the rolling means of the partition
+/// whose chunk starts are ≡ `p` (mod `sub`) in global record index.
+#[derive(Debug, Clone, Default)]
+struct DelayPhase {
+    /// Completed chunk means in partition order: `(start_index, mean)`.
+    /// Consecutive entries' starts differ by exactly `sub`.
+    means: VecDeque<(u64, f64)>,
+    /// Adjacent pairs in `means` satisfying [`delay_pair_rises`].
+    rising_pairs: usize,
+}
+
+impl DelayPhase {
+    fn push_mean(&mut self, start: u64, mean: f64) {
+        if let Some(&(_, prev)) = self.means.back() {
+            self.rising_pairs += delay_pair_rises(prev, mean) as usize;
+        }
+        self.means.push_back((start, mean));
+    }
+
+    fn expire(&mut self, first_kept: u64) {
+        while self.means.front().is_some_and(|&(s, _)| s < first_kept) {
+            let (_, old) = self.means.pop_front().expect("non-empty");
+            if let Some(&(_, next)) = self.means.front() {
+                self.rising_pairs -= delay_pair_rises(old, next) as usize;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.means.clear();
+        self.rising_pairs = 0;
+    }
+}
+
 /// Rolling state for one of the four delay series (direction × RTCP-or-media).
+///
+/// The uptrend condition partitions the window's delays into chunks of
+/// `trend_subwindow` **records** anchored at the window's first record, so
+/// the chunk boundaries shift with every expiry — a naive incremental cache
+/// keyed on one anchor is useless. Instead the series maintains all `sub`
+/// possible partitions ("phases") at once: each pushed delay feeds every
+/// phase's open-chunk accumulator (O(sub) per record, amortized constant),
+/// completed chunk means land in per-phase deques with a rolling count of
+/// rising adjacent pairs, and evaluating a window is O(1) — pick the phase
+/// the current front index selects and read its pair count. Chunk means are
+/// accumulated in exactly the batch order (sequential adds from 0.0, one
+/// division by `sub`), so the equivalence with `delay_uptrend` is
+/// bit-exact; `tests/streaming_equivalence.rs` fuzzes precisely the
+/// boundary-shift cases.
 #[derive(Debug, Clone, Default)]
 struct DelaySeries {
     /// `(sent, delay_ms)` of delivered packets, in send order.
     delays: VecDeque<(SimTime, f64)>,
     above_floor: usize,
+    /// Chunk length (`trend_subwindow.max(1)`), fixed at analyzer creation.
+    sub: usize,
+    /// Global index of `delays.front()`.
+    base_idx: u64,
+    /// One partition per chunk-start residue (`sub` entries).
+    phases: Vec<DelayPhase>,
 }
 
 impl DelaySeries {
+    /// Sets the chunk length and allocates the phase partitions.
+    fn configure(&mut self, sub: usize) {
+        self.sub = sub.max(1);
+        self.phases = vec![DelayPhase::default(); self.sub];
+    }
+
     fn push(&mut self, sent: SimTime, delay_ms: f64, th: &Thresholds) {
         self.above_floor += (delay_ms > th.delay_floor_ms) as usize;
+        let g = self.base_idx + self.delays.len() as u64;
         self.delays.push_back((sent, delay_ms));
+        // This record completes exactly one chunk across all `sub`
+        // partitions: the one ending at g, belonging to the phase
+        // `(g+1) mod sub`. Sum its values off the deque tail in push order
+        // (sequential f64 adds from 0.0, matching the batch
+        // `Iterator::sum` bit for bit). If the chunk would reach behind
+        // the current window front, its early values are expired — and a
+        // chunk starting before the front can never be evaluated, so it is
+        // simply not materialised.
+        if self.delays.len() >= self.sub {
+            let sub = self.sub as u64;
+            let start = g + 1 - sub;
+            // Sum the last `sub` values via the deque's raw slices — this
+            // runs for every delivered packet, and the slice loops compile
+            // tighter than a `range()` iterator.
+            let (head, tail) = self.delays.as_slices();
+            let mut acc = 0.0;
+            if tail.len() >= self.sub {
+                for &(_, d) in &tail[tail.len() - self.sub..] {
+                    acc += d;
+                }
+            } else {
+                for &(_, d) in &head[head.len() - (self.sub - tail.len())..] {
+                    acc += d;
+                }
+                for &(_, d) in tail {
+                    acc += d;
+                }
+            }
+            let mean = acc / self.sub as f64;
+            self.phases[((g + 1) % sub) as usize].push_mean(start, mean);
+        }
     }
 
     fn expire(&mut self, from: SimTime, th: &Thresholds) {
         while self.delays.front().is_some_and(|&(ts, _)| ts < from) {
             let (_, d) = self.delays.pop_front().expect("non-empty");
             self.above_floor -= (d > th.delay_floor_ms) as usize;
+            self.base_idx += 1;
+        }
+        for phase in &mut self.phases {
+            phase.expire(self.base_idx);
         }
     }
 
-    /// Rows 11–12, exactly as the batch `delay_uptrend`.
+    /// Rows 11–12, exactly as the batch `delay_uptrend`, in O(1): the
+    /// partition anchored at the window front is the phase whose residue
+    /// the front index selects, and its rising-pair count is maintained
+    /// incrementally.
     fn uptrend(&self, th: &Thresholds) -> bool {
         if self.delays.len() < 2 * th.trend_subwindow || self.above_floor == 0 {
             return false;
         }
-        rising_windowed_means(
-            self.delays.iter().map(|&(_, d)| d),
-            th.trend_subwindow,
-            |prev, mean| mean > prev * 1.05,
-        )
+        let p = (self.base_idx % self.sub as u64) as usize;
+        self.phases[p].rising_pairs > 0
     }
 
     fn clear(&mut self) {
         self.delays.clear();
         self.above_floor = 0;
+        self.base_idx = 0;
+        for phase in &mut self.phases {
+            phase.clear();
+        }
     }
 }
 
@@ -575,12 +681,18 @@ impl StreamingAnalyzer {
             });
         }
         let group_us = cfg.thresholds.mcs_group_ms.max(1) * 1000;
+        let mut delays: [[DelaySeries; 2]; 2] = Default::default();
+        for row in &mut delays {
+            for s in row {
+                s.configure(cfg.thresholds.trend_subwindow);
+            }
+        }
         Ok(StreamingAnalyzer {
             graph,
             cfg,
             group_us,
             app: Default::default(),
-            delays: Default::default(),
+            delays,
             app_bins: Default::default(),
             dci: Default::default(),
             rlc: VecDeque::new(),
@@ -1071,6 +1183,70 @@ mod tests {
             }
             pub fn next_f64(&mut self) -> f64 {
                 (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+
+    /// The amortized delay-trend state must agree with a literal
+    /// re-implementation of the batch condition for every window position —
+    /// especially when the expiry count per slide is *not* a multiple of
+    /// `trend_subwindow`, which shifts every chunk boundary.
+    #[test]
+    fn delay_series_matches_batch_oracle_under_arbitrary_slides() {
+        use rand_like::Lcg;
+        let th = Thresholds::default();
+        let oracle = |win: &[(SimTime, f64)]| -> bool {
+            let delays: Vec<f64> = win.iter().map(|&(_, d)| d).collect();
+            if delays.len() < 2 * th.trend_subwindow {
+                return false;
+            }
+            if !delays.iter().any(|&d| d > th.delay_floor_ms) {
+                return false;
+            }
+            let sub = th.trend_subwindow.max(1);
+            let means: Vec<f64> = delays
+                .chunks(sub)
+                .filter(|c| c.len() == sub)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect();
+            means.windows(2).any(|w| w[1] > w[0] * 1.05)
+        };
+        for seed in [1u64, 5, 23] {
+            let mut rng = Lcg::new(seed);
+            let mut series = DelaySeries::default();
+            series.configure(th.trend_subwindow);
+            let mut shadow: Vec<(SimTime, f64)> = Vec::new();
+            let mut ts = 0u64;
+            let mut front = 0usize;
+            for _ in 0..300 {
+                // Push a burst of 0..12 delays with drifting magnitudes so
+                // uptrends appear and disappear.
+                for _ in 0..rng.next_u64() % 12 {
+                    ts += 1 + rng.next_u64() % 40;
+                    let d = 3.0 + rng.next_f64() * 40.0 + (ts as f64 / 200.0) % 35.0;
+                    let t = SimTime::from_millis(ts);
+                    series.push(t, d, &th);
+                    shadow.push((t, d));
+                }
+                // Slide the window forward by an arbitrary number of records
+                // (hits every chunk-boundary phase).
+                let keep_from = if shadow.len() > front {
+                    let max_expire = (shadow.len() - front) as u64;
+                    front + (rng.next_u64() % (max_expire + 1)) as usize
+                } else {
+                    front
+                };
+                if keep_from > front {
+                    let from = SimTime::from_micros(shadow[keep_from - 1].0.as_micros() + 1);
+                    series.expire(from, &th);
+                    front = keep_from;
+                }
+                assert_eq!(
+                    series.uptrend(&th),
+                    oracle(&shadow[front..]),
+                    "seed {seed}: divergence with {} records in window",
+                    shadow.len() - front
+                );
             }
         }
     }

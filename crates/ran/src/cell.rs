@@ -86,6 +86,9 @@ pub struct CellSim {
     /// slots that started before the hand-over instant, and a packet must
     /// never ride a transport block older than itself.
     staged: Vec<(SimTime, Direction, u64, u32)>,
+    /// Per-slot output scratch, cleared and reused every slot × direction so
+    /// the slot loop performs no steady-state allocation.
+    slot_out: SlotOutputs,
 }
 
 impl CellSim {
@@ -116,6 +119,7 @@ impl CellSim {
             deliveries: Vec::new(),
             next_buffer_sample_at: SimTime::ZERO,
             staged: Vec::new(),
+            slot_out: SlotOutputs::default(),
             cfg,
         }
     }
@@ -204,9 +208,8 @@ impl CellSim {
     }
 
     fn process_slot(&mut self, slot: u64) {
-        let frame = self.cfg.frame.clone();
-        let now = frame.slot_start(slot);
-        let dt = frame.slot_duration;
+        let now = self.cfg.frame.slot_start(slot);
+        let dt = self.cfg.frame.slot_duration;
 
         // Admit staged packets that arrived before this slot started.
         let mut i = 0;
@@ -249,44 +252,45 @@ impl CellSim {
 
         // Uplink control plane: SR check and grant issuance (PDCCH slots).
         mac::check_sr(&mut self.ul, now, &self.cfg.mac);
-        if frame.serves(slot, Direction::Downlink) {
-            mac::issue_ul_grants(&mut self.ul, &frame, &self.cfg.mac, slot, now);
+        if self.cfg.frame.serves(slot, Direction::Downlink) {
+            mac::issue_ul_grants(&mut self.ul, &self.cfg.frame, &self.cfg.mac, slot, now);
         }
 
-        // Data plane, one SlotOutputs per direction so deliveries keep
-        // their direction attribution.
-        if frame.serves(slot, Direction::Downlink) {
+        // Data plane. One reused `SlotOutputs` per direction pass (cleared
+        // between passes) so deliveries keep their direction attribution
+        // without a per-slot allocation.
+        if self.cfg.frame.serves(slot, Direction::Downlink) {
             let cross = self.cross_dl.demand(now, dt, &mut self.rng_cross_dl);
-            let mut out = SlotOutputs::default();
+            self.slot_out.clear();
             mac::process_slot(
                 &mut self.dl,
-                &frame,
+                &self.cfg.frame,
                 &self.cfg.mac,
                 slot,
                 rnti,
                 cross.prb_fraction,
                 &mut self.rng_ch_dl,
                 &mut self.rng_harq,
-                &mut out,
+                &mut self.slot_out,
             );
-            self.collect(Direction::Downlink, out);
+            self.collect(Direction::Downlink);
             self.emit_cross_dci(now, Direction::Downlink, cross.prb_fraction, cross.rnti);
         }
-        if frame.serves(slot, Direction::Uplink) {
+        if self.cfg.frame.serves(slot, Direction::Uplink) {
             let cross = self.cross_ul.demand(now, dt, &mut self.rng_cross_ul);
-            let mut out = SlotOutputs::default();
+            self.slot_out.clear();
             mac::process_slot(
                 &mut self.ul,
-                &frame,
+                &self.cfg.frame,
                 &self.cfg.mac,
                 slot,
                 rnti,
                 cross.prb_fraction,
                 &mut self.rng_ch_ul,
                 &mut self.rng_harq,
-                &mut out,
+                &mut self.slot_out,
             );
-            self.collect(Direction::Uplink, out);
+            self.collect(Direction::Uplink);
             self.emit_cross_dci(now, Direction::Uplink, cross.prb_fraction, cross.rnti);
         }
 
@@ -310,17 +314,18 @@ impl CellSim {
         }
     }
 
-    fn collect(&mut self, dir: Direction, mut out: SlotOutputs) {
-        for d in out.deliveries {
+    /// Moves the reused `slot_out` scratch into the session-lifetime logs.
+    fn collect(&mut self, dir: Direction) {
+        for d in self.slot_out.deliveries.drain(..) {
             self.deliveries.push(Delivery {
                 id: d.sdu_id,
                 direction: dir,
                 delivered_at: d.released_at,
             });
         }
-        self.dci_log.append(&mut out.dci);
+        self.dci_log.append(&mut self.slot_out.dci);
         if self.cfg.has_gnb_log {
-            for (at, sn) in out.rlc_retx {
+            for (at, sn) in self.slot_out.rlc_retx.drain(..) {
                 self.gnb_log.push(GnbLogRecord {
                     ts: at,
                     event: GnbEvent::RlcRetx { direction: dir, sn },
@@ -356,6 +361,12 @@ impl CellSim {
     /// Drains packets delivered since the last call.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    /// Drains deliveries into `out`, keeping both buffers' capacity — the
+    /// allocation-free variant for callers that poll every tick.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
     }
 
     /// Drains DCI records emitted since the last call.

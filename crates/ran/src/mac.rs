@@ -17,8 +17,6 @@
 //! * **HARQ** (Fig. 17): per-process retransmission with a fixed RTT; after
 //!   `max_harq_attempts` failures the TB is abandoned to RLC ARQ (Fig. 18).
 
-use std::collections::BTreeMap;
-
 use rand::Rng;
 use simcore::{SimDuration, SimTime};
 use telemetry::{DciRecord, Direction};
@@ -26,7 +24,7 @@ use telemetry::{DciRecord, Direction};
 use crate::channel::Channel;
 use crate::frame::FrameStructure;
 use crate::phy::{self, OuterLoop};
-use crate::rlc::{Pdu, RlcRx, RlcTx, SduDelivery};
+use crate::rlc::{Pdu, RlcRx, RlcTx, SduDelivery, SegmentPool};
 
 /// Proactive-grant configuration (Mosolabs-style).
 #[derive(Debug, Clone)]
@@ -163,6 +161,16 @@ pub struct SlotOutputs {
     pub rlc_retx: Vec<(SimTime, u32)>,
 }
 
+impl SlotOutputs {
+    /// Empties all three output vectors, keeping their capacity — the cell
+    /// frontend reuses one `SlotOutputs` across every slot it processes.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.dci.clear();
+        self.rlc_retx.clear();
+    }
+}
+
 /// Per-direction link state: RLC entities, channel, HARQ, grant machinery.
 #[derive(Debug)]
 pub struct LinkDir {
@@ -177,8 +185,12 @@ pub struct LinkDir {
     olla: OuterLoop,
     harq: Vec<Option<HarqProcess>>,
     harq_overrides: Vec<HarqOverride>,
+    /// Recycled segment buffers shared by this direction's RLC tx/rx pair.
+    seg_pool: SegmentPool,
     // --- Uplink grant machinery (unused for DL) ---
-    pending_grants: BTreeMap<u64, Grant>,
+    /// Pending grants as a slot-sorted vec: a handful of near-future entries
+    /// at most, so binary search + memmove beat a node-allocating map.
+    pending_grants: Vec<(u64, Grant)>,
     gnb_known_buffer: u64,
     granted_inflight: u64,
     next_sr_at: SimTime,
@@ -201,7 +213,8 @@ impl LinkDir {
             olla: OuterLoop::new(mac.bler_target, mac.olla_step_db),
             harq: vec![None; mac.n_harq_processes],
             harq_overrides: Vec::new(),
-            pending_grants: BTreeMap::new(),
+            seg_pool: SegmentPool::default(),
+            pending_grants: Vec::new(),
             gnb_known_buffer: 0,
             granted_inflight: 0,
             next_sr_at: SimTime::ZERO,
@@ -249,6 +262,30 @@ impl LinkDir {
         self.harq.iter().any(Option::is_some)
     }
 
+    /// Mutable access to the grant pending for `slot`, inserting a default
+    /// entry at its sorted position if absent.
+    fn grant_entry(&mut self, slot: u64) -> &mut Grant {
+        let pos = self.pending_grants.partition_point(|&(s, _)| s < slot);
+        if self.pending_grants.get(pos).is_none_or(|&(s, _)| s != slot) {
+            self.pending_grants.insert(pos, (slot, Grant::default()));
+        }
+        &mut self.pending_grants[pos].1
+    }
+
+    /// Removes and returns the grant pending for exactly `slot`.
+    fn take_grant(&mut self, slot: u64) -> Option<Grant> {
+        let pos = self.pending_grants.partition_point(|&(s, _)| s < slot);
+        if self
+            .pending_grants
+            .get(pos)
+            .is_some_and(|&(s, _)| s == slot)
+        {
+            Some(self.pending_grants.remove(pos).1)
+        } else {
+            None
+        }
+    }
+
     /// Pending grant bytes not yet used (uplink).
     pub fn granted_inflight_bytes(&self) -> u64 {
         self.granted_inflight
@@ -290,8 +327,7 @@ pub fn issue_ul_grants(
         if now >= link.next_proactive_at {
             let target =
                 frame.next_serving_slot(slot + mac.grant_pipeline_slots, Direction::Uplink);
-            let entry = link.pending_grants.entry(target).or_default();
-            entry.proactive_bytes += pg.bytes;
+            link.grant_entry(target).proactive_bytes += pg.bytes;
             link.next_proactive_at = now + pg.period;
         }
     }
@@ -317,8 +353,7 @@ pub fn issue_ul_grants(
     );
     let max_tb_bytes = (phy::tbs_bits(mcs_est, mac.n_prbs) / 8).max(64);
     let bytes = uncovered.min(max_tb_bytes as u64) as u32;
-    let entry = link.pending_grants.entry(target).or_default();
-    entry.bsr_bytes += bytes;
+    link.grant_entry(target).bsr_bytes += bytes;
     link.granted_inflight += bytes as u64;
     link.next_grantable_slot = target + 1;
 }
@@ -382,8 +417,12 @@ pub fn process_slot<R: Rng + ?Sized>(
         });
         if !fail {
             let p = link.harq[i].take().expect("process present");
-            out.deliveries
-                .extend(link.rlc_rx.receive(now + mac.decode_latency, p.pdu));
+            link.rlc_rx.receive_into(
+                now + mac.decode_latency,
+                p.pdu,
+                &mut out.deliveries,
+                &mut link.seg_pool,
+            );
         } else {
             p.attempts_done += 1;
             if p.attempts_done >= mac.max_harq_attempts {
@@ -400,7 +439,7 @@ pub fn process_slot<R: Rng + ?Sized>(
     // ---- 2. One new transmission, if capacity and data allow ----
     let grant = match link.dir {
         Direction::Uplink => {
-            let g = link.pending_grants.remove(&slot);
+            let g = link.take_grant(slot);
             if let Some(g) = &g {
                 // Only BSR-driven bytes were counted as covering the buffer.
                 link.granted_inflight = link.granted_inflight.saturating_sub(g.bsr_bytes as u64);
@@ -485,7 +524,10 @@ pub fn process_slot<R: Rng + ?Sized>(
     let tb_limit_bytes = want_bytes
         .min(max_tb_bytes)
         .max(if retx_pending { 1 } else { 0 });
-    let Some(pdu) = link.rlc_tx.build_pdu(now, tb_limit_bytes) else {
+    let Some(pdu) = link
+        .rlc_tx
+        .build_pdu_pooled(now, tb_limit_bytes, &mut link.seg_pool)
+    else {
         if link.dir == Direction::Uplink {
             refresh_bsr(link);
         }
@@ -527,8 +569,12 @@ pub fn process_slot<R: Rng + ?Sized>(
     });
 
     if !fail {
-        out.deliveries
-            .extend(link.rlc_rx.receive(now + mac.decode_latency, pdu));
+        link.rlc_rx.receive_into(
+            now + mac.decode_latency,
+            pdu,
+            &mut out.deliveries,
+            &mut link.seg_pool,
+        );
     } else if mac.max_harq_attempts <= 1 {
         // HARQ budget exhausted by the initial attempt: straight to RLC ARQ.
         let eligible = now + mac.rlc_status_delay;

@@ -33,10 +33,34 @@ pub fn resource_elements(n_prbs: u16) -> u32 {
     per_prb * n_prbs as u32
 }
 
+/// Largest PRB allocation covered by the memoized TBS table (273 PRBs =
+/// 100 MHz at 30 kHz SCS, the widest carrier modelled).
+const TBS_CACHE_PRBS: usize = 273;
+
 /// Transport block size in bits for `mcs` over `n_prbs` PRBs, single layer.
 ///
-/// Returns 0 for an empty allocation.
+/// Returns 0 for an empty allocation. The full `(mcs, n_prbs)` grid up to
+/// [`TBS_CACHE_PRBS`] is computed once and memoized — the scheduler reads
+/// this several times per slot, and the four-step quantization procedure is
+/// all float math.
 pub fn tbs_bits(mcs: u8, n_prbs: u16) -> u32 {
+    if (n_prbs as usize) <= TBS_CACHE_PRBS {
+        static TABLE: std::sync::OnceLock<Vec<u32>> = std::sync::OnceLock::new();
+        let table = TABLE.get_or_init(|| {
+            let mut t = Vec::with_capacity(MCS_TABLE.len() * (TBS_CACHE_PRBS + 1));
+            for mcs in 0..MCS_TABLE.len() as u8 {
+                for prbs in 0..=TBS_CACHE_PRBS as u16 {
+                    t.push(tbs_bits_uncached(mcs, prbs));
+                }
+            }
+            t
+        });
+        return table[mcs as usize * (TBS_CACHE_PRBS + 1) + n_prbs as usize];
+    }
+    tbs_bits_uncached(mcs, n_prbs)
+}
+
+fn tbs_bits_uncached(mcs: u8, n_prbs: u16) -> u32 {
     if n_prbs == 0 {
         return 0;
     }

@@ -55,6 +55,28 @@ pub struct Pdu {
     pub is_retx: bool,
 }
 
+/// A free list of spent `Vec<Segment>` buffers, recycled between the PDU
+/// builder ([`RlcTx::build_pdu_pooled`]) and the in-order release path
+/// ([`RlcRx::receive_into`]) so steady-state PDU traffic performs no heap
+/// allocation. One pool per link direction lives in the MAC's `LinkDir`.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentPool {
+    free: Vec<Vec<Segment>>,
+}
+
+impl SegmentPool {
+    /// Takes an empty segment buffer from the pool (or a fresh one).
+    pub fn get(&mut self) -> Vec<Segment> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent buffer to the pool.
+    pub fn put(&mut self, mut v: Vec<Segment>) {
+        v.clear();
+        self.free.push(v);
+    }
+}
+
 /// Transmitter-side RLC AM entity.
 #[derive(Debug, Clone, Default)]
 pub struct RlcTx {
@@ -120,6 +142,18 @@ impl RlcTx {
     /// do; a retransmitted PDU keeps its original sequence number and is
     /// *not* truncated to `max_bytes` (the grant is assumed sized for it).
     pub fn build_pdu(&mut self, now: SimTime, max_bytes: u32) -> Option<Pdu> {
+        let mut pool = SegmentPool::default();
+        self.build_pdu_pooled(now, max_bytes, &mut pool)
+    }
+
+    /// [`Self::build_pdu`] drawing its segment buffer from `pool` — the
+    /// allocation-free variant the per-slot scheduler uses.
+    pub fn build_pdu_pooled(
+        &mut self,
+        now: SimTime,
+        max_bytes: u32,
+        pool: &mut SegmentPool,
+    ) -> Option<Pdu> {
         if self.retx_due(now) {
             let (_, pdu) = self.retx.pop_front().expect("checked retx_due");
             return Some(pdu);
@@ -127,7 +161,7 @@ impl RlcTx {
         if max_bytes == 0 || self.new_data_bytes == 0 {
             return None;
         }
-        let mut segments = Vec::new();
+        let mut segments = pool.get();
         let mut remaining = max_bytes;
         while remaining > 0 {
             let Some(front) = self.queue.front_mut() else {
@@ -149,6 +183,7 @@ impl RlcTx {
             }
         }
         if segments.is_empty() {
+            pool.put(segments);
             return None;
         }
         let bytes = max_bytes - remaining;
@@ -215,23 +250,39 @@ impl RlcRx {
     /// by in-order release (possibly many at once after a gap fills — the
     /// HoL release burst of Fig. 18).
     pub fn receive(&mut self, now: SimTime, pdu: Pdu) -> Vec<SduDelivery> {
+        let mut out = Vec::new();
+        let mut pool = SegmentPool::default();
+        self.receive_into(now, pdu, &mut out, &mut pool);
+        out
+    }
+
+    /// [`Self::receive`] appending completed SDUs to `out` and recycling the
+    /// released PDUs' segment buffers into `pool` — the allocation-free
+    /// variant the per-slot scheduler uses.
+    pub fn receive_into(
+        &mut self,
+        now: SimTime,
+        pdu: Pdu,
+        out: &mut Vec<SduDelivery>,
+        pool: &mut SegmentPool,
+    ) {
         if pdu.sn < self.next_expected_sn {
-            return Vec::new(); // duplicate of something already released
+            pool.put(pdu.segments); // duplicate of something already released
+            return;
         }
         self.held.insert(pdu.sn, pdu);
-        let mut released = Vec::new();
         while let Some(pdu) = self.held.remove(&self.next_expected_sn) {
             self.next_expected_sn += 1;
             for seg in &pdu.segments {
                 if seg.last_of_sdu {
-                    released.push(SduDelivery {
+                    out.push(SduDelivery {
                         sdu_id: seg.sdu_id,
                         released_at: now,
                     });
                 }
             }
+            pool.put(pdu.segments);
         }
-        released
     }
 }
 

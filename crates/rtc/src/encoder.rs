@@ -131,6 +131,19 @@ impl VideoEncoder {
         rng: &mut R,
     ) -> Vec<VideoFrame> {
         let mut frames = Vec::new();
+        self.poll_into(now, rate_bps, rng, &mut frames);
+        frames
+    }
+
+    /// [`Self::poll`] appending into a caller-owned buffer (allocation-free
+    /// when the buffer's capacity is warm).
+    pub fn poll_into<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        rate_bps: f64,
+        rng: &mut R,
+        frames: &mut Vec<VideoFrame>,
+    ) {
         while self.next_frame_at <= now {
             let ts = self.next_frame_at;
             self.adapt(ts, rate_bps);
@@ -158,7 +171,6 @@ impl VideoEncoder {
             self.frame_idx += 1;
             self.next_frame_at = ts + SimDuration::from_secs_f64(1.0 / self.fps);
         }
-        frames
     }
 
     fn adapt(&mut self, now: SimTime, rate_bps: f64) {
@@ -242,6 +254,12 @@ impl AudioSource {
     /// Produces all audio packets due at or before `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<AudioPacket> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`] appending into a caller-owned buffer.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<AudioPacket>) {
         while self.next_at <= now {
             out.push(AudioPacket {
                 capture_ts: self.next_at,
@@ -251,7 +269,6 @@ impl AudioSource {
             self.seq += 1;
             self.next_at += self.ptime;
         }
-        out
     }
 }
 

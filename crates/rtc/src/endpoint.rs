@@ -103,6 +103,12 @@ pub struct MediaSender {
     unacked: BTreeMap<u64, (SimTime, u32)>,
     rng: StdRng,
     mtu: u32,
+    // Reused scratch so the per-tick poll path and the per-feedback path
+    // stay allocation-free at steady state.
+    frame_scratch: Vec<crate::encoder::VideoFrame>,
+    audio_scratch: Vec<crate::encoder::AudioPacket>,
+    fb_scratch: Vec<FeedbackEntry>,
+    lost_scratch: Vec<u64>,
 }
 
 impl MediaSender {
@@ -117,14 +123,29 @@ impl MediaSender {
             unacked: BTreeMap::new(),
             rng: rng_for(seed, RngStream::Custom(stream_tag)),
             mtu: cfg.encoder.mtu_bytes,
+            frame_scratch: Vec::new(),
+            audio_scratch: Vec::new(),
+            fb_scratch: Vec::new(),
+            lost_scratch: Vec::new(),
         }
     }
 
     /// Produces all packets due at or before `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<OutgoingPacket> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`] appending into a caller-owned buffer — the
+    /// allocation-free form the session engine drives every tick.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<OutgoingPacket>) {
         let pushback = self.cc.pushback_rate_bps(now);
         // Encode due frames and packetize into the pacer.
-        for frame in self.encoder.poll(now, pushback, &mut self.rng) {
+        self.frame_scratch.clear();
+        self.encoder
+            .poll_into(now, pushback, &mut self.rng, &mut self.frame_scratch);
+        for frame in self.frame_scratch.drain(..) {
             let n = frame.size_bytes.div_ceil(self.mtu).max(1);
             for i in 0..n {
                 let size = if i + 1 == n {
@@ -143,7 +164,9 @@ impl MediaSender {
                 });
             }
         }
-        for pkt in self.audio.poll(now) {
+        self.audio_scratch.clear();
+        self.audio.poll_into(now, &mut self.audio_scratch);
+        for pkt in self.audio_scratch.drain(..) {
             self.pacer.enqueue(PacedPacket {
                 stream: StreamKind::Audio,
                 size_bytes: pkt.size_bytes,
@@ -155,8 +178,7 @@ impl MediaSender {
             });
         }
         // Release paced packets.
-        let mut out = Vec::new();
-        for sent in self.pacer.poll(now, pushback) {
+        while let Some(sent) = self.pacer.pop_due(now, pushback) {
             let seq = self.transport_seq;
             self.transport_seq += 1;
             self.cc.on_packet_sent(sent.at, sent.packet.size_bytes);
@@ -182,16 +204,15 @@ impl MediaSender {
                 payload,
             });
         }
-        out
     }
 
     /// Processes arrived transport feedback.
     pub fn on_transport_feedback(&mut self, now: SimTime, fb: &TransportFeedback) {
-        let mut entries = Vec::with_capacity(fb.entries.len());
+        self.fb_scratch.clear();
         let mut newest_acked_sent: Option<SimTime> = None;
         for e in &fb.entries {
             if let Some((sent, size)) = self.unacked.remove(&e.transport_seq) {
-                entries.push(FeedbackEntry {
+                self.fb_scratch.push(FeedbackEntry {
                     transport_seq: e.transport_seq,
                     sent,
                     arrival: Some(e.arrival),
@@ -203,15 +224,17 @@ impl MediaSender {
         // Loss detection: unacked packets sent long before the newest acked
         // one are gone.
         if let Some(newest) = newest_acked_sent {
-            let lost: Vec<u64> = self
-                .unacked
-                .iter()
-                .filter(|(_, (sent, _))| *sent + LOSS_TIMEOUT < newest)
-                .map(|(&seq, _)| seq)
-                .collect();
-            for seq in lost {
+            self.lost_scratch.clear();
+            self.lost_scratch.extend(
+                self.unacked
+                    .iter()
+                    .filter(|(_, (sent, _))| *sent + LOSS_TIMEOUT < newest)
+                    .map(|(&seq, _)| seq),
+            );
+            for i in 0..self.lost_scratch.len() {
+                let seq = self.lost_scratch[i];
                 let (sent, size) = self.unacked.remove(&seq).expect("present");
-                entries.push(FeedbackEntry {
+                self.fb_scratch.push(FeedbackEntry {
                     transport_seq: seq,
                     sent,
                     arrival: None,
@@ -219,7 +242,7 @@ impl MediaSender {
                 });
             }
         }
-        self.cc.on_transport_feedback(now, &entries);
+        self.cc.on_transport_feedback(now, &self.fb_scratch);
     }
 
     /// Processes an arrived receiver report.
@@ -308,9 +331,16 @@ impl MediaReceiver {
 
     /// Advances playout and builds due feedback packets.
     pub fn poll(&mut self, now: SimTime) -> Vec<OutgoingPacket> {
-        self.video.poll(now);
-        self.audio.poll(now);
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`] appending into a caller-owned buffer — the
+    /// allocation-free form the session engine drives every tick.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<OutgoingPacket>) {
+        self.video.advance(now);
+        self.audio.poll(now);
         let (fb, rr) = self.feedback.poll(now);
         if let Some(fb) = fb {
             out.push(OutgoingPacket {
@@ -328,7 +358,6 @@ impl MediaReceiver {
                 payload: PacketPayload::Report(rr),
             });
         }
-        out
     }
 
     /// Earliest time the receiver next has scheduled work.

@@ -182,6 +182,19 @@ impl VideoJitterBuffer {
     /// completion if that deadline has passed (that lateness is a stall).
     pub fn poll(&mut self, now: SimTime) -> Vec<RenderedFrame> {
         let mut rendered = Vec::new();
+        self.render_due(now, |f| rendered.push(f));
+        rendered
+    }
+
+    /// Advances playout to `now`, discarding rendered frames — the
+    /// allocation-free form endpoints use on the per-tick path (all rendering
+    /// side effects — freeze accounting, fps window, delay tracking — happen
+    /// identically).
+    pub fn advance(&mut self, now: SimTime) {
+        self.render_due(now, |_| {});
+    }
+
+    fn render_due(&mut self, now: SimTime, mut sink: impl FnMut(RenderedFrame)) {
         loop {
             let Some(assembly) = self.frames.get(&self.next_render_idx) else {
                 // Next frame has no packets yet. Skip-ahead policy: if a
@@ -230,7 +243,7 @@ impl VideoJitterBuffer {
                 self.hold_ewma_ms = 0.9 * self.hold_ewma_ms + 0.1 * hold;
             }
             self.account_freeze(render_at);
-            rendered.push(RenderedFrame {
+            sink(RenderedFrame {
                 at: render_at,
                 capture_ts,
                 buffer_hold_ms: render_at.saturating_since(complete_at).as_millis_f64(),
@@ -245,7 +258,6 @@ impl VideoJitterBuffer {
             let gap = now.saturating_since(last).as_millis_f64();
             self.freeze_active = gap >= self.freeze_threshold_ms();
         }
-        rendered
     }
 
     fn freeze_threshold_ms(&self) -> f64 {

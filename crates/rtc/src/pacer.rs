@@ -69,25 +69,32 @@ impl Pacer {
     /// Releases all packets whose paced send time is at or before `now`,
     /// given the current pushback rate.
     pub fn poll(&mut self, now: SimTime, pushback_rate_bps: f64) -> Vec<SentPacket> {
-        let pacing_bps = (pushback_rate_bps * PACING_FACTOR).max(MIN_PACING_BPS);
         let mut out = Vec::new();
-        while let Some(front) = self.queue.front() {
-            let release = self.next_release_at.max(
-                // Never release media before it was captured.
-                front.capture_ts,
-            );
-            if release > now {
-                break;
-            }
-            let pkt = self.queue.pop_front().expect("checked front");
-            out.push(SentPacket {
-                at: release,
-                packet: pkt,
-            });
-            let tx = SimDuration::from_secs_f64(pkt.size_bytes as f64 * 8.0 / pacing_bps);
-            self.next_release_at = release + tx;
+        while let Some(sent) = self.pop_due(now, pushback_rate_bps) {
+            out.push(sent);
         }
         out
+    }
+
+    /// Releases the next packet whose paced send time is at or before `now`,
+    /// or `None` — the allocation-free single-step form of [`Self::poll`].
+    pub fn pop_due(&mut self, now: SimTime, pushback_rate_bps: f64) -> Option<SentPacket> {
+        let pacing_bps = (pushback_rate_bps * PACING_FACTOR).max(MIN_PACING_BPS);
+        let front = self.queue.front()?;
+        let release = self.next_release_at.max(
+            // Never release media before it was captured.
+            front.capture_ts,
+        );
+        if release > now {
+            return None;
+        }
+        let pkt = self.queue.pop_front().expect("checked front");
+        let tx = SimDuration::from_secs_f64(pkt.size_bytes as f64 * 8.0 / pacing_bps);
+        self.next_release_at = release + tx;
+        Some(SentPacket {
+            at: release,
+            packet: pkt,
+        })
     }
 
     /// Time of the next pending release, if any packets are queued.

@@ -16,7 +16,8 @@ use ran_sim::{CellConfig, CellSim};
 
 use crate::cells::all_cells;
 use crate::session::{
-    run_baseline_session_with_tap, run_cell_session_with_tap, BaselineAccess, SessionConfig,
+    run_baseline_session_with_tap_in, run_cell_session_with_tap_in, BaselineAccess, SessionArena,
+    SessionConfig,
 };
 
 /// Which access network a session runs over.
@@ -154,12 +155,27 @@ impl SessionSpec {
         self.run_with_tap(&mut telemetry::NullTap)
     }
 
+    /// Runs the session inside a caller-owned [`SessionArena`], reusing its
+    /// buffers (sweep workers thread one arena through every session).
+    pub fn run_in(&self, arena: &mut SessionArena) -> TraceBundle {
+        self.run_with_tap_in(&mut telemetry::NullTap, arena)
+    }
+
     /// Runs the session while streaming telemetry into `tap` at emission
     /// time (see [`telemetry::LiveTap`]). The returned bundle matches
     /// [`Self::run`] unless the tap aborts the session early.
     pub fn run_with_tap(&self, tap: &mut dyn telemetry::LiveTap) -> TraceBundle {
+        self.run_with_tap_in(tap, &mut SessionArena::new())
+    }
+
+    /// [`Self::run_with_tap`] inside a caller-owned [`SessionArena`].
+    pub fn run_with_tap_in(
+        &self,
+        tap: &mut dyn telemetry::LiveTap,
+        arena: &mut SessionArena,
+    ) -> TraceBundle {
         match &self.access {
-            AccessSpec::Cell(cell) => run_cell_session_with_tap(
+            AccessSpec::Cell(cell) => run_cell_session_with_tap_in(
                 (**cell).clone(),
                 &self.cfg,
                 |sim| {
@@ -168,8 +184,11 @@ impl SessionSpec {
                     }
                 },
                 tap,
+                arena,
             ),
-            AccessSpec::Baseline(access) => run_baseline_session_with_tap(*access, &self.cfg, tap),
+            AccessSpec::Baseline(access) => {
+                run_baseline_session_with_tap_in(*access, &self.cfg, tap, arena)
+            }
         }
     }
 }

@@ -24,8 +24,9 @@ pub use cells::{
 };
 pub use grid::{all_cells_grid, AccessSpec, ScriptAction, SessionGrid, SessionSpec};
 pub use session::{
-    run_baseline_session, run_baseline_session_with_tap, run_cell_session,
-    run_cell_session_with_tap, BaselineAccess, SessionConfig,
+    run_baseline_session, run_baseline_session_with_tap, run_baseline_session_with_tap_in,
+    run_cell_session, run_cell_session_with_tap, run_cell_session_with_tap_in, BaselineAccess,
+    SessionArena, SessionConfig,
 };
 pub use zoom_campus::{
     generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord,

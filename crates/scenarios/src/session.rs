@@ -16,7 +16,7 @@ use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
 use telemetry::{Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle};
 
 use netpath::{PathConfig, PathModel};
-use ran_sim::{CellConfig, CellSim};
+use ran_sim::{CellConfig, CellSim, Delivery};
 use rtc_sim::{OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig};
 
 /// Session-level configuration.
@@ -72,7 +72,7 @@ struct DirectAccess {
     dl: PathModel,
     rng_ul: StdRng,
     rng_dl: StdRng,
-    out: Vec<(u64, Direction, SimTime)>,
+    out: Vec<Delivery>,
 }
 
 impl AccessSim {
@@ -85,7 +85,11 @@ impl AccessSim {
                     Direction::Downlink => direct.dl.traverse(now, size, &mut direct.rng_dl),
                 };
                 if let Some(at) = arrival {
-                    direct.out.push((id, dir, at));
+                    direct.out.push(Delivery {
+                        id,
+                        direction: dir,
+                        delivered_at: at,
+                    });
                 }
                 // Lost packets simply never come out.
             }
@@ -98,14 +102,10 @@ impl AccessSim {
         }
     }
 
-    fn drain_deliveries(&mut self) -> Vec<(u64, Direction, SimTime)> {
+    fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
         match self {
-            AccessSim::Cell(cell) => cell
-                .drain_deliveries()
-                .into_iter()
-                .map(|d| (d.id, d.direction, d.delivered_at))
-                .collect(),
-            AccessSim::Direct(direct) => std::mem::take(&mut direct.out),
+            AccessSim::Cell(cell) => cell.drain_deliveries_into(out),
+            AccessSim::Direct(direct) => out.append(&mut direct.out),
         }
     }
 }
@@ -125,6 +125,133 @@ struct Pending {
     payload: PacketPayload,
     sent: SimTime,
     size: u32,
+}
+
+/// Multiplicative hasher for the sequential packet ids keyed into
+/// [`SessionArena`]'s in-flight map. Two reasons over the default SipHash:
+/// it is ~4× cheaper on this u64-only key (the map is touched for every
+/// packet emission and delivery), and it is *deterministic* — the std
+/// `RandomState` seed changes the table's tombstone layout and therefore
+/// its resize points, which would make [`SessionArena::footprint`]
+/// non-reproducible across runs.
+#[derive(Debug, Clone, Copy, Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, i: u64) {
+        // Fibonacci-multiply then spread high bits into the low bits the
+        // table indexes with.
+        let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type IdMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<IdHasher>>;
+
+/// Reusable per-worker storage for the session engine: the route-event
+/// queue, the in-flight packet map, the per-tick scratch buffers, and a
+/// recycled [`TraceBundle`]. A sweep worker keeps one arena and threads it
+/// through every session it runs, so a 1000-session sweep performs O(1)
+/// large allocations per worker instead of O(sessions).
+///
+/// Arenas carry **no cross-session state** — every buffer is cleared (not
+/// shrunk) at session start, and the event queue's tie-break sequence
+/// restarts — so a session run in a warm arena is byte-identical to one run
+/// in a fresh arena. The determinism suites cover this.
+pub struct SessionArena {
+    queue: EventQueue<RouteEvent>,
+    pending: IdMap<Pending>,
+    emit: Vec<OutgoingPacket>,
+    deliveries: Vec<Delivery>,
+    ran: RanScratch,
+    bundle: Option<TraceBundle>,
+}
+
+impl Default for SessionArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionArena {
+    /// An arena on the calendar event queue — the session engine's default
+    /// backend (see [`simcore::CalendarQueue`]).
+    pub fn new() -> Self {
+        Self::with_queue(EventQueue::calendar())
+    }
+
+    /// An arena on the classic binary-heap queue. Pop order is identical;
+    /// this exists for A/B benchmarking and as a fallback for workloads the
+    /// calendar's bucket geometry does not fit.
+    pub fn with_heap_queue() -> Self {
+        Self::with_queue(EventQueue::with_capacity(256))
+    }
+
+    fn with_queue(queue: EventQueue<RouteEvent>) -> Self {
+        SessionArena {
+            queue,
+            pending: IdMap::default(),
+            emit: Vec::new(),
+            deliveries: Vec::new(),
+            ran: RanScratch::default(),
+            bundle: None,
+        }
+    }
+
+    /// Hands a finished session's bundle back for buffer reuse. Sweeps that
+    /// do not retain bundles call this after analysis; the next session run
+    /// through this arena fills the same record vectors.
+    pub fn recycle(&mut self, bundle: TraceBundle) {
+        self.bundle = Some(bundle);
+    }
+
+    /// Approximate retained storage in *elements* across all arena buffers
+    /// (capacities, not occupancy). After the first session warms the arena,
+    /// this must stay flat across further sessions — asserted by the
+    /// heap-peak regression test in `tests/live_equivalence.rs`.
+    pub fn footprint(&self) -> usize {
+        let (queue, pending, emit, deliveries, ran, bundle) = self.footprint_parts();
+        queue + pending + emit + deliveries + ran + bundle
+    }
+
+    /// Per-component footprint breakdown (debug aid): `(queue, pending,
+    /// emit, deliveries, ran, bundle)`.
+    #[doc(hidden)]
+    pub fn footprint_parts(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let bundle = self.bundle.as_ref().map_or(0, |b| {
+            b.dci.capacity()
+                + b.gnb.capacity()
+                + b.packets.capacity()
+                + b.app_local.capacity()
+                + b.app_remote.capacity()
+        });
+        (
+            self.queue.capacity(),
+            self.pending.capacity(),
+            self.emit.capacity(),
+            self.deliveries.capacity(),
+            self.ran.dci.capacity() + self.ran.gnb.capacity(),
+            bundle,
+        )
+    }
+
+    fn take_bundle(&mut self, meta: SessionMeta) -> TraceBundle {
+        match self.bundle.take() {
+            Some(mut b) => {
+                b.reset(meta);
+                b
+            }
+            None => TraceBundle::new(meta),
+        }
+    }
 }
 
 /// Runs a session over a 5G cell. `script` can install scripted overrides
@@ -149,6 +276,18 @@ pub fn run_cell_session_with_tap(
     script: impl FnOnce(&mut CellSim),
     tap: &mut dyn LiveTap,
 ) -> TraceBundle {
+    run_cell_session_with_tap_in(cell_cfg, cfg, script, tap, &mut SessionArena::new())
+}
+
+/// [`run_cell_session_with_tap`] running inside a caller-owned
+/// [`SessionArena`] — the allocation-reusing entry point sweep workers use.
+pub fn run_cell_session_with_tap_in(
+    cell_cfg: CellConfig,
+    cfg: &SessionConfig,
+    script: impl FnOnce(&mut CellSim),
+    tap: &mut dyn LiveTap,
+    arena: &mut SessionArena,
+) -> TraceBundle {
     let meta = SessionMeta {
         cell_name: cell_cfg.name.clone(),
         cell_class: cell_cfg.class,
@@ -162,7 +301,14 @@ pub fn run_cell_session_with_tap(
     let mut cell = CellSim::new(cell_cfg, cfg.seed);
     script(&mut cell);
     let access = AccessSim::Cell(Box::new(cell));
-    run(access, Some(PathConfig::core_network()), meta, cfg, tap)
+    run(
+        access,
+        Some(PathConfig::core_network()),
+        meta,
+        cfg,
+        tap,
+        arena,
+    )
 }
 
 /// Runs a baseline (wired or Wi-Fi) session for the §2 comparisons.
@@ -176,6 +322,17 @@ pub fn run_baseline_session_with_tap(
     cfg: &SessionConfig,
     tap: &mut dyn LiveTap,
 ) -> TraceBundle {
+    run_baseline_session_with_tap_in(access, cfg, tap, &mut SessionArena::new())
+}
+
+/// [`run_baseline_session_with_tap`] running inside a caller-owned
+/// [`SessionArena`].
+pub fn run_baseline_session_with_tap_in(
+    access: BaselineAccess,
+    cfg: &SessionConfig,
+    tap: &mut dyn LiveTap,
+    arena: &mut SessionArena,
+) -> TraceBundle {
     let (name, path) = match access {
         BaselineAccess::Wired => ("Wired baseline", PathConfig::wired_lan()),
         BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
@@ -188,7 +345,7 @@ pub fn run_baseline_session_with_tap(
         rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
         out: Vec::new(),
     }));
-    run(sim, None, meta, cfg, tap)
+    run(sim, None, meta, cfg, tap, arena)
 }
 
 fn run(
@@ -197,11 +354,12 @@ fn run(
     meta: SessionMeta,
     cfg: &SessionConfig,
     tap: &mut dyn LiveTap,
+    arena: &mut SessionArena,
 ) -> TraceBundle {
     // `NullTap` (the untapped wrappers) keeps the per-tick telemetry drain
     // disabled so the classic path's allocation pattern is untouched.
     let tapped = tap.is_active();
-    let mut bundle = TraceBundle::new(meta);
+    let mut bundle = arena.take_bundle(meta);
     let mut a = RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11);
     let mut b = RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12);
 
@@ -213,36 +371,37 @@ fn run(
     let mut rng_fwd = rng_for(cfg.seed, RngStream::PathForward);
     let mut rng_rev = rng_for(cfg.seed, RngStream::PathReverse);
 
-    // Route-event queue, reused across every session this thread runs (the
-    // sweep engine drives many sessions per worker). `clear()` resets the
-    // tie-break sequence, so a recycled queue replays identically to a
-    // fresh one; the initial capacity covers the typical in-flight
-    // population of a two-party call so steady state never reallocates.
-    thread_local! {
-        static ROUTE_QUEUE: std::cell::RefCell<EventQueue<RouteEvent>> =
-            std::cell::RefCell::new(EventQueue::with_capacity(256));
-    }
-    let mut q = ROUTE_QUEUE.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    // All hot-loop storage comes from the arena: the route-event queue
+    // (`clear()` resets the tie-break sequence, so a recycled queue replays
+    // identically to a fresh one), the in-flight map, and the per-tick
+    // emission/delivery scratch. At steady state no step of the tick loop
+    // allocates.
+    let SessionArena {
+        queue: q,
+        pending,
+        emit,
+        deliveries,
+        ran: ran_scratch,
+        ..
+    } = arena;
     q.clear();
-    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    pending.clear();
+    emit.clear();
+    deliveries.clear();
     let mut next_id: u64 = 0;
     let mut next_stats = SimTime::ZERO + cfg.stats_interval;
 
     let ticks = cfg.duration / cfg.tick;
     let mut end_time = SimTime::ZERO + cfg.tick * ticks;
     let mut aborted = false;
-    let mut ran_scratch = RanScratch::default();
     for i in 1..=ticks {
         let now = SimTime::ZERO + cfg.tick * i;
 
         // 1. Endpoints emit (media from senders, RTCP from receivers).
-        let from_a: Vec<OutgoingPacket> = a
-            .sender
-            .poll(now)
-            .into_iter()
-            .chain(a.receiver.poll(now))
-            .collect();
-        for p in from_a {
+        emit.clear();
+        a.sender.poll_into(now, emit);
+        a.receiver.poll_into(now, emit);
+        for p in emit.drain(..) {
             let id = next_id;
             next_id += 1;
             let record_idx = bundle.packets.len();
@@ -261,13 +420,10 @@ fn run(
             );
             access.enqueue(p.at, Direction::Uplink, id, p.size_bytes);
         }
-        let from_b: Vec<OutgoingPacket> = b
-            .sender
-            .poll(now)
-            .into_iter()
-            .chain(b.receiver.poll(now))
-            .collect();
-        for p in from_b {
+        emit.clear();
+        b.sender.poll_into(now, emit);
+        b.receiver.poll_into(now, emit);
+        for p in emit.drain(..) {
             let id = next_id;
             next_id += 1;
             let record_idx = bundle.packets.len();
@@ -299,8 +455,11 @@ fn run(
 
         // 2. Access network advances; deliveries continue along the path.
         access.poll(now);
-        for (id, dir, t_out) in access.drain_deliveries() {
-            match dir {
+        deliveries.clear();
+        access.drain_deliveries_into(deliveries);
+        for d in deliveries.iter() {
+            let (id, t_out) = (d.id, d.delivered_at);
+            match d.direction {
                 Direction::Uplink => {
                     let Some(p) = pending.get(&id) else { continue };
                     let hop1 = match &mut core_ul {
@@ -331,12 +490,12 @@ fn run(
                     }
                 }
                 RouteEvent::ArriveAtPeer(id) => {
-                    if deliver(&mut pending, &mut bundle, id, ev.at, &mut b) && tapped {
+                    if deliver(pending, &mut bundle, id, ev.at, &mut b) && tapped {
                         tap.on_packet_delivered(id, ev.at);
                     }
                 }
                 RouteEvent::ArriveAtUe(id) => {
-                    if deliver(&mut pending, &mut bundle, id, ev.at, &mut a) && tapped {
+                    if deliver(pending, &mut bundle, id, ev.at, &mut a) && tapped {
                         tap.on_packet_delivered(id, ev.at);
                     }
                 }
@@ -360,7 +519,7 @@ fn run(
         // 5. Live taps see RAN telemetry and the clock every tick, and may
         // abort the session (early-exit diagnosis).
         if tapped {
-            drain_ran_telemetry(&mut access, &mut bundle, tap, &mut ran_scratch);
+            drain_ran_telemetry(&mut access, &mut bundle, tap, ran_scratch);
             tap.on_tick(now);
             if tap.should_stop() {
                 end_time = now;
@@ -374,7 +533,7 @@ fn run(
     // but the final tick's worth; the untapped path moves the whole log in
     // one O(1) bulk transfer and lets the final sort order the gNB records.
     if tapped {
-        drain_ran_telemetry(&mut access, &mut bundle, tap, &mut ran_scratch);
+        drain_ran_telemetry(&mut access, &mut bundle, tap, ran_scratch);
         if aborted {
             // An early exit truncates the session: record how much actually
             // ran, so per-minute normalisation (event rates, chain stats)
@@ -386,10 +545,8 @@ fn run(
         for r in cell.drain_dci() {
             bundle.append_dci(r);
         }
-        bundle.gnb = cell.drain_gnb();
+        cell.drain_gnb_into(&mut bundle.gnb);
     }
-    // Hand the (drained) queue back for the next session on this thread.
-    ROUTE_QUEUE.with(|cell| *cell.borrow_mut() = q);
     bundle.sort();
     bundle
 }
@@ -431,7 +588,7 @@ fn drain_ran_telemetry(
 }
 
 fn deliver(
-    pending: &mut HashMap<u64, Pending>,
+    pending: &mut IdMap<Pending>,
     bundle: &mut TraceBundle,
     id: u64,
     at: SimTime,

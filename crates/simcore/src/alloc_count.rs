@@ -1,0 +1,80 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! The simulation hot path is supposed to be allocation-free at steady
+//! state (reserve-and-clear scratch buffers, arena-recycled bundles, pooled
+//! PDU segment vectors). That property regresses silently — a stray
+//! `collect()` in a per-tick loop costs a few percent of throughput and no
+//! test notices. This harness makes it checkable: install [`CountingAlloc`]
+//! as the `#[global_allocator]` of a test binary and wrap the code under
+//! test in [`measure`].
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: simcore::alloc_count::CountingAlloc = simcore::alloc_count::CountingAlloc;
+//!
+//! let (bundle, stats) = simcore::alloc_count::measure(|| run_session(...));
+//! assert!(stats.allocations < BUDGET);
+//! ```
+//!
+//! The counters are process-global atomics: measurements are only meaningful
+//! single-threaded (integration tests run one `#[test]` per thread — use
+//! `--test-threads=1` or a dedicated test binary for exact numbers).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `GlobalAlloc` that forwards to [`System`] while counting every
+/// allocation and reallocation (deallocations are free and not counted).
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counters have no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Counters captured by [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Heap allocations (including reallocations) performed.
+    pub allocations: u64,
+    /// Bytes requested across those allocations.
+    pub bytes: u64,
+}
+
+/// Allocations counted so far in this process (0 unless [`CountingAlloc`]
+/// is installed as the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and reports the allocations it performed. Only exact when
+/// [`CountingAlloc`] is the global allocator and nothing else runs
+/// concurrently.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
+    let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let r = f();
+    let stats = AllocStats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed) - a0,
+        bytes: BYTES.load(Ordering::Relaxed) - b0,
+    };
+    (r, stats)
+}

@@ -16,11 +16,12 @@
 //! the workload is CPU-bound deterministic simulation, which async executors
 //! are explicitly not meant for.
 
+pub mod alloc_count;
 pub mod dist;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use queue::{EventQueue, Scheduled};
+pub use queue::{CalendarQueue, EventQueue, Scheduled};
 pub use rng::{derive_seed, rng_for, RngStream};
 pub use time::{SimDuration, SimTime};

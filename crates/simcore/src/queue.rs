@@ -1,9 +1,23 @@
-//! Deterministic event queue.
+//! Deterministic event queues.
 //!
-//! A thin wrapper over [`BinaryHeap`] that orders events by `(time, sequence)`
-//! so that events scheduled for the same instant pop in insertion order. This
-//! is the property that makes whole-session simulations replay byte-identically
-//! from a seed: `BinaryHeap` alone gives no stable order for ties.
+//! Two implementations share one ordering contract — events pop in strict
+//! `(time, sequence)` order, where the sequence is assigned at scheduling
+//! time, so same-instant events pop in insertion order. This is the property
+//! that makes whole-session simulations replay byte-identically from a seed:
+//! a bare [`BinaryHeap`] gives no stable order for ties.
+//!
+//! * [`EventQueue::new`] — the classic binary-heap backend: `O(log n)`
+//!   schedule/pop, no assumptions about the workload.
+//! * [`EventQueue::calendar`] / [`CalendarQueue`] — a calendar (bucket)
+//!   queue in the ns-3 tradition: time is tiled into fixed-width buckets
+//!   arranged in a ring, events land in their bucket in `O(1)`, and the pop
+//!   cursor sweeps the ring in time order, sorting one small bucket at a
+//!   time. Far-future events sit in a sorted overflow tier until the ring
+//!   window reaches them. For the near-monotonic slot-tick workload of the
+//!   session engine (schedule a few milliseconds ahead, pop every tick) this
+//!   trades the heap's `O(log n)` pointer-chasing for cache-friendly bucket
+//!   pushes, while producing the **exact same pop sequence** — enforced by a
+//!   property test below and by every determinism suite in the workspace.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,22 +57,275 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic min-heap of timestamped events.
+/// Log2 of the default calendar bucket width in µs (1024 µs ≈ one engine
+/// tick / one 15 kHz slot).
+const DEFAULT_BUCKET_SHIFT: u32 = 10;
+/// Default ring size (buckets); must be a power of two. With the default
+/// width the ring covers ≈ 262 ms — comfortably past the in-flight horizon
+/// of a two-party call, so overflow migration is rare.
+const DEFAULT_RING_BUCKETS: usize = 256;
+
+/// A calendar (bucket) event queue with the same deterministic
+/// `(time, sequence)` pop order as the binary-heap [`EventQueue`].
+///
+/// Geometry: bucket width `1 << shift` µs, a power-of-two ring of buckets
+/// covering `[base, base + ring)` in absolute bucket indices, and a binary
+/// heap holding everything beyond the ring window. The pop cursor drains the
+/// `base` bucket (sorted on first touch, descending so pops come off the
+/// tail) and advances; events scheduled behind the cursor are clamped into
+/// the base bucket, which preserves the heap contract — pop returns the
+/// minimum `(time, seq)` among *currently pending* events, not a globally
+/// sorted sequence.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Absolute index of the bucket the cursor currently drains.
+    base: u64,
+    shift: u32,
+    mask: u64,
+    /// Events stored in the ring (excludes overflow).
+    ring_len: usize,
+    /// Whether the base bucket is sorted (descending) and pop-ready.
+    base_sorted: bool,
+    overflow: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the default geometry (1 ms buckets,
+    /// 256-bucket ring).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_RING_BUCKETS)
+    }
+
+    /// Creates an empty queue with `1 << shift` µs buckets and a ring of
+    /// `ring_buckets` (rounded up to a power of two, minimum 2).
+    pub fn with_geometry(shift: u32, ring_buckets: usize) -> Self {
+        let n = ring_buckets.next_power_of_two().max(2);
+        let mut buckets = Vec::with_capacity(n);
+        buckets.resize_with(n, Vec::new);
+        CalendarQueue {
+            buckets,
+            base: 0,
+            shift,
+            mask: n as u64 - 1,
+            ring_len: 0,
+            base_sorted: false,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    fn abs_bucket(&self, at: SimTime) -> u64 {
+        at.as_micros() >> self.shift
+    }
+
+    fn ring_size(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Drops all pending events but keeps every allocation; the tie-break
+    /// sequence restarts, so a cleared queue replays identically to a fresh
+    /// one.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.base = 0;
+        self.ring_len = 0;
+        self.base_sorted = false;
+        self.overflow.clear();
+        self.next_seq = 0;
+        self.len = 0;
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_scheduled(Scheduled { at, seq, event });
+    }
+
+    fn push_scheduled(&mut self, s: Scheduled<E>) {
+        self.len += 1;
+        let ab = self.abs_bucket(s.at);
+        if ab >= self.base + self.ring_size() {
+            self.overflow.push(s);
+            return;
+        }
+        // Late events (behind the cursor) clamp into the base bucket: they
+        // must pop before anything still pending, and the within-bucket sort
+        // key is the full `(at, seq)`, so ordering stays exact.
+        let ab = ab.max(self.base);
+        let idx = (ab & self.mask) as usize;
+        if ab == self.base && self.base_sorted {
+            // The base bucket is mid-drain: keep it descending-sorted.
+            let b = &mut self.buckets[idx];
+            let key = (s.at, s.seq);
+            let pos = b.partition_point(|x| (x.at, x.seq) > key);
+            b.insert(pos, s);
+        } else {
+            self.buckets[idx].push(s);
+        }
+        self.ring_len += 1;
+    }
+
+    /// Advances the cursor to the bucket holding the earliest pending event
+    /// and sorts it. After this, if `len > 0`, the base bucket is non-empty,
+    /// sorted descending, and its tail is the global minimum.
+    fn settle(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        if self.ring_len == 0 {
+            // Ring empty: jump the window to the overflow head.
+            let head_at = self.overflow.peek().expect("len > 0").at;
+            self.base = self.abs_bucket(head_at);
+            self.base_sorted = false;
+            self.migrate_overflow();
+        }
+        while self.buckets[(self.base & self.mask) as usize].is_empty() {
+            self.base += 1;
+            self.base_sorted = false;
+            self.migrate_overflow();
+            if self.ring_len == 0 {
+                // Everything between here and the overflow head is empty.
+                let head_at = self.overflow.peek().expect("ring empty, len > 0").at;
+                self.base = self.abs_bucket(head_at);
+                self.migrate_overflow();
+            }
+        }
+        if !self.base_sorted {
+            let b = &mut self.buckets[(self.base & self.mask) as usize];
+            // Keys are unique (seq strictly increases), so unstable is safe.
+            b.sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.seq)));
+            self.base_sorted = true;
+        }
+    }
+
+    /// Moves overflow events that now fall inside the ring window into it.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.base + self.ring_size();
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|s| self.abs_bucket(s.at) < horizon)
+        {
+            let s = self.overflow.pop().expect("peeked");
+            let ab = self.abs_bucket(s.at);
+            debug_assert!(ab >= self.base);
+            self.buckets[(ab & self.mask) as usize].push(s);
+            self.ring_len += 1;
+            if ab == self.base {
+                self.base_sorted = false;
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let b = &mut self.buckets[(self.base & self.mask) as usize];
+        let s = b.pop().expect("settle leaves base bucket non-empty");
+        self.ring_len -= 1;
+        self.len -= 1;
+        Some(s)
+    }
+
+    /// Pops the earliest event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let b = &mut self.buckets[(self.base & self.mask) as usize];
+        if b.last().expect("non-empty after settle").at <= now {
+            self.ring_len -= 1;
+            self.len -= 1;
+            b.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the earliest pending event.
+    ///
+    /// Takes `&self`, so it cannot advance the cursor: the ring is scanned
+    /// from the cursor position (`O(ring + bucket)` worst case). Hot loops
+    /// should prefer [`Self::pop_due`], which settles first and then reads
+    /// the sorted bucket tail in `O(1)`.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|s| s.at);
+        }
+        let mut ab = self.base;
+        loop {
+            let b = &self.buckets[(ab & self.mask) as usize];
+            if !b.is_empty() {
+                return b.iter().map(|s| s.at).min();
+            }
+            ab += 1;
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total retained storage (events) across buckets and overflow —
+    /// capacity, not occupancy. Arena-reuse regression tests watch this.
+    pub fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Inner<E> {
+    Heap {
+        heap: BinaryHeap<Scheduled<E>>,
+        next_seq: u64,
+    },
+    Calendar(CalendarQueue<E>),
+}
+
+/// A deterministic min-queue of timestamped events, with a choice of
+/// backend: binary heap ([`EventQueue::new`]) or calendar buckets
+/// ([`EventQueue::calendar`]). Both produce the identical pop sequence.
 ///
 /// ```
 /// use simcore::{EventQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
-/// q.schedule(SimTime::from_millis(2), "b");
-/// q.schedule(SimTime::from_millis(1), "a");
-/// q.schedule(SimTime::from_millis(2), "c");
-/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
-/// assert_eq!(order, vec!["a", "b", "c"]); // FIFO among equal times
+/// for mut q in [EventQueue::new(), EventQueue::calendar()] {
+///     q.schedule(SimTime::from_millis(2), "b");
+///     q.schedule(SimTime::from_millis(1), "a");
+///     q.schedule(SimTime::from_millis(2), "c");
+///     let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+///     assert_eq!(order, vec!["a", "b", "c"]); // FIFO among equal times
+/// }
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
+    inner: Inner<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,20 +335,46 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty heap-backed queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            inner: Inner::Heap {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            },
         }
     }
 
-    /// Creates an empty queue with room for `cap` events before reallocating.
+    /// Creates an empty heap-backed queue with room for `cap` events before
+    /// reallocating.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+            inner: Inner::Heap {
+                heap: BinaryHeap::with_capacity(cap),
+                next_seq: 0,
+            },
         }
+    }
+
+    /// Creates an empty calendar-backed queue with the default geometry
+    /// (the session engine's default — see [`CalendarQueue`]).
+    pub fn calendar() -> Self {
+        EventQueue {
+            inner: Inner::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Creates an empty calendar-backed queue with explicit geometry
+    /// (see [`CalendarQueue::with_geometry`]).
+    pub fn calendar_with_geometry(shift: u32, ring_buckets: usize) -> Self {
+        EventQueue {
+            inner: Inner::Calendar(CalendarQueue::with_geometry(shift, ring_buckets)),
+        }
+    }
+
+    /// Whether this queue runs on the calendar backend.
+    pub fn is_calendar(&self) -> bool {
+        matches!(self.inner, Inner::Calendar(_))
     }
 
     /// Drops all pending events but keeps the allocation, so a session
@@ -89,15 +382,25 @@ impl<E> EventQueue<E> {
     /// The tie-break sequence restarts too: a cleared queue replays
     /// identically to a fresh one.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.next_seq = 0;
+        match &mut self.inner {
+            Inner::Heap { heap, next_seq } => {
+                heap.clear();
+                *next_seq = 0;
+            }
+            Inner::Calendar(c) => c.clear(),
+        }
     }
 
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        match &mut self.inner {
+            Inner::Heap { heap, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                heap.push(Scheduled { at, seq, event });
+            }
+            Inner::Calendar(c) => c.schedule(at, event),
+        }
     }
 
     /// Schedules `event` to fire `delay` after `now`.
@@ -107,30 +410,52 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => heap.pop(),
+            Inner::Calendar(c) => c.pop(),
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.peek().map(|s| s.at),
+            Inner::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.len(),
+            Inner::Calendar(c) => c.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Pops the earliest event only if it fires at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
-        if self.peek_time().is_some_and(|t| t <= now) {
-            self.heap.pop()
-        } else {
-            None
+        match &mut self.inner {
+            Inner::Heap { heap, .. } => {
+                if heap.peek().is_some_and(|s| s.at <= now) {
+                    heap.pop()
+                } else {
+                    None
+                }
+            }
+            Inner::Calendar(c) => c.pop_due(now),
+        }
+    }
+
+    /// Total retained storage (events) — capacity, not occupancy.
+    pub fn capacity(&self) -> usize {
+        match &self.inner {
+            Inner::Heap { heap, .. } => heap.capacity(),
+            Inner::Calendar(c) => c.capacity(),
         }
     }
 }
@@ -140,88 +465,155 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn both() -> [EventQueue<usize>; 2] {
+        [EventQueue::new(), EventQueue::calendar()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(30), 3);
-        q.schedule(SimTime::from_millis(10), 1);
-        q.schedule(SimTime::from_millis(20), 2);
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop().unwrap().event, 1);
-        assert_eq!(q.pop().unwrap().event, 2);
-        assert_eq!(q.pop().unwrap().event, 3);
-        assert!(q.pop().is_none());
+        for mut q in [EventQueue::new(), EventQueue::calendar()] {
+            q.schedule(SimTime::from_millis(30), 3);
+            q.schedule(SimTime::from_millis(10), 1);
+            q.schedule(SimTime::from_millis(20), 2);
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop().unwrap().event, 1);
+            assert_eq!(q.pop().unwrap().event, 2);
+            assert_eq!(q.pop().unwrap().event, 3);
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn fifo_among_ties() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(SimTime::from_millis(7), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().event, i);
+        for mut q in both() {
+            for i in 0..100 {
+                q.schedule(SimTime::from_millis(7), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().event, i);
+            }
         }
     }
 
     #[test]
     fn pop_due_respects_now() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(5), "early");
-        q.schedule(SimTime::from_millis(15), "late");
-        assert_eq!(q.pop_due(SimTime::from_millis(10)).unwrap().event, "early");
-        assert!(q.pop_due(SimTime::from_millis(10)).is_none());
-        assert_eq!(q.pop_due(SimTime::from_millis(20)).unwrap().event, "late");
+        for mut q in [EventQueue::new(), EventQueue::calendar()] {
+            q.schedule(SimTime::from_millis(5), "early");
+            q.schedule(SimTime::from_millis(15), "late");
+            assert_eq!(q.pop_due(SimTime::from_millis(10)).unwrap().event, "early");
+            assert!(q.pop_due(SimTime::from_millis(10)).is_none());
+            assert_eq!(q.pop_due(SimTime::from_millis(20)).unwrap().event, "late");
+        }
     }
 
     #[test]
     fn schedule_in_offsets_from_now() {
-        let mut q = EventQueue::new();
-        q.schedule_in(SimTime::from_millis(10), SimDuration::from_millis(5), "x");
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(15)));
+        for mut q in [EventQueue::new(), EventQueue::calendar()] {
+            q.schedule_in(SimTime::from_millis(10), SimDuration::from_millis(5), "x");
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(15)));
+        }
     }
 
     #[test]
     fn clear_keeps_capacity_and_resets_ties() {
-        let mut q = EventQueue::with_capacity(64);
-        for i in 0..10 {
-            q.schedule(SimTime::from_millis(1), i);
+        for mut q in both() {
+            for i in 0..10 {
+                q.schedule(SimTime::from_millis(1), i);
+            }
+            q.clear();
+            assert!(q.is_empty());
+            // After clear, tie order restarts from scratch like a fresh queue.
+            q.schedule(SimTime::from_millis(2), 100);
+            q.schedule(SimTime::from_millis(2), 200);
+            assert_eq!(q.pop().unwrap().event, 100);
+            assert_eq!(q.pop().unwrap().event, 200);
         }
-        q.clear();
-        assert!(q.is_empty());
-        // After clear, tie order restarts from scratch like a fresh queue.
-        q.schedule(SimTime::from_millis(2), 100);
-        q.schedule(SimTime::from_millis(2), 200);
-        assert_eq!(q.pop().unwrap().event, 100);
-        assert_eq!(q.pop().unwrap().event, 200);
     }
 
     #[test]
     fn peek_time_matches_pop() {
-        let mut q = EventQueue::new();
-        assert!(q.peek_time().is_none());
-        q.schedule(SimTime::from_millis(9), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+        for mut q in [EventQueue::<()>::new(), EventQueue::calendar()] {
+            assert!(q.peek_time().is_none());
+            q.schedule(SimTime::from_millis(9), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+        }
+    }
+
+    #[test]
+    fn calendar_handles_far_future_overflow_and_late_inserts() {
+        // Tiny ring (4 buckets × 1.024 ms) to force overflow migration.
+        let mut q = EventQueue::calendar_with_geometry(10, 4);
+        q.schedule(SimTime::from_millis(500), 500); // deep overflow
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(100), 100); // overflow
+        assert_eq!(q.pop().unwrap().event, 1);
+        // Behind-the-cursor insert after draining t=1: must pop immediately.
+        q.schedule(SimTime::from_micros(500), 0);
+        assert_eq!(q.pop().unwrap().event, 0);
+        assert_eq!(q.pop().unwrap().event, 100);
+        assert_eq!(q.pop().unwrap().event, 500);
+        assert!(q.pop().is_none());
     }
 
     proptest! {
         /// Popping everything always yields a non-decreasing time sequence, and
-        /// among equal times the original insertion order.
+        /// among equal times the original insertion order — on both backends.
         #[test]
         fn prop_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.schedule(SimTime::from_micros(t), i);
+            for mut q in [EventQueue::new(), EventQueue::calendar_with_geometry(6, 8)] {
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_micros(t), i);
+                }
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some(s) = q.pop() {
+                    if let Some((lt, li)) = last {
+                        prop_assert!(s.at >= lt);
+                        if s.at == lt {
+                            prop_assert!(s.event > li, "FIFO violated among ties");
+                        }
+                    }
+                    last = Some((s.at, s.event));
+                }
             }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some(s) = q.pop() {
-                if let Some((lt, li)) = last {
-                    prop_assert!(s.at >= lt);
-                    if s.at == lt {
-                        prop_assert!(s.event > li, "FIFO violated among ties");
+        }
+
+        /// Tie-order equivalence: an arbitrary interleaving of schedules and
+        /// pops drained from both backends produces identical `(time, seq,
+        /// payload)` sequences — the contract every determinism suite rests
+        /// on. Times include far-future outliers (overflow tier) and
+        /// behind-the-cursor values (clamped inserts).
+        #[test]
+        fn prop_heap_calendar_equivalence(
+            ops in proptest::collection::vec((0u64..50_000, proptest::any::<bool>()), 1..300),
+        ) {
+            let mut heap = EventQueue::new();
+            let mut cal = EventQueue::calendar_with_geometry(8, 8);
+            for (payload, &(t, pop_after)) in ops.iter().enumerate() {
+                heap.schedule(SimTime::from_micros(t), payload);
+                cal.schedule(SimTime::from_micros(t), payload);
+                if pop_after {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!(x.at, y.at);
+                            prop_assert_eq!(x.event, y.event);
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(false, "one backend emptied early"),
                     }
                 }
-                last = Some((s.at, s.event));
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            loop {
+                match (heap.pop(), cal.pop()) {
+                    (Some(x), Some(y)) => {
+                        prop_assert_eq!(x.at, y.at);
+                        prop_assert_eq!(x.event, y.event);
+                    }
+                    (None, None) => break,
+                    _ => prop_assert!(false, "length mismatch while draining"),
+                }
             }
         }
     }

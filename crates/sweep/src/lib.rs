@@ -34,6 +34,7 @@ pub use shard::{
     merge_shards, run_shard, LiveTotals, MergeError, Shard, ShardPlan, ShardReport, SpecOutcome,
 };
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -41,7 +42,7 @@ use std::time::Instant;
 
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
 use domino_live::{LivePipeline, LiveStats};
-use scenarios::SessionSpec;
+use scenarios::{SessionArena, SessionSpec};
 use telemetry::{SessionMeta, TraceBundle};
 
 pub use domino_live::{EarlyExit, LiveConfig};
@@ -152,11 +153,58 @@ pub struct SweepProgress {
     pub completed: usize,
     /// Total sessions in the sweep.
     pub total: usize,
-    /// Completion throughput since the sweep started.
+    /// Completion throughput over a sliding window of the most recent
+    /// completions (up to [`RATE_WINDOW`]), falling back to the lifetime
+    /// average while the window fills. A long sweep whose early sessions
+    /// were slow (cold caches) or fast (short specs first) therefore
+    /// reports the *current* rate, and the ETA stays stable instead of
+    /// drifting with the lifetime mean.
     pub sessions_per_sec: f64,
     /// Estimated seconds until the sweep drains, extrapolated from the
-    /// throughput so far (`f64::INFINITY` until one session completes).
+    /// windowed throughput (`f64::INFINITY` until one session completes).
     pub eta_secs: f64,
+}
+
+/// Completions the windowed sessions/sec estimate looks back over.
+pub const RATE_WINDOW: usize = 32;
+
+/// Sliding window of completion instants behind the progress rate.
+struct RateWindow {
+    started: Instant,
+    recent: VecDeque<Instant>,
+}
+
+impl RateWindow {
+    fn new(started: Instant) -> Self {
+        RateWindow {
+            started,
+            recent: VecDeque::with_capacity(RATE_WINDOW + 1),
+        }
+    }
+
+    /// Records a completion at `now` and returns the windowed rate.
+    fn on_completion(&mut self, now: Instant, completed: usize) -> f64 {
+        self.recent.push_back(now);
+        while self.recent.len() > RATE_WINDOW {
+            self.recent.pop_front();
+        }
+        let window_secs = self
+            .recent
+            .front()
+            .map(|&first| now.duration_since(first).as_secs_f64())
+            .unwrap_or(0.0);
+        if self.recent.len() >= 2 && window_secs > 0.0 {
+            (self.recent.len() - 1) as f64 / window_secs
+        } else {
+            // Window not yet meaningful: lifetime average.
+            let elapsed = now.duration_since(self.started).as_secs_f64();
+            if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 /// Aggregated results of one sweep.
@@ -203,56 +251,34 @@ pub fn run_sweep_with_progress(
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let started = Instant::now();
+    let rate = Mutex::new(RateWindow::new(Instant::now()));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // One analyzer/pipeline per worker: allocations (deques,
-                // buffers, scratch) are reused across every session the
-                // worker claims.
-                let mut analyzer = match opts.analysis {
-                    AnalysisMode::Streaming => {
-                        StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).ok()
-                    }
-                    _ => None,
-                };
-                let mut pipeline = match opts.analysis {
-                    AnalysisMode::Live => LivePipeline::new(
-                        domino.graph().clone(),
-                        domino.config().clone(),
-                        opts.live,
-                    )
-                    .ok(),
-                    _ => None,
-                };
+                // One scratch per worker: the session arena (event queue,
+                // in-flight map, recycled bundle buffers) and the
+                // analyzer/pipeline state are reused across every session
+                // the worker claims.
+                let mut scratch = WorkerScratch::new(domino, opts);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= specs.len() {
                         break;
                     }
-                    let outcome = run_one(
-                        &specs[i],
-                        i,
-                        domino,
-                        analyzer.as_mut(),
-                        pipeline.as_mut(),
-                        opts,
-                    );
+                    let outcome = scratch.run_session(&specs[i], i, domino, opts);
                     slots.lock().expect("sweep worker panicked")[i] = Some(outcome);
                     let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let elapsed = started.elapsed().as_secs_f64();
-                    let rate = if elapsed > 0.0 {
-                        completed as f64 / elapsed
-                    } else {
-                        0.0
-                    };
+                    let sessions_per_sec = rate
+                        .lock()
+                        .expect("sweep worker panicked")
+                        .on_completion(Instant::now(), completed);
                     progress(SweepProgress {
                         completed,
                         total: specs.len(),
-                        sessions_per_sec: rate,
-                        eta_secs: if rate > 0.0 {
-                            (specs.len() - completed) as f64 / rate
+                        sessions_per_sec,
+                        eta_secs: if sessions_per_sec > 0.0 {
+                            (specs.len() - completed) as f64 / sessions_per_sec
                         } else {
                             f64::INFINITY
                         },
@@ -277,51 +303,105 @@ pub fn run_sweep_with_progress(
     report
 }
 
-fn run_one(
-    spec: &SessionSpec,
-    index: usize,
-    domino: &Domino,
-    analyzer: Option<&mut StreamingAnalyzer>,
-    pipeline: Option<&mut LivePipeline>,
-    opts: &SweepOptions,
-) -> SessionOutcome {
-    let (bundle, analysis, live) = match (opts.analysis, pipeline) {
-        (AnalysisMode::Live, Some(p)) => {
-            // Analysis runs inline, during the simulation; the pipeline may
-            // abort the session early per `opts.live.early_exit`.
-            p.reset();
-            let bundle = spec.run_with_tap(p);
-            let analysis = p.take_analysis(bundle.meta.duration);
-            (bundle, Some(analysis), Some(p.stats()))
+/// Everything one sweep worker reuses across the sessions it claims: the
+/// [`SessionArena`] (event-queue storage, in-flight packet map, per-tick
+/// scratch, recycled [`TraceBundle`] record buffers) plus the streaming
+/// analyzer or live pipeline for the configured [`AnalysisMode`].
+///
+/// With a warm scratch, running a session performs O(1) large allocations
+/// — the heap-peak regression test in `tests/live_equivalence.rs` asserts
+/// the arena footprint stays flat from the second session on.
+pub struct WorkerScratch {
+    arena: SessionArena,
+    analyzer: Option<StreamingAnalyzer>,
+    pipeline: Option<LivePipeline>,
+}
+
+impl WorkerScratch {
+    /// Creates the scratch a worker needs for `opts.analysis` under
+    /// `domino`'s configuration.
+    pub fn new(domino: &Domino, opts: &SweepOptions) -> Self {
+        let analyzer = match opts.analysis {
+            AnalysisMode::Streaming => {
+                StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).ok()
+            }
+            _ => None,
+        };
+        let pipeline = match opts.analysis {
+            AnalysisMode::Live => {
+                LivePipeline::new(domino.graph().clone(), domino.config().clone(), opts.live).ok()
+            }
+            _ => None,
+        };
+        WorkerScratch {
+            arena: SessionArena::new(),
+            analyzer,
+            pipeline,
         }
-        (AnalysisMode::Live, None) => {
-            // Configuration outside the streaming alignment contract:
-            // fall back to a post-hoc batch pass.
-            let bundle = spec.run();
-            let analysis = domino.analyze(&bundle);
-            (bundle, Some(analysis), None)
+    }
+
+    /// The arena's retained-storage footprint (see
+    /// [`SessionArena::footprint`]).
+    pub fn footprint(&self) -> usize {
+        self.arena.footprint()
+    }
+
+    /// Runs one spec through simulate-then-analyze (or live inline
+    /// analysis), reusing every buffer in this scratch. When
+    /// `opts.keep_bundles` is off, the bundle's record buffers are recycled
+    /// into the arena for the next session.
+    pub fn run_session(
+        &mut self,
+        spec: &SessionSpec,
+        index: usize,
+        domino: &Domino,
+        opts: &SweepOptions,
+    ) -> SessionOutcome {
+        let (bundle, analysis, live) = match (opts.analysis, &mut self.pipeline) {
+            (AnalysisMode::Live, Some(p)) => {
+                // Analysis runs inline, during the simulation; the pipeline
+                // may abort the session early per `opts.live.early_exit`.
+                p.reset();
+                let bundle = spec.run_with_tap_in(p, &mut self.arena);
+                let analysis = p.take_analysis(bundle.meta.duration);
+                (bundle, Some(analysis), Some(p.stats()))
+            }
+            (AnalysisMode::Live, None) => {
+                // Configuration outside the streaming alignment contract:
+                // fall back to a post-hoc batch pass.
+                let bundle = spec.run_in(&mut self.arena);
+                let analysis = domino.analyze(&bundle);
+                (bundle, Some(analysis), None)
+            }
+            (mode, _) => {
+                let bundle = spec.run_in(&mut self.arena);
+                let analysis = match (mode, &mut self.analyzer) {
+                    (AnalysisMode::None, _) => None,
+                    (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(&bundle)),
+                    _ => Some(domino.analyze(&bundle)),
+                };
+                (bundle, analysis, None)
+            }
+        };
+        let stats = analysis
+            .as_ref()
+            .map(|a| ChainStats::compute(domino.graph(), a));
+        let meta = bundle.meta.clone();
+        let bundle = if opts.keep_bundles {
+            Some(bundle)
+        } else {
+            self.arena.recycle(bundle);
+            None
+        };
+        SessionOutcome {
+            index,
+            label: spec.label.clone(),
+            meta,
+            bundle,
+            analysis: if opts.keep_analyses { analysis } else { None },
+            stats,
+            live,
         }
-        (mode, _) => {
-            let bundle = spec.run();
-            let analysis = match (mode, analyzer) {
-                (AnalysisMode::None, _) => None,
-                (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(&bundle)),
-                _ => Some(domino.analyze(&bundle)),
-            };
-            (bundle, analysis, None)
-        }
-    };
-    let stats = analysis
-        .as_ref()
-        .map(|a| ChainStats::compute(domino.graph(), a));
-    SessionOutcome {
-        index,
-        label: spec.label.clone(),
-        meta: bundle.meta.clone(),
-        bundle: opts.keep_bundles.then_some(bundle),
-        analysis: if opts.keep_analyses { analysis } else { None },
-        stats,
-        live,
     }
 }
 
@@ -467,6 +547,33 @@ mod tests {
             assert!(stats.windows_emitted > 0);
         }
         assert!(batch.outcomes.iter().all(|o| o.live.is_none()));
+    }
+
+    #[test]
+    fn rate_window_tracks_recent_throughput_not_lifetime() {
+        use std::time::Duration;
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(t0);
+        // One completion: no window yet, lifetime fallback.
+        let r1 = w.on_completion(t0 + Duration::from_secs(1), 1);
+        assert!((r1 - 1.0).abs() < 0.05, "lifetime fallback, got {r1}");
+        // A slow first phase (1 session/s)…
+        for i in 2..=5u32 {
+            w.on_completion(t0 + Duration::from_secs(i as u64), i as usize);
+        }
+        // …then a fast phase at 10 sessions/s. After RATE_WINDOW fast
+        // completions the slow phase has left the window entirely: the
+        // reported rate must be ~10/s, not the lifetime mean (~6/s).
+        let mut now = t0 + Duration::from_secs(5);
+        let mut rate = 0.0;
+        for i in 0..(RATE_WINDOW as u32 + 4) {
+            now += Duration::from_millis(100);
+            rate = w.on_completion(now, 5 + i as usize + 1);
+        }
+        assert!(
+            (rate - 10.0).abs() < 0.5,
+            "windowed rate should track the recent 10/s phase, got {rate}"
+        );
     }
 
     #[test]

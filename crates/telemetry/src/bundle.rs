@@ -90,6 +90,20 @@ impl TraceBundle {
         }
     }
 
+    /// Re-initialises the bundle for a new session described by `meta`,
+    /// keeping every record vector's allocation. This is the
+    /// arena-recycling half of the sweep engine's allocation contract: a
+    /// worker hands its previous session's bundle back to its
+    /// `SessionArena`, and the next session fills the same buffers.
+    pub fn reset(&mut self, meta: SessionMeta) {
+        self.meta = meta;
+        self.dci.clear();
+        self.gnb.clear();
+        self.packets.clear();
+        self.app_local.clear();
+        self.app_remote.clear();
+    }
+
     /// Sorts every record vector by timestamp. Simulators append records in
     /// emission order which is already time-sorted, but scripted scenarios or
     /// merged bundles may not be; detectors require sortedness.

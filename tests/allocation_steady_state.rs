@@ -1,0 +1,98 @@
+//! Allocation budget of the simulate-then-analyze hot path (PR 4).
+//!
+//! Installs `simcore::alloc_count::CountingAlloc` as this binary's global
+//! allocator and meters whole sessions run through a warm
+//! [`WorkerScratch`]. The budgets are deliberately loose (×2-ish headroom)
+//! so they survive compiler/std drift, while still being far below the
+//! pre-arena baseline (~6 allocations per engine tick; the scrubbed path
+//! runs at a fraction of one per tick — BTreeMap node churn in the jitter
+//! buffers and RLC reorder state is what remains).
+//!
+//! Counters are process-global, so every test here serializes on one mutex
+//! and tolerates nothing else running — keep this binary free of
+//! unrelated tests.
+
+use std::sync::Mutex;
+
+use domino::core::Domino;
+use domino::scenarios::{SessionConfig, SessionSpec};
+use domino::simcore::alloc_count::{self, CountingAlloc};
+use domino::simcore::SimDuration;
+use domino::sweep::{SweepOptions, WorkerScratch};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn spec(seed: u64, secs: u64) -> SessionSpec {
+    SessionSpec::cell(
+        domino::scenarios::amarisoft(),
+        SessionConfig {
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn warm_worker_sessions_stay_within_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap();
+    let secs = 15u64;
+    let ticks = secs * 1000; // 1 ms engine tick
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions::default();
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+
+    // Session 1 warms the arena (bundle growth, queue buckets, map).
+    let (_, cold) =
+        alloc_count::measure(|| scratch.run_session(&spec(31, secs), 0, &domino, &opts));
+
+    // Sessions 2+: simulation + streaming analysis in warmed buffers.
+    let mut per_session = Vec::new();
+    for i in 1..4usize {
+        let (outcome, warm) =
+            alloc_count::measure(|| scratch.run_session(&spec(31, secs), i, &domino, &opts));
+        assert!(outcome.stats.is_some());
+        per_session.push(warm.allocations);
+    }
+    let worst = *per_session.iter().max().unwrap();
+    eprintln!(
+        "cold session: {} allocs; warm sessions: {per_session:?} ({ticks} ticks)",
+        cold.allocations
+    );
+
+    // The budget: averaged over the session, well under one heap allocation
+    // per engine tick (the seed path performed ~6/tick). This is the
+    // regression tripwire for a stray per-tick `collect()`/`Vec::new`.
+    assert!(
+        worst < ticks,
+        "warm session allocates {worst}× for {ticks} ticks — hot path regressed"
+    );
+    // And warming must not cost more than the cold session (sanity).
+    assert!(worst <= cold.allocations);
+}
+
+#[test]
+fn session_simulation_alone_is_allocation_light() {
+    let _guard = SERIAL.lock().unwrap();
+    let secs = 12u64;
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        analysis: domino::sweep::AnalysisMode::None,
+        ..Default::default()
+    };
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+    scratch.run_session(&spec(32, secs), 0, &domino, &opts); // warm
+    let (outcome, stats) =
+        alloc_count::measure(|| scratch.run_session(&spec(32, secs), 1, &domino, &opts));
+    assert!(outcome.stats.is_none());
+    eprintln!(
+        "sim-only warm session: {} allocs / {} ticks",
+        stats.allocations,
+        secs * 1000
+    );
+    // Simulation without analysis: the same sub-one-per-tick budget.
+    assert!(stats.allocations < secs * 1000);
+}

@@ -175,6 +175,68 @@ fn retained_trace_is_bounded_by_window_plus_lateness_not_session() {
 }
 
 #[test]
+fn arena_reuse_keeps_worker_footprint_flat() {
+    // The PR-4 allocation contract: a sweep worker's `SessionArena` (event
+    // queue, in-flight map, scratch, recycled bundle buffers) warms up on
+    // the first session and then stays byte-for-byte the same size — the
+    // second and later sessions in a worker must not grow it. This is the
+    // arena flavour of the flat-memory assertion above.
+    use domino::sweep::{AnalysisMode, SweepOptions, WorkerScratch};
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        analysis: AnalysisMode::Streaming,
+        ..Default::default()
+    };
+    let spec = |seed: u64| {
+        SessionSpec::cell(
+            domino::scenarios::amarisoft(),
+            SessionConfig {
+                duration: SimDuration::from_secs(15),
+                seed,
+                ..Default::default()
+            },
+        )
+    };
+    let seeds = [61u64, 62, 63, 64];
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+    let fresh = scratch.footprint();
+
+    // Pass 1 warms the arena: buffer capacities rise to the workload's
+    // high-water marks (different seeds have different record counts and
+    // in-flight populations, so growth during this pass is expected).
+    for (i, &seed) in seeds.iter().enumerate() {
+        let outcome = scratch.run_session(&spec(seed), i, &domino, &opts);
+        assert!(outcome.stats.is_some());
+        assert!(outcome.bundle.is_none(), "bundle recycled into the arena");
+    }
+    let warm = scratch.footprint();
+    assert!(
+        warm > fresh,
+        "the first pass must warm the arena ({fresh} -> {warm})"
+    );
+
+    // Pass 2 replays the exact same workload: every session now fits the
+    // warmed buffers, so the arena must not grow by a single element —
+    // in particular the second run of each spec is allocation-flat.
+    for (i, &seed) in seeds.iter().enumerate() {
+        let outcome = scratch.run_session(&spec(seed), i, &domino, &opts);
+        assert_eq!(
+            scratch.footprint(),
+            warm,
+            "replaying seed {seed} grew the warm arena"
+        );
+        assert!(outcome.stats.is_some());
+    }
+
+    // And reuse must not change results: a warm-arena session is
+    // byte-identical to a fresh-arena one.
+    let warm_again = scratch.run_session(&spec(61), 0, &domino, &opts);
+    let fresh_run = WorkerScratch::new(&domino, &opts).run_session(&spec(61), 0, &domino, &opts);
+    assert_eq!(warm_again.meta.seed, fresh_run.meta.seed);
+    assert_eq!(warm_again.stats, fresh_run.stats);
+}
+
+#[test]
 fn live_sweep_mode_matches_batch_sweep() {
     use domino::sweep::{run_sweep, AnalysisMode, SweepOptions};
     let specs: Vec<SessionSpec> = all_cells()

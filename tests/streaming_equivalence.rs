@@ -8,6 +8,8 @@ use domino::scenarios::{run_cell_session, ScriptAction, SessionConfig, SessionSp
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::{Direction, TraceBundle};
 
+use proptest::strategy::Strategy;
+
 fn cfg(seed: u64, secs: u64) -> SessionConfig {
     SessionConfig {
         duration: SimDuration::from_secs(secs),
@@ -103,6 +105,76 @@ fn one_second_step_window_grid_is_bit_identical() {
     let domino = Domino::new(domino::core::default_graph(), config);
     let bundle = run_cell_session(domino::scenarios::mosolabs(), &cfg(905, 30), |_| {});
     assert_equivalent_on(&bundle, &domino);
+}
+
+#[test]
+fn busy_window_delay_trends_are_bit_identical() {
+    // Fuzz aimed at the amortized delay-trend state (PR 4): dense,
+    // irregular packet streams where the number of delay records expiring
+    // per step is never a multiple of `trend_subwindow`, so every chunk
+    // boundary shifts on every slide. Delays drift up and down across the
+    // session to flip the uptrend verdict many times per run.
+    use domino::telemetry::{PacketRecord, SessionMeta, StreamKind};
+    let mut rng = proptest::test_rng("busy_window_delay_trends_are_bit_identical");
+    for case in 0..4u32 {
+        let mut bundle = TraceBundle::new(SessionMeta::baseline(
+            "busy",
+            SimDuration::from_secs(30),
+            case as u64,
+        ));
+        let mut ts_us: u64 = 0;
+        let mut seq = 0u64;
+        while ts_us < 30_000_000 {
+            // Bursty interarrivals: 37 µs to ~20 ms, prime-ish so window
+            // populations vary mod trend_subwindow.
+            ts_us += (37u64..20_011).generate(&mut rng);
+            let phase = (ts_us as f64 / 3.7e6).sin();
+            let base = 18.0 + 30.0 * phase.max(0.0);
+            let delay_ms = base + (0.0f64..14.0).generate(&mut rng);
+            let lost = (0u8..50).generate(&mut rng) == 0;
+            let dir = if seq.is_multiple_of(2) {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
+            let stream = if seq.is_multiple_of(11) {
+                StreamKind::Rtcp
+            } else {
+                StreamKind::Video
+            };
+            bundle.packets.push(PacketRecord {
+                sent: SimTime::from_micros(ts_us),
+                received: (!lost).then(|| SimTime::from_micros(ts_us + (delay_ms * 1000.0) as u64)),
+                direction: dir,
+                stream,
+                seq,
+                size_bytes: 200 + (0u32..1200).generate(&mut rng),
+            });
+            seq += 1;
+        }
+        bundle.sort();
+        let defaults = Domino::with_defaults();
+        let batch = defaults.analyze(&bundle);
+        let trends: usize = batch
+            .windows
+            .iter()
+            .map(|w| w.features.count_active())
+            .sum();
+        assert!(
+            trends > 0,
+            "case {case}: busy fuzz produced no active features — too tame"
+        );
+        assert_equivalent_on(&bundle, &defaults);
+        // Same trace under the 1 s step grid (different expiry cadence).
+        let one_sec = Domino::new(
+            domino::core::default_graph(),
+            DominoConfig {
+                step: SimDuration::from_secs(1),
+                ..Default::default()
+            },
+        );
+        assert_equivalent_on(&bundle, &one_sec);
+    }
 }
 
 #[test]
