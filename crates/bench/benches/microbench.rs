@@ -10,7 +10,7 @@ use domino_core::{
     compile, default_graph, extract_features, Domino, DominoConfig, Feature, FeatureVector,
     StreamingAnalyzer, Thresholds,
 };
-use domino_sweep::{SweepOptions, WorkerScratch};
+use domino_sweep::{ExecutionMode, MuxWorker, SweepOptions, WorkerScratch};
 use ran_sim::phy;
 use rtc_sim::gcc::trendline::{PacketTiming, TrendlineEstimator};
 use scenarios::{run_cell_session, SessionArena, SessionConfig, SessionSpec};
@@ -89,19 +89,21 @@ fn bench_streaming_step(c: &mut Criterion) {
 /// timestamps), one second of session time per iteration. The delta over
 /// `domino/streaming_step` is the price of the watermark reorder stage,
 /// in-flight packet staging, and constant-memory pruning.
-fn bench_live_step(c: &mut Criterion) {
-    use domino_live::{EarlyExit, LiveConfig, LivePipeline};
-    use telemetry::LiveTap;
+enum Ev {
+    AppL(usize),
+    AppR(usize),
+    Dci(usize),
+    Gnb(usize),
+    Sent(usize),
+    Del(usize),
+}
 
-    let bundle = session_bundle();
-    enum Ev {
-        AppL(usize),
-        AppR(usize),
-        Dci(usize),
-        Gnb(usize),
-        Sent(usize),
-        Del(usize),
-    }
+/// Flattens a recorded bundle into the emission-time tap event stream
+/// (packet sends at `sent` fate-unknown, deliveries at `received`, gNB logs
+/// at their out-of-order timestamps) the live-stack benches replay.
+fn tap_replay(
+    bundle: &telemetry::TraceBundle,
+) -> (Vec<(SimTime, Ev)>, Vec<telemetry::PacketRecord>) {
     let mut events: Vec<(SimTime, Ev)> = Vec::new();
     for (i, r) in bundle.app_local.iter().enumerate() {
         events.push((r.ts, Ev::AppL(i)));
@@ -129,6 +131,45 @@ fn bench_live_step(c: &mut Criterion) {
     }
     // Stable: packet sends keep their (sent, id) emission order on ties.
     events.sort_by_key(|e| e.0);
+    (events, unsent)
+}
+
+/// Replays one second of session time into `tap`.
+fn replay_second(
+    tap: &mut impl telemetry::LiveTap,
+    bundle: &telemetry::TraceBundle,
+    events: &[(SimTime, Ev)],
+    unsent: &[telemetry::PacketRecord],
+    idx: &mut usize,
+    now: &mut SimTime,
+) {
+    *now += SimDuration::from_secs(1);
+    while *idx < events.len() && events[*idx].0 < *now {
+        match events[*idx].1 {
+            Ev::AppL(i) => tap.on_app_local(&bundle.app_local[i]),
+            Ev::AppR(i) => tap.on_app_remote(&bundle.app_remote[i]),
+            Ev::Dci(i) => tap.on_dci(&bundle.dci[i]),
+            Ev::Gnb(i) => tap.on_gnb(&bundle.gnb[i]),
+            Ev::Sent(i) => tap.on_packet_sent(i as u64, &unsent[i]),
+            Ev::Del(i) => {
+                tap.on_packet_delivered(
+                    i as u64,
+                    bundle.packets[i]
+                        .received
+                        .expect("delivery implies received"),
+                );
+            }
+        }
+        *idx += 1;
+    }
+    tap.on_tick(*now);
+}
+
+fn bench_live_step(c: &mut Criterion) {
+    use domino_live::{EarlyExit, LiveConfig, LivePipeline};
+
+    let bundle = session_bundle();
+    let (events, unsent) = tap_replay(&bundle);
 
     let cfg = DominoConfig {
         step: SimDuration::from_secs(1),
@@ -143,7 +184,6 @@ fn bench_live_step(c: &mut Criterion) {
         },
     )
     .expect("aligned");
-    let step = SimDuration::from_secs(1);
     let mut idx = 0usize;
     let mut now = SimTime::ZERO;
     c.bench_function("domino/live_step", |b| {
@@ -154,26 +194,54 @@ fn bench_live_step(c: &mut Criterion) {
                 idx = 0;
                 now = SimTime::ZERO;
             }
-            now += step;
-            while idx < events.len() && events[idx].0 < now {
-                match events[idx].1 {
-                    Ev::AppL(i) => pipe.on_app_local(&bundle.app_local[i]),
-                    Ev::AppR(i) => pipe.on_app_remote(&bundle.app_remote[i]),
-                    Ev::Dci(i) => pipe.on_dci(&bundle.dci[i]),
-                    Ev::Gnb(i) => pipe.on_gnb(&bundle.gnb[i]),
-                    Ev::Sent(i) => pipe.on_packet_sent(i as u64, &unsent[i]),
-                    Ev::Del(i) => {
-                        pipe.on_packet_delivered(
-                            i as u64,
-                            bundle.packets[i]
-                                .received
-                                .expect("delivery implies received"),
-                        );
-                    }
-                }
-                idx += 1;
+            replay_second(&mut pipe, &bundle, &events, &unsent, &mut idx, &mut now);
+            black_box(pipe.stats())
+        })
+    });
+}
+
+/// The same per-step workload as `domino/live_step`, but through a
+/// session-keyed [`domino_live::PipelinePool`]: each full-session replay
+/// checks a pipeline out (reset of a warm free-list entry) and releases it
+/// back at the end, so the number prices exactly what the multiplexed
+/// sweep's live mode pays per step — pool indirection plus the periodic
+/// lease cycle — over a dedicated per-worker pipeline.
+fn bench_pool_step(c: &mut Criterion) {
+    use domino_live::{EarlyExit, LiveConfig, PipelinePool};
+
+    let bundle = session_bundle();
+    let (events, unsent) = tap_replay(&bundle);
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    let mut pool = PipelinePool::new(
+        default_graph(),
+        cfg,
+        LiveConfig {
+            lateness: SimDuration::from_secs(1),
+            early_exit: EarlyExit::Never,
+        },
+    )
+    .expect("aligned");
+    let mut session = 0u64;
+    pool.checkout(session);
+    let mut idx = 0usize;
+    let mut now = SimTime::ZERO;
+    c.bench_function("live/pool_step", |b| {
+        b.iter(|| {
+            if idx >= events.len() {
+                // Replayed the whole session: the "call" ends — release the
+                // pipeline and lease one for the next call, like a
+                // multiplexed slot refill.
+                pool.release(session);
+                session += 1;
+                pool.checkout(session);
+                idx = 0;
+                now = SimTime::ZERO;
             }
-            pipe.on_tick(now);
+            let pipe = pool.get_mut(session).expect("leased");
+            replay_second(pipe, &bundle, &events, &unsent, &mut idx, &mut now);
             black_box(pipe.stats())
         })
     });
@@ -312,6 +380,44 @@ fn bench_sweep_sessions(c: &mut Criterion) {
     });
 }
 
+/// Per-session wall time of the multiplexed many-call engine: one worker
+/// drives a batch of 8 three-second sessions at width 8 — one shared
+/// calendar queue, one shared arena, sessions interleaved tick by tick —
+/// and the measured batch time is divided by the batch size, so the number
+/// is directly comparable to `sweep/sessions_per_sec` (the same session
+/// shape run to completion one at a time on the same warm-arena worker).
+fn bench_multiplexed_sweep(c: &mut Criterion) {
+    const WIDTH: usize = 8;
+    let specs: Vec<SessionSpec> = (0..WIDTH)
+        .map(|i| {
+            SessionSpec::cell(
+                scenarios::amarisoft(),
+                SessionConfig {
+                    duration: SimDuration::from_secs(3),
+                    seed: 77 + i as u64,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        threads: 1,
+        execution: ExecutionMode::Multiplexed { width: WIDTH },
+        ..Default::default()
+    };
+    let mut worker = MuxWorker::new(&domino, &opts);
+    c.bench_function("sweep/multiplexed_sessions_per_sec", |b| {
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(worker.run_batch(&specs, WIDTH, &domino, &opts));
+            }
+            start.elapsed() / WIDTH as u32
+        })
+    });
+}
+
 /// Per-step streaming cost on *busy* windows — dense delay series where the
 /// old per-step delay-trend evaluation was O(window records). The two
 /// numbers run the identical dense trace at a 5 s and a 15 s window: with
@@ -413,12 +519,14 @@ criterion_group!(
         bench_full_window_analysis,
         bench_streaming_step,
         bench_live_step,
+        bench_pool_step,
         bench_full_sweep,
         bench_chain_search,
         bench_dsl_parse,
         bench_ran_session,
         bench_calendar_vs_heap,
         bench_sweep_sessions,
+        bench_multiplexed_sweep,
         bench_streaming_step_busy,
         bench_phy,
         bench_trendline

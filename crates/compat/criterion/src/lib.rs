@@ -185,6 +185,15 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Caller-timed measurement (mirrors criterion's `iter_custom`): the
+    /// routine receives the calibrated iteration count, runs them itself,
+    /// and returns the elapsed time it measured. Benches that amortise a
+    /// batch of work per iteration use this to report per-unit time (e.g.
+    /// per-session cost of a multiplexed batch).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
 }
 
 /// Groups benchmark functions under a single runner function.

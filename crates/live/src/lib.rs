@@ -46,9 +46,11 @@
 //! reports [`domino_core::UnsupportedConfig`] otherwise.
 
 pub mod pipeline;
+pub mod pool;
 pub mod reorder;
 
 pub use pipeline::{EarlyExit, LiveConfig, LivePipeline, LiveStats, LiveVerdict};
+pub use pool::{PipelinePool, PoolStats};
 pub use reorder::Reorder;
 
 // Re-exported so callers configuring a pipeline need only this crate.

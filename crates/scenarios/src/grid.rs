@@ -168,6 +168,31 @@ impl SessionSpec {
         self.run_with_tap_in(tap, &mut SessionArena::new())
     }
 
+    /// Starts the session in steppable form (see
+    /// [`SessionState`](crate::session::SessionState)): the multiplexing
+    /// entry point. `tapped` mirrors `LiveTap::is_active` for the tap the
+    /// driver will pass to the step methods; per-session sub-state (the
+    /// in-flight map, the bundle) is leased from `arena` and returned at
+    /// `finish`.
+    pub fn start_in(&self, tapped: bool, arena: &mut SessionArena) -> crate::session::SessionState {
+        match &self.access {
+            AccessSpec::Cell(cell) => crate::session::SessionState::start_cell(
+                (**cell).clone(),
+                &self.cfg,
+                |sim| {
+                    for a in &self.scripts {
+                        a.apply(sim);
+                    }
+                },
+                tapped,
+                arena,
+            ),
+            AccessSpec::Baseline(access) => {
+                crate::session::SessionState::start_baseline(*access, &self.cfg, tapped, arena)
+            }
+        }
+    }
+
     /// [`Self::run_with_tap`] inside a caller-owned [`SessionArena`].
     pub fn run_with_tap_in(
         &self,

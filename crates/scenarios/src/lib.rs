@@ -26,7 +26,8 @@ pub use grid::{all_cells_grid, AccessSpec, ScriptAction, SessionGrid, SessionSpe
 pub use session::{
     run_baseline_session, run_baseline_session_with_tap, run_baseline_session_with_tap_in,
     run_cell_session, run_cell_session_with_tap, run_cell_session_with_tap_in, BaselineAccess,
-    SessionArena, SessionConfig,
+    EngineScratch, RouteEvent, RouteSink, SessionArena, SessionConfig, SessionState,
+    SharedRouteQueue, TaggedSink,
 };
 pub use zoom_campus::{
     generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord,

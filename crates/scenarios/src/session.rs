@@ -110,14 +110,115 @@ impl AccessSim {
     }
 }
 
+/// One routing step of an in-flight packet on the non-RAN path. Route
+/// events are scheduled on a session's route-event queue and consumed by
+/// [`SessionState::route_event`]. Public (but otherwise opaque) so a
+/// multiplexing driver can carry tagged events through a
+/// [`SharedRouteQueue`] shared by many interleaved sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RouteEvent {
+pub enum RouteEvent {
     /// Reached the wired peer's NIC.
     ArriveAtPeer(u64),
     /// Reached the UE client's stack.
     ArriveAtUe(u64),
     /// Reached the gNB / access ingress for the downlink.
     EnqueueDownlink(u64),
+}
+
+/// Where a session schedules its route events. The solo driver passes its
+/// arena's private [`EventQueue`]; a multiplexing driver passes a
+/// [`TaggedSink`] that stamps every event with the session's id and start
+/// offset before it lands in the worker-shared [`SharedRouteQueue`].
+pub trait RouteSink {
+    /// Schedules `ev` to fire at session-local time `at`.
+    fn schedule(&mut self, at: SimTime, ev: RouteEvent);
+}
+
+impl RouteSink for EventQueue<RouteEvent> {
+    fn schedule(&mut self, at: SimTime, ev: RouteEvent) {
+        EventQueue::schedule(self, at, ev);
+    }
+}
+
+/// One worker-shared route-event queue multiplexing N concurrent sessions:
+/// a calendar [`EventQueue`] whose events are tagged with a session id and
+/// popped in global `(time, session, seq)` order. Restricted to any one
+/// session, that order is exactly the `(time, seq)` order the session
+/// would observe from a private queue (the simcore property test
+/// `prop_tagged_pop_matches_private_queues` enforces it), which is what
+/// makes multiplexed per-session output byte-identical to solo runs.
+///
+/// Events are stored at *global* (driver) time: a [`TaggedSink`] adds the
+/// session's start offset on schedule, and the driver subtracts it again
+/// when dispatching a popped event back to the session.
+#[derive(Debug, Clone)]
+pub struct SharedRouteQueue {
+    q: EventQueue<RouteEvent, u64>,
+}
+
+impl Default for SharedRouteQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedRouteQueue {
+    /// An empty shared queue on the calendar backend.
+    pub fn new() -> Self {
+        SharedRouteQueue {
+            q: EventQueue::calendar_keyed(),
+        }
+    }
+
+    /// Drops all pending events but keeps allocations; the tie-break
+    /// sequence restarts.
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+
+    /// Pops the earliest event due at or before the global instant `now`,
+    /// as `(global time, session id, event)`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, u64, RouteEvent)> {
+        self.q.pop_due(now).map(|s| (s.at, s.key, s.event))
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Total retained storage (events) — capacity, not occupancy.
+    pub fn capacity(&self) -> usize {
+        self.q.capacity()
+    }
+
+    /// A [`RouteSink`] that stamps `session` and shifts session-local times
+    /// by `offset` (the global time at which the session's clock started).
+    pub fn sink(&mut self, session: u64, offset: SimDuration) -> TaggedSink<'_> {
+        TaggedSink {
+            q: &mut self.q,
+            session,
+            offset,
+        }
+    }
+}
+
+/// Borrowed scheduling handle for one session of a [`SharedRouteQueue`].
+pub struct TaggedSink<'a> {
+    q: &'a mut EventQueue<RouteEvent, u64>,
+    session: u64,
+    offset: SimDuration,
+}
+
+impl RouteSink for TaggedSink<'_> {
+    fn schedule(&mut self, at: SimTime, ev: RouteEvent) {
+        self.q.schedule_keyed(at + self.offset, self.session, ev);
+    }
 }
 
 struct Pending {
@@ -156,23 +257,47 @@ impl std::hash::Hasher for IdHasher {
 
 type IdMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<IdHasher>>;
 
-/// Reusable per-worker storage for the session engine: the route-event
-/// queue, the in-flight packet map, the per-tick scratch buffers, and a
-/// recycled [`TraceBundle`]. A sweep worker keeps one arena and threads it
-/// through every session it runs, so a 1000-session sweep performs O(1)
-/// large allocations per worker instead of O(sessions).
-///
-/// Arenas carry **no cross-session state** — every buffer is cleared (not
-/// shrunk) at session start, and the event queue's tie-break sequence
-/// restarts — so a session run in a warm arena is byte-identical to one run
-/// in a fresh arena. The determinism suites cover this.
-pub struct SessionArena {
-    queue: EventQueue<RouteEvent>,
-    pending: IdMap<Pending>,
+/// Per-tick scratch buffers every session a worker drives shares: the
+/// endpoint emission buffer, the access-network delivery buffer, and the
+/// RAN telemetry drain buffers. Each is cleared before use within a single
+/// tick phase, so one scratch serves any number of interleaved sessions —
+/// it carries no per-session state between phases.
+#[derive(Default)]
+pub struct EngineScratch {
     emit: Vec<OutgoingPacket>,
     deliveries: Vec<Delivery>,
     ran: RanScratch,
-    bundle: Option<TraceBundle>,
+}
+
+impl EngineScratch {
+    fn footprint(&self) -> (usize, usize, usize) {
+        (
+            self.emit.capacity(),
+            self.deliveries.capacity(),
+            self.ran.dci.capacity() + self.ran.gnb.capacity(),
+        )
+    }
+}
+
+/// Reusable per-worker storage for the session engine: the route-event
+/// queue, the per-tick scratch buffers, and free lists of per-session
+/// sub-state (in-flight packet maps, recycled [`TraceBundle`]s) that
+/// sessions lease at start and return at finish. A sweep worker keeps one
+/// arena and threads it through every session it runs — sequentially or
+/// multiplexed — so a 1000-session sweep performs O(1) large allocations
+/// per worker instead of O(sessions). A multiplexed worker's arena holds
+/// one leased map/bundle pair per concurrently active session, then stays
+/// flat.
+///
+/// Arenas carry **no cross-session state** — every leased buffer is
+/// cleared (not shrunk) before reuse, and the event queue's tie-break
+/// sequence restarts — so a session run in a warm arena is byte-identical
+/// to one run in a fresh arena. The determinism suites cover this.
+pub struct SessionArena {
+    queue: EventQueue<RouteEvent>,
+    scratch: EngineScratch,
+    free_pending: Vec<IdMap<Pending>>,
+    free_bundles: Vec<TraceBundle>,
 }
 
 impl Default for SessionArena {
@@ -198,11 +323,9 @@ impl SessionArena {
     fn with_queue(queue: EventQueue<RouteEvent>) -> Self {
         SessionArena {
             queue,
-            pending: IdMap::default(),
-            emit: Vec::new(),
-            deliveries: Vec::new(),
-            ran: RanScratch::default(),
-            bundle: None,
+            scratch: EngineScratch::default(),
+            free_pending: Vec::new(),
+            free_bundles: Vec::new(),
         }
     }
 
@@ -210,12 +333,26 @@ impl SessionArena {
     /// do not retain bundles call this after analysis; the next session run
     /// through this arena fills the same record vectors.
     pub fn recycle(&mut self, bundle: TraceBundle) {
-        self.bundle = Some(bundle);
+        self.free_bundles.push(bundle);
+    }
+
+    /// The per-tick scratch buffers — multiplexed drivers borrow these per
+    /// phase (the solo driver splits them off together with the queue).
+    pub fn scratch_mut(&mut self) -> &mut EngineScratch {
+        &mut self.scratch
+    }
+
+    /// Split borrow for the solo driver: the private route-event queue plus
+    /// the per-tick scratch.
+    fn solo_parts(&mut self) -> (&mut EventQueue<RouteEvent>, &mut EngineScratch) {
+        (&mut self.queue, &mut self.scratch)
     }
 
     /// Approximate retained storage in *elements* across all arena buffers
-    /// (capacities, not occupancy). After the first session warms the arena,
-    /// this must stay flat across further sessions — asserted by the
+    /// (capacities, not occupancy), counting idle free-list entries but not
+    /// sub-state currently leased by in-flight sessions. After the first
+    /// session (or, multiplexed, the first full-width generation) warms the
+    /// arena, this must stay flat across further sessions — asserted by the
     /// heap-peak regression test in `tests/live_equivalence.rs`.
     pub fn footprint(&self) -> usize {
         let (queue, pending, emit, deliveries, ran, bundle) = self.footprint_parts();
@@ -226,31 +363,418 @@ impl SessionArena {
     /// emit, deliveries, ran, bundle)`.
     #[doc(hidden)]
     pub fn footprint_parts(&self) -> (usize, usize, usize, usize, usize, usize) {
-        let bundle = self.bundle.as_ref().map_or(0, |b| {
-            b.dci.capacity()
-                + b.gnb.capacity()
-                + b.packets.capacity()
-                + b.app_local.capacity()
-                + b.app_remote.capacity()
-        });
+        let bundle: usize = self
+            .free_bundles
+            .iter()
+            .map(|b| {
+                b.dci.capacity()
+                    + b.gnb.capacity()
+                    + b.packets.capacity()
+                    + b.app_local.capacity()
+                    + b.app_remote.capacity()
+            })
+            .sum();
+        let pending: usize = self.free_pending.iter().map(HashMap::capacity).sum();
+        let (emit, deliveries, ran) = self.scratch.footprint();
         (
             self.queue.capacity(),
-            self.pending.capacity(),
-            self.emit.capacity(),
-            self.deliveries.capacity(),
-            self.ran.dci.capacity() + self.ran.gnb.capacity(),
+            pending,
+            emit,
+            deliveries,
+            ran,
             bundle,
         )
     }
 
     fn take_bundle(&mut self, meta: SessionMeta) -> TraceBundle {
-        match self.bundle.take() {
+        match self.free_bundles.pop() {
             Some(mut b) => {
                 b.reset(meta);
                 b
             }
             None => TraceBundle::new(meta),
         }
+    }
+
+    fn take_pending(&mut self) -> IdMap<Pending> {
+        let mut map = self.free_pending.pop().unwrap_or_default();
+        map.clear();
+        map
+    }
+
+    fn return_pending(&mut self, map: IdMap<Pending>) {
+        self.free_pending.push(map);
+    }
+}
+
+/// A two-party session extracted into a steppable state machine: the
+/// access simulator, both WebRTC endpoints, the non-RAN path models, the
+/// in-flight packet map, and the growing [`TraceBundle`].
+///
+/// The solo entry points ([`run_cell_session`] and friends) drive one
+/// state to completion in a tight loop; a multiplexing driver instead
+/// *interleaves* many states, advancing each one engine tick at a time:
+///
+/// 1. [`SessionState::begin_tick`] — endpoints emit, the access network
+///    advances, and finished deliveries schedule route events into the
+///    provided [`RouteSink`].
+/// 2. [`SessionState::route_event`] for every event the driver's queue
+///    popped due at (or before) this session's clock, in `(time, seq)`
+///    order.
+/// 3. [`SessionState::end_tick`] — app-stats sampling, the live tap's
+///    per-tick drain/clock/early-exit poll; returns `true` when the
+///    session is done (duration reached or tap abort).
+/// 4. [`SessionState::finish`] — final telemetry drain, bundle sort, and
+///    lease returns to the arena.
+///
+/// A session stepped this way — parked between ticks, resumed in any
+/// interleaving with other sessions — produces a bundle byte-identical to
+/// a solo run, provided its route events come back in per-session
+/// `(time, seq)` order (which [`SharedRouteQueue`] guarantees).
+pub struct SessionState {
+    access: AccessSim,
+    a: RtcEndpoint,
+    b: RtcEndpoint,
+    core_ul: Option<PathModel>,
+    core_dl: Option<PathModel>,
+    peer_ul: PathModel,
+    peer_dl: PathModel,
+    rng_fwd: StdRng,
+    rng_rev: StdRng,
+    pending: IdMap<Pending>,
+    bundle: TraceBundle,
+    next_id: u64,
+    next_stats: SimTime,
+    tick_len: SimDuration,
+    stats_interval: SimDuration,
+    ticks: u64,
+    cur: u64,
+    now: SimTime,
+    end_time: SimTime,
+    aborted: bool,
+    tapped: bool,
+}
+
+impl SessionState {
+    fn new(
+        access: AccessSim,
+        core_path: Option<PathConfig>,
+        meta: SessionMeta,
+        cfg: &SessionConfig,
+        tapped: bool,
+        arena: &mut SessionArena,
+    ) -> Self {
+        let bundle = arena.take_bundle(meta);
+        let ticks = cfg.duration / cfg.tick;
+        SessionState {
+            access,
+            a: RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11),
+            b: RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12),
+            core_ul: core_path.clone().map(PathModel::new),
+            core_dl: core_path.map(PathModel::new),
+            peer_ul: PathModel::new(cfg.peer_path.clone()), // egress → peer
+            peer_dl: PathModel::new(cfg.peer_path.clone()), // peer → ingress
+            rng_fwd: rng_for(cfg.seed, RngStream::PathForward),
+            rng_rev: rng_for(cfg.seed, RngStream::PathReverse),
+            pending: arena.take_pending(),
+            bundle,
+            next_id: 0,
+            next_stats: SimTime::ZERO + cfg.stats_interval,
+            tick_len: cfg.tick,
+            stats_interval: cfg.stats_interval,
+            ticks,
+            cur: 0,
+            now: SimTime::ZERO,
+            end_time: SimTime::ZERO + cfg.tick * ticks,
+            aborted: false,
+            tapped,
+        }
+    }
+
+    /// Starts a cell session in steppable form. `script` installs scripted
+    /// overrides on the cell before the call starts; `tapped` mirrors
+    /// [`telemetry::LiveTap::is_active`] for the tap the driver will pass
+    /// to the step methods (pass `false` to skip all tap work).
+    pub fn start_cell(
+        cell_cfg: CellConfig,
+        cfg: &SessionConfig,
+        script: impl FnOnce(&mut CellSim),
+        tapped: bool,
+        arena: &mut SessionArena,
+    ) -> Self {
+        let meta = SessionMeta {
+            cell_name: cell_cfg.name.clone(),
+            cell_class: cell_cfg.class,
+            carrier_mhz: cell_cfg.carrier_mhz,
+            bandwidth_mhz: cell_cfg.bandwidth_mhz,
+            duplexing: cell_cfg.frame.duplexing,
+            duration: cfg.duration,
+            seed: cfg.seed,
+            has_gnb_log: cell_cfg.has_gnb_log,
+        };
+        let mut cell = CellSim::new(cell_cfg, cfg.seed);
+        script(&mut cell);
+        let access = AccessSim::Cell(Box::new(cell));
+        Self::new(
+            access,
+            Some(PathConfig::core_network()),
+            meta,
+            cfg,
+            tapped,
+            arena,
+        )
+    }
+
+    /// Starts a baseline (wired or Wi-Fi) session in steppable form.
+    pub fn start_baseline(
+        access: BaselineAccess,
+        cfg: &SessionConfig,
+        tapped: bool,
+        arena: &mut SessionArena,
+    ) -> Self {
+        let (name, path) = match access {
+            BaselineAccess::Wired => ("Wired baseline", PathConfig::wired_lan()),
+            BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
+        };
+        let meta = SessionMeta::baseline(name, cfg.duration, cfg.seed);
+        let sim = AccessSim::Direct(Box::new(DirectAccess {
+            ul: PathModel::new(path.clone()),
+            dl: PathModel::new(path),
+            rng_ul: rng_for(cfg.seed, RngStream::Custom(101)),
+            rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
+            out: Vec::new(),
+        }));
+        Self::new(sim, None, meta, cfg, tapped, arena)
+    }
+
+    /// The engine tick granularity. A multiplexing driver requires every
+    /// co-scheduled session to share it (and steps them all on one global
+    /// tick lattice).
+    pub fn tick_len(&self) -> SimDuration {
+        self.tick_len
+    }
+
+    /// Session-local time of the tick currently in progress (the instant
+    /// [`Self::begin_tick`] advanced to).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether the session has run its full duration or was aborted by the
+    /// tap. Once done, only [`Self::finish`] may be called.
+    pub fn is_done(&self) -> bool {
+        self.aborted || self.cur >= self.ticks
+    }
+
+    /// Phases 1–2 of one engine tick: both endpoints emit (media from
+    /// senders, RTCP from receivers), new packets enter the access network
+    /// or the reverse path, the access network advances, and completed
+    /// access deliveries continue along the path as route events scheduled
+    /// into `sink` (at session-local times).
+    pub fn begin_tick(
+        &mut self,
+        tap: &mut dyn LiveTap,
+        scratch: &mut EngineScratch,
+        sink: &mut impl RouteSink,
+    ) {
+        debug_assert!(!self.is_done(), "begin_tick on a finished session");
+        self.cur += 1;
+        let now = SimTime::ZERO + self.tick_len * self.cur;
+        self.now = now;
+
+        // 1. Endpoints emit (media from senders, RTCP from receivers).
+        let emit = &mut scratch.emit;
+        emit.clear();
+        self.a.sender.poll_into(now, emit);
+        self.a.receiver.poll_into(now, emit);
+        for p in emit.drain(..) {
+            let id = self.next_id;
+            self.next_id += 1;
+            let record_idx = self.bundle.packets.len();
+            self.bundle
+                .packets
+                .push(packet_record(&p, Direction::Uplink));
+            if self.tapped {
+                tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+            }
+            self.pending.insert(
+                id,
+                Pending {
+                    record_idx,
+                    payload: p.payload,
+                    sent: p.at,
+                    size: p.size_bytes,
+                },
+            );
+            self.access
+                .enqueue(p.at, Direction::Uplink, id, p.size_bytes);
+        }
+        emit.clear();
+        self.b.sender.poll_into(now, emit);
+        self.b.receiver.poll_into(now, emit);
+        for p in emit.drain(..) {
+            let id = self.next_id;
+            self.next_id += 1;
+            let record_idx = self.bundle.packets.len();
+            self.bundle
+                .packets
+                .push(packet_record(&p, Direction::Downlink));
+            if self.tapped {
+                tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+            }
+            // Peer → (transit, core) → access ingress.
+            let hop1 = self.peer_dl.traverse(p.at, p.size_bytes, &mut self.rng_rev);
+            let arrival = hop1.and_then(|t| match &mut self.core_dl {
+                Some(core) => core.traverse(t, p.size_bytes, &mut self.rng_rev),
+                None => Some(t),
+            });
+            // A `None` arrival is a loss before the access network; the
+            // packet record simply stays unreceived.
+            if let Some(at) = arrival {
+                self.pending.insert(
+                    id,
+                    Pending {
+                        record_idx,
+                        payload: p.payload,
+                        sent: p.at,
+                        size: p.size_bytes,
+                    },
+                );
+                sink.schedule(at, RouteEvent::EnqueueDownlink(id));
+            }
+        }
+
+        // 2. Access network advances; deliveries continue along the path.
+        self.access.poll(now);
+        let deliveries = &mut scratch.deliveries;
+        deliveries.clear();
+        self.access.drain_deliveries_into(deliveries);
+        for d in deliveries.iter() {
+            let (id, t_out) = (d.id, d.delivered_at);
+            match d.direction {
+                Direction::Uplink => {
+                    let Some(p) = self.pending.get(&id) else {
+                        continue;
+                    };
+                    let hop1 = match &mut self.core_ul {
+                        Some(core) => core.traverse(t_out, p.size, &mut self.rng_fwd),
+                        None => Some(t_out),
+                    };
+                    let arrival =
+                        hop1.and_then(|t| self.peer_ul.traverse(t, p.size, &mut self.rng_fwd));
+                    match arrival {
+                        Some(at) => sink.schedule(at, RouteEvent::ArriveAtPeer(id)),
+                        None => {
+                            self.pending.remove(&id); // lost in transit
+                        }
+                    }
+                }
+                Direction::Downlink => {
+                    sink.schedule(t_out, RouteEvent::ArriveAtUe(id));
+                }
+            }
+        }
+    }
+
+    /// Phase 3 of one engine tick: consumes one route event popped due at
+    /// (or before) this session's clock. The driver must deliver a
+    /// session's events in `(time, seq)` schedule order — exactly what
+    /// `pop_due` on the private queue or the [`SharedRouteQueue`] yields.
+    pub fn route_event(&mut self, at: SimTime, ev: RouteEvent, tap: &mut dyn LiveTap) {
+        match ev {
+            RouteEvent::EnqueueDownlink(id) => {
+                if let Some(p) = self.pending.get(&id) {
+                    let size = p.size;
+                    self.access.enqueue(at, Direction::Downlink, id, size);
+                }
+            }
+            RouteEvent::ArriveAtPeer(id) => {
+                if deliver(&mut self.pending, &mut self.bundle, id, at, &mut self.b) && self.tapped
+                {
+                    tap.on_packet_delivered(id, at);
+                }
+            }
+            RouteEvent::ArriveAtUe(id) => {
+                if deliver(&mut self.pending, &mut self.bundle, id, at, &mut self.a) && self.tapped
+                {
+                    tap.on_packet_delivered(id, at);
+                }
+            }
+        }
+    }
+
+    /// Phases 4–5 of one engine tick: 50 ms app-stats sampling on both
+    /// clients, then (when tapped) the RAN telemetry drain, the tap clock,
+    /// and the early-exit poll. Returns `true` when the session is done —
+    /// either this was its final tick or the tap aborted it.
+    pub fn end_tick(&mut self, tap: &mut dyn LiveTap, scratch: &mut EngineScratch) -> bool {
+        let now = self.now;
+
+        // 4. 50 ms app-stats sampling on both clients. The sorted-append
+        // hooks double as a debug-build check that sampling stays monotone.
+        if now >= self.next_stats {
+            let sa = self.a.sample_stats(now);
+            let sb = self.b.sample_stats(now);
+            if self.tapped {
+                tap.on_app_local(&sa);
+                tap.on_app_remote(&sb);
+            }
+            self.bundle.append_app_local(sa);
+            self.bundle.append_app_remote(sb);
+            self.next_stats += self.stats_interval;
+        }
+
+        // 5. Live taps see RAN telemetry and the clock every tick, and may
+        // abort the session (early-exit diagnosis).
+        if self.tapped {
+            drain_ran_telemetry(&mut self.access, &mut self.bundle, tap, &mut scratch.ran);
+            tap.on_tick(now);
+            if tap.should_stop() {
+                self.end_time = now;
+                self.aborted = true;
+                return true;
+            }
+        }
+        self.cur >= self.ticks
+    }
+
+    /// Finalises the session: collects any remaining RAN telemetry (the
+    /// tapped path has drained all but the final tick's worth; the untapped
+    /// path moves the whole log in one O(1) bulk transfer and lets the
+    /// final sort order the gNB records), fires `on_finish`, sorts the
+    /// bundle, and returns the leased in-flight map to the arena.
+    pub fn finish(self, tap: &mut dyn LiveTap, arena: &mut SessionArena) -> TraceBundle {
+        let SessionState {
+            mut access,
+            mut bundle,
+            pending,
+            tapped,
+            aborted,
+            end_time,
+            ..
+        } = self;
+        if tapped {
+            drain_ran_telemetry(&mut access, &mut bundle, tap, &mut arena.scratch.ran);
+            if aborted {
+                // An early exit truncates the session: record how much
+                // actually ran, so per-minute normalisation (event rates,
+                // chain stats) divides by simulated time, not by the
+                // configured duration.
+                bundle.meta.duration = end_time.saturating_since(SimTime::ZERO);
+            }
+            tap.on_finish(end_time);
+        } else if let AccessSim::Cell(cell) = &mut access {
+            for r in cell.drain_dci() {
+                bundle.append_dci(r);
+            }
+            cell.drain_gnb_into(&mut bundle.gnb);
+        }
+        bundle.sort();
+        // The lease boundary (`take_pending`) owns the no-cross-session
+        // clearing; leftovers (packets still in transit at session end) ride
+        // along in the free list until then.
+        arena.return_pending(pending);
+        bundle
     }
 }
 
@@ -288,27 +812,8 @@ pub fn run_cell_session_with_tap_in(
     tap: &mut dyn LiveTap,
     arena: &mut SessionArena,
 ) -> TraceBundle {
-    let meta = SessionMeta {
-        cell_name: cell_cfg.name.clone(),
-        cell_class: cell_cfg.class,
-        carrier_mhz: cell_cfg.carrier_mhz,
-        bandwidth_mhz: cell_cfg.bandwidth_mhz,
-        duplexing: cell_cfg.frame.duplexing,
-        duration: cfg.duration,
-        seed: cfg.seed,
-        has_gnb_log: cell_cfg.has_gnb_log,
-    };
-    let mut cell = CellSim::new(cell_cfg, cfg.seed);
-    script(&mut cell);
-    let access = AccessSim::Cell(Box::new(cell));
-    run(
-        access,
-        Some(PathConfig::core_network()),
-        meta,
-        cfg,
-        tap,
-        arena,
-    )
+    let state = SessionState::start_cell(cell_cfg, cfg, script, tap.is_active(), arena);
+    drive(state, tap, arena)
 }
 
 /// Runs a baseline (wired or Wi-Fi) session for the §2 comparisons.
@@ -333,222 +838,30 @@ pub fn run_baseline_session_with_tap_in(
     tap: &mut dyn LiveTap,
     arena: &mut SessionArena,
 ) -> TraceBundle {
-    let (name, path) = match access {
-        BaselineAccess::Wired => ("Wired baseline", PathConfig::wired_lan()),
-        BaselineAccess::Wifi => ("Wi-Fi baseline", PathConfig::wifi()),
-    };
-    let meta = SessionMeta::baseline(name, cfg.duration, cfg.seed);
-    let sim = AccessSim::Direct(Box::new(DirectAccess {
-        ul: PathModel::new(path.clone()),
-        dl: PathModel::new(path),
-        rng_ul: rng_for(cfg.seed, RngStream::Custom(101)),
-        rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
-        out: Vec::new(),
-    }));
-    run(sim, None, meta, cfg, tap, arena)
+    let state = SessionState::start_baseline(access, cfg, tap.is_active(), arena);
+    drive(state, tap, arena)
 }
 
-fn run(
-    mut access: AccessSim,
-    core_path: Option<PathConfig>,
-    meta: SessionMeta,
-    cfg: &SessionConfig,
-    tap: &mut dyn LiveTap,
-    arena: &mut SessionArena,
-) -> TraceBundle {
-    // `NullTap` (the untapped wrappers) keeps the per-tick telemetry drain
-    // disabled so the classic path's allocation pattern is untouched.
-    let tapped = tap.is_active();
-    let mut bundle = arena.take_bundle(meta);
-    let mut a = RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11);
-    let mut b = RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12);
-
-    // Non-RAN segments, one instance per direction.
-    let mut core_ul = core_path.clone().map(PathModel::new);
-    let mut core_dl = core_path.map(PathModel::new);
-    let mut peer_ul = PathModel::new(cfg.peer_path.clone()); // egress → peer
-    let mut peer_dl = PathModel::new(cfg.peer_path.clone()); // peer → ingress
-    let mut rng_fwd = rng_for(cfg.seed, RngStream::PathForward);
-    let mut rng_rev = rng_for(cfg.seed, RngStream::PathReverse);
-
-    // All hot-loop storage comes from the arena: the route-event queue
-    // (`clear()` resets the tie-break sequence, so a recycled queue replays
-    // identically to a fresh one), the in-flight map, and the per-tick
-    // emission/delivery scratch. At steady state no step of the tick loop
-    // allocates.
-    let SessionArena {
-        queue: q,
-        pending,
-        emit,
-        deliveries,
-        ran: ran_scratch,
-        ..
-    } = arena;
-    q.clear();
-    pending.clear();
-    emit.clear();
-    deliveries.clear();
-    let mut next_id: u64 = 0;
-    let mut next_stats = SimTime::ZERO + cfg.stats_interval;
-
-    let ticks = cfg.duration / cfg.tick;
-    let mut end_time = SimTime::ZERO + cfg.tick * ticks;
-    let mut aborted = false;
-    for i in 1..=ticks {
-        let now = SimTime::ZERO + cfg.tick * i;
-
-        // 1. Endpoints emit (media from senders, RTCP from receivers).
-        emit.clear();
-        a.sender.poll_into(now, emit);
-        a.receiver.poll_into(now, emit);
-        for p in emit.drain(..) {
-            let id = next_id;
-            next_id += 1;
-            let record_idx = bundle.packets.len();
-            bundle.packets.push(packet_record(&p, Direction::Uplink));
-            if tapped {
-                tap.on_packet_sent(id, &bundle.packets[record_idx]);
-            }
-            pending.insert(
-                id,
-                Pending {
-                    record_idx,
-                    payload: p.payload,
-                    sent: p.at,
-                    size: p.size_bytes,
-                },
-            );
-            access.enqueue(p.at, Direction::Uplink, id, p.size_bytes);
+/// The solo driver: advances one [`SessionState`] to completion through the
+/// arena's private route-event queue. All hot-loop storage comes from the
+/// arena (the queue's `clear()` resets the tie-break sequence, so a
+/// recycled queue replays identically to a fresh one); at steady state no
+/// step of the tick loop allocates.
+fn drive(mut state: SessionState, tap: &mut dyn LiveTap, arena: &mut SessionArena) -> TraceBundle {
+    let (queue, scratch) = arena.solo_parts();
+    queue.clear();
+    while !state.is_done() {
+        state.begin_tick(tap, scratch, queue);
+        // 3. Due route events. (Route handlers never schedule new route
+        // events, so this drain is closed within the tick.)
+        while let Some(ev) = queue.pop_due(state.now()) {
+            state.route_event(ev.at, ev.event, tap);
         }
-        emit.clear();
-        b.sender.poll_into(now, emit);
-        b.receiver.poll_into(now, emit);
-        for p in emit.drain(..) {
-            let id = next_id;
-            next_id += 1;
-            let record_idx = bundle.packets.len();
-            bundle.packets.push(packet_record(&p, Direction::Downlink));
-            if tapped {
-                tap.on_packet_sent(id, &bundle.packets[record_idx]);
-            }
-            // Peer → (transit, core) → access ingress.
-            let hop1 = peer_dl.traverse(p.at, p.size_bytes, &mut rng_rev);
-            let arrival = hop1.and_then(|t| match &mut core_dl {
-                Some(core) => core.traverse(t, p.size_bytes, &mut rng_rev),
-                None => Some(t),
-            });
-            // A `None` arrival is a loss before the access network; the
-            // packet record simply stays unreceived.
-            if let Some(at) = arrival {
-                pending.insert(
-                    id,
-                    Pending {
-                        record_idx,
-                        payload: p.payload,
-                        sent: p.at,
-                        size: p.size_bytes,
-                    },
-                );
-                q.schedule(at, RouteEvent::EnqueueDownlink(id));
-            }
-        }
-
-        // 2. Access network advances; deliveries continue along the path.
-        access.poll(now);
-        deliveries.clear();
-        access.drain_deliveries_into(deliveries);
-        for d in deliveries.iter() {
-            let (id, t_out) = (d.id, d.delivered_at);
-            match d.direction {
-                Direction::Uplink => {
-                    let Some(p) = pending.get(&id) else { continue };
-                    let hop1 = match &mut core_ul {
-                        Some(core) => core.traverse(t_out, p.size, &mut rng_fwd),
-                        None => Some(t_out),
-                    };
-                    let arrival = hop1.and_then(|t| peer_ul.traverse(t, p.size, &mut rng_fwd));
-                    match arrival {
-                        Some(at) => q.schedule(at, RouteEvent::ArriveAtPeer(id)),
-                        None => {
-                            pending.remove(&id); // lost in transit
-                        }
-                    }
-                }
-                Direction::Downlink => {
-                    q.schedule(t_out, RouteEvent::ArriveAtUe(id));
-                }
-            }
-        }
-
-        // 3. Due route events.
-        while let Some(ev) = q.pop_due(now) {
-            match ev.event {
-                RouteEvent::EnqueueDownlink(id) => {
-                    if let Some(p) = pending.get(&id) {
-                        let size = p.size;
-                        access.enqueue(ev.at, Direction::Downlink, id, size);
-                    }
-                }
-                RouteEvent::ArriveAtPeer(id) => {
-                    if deliver(pending, &mut bundle, id, ev.at, &mut b) && tapped {
-                        tap.on_packet_delivered(id, ev.at);
-                    }
-                }
-                RouteEvent::ArriveAtUe(id) => {
-                    if deliver(pending, &mut bundle, id, ev.at, &mut a) && tapped {
-                        tap.on_packet_delivered(id, ev.at);
-                    }
-                }
-            }
-        }
-
-        // 4. 50 ms app-stats sampling on both clients. The sorted-append
-        // hooks double as a debug-build check that sampling stays monotone.
-        if now >= next_stats {
-            let sa = a.sample_stats(now);
-            let sb = b.sample_stats(now);
-            if tapped {
-                tap.on_app_local(&sa);
-                tap.on_app_remote(&sb);
-            }
-            bundle.append_app_local(sa);
-            bundle.append_app_remote(sb);
-            next_stats += cfg.stats_interval;
-        }
-
-        // 5. Live taps see RAN telemetry and the clock every tick, and may
-        // abort the session (early-exit diagnosis).
-        if tapped {
-            drain_ran_telemetry(&mut access, &mut bundle, tap, ran_scratch);
-            tap.on_tick(now);
-            if tap.should_stop() {
-                end_time = now;
-                aborted = true;
-                break;
-            }
+        if state.end_tick(tap, scratch) {
+            break;
         }
     }
-
-    // Collect any remaining RAN telemetry. The tapped path has drained all
-    // but the final tick's worth; the untapped path moves the whole log in
-    // one O(1) bulk transfer and lets the final sort order the gNB records.
-    if tapped {
-        drain_ran_telemetry(&mut access, &mut bundle, tap, ran_scratch);
-        if aborted {
-            // An early exit truncates the session: record how much actually
-            // ran, so per-minute normalisation (event rates, chain stats)
-            // divides by simulated time, not by the configured duration.
-            bundle.meta.duration = end_time.saturating_since(SimTime::ZERO);
-        }
-        tap.on_finish(end_time);
-    } else if let AccessSim::Cell(cell) = &mut access {
-        for r in cell.drain_dci() {
-            bundle.append_dci(r);
-        }
-        cell.drain_gnb_into(&mut bundle.gnb);
-    }
-    bundle.sort();
-    bundle
+    state.finish(tap, arena)
 }
 
 /// Per-tick scratch buffers for the tapped telemetry drain, reused across

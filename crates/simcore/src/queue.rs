@@ -1,10 +1,20 @@
 //! Deterministic event queues.
 //!
 //! Two implementations share one ordering contract — events pop in strict
-//! `(time, sequence)` order, where the sequence is assigned at scheduling
-//! time, so same-instant events pop in insertion order. This is the property
-//! that makes whole-session simulations replay byte-identically from a seed:
-//! a bare [`BinaryHeap`] gives no stable order for ties.
+//! `(time, key, sequence)` order, where the sequence is assigned at
+//! scheduling time, so same-instant events pop in insertion order. This is
+//! the property that makes whole-session simulations replay byte-identically
+//! from a seed: a bare [`BinaryHeap`] gives no stable order for ties.
+//!
+//! The `key` is an optional secondary order component between the timestamp
+//! and the tie-break sequence, defaulting to `()` (in which case the
+//! contract degenerates to the classic `(time, sequence)` order). A
+//! multiplexing driver uses it to tag events with a session id
+//! ([`EventQueue::schedule_keyed`]): N interleaved sessions share one queue,
+//! and the global pop order `(time, session, seq)` restricted to any one
+//! session is exactly the `(time, seq)` order that session would observe
+//! from a private queue — the contract `prop_tagged_pop_matches_private_queues`
+//! below enforces.
 //!
 //! * [`EventQueue::new`] — the classic binary-heap backend: `O(log n)`
 //!   schedule/pop, no assumptions about the workload.
@@ -24,35 +34,41 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
-/// An event of type `E` scheduled for a particular instant.
+/// An event of type `E` scheduled for a particular instant, optionally
+/// tagged with a secondary order key `K` (session id for multiplexed
+/// queues; `()` for plain single-session queues).
 #[derive(Debug, Clone)]
-pub struct Scheduled<E> {
+pub struct Scheduled<E, K = ()> {
     /// When the event fires.
     pub at: SimTime,
+    /// Secondary order key, compared between `at` and the tie-break
+    /// sequence. `()` for untagged queues.
+    pub key: K,
     seq: u64,
     /// The event payload.
     pub event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl<E, K: Ord> PartialEq for Scheduled<E, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl<E, K: Ord> Eq for Scheduled<E, K> {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl<E, K: Ord> PartialOrd for Scheduled<E, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl<E, K: Ord> Ord for Scheduled<E, K> {
     // Reversed: BinaryHeap is a max-heap, we want earliest-first.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -66,7 +82,7 @@ const DEFAULT_BUCKET_SHIFT: u32 = 10;
 const DEFAULT_RING_BUCKETS: usize = 256;
 
 /// A calendar (bucket) event queue with the same deterministic
-/// `(time, sequence)` pop order as the binary-heap [`EventQueue`].
+/// `(time, key, sequence)` pop order as the binary-heap [`EventQueue`].
 ///
 /// Geometry: bucket width `1 << shift` µs, a power-of-two ring of buckets
 /// covering `[base, base + ring)` in absolute bucket indices, and a binary
@@ -74,11 +90,11 @@ const DEFAULT_RING_BUCKETS: usize = 256;
 /// `base` bucket (sorted on first touch, descending so pops come off the
 /// tail) and advances; events scheduled behind the cursor are clamped into
 /// the base bucket, which preserves the heap contract — pop returns the
-/// minimum `(time, seq)` among *currently pending* events, not a globally
-/// sorted sequence.
+/// minimum `(time, key, seq)` among *currently pending* events, not a
+/// globally sorted sequence.
 #[derive(Debug, Clone)]
-pub struct CalendarQueue<E> {
-    buckets: Vec<Vec<Scheduled<E>>>,
+pub struct CalendarQueue<E, K = ()> {
+    buckets: Vec<Vec<Scheduled<E, K>>>,
     /// Absolute index of the bucket the cursor currently drains.
     base: u64,
     shift: u32,
@@ -87,27 +103,49 @@ pub struct CalendarQueue<E> {
     ring_len: usize,
     /// Whether the base bucket is sorted (descending) and pop-ready.
     base_sorted: bool,
-    overflow: BinaryHeap<Scheduled<E>>,
+    overflow: BinaryHeap<Scheduled<E, K>>,
     next_seq: u64,
     len: usize,
 }
 
-impl<E> Default for CalendarQueue<E> {
+impl<E, K: Ord + Copy> Default for CalendarQueue<E, K> {
     fn default() -> Self {
-        Self::new()
+        Self::keyed()
     }
 }
 
 impl<E> CalendarQueue<E> {
-    /// Creates an empty queue with the default geometry (1 ms buckets,
-    /// 256-bucket ring).
+    /// Creates an empty untagged queue with the default geometry (1 ms
+    /// buckets, 256-bucket ring).
     pub fn new() -> Self {
-        Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_RING_BUCKETS)
+        Self::keyed()
     }
 
-    /// Creates an empty queue with `1 << shift` µs buckets and a ring of
-    /// `ring_buckets` (rounded up to a power of two, minimum 2).
+    /// Schedules `event` to fire at `at`. Untagged queues only — keyed
+    /// queues must say which session an event belongs to
+    /// ([`CalendarQueue::schedule_keyed`]).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_keyed(at, (), event);
+    }
+
+    /// Creates an empty untagged queue with `1 << shift` µs buckets and a
+    /// ring of `ring_buckets` (rounded up to a power of two, minimum 2).
     pub fn with_geometry(shift: u32, ring_buckets: usize) -> Self {
+        Self::keyed_with_geometry(shift, ring_buckets)
+    }
+}
+
+impl<E, K: Ord + Copy> CalendarQueue<E, K> {
+    /// Creates an empty keyed queue with the default geometry. (Separate
+    /// from [`CalendarQueue::new`] so `K` stays inferable for the untagged
+    /// common case.)
+    pub fn keyed() -> Self {
+        Self::keyed_with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_RING_BUCKETS)
+    }
+
+    /// Creates an empty keyed queue with `1 << shift` µs buckets and a ring
+    /// of `ring_buckets` (rounded up to a power of two, minimum 2).
+    pub fn keyed_with_geometry(shift: u32, ring_buckets: usize) -> Self {
         let n = ring_buckets.next_power_of_two().max(2);
         let mut buckets = Vec::with_capacity(n);
         buckets.resize_with(n, Vec::new);
@@ -147,14 +185,20 @@ impl<E> CalendarQueue<E> {
         self.len = 0;
     }
 
-    /// Schedules `event` to fire at `at`.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// Schedules `event` to fire at `at`, tagged with the secondary order
+    /// key `key` (e.g. a session id in a multiplexed queue).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: K, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.push_scheduled(Scheduled { at, seq, event });
+        self.push_scheduled(Scheduled {
+            at,
+            key,
+            seq,
+            event,
+        });
     }
 
-    fn push_scheduled(&mut self, s: Scheduled<E>) {
+    fn push_scheduled(&mut self, s: Scheduled<E, K>) {
         self.len += 1;
         let ab = self.abs_bucket(s.at);
         if ab >= self.base + self.ring_size() {
@@ -169,8 +213,8 @@ impl<E> CalendarQueue<E> {
         if ab == self.base && self.base_sorted {
             // The base bucket is mid-drain: keep it descending-sorted.
             let b = &mut self.buckets[idx];
-            let key = (s.at, s.seq);
-            let pos = b.partition_point(|x| (x.at, x.seq) > key);
+            let key = (s.at, s.key, s.seq);
+            let pos = b.partition_point(|x| (x.at, x.key, x.seq) > key);
             b.insert(pos, s);
         } else {
             self.buckets[idx].push(s);
@@ -206,7 +250,7 @@ impl<E> CalendarQueue<E> {
         if !self.base_sorted {
             let b = &mut self.buckets[(self.base & self.mask) as usize];
             // Keys are unique (seq strictly increases), so unstable is safe.
-            b.sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.seq)));
+            b.sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.key, s.seq)));
             self.base_sorted = true;
         }
     }
@@ -231,7 +275,7 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
-    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+    pub fn pop(&mut self) -> Option<Scheduled<E, K>> {
         if self.len == 0 {
             return None;
         }
@@ -244,7 +288,7 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Pops the earliest event only if it fires at or before `now`.
-    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E, K>> {
         if self.len == 0 {
             return None;
         }
@@ -300,17 +344,23 @@ impl<E> CalendarQueue<E> {
 }
 
 #[derive(Debug, Clone)]
-enum Inner<E> {
+enum Inner<E, K> {
     Heap {
-        heap: BinaryHeap<Scheduled<E>>,
+        heap: BinaryHeap<Scheduled<E, K>>,
         next_seq: u64,
     },
-    Calendar(CalendarQueue<E>),
+    Calendar(CalendarQueue<E, K>),
 }
 
 /// A deterministic min-queue of timestamped events, with a choice of
 /// backend: binary heap ([`EventQueue::new`]) or calendar buckets
 /// ([`EventQueue::calendar`]). Both produce the identical pop sequence.
+///
+/// The second type parameter is the secondary order key (see the module
+/// docs); it defaults to `()`, in which case [`EventQueue::schedule`] and
+/// the classic `(time, seq)` contract apply unchanged. Multiplexed drivers
+/// instantiate e.g. `EventQueue<RouteEvent, u64>` and tag every event with
+/// its session via [`EventQueue::schedule_keyed`].
 ///
 /// ```
 /// use simcore::{EventQueue, SimTime};
@@ -324,30 +374,65 @@ enum Inner<E> {
 /// }
 /// ```
 #[derive(Debug, Clone)]
-pub struct EventQueue<E> {
-    inner: Inner<E>,
+pub struct EventQueue<E, K = ()> {
+    inner: Inner<E, K>,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E, K: Ord + Copy> Default for EventQueue<E, K> {
     fn default() -> Self {
-        Self::new()
+        Self::keyed()
     }
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty heap-backed queue.
+    /// Creates an empty untagged heap-backed queue.
     pub fn new() -> Self {
-        EventQueue {
-            inner: Inner::Heap {
-                heap: BinaryHeap::new(),
-                next_seq: 0,
-            },
-        }
+        Self::keyed()
     }
 
-    /// Creates an empty heap-backed queue with room for `cap` events before
-    /// reallocating.
+    /// Creates an empty untagged heap-backed queue with room for `cap`
+    /// events before reallocating.
     pub fn with_capacity(cap: usize) -> Self {
+        Self::keyed_with_capacity(cap)
+    }
+
+    /// Creates an empty untagged calendar-backed queue with the default
+    /// geometry (the session engine's default — see [`CalendarQueue`]).
+    pub fn calendar() -> Self {
+        Self::calendar_keyed()
+    }
+
+    /// Creates an empty untagged calendar-backed queue with explicit
+    /// geometry (see [`CalendarQueue::keyed_with_geometry`]).
+    pub fn calendar_with_geometry(shift: u32, ring_buckets: usize) -> Self {
+        Self::calendar_keyed_with_geometry(shift, ring_buckets)
+    }
+
+    /// Schedules `event` to fire at `at`. Untagged queues only — keyed
+    /// queues must say which session an event belongs to
+    /// ([`EventQueue::schedule_keyed`]), so a shared multiplexed queue
+    /// cannot silently tag an event with a default session id.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_keyed(at, (), event);
+    }
+
+    /// Schedules `event` to fire `delay` after `now` (untagged queues).
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule(now + delay, event);
+    }
+}
+
+impl<E, K: Ord + Copy> EventQueue<E, K> {
+    /// Creates an empty keyed heap-backed queue. (Separate from
+    /// [`EventQueue::new`] so `K` stays inferable for the untagged common
+    /// case.)
+    pub fn keyed() -> Self {
+        Self::keyed_with_capacity(0)
+    }
+
+    /// Creates an empty keyed heap-backed queue with room for `cap` events
+    /// before reallocating.
+    pub fn keyed_with_capacity(cap: usize) -> Self {
         EventQueue {
             inner: Inner::Heap {
                 heap: BinaryHeap::with_capacity(cap),
@@ -356,19 +441,19 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Creates an empty calendar-backed queue with the default geometry
-    /// (the session engine's default — see [`CalendarQueue`]).
-    pub fn calendar() -> Self {
+    /// Creates an empty keyed calendar-backed queue with the default
+    /// geometry — the backend a multiplexed session driver shares across
+    /// its interleaved sessions.
+    pub fn calendar_keyed() -> Self {
         EventQueue {
-            inner: Inner::Calendar(CalendarQueue::new()),
+            inner: Inner::Calendar(CalendarQueue::keyed()),
         }
     }
 
-    /// Creates an empty calendar-backed queue with explicit geometry
-    /// (see [`CalendarQueue::with_geometry`]).
-    pub fn calendar_with_geometry(shift: u32, ring_buckets: usize) -> Self {
+    /// Creates an empty keyed calendar-backed queue with explicit geometry.
+    pub fn calendar_keyed_with_geometry(shift: u32, ring_buckets: usize) -> Self {
         EventQueue {
-            inner: Inner::Calendar(CalendarQueue::with_geometry(shift, ring_buckets)),
+            inner: Inner::Calendar(CalendarQueue::keyed_with_geometry(shift, ring_buckets)),
         }
     }
 
@@ -391,25 +476,26 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` to fire at `at`.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// Schedules `event` to fire at `at`, tagged with the secondary order
+    /// key `key` (e.g. a session id in a multiplexed queue).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: K, event: E) {
         match &mut self.inner {
             Inner::Heap { heap, next_seq } => {
                 let seq = *next_seq;
                 *next_seq += 1;
-                heap.push(Scheduled { at, seq, event });
+                heap.push(Scheduled {
+                    at,
+                    key,
+                    seq,
+                    event,
+                });
             }
-            Inner::Calendar(c) => c.schedule(at, event),
+            Inner::Calendar(c) => c.schedule_keyed(at, key, event),
         }
     }
 
-    /// Schedules `event` to fire `delay` after `now`.
-    pub fn schedule_in(&mut self, now: SimTime, delay: SimDuration, event: E) {
-        self.schedule(now + delay, event);
-    }
-
     /// Removes and returns the earliest event, or `None` if empty.
-    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+    pub fn pop(&mut self) -> Option<Scheduled<E, K>> {
         match &mut self.inner {
             Inner::Heap { heap, .. } => heap.pop(),
             Inner::Calendar(c) => c.pop(),
@@ -438,7 +524,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event only if it fires at or before `now`.
-    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E, K>> {
         match &mut self.inner {
             Inner::Heap { heap, .. } => {
                 if heap.peek().is_some_and(|s| s.at <= now) {
@@ -614,6 +700,54 @@ mod tests {
                     (None, None) => break,
                     _ => prop_assert!(false, "length mismatch while draining"),
                 }
+            }
+        }
+
+        /// The multiplexing contract: N sessions interleave schedules into
+        /// ONE tagged calendar queue (key = session id) while each session
+        /// mirrors its schedules into a private untagged queue. Drained by
+        /// increasing `pop_due` deadlines (the multiplexed driver's global
+        /// tick loop), the shared stream demultiplexed by tag must observe
+        /// exactly the `(time, payload)` sequence each private queue pops —
+        /// and the global stream itself must be sorted by `(time, session)`
+        /// within a deadline batch. Times include far-future outliers
+        /// (overflow tier) and a tiny ring to force bucket churn.
+        #[test]
+        fn prop_tagged_pop_matches_private_queues(
+            ops in proptest::collection::vec((0u64..4, 0u64..50_000), 1..300),
+        ) {
+            const SESSIONS: usize = 4;
+            let mut shared: EventQueue<usize, u64> =
+                EventQueue::calendar_keyed_with_geometry(8, 8);
+            let mut private: Vec<EventQueue<usize>> =
+                (0..SESSIONS).map(|_| EventQueue::calendar_with_geometry(8, 8)).collect();
+            for (payload, &(session, t)) in ops.iter().enumerate() {
+                shared.schedule_keyed(SimTime::from_micros(t), session, payload);
+                private[session as usize].schedule(SimTime::from_micros(t), payload);
+            }
+            // Drain through the same pop_due cadence the mux driver uses.
+            let mut demuxed: Vec<Vec<(SimTime, usize)>> = vec![Vec::new(); SESSIONS];
+            let mut deadline = 0u64;
+            while !shared.is_empty() {
+                deadline += 1_000;
+                let now = SimTime::from_micros(deadline);
+                let mut prev: Option<(SimTime, u64)> = None;
+                while let Some(s) = shared.pop_due(now) {
+                    if let Some((pt, pk)) = prev {
+                        prop_assert!(
+                            (pt, pk) <= (s.at, s.key),
+                            "global order violated: ({pt:?},{pk}) then ({:?},{})",
+                            s.at, s.key
+                        );
+                    }
+                    prev = Some((s.at, s.key));
+                    demuxed[s.key as usize].push((s.at, s.event));
+                }
+            }
+            for (k, q) in private.iter_mut().enumerate() {
+                let solo: Vec<(SimTime, usize)> =
+                    std::iter::from_fn(|| q.pop()).map(|s| (s.at, s.event)).collect();
+                prop_assert_eq!(&demuxed[k], &solo, "session {} order diverged", k);
             }
         }
     }

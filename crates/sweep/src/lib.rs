@@ -28,8 +28,10 @@
 //! ([`merge_shards`]) into a report byte-identical to a single-machine
 //! [`run_sweep`] — at any shard count and any per-shard thread count.
 
+pub mod multiplex;
 pub mod shard;
 
+pub use multiplex::{ExecutionMode, MuxWorker};
 pub use shard::{
     merge_shards, run_shard, LiveTotals, MergeError, Shard, ShardPlan, ShardReport, SpecOutcome,
 };
@@ -73,6 +75,12 @@ pub enum AnalysisMode {
 pub struct SweepOptions {
     /// Worker threads; 0 means all available cores.
     pub threads: usize,
+    /// How each worker schedules its claimed sessions: one at a time
+    /// ([`ExecutionMode::PerWorker`]) or up to `width` interleaved through
+    /// one shared calendar queue, arena, and pipeline pool
+    /// ([`ExecutionMode::Multiplexed`]). Per-session outputs (and thus the
+    /// whole report) are byte-identical across modes and widths.
+    pub execution: ExecutionMode,
     /// Per-session analysis mode.
     pub analysis: AnalysisMode,
     /// Live-stage configuration (lateness bound and early-exit policy),
@@ -89,6 +97,7 @@ impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
             threads: 0,
+            execution: ExecutionMode::PerWorker,
             analysis: AnalysisMode::Streaming,
             live: LiveConfig::default(),
             keep_bundles: false,
@@ -151,6 +160,13 @@ pub struct SessionOutcome {
 pub struct SweepProgress {
     /// Sessions finished so far (including this one).
     pub completed: usize,
+    /// Sessions claimed and currently executing. Per-worker execution holds
+    /// this at (up to) the thread count; multiplexed execution reports
+    /// every interleaved in-flight session individually, which is why it is
+    /// surfaced separately from the completion rate — a wide batch of
+    /// co-started sessions finishing together moves `completed` in a burst
+    /// without meaning the steady-state rate changed.
+    pub in_flight: usize,
     /// Total sessions in the sweep.
     pub total: usize,
     /// Completion throughput over a sliding window of the most recent
@@ -183,18 +199,25 @@ impl RateWindow {
     }
 
     /// Records a completion at `now` and returns the windowed rate.
+    ///
+    /// The rate counts completions *strictly after* the window's first
+    /// instant over the window span. Counting both endpoints'
+    /// contributions (the old `(len - 1) / span`) overstates the rate when
+    /// completions arrive in bursts — a multiplexed worker finishing a
+    /// co-started batch at one instant would double the reported rate and
+    /// halve the ETA until the batch left the window. With same-instant
+    /// completions collapsed onto the window's start, a batch of K counts
+    /// as one arrival event per span unit, so the ETA stays put.
     fn on_completion(&mut self, now: Instant, completed: usize) -> f64 {
         self.recent.push_back(now);
         while self.recent.len() > RATE_WINDOW {
             self.recent.pop_front();
         }
-        let window_secs = self
-            .recent
-            .front()
-            .map(|&first| now.duration_since(first).as_secs_f64())
-            .unwrap_or(0.0);
-        if self.recent.len() >= 2 && window_secs > 0.0 {
-            (self.recent.len() - 1) as f64 / window_secs
+        let first = *self.recent.front().expect("just pushed");
+        let window_secs = now.duration_since(first).as_secs_f64();
+        let after_first = self.recent.iter().filter(|&&t| t > first).count();
+        if after_first >= 1 && window_secs > 0.0 {
+            after_first as f64 / window_secs
         } else {
             // Window not yet meaningful: lifetime average.
             let elapsed = now.duration_since(self.started).as_secs_f64();
@@ -250,39 +273,62 @@ pub fn run_sweep_with_progress(
     slots.resize_with(specs.len(), || None);
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
+    let started = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let rate = Mutex::new(RateWindow::new(Instant::now()));
 
+    // Shared by both execution modes: claim the next spec index (tracking
+    // the in-flight count) and record a finished outcome + progress snapshot.
+    let claim = || {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i < specs.len() {
+            started.fetch_add(1, Ordering::Relaxed);
+            Some(i)
+        } else {
+            None
+        }
+    };
+    let complete = |outcome: SessionOutcome| {
+        let index = outcome.index;
+        slots.lock().expect("sweep worker panicked")[index] = Some(outcome);
+        let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let sessions_per_sec = rate
+            .lock()
+            .expect("sweep worker panicked")
+            .on_completion(Instant::now(), completed);
+        progress(SweepProgress {
+            completed,
+            in_flight: started.load(Ordering::Relaxed).saturating_sub(completed),
+            total: specs.len(),
+            sessions_per_sec,
+            eta_secs: if sessions_per_sec > 0.0 {
+                (specs.len() - completed) as f64 / sessions_per_sec
+            } else {
+                f64::INFINITY
+            },
+        });
+    };
+
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
-                // One scratch per worker: the session arena (event queue,
-                // in-flight map, recycled bundle buffers) and the
-                // analyzer/pipeline state are reused across every session
-                // the worker claims.
-                let mut scratch = WorkerScratch::new(domino, opts);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let outcome = scratch.run_session(&specs[i], i, domino, opts);
-                    slots.lock().expect("sweep worker panicked")[i] = Some(outcome);
-                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let sessions_per_sec = rate
-                        .lock()
-                        .expect("sweep worker panicked")
-                        .on_completion(Instant::now(), completed);
-                    progress(SweepProgress {
-                        completed,
-                        total: specs.len(),
-                        sessions_per_sec,
-                        eta_secs: if sessions_per_sec > 0.0 {
-                            (specs.len() - completed) as f64 / sessions_per_sec
-                        } else {
-                            f64::INFINITY
-                        },
+            scope.spawn(|| match opts.execution {
+                ExecutionMode::Multiplexed { width } if width > 1 => {
+                    // N sessions interleaved through one shared calendar
+                    // queue, arena, and pipeline pool per worker.
+                    let mut worker = multiplex::MuxWorker::new(domino, opts);
+                    worker.run(width, specs, domino, opts, &mut { claim }, &mut {
+                        complete
                     });
+                }
+                _ => {
+                    // One scratch per worker: the session arena (event
+                    // queue, in-flight map, recycled bundle buffers) and
+                    // the analyzer/pipeline state are reused across every
+                    // session the worker claims.
+                    let mut scratch = WorkerScratch::new(domino, opts);
+                    while let Some(i) = claim() {
+                        complete(scratch.run_session(&specs[i], i, domino, opts));
+                    }
                 }
             });
         }
@@ -574,6 +620,77 @@ mod tests {
             (rate - 10.0).abs() < 0.5,
             "windowed rate should track the recent 10/s phase, got {rate}"
         );
+    }
+
+    #[test]
+    fn rate_window_is_stable_under_batched_completions() {
+        // A multiplexed worker finishing a co-started batch reports many
+        // completions at (essentially) one instant. The windowed rate must
+        // track the batch cadence (8 sessions per second here), not spike
+        // because a burst compressed the window span — the old
+        // `(len - 1) / span` estimate reported ~15/s on the second batch,
+        // halving the ETA until the burst left the window.
+        use std::time::Duration;
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(t0);
+        let mut rates = Vec::new();
+        for batch in 1..=5u64 {
+            let at = t0 + Duration::from_secs(batch);
+            for k in 0..8u64 {
+                rates.push(w.on_completion(at, ((batch - 1) * 8 + k + 1) as usize));
+            }
+        }
+        // From the second batch on: the snapshot delivered by a batch's
+        // last completion — the one a consumer actually observes, since all
+        // of a batch's callbacks share one instant — sits at the true
+        // cadence, and *no* intermediate snapshot ever spikes above it
+        // (the spike is what halved ETAs under the old estimator; the
+        // partial undercount while a same-instant burst drains lasts zero
+        // wall time).
+        for batch in 2..=5usize {
+            let r = rates[batch * 8 - 1];
+            assert!(
+                (r - 8.0).abs() < 0.5,
+                "batch {batch} settled at {r}/s, expected the 8/s cadence"
+            );
+        }
+        for (i, r) in rates.iter().enumerate().skip(8) {
+            assert!(*r <= 8.5, "completion {i}: rate {r} spiked above cadence");
+        }
+    }
+
+    #[test]
+    fn multiplexed_mode_matches_per_worker() {
+        // The byte-level contract lives in tests/multiplex_determinism.rs;
+        // this is the in-crate smoke check that the mode wires through
+        // SweepOptions and produces identical per-session statistics.
+        let specs = small_grid();
+        let domino = Domino::with_defaults();
+        let base = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let mux = run_sweep(
+            &specs,
+            &domino,
+            &SweepOptions {
+                threads: 1,
+                execution: ExecutionMode::Multiplexed { width: 3 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.outcomes.len(), mux.outcomes.len());
+        for (a, b) in base.outcomes.iter().zip(&mux.outcomes) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.meta.seed, b.meta.seed);
+            assert_eq!(a.stats, b.stats, "stats diverged for {}", a.label);
+        }
+        assert_eq!(base.aggregate, mux.aggregate);
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! The multiplexed many-call engine: one worker advances N concurrent
+//! sessions through **one shared calendar queue**, **one shared
+//! [`SessionArena`]**, and (in live mode) **one session-keyed
+//! [`PipelinePool`]** — the operator deployment shape, where a thread
+//! watches a fleet of interleaved calls instead of running one call to
+//! completion at a time.
+//!
+//! # Scheduling
+//!
+//! All co-scheduled sessions share the engine tick, and the driver steps
+//! them on one global tick lattice. Each global tick runs three sweeps over
+//! the active set, preserving every session's solo phase order:
+//!
+//! 1. [`SessionState::begin_tick`] for every active session (endpoints
+//!    emit, access network advances); route events land in the shared
+//!    [`SharedRouteQueue`] tagged with the session's spec index and shifted
+//!    to global time by its start offset.
+//! 2. One global drain of the shared queue in `(time, session, seq)` order;
+//!    each popped event is dispatched to its session at session-local time.
+//!    Route handlers never schedule further route events, so the drain is
+//!    closed within the tick — and restricted to one session it replays
+//!    exactly the `(time, seq)` pop order of a private queue.
+//! 3. [`SessionState::end_tick`] for every active session; finished
+//!    sessions (duration reached, or live early-exit) are finalised, their
+//!    slot immediately refilled from the work queue with a session whose
+//!    clock starts at the *current* global tick — so long sweeps run with
+//!    staggered start offsets as a matter of course.
+//!
+//! # Determinism
+//!
+//! Sessions never interact: all randomness is per-session (derived from the
+//! spec seed), per-session sub-state is leased from the arena and cleared
+//! at lease time, and the shared queue's tag keeps per-session event order
+//! identical to a private queue's. Per-session outputs are therefore
+//! **byte-identical** to solo runs at any multiplex width and any
+//! interleaving of start offsets — `tests/multiplex_determinism.rs`
+//! enforces this the same way the PR 3/4 contracts are enforced.
+//!
+//! Stale events are harmless by construction: a session that ends (or
+//! aborts) may leave already-scheduled route events in the shared queue;
+//! their tag no longer matches an active session when they pop, so they are
+//! dropped — exactly as the solo driver's `queue.clear()` would have
+//! discarded them.
+
+use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
+use domino_live::{LiveStats, PipelinePool};
+use scenarios::{SessionArena, SessionSpec, SessionState, SharedRouteQueue};
+use simcore::{SimDuration, SimTime};
+use telemetry::{LiveTap, NullTap, TraceBundle};
+
+use crate::{AnalysisMode, SessionOutcome, SweepOptions};
+
+/// How each sweep worker schedules the sessions it claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One session at a time per worker, run to completion (the classic
+    /// PR 1–4 driver).
+    #[default]
+    PerWorker,
+    /// Up to `width` sessions interleaved per worker through one shared
+    /// calendar queue, arena, and pipeline pool (see the
+    /// [module docs](crate::multiplex)). `width` ≤ 1 behaves like
+    /// [`ExecutionMode::PerWorker`].
+    Multiplexed {
+        /// Concurrent sessions per worker.
+        width: usize,
+    },
+}
+
+/// One interleaved session in flight.
+struct Active {
+    /// Global spec index — the shared-queue tag and pipeline-pool key.
+    index: usize,
+    state: SessionState,
+    /// Global time at which this session's local clock started (a multiple
+    /// of the group tick: sessions start on the lattice).
+    offset: SimDuration,
+}
+
+/// Everything one multiplexing worker owns: the shared arena (scratch plus
+/// free-listed per-session sub-state), the shared tagged route-event queue,
+/// and the analyzer or pipeline pool for the configured [`AnalysisMode`].
+///
+/// `run_sweep` spawns one per worker thread under
+/// [`ExecutionMode::Multiplexed`]; embedders (and the throughput
+/// microbench) that already own a thread can drive one directly through
+/// [`MuxWorker::run_batch`], reusing its warm arena/queue/pool across
+/// batches.
+pub struct MuxWorker {
+    arena: SessionArena,
+    shared: SharedRouteQueue,
+    pool: Option<PipelinePool>,
+    analyzer: Option<StreamingAnalyzer>,
+}
+
+impl MuxWorker {
+    /// Creates the worker state `opts.analysis` needs under `domino`'s
+    /// configuration.
+    pub fn new(domino: &Domino, opts: &SweepOptions) -> Self {
+        let analyzer = match opts.analysis {
+            AnalysisMode::Streaming => {
+                StreamingAnalyzer::new(domino.graph().clone(), domino.config().clone()).ok()
+            }
+            _ => None,
+        };
+        let pool = match opts.analysis {
+            AnalysisMode::Live => {
+                PipelinePool::new(domino.graph().clone(), domino.config().clone(), opts.live).ok()
+            }
+            _ => None,
+        };
+        MuxWorker {
+            arena: SessionArena::new(),
+            shared: SharedRouteQueue::new(),
+            pool,
+            analyzer,
+        }
+    }
+
+    /// Drives every spec through this worker at up to `width` in flight
+    /// (no threads spawned; claims indices in order) and returns the
+    /// outcomes in spec order. Arena, shared queue, and pipeline pool stay
+    /// warm across calls.
+    pub fn run_batch(
+        &mut self,
+        specs: &[SessionSpec],
+        width: usize,
+        domino: &Domino,
+        opts: &SweepOptions,
+    ) -> Vec<SessionOutcome> {
+        let mut next = 0usize;
+        let mut slots: Vec<Option<SessionOutcome>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        let mut claim = || {
+            let i = next;
+            next += 1;
+            (i < specs.len()).then_some(i)
+        };
+        let mut complete = |o: SessionOutcome| {
+            let index = o.index;
+            slots[index] = Some(o);
+        };
+        self.run(width, specs, domino, opts, &mut claim, &mut complete);
+        slots
+            .into_iter()
+            .map(|s| s.expect("every spec completed"))
+            .collect()
+    }
+
+    /// Runs sessions claimed from `claim` at up to `width` in flight,
+    /// delivering each finished [`SessionOutcome`] to `complete` (in
+    /// completion order; the caller slots them by index).
+    pub(crate) fn run(
+        &mut self,
+        width: usize,
+        specs: &[SessionSpec],
+        domino: &Domino,
+        opts: &SweepOptions,
+        claim: &mut dyn FnMut() -> Option<usize>,
+        complete: &mut dyn FnMut(SessionOutcome),
+    ) {
+        let width = width.max(1);
+        let live = opts.analysis == AnalysisMode::Live && self.pool.is_some();
+        self.shared.clear();
+        let mut active: Vec<Active> = Vec::with_capacity(width);
+        let mut null = NullTap;
+        // Global driver clock and the group tick, fixed by the first
+        // claimed spec. A spec with a different engine tick cannot share
+        // the lattice; it runs solo (to completion) on the same arena and
+        // pool instead of being interleaved.
+        let mut global = SimTime::ZERO;
+        let mut tick: Option<SimDuration> = None;
+
+        loop {
+            if active.is_empty() {
+                // No session pins the lattice: let the next claim re-fix
+                // the group tick, so one atypical-tick spec cannot disable
+                // interleaving for the rest of the sweep.
+                tick = None;
+            }
+            // Refill free slots; new sessions start at the current tick.
+            while active.len() < width {
+                let Some(index) = claim() else { break };
+                let spec = &specs[index];
+                match tick {
+                    None => tick = Some(spec.cfg.tick),
+                    Some(t) if t != spec.cfg.tick => {
+                        complete(self.run_solo(spec, index, domino, opts, live));
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+                if live {
+                    self.pool
+                        .as_mut()
+                        .expect("live implies pool")
+                        .checkout(index as u64);
+                }
+                let state = spec.start_in(live, &mut self.arena);
+                if state.is_done() {
+                    // Degenerate spec (duration shorter than its tick): no
+                    // tick may be begun — finalise straight away, exactly
+                    // like the solo driver's `while !is_done()` guard.
+                    let MuxWorker {
+                        arena, pool: pl, ..
+                    } = self;
+                    complete(finalize(
+                        Active {
+                            index,
+                            state,
+                            offset: SimDuration::ZERO,
+                        },
+                        spec.label.clone(),
+                        arena,
+                        pl,
+                        &mut self.analyzer,
+                        domino,
+                        opts,
+                        live,
+                    ));
+                    continue;
+                }
+                active.push(Active {
+                    index,
+                    state,
+                    offset: global - SimTime::ZERO,
+                });
+            }
+            if active.is_empty() {
+                break;
+            }
+            let MuxWorker {
+                arena,
+                shared,
+                pool,
+                ..
+            } = self;
+            global += tick.expect("tick fixed by the first claimed spec");
+
+            // Phase 1–2 for every active session, in slot order.
+            for s in active.iter_mut() {
+                let mut sink = shared.sink(s.index as u64, s.offset);
+                let tap = tap_for(live, pool, &mut null, s.index as u64);
+                s.state.begin_tick(tap, arena.scratch_mut(), &mut sink);
+            }
+
+            // Phase 3: one global drain in (time, session, seq) order.
+            while let Some((at, tag, ev)) = shared.pop_due(global) {
+                let Some(s) = active.iter_mut().find(|s| s.index as u64 == tag) else {
+                    continue; // stale event of a finished session
+                };
+                let local = at - s.offset;
+                s.state
+                    .route_event(local, ev, tap_for(live, pool, &mut null, tag));
+            }
+
+            // Phase 4–5; finalise finished sessions and free their slots.
+            let mut i = 0;
+            while i < active.len() {
+                let s = &mut active[i];
+                let tap = tap_for(live, pool, &mut null, s.index as u64);
+                let done = s.state.end_tick(tap, arena.scratch_mut());
+                if done {
+                    let s = active.swap_remove(i);
+                    let label = specs[s.index].label.clone();
+                    complete(finalize(
+                        s,
+                        label,
+                        arena,
+                        pool,
+                        &mut self.analyzer,
+                        domino,
+                        opts,
+                        live,
+                    ));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// The non-interleaved escape hatch for a spec whose engine tick does
+    /// not match the group lattice: run it to completion through the
+    /// arena's *private* route-event queue — exactly the per-worker
+    /// driver's path (`SessionSpec::run_with_tap_in`) — so the
+    /// worker-shared queue, which may hold other active sessions' future
+    /// events, is never popped on this session's clock.
+    fn run_solo(
+        &mut self,
+        spec: &SessionSpec,
+        index: usize,
+        domino: &Domino,
+        opts: &SweepOptions,
+        live: bool,
+    ) -> SessionOutcome {
+        let MuxWorker {
+            arena,
+            pool,
+            analyzer,
+            ..
+        } = self;
+        let (bundle, analysis, live_stats) = if live {
+            let pool = pool.as_mut().expect("live implies pool");
+            let pipe = pool.checkout(index as u64);
+            let bundle = spec.run_with_tap_in(pipe, arena);
+            let analysis = pool
+                .get_mut(index as u64)
+                .expect("leased above")
+                .take_analysis(bundle.meta.duration);
+            let stats = pool.release(index as u64);
+            (bundle, Some(analysis), stats)
+        } else {
+            let bundle = spec.run_in(arena);
+            let analysis = post_hoc_analysis(&bundle, analyzer, domino, opts);
+            (bundle, analysis, None)
+        };
+        outcome_from(
+            index,
+            spec.label.clone(),
+            bundle,
+            analysis,
+            live_stats,
+            arena,
+            domino,
+            opts,
+        )
+    }
+}
+
+/// Resolves the tap a session's step methods receive: its leased pipeline
+/// in live mode, the worker's shared null tap otherwise.
+fn tap_for<'a>(
+    live: bool,
+    pool: &'a mut Option<PipelinePool>,
+    null: &'a mut NullTap,
+    session: u64,
+) -> &'a mut dyn LiveTap {
+    if live {
+        pool.as_mut()
+            .expect("live implies pool")
+            .get_mut(session)
+            .expect("leased at claim")
+    } else {
+        null
+    }
+}
+
+/// The post-hoc analysis pass for non-live modes — mirrors the per-worker
+/// driver: streaming when supported, batch for `AnalysisMode::Batch`,
+/// streaming-unsupported configs, and the live fallback (pool construction
+/// rejected the configuration).
+fn post_hoc_analysis(
+    bundle: &TraceBundle,
+    analyzer: &mut Option<StreamingAnalyzer>,
+    domino: &Domino,
+    opts: &SweepOptions,
+) -> Option<Analysis> {
+    match (opts.analysis, analyzer) {
+        (AnalysisMode::None, _) => None,
+        (AnalysisMode::Streaming, Some(a)) => Some(a.analyze(bundle)),
+        _ => Some(domino.analyze(bundle)),
+    }
+}
+
+/// Finishes one session and builds its [`SessionOutcome`] — the multiplexed
+/// twin of `WorkerScratch::run_session`'s post-processing: live sessions
+/// flush their pipeline via `on_finish`, take the accumulated analysis, and
+/// release the pipeline back to the pool (warm, ready for the next call);
+/// other modes run the configured post-hoc pass over the finished bundle.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    s: Active,
+    label: String,
+    arena: &mut SessionArena,
+    pool: &mut Option<PipelinePool>,
+    analyzer: &mut Option<StreamingAnalyzer>,
+    domino: &Domino,
+    opts: &SweepOptions,
+    live: bool,
+) -> SessionOutcome {
+    let index = s.index;
+    let (bundle, analysis, live_stats) = if live {
+        let pool = pool.as_mut().expect("live implies pool");
+        let tap = pool.get_mut(index as u64).expect("leased at claim");
+        let bundle = s.state.finish(tap, arena);
+        let analysis = pool
+            .get_mut(index as u64)
+            .expect("leased at claim")
+            .take_analysis(bundle.meta.duration);
+        let stats = pool.release(index as u64);
+        (bundle, Some(analysis), stats)
+    } else {
+        let bundle = s.state.finish(&mut NullTap, arena);
+        let analysis = post_hoc_analysis(&bundle, analyzer, domino, opts);
+        (bundle, analysis, None)
+    };
+    outcome_from(
+        index, label, bundle, analysis, live_stats, arena, domino, opts,
+    )
+}
+
+/// Assembles the outcome, retaining or recycling the bundle per `opts`.
+#[allow(clippy::too_many_arguments)]
+fn outcome_from(
+    index: usize,
+    label: String,
+    bundle: TraceBundle,
+    analysis: Option<Analysis>,
+    live_stats: Option<LiveStats>,
+    arena: &mut SessionArena,
+    domino: &Domino,
+    opts: &SweepOptions,
+) -> SessionOutcome {
+    let stats = analysis
+        .as_ref()
+        .map(|a| ChainStats::compute(domino.graph(), a));
+    let meta = bundle.meta.clone();
+    let bundle = if opts.keep_bundles {
+        Some(bundle)
+    } else {
+        arena.recycle(bundle);
+        None
+    };
+    SessionOutcome {
+        index,
+        label,
+        meta,
+        bundle,
+        analysis: if opts.keep_analyses { analysis } else { None },
+        stats,
+        live: live_stats,
+    }
+}

@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use domino::core::Domino;
 use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
 use domino::simcore::SimDuration;
-use domino::sweep::{merge_shards, run_shard, ShardPlan, ShardReport, SweepOptions};
+use domino::sweep::{merge_shards, run_shard, ExecutionMode, ShardPlan, ShardReport, SweepOptions};
 
 /// The demo grid every invocation agrees on: the four Table 1 cells × a
 /// proactive-grant scenario axis, 20 s per session. Eight specs — small
@@ -48,8 +48,8 @@ fn demo_grid() -> Vec<SessionSpec> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sharded_sweep run [--shards N] [--shard I] [--threads T] --out FILE\n  \
-         sharded_sweep merge --out FILE <shard-report-files...>"
+        "usage:\n  sharded_sweep run [--shards N] [--shard I] [--threads T] [--mux-width W] \
+         --out FILE\n  sharded_sweep merge --out FILE <shard-report-files...>"
     );
     ExitCode::from(2)
 }
@@ -63,6 +63,7 @@ fn main() -> ExitCode {
     let mut shards = 1usize;
     let mut shard = 0usize;
     let mut threads = 0usize;
+    let mut mux_width = 1usize;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
 
@@ -86,6 +87,10 @@ fn main() -> ExitCode {
             },
             "--threads" => match take("--threads").and_then(|v| v.parse().ok()) {
                 Some(v) => threads = v,
+                None => return usage(),
+            },
+            "--mux-width" => match take("--mux-width").and_then(|v| v.parse().ok()) {
+                Some(v) => mux_width = v,
                 None => return usage(),
             },
             "--out" => match take("--out") {
@@ -125,8 +130,16 @@ fn main() -> ExitCode {
                 }
             );
             let domino = Domino::with_defaults();
+            // --mux-width W > 1 interleaves W sessions per worker through
+            // one shared calendar queue/arena; the report is byte-identical
+            // to the per-worker driver's — CI diffs width 1 vs width 8.
             let opts = SweepOptions {
                 threads,
+                execution: if mux_width > 1 {
+                    ExecutionMode::Multiplexed { width: mux_width }
+                } else {
+                    ExecutionMode::PerWorker
+                },
                 ..Default::default()
             };
             let report = run_shard(&specs, &my, &domino, &opts);

@@ -237,6 +237,108 @@ fn arena_reuse_keeps_worker_footprint_flat() {
 }
 
 #[test]
+fn pool_reuse_and_eviction_are_output_invisible() {
+    // The PipelinePool contract (ISSUE 5): a call ending and a new call
+    // reusing its slot must produce output identical to a fresh pipeline —
+    // whatever mix of reuse (warm buffers off the LRU free list) and
+    // eviction (pipeline dropped, next checkout builds fresh) the pool's
+    // bound produces.
+    use domino::live::PipelinePool;
+    let lateness = SimDuration::from_secs(30);
+    let cfg = LiveConfig {
+        lateness,
+        early_exit: EarlyExit::Never,
+    };
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|i| {
+            let mut spec = SessionSpec::cell(
+                domino::scenarios::all_cells()[i % 4].clone(),
+                SessionConfig {
+                    duration: SimDuration::from_secs(12),
+                    seed: 7_100 + i as u64,
+                    ..Default::default()
+                },
+            );
+            if i % 2 == 0 {
+                spec = spec.with_script(ScriptAction::CrossTraffic {
+                    dir: Direction::Downlink,
+                    from: SimTime::from_secs(4),
+                    to: SimTime::from_secs(8),
+                    prb_fraction: 0.95,
+                });
+            }
+            spec
+        })
+        .collect();
+
+    // Reference: each spec through its own fresh pipeline.
+    let fresh: Vec<Analysis> = specs
+        .iter()
+        .map(|spec| {
+            let mut pipe = LivePipeline::with_defaults(cfg).expect("aligned");
+            let bundle = spec.run_with_tap(&mut pipe);
+            pipe.take_analysis(bundle.meta.duration)
+        })
+        .collect();
+
+    // Sequential reuse: every session rides the same pooled pipeline (the
+    // pool never holds more than one idle pipeline, so each checkout is a
+    // free-list reuse of the previous call's slot).
+    let mut pool = PipelinePool::with_defaults(cfg).expect("aligned");
+    for (i, spec) in specs.iter().enumerate() {
+        let pipe = pool.checkout(i as u64);
+        let bundle = spec.run_with_tap(pipe);
+        let live = pipe.take_analysis(bundle.meta.duration);
+        assert_identical(&fresh[i], &live, &format!("pooled reuse, spec {i}"));
+        assert!(pool.release(i as u64).is_some());
+    }
+    assert_eq!(
+        pool.stats().created,
+        0,
+        "all checkouts reused the free list"
+    );
+    assert!(pool.stats().reused >= specs.len());
+
+    // Eviction: a zero free-list bound drops every released pipeline, so
+    // each checkout constructs from scratch — output must not care.
+    let mut pool = PipelinePool::with_defaults(cfg)
+        .expect("aligned")
+        .max_free(0);
+    for (i, spec) in specs.iter().enumerate() {
+        let pipe = pool.checkout(i as u64);
+        let bundle = spec.run_with_tap(pipe);
+        let live = pipe.take_analysis(bundle.meta.duration);
+        assert_identical(&fresh[i], &live, &format!("post-eviction, spec {i}"));
+        pool.release(i as u64);
+    }
+    assert_eq!(
+        pool.stats().evicted,
+        specs.len() + 1,
+        "probe + each release"
+    );
+
+    // Interleaved width-2 lease pattern (checkout 2, finish one, refill its
+    // slot): the reused slot's next session still matches its fresh run.
+    let mut pool = PipelinePool::with_defaults(cfg).expect("aligned");
+    let run = |pool: &mut PipelinePool, sid: u64, spec: &SessionSpec| -> Analysis {
+        let pipe = pool.get_mut(sid).expect("leased");
+        let bundle = spec.run_with_tap(pipe);
+        let a = pipe.take_analysis(bundle.meta.duration);
+        pool.release(sid);
+        a
+    };
+    pool.checkout(0);
+    pool.checkout(1);
+    let a0 = run(&mut pool, 0, &specs[0]);
+    pool.checkout(2); // reuses session 0's pipeline while 1 is still leased
+    let a1 = run(&mut pool, 1, &specs[1]);
+    let a2 = run(&mut pool, 2, &specs[2]);
+    assert_identical(&fresh[0], &a0, "interleaved slot 0");
+    assert_identical(&fresh[1], &a1, "interleaved slot 1");
+    assert_identical(&fresh[2], &a2, "interleaved slot 2 (reused slot 0)");
+}
+
+#[test]
 fn live_sweep_mode_matches_batch_sweep() {
     use domino::sweep::{run_sweep, AnalysisMode, SweepOptions};
     let specs: Vec<SessionSpec> = all_cells()
