@@ -380,6 +380,72 @@ fn bench_sweep_sessions(c: &mut Criterion) {
     });
 }
 
+/// Marginal cost of one more UE in a shared cell's slot loop. Each probe
+/// polls one simulated second (2 000 TDD slots) of an Amarisoft cell whose
+/// SoA table carries N scripted traffic UEs; the headline number is the
+/// differential `(t(64 UEs) − t(16 UEs)) / 48` — wall time per additional
+/// UE per simulated second, with the fixed slot-loop overhead (cross
+/// process, frame bookkeeping, experiment UE 0) subtracted out. The ISSUE's
+/// acceptance bar compares it to `sweep/shared_cell_sessions_per_sec`: a UE
+/// added to an existing cell must be ≥5× cheaper than a whole new session.
+fn bench_cell_slot_marginal_ue(c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+
+    fn time_poll(n_ues: usize, iters: u64) -> Duration {
+        let mut cell_cfg = scenarios::amarisoft();
+        cell_cfg.traffic_ues = ran_sim::traffic_mix(n_ues);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            // Construction (config clone, table fill) stays outside the
+            // timer: the sweep pays it once per session, not per slot.
+            let mut cell = ran_sim::CellSim::new(cell_cfg.clone(), 7);
+            let start = Instant::now();
+            cell.poll(SimTime::from_secs(1));
+            total += start.elapsed();
+            black_box(cell.n_traffic_ues());
+        }
+        total
+    }
+
+    for n in [2usize, 16, 64] {
+        c.bench_function(&format!("ran/cell_slot_1s_n{n}"), |b| {
+            b.iter_custom(|iters| time_poll(n, iters))
+        });
+    }
+    c.bench_function("ran/cell_slot_marginal_ue", |b| {
+        b.iter_custom(|iters| {
+            let t64 = time_poll(64, iters);
+            let t16 = time_poll(16, iters);
+            t64.saturating_sub(t16) / 48
+        })
+    });
+}
+
+/// Sweep-worker throughput on a *contended* cell: the same 3 s
+/// simulate-then-analyze session as `sweep/sessions_per_sec`, but the cell
+/// carries 46 scripted traffic UEs (the contended-cell example's
+/// population). The gap between the two numbers is the whole-cell
+/// simulation surcharge; divided by 46 it should approach
+/// `ran/cell_slot_marginal_ue`.
+fn bench_shared_cell_sweep(c: &mut Criterion) {
+    let mut cell = scenarios::amarisoft();
+    cell.traffic_ues = ran_sim::traffic_mix(46);
+    let spec = SessionSpec::cell(
+        cell,
+        SessionConfig {
+            duration: SimDuration::from_secs(3),
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions::default();
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+    c.bench_function("sweep/shared_cell_sessions_per_sec", |b| {
+        b.iter(|| scratch.run_session(black_box(&spec), 0, &domino, &opts))
+    });
+}
+
 /// Per-session wall time of the multiplexed many-call engine: one worker
 /// drives a batch of 8 three-second sessions at width 8 — one shared
 /// calendar queue, one shared arena, sessions interleaved tick by tick —
@@ -526,6 +592,8 @@ criterion_group!(
         bench_ran_session,
         bench_calendar_vs_heap,
         bench_sweep_sessions,
+        bench_cell_slot_marginal_ue,
+        bench_shared_cell_sweep,
         bench_multiplexed_sweep,
         bench_streaming_step_busy,
         bench_phy,

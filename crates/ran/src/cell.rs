@@ -6,6 +6,16 @@
 //! as they reach the RAN edge (UE modem for UL, gNB for DL), call
 //! [`CellSim::poll`] to advance slot processing up to the current instant,
 //! and drain deliveries/telemetry.
+//!
+//! One `CellSim` carries N *experiment* UEs (diagnosed RTC endpoints with
+//! full per-packet RLC/HARQ state) plus M *scripted traffic* UEs whose
+//! state lives in the flat [`CellUeTable`] arrays — all contending for the
+//! same PRB budget. Each slot runs one arrivals pass and one link-adaptation
+//! sweep over the table, then a rotated round-robin allocation pass across
+//! every UE; the scalar cross-traffic aggregate remains as a best-effort
+//! background load underneath. A cell with one experiment UE and no
+//! scripted UEs is byte-identical to the pre-table simulator (pinned by
+//! `tests/determinism.rs`).
 
 use rand::rngs::StdRng;
 use simcore::{rng_for, RngStream, SimDuration, SimTime};
@@ -18,6 +28,7 @@ use crate::mac::{self, HarqOverride, LinkDir, MacConfig, SlotOutputs};
 use crate::phy;
 use crate::rlc::Sdu;
 use crate::rrc::{RrcConfig, RrcMachine};
+use crate::ue::{CellUeTable, TrafficUeConfig, UE_NONE};
 
 /// Full configuration of a simulated 5G cell.
 #[derive(Debug, Clone)]
@@ -49,6 +60,10 @@ pub struct CellConfig {
     pub has_gnb_log: bool,
     /// Interval between RLC buffer samples in the gNB log.
     pub gnb_buffer_sample_every: SimDuration,
+    /// Scripted traffic UEs sharing the cell with the experiment UEs.
+    /// Their per-UE state lives in the SoA [`CellUeTable`]; empty means a
+    /// private cell exactly as before this field existed.
+    pub traffic_ues: Vec<TrafficUeConfig>,
 }
 
 /// A packet delivered through the RAN.
@@ -62,109 +77,66 @@ pub struct Delivery {
     pub delivered_at: SimTime,
 }
 
-/// A slot-accurate simulation of one 5G cell carrying one experiment UE
-/// plus aggregate cross traffic.
-pub struct CellSim {
-    cfg: CellConfig,
+/// One diagnosed (experiment) UE: full per-packet RLC state, its own RRC
+/// machine and RNG streams, and per-UE telemetry outboxes.
+struct ExperimentUe {
     ul: LinkDir,
     dl: LinkDir,
     rrc: RrcMachine,
-    cross_ul: CrossTraffic,
-    cross_dl: CrossTraffic,
-    next_slot: u64,
     rng_ch_ul: StdRng,
     rng_ch_dl: StdRng,
     rng_harq: StdRng,
-    rng_cross_ul: StdRng,
-    rng_cross_dl: StdRng,
     rng_rrc: StdRng,
-    dci_log: Vec<DciRecord>,
-    gnb_log: Vec<GnbLogRecord>,
-    deliveries: Vec<Delivery>,
     next_buffer_sample_at: SimTime,
-    /// Packets handed over but not yet visible to RLC: `poll` may process
-    /// slots that started before the hand-over instant, and a packet must
-    /// never ride a transport block older than itself.
-    staged: Vec<(SimTime, Direction, u64, u32)>,
-    /// Per-slot output scratch, cleared and reused every slot × direction so
-    /// the slot loop performs no steady-state allocation.
-    slot_out: SlotOutputs,
+    deliveries: Vec<Delivery>,
+    gnb_log: Vec<GnbLogRecord>,
 }
 
-impl CellSim {
-    /// Creates a cell simulator with all randomness derived from `seed`.
-    pub fn new(cfg: CellConfig, seed: u64) -> Self {
-        let ul_channel = Channel::new(cfg.ul_channel.clone());
-        let dl_channel = Channel::new(cfg.dl_channel.clone());
-        let ul = LinkDir::new(Direction::Uplink, ul_channel, &cfg.mac);
-        let dl = LinkDir::new(Direction::Downlink, dl_channel, &cfg.mac);
-        let rrc = RrcMachine::new(cfg.rrc.clone(), 17_435);
-        let cross_ul = CrossTraffic::new(cfg.ul_cross.clone());
-        let cross_dl = CrossTraffic::new(cfg.dl_cross.clone());
-        CellSim {
-            ul,
-            dl,
-            rrc,
-            cross_ul,
-            cross_dl,
-            next_slot: 0,
-            rng_ch_ul: rng_for(seed, RngStream::ChannelUl),
-            rng_ch_dl: rng_for(seed, RngStream::ChannelDl),
-            rng_harq: rng_for(seed, RngStream::HarqDecode),
-            rng_cross_ul: rng_for(seed, RngStream::CrossTrafficUl),
-            rng_cross_dl: rng_for(seed, RngStream::CrossTrafficDl),
-            rng_rrc: rng_for(seed, RngStream::Rrc),
-            dci_log: Vec::new(),
-            gnb_log: Vec::new(),
-            deliveries: Vec::new(),
+/// First `RngStream::Custom` id used for extra experiment UEs' streams. UE 0
+/// keeps the four legacy streams, so adding UEs never perturbs existing
+/// draws (the determinism contract for N=1 cells).
+const EXTRA_UE_STREAM_BASE: u16 = 2000;
+/// Streams consumed per extra experiment UE (channel ×2, HARQ, RRC).
+const EXTRA_UE_STREAMS: u16 = 4;
+
+impl ExperimentUe {
+    fn new(cfg: &CellConfig, seed: u64, index: u32) -> Self {
+        let streams = if index == 0 {
+            [
+                RngStream::ChannelUl,
+                RngStream::ChannelDl,
+                RngStream::HarqDecode,
+                RngStream::Rrc,
+            ]
+        } else {
+            let base = EXTRA_UE_STREAM_BASE + (index as u16 - 1) * EXTRA_UE_STREAMS;
+            [
+                RngStream::Custom(base),
+                RngStream::Custom(base + 1),
+                RngStream::Custom(base + 2),
+                RngStream::Custom(base + 3),
+            ]
+        };
+        ExperimentUe {
+            ul: LinkDir::new(
+                Direction::Uplink,
+                Channel::new(cfg.ul_channel.clone()),
+                &cfg.mac,
+            ),
+            dl: LinkDir::new(
+                Direction::Downlink,
+                Channel::new(cfg.dl_channel.clone()),
+                &cfg.mac,
+            ),
+            rrc: RrcMachine::new(cfg.rrc.clone(), 17_435 + 977 * index),
+            rng_ch_ul: rng_for(seed, streams[0]),
+            rng_ch_dl: rng_for(seed, streams[1]),
+            rng_harq: rng_for(seed, streams[2]),
+            rng_rrc: rng_for(seed, streams[3]),
             next_buffer_sample_at: SimTime::ZERO,
-            staged: Vec::new(),
-            slot_out: SlotOutputs::default(),
-            cfg,
+            deliveries: Vec::new(),
+            gnb_log: Vec::new(),
         }
-    }
-
-    /// The cell's configuration.
-    pub fn config(&self) -> &CellConfig {
-        &self.cfg
-    }
-
-    /// Current RNTI of the experiment UE.
-    pub fn rnti(&self) -> u32 {
-        self.rrc.rnti()
-    }
-
-    /// Current RRC state.
-    pub fn rrc_state(&self) -> RrcState {
-        self.rrc.state()
-    }
-
-    /// RLC transmit-buffer occupancy for a direction (bytes).
-    pub fn rlc_buffer_bytes(&self, dir: Direction) -> u64 {
-        self.link(dir).rlc_tx.buffer_bytes()
-    }
-
-    /// Most recent SINR sample for a direction (dB).
-    pub fn last_sinr_db(&self, dir: Direction) -> f64 {
-        self.link(dir).last_sinr_db
-    }
-
-    /// Most recent MCS used for a new transmission in a direction.
-    pub fn last_mcs(&self, dir: Direction) -> u8 {
-        self.link(dir).last_mcs
-    }
-
-    /// Instantaneous PHY rate estimate for a direction (bits/s), assuming
-    /// the UE got the whole carrier at the current MCS — used for rate-gap
-    /// telemetry in the figure harness.
-    pub fn phy_rate_estimate_bps(&self, dir: Direction) -> f64 {
-        let link = self.link(dir);
-        let full = phy::phy_rate_bps(
-            phy::select_mcs(link.last_sinr_db, 0.0, 0.0, phy::MAX_MCS),
-            self.cfg.mac.n_prbs,
-            self.cfg.frame.slot_duration.as_micros(),
-        );
-        full * self.cfg.frame.duty_cycle(dir)
     }
 
     fn link(&self, dir: Direction) -> &LinkDir {
@@ -180,16 +152,168 @@ impl CellSim {
             Direction::Downlink => &mut self.dl,
         }
     }
+}
 
-    /// Hands a packet to the RAN edge (UE modem for UL, gNB for DL) at
-    /// time `now`.
+/// A slot-accurate simulation of one 5G cell carrying N experiment UEs, M
+/// scripted traffic UEs (SoA table), and aggregate cross traffic.
+pub struct CellSim {
+    cfg: CellConfig,
+    seed: u64,
+    ues: Vec<ExperimentUe>,
+    table: CellUeTable,
+    cross_ul: CrossTraffic,
+    cross_dl: CrossTraffic,
+    next_slot: u64,
+    rng_cross_ul: StdRng,
+    rng_cross_dl: StdRng,
+    /// Shared DCI log of the whole cell, with a parallel owner tag per
+    /// record: the experiment-UE index, or [`UE_NONE`] for scripted traffic
+    /// UEs and the cross-traffic aggregate. `is_target_ue` is stamped per
+    /// viewer at drain time.
+    dci_log: Vec<DciRecord>,
+    dci_tag: Vec<u32>,
+    /// Packets handed over but not yet visible to RLC: `poll` may process
+    /// slots that started before the hand-over instant, and a packet must
+    /// never ride a transport block older than itself. The `u32` after the
+    /// time is the experiment-UE index.
+    staged: Vec<(SimTime, u32, Direction, u64, u32)>,
+    /// Per-slot output scratch, cleared and reused every slot × UE ×
+    /// direction so the slot loop performs no steady-state allocation.
+    slot_out: SlotOutputs,
+}
+
+impl CellSim {
+    /// Creates a cell simulator with all randomness derived from `seed`,
+    /// carrying one experiment UE plus the configured scripted traffic UEs.
+    pub fn new(cfg: CellConfig, seed: u64) -> Self {
+        Self::new_in(cfg, seed, CellUeTable::new())
+    }
+
+    /// Like [`CellSim::new`], but leasing `table` (typically from a session
+    /// arena free list) as the scripted-UE storage instead of allocating a
+    /// fresh one. The table is reconfigured from scratch, so warm and fresh
+    /// tables produce byte-identical cells.
+    pub fn new_in(cfg: CellConfig, seed: u64, mut table: CellUeTable) -> Self {
+        table.configure(&cfg.traffic_ues, seed);
+        let cross_ul = CrossTraffic::new(cfg.ul_cross.clone());
+        let cross_dl = CrossTraffic::new(cfg.dl_cross.clone());
+        let ue0 = ExperimentUe::new(&cfg, seed, 0);
+        CellSim {
+            seed,
+            ues: vec![ue0],
+            table,
+            cross_ul,
+            cross_dl,
+            next_slot: 0,
+            rng_cross_ul: rng_for(seed, RngStream::CrossTrafficUl),
+            rng_cross_dl: rng_for(seed, RngStream::CrossTrafficDl),
+            dci_log: Vec::new(),
+            dci_tag: Vec::new(),
+            staged: Vec::new(),
+            slot_out: SlotOutputs::default(),
+            cfg,
+        }
+    }
+
+    /// Adds another experiment UE to the cell and returns its index. Each
+    /// extra UE draws from its own `RngStream::Custom` block, so UE 0's
+    /// streams — and therefore every existing single-UE trace — are
+    /// unchanged.
+    ///
+    /// # Panics
+    /// If slot processing has already started (UEs must camp before t=0).
+    pub fn add_experiment_ue(&mut self) -> u32 {
+        assert_eq!(
+            self.next_slot, 0,
+            "experiment UEs must be added before the first poll"
+        );
+        let index = self.ues.len() as u32;
+        let ue = ExperimentUe::new(&self.cfg, self.seed, index);
+        self.ues.push(ue);
+        index
+    }
+
+    /// Reclaims the scripted-UE table for an arena free list. The cell must
+    /// not be polled afterwards.
+    pub fn take_ue_table(&mut self) -> CellUeTable {
+        let mut t = std::mem::take(&mut self.table);
+        t.clear();
+        t
+    }
+
+    /// The cell's configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.cfg
+    }
+
+    /// Number of experiment (diagnosed) UEs.
+    pub fn n_experiment_ues(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Number of scripted traffic UEs in the SoA table.
+    pub fn n_traffic_ues(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Current RNTI of experiment UE 0.
+    pub fn rnti(&self) -> u32 {
+        self.ues[0].rrc.rnti()
+    }
+
+    /// Current RNTI of experiment UE `ue`.
+    pub fn rnti_of(&self, ue: u32) -> u32 {
+        self.ues[ue as usize].rrc.rnti()
+    }
+
+    /// Current RRC state of experiment UE 0.
+    pub fn rrc_state(&self) -> RrcState {
+        self.ues[0].rrc.state()
+    }
+
+    /// RLC transmit-buffer occupancy of experiment UE 0 (bytes).
+    pub fn rlc_buffer_bytes(&self, dir: Direction) -> u64 {
+        self.ues[0].link(dir).rlc_tx.buffer_bytes()
+    }
+
+    /// Most recent SINR sample of experiment UE 0 (dB).
+    pub fn last_sinr_db(&self, dir: Direction) -> f64 {
+        self.ues[0].link(dir).last_sinr_db
+    }
+
+    /// Most recent MCS used for a new transmission of experiment UE 0.
+    pub fn last_mcs(&self, dir: Direction) -> u8 {
+        self.ues[0].link(dir).last_mcs
+    }
+
+    /// Instantaneous PHY rate estimate for a direction (bits/s), assuming
+    /// experiment UE 0 got the whole carrier at the current MCS — used for
+    /// rate-gap telemetry in the figure harness.
+    pub fn phy_rate_estimate_bps(&self, dir: Direction) -> f64 {
+        let link = self.ues[0].link(dir);
+        let full = phy::phy_rate_bps(
+            phy::select_mcs(link.last_sinr_db, 0.0, 0.0, phy::MAX_MCS),
+            self.cfg.mac.n_prbs,
+            self.cfg.frame.slot_duration.as_micros(),
+        );
+        full * self.cfg.frame.duty_cycle(dir)
+    }
+
+    /// Hands a packet for experiment UE 0 to the RAN edge (UE modem for UL,
+    /// gNB for DL) at time `now`.
     ///
     /// The packet is identified by `id`; its delivery shows up in
     /// [`CellSim::drain_deliveries`] once RLC releases it in order on the
     /// far side. It becomes visible to the scheduler only from the first
     /// slot starting at or after `now` (causality).
     pub fn enqueue(&mut self, now: SimTime, dir: Direction, id: u64, size_bytes: u32) {
-        self.staged.push((now, dir, id, size_bytes));
+        self.enqueue_for(0, now, dir, id, size_bytes);
+    }
+
+    /// [`CellSim::enqueue`] addressed to experiment UE `ue`.
+    pub fn enqueue_for(&mut self, ue: u32, now: SimTime, dir: Direction, id: u64, size_bytes: u32) {
+        debug_assert!((ue as usize) < self.ues.len());
+        self.staged.push((now, ue, dir, id, size_bytes));
     }
 
     /// Start time of the next unprocessed slot.
@@ -215,8 +339,8 @@ impl CellSim {
         let mut i = 0;
         while i < self.staged.len() {
             if self.staged[i].0 <= now {
-                let (_, dir, id, size) = self.staged.remove(i);
-                self.link_mut(dir).rlc_tx.enqueue(Sdu {
+                let (_, ue, dir, id, size) = self.staged.remove(i);
+                self.ues[ue as usize].link_mut(dir).rlc_tx.enqueue(Sdu {
                     id,
                     size_bytes: size,
                 });
@@ -225,108 +349,177 @@ impl CellSim {
             }
         }
 
-        // RRC first: transitions gate everything else.
-        self.rrc.step(now, dt, &mut self.rng_rrc);
-        for tr in self.rrc.drain_transitions() {
-            if tr.state != RrcState::Connected {
-                // Entering an outage: abandon in-flight HARQ, keep data.
-                if tr.state == RrcState::Idle {
-                    self.ul.reset_for_rrc(tr.at);
-                    self.dl.reset_for_rrc(tr.at);
+        // RRC first: transitions gate everything else, per experiment UE.
+        for ue in self.ues.iter_mut() {
+            ue.rrc.step(now, dt, &mut ue.rng_rrc);
+            for tr in ue.rrc.drain_transitions() {
+                if tr.state != RrcState::Connected {
+                    // Entering an outage: abandon in-flight HARQ, keep data.
+                    if tr.state == RrcState::Idle {
+                        ue.ul.reset_for_rrc(tr.at);
+                        ue.dl.reset_for_rrc(tr.at);
+                    }
+                }
+                if self.cfg.has_gnb_log {
+                    ue.gnb_log.push(GnbLogRecord {
+                        ts: tr.at,
+                        event: GnbEvent::RrcTransition {
+                            state: tr.state,
+                            rnti: tr.rnti,
+                        },
+                    });
                 }
             }
-            if self.cfg.has_gnb_log {
-                self.gnb_log.push(GnbLogRecord {
-                    ts: tr.at,
-                    event: GnbEvent::RrcTransition {
-                        state: tr.state,
-                        rnti: tr.rnti,
-                    },
-                });
-            }
         }
-        if !self.rrc.is_connected() {
+        let any_connected = self.ues.iter().any(|u| u.rrc.is_connected());
+        if !any_connected && self.table.is_empty() {
             return; // No PHY-layer transmissions during the outage (Fig. 19).
         }
-        let rnti = self.rrc.rnti();
 
         // Uplink control plane: SR check and grant issuance (PDCCH slots).
-        mac::check_sr(&mut self.ul, now, &self.cfg.mac);
-        if self.cfg.frame.serves(slot, Direction::Downlink) {
-            mac::issue_ul_grants(&mut self.ul, &self.cfg.frame, &self.cfg.mac, slot, now);
+        let dl_serving = self.cfg.frame.serves(slot, Direction::Downlink);
+        for ue in self.ues.iter_mut() {
+            if !ue.rrc.is_connected() {
+                continue;
+            }
+            mac::check_sr(&mut ue.ul, now, &self.cfg.mac);
+            if dl_serving {
+                mac::issue_ul_grants(&mut ue.ul, &self.cfg.frame, &self.cfg.mac, slot, now);
+            }
         }
 
-        // Data plane. One reused `SlotOutputs` per direction pass (cleared
-        // between passes) so deliveries keep their direction attribution
-        // without a per-slot allocation.
-        if self.cfg.frame.serves(slot, Direction::Downlink) {
-            let cross = self.cross_dl.demand(now, dt, &mut self.rng_cross_dl);
-            self.slot_out.clear();
-            mac::process_slot(
-                &mut self.dl,
-                &self.cfg.frame,
-                &self.cfg.mac,
-                slot,
-                rnti,
-                cross.prb_fraction,
-                &mut self.rng_ch_dl,
-                &mut self.rng_harq,
-                &mut self.slot_out,
-            );
-            self.collect(Direction::Downlink);
-            self.emit_cross_dci(now, Direction::Downlink, cross.prb_fraction, cross.rnti);
+        // Scripted-UE pass 1: accrue every traffic UE's offered load.
+        if !self.table.is_empty() {
+            self.table.pass_arrivals(now, dt);
+        }
+
+        // Data plane, per serving direction.
+        if dl_serving {
+            self.direction_pass(slot, now, dt, Direction::Downlink);
         }
         if self.cfg.frame.serves(slot, Direction::Uplink) {
-            let cross = self.cross_ul.demand(now, dt, &mut self.rng_cross_ul);
-            self.slot_out.clear();
-            mac::process_slot(
-                &mut self.ul,
-                &self.cfg.frame,
-                &self.cfg.mac,
-                slot,
-                rnti,
-                cross.prb_fraction,
-                &mut self.rng_ch_ul,
-                &mut self.rng_harq,
-                &mut self.slot_out,
-            );
-            self.collect(Direction::Uplink);
-            self.emit_cross_dci(now, Direction::Uplink, cross.prb_fraction, cross.rnti);
+            self.direction_pass(slot, now, dt, Direction::Uplink);
         }
 
         // Periodic RLC buffer samples for the gNB log (private cells).
-        if self.cfg.has_gnb_log && now >= self.next_buffer_sample_at {
-            self.gnb_log.push(GnbLogRecord {
-                ts: now,
-                event: GnbEvent::RlcBuffer {
-                    direction: Direction::Uplink,
-                    bytes: self.ul.rlc_tx.buffer_bytes(),
-                },
-            });
-            self.gnb_log.push(GnbLogRecord {
-                ts: now,
-                event: GnbEvent::RlcBuffer {
-                    direction: Direction::Downlink,
-                    bytes: self.dl.rlc_tx.buffer_bytes(),
-                },
-            });
-            self.next_buffer_sample_at = now + self.cfg.gnb_buffer_sample_every;
+        if self.cfg.has_gnb_log {
+            let every = self.cfg.gnb_buffer_sample_every;
+            for ue in self.ues.iter_mut() {
+                if !ue.rrc.is_connected() || now < ue.next_buffer_sample_at {
+                    continue;
+                }
+                ue.gnb_log.push(GnbLogRecord {
+                    ts: now,
+                    event: GnbEvent::RlcBuffer {
+                        direction: Direction::Uplink,
+                        bytes: ue.ul.rlc_tx.buffer_bytes(),
+                    },
+                });
+                ue.gnb_log.push(GnbLogRecord {
+                    ts: now,
+                    event: GnbEvent::RlcBuffer {
+                        direction: Direction::Downlink,
+                        bytes: ue.dl.rlc_tx.buffer_bytes(),
+                    },
+                });
+                ue.next_buffer_sample_at = now + every;
+            }
         }
     }
 
-    /// Moves the reused `slot_out` scratch into the session-lifetime logs.
-    fn collect(&mut self, dir: Direction) {
+    /// One direction's data plane for one slot: cross-traffic demand, the
+    /// scripted-UE link-adaptation sweep, then a rotated round-robin
+    /// allocation pass over every UE contending for the carrier.
+    fn direction_pass(&mut self, slot: u64, now: SimTime, dt: SimDuration, dir: Direction) {
+        let (cross, rng_cross) = match dir {
+            Direction::Uplink => (&mut self.cross_ul, &mut self.rng_cross_ul),
+            Direction::Downlink => (&mut self.cross_dl, &mut self.rng_cross_dl),
+        };
+        let demand = cross.demand(now, dt, rng_cross);
+        let total = self.cfg.mac.n_prbs as u32;
+        let cross_prbs = ((demand.prb_fraction * total as f64).round() as u32).min(total);
+
+        // Scripted-UE pass 2: one SINR + CQI→MCS sweep over the table.
+        if !self.table.is_empty() {
+            let ch = match dir {
+                Direction::Uplink => &self.cfg.ul_channel,
+                Direction::Downlink => &self.cfg.dl_channel,
+            };
+            self.table.pass_link_adaptation(
+                now,
+                dir,
+                ch.base_sinr_db,
+                ch.shadow_sigma_db,
+                &self.cfg.mac,
+            );
+        }
+
+        // Pass 3: rotated round-robin grant allocation over all UEs. The
+        // rotation start advances every slot so no UE is structurally
+        // favoured; `hard_used` carries the PRBs already granted this slot.
+        let n_exp = self.ues.len();
+        let parts = n_exp + self.table.len();
+        let start = (slot % parts as u64) as usize;
+        let mut hard_used = 0u32;
+        for k in 0..parts {
+            let p = (start + k) % parts;
+            if p < n_exp {
+                let ue = &mut self.ues[p];
+                if !ue.rrc.is_connected() {
+                    continue;
+                }
+                let rnti = ue.rrc.rnti();
+                let (link, rng_ch) = match dir {
+                    Direction::Uplink => (&mut ue.ul, &mut ue.rng_ch_ul),
+                    Direction::Downlink => (&mut ue.dl, &mut ue.rng_ch_dl),
+                };
+                self.slot_out.clear();
+                hard_used += mac::process_slot(
+                    link,
+                    &self.cfg.frame,
+                    &self.cfg.mac,
+                    slot,
+                    rnti,
+                    hard_used,
+                    cross_prbs,
+                    rng_ch,
+                    &mut ue.rng_harq,
+                    &mut self.slot_out,
+                );
+                self.collect_for(p, dir);
+            } else {
+                hard_used += self.table.allocate(
+                    p - n_exp,
+                    dir,
+                    slot,
+                    &self.cfg.frame,
+                    &self.cfg.mac,
+                    hard_used,
+                    cross_prbs,
+                    &mut self.dci_log,
+                );
+                self.dci_tag.resize(self.dci_log.len(), UE_NONE);
+            }
+        }
+
+        self.emit_cross_dci(now, dir, demand.prb_fraction, demand.rnti);
+    }
+
+    /// Moves the reused `slot_out` scratch into the per-UE and cell logs.
+    fn collect_for(&mut self, ue: usize, dir: Direction) {
+        let u = &mut self.ues[ue];
         for d in self.slot_out.deliveries.drain(..) {
-            self.deliveries.push(Delivery {
+            u.deliveries.push(Delivery {
                 id: d.sdu_id,
                 direction: dir,
                 delivered_at: d.released_at,
             });
         }
         self.dci_log.append(&mut self.slot_out.dci);
+        self.dci_tag.resize(self.dci_log.len(), ue as u32);
         if self.cfg.has_gnb_log {
             for (at, sn) in self.slot_out.rlc_retx.drain(..) {
-                self.gnb_log.push(GnbLogRecord {
+                u.gnb_log.push(GnbLogRecord {
                     ts: at,
                     event: GnbEvent::RlcRetx { direction: dir, sn },
                 });
@@ -356,47 +549,88 @@ impl CellSim {
             proactive: false,
             used_bits: phy::tbs_bits(mcs, n_prbs),
         });
+        self.dci_tag.push(UE_NONE);
     }
 
-    /// Drains packets delivered since the last call.
+    /// Drains packets delivered to experiment UE 0 since the last call.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
-        std::mem::take(&mut self.deliveries)
+        std::mem::take(&mut self.ues[0].deliveries)
     }
 
-    /// Drains deliveries into `out`, keeping both buffers' capacity — the
-    /// allocation-free variant for callers that poll every tick.
+    /// Drains UE 0's deliveries into `out`, keeping both buffers' capacity —
+    /// the allocation-free variant for callers that poll every tick.
     pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
-        out.append(&mut self.deliveries);
+        out.append(&mut self.ues[0].deliveries);
     }
 
-    /// Drains DCI records emitted since the last call.
+    /// Drains experiment UE `ue`'s deliveries into `out`.
+    pub fn drain_deliveries_for_into(&mut self, ue: u32, out: &mut Vec<Delivery>) {
+        out.append(&mut self.ues[ue as usize].deliveries);
+    }
+
+    /// Drains DCI records emitted since the last call, from experiment
+    /// UE 0's viewpoint (`is_target_ue` = "is mine").
     pub fn drain_dci(&mut self) -> Vec<DciRecord> {
-        std::mem::take(&mut self.dci_log)
+        let mut out = Vec::with_capacity(self.dci_log.len());
+        self.drain_dci_for_into(0, &mut out);
+        out
     }
 
-    /// Drains DCI records into `out`, keeping both the internal log's and
-    /// `out`'s capacity — the allocation-free variant for callers that poll
-    /// every tick (the live-tapped session engine).
+    /// Drains DCI records into `out` from UE 0's viewpoint, keeping both the
+    /// internal log's and `out`'s capacity — the allocation-free variant for
+    /// callers that poll every tick (the live-tapped session engine).
     pub fn drain_dci_into(&mut self, out: &mut Vec<DciRecord>) {
-        out.append(&mut self.dci_log);
+        self.drain_dci_for_into(0, out);
     }
 
-    /// Drains gNB log records emitted since the last call (always empty for
-    /// commercial cells).
+    /// Drains DCI records into `out` from experiment UE `ue`'s viewpoint:
+    /// the whole cell's control channel with `is_target_ue` true exactly on
+    /// `ue`'s own records — what a sniffer camping on that UE would decode.
+    pub fn drain_dci_for_into(&mut self, ue: u32, out: &mut Vec<DciRecord>) {
+        for (rec, &tag) in self.dci_log.iter().zip(&self.dci_tag) {
+            let mut r = rec.clone();
+            r.is_target_ue = tag == ue;
+            out.push(r);
+        }
+        self.dci_log.clear();
+        self.dci_tag.clear();
+    }
+
+    /// Drains DCI records with their owner tags (the experiment-UE index,
+    /// or [`UE_NONE`]) — for drivers that fan one cell's control channel out
+    /// to several diagnosed sessions.
+    pub fn drain_dci_tagged_into(&mut self, out: &mut Vec<(u32, DciRecord)>) {
+        for (rec, &tag) in self.dci_log.iter().zip(&self.dci_tag) {
+            out.push((tag, rec.clone()));
+        }
+        self.dci_log.clear();
+        self.dci_tag.clear();
+    }
+
+    /// Drains gNB log records for experiment UE 0 emitted since the last
+    /// call (always empty for commercial cells).
     pub fn drain_gnb(&mut self) -> Vec<GnbLogRecord> {
-        std::mem::take(&mut self.gnb_log)
+        std::mem::take(&mut self.ues[0].gnb_log)
     }
 
-    /// Drains gNB log records into `out` (see [`Self::drain_dci_into`]).
+    /// Drains UE 0's gNB log records into `out` (see
+    /// [`Self::drain_dci_into`]).
     pub fn drain_gnb_into(&mut self, out: &mut Vec<GnbLogRecord>) {
-        out.append(&mut self.gnb_log);
+        out.append(&mut self.ues[0].gnb_log);
+    }
+
+    /// Drains experiment UE `ue`'s gNB log records into `out`.
+    pub fn drain_gnb_for_into(&mut self, ue: u32, out: &mut Vec<GnbLogRecord>) {
+        out.append(&mut self.ues[ue as usize].gnb_log);
     }
 
     // ---- Scripted scenario hooks (figure-regeneration harness) ----
+    // All hooks address experiment UE 0, the original single diagnosed UE.
 
     /// Forces the SINR of `dir` to `sinr_db` during `[from, to)`.
     pub fn script_sinr(&mut self, dir: Direction, from: SimTime, to: SimTime, sinr_db: f64) {
-        self.link_mut(dir)
+        self.ues[0]
+            .link_mut(dir)
             .channel
             .add_override(SinrOverride { from, to, sinr_db });
     }
@@ -429,7 +663,7 @@ impl CellSim {
         to: SimTime,
         fail_attempts: u8,
     ) {
-        self.link_mut(dir).add_harq_override(HarqOverride {
+        self.ues[0].link_mut(dir).add_harq_override(HarqOverride {
             from,
             to,
             fail_attempts,
@@ -438,7 +672,7 @@ impl CellSim {
 
     /// Forces an RRC release at `at`.
     pub fn script_rrc_release(&mut self, at: SimTime) {
-        self.rrc.script_release(at);
+        self.ues[0].rrc.script_release(at);
     }
 }
 
@@ -449,6 +683,7 @@ mod tests {
     use crate::frame::FrameStructure;
     use crate::mac::MacConfig;
     use crate::rrc::RrcConfig;
+    use crate::ue::TRAFFIC_RNTI_BASE;
 
     fn quiet_cell() -> CellConfig {
         CellConfig {
@@ -476,6 +711,7 @@ mod tests {
             rrc: RrcConfig::default(),
             has_gnb_log: true,
             gnb_buffer_sample_every: SimDuration::from_millis(5),
+            traffic_ues: vec![],
         }
     }
 
@@ -612,5 +848,70 @@ mod tests {
             let enq = SimTime::from_millis(100 + d.id * 7);
             assert!(d.delivered_at >= enq, "causality violated for {}", d.id);
         }
+    }
+
+    #[test]
+    fn traffic_ues_emit_dci_and_contend_for_prbs() {
+        let mut cfg = quiet_cell();
+        cfg.traffic_ues = (0..24)
+            .map(|_| TrafficUeConfig::dl_streaming(6_000_000))
+            .collect();
+        let mut cell = CellSim::new(cfg, 11);
+        for id in 0..40u64 {
+            cell.enqueue(SimTime::from_millis(id * 5), Direction::Downlink, id, 1200);
+        }
+        cell.poll(SimTime::from_millis(400));
+        let dci = cell.drain_dci();
+        let scripted: Vec<_> = dci
+            .iter()
+            .filter(|d| d.rnti >= TRAFFIC_RNTI_BASE && d.rnti < TRAFFIC_RNTI_BASE + 24)
+            .collect();
+        assert!(
+            scripted.len() > 100,
+            "24 streaming UEs should saturate DL slots ({} DCIs)",
+            scripted.len()
+        );
+        assert!(scripted.iter().all(|d| !d.is_target_ue));
+        assert!(dci.iter().any(|d| d.is_target_ue), "target still scheduled");
+        // Per-slot PRB conservation: all grants in one DL slot fit the carrier.
+        use std::collections::BTreeMap;
+        let mut per_slot: BTreeMap<u64, u32> = BTreeMap::new();
+        for d in dci.iter().filter(|d| d.direction == Direction::Downlink) {
+            *per_slot.entry(d.ts.as_micros()).or_default() += d.n_prbs as u32;
+        }
+        // The scalar cross aggregate is quiet here, so UEs alone must fit.
+        assert!(per_slot.values().all(|&p| p <= 51), "PRB overcommit");
+    }
+
+    #[test]
+    fn second_experiment_ue_keeps_separate_telemetry() {
+        let mut cell = CellSim::new(quiet_cell(), 12);
+        let ue1 = cell.add_experiment_ue();
+        assert_eq!(ue1, 1);
+        assert_ne!(cell.rnti_of(0), cell.rnti_of(1));
+        cell.enqueue_for(0, SimTime::ZERO, Direction::Downlink, 100, 900);
+        cell.enqueue_for(1, SimTime::ZERO, Direction::Downlink, 200, 900);
+        cell.poll(SimTime::from_millis(100));
+        let mut d0 = Vec::new();
+        let mut d1 = Vec::new();
+        cell.drain_deliveries_for_into(0, &mut d0);
+        cell.drain_deliveries_for_into(1, &mut d1);
+        assert_eq!(d0.len(), 1);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d0[0].id, 100);
+        assert_eq!(d1[0].id, 200);
+        // The shared DCI log tags each UE's records; viewed from UE 1, only
+        // its own records are "target".
+        let mut dci = Vec::new();
+        cell.drain_dci_for_into(1, &mut dci);
+        let rnti1 = cell.rnti_of(1);
+        assert!(dci
+            .iter()
+            .filter(|d| d.is_target_ue)
+            .all(|d| d.rnti == rnti1));
+        assert!(dci.iter().any(|d| d.is_target_ue));
+        assert!(dci
+            .iter()
+            .any(|d| !d.is_target_ue && d.rnti == cell.rnti_of(0)));
     }
 }

@@ -6,6 +6,14 @@
 //! burst) plus a low-level background chatter, which is what a busy
 //! commercial cell's DCI stream looks like from NR-Scope's vantage point:
 //! long quiet stretches interrupted by heavy bursts (Fig. 13's yellow bars).
+//!
+//! This scalar aggregate coexists with the first-class scripted UEs of
+//! [`crate::ue::CellUeTable`]: scripted UEs contend for PRBs individually
+//! (each with its own queue, MCS, and HARQ lane, visible as distinct RNTIs
+//! in the DCI log), while this process stands in for the unmodelled rest of
+//! the cell. In the scheduler, scripted/experiment grants are *hard*
+//! reservations and this aggregate is a *soft* one — it yields to HARQ
+//! retransmissions, like best-effort background traffic would.
 
 use rand::Rng;
 use simcore::{SimDuration, SimTime};

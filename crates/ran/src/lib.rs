@@ -25,6 +25,7 @@ pub mod mac;
 pub mod phy;
 pub mod rlc;
 pub mod rrc;
+pub mod ue;
 
 pub use cell::{CellConfig, CellSim, Delivery};
 pub use channel::{Channel, ChannelConfig, SinrOverride};
@@ -33,3 +34,6 @@ pub use frame::{FrameStructure, SlotKind};
 pub use mac::{Grant, HarqOverride, LinkDir, MacConfig, ProactiveGrantConfig};
 pub use rlc::{Pdu, RlcRx, RlcTx, Sdu, SduDelivery, Segment};
 pub use rrc::{RrcConfig, RrcMachine, RrcTransition};
+pub use ue::{
+    traffic_mix, CellUeTable, TrafficPattern, TrafficUeConfig, TRAFFIC_RNTI_BASE, UE_NONE,
+};

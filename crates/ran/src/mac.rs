@@ -361,8 +361,15 @@ pub fn issue_ul_grants(
 /// Processes one serving slot for a direction: HARQ retransmissions first,
 /// then (capacity permitting) one new transport block.
 ///
-/// `cross_prb_fraction` is the PRB share other UEs take this slot;
-/// `rnti` is the experiment UE's current identifier.
+/// `hard_reserved_prbs` are PRBs already granted to other UEs this slot by
+/// earlier positions in the cell's allocation rotation — they shrink both
+/// the retransmission room and the new-TX budget. `cross_prbs` is the
+/// scalar cross-traffic aggregate's share (pre-rounded by the caller); like
+/// a real scheduler's best-effort background, it yields to retransmissions
+/// and only constrains new data. `rnti` is this UE's current identifier.
+///
+/// Returns the PRBs this UE consumed, so the caller can accumulate the
+/// rotation's running `hard_reserved_prbs`.
 #[allow(clippy::too_many_arguments)]
 pub fn process_slot<R: Rng + ?Sized>(
     link: &mut LinkDir,
@@ -370,16 +377,16 @@ pub fn process_slot<R: Rng + ?Sized>(
     mac: &MacConfig,
     slot: u64,
     rnti: u32,
-    cross_prb_fraction: f64,
+    hard_reserved_prbs: u32,
+    cross_prbs: u32,
     rng_channel: &mut R,
     rng_harq: &mut R,
     out: &mut SlotOutputs,
-) {
+) -> u32 {
     let now = frame.slot_start(slot);
     let sinr = link.channel.sinr_db(now, rng_channel);
     link.last_sinr_db = sinr;
     let total = mac.n_prbs as u32;
-    let cross_prbs = ((cross_prb_fraction * total as f64).round() as u32).min(total);
     let mut used_prbs = 0u32;
 
     // ---- 1. HARQ retransmissions due in this slot ----
@@ -389,7 +396,7 @@ pub fn process_slot<R: Rng + ?Sized>(
             continue;
         }
         let p = link.harq[i].as_mut().expect("checked above");
-        if used_prbs + p.n_prbs as u32 > total {
+        if hard_reserved_prbs + used_prbs + p.n_prbs as u32 > total {
             // No room this slot; retry next serving slot.
             p.next_tx_at = frame.slot_start(frame.next_serving_slot(slot + 1, link.dir));
             continue;
@@ -453,10 +460,13 @@ pub fn process_slot<R: Rng + ?Sized>(
         Direction::Downlink => true,
     };
     if !may_send_new {
-        return;
+        return used_prbs;
     }
 
-    let mut budget = total.saturating_sub(cross_prbs).saturating_sub(used_prbs);
+    let mut budget = total
+        .saturating_sub(cross_prbs)
+        .saturating_sub(hard_reserved_prbs)
+        .saturating_sub(used_prbs);
     let (cap, margin) = match link.dir {
         Direction::Uplink => (mac.mcs_cap_ul, mac.margin_db_ul),
         Direction::Downlink => (mac.mcs_cap_dl, mac.margin_db_dl),
@@ -480,7 +490,7 @@ pub fn process_slot<R: Rng + ?Sized>(
         if link.dir == Direction::Uplink {
             refresh_bsr(link);
         }
-        return;
+        return used_prbs;
     }
 
     // Size the allocation: enough PRBs for min(data, grant), capped by budget.
@@ -509,16 +519,18 @@ pub fn process_slot<R: Rng + ?Sized>(
                     proactive: true,
                     used_bits: 0,
                 });
+                // The wasted grant still occupies spectrum.
+                used_prbs += prbs as u32;
             }
         }
         if link.dir == Direction::Uplink {
             refresh_bsr(link);
         }
-        return;
+        return used_prbs;
     }
 
     let Some(hp) = link.free_harq_slot() else {
-        return; // all HARQ processes busy; retry next slot
+        return used_prbs; // all HARQ processes busy; retry next slot
     };
 
     let tb_limit_bytes = want_bytes
@@ -531,7 +543,7 @@ pub fn process_slot<R: Rng + ?Sized>(
         if link.dir == Direction::Uplink {
             refresh_bsr(link);
         }
-        return;
+        return used_prbs;
     };
 
     // PRBs actually needed for the payload (retx PDUs keep their size).
@@ -553,6 +565,7 @@ pub fn process_slot<R: Rng + ?Sized>(
     let fail =
         link.forced_fail(now, 0) || rng_harq.gen::<f64>() < phy::fail_probability(sinr, mcs, 0);
     link.olla.observe(!fail);
+    used_prbs += n_prbs as u32;
     out.dci.push(DciRecord {
         ts: now,
         rnti,
@@ -594,6 +607,7 @@ pub fn process_slot<R: Rng + ?Sized>(
     if link.dir == Direction::Uplink {
         refresh_bsr(link);
     }
+    used_prbs
 }
 
 /// BSR piggyback: after an uplink transmission opportunity the gNB's view of
@@ -638,7 +652,8 @@ mod tests {
                 mac,
                 slot,
                 4242,
-                0.0,
+                0,
+                0,
                 &mut rng_ch,
                 &mut rng_harq,
                 &mut out,
@@ -697,7 +712,8 @@ mod tests {
                 &mac,
                 slot,
                 1,
-                0.0,
+                0,
+                0,
                 &mut rng_ch,
                 &mut rng_harq,
                 &mut out,
@@ -846,7 +862,8 @@ mod tests {
                 &mac,
                 slot,
                 1,
-                0.96,
+                0,
+                48, // 96 % of the 50-PRB carrier
                 &mut rng_ch,
                 &mut rng_harq,
                 &mut out,
@@ -885,7 +902,8 @@ mod tests {
                 &mac,
                 slot,
                 1,
-                0.0,
+                0,
+                0,
                 &mut rng_ch,
                 &mut rng_harq,
                 &mut out,
@@ -931,7 +949,8 @@ mod tests {
             &mac,
             0,
             1,
-            0.0,
+            0,
+            0,
             &mut rng_ch,
             &mut rng_harq,
             &mut out,

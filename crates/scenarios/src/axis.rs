@@ -19,7 +19,7 @@
 
 use std::fmt::Display;
 
-use ran_sim::{CellConfig, CrossTrafficConfig, ProactiveGrantConfig};
+use ran_sim::{CellConfig, CrossTrafficConfig, ProactiveGrantConfig, TrafficUeConfig};
 use simcore::{derive_seed, SimDuration};
 
 use crate::grid::{AccessSpec, ScriptAction, SessionSpec};
@@ -55,6 +55,9 @@ pub enum AxisPatch {
     DlCross(CrossTrafficConfig),
     /// `rrc.random_release_every` (`None` = standard-conforming cell).
     RrcReleaseEvery(Option<SimDuration>),
+    /// Replace the cell's scripted-UE population (`traffic_ues`) — the UE
+    ///-count × traffic-mix axes of shared-cell sweeps.
+    TrafficUes(Vec<TrafficUeConfig>),
     /// Append a scripted impairment.
     Script(ScriptAction),
 }
@@ -84,6 +87,7 @@ impl AxisPatch {
                     AxisPatch::UlCross(c) => cell.ul_cross = c.clone(),
                     AxisPatch::DlCross(c) => cell.dl_cross = c.clone(),
                     AxisPatch::RrcReleaseEvery(e) => cell.rrc.random_release_every = *e,
+                    AxisPatch::TrafficUes(ues) => cell.traffic_ues = ues.clone(),
                     AxisPatch::Cell(_) | AxisPatch::Duration(_) | AxisPatch::Script(_) => {
                         unreachable!("handled above")
                     }

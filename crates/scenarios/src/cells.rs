@@ -58,6 +58,7 @@ pub fn tmobile_fdd_15mhz() -> CellConfig {
             random_release_every: Some(SimDuration::from_secs(30)),
             ..Default::default()
         },
+        traffic_ues: vec![],
         has_gnb_log: false,
         gnb_buffer_sample_every: SimDuration::from_millis(5),
     }
@@ -96,6 +97,7 @@ pub fn tmobile_tdd_100mhz() -> CellConfig {
         ul_cross: CrossTrafficConfig::light(),
         dl_cross: CrossTrafficConfig::moderate(),
         rrc: RrcConfig::default(), // no anomalous releases on this cell
+        traffic_ues: vec![],
         has_gnb_log: false,
         gnb_buffer_sample_every: SimDuration::from_millis(5),
     }
@@ -140,6 +142,7 @@ pub fn amarisoft() -> CellConfig {
         ul_cross: CrossTrafficConfig::quiet(),
         dl_cross: CrossTrafficConfig::light(),
         rrc: RrcConfig::default(),
+        traffic_ues: vec![],
         has_gnb_log: true,
         gnb_buffer_sample_every: SimDuration::from_millis(2),
     }
@@ -185,6 +188,7 @@ pub fn mosolabs() -> CellConfig {
         ul_cross: CrossTrafficConfig::quiet(),
         dl_cross: CrossTrafficConfig::light(),
         rrc: RrcConfig::default(),
+        traffic_ues: vec![],
         has_gnb_log: false,
         gnb_buffer_sample_every: SimDuration::from_millis(5),
     }

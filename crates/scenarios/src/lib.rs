@@ -15,6 +15,7 @@ pub mod axis;
 pub mod cells;
 pub mod grid;
 pub mod session;
+pub mod shared;
 pub mod zoom_campus;
 
 pub use axis::{apply_patches, expand_product, AxisPatch, AxisPoint, ScenarioAxis, SeedPolicy};
@@ -29,6 +30,7 @@ pub use session::{
     EngineScratch, RouteEvent, RouteSink, SessionArena, SessionConfig, SessionState,
     SharedRouteQueue, TaggedSink,
 };
+pub use shared::{run_shared_cell_sessions, SharedCellDriver};
 pub use zoom_campus::{
     generate as generate_campus_dataset, AccessType, CampusDatasetSize, ZoomQosRecord,
 };

@@ -16,7 +16,7 @@ use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
 use telemetry::{Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle};
 
 use netpath::{PathConfig, PathModel};
-use ran_sim::{CellConfig, CellSim, Delivery};
+use ran_sim::{CellConfig, CellSim, CellUeTable, Delivery};
 use rtc_sim::{OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig};
 
 /// Session-level configuration.
@@ -65,6 +65,12 @@ pub enum BaselineAccess {
 enum AccessSim {
     Cell(Box<CellSim>),
     Direct(Box<DirectAccess>),
+    /// This session's UE pair rides a [`CellSim`] owned by an external
+    /// driver (see [`crate::shared::SharedCellDriver`]): packets leave
+    /// through `outbox` and the driver feeds deliveries/telemetry back
+    /// through the inboxes between the emit and collect phases of each
+    /// tick.
+    Shared(Box<SharedAccess>),
 }
 
 struct DirectAccess {
@@ -73,6 +79,22 @@ struct DirectAccess {
     rng_ul: StdRng,
     rng_dl: StdRng,
     out: Vec<Delivery>,
+}
+
+/// Mailbox access for a session whose cell lives in a shared-cell driver.
+struct SharedAccess {
+    /// Experiment-UE index inside the shared cell.
+    ue: u32,
+    /// Packets handed to the RAN edge this tick, awaiting the driver's
+    /// flush into the cell: `(handover time, direction, id, size)`.
+    outbox: Vec<(SimTime, Direction, u64, u32)>,
+    /// Deliveries the driver fanned out to this UE.
+    inbox: Vec<Delivery>,
+    /// This UE's view of the cell's DCI stream (whole control channel,
+    /// `is_target_ue` stamped for this UE).
+    dci_inbox: Vec<telemetry::DciRecord>,
+    /// This UE's gNB log records.
+    gnb_inbox: Vec<telemetry::GnbLogRecord>,
 }
 
 impl AccessSim {
@@ -93,6 +115,7 @@ impl AccessSim {
                 }
                 // Lost packets simply never come out.
             }
+            AccessSim::Shared(shared) => shared.outbox.push((now, dir, id, size)),
         }
     }
 
@@ -100,12 +123,14 @@ impl AccessSim {
         if let AccessSim::Cell(cell) = self {
             cell.poll(now);
         }
+        // Shared: the driver polls the cell once for all riding sessions.
     }
 
     fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
         match self {
             AccessSim::Cell(cell) => cell.drain_deliveries_into(out),
             AccessSim::Direct(direct) => out.append(&mut direct.out),
+            AccessSim::Shared(shared) => out.append(&mut shared.inbox),
         }
     }
 }
@@ -298,6 +323,7 @@ pub struct SessionArena {
     scratch: EngineScratch,
     free_pending: Vec<IdMap<Pending>>,
     free_bundles: Vec<TraceBundle>,
+    free_ue_tables: Vec<CellUeTable>,
 }
 
 impl Default for SessionArena {
@@ -326,6 +352,7 @@ impl SessionArena {
             scratch: EngineScratch::default(),
             free_pending: Vec::new(),
             free_bundles: Vec::new(),
+            free_ue_tables: Vec::new(),
         }
     }
 
@@ -355,14 +382,14 @@ impl SessionArena {
     /// arena, this must stay flat across further sessions — asserted by the
     /// heap-peak regression test in `tests/live_equivalence.rs`.
     pub fn footprint(&self) -> usize {
-        let (queue, pending, emit, deliveries, ran, bundle) = self.footprint_parts();
-        queue + pending + emit + deliveries + ran + bundle
+        let (queue, pending, emit, deliveries, ran, bundle, ue_tables) = self.footprint_parts();
+        queue + pending + emit + deliveries + ran + bundle + ue_tables
     }
 
     /// Per-component footprint breakdown (debug aid): `(queue, pending,
-    /// emit, deliveries, ran, bundle)`.
+    /// emit, deliveries, ran, bundle, ue_tables)`.
     #[doc(hidden)]
-    pub fn footprint_parts(&self) -> (usize, usize, usize, usize, usize, usize) {
+    pub fn footprint_parts(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
         let bundle: usize = self
             .free_bundles
             .iter()
@@ -375,6 +402,11 @@ impl SessionArena {
             })
             .sum();
         let pending: usize = self.free_pending.iter().map(HashMap::capacity).sum();
+        let ue_tables: usize = self
+            .free_ue_tables
+            .iter()
+            .map(CellUeTable::footprint_elems)
+            .sum();
         let (emit, deliveries, ran) = self.scratch.footprint();
         (
             self.queue.capacity(),
@@ -383,6 +415,7 @@ impl SessionArena {
             deliveries,
             ran,
             bundle,
+            ue_tables,
         )
     }
 
@@ -404,6 +437,18 @@ impl SessionArena {
 
     fn return_pending(&mut self, map: IdMap<Pending>) {
         self.free_pending.push(map);
+    }
+
+    /// Leases a scripted-UE table for a new cell; `CellSim::new_in` clears
+    /// and refills it, so a recycled table behaves identically to a fresh
+    /// one while keeping its column capacities.
+    pub(crate) fn take_ue_table(&mut self) -> CellUeTable {
+        self.free_ue_tables.pop().unwrap_or_default()
+    }
+
+    /// Hands a finished cell's scripted-UE table back for reuse.
+    pub(crate) fn return_ue_table(&mut self, table: CellUeTable) {
+        self.free_ue_tables.push(table);
     }
 }
 
@@ -512,7 +557,7 @@ impl SessionState {
             seed: cfg.seed,
             has_gnb_log: cell_cfg.has_gnb_log,
         };
-        let mut cell = CellSim::new(cell_cfg, cfg.seed);
+        let mut cell = CellSim::new_in(cell_cfg, cfg.seed, arena.take_ue_table());
         script(&mut cell);
         let access = AccessSim::Cell(Box::new(cell));
         Self::new(
@@ -523,6 +568,72 @@ impl SessionState {
             tapped,
             arena,
         )
+    }
+
+    /// Starts a session whose UE pair rides a cell owned by an external
+    /// [`crate::shared::SharedCellDriver`]. `ue` is the experiment-UE index
+    /// this pair occupies inside the shared cell; the meta mirrors the
+    /// cell's config, but the cell simulator itself lives in the driver,
+    /// which shuttles packets and telemetry through the session's
+    /// shared-access mailboxes each tick.
+    pub fn start_shared(
+        cell_cfg: &CellConfig,
+        cfg: &SessionConfig,
+        ue: u32,
+        tapped: bool,
+        arena: &mut SessionArena,
+    ) -> Self {
+        let meta = SessionMeta {
+            cell_name: cell_cfg.name.clone(),
+            cell_class: cell_cfg.class,
+            carrier_mhz: cell_cfg.carrier_mhz,
+            bandwidth_mhz: cell_cfg.bandwidth_mhz,
+            duplexing: cell_cfg.frame.duplexing,
+            duration: cfg.duration,
+            seed: cfg.seed,
+            has_gnb_log: cell_cfg.has_gnb_log,
+        };
+        let access = AccessSim::Shared(Box::new(SharedAccess {
+            ue,
+            outbox: Vec::new(),
+            inbox: Vec::new(),
+            dci_inbox: Vec::new(),
+            gnb_inbox: Vec::new(),
+        }));
+        Self::new(
+            access,
+            Some(PathConfig::core_network()),
+            meta,
+            cfg,
+            tapped,
+            arena,
+        )
+    }
+
+    /// Moves this tick's emitted packets from the shared-access outbox into
+    /// the driver-owned cell, addressed to this session's experiment UE.
+    pub(crate) fn flush_shared_outbox(&mut self, cell: &mut CellSim) {
+        let AccessSim::Shared(s) = &mut self.access else {
+            panic!("flush_shared_outbox on a non-shared session");
+        };
+        for (at, dir, id, size) in s.outbox.drain(..) {
+            cell.enqueue_for(s.ue, at, dir, id, size);
+        }
+    }
+
+    /// The shared-access mailboxes the driver fans cell output into:
+    /// `(deliveries, dci, gnb)`.
+    pub(crate) fn shared_inboxes(
+        &mut self,
+    ) -> (
+        &mut Vec<Delivery>,
+        &mut Vec<telemetry::DciRecord>,
+        &mut Vec<telemetry::GnbLogRecord>,
+    ) {
+        let AccessSim::Shared(s) = &mut self.access else {
+            panic!("shared_inboxes on a non-shared session");
+        };
+        (&mut s.inbox, &mut s.dci_inbox, &mut s.gnb_inbox)
     }
 
     /// Starts a baseline (wired or Wi-Fi) session in steppable form.
@@ -577,7 +688,22 @@ impl SessionState {
         scratch: &mut EngineScratch,
         sink: &mut impl RouteSink,
     ) {
-        debug_assert!(!self.is_done(), "begin_tick on a finished session");
+        self.emit_tick(tap, scratch, sink);
+        self.collect_access(scratch, sink);
+    }
+
+    /// Phase 1 only (endpoint emission). A shared-cell driver calls this for
+    /// every riding session, then flushes their outboxes into the one cell,
+    /// polls it, fans deliveries back out, and calls
+    /// [`Self::collect_access`]; the solo and multiplexing drivers use
+    /// [`Self::begin_tick`], which runs both phases back to back.
+    pub fn emit_tick(
+        &mut self,
+        tap: &mut dyn LiveTap,
+        scratch: &mut EngineScratch,
+        sink: &mut impl RouteSink,
+    ) {
+        debug_assert!(!self.is_done(), "emit_tick on a finished session");
         self.cur += 1;
         let now = SimTime::ZERO + self.tick_len * self.cur;
         self.now = now;
@@ -643,6 +769,14 @@ impl SessionState {
                 sink.schedule(at, RouteEvent::EnqueueDownlink(id));
             }
         }
+    }
+
+    /// Phase 2 only (access-network advance + delivery collection). For
+    /// cell/baseline access this polls the access simulator; for shared
+    /// access the driver has already polled the cell and filled the
+    /// session's delivery inbox between [`Self::emit_tick`] and this call.
+    pub fn collect_access(&mut self, scratch: &mut EngineScratch, sink: &mut impl RouteSink) {
+        let now = self.now;
 
         // 2. Access network advances; deliveries continue along the path.
         self.access.poll(now);
@@ -768,6 +902,14 @@ impl SessionState {
                 bundle.append_dci(r);
             }
             cell.drain_gnb_into(&mut bundle.gnb);
+        } else if let AccessSim::Shared(shared) = &mut access {
+            for r in shared.dci_inbox.drain(..) {
+                bundle.append_dci(r);
+            }
+            bundle.gnb.append(&mut shared.gnb_inbox);
+        }
+        if let AccessSim::Cell(cell) = &mut access {
+            arena.return_ue_table(cell.take_ue_table());
         }
         bundle.sort();
         // The lease boundary (`take_pending`) owns the no-cross-session
@@ -885,15 +1027,21 @@ fn drain_ran_telemetry(
     tap: &mut dyn LiveTap,
     scratch: &mut RanScratch,
 ) {
-    let AccessSim::Cell(cell) = access else {
-        return;
-    };
-    cell.drain_dci_into(&mut scratch.dci);
+    match access {
+        AccessSim::Cell(cell) => {
+            cell.drain_dci_into(&mut scratch.dci);
+            cell.drain_gnb_into(&mut scratch.gnb);
+        }
+        AccessSim::Shared(shared) => {
+            scratch.dci.append(&mut shared.dci_inbox);
+            scratch.gnb.append(&mut shared.gnb_inbox);
+        }
+        AccessSim::Direct(_) => return,
+    }
     for r in scratch.dci.drain(..) {
         tap.on_dci(&r);
         bundle.append_dci(r);
     }
-    cell.drain_gnb_into(&mut scratch.gnb);
     for r in scratch.gnb.drain(..) {
         tap.on_gnb(&r);
         bundle.append_gnb(r);
@@ -934,6 +1082,33 @@ fn packet_record(p: &OutgoingPacket, dir: Direction) -> PacketRecord {
             p.transport_seq
         },
         size_bytes: p.size_bytes,
+    }
+}
+
+/// Cross-module test helpers (also used by the shared-cell driver's suite).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use telemetry::TraceBundle;
+
+    /// Field-by-field equality over every record type a bundle carries.
+    pub(crate) fn assert_bundles_identical(a: &TraceBundle, b: &TraceBundle) {
+        assert_eq!(a.packets.len(), b.packets.len());
+        for (x, y) in a.packets.iter().zip(&b.packets) {
+            assert_eq!(
+                (x.sent, x.received, x.seq, x.size_bytes),
+                (y.sent, y.received, y.seq, y.size_bytes)
+            );
+        }
+        assert_eq!(a.dci.len(), b.dci.len());
+        for (x, y) in a.dci.iter().zip(&b.dci) {
+            assert_eq!((x.ts, x.rnti, x.tbs_bits), (y.ts, y.rnti, y.tbs_bits));
+        }
+        assert_eq!(a.gnb.len(), b.gnb.len());
+        for (x, y) in a.gnb.iter().zip(&b.gnb) {
+            assert_eq!((x.ts, &x.event), (y.ts, &y.event));
+        }
+        assert_eq!(a.app_local.len(), b.app_local.len());
+        assert_eq!(a.app_remote.len(), b.app_remote.len());
     }
 }
 
@@ -1088,25 +1263,7 @@ mod tests {
         }
     }
 
-    fn assert_bundles_identical(a: &TraceBundle, b: &TraceBundle) {
-        assert_eq!(a.packets.len(), b.packets.len());
-        for (x, y) in a.packets.iter().zip(&b.packets) {
-            assert_eq!(
-                (x.sent, x.received, x.seq, x.size_bytes),
-                (y.sent, y.received, y.seq, y.size_bytes)
-            );
-        }
-        assert_eq!(a.dci.len(), b.dci.len());
-        for (x, y) in a.dci.iter().zip(&b.dci) {
-            assert_eq!((x.ts, x.rnti, x.tbs_bits), (y.ts, y.rnti, y.tbs_bits));
-        }
-        assert_eq!(a.gnb.len(), b.gnb.len());
-        for (x, y) in a.gnb.iter().zip(&b.gnb) {
-            assert_eq!((x.ts, &x.event), (y.ts, &y.event));
-        }
-        assert_eq!(a.app_local.len(), b.app_local.len());
-        assert_eq!(a.app_remote.len(), b.app_remote.len());
-    }
+    use super::tests_support::assert_bundles_identical;
 
     #[test]
     fn tapped_session_matches_untapped_and_rebuilds_bundle() {

@@ -46,10 +46,28 @@ fn demo_grid() -> Vec<SessionSpec> {
         .build()
 }
 
+/// The shared-cell grid (`--grid shared`): two private cells × a UE-count
+/// axis over the scripted traffic population. Exercises the SoA slot loop
+/// at 0/8/32 cohabiting UEs; CI byte-diffs this grid at 1-vs-3 shards and
+/// mux width 1-vs-8, so the many-UE path carries the same determinism
+/// contract as the empty-cell path.
+fn shared_grid() -> Vec<SessionSpec> {
+    use domino::ran::traffic_mix;
+    use domino::scenarios::{amarisoft, mosolabs};
+    SessionGrid::new()
+        .cells(vec![amarisoft(), mosolabs()])
+        .durations([SimDuration::from_secs(15)])
+        .axis(ScenarioAxis::values("ues", [0usize, 8, 32], |&n| {
+            vec![AxisPatch::TrafficUes(traffic_mix(n))]
+        }))
+        .master_seed(77)
+        .build()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sharded_sweep run [--shards N] [--shard I] [--threads T] [--mux-width W] \
-         --out FILE\n  sharded_sweep merge --out FILE <shard-report-files...>"
+        "usage:\n  sharded_sweep run [--grid demo|shared] [--shards N] [--shard I] [--threads T] \
+         [--mux-width W] --out FILE\n  sharded_sweep merge --out FILE <shard-report-files...>"
     );
     ExitCode::from(2)
 }
@@ -60,6 +78,7 @@ fn main() -> ExitCode {
         return usage();
     };
 
+    let mut grid = "demo".to_string();
     let mut shards = 1usize;
     let mut shard = 0usize;
     let mut threads = 0usize;
@@ -77,6 +96,10 @@ fn main() -> ExitCode {
             v.cloned()
         };
         match arg.as_str() {
+            "--grid" => match take("--grid") {
+                Some(v) if v == "demo" || v == "shared" => grid = v,
+                _ => return usage(),
+            },
             "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
                 Some(v) => shards = v,
                 None => return usage(),
@@ -114,7 +137,10 @@ fn main() -> ExitCode {
                 eprintln!("--shard {shard} out of range for --shards {shards}");
                 return usage();
             }
-            let specs = demo_grid();
+            let specs = match grid.as_str() {
+                "shared" => shared_grid(),
+                _ => demo_grid(),
+            };
             let plan = ShardPlan::new(specs.len(), shards);
             let my = plan.shard(shard);
             eprintln!(

@@ -36,6 +36,19 @@ fn spec(seed: u64, secs: u64) -> SessionSpec {
     )
 }
 
+fn many_ue_spec(seed: u64, secs: u64, ues: usize) -> SessionSpec {
+    let mut cell = domino::scenarios::amarisoft();
+    cell.traffic_ues = domino::ran::traffic_mix(ues);
+    SessionSpec::cell(
+        cell,
+        SessionConfig {
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
 #[test]
 fn warm_worker_sessions_stay_within_allocation_budget() {
     let _guard = SERIAL.lock().unwrap();
@@ -95,4 +108,40 @@ fn session_simulation_alone_is_allocation_light() {
     );
     // Simulation without analysis: the same sub-one-per-tick budget.
     assert!(stats.allocations < secs * 1000);
+}
+
+/// Many-UE cells must not reopen the allocation faucet: once the arena's
+/// leased [`domino::ran::CellUeTable`] columns are grown, steady-state
+/// allocations per *slot* stay below 0.5 regardless of how many scripted
+/// UEs share the cell. (The SoA slot loop touches only flat arrays; the
+/// budget is per slot — 2 000 slots/s on this TDD cell — because that is
+/// the unit the per-UE sweep multiplies.)
+#[test]
+fn many_ue_cell_stays_allocation_flat() {
+    let _guard = SERIAL.lock().unwrap();
+    let secs = 10u64;
+    let slots = secs * 2000; // 0.5 ms TDD slots
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        analysis: domino::sweep::AnalysisMode::None,
+        ..Default::default()
+    };
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+    for (i, &ues) in [1usize, 8, 32, 64].iter().enumerate() {
+        // First run at this population warms the table columns…
+        scratch.run_session(&many_ue_spec(40, secs, ues), 2 * i, &domino, &opts);
+        // …then the warm run must be allocation-flat.
+        let (_, stats) = alloc_count::measure(|| {
+            scratch.run_session(&many_ue_spec(40, secs, ues), 2 * i + 1, &domino, &opts)
+        });
+        let per_slot = stats.allocations as f64 / slots as f64;
+        eprintln!(
+            "{ues} traffic UEs: {} allocs / {slots} slots = {per_slot:.4}/slot",
+            stats.allocations
+        );
+        assert!(
+            per_slot < 0.5,
+            "{ues}-UE warm session allocates {per_slot:.3}/slot — SoA loop regressed"
+        );
+    }
 }

@@ -45,6 +45,101 @@ fn identical_seeds_identical_traces_and_analysis() {
     assert_eq!(sa.cause_onsets, sb.cause_onsets);
 }
 
+/// A capacity-independent fingerprint of everything a bundle records.
+fn fingerprint(
+    b: &domino::telemetry::TraceBundle,
+) -> (usize, u128, usize, usize, u64, usize, usize, usize) {
+    (
+        b.packets.len(),
+        b.packets
+            .iter()
+            .filter_map(|p| p.received)
+            .map(|t| t.as_micros() as u128)
+            .sum(),
+        b.dci.len(),
+        b.dci.iter().filter(|d| d.is_target_ue).count(),
+        b.dci.iter().map(|d| d.tbs_bits as u64).sum(),
+        b.dci.iter().filter(|d| d.decoded_ok).count(),
+        b.gnb.len(),
+        b.app_local.len(),
+    )
+}
+
+/// Golden fingerprints captured on the object-at-a-time cell before the SoA
+/// refactor. An N=1 cell (no scripted traffic UEs) must reproduce the
+/// legacy two-party session *exactly* — any drift here means the shared
+/// slot loop changed single-UE physics.
+#[test]
+fn n1_cell_reproduces_prerefactor_golden_traces() {
+    let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
+    assert_eq!(
+        fingerprint(&a),
+        (4629, 29329767038, 5906, 4961, 30911960, 5599, 12002, 240)
+    );
+    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(9), |_| {});
+    assert_eq!(
+        fingerprint(&b),
+        (4964, 30633548092, 6676, 5100, 36788384, 6381, 12002, 240)
+    );
+}
+
+/// Scripted traffic UEs draw from counter-based hashes, not RNG streams, so
+/// adding them must (a) stay deterministic across runs and (b) leave the
+/// diagnosed pair's packet count untouched only in *stream identity* — the
+/// contention itself of course changes timings vs. an empty cell.
+#[test]
+fn traffic_ue_population_is_deterministic() {
+    use domino::ran::traffic_mix;
+    let mut cell = domino::scenarios::amarisoft();
+    cell.traffic_ues = traffic_mix(16);
+    let a = run_cell_session(cell.clone(), &cfg(31), |_| {});
+    let b = run_cell_session(cell, &cfg(31), |_| {});
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // The scripted population shows up as foreign RNTIs in the DCI log.
+    assert!(
+        a.dci
+            .iter()
+            .any(|d| !d.is_target_ue && d.rnti >= domino::ran::TRAFFIC_RNTI_BASE),
+        "scripted UEs must be visible in the control channel"
+    );
+}
+
+/// One pair on a shared-cell driver is the same simulation as the solo
+/// engine — byte-identical bundles, not just matching statistics.
+#[test]
+fn shared_driver_single_pair_matches_solo_engine() {
+    use domino::scenarios::run_shared_cell_sessions;
+    let solo = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
+    let shared = run_shared_cell_sessions(domino::scenarios::amarisoft(), &cfg(123), 1, |_| {});
+    assert_eq!(shared.len(), 1);
+    assert_eq!(fingerprint(&solo), fingerprint(&shared[0]));
+    for (x, y) in solo.packets.iter().zip(&shared[0].packets) {
+        assert_eq!((x.sent, x.received), (y.sent, y.received));
+    }
+    for (x, y) in solo.dci.iter().zip(&shared[0].dci) {
+        assert_eq!(
+            (x.ts, x.rnti, x.tbs_bits, x.is_target_ue),
+            (y.ts, y.rnti, y.tbs_bits, y.is_target_ue)
+        );
+    }
+}
+
+/// Many-UE cells stay deterministic under arena reuse: a session run in a
+/// warm arena (recycled UE table, bundle, pending map) must equal a fresh
+/// run.
+#[test]
+fn warm_arena_matches_fresh_arena_with_traffic_ues() {
+    use domino::scenarios::{run_cell_session_with_tap_in, SessionArena};
+    use domino::telemetry::NullTap;
+    let mut cell = domino::scenarios::amarisoft();
+    cell.traffic_ues = domino::ran::traffic_mix(8);
+    let mut arena = SessionArena::new();
+    let first =
+        run_cell_session_with_tap_in(cell.clone(), &cfg(55), |_| {}, &mut NullTap, &mut arena);
+    let warm = run_cell_session_with_tap_in(cell, &cfg(55), |_| {}, &mut NullTap, &mut arena);
+    assert_eq!(fingerprint(&first), fingerprint(&warm));
+}
+
 #[test]
 fn different_seeds_diverge() {
     let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(1), |_| {});
