@@ -304,6 +304,81 @@ fn bench_ran_session(c: &mut Criterion) {
         };
         b.iter(|| run_cell_session(scenarios::amarisoft(), black_box(&cfg), |_| {}))
     });
+    // The same session with the domino-obs recorder enabled (default wall
+    // sampling): prices the whole per-slot/per-tick recording surface —
+    // counters, RAN accumulators, phase spans — against the number above.
+    // The README's observability table documents the ratio.
+    c.bench_function("ran/two_party_session_per_sim_second_obs", |b| {
+        use domino_obs::{ObsConfig, Recorder};
+        use scenarios::run_cell_session_with_tap_in;
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(1),
+            seed: 5,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut arena = SessionArena::new();
+            *arena.recorder_mut() = Recorder::new(ObsConfig::on());
+            run_cell_session_with_tap_in(
+                scenarios::amarisoft(),
+                black_box(&cfg),
+                |_| {},
+                &mut telemetry::NullTap,
+                &mut arena,
+            )
+        })
+    });
+}
+
+/// The recorder's record-site primitives, disabled and enabled. Disabled is
+/// the number that must be free: every instrumentation point in the engine
+/// compiles to one predicted branch on a `None` discriminant. The loop
+/// interleaves a counter add and a histogram observe (the two hot-path
+/// shapes the slot loop emits); spans get their own pair since they
+/// additionally carry the sampled wall clock.
+fn bench_obs_primitives(c: &mut Criterion) {
+    use domino_obs::{Counter, HistId, ObsConfig, Recorder, SpanId};
+    const OPS: u64 = 1024;
+
+    let mut off = Recorder::off();
+    c.bench_function("obs/counter_hot_path_off", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                off.add(Counter::RanDataSlots, 1);
+                off.observe(HistId::RanRlcQueueBytes, black_box(i));
+            }
+        })
+    });
+    let mut on = Recorder::new(ObsConfig::on());
+    c.bench_function("obs/counter_hot_path", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                on.add(Counter::RanDataSlots, 1);
+                on.observe(HistId::RanRlcQueueBytes, black_box(i));
+            }
+        })
+    });
+
+    let mut off = Recorder::off();
+    c.bench_function("obs/span_enter_exit_off", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                let t = off.span_enter(SpanId::BeginTick);
+                off.span_exit(SpanId::BeginTick, t);
+            }
+        })
+    });
+    // Default wall sampling (every 64th entry reads the clock), i.e. what
+    // `ObsConfig::on()` sweeps pay per span.
+    let mut on = Recorder::new(ObsConfig::on());
+    c.bench_function("obs/span_enter_exit", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                let t = on.span_enter(SpanId::BeginTick);
+                on.span_exit(SpanId::BeginTick, t);
+            }
+        })
+    });
 }
 
 /// The calendar queue against the binary heap on the session engine's
@@ -590,6 +665,7 @@ criterion_group!(
         bench_chain_search,
         bench_dsl_parse,
         bench_ran_session,
+        bench_obs_primitives,
         bench_calendar_vs_heap,
         bench_sweep_sessions,
         bench_cell_slot_marginal_ue,

@@ -30,8 +30,14 @@ fn run_all_cells() -> Vec<TraceBundle> {
     };
     let progress = |p: SweepProgress| {
         eprintln!(
-            "[longitudinal] {}/{} sessions ({:.2}/s, ETA {:.0} s)",
-            p.completed, p.total, p.sessions_per_sec, p.eta_secs
+            "[longitudinal] {}/{} sessions, {} in flight ({:.2}/s, ETA {:.0} s, \
+             arena peak {} elems)",
+            p.completed,
+            p.total,
+            p.in_flight,
+            p.sessions_per_sec,
+            p.eta_secs,
+            p.arena_footprint_peak
         );
     };
     run_sweep_with_progress(&specs, &domino, &opts, &progress)

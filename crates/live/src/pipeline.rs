@@ -343,6 +343,14 @@ impl LivePipeline {
         std::mem::take(&mut self.verdicts)
     }
 
+    /// The verdicts retained since the last drain, without taking them —
+    /// the allocation-free read path ([`Self::drain_verdicts`] gives up the
+    /// vector's capacity; observers that only need to look, e.g. sweep
+    /// metric rollups, must not).
+    pub fn verdicts(&self) -> &[LiveVerdict] {
+        &self.verdicts
+    }
+
     /// Takes the accumulated per-window results as a batch-shaped
     /// [`Analysis`] (`duration` is the session duration, used for
     /// per-minute normalisation — pass `bundle.meta.duration`).

@@ -95,6 +95,30 @@ impl PathConfig {
     }
 }
 
+/// Cheap always-on per-path counters, read by the observability layer at
+/// session teardown. Pure integer accumulation on sim-deterministic
+/// events, so totals are identical at any thread/shard/mux partitioning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Packets offered to the path.
+    pub sent: u64,
+    /// Packets dropped by the loss process.
+    pub lost: u64,
+    /// Packets whose jittered arrival landed before an earlier packet's —
+    /// the FIFO clamp hides the inversion, so this counts reorder
+    /// *pressure* the path absorbed rather than delivered reorders.
+    pub jitter_inversions: u64,
+}
+
+impl PathStats {
+    /// Element-wise sum, for folding several paths into one rollup.
+    pub fn merge(&mut self, other: PathStats) {
+        self.sent += other.sent;
+        self.lost += other.lost;
+        self.jitter_inversions += other.jitter_inversions;
+    }
+}
+
 /// A stateful one-way path: FIFO, jittered, lossy.
 #[derive(Debug, Clone)]
 pub struct PathModel {
@@ -102,6 +126,7 @@ pub struct PathModel {
     congestion: GaussMarkov,
     last_arrival: SimTime,
     link_free_at: SimTime,
+    stats: PathStats,
 }
 
 impl PathModel {
@@ -112,7 +137,13 @@ impl PathModel {
             cfg,
             last_arrival: SimTime::ZERO,
             link_free_at: SimTime::ZERO,
+            stats: PathStats::default(),
         }
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> PathStats {
+        self.stats
     }
 
     /// Sends a packet of `size_bytes` at `now`; returns its arrival time at
@@ -123,7 +154,9 @@ impl PathModel {
         size_bytes: u32,
         rng: &mut R,
     ) -> Option<SimTime> {
+        self.stats.sent += 1;
         if self.cfg.loss_probability > 0.0 && rng.gen::<f64>() < self.cfg.loss_probability {
+            self.stats.lost += 1;
             return None;
         }
         // Serialization: FIFO on the bottleneck link.
@@ -149,6 +182,9 @@ impl PathModel {
             + self.cfg.base_delay
             + SimDuration::from_micros(jitter_us.max(0.0) as u64);
         // FIFO: no reordering within one path.
+        if arrival < self.last_arrival {
+            self.stats.jitter_inversions += 1;
+        }
         let arrival = arrival.max(self.last_arrival);
         self.last_arrival = arrival;
         Some(arrival)

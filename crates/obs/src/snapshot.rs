@@ -1,0 +1,624 @@
+//! The versioned plain-text `MetricsSnapshot` wire format.
+//!
+//! Follows the `ShardReport` discipline: tab-separated fields, a version
+//! header, floats as hex IEEE-754 bit patterns, sorted keys, strict
+//! parse-time validation, and one canonical encoding (parse → re-encode
+//! is byte-identical). Two sections:
+//!
+//! ```text
+//! domino-metrics\tv1
+//! section\tsim                      # deterministic: byte-identical at any
+//! counter\t<name>\t<u64>            #   thread/shard/mux partitioning
+//! gauge\t<name>\t<max>\t<updates>
+//! fgauge\t<name>\t<hex f64 bits>\t<updates>
+//! hist\t<name>\t<buckets>\t<count>\t<sum>\t<min>\t<max>\t<c0>\t…
+//! section\truntime                  # optional: wall clocks, occupancy —
+//! counter\t…                        #   machine-dependent, excluded from
+//! span\t<name>\t<calls>\t<sampled>\t<wall_ns>   # byte-compares
+//! end\tdomino-metrics\t<fnv1a-64 of everything above>
+//! ```
+//!
+//! Within each section, lines are grouped by kind (counter, gauge,
+//! fgauge, hist, span) and sorted by metric name. The trailing checksum
+//! makes any single-byte corruption a parse error; structural validation
+//! (known names, exact layout widths, `count == Σ buckets`,
+//! `min·count ≤ sum ≤ max·count`) rejects semantic tampering even where a
+//! forger recomputes the checksum.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{
+    sink_parts, Class, Counter, FGauge, Gauge, HistData, HistId, MetricSink, SpanData, SpanId,
+};
+
+/// First line of every encoded snapshot.
+pub const FORMAT_HEADER: &str = "domino-metrics\tv1";
+const END_TAG: &str = "end\tdomino-metrics";
+
+/// A merged, order-free aggregate of everything one or more [`crate::Recorder`]s
+/// observed. Fixed shape: one slot per compiled metric id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: [u64; Counter::COUNT],
+    gauges: [(u64, u64); Gauge::COUNT],
+    fgauges: [(f64, u64); FGauge::COUNT],
+    hists: [HistData; HistId::COUNT],
+    spans: [SpanData; SpanId::COUNT],
+    /// Whether the runtime (machine-dependent) section is populated and
+    /// should be carried by [`Self::encode`].
+    pub has_runtime: bool,
+}
+
+/// Why a snapshot failed to parse. Every variant is a hard error: the
+/// format has exactly one canonical form and anything else is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotParseError {
+    /// Missing or wrong `domino-metrics\tv1` header.
+    Header,
+    /// Input ended before the canonical line sequence did.
+    Truncated,
+    /// A line did not match the expected kind/name/field count.
+    Malformed { line: usize, want: &'static str },
+    /// A numeric field failed to parse.
+    Number { line: usize },
+    /// Internally inconsistent values (histogram totals, min/max order).
+    Inconsistent { line: usize, what: &'static str },
+    /// The trailing FNV-1a checksum did not match the content.
+    Checksum,
+    /// Bytes after the `end` line.
+    Trailing { line: usize },
+}
+
+impl fmt::Display for SnapshotParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotParseError::Header => write!(f, "missing `{FORMAT_HEADER}` header"),
+            SnapshotParseError::Truncated => write!(f, "input truncated"),
+            SnapshotParseError::Malformed { line, want } => {
+                write!(f, "line {line}: expected {want}")
+            }
+            SnapshotParseError::Number { line } => write!(f, "line {line}: bad numeric field"),
+            SnapshotParseError::Inconsistent { line, what } => {
+                write!(f, "line {line}: inconsistent {what}")
+            }
+            SnapshotParseError::Checksum => write!(f, "checksum mismatch"),
+            SnapshotParseError::Trailing { line } => write!(f, "line {line}: trailing data"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotParseError {}
+
+/// FNV-1a 64-bit over the raw bytes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (useful as a merge identity).
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            counters: [0; Counter::COUNT],
+            gauges: [(0, 0); Gauge::COUNT],
+            fgauges: [(f64::NEG_INFINITY, 0); FGauge::COUNT],
+            hists: [HistData::EMPTY; HistId::COUNT],
+            spans: [SpanData::default(); SpanId::COUNT],
+            has_runtime: false,
+        }
+    }
+
+    pub(crate) fn from_sink(sink: &MetricSink) -> Self {
+        let (counters, gauges, fgauges, hists, spans) = sink_parts(sink);
+        let mut spans = *spans;
+        for s in &mut spans {
+            // The sampling phase is recorder-internal state, not data.
+            *s = SpanData {
+                calls: s.calls,
+                sampled: s.sampled,
+                wall_ns: s.wall_ns,
+                ..SpanData::default()
+            };
+        }
+        MetricsSnapshot {
+            counters: *counters,
+            gauges: *gauges,
+            fgauges: *fgauges,
+            hists: *hists,
+            spans,
+            has_runtime: true,
+        }
+    }
+
+    // -- accessors --------------------------------------------------------
+
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.idx()]
+    }
+
+    /// `(high_water, updates)`.
+    pub fn gauge(&self, g: Gauge) -> (u64, u64) {
+        self.gauges[g.idx()]
+    }
+
+    /// `(high_water, updates)`; the value is `f64::NEG_INFINITY` until
+    /// the first update.
+    pub fn fgauge(&self, g: FGauge) -> (f64, u64) {
+        self.fgauges[g.idx()]
+    }
+
+    pub fn hist(&self, h: HistId) -> &HistData {
+        &self.hists[h.idx()]
+    }
+
+    pub fn span(&self, s: SpanId) -> SpanData {
+        self.spans[s.idx()]
+    }
+
+    /// Linearly-interpolated quantile (`q` in `[0,1]`) from the fixed
+    /// bucket layout — deterministic given a deterministic histogram.
+    pub fn quantile(&self, h: HistId, q: f64) -> f64 {
+        let d = &self.hists[h.idx()];
+        if d.count == 0 {
+            return 0.0;
+        }
+        let layout = h.layout();
+        let target = q.clamp(0.0, 1.0) * d.count as f64;
+        let mut cum = 0.0f64;
+        for (i, &c) in d.counts.iter().enumerate().take(layout.buckets()) {
+            let c = c as f64;
+            if c > 0.0 && cum + c >= target {
+                let (lo, hi) = layout.bounds(i);
+                let (lo, hi) = (lo as f64, hi as f64);
+                let frac = ((target - cum) / c).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).min(d.max as f64);
+            }
+            cum += c;
+        }
+        d.max as f64
+    }
+
+    // -- merge ------------------------------------------------------------
+
+    /// Element-wise, order-free merge: counters sum, gauges take the max,
+    /// histograms add bucket-wise. Merging in any order yields identical
+    /// bytes.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            a.0 = a.0.max(b.0);
+            a.1 += b.1;
+        }
+        for (a, b) in self.fgauges.iter_mut().zip(other.fgauges.iter()) {
+            if b.0 > a.0 {
+                a.0 = b.0;
+            }
+            a.1 += b.1;
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.spans.iter_mut().zip(other.spans.iter()) {
+            a.calls += b.calls;
+            a.sampled += b.sampled;
+            a.wall_ns += b.wall_ns;
+        }
+        self.has_runtime |= other.has_runtime;
+    }
+
+    // -- encode -----------------------------------------------------------
+
+    /// Canonical encoding; includes the runtime section iff
+    /// [`Self::has_runtime`]. `parse(encode(x)) == x` and
+    /// `encode(parse(t)) == t`.
+    pub fn encode(&self) -> String {
+        self.encode_with(self.has_runtime)
+    }
+
+    /// Deterministic section only — this is what CI byte-compares across
+    /// thread counts, shard counts, and multiplex widths.
+    pub fn encode_sim(&self) -> String {
+        self.encode_with(false)
+    }
+
+    fn encode_with(&self, runtime: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(FORMAT_HEADER);
+        out.push('\n');
+        self.encode_section(&mut out, Class::Sim);
+        if runtime {
+            self.encode_section(&mut out, Class::Runtime);
+        }
+        let sum = fnv1a64(out.as_bytes());
+        let _ = writeln!(out, "{END_TAG}\t{sum:016x}");
+        out
+    }
+
+    fn encode_section(&self, out: &mut String, class: Class) {
+        let name = match class {
+            Class::Sim => "sim",
+            Class::Runtime => "runtime",
+        };
+        let _ = writeln!(out, "section\t{name}");
+        for c in Counter::ALL.iter().filter(|c| c.class() == class) {
+            let _ = writeln!(out, "counter\t{}\t{}", c.name(), self.counters[c.idx()]);
+        }
+        for g in Gauge::ALL.iter().filter(|g| g.class() == class) {
+            let (v, n) = self.gauges[g.idx()];
+            let _ = writeln!(out, "gauge\t{}\t{v}\t{n}", g.name());
+        }
+        for g in FGauge::ALL.iter().filter(|g| g.class() == class) {
+            let (v, n) = self.fgauges[g.idx()];
+            let _ = writeln!(out, "fgauge\t{}\t{:016x}\t{n}", g.name(), v.to_bits());
+        }
+        for h in HistId::ALL.iter().filter(|h| h.class() == class) {
+            let d = &self.hists[h.idx()];
+            let nb = h.layout().buckets();
+            let _ = write!(
+                out,
+                "hist\t{}\t{nb}\t{}\t{}\t{}\t{}",
+                h.name(),
+                d.count,
+                d.sum,
+                d.min,
+                d.max
+            );
+            for &c in &d.counts[..nb] {
+                let _ = write!(out, "\t{c}");
+            }
+            out.push('\n');
+        }
+        for s in SpanId::ALL.iter().filter(|s| s.class() == class) {
+            let d = self.spans[s.idx()];
+            let _ = writeln!(
+                out,
+                "span\t{}\t{}\t{}\t{}",
+                s.name(),
+                d.calls,
+                d.sampled,
+                d.wall_ns
+            );
+        }
+    }
+
+    // -- parse ------------------------------------------------------------
+
+    /// Strict parse of the canonical form. Rejects unknown names, wrong
+    /// ordering, layout-width mismatches, inconsistent totals, trailing
+    /// bytes, and any content whose FNV-1a checksum does not match.
+    pub fn parse(text: &str) -> Result<Self, SnapshotParseError> {
+        let mut cur = Cursor {
+            text,
+            pos: 0,
+            line: 0,
+        };
+        let mut snap = Self::empty();
+
+        if cur.next_line()? != FORMAT_HEADER {
+            return Err(SnapshotParseError::Header);
+        }
+        snap.parse_section(&mut cur, Class::Sim)?;
+
+        let before_end = cur.pos;
+        let mut line = cur.next_line()?;
+        if line == "section\truntime" {
+            cur.rewind(before_end);
+            snap.parse_section(&mut cur, Class::Runtime)?;
+            snap.has_runtime = true;
+            line = cur.next_line()?;
+        }
+        let content = &text[..cur.pos - line.len() - 1];
+        let mut f = line.split('\t');
+        if (f.next(), f.next()) != (Some("end"), Some("domino-metrics")) {
+            return Err(SnapshotParseError::Malformed {
+                line: cur.line,
+                want: "end trailer",
+            });
+        }
+        let sum_field = f.next().ok_or(SnapshotParseError::Checksum)?;
+        if f.next().is_some() {
+            return Err(SnapshotParseError::Malformed {
+                line: cur.line,
+                want: "end trailer",
+            });
+        }
+        // String-compare against the canonical rendering so a re-cased or
+        // re-padded checksum field can't sneak through.
+        if sum_field != format!("{:016x}", fnv1a64(content.as_bytes())) {
+            return Err(SnapshotParseError::Checksum);
+        }
+        if cur.pos != text.len() {
+            return Err(SnapshotParseError::Trailing { line: cur.line + 1 });
+        }
+        Ok(snap)
+    }
+
+    fn parse_section(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        class: Class,
+    ) -> Result<(), SnapshotParseError> {
+        let want = match class {
+            Class::Sim => "section\tsim",
+            Class::Runtime => "section\truntime",
+        };
+        if cur.next_line()? != want {
+            return Err(SnapshotParseError::Malformed {
+                line: cur.line,
+                want: "section header",
+            });
+        }
+        for c in Counter::ALL.iter().filter(|c| c.class() == class) {
+            let mut f = Fields::open(cur, "counter", c.name())?;
+            self.counters[c.idx()] = f.u64()?;
+            f.close()?;
+        }
+        for g in Gauge::ALL.iter().filter(|g| g.class() == class) {
+            let mut f = Fields::open(cur, "gauge", g.name())?;
+            self.gauges[g.idx()] = (f.u64()?, f.u64()?);
+            f.close()?;
+        }
+        for g in FGauge::ALL.iter().filter(|g| g.class() == class) {
+            let mut f = Fields::open(cur, "fgauge", g.name())?;
+            self.fgauges[g.idx()] = (f.f64_bits()?, f.u64()?);
+            f.close()?;
+        }
+        for h in HistId::ALL.iter().filter(|h| h.class() == class) {
+            let mut f = Fields::open(cur, "hist", h.name())?;
+            let nb = f.u64()? as usize;
+            if nb != h.layout().buckets() {
+                return Err(SnapshotParseError::Inconsistent {
+                    line: f.line,
+                    what: "histogram bucket layout",
+                });
+            }
+            let mut d = HistData::EMPTY;
+            d.count = f.u64()?;
+            d.sum = f.u128()?;
+            d.min = f.u64()?;
+            d.max = f.u64()?;
+            let mut total = 0u64;
+            for slot in d.counts.iter_mut().take(nb) {
+                *slot = f.u64()?;
+                total += *slot;
+            }
+            let line = f.line;
+            f.close()?;
+            let ok = if d.count == 0 {
+                total == 0 && d.sum == 0 && d.min == u64::MAX && d.max == 0
+            } else {
+                total == d.count
+                    && d.min <= d.max
+                    && d.sum >= u128::from(d.min) * u128::from(d.count)
+                    && d.sum <= u128::from(d.max) * u128::from(d.count)
+            };
+            if !ok {
+                return Err(SnapshotParseError::Inconsistent {
+                    line,
+                    what: "histogram totals",
+                });
+            }
+            self.hists[h.idx()] = d;
+        }
+        for s in SpanId::ALL.iter().filter(|s| s.class() == class) {
+            let mut f = Fields::open(cur, "span", s.name())?;
+            let d = SpanData {
+                calls: f.u64()?,
+                sampled: f.u64()?,
+                wall_ns: f.u64()?,
+                ..SpanData::default()
+            };
+            let line = f.line;
+            f.close()?;
+            if d.sampled > d.calls {
+                return Err(SnapshotParseError::Inconsistent {
+                    line,
+                    what: "span sample count",
+                });
+            }
+            self.spans[s.idx()] = d;
+        }
+        Ok(())
+    }
+}
+
+/// Newline-terminated line walker that tracks byte offsets (for the
+/// checksum span) and 1-based line numbers (for errors).
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_line(&mut self) -> Result<&'a str, SnapshotParseError> {
+        let rest = &self.text[self.pos..];
+        let nl = rest.find('\n').ok_or(SnapshotParseError::Truncated)?;
+        self.pos += nl + 1;
+        self.line += 1;
+        Ok(&rest[..nl])
+    }
+
+    fn rewind(&mut self, pos: usize) {
+        self.pos = pos;
+        self.line -= 1;
+    }
+}
+
+/// One expected line: validates the kind tag and metric name, then yields
+/// the numeric fields in order and requires exhaustion on `close`.
+struct Fields<'a> {
+    iter: std::str::Split<'a, char>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn open(
+        cur: &mut Cursor<'a>,
+        kind: &'static str,
+        name: &'static str,
+    ) -> Result<Self, SnapshotParseError> {
+        let line = cur.next_line()?;
+        let mut iter = line.split('\t');
+        if iter.next() != Some(kind) || iter.next() != Some(name) {
+            return Err(SnapshotParseError::Malformed {
+                line: cur.line,
+                want: kind,
+            });
+        }
+        Ok(Fields {
+            iter,
+            line: cur.line,
+        })
+    }
+
+    fn field(&mut self) -> Result<&'a str, SnapshotParseError> {
+        self.iter.next().ok_or(SnapshotParseError::Malformed {
+            line: self.line,
+            want: "more fields",
+        })
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotParseError> {
+        let line = self.line;
+        self.field()?
+            .parse()
+            .map_err(|_| SnapshotParseError::Number { line })
+    }
+
+    fn u128(&mut self) -> Result<u128, SnapshotParseError> {
+        let line = self.line;
+        self.field()?
+            .parse()
+            .map_err(|_| SnapshotParseError::Number { line })
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, SnapshotParseError> {
+        let line = self.line;
+        let s = self.field()?;
+        if s.len() != 16 {
+            return Err(SnapshotParseError::Number { line });
+        }
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| SnapshotParseError::Number { line })
+    }
+
+    fn close(mut self) -> Result<(), SnapshotParseError> {
+        if self.iter.next().is_some() {
+            return Err(SnapshotParseError::Malformed {
+                line: self.line,
+                want: "end of line",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, Recorder};
+
+    fn sample() -> MetricsSnapshot {
+        let mut r = Recorder::new(ObsConfig::full());
+        r.add(Counter::EngineTicks, 1000);
+        r.add(Counter::PoolReused, 3);
+        r.observe(HistId::LiveVerdictLatencyMs, 12);
+        r.observe(HistId::LiveVerdictLatencyMs, 250);
+        r.gauge_max(Gauge::ArenaFootprint, 4096);
+        r.fgauge_max(FGauge::RanPrbUtilPeak, 0.875);
+        let t = r.span_enter(SpanId::BeginTick);
+        r.span_exit(SpanId::BeginTick, t);
+        r.snapshot().unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        for snap in [MetricsSnapshot::empty(), sample()] {
+            let text = snap.encode();
+            let back = MetricsSnapshot::parse(&text).expect("parses");
+            assert_eq!(back, snap);
+            assert_eq!(back.encode(), text);
+        }
+    }
+
+    #[test]
+    fn sim_only_encoding_round_trips_without_runtime() {
+        let text = sample().encode_sim();
+        let back = MetricsSnapshot::parse(&text).expect("parses");
+        assert!(!back.has_runtime);
+        assert_eq!(back.encode(), text);
+        assert_eq!(back.counter(Counter::EngineTicks), 1000);
+        // Runtime values were dropped by the sim-only encoding.
+        assert_eq!(back.counter(Counter::PoolReused), 0);
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let text = sample().encode();
+        // Flip one digit in a counter line.
+        let bad = text.replacen(
+            "counter\tengine/ticks\t1000",
+            "counter\tengine/ticks\t1001",
+            1,
+        );
+        assert_ne!(bad, text);
+        assert_eq!(
+            MetricsSnapshot::parse(&bad),
+            Err(SnapshotParseError::Checksum)
+        );
+        // Truncation.
+        let cut = &text[..text.len() - 10];
+        assert_eq!(
+            MetricsSnapshot::parse(cut),
+            Err(SnapshotParseError::Truncated)
+        );
+        // Trailing garbage.
+        let tail = format!("{text}x\n");
+        assert!(matches!(
+            MetricsSnapshot::parse(&tail),
+            Err(SnapshotParseError::Trailing { .. })
+        ));
+        // A forged histogram whose checksum was recomputed still fails
+        // structural validation.
+        let forged_content = text.split_once("end\tdomino-metrics").unwrap().0.replacen(
+            "hist\tlive/verdict_latency_ms\t17\t2",
+            "hist\tlive/verdict_latency_ms\t17\t3",
+            1,
+        );
+        let sum = super::fnv1a64(forged_content.as_bytes());
+        let forged = format!("{forged_content}end\tdomino-metrics\t{sum:016x}\n");
+        assert!(matches!(
+            MetricsSnapshot::parse(&forged),
+            Err(SnapshotParseError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut r = Recorder::new(ObsConfig::on());
+        for v in 0..100u64 {
+            r.observe(HistId::RanPrbUtilPct, v);
+        }
+        let snap = r.snapshot().unwrap();
+        let p50 = snap.quantile(HistId::RanPrbUtilPct, 0.50);
+        let p99 = snap.quantile(HistId::RanPrbUtilPct, 0.99);
+        assert!((45.0..=55.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 90.0, "p99 = {p99}");
+        assert_eq!(snap.quantile(HistId::RtcPacerBacklog, 0.5), 0.0);
+    }
+}

@@ -17,6 +17,7 @@
 //! scripted UEs is byte-identical to the pre-table simulator (pinned by
 //! `tests/determinism.rs`).
 
+use domino_obs::RanCellObs;
 use rand::rngs::StdRng;
 use simcore::{rng_for, RngStream, SimDuration, SimTime};
 use telemetry::{CellClass, DciRecord, Direction, GnbEvent, GnbLogRecord, RrcState};
@@ -180,6 +181,12 @@ pub struct CellSim {
     /// Per-slot output scratch, cleared and reused every slot × UE ×
     /// direction so the slot loop performs no steady-state allocation.
     slot_out: SlotOutputs,
+    /// Observability accumulator (PRB utilization, HARQ retx, RLC queue
+    /// depths), installed by the session layer when a recorder is on.
+    /// `None` costs one predicted branch per direction pass; the
+    /// accumulator only *reads* scheduler outputs, so enabling it never
+    /// changes simulation behaviour.
+    obs: Option<Box<RanCellObs>>,
 }
 
 impl CellSim {
@@ -211,8 +218,19 @@ impl CellSim {
             dci_tag: Vec::new(),
             staged: Vec::new(),
             slot_out: SlotOutputs::default(),
+            obs: None,
             cfg,
         }
+    }
+
+    /// Installs (or removes) the per-slot observability accumulator.
+    pub fn set_obs(&mut self, obs: Option<Box<RanCellObs>>) {
+        self.obs = obs;
+    }
+
+    /// Takes the accumulator so a worker recorder can absorb it.
+    pub fn take_obs(&mut self) -> Option<Box<RanCellObs>> {
+        self.obs.take()
     }
 
     /// Adds another experiment UE to the cell and returns its index. Each
@@ -376,6 +394,22 @@ impl CellSim {
             return; // No PHY-layer transmissions during the outage (Fig. 19).
         }
 
+        if let Some(o) = &mut self.obs {
+            o.on_slot();
+            // Per-UE RLC queue-depth samples, every 16th slot: experiment
+            // UEs' RLC tx buffers plus every scripted UE's table column.
+            if slot.is_multiple_of(16) {
+                for ue in &self.ues {
+                    o.sample_queue(ue.ul.rlc_tx.buffer_bytes());
+                    o.sample_queue(ue.dl.rlc_tx.buffer_bytes());
+                }
+                for u in 0..self.table.len() {
+                    o.sample_queue(self.table.queue_bytes(u, Direction::Uplink));
+                    o.sample_queue(self.table.queue_bytes(u, Direction::Downlink));
+                }
+            }
+        }
+
         // Uplink control plane: SR check and grant issuance (PDCCH slots).
         let dl_serving = self.cfg.frame.serves(slot, Direction::Downlink);
         for ue in self.ues.iter_mut() {
@@ -438,6 +472,7 @@ impl CellSim {
         let demand = cross.demand(now, dt, rng_cross);
         let total = self.cfg.mac.n_prbs as u32;
         let cross_prbs = ((demand.prb_fraction * total as f64).round() as u32).min(total);
+        let dci_before = self.dci_log.len();
 
         // Scripted-UE pass 2: one SINR + CQI→MCS sweep over the table.
         if !self.table.is_empty() {
@@ -500,6 +535,15 @@ impl CellSim {
                 );
                 self.dci_tag.resize(self.dci_log.len(), UE_NONE);
             }
+        }
+
+        if let Some(o) = &mut self.obs {
+            o.on_direction_pass((hard_used + cross_prbs).min(total), total);
+            let retx = self.dci_log[dci_before..]
+                .iter()
+                .filter(|d| d.harq_retx_idx > 0)
+                .count();
+            o.on_harq_retx(retx as u64);
         }
 
         self.emit_cross_dci(now, dir, demand.prb_fraction, demand.rnti);

@@ -130,6 +130,12 @@ impl MediaSender {
         }
     }
 
+    /// Packets sitting in the pacer queue — the send-side backlog the
+    /// observability layer samples per tick.
+    pub fn pacer_backlog(&self) -> usize {
+        self.pacer.queue_len()
+    }
+
     /// Produces all packets due at or before `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<OutgoingPacket> {
         let mut out = Vec::new();

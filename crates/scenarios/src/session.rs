@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use domino_obs::{Counter, HistId, RanCellObs, Recorder, SpanId};
 use rand::rngs::StdRng;
 use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
 use telemetry::{Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle};
@@ -292,6 +293,11 @@ pub struct EngineScratch {
     emit: Vec<OutgoingPacket>,
     deliveries: Vec<Delivery>,
     ran: RanScratch,
+    /// The worker's observability recorder. Defaults to off (a no-op);
+    /// sweep workers install an enabled recorder via
+    /// [`SessionArena::recorder_mut`]. Living in the per-tick scratch puts
+    /// it in every engine phase's hands without new parameters.
+    pub recorder: Recorder,
 }
 
 impl EngineScratch {
@@ -367,6 +373,13 @@ impl SessionArena {
     /// phase (the solo driver splits them off together with the queue).
     pub fn scratch_mut(&mut self) -> &mut EngineScratch {
         &mut self.scratch
+    }
+
+    /// The worker recorder carried by this arena's scratch. Install an
+    /// enabled recorder before running sessions to collect metrics; take a
+    /// snapshot from it afterwards.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.scratch.recorder
     }
 
     /// Split borrow for the solo driver: the private route-event queue plus
@@ -559,6 +572,11 @@ impl SessionState {
         };
         let mut cell = CellSim::new_in(cell_cfg, cfg.seed, arena.take_ue_table());
         script(&mut cell);
+        if arena.scratch.recorder.is_on() {
+            // Installed after the script so scripted overrides are observed
+            // too; the accumulator is absorbed back in `finish`.
+            cell.set_obs(Some(RanCellObs::boxed()));
+        }
         let access = AccessSim::Cell(Box::new(cell));
         Self::new(
             access,
@@ -688,8 +706,10 @@ impl SessionState {
         scratch: &mut EngineScratch,
         sink: &mut impl RouteSink,
     ) {
+        let span = scratch.recorder.span_enter(SpanId::BeginTick);
         self.emit_tick(tap, scratch, sink);
         self.collect_access(scratch, sink);
+        scratch.recorder.span_exit(SpanId::BeginTick, span);
     }
 
     /// Phase 1 only (endpoint emission). A shared-cell driver calls this for
@@ -707,6 +727,10 @@ impl SessionState {
         self.cur += 1;
         let now = SimTime::ZERO + self.tick_len * self.cur;
         self.now = now;
+        scratch.recorder.add(Counter::EngineTicks, 1);
+        scratch
+            .recorder
+            .add(Counter::EngineSimTimeUs, self.tick_len.as_micros());
 
         // 1. Endpoints emit (media from senders, RTCP from receivers).
         let emit = &mut scratch.emit;
@@ -842,11 +866,29 @@ impl SessionState {
     /// and the early-exit poll. Returns `true` when the session is done —
     /// either this was its final tick or the tap aborted it.
     pub fn end_tick(&mut self, tap: &mut dyn LiveTap, scratch: &mut EngineScratch) -> bool {
+        let span = scratch.recorder.span_enter(SpanId::EndTick);
+        let done = self.end_tick_inner(tap, scratch);
+        scratch.recorder.span_exit(SpanId::EndTick, span);
+        done
+    }
+
+    fn end_tick_inner(&mut self, tap: &mut dyn LiveTap, scratch: &mut EngineScratch) -> bool {
         let now = self.now;
 
         // 4. 50 ms app-stats sampling on both clients. The sorted-append
         // hooks double as a debug-build check that sampling stays monotone.
         if now >= self.next_stats {
+            // Pacer backlog is sampled on the app-stats cadence, not every
+            // tick, so the histogram tracks the same 50 ms lattice as the
+            // client stats it sits beside.
+            scratch.recorder.observe(
+                HistId::RtcPacerBacklog,
+                self.a.sender.pacer_backlog() as u64,
+            );
+            scratch.recorder.observe(
+                HistId::RtcPacerBacklog,
+                self.b.sender.pacer_backlog() as u64,
+            );
             let sa = self.a.sample_stats(now);
             let sb = self.b.sample_stats(now);
             if self.tapped {
@@ -885,8 +927,38 @@ impl SessionState {
             tapped,
             aborted,
             end_time,
+            core_ul,
+            core_dl,
+            peer_ul,
+            peer_dl,
             ..
         } = self;
+        if arena.scratch.recorder.is_on() {
+            let rec = &mut arena.scratch.recorder;
+            let mut net = peer_ul.stats();
+            net.merge(peer_dl.stats());
+            if let Some(p) = &core_ul {
+                net.merge(p.stats());
+            }
+            if let Some(p) = &core_dl {
+                net.merge(p.stats());
+            }
+            if let AccessSim::Direct(d) = &access {
+                net.merge(d.ul.stats());
+                net.merge(d.dl.stats());
+            }
+            rec.add(Counter::NetPackets, net.sent);
+            rec.add(Counter::NetLost, net.lost);
+            rec.add(Counter::NetJitterInversions, net.jitter_inversions);
+            if aborted {
+                rec.add(Counter::EngineEarlyExits, 1);
+            }
+            if let AccessSim::Cell(cell) = &mut access {
+                if let Some(obs) = cell.take_obs() {
+                    rec.absorb_ran(&obs);
+                }
+            }
+        }
         if tapped {
             drain_ran_telemetry(&mut access, &mut bundle, tap, &mut arena.scratch.ran);
             if aborted {
@@ -996,9 +1068,14 @@ fn drive(mut state: SessionState, tap: &mut dyn LiveTap, arena: &mut SessionAren
         state.begin_tick(tap, scratch, queue);
         // 3. Due route events. (Route handlers never schedule new route
         // events, so this drain is closed within the tick.)
+        let span = scratch.recorder.span_enter(SpanId::RouteDrain);
+        let mut routed = 0u64;
         while let Some(ev) = queue.pop_due(state.now()) {
             state.route_event(ev.at, ev.event, tap);
+            routed += 1;
         }
+        scratch.recorder.span_exit(SpanId::RouteDrain, span);
+        scratch.recorder.add(Counter::EngineRouteEvents, routed);
         if state.end_tick(tap, scratch) {
             break;
         }

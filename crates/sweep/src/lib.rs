@@ -33,21 +33,25 @@ pub mod shard;
 
 pub use multiplex::{ExecutionMode, MuxWorker};
 pub use shard::{
-    merge_shards, run_shard, LiveTotals, MergeError, Shard, ShardPlan, ShardReport, SpecOutcome,
+    merge_shards, run_shard, run_shard_with_metrics, LiveTotals, MergeError, Shard, ShardPlan,
+    ShardReport, SpecOutcome,
 };
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
 use domino_live::{LivePipeline, LiveStats};
+use domino_obs::{Counter, FGauge, Gauge, HistId, Recorder};
 use scenarios::{SessionArena, SessionSpec};
+use simcore::alloc_count;
 use telemetry::{SessionMeta, TraceBundle};
 
 pub use domino_live::{EarlyExit, LiveConfig};
+pub use domino_obs::{MetricsSnapshot, ObsConfig};
 
 /// What each sweep worker does with a finished session's bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +95,12 @@ pub struct SweepOptions {
     pub keep_bundles: bool,
     /// Retain each session's full per-window [`Analysis`].
     pub keep_analyses: bool,
+    /// Observability recorder configuration. Disabled by default — every
+    /// record site is then a single predicted branch. When enabled, each
+    /// worker carries a [`Recorder`] in its arena and the merged
+    /// [`MetricsSnapshot`] lands in [`SweepReport::metrics`]. Recording
+    /// never affects report bytes (`tests/obs_invisibility.rs`).
+    pub obs: ObsConfig,
 }
 
 impl Default for SweepOptions {
@@ -102,6 +112,7 @@ impl Default for SweepOptions {
             live: LiveConfig::default(),
             keep_bundles: false,
             keep_analyses: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -179,6 +190,11 @@ pub struct SweepProgress {
     /// Estimated seconds until the sweep drains, extrapolated from the
     /// windowed throughput (`f64::INFINITY` until one session completes).
     pub eta_secs: f64,
+    /// High-water mark of any worker arena's retained-storage footprint in
+    /// elements ([`SessionArena::footprint`]), sampled at session completion.
+    /// A fleet operator watches this next to `in_flight`: it is the memory
+    /// the sweep will *keep* using at this width.
+    pub arena_footprint_peak: u64,
 }
 
 /// Completions the windowed sessions/sec estimate looks back over.
@@ -237,6 +253,11 @@ pub struct SweepReport {
     pub outcomes: Vec<SessionOutcome>,
     /// All sessions' chain statistics merged in spec order.
     pub aggregate: ChainStats,
+    /// Per-worker metric snapshots merged in worker order, present when
+    /// [`SweepOptions::obs`] was enabled. The `Sim` section is
+    /// byte-identical at any thread count, execution mode, or multiplex
+    /// width ([`MetricsSnapshot::encode_sim`]).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SweepReport {
@@ -276,6 +297,10 @@ pub fn run_sweep_with_progress(
     let started = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let rate = Mutex::new(RateWindow::new(Instant::now()));
+    let footprint_peak = AtomicU64::new(0);
+    let mut snaps: Vec<Option<MetricsSnapshot>> = Vec::new();
+    snaps.resize_with(threads, || None);
+    let snaps = Mutex::new(snaps);
 
     // Shared by both execution modes: claim the next spec index (tracking
     // the in-flight count) and record a finished outcome + progress snapshot.
@@ -306,28 +331,44 @@ pub fn run_sweep_with_progress(
             } else {
                 f64::INFINITY
             },
+            arena_footprint_peak: footprint_peak.load(Ordering::Relaxed),
         });
     };
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| match opts.execution {
-                ExecutionMode::Multiplexed { width } if width > 1 => {
-                    // N sessions interleaved through one shared calendar
-                    // queue, arena, and pipeline pool per worker.
-                    let mut worker = multiplex::MuxWorker::new(domino, opts);
-                    worker.run(width, specs, domino, opts, &mut { claim }, &mut {
-                        complete
-                    });
-                }
-                _ => {
-                    // One scratch per worker: the session arena (event
-                    // queue, in-flight map, recycled bundle buffers) and
-                    // the analyzer/pipeline state are reused across every
-                    // session the worker claims.
-                    let mut scratch = WorkerScratch::new(domino, opts);
-                    while let Some(i) = claim() {
-                        complete(scratch.run_session(&specs[i], i, domino, opts));
+        for w in 0..threads {
+            let (claim, complete) = (&claim, &complete);
+            let (snaps, footprint_peak) = (&snaps, &footprint_peak);
+            scope.spawn(move || {
+                let wall = Instant::now();
+                match opts.execution {
+                    ExecutionMode::Multiplexed { width } if width > 1 => {
+                        // N sessions interleaved through one shared calendar
+                        // queue, arena, and pipeline pool per worker.
+                        let mut worker = multiplex::MuxWorker::new(domino, opts);
+                        worker.run(
+                            width,
+                            specs,
+                            domino,
+                            opts,
+                            &mut { claim },
+                            &mut { complete },
+                            Some(footprint_peak),
+                        );
+                        finish_worker(worker.recorder_mut(), wall, w, snaps);
+                    }
+                    _ => {
+                        // One scratch per worker: the session arena (event
+                        // queue, in-flight map, recycled bundle buffers) and
+                        // the analyzer/pipeline state are reused across every
+                        // session the worker claims.
+                        let mut scratch = WorkerScratch::new(domino, opts);
+                        while let Some(i) = claim() {
+                            let outcome = scratch.run_session(&specs[i], i, domino, opts);
+                            footprint_peak.fetch_max(scratch.footprint() as u64, Ordering::Relaxed);
+                            complete(outcome);
+                        }
+                        finish_worker(scratch.recorder_mut(), wall, w, snaps);
                     }
                 }
             });
@@ -341,12 +382,70 @@ pub fn run_sweep_with_progress(
         .map(|s| s.expect("every slot filled"))
         .collect();
 
+    // Worker snapshots fold in worker-index order. The `Sim` section is
+    // order-free integer aggregation, so the fold order only matters for
+    // reproducible `Runtime`-section bytes on one machine.
+    let mut metrics: Option<MetricsSnapshot> = None;
+    for snap in snaps
+        .into_inner()
+        .expect("sweep worker panicked")
+        .into_iter()
+        .flatten()
+    {
+        match &mut metrics {
+            None => metrics = Some(snap),
+            Some(m) => m.merge(&snap),
+        }
+    }
+
     let mut report = SweepReport {
         outcomes,
         aggregate: ChainStats::default(),
+        metrics,
     };
     report.aggregate = report.aggregate_where(|_| true);
     report
+}
+
+/// Worker epilogue: stamps the worker's wall time and parks its snapshot in
+/// the worker-indexed slot the post-join merge folds in order.
+fn finish_worker(
+    rec: &mut Recorder,
+    wall: Instant,
+    worker: usize,
+    snaps: &Mutex<Vec<Option<MetricsSnapshot>>>,
+) {
+    rec.add(Counter::SweepWallNs, wall.elapsed().as_nanos() as u64);
+    if let Some(snap) = rec.snapshot() {
+        snaps.lock().expect("sweep worker panicked")[worker] = Some(snap);
+    }
+}
+
+/// Folds one finished live session's pipeline counters and verdict
+/// latencies into `rec`. Latency is *simulated* milliseconds past the
+/// window's nominal due time (`window_start + window`): the lateness the
+/// watermark actually charged, which the adaptive-lateness SLO work needs
+/// measured per ROADMAP. All inputs are per-session and deterministic, so
+/// every metric here is `Sim`-class.
+pub(crate) fn record_live_obs(rec: &mut Recorder, p: &LivePipeline) {
+    if !rec.is_on() {
+        return;
+    }
+    let window = p.config().window;
+    for v in p.verdicts() {
+        let due = v.window_start + window;
+        rec.observe(
+            HistId::LiveVerdictLatencyMs,
+            v.emitted_at.saturating_since(due).as_millis(),
+        );
+    }
+    rec.add(Counter::LiveVerdicts, p.verdicts().len() as u64);
+    let st = p.stats();
+    rec.add(Counter::LiveRecordsSeen, st.records_seen as u64);
+    rec.add(Counter::LiveLateDrops, st.late_records_dropped as u64);
+    rec.add(Counter::LiveLateDeliveries, st.late_deliveries as u64);
+    rec.add(Counter::LiveWindows, st.windows_emitted as u64);
+    rec.gauge_max(Gauge::LivePeakRetained, st.peak_retained_records as u64);
 }
 
 /// Everything one sweep worker reuses across the sessions it claims: the
@@ -379,8 +478,10 @@ impl WorkerScratch {
             }
             _ => None,
         };
+        let mut arena = SessionArena::new();
+        *arena.recorder_mut() = Recorder::new(opts.obs);
         WorkerScratch {
-            arena: SessionArena::new(),
+            arena,
             analyzer,
             pipeline,
         }
@@ -390,6 +491,12 @@ impl WorkerScratch {
     /// [`SessionArena::footprint`]).
     pub fn footprint(&self) -> usize {
         self.arena.footprint()
+    }
+
+    /// The worker's metrics recorder (disabled unless
+    /// [`SweepOptions::obs`] enabled it at construction).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        self.arena.recorder_mut()
     }
 
     /// Runs one spec through simulate-then-analyze (or live inline
@@ -403,6 +510,16 @@ impl WorkerScratch {
         domino: &Domino,
         opts: &SweepOptions,
     ) -> SessionOutcome {
+        let obs_on = self.arena.recorder_mut().is_on();
+        let (allocs_before, ticks_before) = if obs_on {
+            let rec = self.arena.recorder_mut();
+            (
+                alloc_count::allocations(),
+                rec.counter(Counter::EngineTicks),
+            )
+        } else {
+            (0, 0)
+        };
         let (bundle, analysis, live) = match (opts.analysis, &mut self.pipeline) {
             (AnalysisMode::Live, Some(p)) => {
                 // Analysis runs inline, during the simulation; the pipeline
@@ -429,6 +546,23 @@ impl WorkerScratch {
                 (bundle, analysis, None)
             }
         };
+        if obs_on {
+            if let (AnalysisMode::Live, Some(p)) = (opts.analysis, &self.pipeline) {
+                // Verdicts are only cleared at the next `reset`, so the
+                // just-finished session's are still readable here.
+                record_live_obs(self.arena.recorder_mut(), p);
+            }
+            let allocs = alloc_count::allocations() - allocs_before;
+            let footprint = self.arena.footprint();
+            let rec = self.arena.recorder_mut();
+            let ticks = rec.counter(Counter::EngineTicks) - ticks_before;
+            rec.add(Counter::EngineSessions, 1);
+            rec.add(Counter::ProcAllocs, allocs);
+            if ticks > 0 {
+                rec.fgauge_max(FGauge::AllocsPerTickPeak, allocs as f64 / ticks as f64);
+            }
+            rec.gauge_max(Gauge::ArenaFootprint, footprint as u64);
+        }
         let stats = analysis
             .as_ref()
             .map(|a| ChainStats::compute(domino.graph(), a));

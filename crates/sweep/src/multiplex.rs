@@ -42,13 +42,16 @@
 //! dropped — exactly as the solo driver's `queue.clear()` would have
 //! discarded them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
 use domino_live::{LiveStats, PipelinePool};
+use domino_obs::{Counter, FGauge, Gauge, Recorder, SpanId};
 use scenarios::{SessionArena, SessionSpec, SessionState, SharedRouteQueue};
-use simcore::{SimDuration, SimTime};
+use simcore::{alloc_count, SimDuration, SimTime};
 use telemetry::{LiveTap, NullTap, TraceBundle};
 
-use crate::{AnalysisMode, SessionOutcome, SweepOptions};
+use crate::{record_live_obs, AnalysisMode, SessionOutcome, SweepOptions};
 
 /// How each sweep worker schedules the sessions it claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,12 +112,20 @@ impl MuxWorker {
             }
             _ => None,
         };
+        let mut arena = SessionArena::new();
+        *arena.recorder_mut() = Recorder::new(opts.obs);
         MuxWorker {
-            arena: SessionArena::new(),
+            arena,
             shared: SharedRouteQueue::new(),
             pool,
             analyzer,
         }
+    }
+
+    /// The worker's metrics recorder (disabled unless
+    /// [`SweepOptions::obs`] enabled it at construction).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        self.arena.recorder_mut()
     }
 
     /// Drives every spec through this worker at up to `width` in flight
@@ -140,7 +151,7 @@ impl MuxWorker {
             let index = o.index;
             slots[index] = Some(o);
         };
-        self.run(width, specs, domino, opts, &mut claim, &mut complete);
+        self.run(width, specs, domino, opts, &mut claim, &mut complete, None);
         slots
             .into_iter()
             .map(|s| s.expect("every spec completed"))
@@ -150,6 +161,10 @@ impl MuxWorker {
     /// Runs sessions claimed from `claim` at up to `width` in flight,
     /// delivering each finished [`SessionOutcome`] to `complete` (in
     /// completion order; the caller slots them by index).
+    /// `footprint_peak`, when given, receives a `fetch_max` of the arena
+    /// footprint after every completed session (the sweep's shared
+    /// high-water the progress callback reports).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run(
         &mut self,
         width: usize,
@@ -158,10 +173,23 @@ impl MuxWorker {
         opts: &SweepOptions,
         claim: &mut dyn FnMut() -> Option<usize>,
         complete: &mut dyn FnMut(SessionOutcome),
+        footprint_peak: Option<&AtomicU64>,
     ) {
         let width = width.max(1);
         let live = opts.analysis == AnalysisMode::Live && self.pool.is_some();
         self.shared.clear();
+        let obs_on = self.arena.recorder_mut().is_on();
+        // Batch-level baselines: the recorder outlives run() calls (warm
+        // worker reuse), so allocator and pool rollups record deltas.
+        let (allocs_before, ticks_before) = if obs_on {
+            (
+                alloc_count::allocations(),
+                self.arena.recorder_mut().counter(Counter::EngineTicks),
+            )
+        } else {
+            (0, 0)
+        };
+        let pool_before = self.pool.as_ref().map(|p| p.stats()).unwrap_or_default();
         let mut active: Vec<Active> = Vec::with_capacity(width);
         let mut null = NullTap;
         // Global driver clock and the group tick, fixed by the first
@@ -229,6 +257,9 @@ impl MuxWorker {
             if active.is_empty() {
                 break;
             }
+            self.arena
+                .recorder_mut()
+                .gauge_max(Gauge::MuxInFlightPeak, active.len() as u64);
             let MuxWorker {
                 arena,
                 shared,
@@ -245,14 +276,25 @@ impl MuxWorker {
             }
 
             // Phase 3: one global drain in (time, session, seq) order.
+            let span = arena.recorder_mut().span_enter(SpanId::RouteDrain);
+            let (mut routed, mut stale) = (0u64, 0u64);
             while let Some((at, tag, ev)) = shared.pop_due(global) {
                 let Some(s) = active.iter_mut().find(|s| s.index as u64 == tag) else {
+                    stale += 1;
                     continue; // stale event of a finished session
                 };
                 let local = at - s.offset;
                 s.state
                     .route_event(local, ev, tap_for(live, pool, &mut null, tag));
+                routed += 1;
             }
+            let rec = arena.recorder_mut();
+            rec.span_exit(SpanId::RouteDrain, span);
+            // Dispatched events are per-session and width-invariant (`Sim`);
+            // stale drops exist only because sessions share the queue, so
+            // their count varies with width (`Runtime`).
+            rec.add(Counter::EngineRouteEvents, routed);
+            rec.add(Counter::MuxStaleDrops, stale);
 
             // Phase 4–5; finalise finished sessions and free their slots.
             let mut i = 0;
@@ -273,9 +315,41 @@ impl MuxWorker {
                         opts,
                         live,
                     ));
+                    if obs_on {
+                        let fp = arena.footprint() as u64;
+                        arena.recorder_mut().gauge_max(Gauge::ArenaFootprint, fp);
+                        if let Some(a) = footprint_peak {
+                            a.fetch_max(fp, Ordering::Relaxed);
+                        }
+                    }
                 } else {
                     i += 1;
                 }
+            }
+        }
+
+        if obs_on {
+            let allocs = alloc_count::allocations() - allocs_before;
+            let pool_now = self.pool.as_ref().map(|p| p.stats());
+            let rec = self.arena.recorder_mut();
+            let ticks = rec.counter(Counter::EngineTicks) - ticks_before;
+            rec.add(Counter::ProcAllocs, allocs);
+            if ticks > 0 {
+                // One batch-wide figure over all engine ticks: interleaved
+                // sessions share the allocator, so a per-session
+                // attribution does not exist.
+                rec.fgauge_max(FGauge::AllocsPerTickPeak, allocs as f64 / ticks as f64);
+            }
+            if let Some(st) = pool_now {
+                rec.add(
+                    Counter::PoolCreated,
+                    (st.created - pool_before.created) as u64,
+                );
+                rec.add(Counter::PoolReused, (st.reused - pool_before.reused) as u64);
+                rec.add(
+                    Counter::PoolEvicted,
+                    (st.evicted - pool_before.evicted) as u64,
+                );
             }
         }
     }
@@ -308,6 +382,10 @@ impl MuxWorker {
                 .get_mut(index as u64)
                 .expect("leased above")
                 .take_analysis(bundle.meta.duration);
+            record_live_obs(
+                arena.recorder_mut(),
+                pool.get_mut(index as u64).expect("leased above"),
+            );
             let stats = pool.release(index as u64);
             (bundle, Some(analysis), stats)
         } else {
@@ -388,6 +466,10 @@ fn finalize(
             .get_mut(index as u64)
             .expect("leased at claim")
             .take_analysis(bundle.meta.duration);
+        record_live_obs(
+            arena.recorder_mut(),
+            pool.get_mut(index as u64).expect("leased at claim"),
+        );
         let stats = pool.release(index as u64);
         (bundle, Some(analysis), stats)
     } else {
@@ -412,6 +494,7 @@ fn outcome_from(
     domino: &Domino,
     opts: &SweepOptions,
 ) -> SessionOutcome {
+    arena.recorder_mut().add(Counter::EngineSessions, 1);
     let stats = analysis
         .as_ref()
         .map(|a| ChainStats::compute(domino.graph(), a));

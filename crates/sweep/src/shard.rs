@@ -35,6 +35,8 @@ use domino_live::LiveStats;
 use scenarios::SessionSpec;
 use telemetry::{CellClass, Duplexing, SessionMeta};
 
+use domino_obs::MetricsSnapshot;
+
 use crate::{run_sweep, SessionOutcome, SweepOptions, SweepReport};
 
 /// Splits `total` specs into `count` contiguous index ranges whose sizes
@@ -540,6 +542,20 @@ pub fn run_shard(
     domino: &Domino,
     opts: &SweepOptions,
 ) -> ShardReport {
+    run_shard_with_metrics(specs, shard, domino, opts).0
+}
+
+/// [`run_shard`] returning the shard's merged [`MetricsSnapshot`] alongside
+/// the report (present when [`SweepOptions::obs`] is enabled). The
+/// snapshot's `Sim` section merges across shards exactly like the report
+/// itself: [`MetricsSnapshot::merge`] over the per-shard snapshots equals
+/// the single-machine sweep's, byte for byte, at any shard count.
+pub fn run_shard_with_metrics(
+    specs: &[SessionSpec],
+    shard: &Shard,
+    domino: &Domino,
+    opts: &SweepOptions,
+) -> (ShardReport, Option<MetricsSnapshot>) {
     assert!(
         shard.range.end <= specs.len(),
         "shard range {:?} exceeds grid of {}",
@@ -552,12 +568,15 @@ pub fn run_shard(
         .iter()
         .map(|o| SpecOutcome::from_outcome(o, shard.range.start))
         .collect();
-    ShardReport::from_spec_outcomes(
-        shard.index,
-        shard.count,
-        shard.range.start,
-        specs.len(),
-        outcomes,
+    (
+        ShardReport::from_spec_outcomes(
+            shard.index,
+            shard.count,
+            shard.range.start,
+            specs.len(),
+            outcomes,
+        ),
+        report.metrics,
     )
 }
 

@@ -23,9 +23,13 @@
 use std::process::ExitCode;
 
 use domino::core::Domino;
+use domino::obs::MetricsSnapshot;
 use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
 use domino::simcore::SimDuration;
-use domino::sweep::{merge_shards, run_shard, ExecutionMode, ShardPlan, ShardReport, SweepOptions};
+use domino::sweep::{
+    merge_shards, run_shard_with_metrics, ExecutionMode, ObsConfig, ShardPlan, ShardReport,
+    SweepOptions,
+};
 
 /// The demo grid every invocation agrees on: the four Table 1 cells × a
 /// proactive-grant scenario axis, 20 s per session. Eight specs — small
@@ -67,7 +71,9 @@ fn shared_grid() -> Vec<SessionSpec> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sharded_sweep run [--grid demo|shared] [--shards N] [--shard I] [--threads T] \
-         [--mux-width W] --out FILE\n  sharded_sweep merge --out FILE <shard-report-files...>"
+         [--mux-width W] [--obs] --out FILE\n  sharded_sweep merge --out FILE \
+         <shard-report-files...>\n\nWith --obs, `run` also writes the deterministic metrics \
+         section to FILE.metrics, and `merge` folds any INPUT.metrics files into OUT.metrics."
     );
     ExitCode::from(2)
 }
@@ -83,6 +89,7 @@ fn main() -> ExitCode {
     let mut shard = 0usize;
     let mut threads = 0usize;
     let mut mux_width = 1usize;
+    let mut obs = false;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
 
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
                 Some(v) => mux_width = v,
                 None => return usage(),
             },
+            "--obs" => obs = true,
             "--out" => match take("--out") {
                 Some(v) => out = Some(v),
                 None => return usage(),
@@ -166,12 +174,28 @@ fn main() -> ExitCode {
                 } else {
                     ExecutionMode::PerWorker
                 },
+                obs: if obs {
+                    ObsConfig::full()
+                } else {
+                    ObsConfig::default()
+                },
                 ..Default::default()
             };
-            let report = run_shard(&specs, &my, &domino, &opts);
+            let (report, metrics) = run_shard_with_metrics(&specs, &my, &domino, &opts);
             if let Err(e) = std::fs::write(&out, report.encode()) {
                 eprintln!("cannot write {out}: {e}");
                 return ExitCode::FAILURE;
+            }
+            if let Some(m) = metrics {
+                // Only the deterministic section goes to disk: CI plain-
+                // diffs these files across shard counts, thread counts, and
+                // multiplex widths.
+                let path = format!("{out}.metrics");
+                if let Err(e) = std::fs::write(&path, m.encode_sim()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[sharded_sweep] wrote {path}");
             }
             eprintln!(
                 "[sharded_sweep] wrote {out}: {} specs, {} chain windows, {:.1} min of calls",
@@ -211,6 +235,38 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&out, merged.encode()) {
                 eprintln!("cannot write {out}: {e}");
                 return ExitCode::FAILURE;
+            }
+            // Fold sibling metrics files (written by `run --obs`) into one
+            // snapshot. Sim-section merging is order-free, so the merged
+            // file is byte-identical to a single-shard run's.
+            let mut metrics: Option<MetricsSnapshot> = None;
+            for path in &inputs {
+                let mpath = format!("{path}.metrics");
+                let Ok(text) = std::fs::read_to_string(&mpath) else {
+                    continue;
+                };
+                let snap = match MetricsSnapshot::parse(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{mpath}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                metrics = Some(match metrics.take() {
+                    Some(mut acc) => {
+                        acc.merge(&snap);
+                        acc
+                    }
+                    None => snap,
+                });
+            }
+            if let Some(m) = metrics {
+                let path = format!("{out}.metrics");
+                if let Err(e) = std::fs::write(&path, m.encode_sim()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[sharded_sweep] wrote {path}");
             }
             eprintln!(
                 "[sharded_sweep] merged {} shard(s) into {out}: {} specs, {} chain windows",

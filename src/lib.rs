@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the full Domino workspace API.
 pub use domino_core as core;
 pub use domino_live as live;
+pub use domino_obs as obs;
 pub use domino_sweep as sweep;
 pub use netpath;
 pub use ran_sim as ran;

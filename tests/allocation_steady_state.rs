@@ -15,10 +15,11 @@
 use std::sync::Mutex;
 
 use domino::core::Domino;
+use domino::obs::{Counter, FGauge};
 use domino::scenarios::{SessionConfig, SessionSpec};
 use domino::simcore::alloc_count::{self, CountingAlloc};
 use domino::simcore::SimDuration;
-use domino::sweep::{SweepOptions, WorkerScratch};
+use domino::sweep::{ObsConfig, SweepOptions, WorkerScratch};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -108,6 +109,63 @@ fn session_simulation_alone_is_allocation_light() {
     );
     // Simulation without analysis: the same sub-one-per-tick budget.
     assert!(stats.allocations < secs * 1000);
+}
+
+/// The enabled recorder must not reopen the allocation faucet either: its
+/// hot path (counter adds, histogram observes, span enter/exit, per-slot
+/// RAN accumulation) is arithmetic on preallocated arrays. The only
+/// per-session allocation observability may add is the boxed `RanCellObs`
+/// handed to the cell at session start.
+#[test]
+fn enabled_recorder_stays_within_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap();
+    let secs = 12u64;
+    let ticks = secs * 1000;
+    let domino = Domino::with_defaults();
+
+    // Baseline: warm session with the recorder off.
+    let plain_opts = SweepOptions::default();
+    let mut plain = WorkerScratch::new(&domino, &plain_opts);
+    plain.run_session(&spec(33, secs), 0, &domino, &plain_opts);
+    let (_, base) =
+        alloc_count::measure(|| plain.run_session(&spec(33, secs), 1, &domino, &plain_opts));
+
+    // Same session with the recorder at full sampling.
+    let obs_opts = SweepOptions {
+        obs: ObsConfig::full(),
+        ..Default::default()
+    };
+    let mut scratch = WorkerScratch::new(&domino, &obs_opts);
+    scratch.run_session(&spec(33, secs), 0, &domino, &obs_opts);
+    let (_, on) =
+        alloc_count::measure(|| scratch.run_session(&spec(33, secs), 1, &domino, &obs_opts));
+
+    eprintln!(
+        "warm session allocs: {} recorder-off, {} recorder-on ({ticks} ticks)",
+        base.allocations, on.allocations
+    );
+    assert!(
+        on.allocations < ticks,
+        "obs-on session broke the tick budget"
+    );
+    assert!(
+        on.allocations <= base.allocations + 32,
+        "recorder added {} allocations over the {} baseline",
+        on.allocations - base.allocations,
+        base.allocations
+    );
+
+    // And it actually recorded: this binary has `CountingAlloc` installed,
+    // so the snapshot carries live per-session allocation accounting.
+    let snap = scratch
+        .recorder_mut()
+        .take_snapshot()
+        .expect("recorder was on");
+    assert_eq!(snap.counter(Counter::EngineSessions), 2);
+    assert_eq!(snap.counter(Counter::EngineTicks), 2 * ticks);
+    assert!(snap.counter(Counter::ProcAllocs) > 0);
+    let (allocs_per_tick, updates) = snap.fgauge(FGauge::AllocsPerTickPeak);
+    assert!(updates == 2 && allocs_per_tick.is_finite() && allocs_per_tick >= 0.0);
 }
 
 /// Many-UE cells must not reopen the allocation faucet: once the arena's

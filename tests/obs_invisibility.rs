@@ -1,0 +1,290 @@
+//! The observability contract (ISSUE 7): recording is **invisible** to
+//! every deterministic output, and the deterministic section of the
+//! metrics themselves is **partition-invariant**.
+//!
+//! Three properties, each enforced byte-for-byte:
+//!
+//! 1. *Output invisibility* — `ShardReport::encode` with the recorder at
+//!    full sampling equals the recorder-off encoding, at every thread
+//!    count, execution mode, multiplex width, and analysis mode. The
+//!    recorder may observe the simulation; it may never steer it.
+//! 2. *Partition invariance* — the `Sim` section of the merged
+//!    [`MetricsSnapshot`] (`encode_sim`) is byte-identical whether the
+//!    grid ran as one shard or three, on one thread or four, per-worker
+//!    or multiplexed at any width. Runtime metrics (wall spans, pool and
+//!    allocator stats) are excluded from that section by construction.
+//! 3. *Format round-trip* — encode → parse → re-encode is the identity on
+//!    randomly driven recorders, and corrupted snapshots are rejected at
+//!    parse time rather than silently mis-merged.
+
+use domino::core::Domino;
+use domino::obs::{Counter, FGauge, Gauge, HistId, MetricsSnapshot, ObsConfig, Recorder, SpanId};
+use domino::scenarios::{all_cells, SessionGrid, SessionSpec};
+use domino::simcore::SimDuration;
+use domino::sweep::{
+    merge_shards, run_shard_with_metrics, AnalysisMode, EarlyExit, ExecutionMode, LiveConfig,
+    ShardPlan, SweepOptions,
+};
+use proptest::strategy::Strategy;
+
+/// The shared grid: Table 1 cells × two durations, small enough that the
+/// full threads × widths × modes matrix stays fast in CI.
+fn grid() -> Vec<SessionSpec> {
+    SessionGrid::new()
+        .cells(all_cells())
+        .durations([SimDuration::from_secs(8), SimDuration::from_secs(13)])
+        .master_seed(1_207)
+        .build()
+}
+
+fn opts(execution: ExecutionMode, threads: usize, obs: ObsConfig) -> SweepOptions {
+    SweepOptions {
+        threads,
+        execution,
+        obs,
+        ..Default::default()
+    }
+}
+
+/// Runs the whole grid as `shards` shards and returns the concatenated
+/// shard-report encodings plus the merged metrics snapshot.
+fn run_sharded(
+    specs: &[SessionSpec],
+    shards: usize,
+    opts: &SweepOptions,
+) -> (String, Option<MetricsSnapshot>) {
+    let domino = Domino::with_defaults();
+    let plan = ShardPlan::new(specs.len(), shards);
+    let mut reports = Vec::new();
+    let mut metrics: Option<MetricsSnapshot> = None;
+    for s in 0..shards {
+        let (report, m) = run_shard_with_metrics(specs, &plan.shard(s), &domino, opts);
+        reports.push(report);
+        if let Some(m) = m {
+            metrics = Some(match metrics.take() {
+                Some(mut acc) => {
+                    acc.merge(&m);
+                    acc
+                }
+                None => m,
+            });
+        }
+    }
+    let encoded = if shards == 1 {
+        reports[0].encode()
+    } else {
+        merge_shards(&reports).expect("same grid").encode()
+    };
+    (encoded, metrics)
+}
+
+#[test]
+fn recording_never_changes_report_bytes() {
+    let specs = grid();
+    for execution in [
+        ExecutionMode::PerWorker,
+        ExecutionMode::Multiplexed { width: 3 },
+        ExecutionMode::Multiplexed { width: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let (off, none) =
+                run_sharded(&specs, 1, &opts(execution, threads, ObsConfig::default()));
+            let (on, metrics) =
+                run_sharded(&specs, 1, &opts(execution, threads, ObsConfig::full()));
+            assert!(none.is_none(), "recorder off must yield no snapshot");
+            assert!(metrics.is_some(), "recorder on must yield a snapshot");
+            assert_eq!(
+                off, on,
+                "recorder at full sampling changed report bytes \
+                 ({execution:?}, {threads} threads)"
+            );
+        }
+    }
+}
+
+#[test]
+fn recording_never_changes_live_report_bytes() {
+    // Live mode is the recorder's hottest integration: verdict latency
+    // histograms, pool counters, and early-exit accounting all ride the
+    // same pipeline the report is built from.
+    let specs = grid();
+    let live = |obs| SweepOptions {
+        threads: 2,
+        execution: ExecutionMode::Multiplexed { width: 4 },
+        analysis: AnalysisMode::Live,
+        live: LiveConfig {
+            lateness: SimDuration::from_secs(1),
+            early_exit: EarlyExit::StableFor(3),
+        },
+        obs,
+        ..Default::default()
+    };
+    let (off, _) = run_sharded(&specs, 1, &live(ObsConfig::default()));
+    let (on, metrics) = run_sharded(&specs, 1, &live(ObsConfig::full()));
+    assert_eq!(off, on, "live-mode recorder changed report bytes");
+    let m = metrics.expect("snapshot present");
+    assert!(
+        m.counter(Counter::LiveVerdicts) > 0,
+        "live metrics recorded"
+    );
+}
+
+#[test]
+fn sim_metrics_are_partition_invariant() {
+    let specs = grid();
+    let reference = run_sharded(
+        &specs,
+        1,
+        &opts(ExecutionMode::PerWorker, 1, ObsConfig::full()),
+    )
+    .1
+    .expect("snapshot")
+    .encode_sim();
+    // Thread counts, multiplex widths, and shard counts all repartition
+    // the same simulated work; the Sim section may not notice.
+    for (shards, execution, threads) in [
+        (1, ExecutionMode::PerWorker, 4),
+        (1, ExecutionMode::Multiplexed { width: 3 }, 1),
+        (1, ExecutionMode::Multiplexed { width: 8 }, 4),
+        (3, ExecutionMode::PerWorker, 1),
+        (3, ExecutionMode::Multiplexed { width: 3 }, 2),
+    ] {
+        let snap = run_sharded(&specs, shards, &opts(execution, threads, ObsConfig::full()))
+            .1
+            .expect("snapshot");
+        assert_eq!(
+            reference,
+            snap.encode_sim(),
+            "sim metrics diverged at {shards} shard(s), {execution:?}, {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn wall_sampling_rate_does_not_touch_sim_metrics() {
+    // `ObsConfig::on()` samples the wall clock every 64th span entry,
+    // `full()` on every entry — a Runtime-only difference.
+    let specs = grid();
+    let full = run_sharded(
+        &specs,
+        1,
+        &opts(
+            ExecutionMode::Multiplexed { width: 4 },
+            2,
+            ObsConfig::full(),
+        ),
+    )
+    .1
+    .expect("snapshot");
+    let sampled = run_sharded(
+        &specs,
+        1,
+        &opts(ExecutionMode::Multiplexed { width: 4 }, 2, ObsConfig::on()),
+    )
+    .1
+    .expect("snapshot");
+    assert_eq!(full.encode_sim(), sampled.encode_sim());
+}
+
+/// Drives a recorder with a random op sequence and returns its snapshot.
+fn random_snapshot(rng: &mut rand::rngs::StdRng, ops: usize) -> MetricsSnapshot {
+    let mut rec = Recorder::new(ObsConfig::full());
+    for _ in 0..ops {
+        match (0u8..5).generate(rng) {
+            0 => {
+                let c = Counter::ALL[(0..Counter::ALL.len()).generate(rng)];
+                rec.add(c, (0u64..1_000_000).generate(rng));
+            }
+            1 => {
+                let g = Gauge::ALL[(0..Gauge::ALL.len()).generate(rng)];
+                rec.gauge_max(g, (0u64..1_000_000).generate(rng));
+            }
+            2 => {
+                let g = FGauge::ALL[(0..FGauge::ALL.len()).generate(rng)];
+                rec.fgauge_max(g, (0.0f64..1e9).generate(rng));
+            }
+            3 => {
+                let h = HistId::ALL[(0..HistId::ALL.len()).generate(rng)];
+                rec.observe(h, (0u64..(1 << 40)).generate(rng));
+            }
+            _ => {
+                let s = SpanId::ALL[(0..SpanId::ALL.len()).generate(rng)];
+                let token = rec.span_enter(s);
+                rec.span_exit(s, token);
+            }
+        }
+    }
+    rec.take_snapshot().expect("recorder is on")
+}
+
+#[test]
+fn snapshot_round_trips_byte_identically() {
+    let mut rng = proptest::test_rng("snapshot_round_trips_byte_identically");
+    for case in 0..proptest::CASES {
+        let ops = (1usize..400).generate(&mut rng);
+        let snap = random_snapshot(&mut rng, ops);
+        for encoded in [snap.encode(), snap.encode_sim()] {
+            let parsed = MetricsSnapshot::parse(&encoded)
+                .unwrap_or_else(|e| panic!("case {case}: parse failed: {e}"));
+            assert_eq!(
+                encoded,
+                if parsed.has_runtime {
+                    parsed.encode()
+                } else {
+                    parsed.encode_sim()
+                },
+                "case {case}: re-encode diverged"
+            );
+        }
+        // Merge round-trip: parse(a).merge(parse(a)) == doubling, still
+        // canonical.
+        let mut doubled = MetricsSnapshot::parse(&snap.encode()).unwrap();
+        doubled.merge(&snap);
+        let re = MetricsSnapshot::parse(&doubled.encode()).unwrap();
+        assert_eq!(
+            doubled.encode(),
+            re.encode(),
+            "case {case}: merge broke canon"
+        );
+    }
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected() {
+    let mut rng = proptest::test_rng("corrupted_snapshots_are_rejected");
+    let snap = random_snapshot(&mut rng, 200);
+    let good = snap.encode();
+    assert!(MetricsSnapshot::parse(&good).is_ok());
+
+    // Flip one digit in a counter value: the checksum trailer must catch it.
+    let tampered = good.replacen("engine/early_exits\t", "engine/early_exits\t9", 1);
+    assert!(
+        MetricsSnapshot::parse(&tampered).is_err(),
+        "tampered counter value parsed"
+    );
+    // Truncation (drop the trailer) is rejected.
+    let no_trailer: String = good
+        .lines()
+        .take(good.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        MetricsSnapshot::parse(&no_trailer).is_err(),
+        "truncated snapshot parsed"
+    );
+    // Wrong version header is rejected.
+    let wrong_version = good.replacen("domino-metrics\tv1", "domino-metrics\tv2", 1);
+    assert!(
+        MetricsSnapshot::parse(&wrong_version).is_err(),
+        "wrong-version snapshot parsed"
+    );
+    // Trailing garbage after a valid trailer is rejected.
+    let trailing = format!("{good}junk\n");
+    assert!(
+        MetricsSnapshot::parse(&trailing).is_err(),
+        "trailing garbage accepted"
+    );
+    // An empty snapshot still parses (all-zero sections are canonical).
+    let empty = Recorder::new(ObsConfig::on()).take_snapshot().unwrap();
+    assert!(MetricsSnapshot::parse(&empty.encode()).is_ok());
+}
