@@ -13,7 +13,7 @@ use domino_core::{
 use domino_sweep::{ExecutionMode, MuxWorker, SweepOptions, WorkerScratch};
 use ran_sim::phy;
 use rtc_sim::gcc::trendline::{PacketTiming, TrendlineEstimator};
-use scenarios::{run_cell_session, SessionArena, SessionConfig, SessionSpec};
+use scenarios::{SessionArena, SessionConfig, SessionRun, SessionSpec};
 use simcore::{EventQueue, SimDuration, SimTime};
 
 fn session_bundle() -> telemetry::TraceBundle {
@@ -22,7 +22,7 @@ fn session_bundle() -> telemetry::TraceBundle {
         seed: 999,
         ..Default::default()
     };
-    run_cell_session(scenarios::amarisoft(), &cfg, |_| {})
+    SessionRun::cell(scenarios::amarisoft(), &cfg).run()
 }
 
 fn bench_feature_extraction(c: &mut Criterion) {
@@ -302,15 +302,30 @@ fn bench_ran_session(c: &mut Criterion) {
             seed: 5,
             ..Default::default()
         };
-        b.iter(|| run_cell_session(scenarios::amarisoft(), black_box(&cfg), |_| {}))
+        b.iter(|| SessionRun::cell(scenarios::amarisoft(), black_box(&cfg)).run())
     });
     // The same session with the domino-obs recorder enabled (default wall
     // sampling): prices the whole per-slot/per-tick recording surface —
     // counters, RAN accumulators, phase spans — against the number above.
     // The README's observability table documents the ratio.
+    // The ABR streaming workload on the same cell: one player + segment
+    // server instead of two RTC endpoints, everything else identical.
+    // Prices the application-generic session engine's second workload.
+    c.bench_function("ran/abr_session_per_sim_second", |b| {
+        use scenarios::AppSpec;
+        let cfg = SessionConfig {
+            duration: SimDuration::from_secs(1),
+            seed: 5,
+            ..Default::default()
+        };
+        b.iter(|| {
+            SessionRun::cell(scenarios::amarisoft(), black_box(&cfg))
+                .app(AppSpec::Abr(abr_sim::AbrConfig::default()))
+                .run()
+        })
+    });
     c.bench_function("ran/two_party_session_per_sim_second_obs", |b| {
         use domino_obs::{ObsConfig, Recorder};
-        use scenarios::run_cell_session_with_tap_in;
         let cfg = SessionConfig {
             duration: SimDuration::from_secs(1),
             seed: 5,
@@ -319,13 +334,10 @@ fn bench_ran_session(c: &mut Criterion) {
         b.iter(|| {
             let mut arena = SessionArena::new();
             *arena.recorder_mut() = Recorder::new(ObsConfig::on());
-            run_cell_session_with_tap_in(
-                scenarios::amarisoft(),
-                black_box(&cfg),
-                |_| {},
-                &mut telemetry::NullTap,
-                &mut arena,
-            )
+            SessionRun::cell(scenarios::amarisoft(), black_box(&cfg))
+                .tap(&mut telemetry::NullTap)
+                .arena(&mut arena)
+                .run()
         })
     });
 }

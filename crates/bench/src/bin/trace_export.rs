@@ -10,7 +10,7 @@
 use std::fs;
 use std::path::Path;
 
-use scenarios::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+use scenarios::{BaselineAccess, SessionConfig, SessionRun};
 use simcore::SimDuration;
 use telemetry::csv;
 
@@ -32,12 +32,12 @@ fn main() {
         ..Default::default()
     };
     let bundle = match args[0].as_str() {
-        "tmobile-fdd" => run_cell_session(scenarios::tmobile_fdd_15mhz(), &cfg, |_| {}),
-        "tmobile-tdd" => run_cell_session(scenarios::tmobile_tdd_100mhz(), &cfg, |_| {}),
-        "amarisoft" => run_cell_session(scenarios::amarisoft(), &cfg, |_| {}),
-        "mosolabs" => run_cell_session(scenarios::mosolabs(), &cfg, |_| {}),
-        "wired" => run_baseline_session(BaselineAccess::Wired, &cfg),
-        "wifi" => run_baseline_session(BaselineAccess::Wifi, &cfg),
+        "tmobile-fdd" => SessionRun::cell(scenarios::tmobile_fdd_15mhz(), &cfg).run(),
+        "tmobile-tdd" => SessionRun::cell(scenarios::tmobile_tdd_100mhz(), &cfg).run(),
+        "amarisoft" => SessionRun::cell(scenarios::amarisoft(), &cfg).run(),
+        "mosolabs" => SessionRun::cell(scenarios::mosolabs(), &cfg).run(),
+        "wired" => SessionRun::baseline(BaselineAccess::Wired, &cfg).run(),
+        "wifi" => SessionRun::baseline(BaselineAccess::Wifi, &cfg).run(),
         other => {
             eprintln!("unknown cell {other:?}");
             std::process::exit(1);

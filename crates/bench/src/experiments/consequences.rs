@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use simcore::{SimDuration, SimTime};
 use telemetry::Direction;
 
-use scenarios::run_cell_session;
+use scenarios::SessionRun;
 
 use crate::util::{mean_delay_in, short_session_cfg, time_bins};
 
@@ -18,11 +18,13 @@ fn t(secs: f64) -> SimTime {
 pub fn fig20() -> String {
     let mut cfg = short_session_cfg(5020, 22);
     cfg.wired_sender.start_bps = 2_500_000.0;
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        // Severe DL capacity loss for ~2 s → a delay surge (paper: ≈280 ms)
-        // on the media the local client receives.
-        cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.0), 0.985);
-    });
+    let bundle = SessionRun::cell(scenarios::tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            // Severe DL capacity loss for ~2 s → a delay surge (paper: ≈280 ms)
+            // on the media the local client receives.
+            cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.0), 0.985);
+        })
+        .run();
     let mut out = String::from(
         "Fig. 20 — delay surge → jitter buffer drains → freeze → fps drop (local client)\n\
          t[s]  dl_delay[ms]  jb[ms]  min_jb[ms]  frozen  freeze_total[ms]  in_fps\n",
@@ -65,9 +67,11 @@ pub fn fig21_22() -> String {
 
     // ---- Fig. 21: UL media path delay (affects the local sender's GCC).
     let cfg = short_session_cfg(5021, 25);
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        cell.script_cross_traffic(Direction::Uplink, t(10.0), t(12.0), 0.95);
-    });
+    let bundle = SessionRun::cell(scenarios::tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            cell.script_cross_traffic(Direction::Uplink, t(10.0), t(12.0), 0.95);
+        })
+        .run();
     out.push_str(
         "Fig. 21 — media-path delay → GCC overuse → target-rate drop (local sender)\n\
          t[s]  ul_delay[ms]  slope[ms]  threshold  state     target[Mbps]  pushback[Mbps]  out_fps  res\n",
@@ -96,9 +100,11 @@ pub fn fig21_22() -> String {
     // feedback path (DL) impaired while its media path (UL) is clean).
     let mut cfg = short_session_cfg(5022, 25);
     cfg.wired_sender.start_bps = 2_000_000.0;
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.5), 0.99);
-    });
+    let bundle = SessionRun::cell(scenarios::tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.5), 0.99);
+        })
+        .run();
     out.push_str(
         "\nFig. 22 — RTCP (reverse-path) delay → outstanding > cwnd → pushback drop (local sender)\n\
          t[s]  ul_media_delay[ms]  dl_rtcp_delay[ms]  outstanding[kB]  cwnd[kB]  target[Mbps]  pushback[Mbps]  out_fps\n",

@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 use simcore::{SimDuration, SimTime};
 use telemetry::{Direction, GnbEvent, StreamKind};
 
-use scenarios::run_cell_session;
+use scenarios::SessionRun;
 
 use crate::util::{app_rate_in, mean_delay_in, phy_rate_in, prbs_in, short_session_cfg, time_bins};
 
@@ -20,10 +20,12 @@ fn t(secs: f64) -> SimTime {
 /// Fig. 12 — channel degradation causes RLC buffer build-up and delay.
 pub fn fig12() -> String {
     let cfg = short_session_cfg(5012, 20);
-    let bundle = run_cell_session(scenarios::amarisoft(), &cfg, |cell| {
-        // ① channel degrades at 8 s, ④ recovers at 11 s.
-        cell.script_sinr(Direction::Uplink, t(8.0), t(11.0), -1.0);
-    });
+    let bundle = SessionRun::cell(scenarios::amarisoft(), &cfg)
+        .script(|cell| {
+            // ① channel degrades at 8 s, ④ recovers at 11 s.
+            cell.script_sinr(Direction::Uplink, t(8.0), t(11.0), -1.0);
+        })
+        .run();
     let mut out = String::from(
         "Fig. 12 — UL channel degradation (scripted SINR drop 8–11 s)\n\
          t[s]  prb_ue/s  prb_oth/s  mcs  rate_gap[Mbps]  rlc_buf[kB]  delay[ms]\n",
@@ -78,10 +80,12 @@ pub fn fig13() -> String {
     // The paper's DL flow was already running at a few Mbit/s when the
     // burst hit; start the wired sender high so the burst bites.
     cfg.wired_sender.start_bps = 3_500_000.0;
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        // ① cross traffic 8–11 s eats 96 % of PRBs.
-        cell.script_cross_traffic(Direction::Downlink, t(8.0), t(11.0), 0.96);
-    });
+    let bundle = SessionRun::cell(scenarios::tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            // ① cross traffic 8–11 s eats 96 % of PRBs.
+            cell.script_cross_traffic(Direction::Downlink, t(8.0), t(11.0), 0.96);
+        })
+        .run();
     let mut out = String::from(
         "Fig. 13 — DL cross-traffic burst (scripted 8–11 s)\n\
          t[s]  prb_ue/s  prb_oth/s  rate_gap[Mbps]  delay[ms]  gcc_state  target[Mbps]\n",
@@ -132,7 +136,7 @@ pub fn fig14() -> String {
     ] {
         let name = cell.name.clone();
         let cfg = short_session_cfg(seed, 12);
-        let bundle = run_cell_session(cell, &cfg, |_| {});
+        let bundle = SessionRun::cell(cell, &cfg).run();
         let from = t(10.0);
         let to = t(10.15);
         let _ = writeln!(out, "==== {name} ====");
@@ -181,7 +185,7 @@ pub fn fig14() -> String {
 /// Fig. 16 — proactive UL grants: used vs wasted capacity (Mosolabs).
 pub fn fig16() -> String {
     let cfg = short_session_cfg(5016, 15);
-    let bundle = run_cell_session(scenarios::mosolabs(), &cfg, |_| {});
+    let bundle = SessionRun::cell(scenarios::mosolabs(), &cfg).run();
     let mut out = String::from("Fig. 16 — Mosolabs proactive UL grants\n");
     let dci: Vec<_> = bundle
         .dci
@@ -244,11 +248,13 @@ pub fn fig16() -> String {
 /// Fig. 17 — HARQ retransmissions inflate packet delay by ≈ one HARQ RTT.
 pub fn fig17() -> String {
     let cfg = short_session_cfg(5017, 16);
-    let clean = run_cell_session(scenarios::amarisoft_ideal(), &cfg, |_| {});
-    let harq = run_cell_session(scenarios::amarisoft_ideal(), &cfg, |cell| {
-        // Initial attempts fail in 10–12 s; first retransmission succeeds.
-        cell.script_harq_failures(Direction::Uplink, t(10.0), t(12.0), 1);
-    });
+    let clean = SessionRun::cell(scenarios::amarisoft_ideal(), &cfg).run();
+    let harq = SessionRun::cell(scenarios::amarisoft_ideal(), &cfg)
+        .script(|cell| {
+            // Initial attempts fail in 10–12 s; first retransmission succeeds.
+            cell.script_harq_failures(Direction::Uplink, t(10.0), t(12.0), 1);
+        })
+        .run();
     let base = mean_delay_in(&clean, Direction::Uplink, t(10.0), t(12.0));
     let with = mean_delay_in(&harq, Direction::Uplink, t(10.0), t(12.0));
     let retx_count = harq
@@ -272,10 +278,12 @@ pub fn fig17() -> String {
 /// Fig. 18 — RLC retransmission: ≈105 ms inflation and an HoL burst.
 pub fn fig18() -> String {
     let cfg = short_session_cfg(5018, 16);
-    let bundle = run_cell_session(scenarios::amarisoft_ideal(), &cfg, |cell| {
-        // One TB dies through all 4 HARQ attempts starting at 10 s.
-        cell.script_harq_failures(Direction::Uplink, t(10.0), t(10.035), 4);
-    });
+    let bundle = SessionRun::cell(scenarios::amarisoft_ideal(), &cfg)
+        .script(|cell| {
+            // One TB dies through all 4 HARQ attempts starting at 10 s.
+            cell.script_harq_failures(Direction::Uplink, t(10.0), t(10.035), 4);
+        })
+        .run();
     let mut out = String::from("Fig. 18 — RLC retransmission and head-of-line blocking\n");
     // Find the RLC retx event.
     let rlc: Vec<_> = bundle
@@ -325,9 +333,11 @@ pub fn fig18() -> String {
 /// Fig. 19 — RRC release halts transmission for ≈300 ms; delay spikes.
 pub fn fig19() -> String {
     let cfg = short_session_cfg(5019, 18);
-    let bundle = run_cell_session(scenarios::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        cell.script_rrc_release(t(10.0));
-    });
+    let bundle = SessionRun::cell(scenarios::tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            cell.script_rrc_release(t(10.0));
+        })
+        .run();
     let mut out = String::from("Fig. 19 — RRC state transition (scripted release at 10 s)\n");
     // RNTI change visible in DCI.
     let rntis: Vec<u32> = {

@@ -59,6 +59,37 @@ forward_delay_up --> pushback_rate_down
 reverse_delay_up --> pushback_rate_down
 "#;
 
+/// The causal graph for the ABR streaming workload in DSL form.
+///
+/// Same six 5G root causes as [`DEFAULT_CONFIG`], but the consequences are
+/// playback-side: RAN starvation inflates the forward (segment) path delay,
+/// which drains the playback buffer into a stall, and capacity oscillation
+/// makes the ABR controller hunt the ladder. 12 root-to-leaf chains.
+pub const ABR_CONFIG: &str = r#"
+# ---- Domino ABR streaming causal graph ----
+# Six root causes in the 5G stack, one delay intermediate, two playback
+# consequences; 12 root-to-leaf chains in total.
+
+alias poor_channel = ul_channel_degrades | dl_channel_degrades
+alias cross_traffic = ul_cross_traffic | dl_cross_traffic
+alias harq_retx = ul_harq_retx | dl_harq_retx
+alias rlc_retx = ul_rlc_retx | dl_rlc_retx
+
+# Causes inflate the forward (segment download) path delay.
+poor_channel --> forward_delay_up
+cross_traffic --> forward_delay_up
+ul_scheduling --> forward_delay_up
+harq_retx --> forward_delay_up
+rlc_retx --> forward_delay_up
+rrc_state_change --> forward_delay_up
+
+# RAN starvation drains the playback buffer into a stall...
+forward_delay_up --> playback_buffer_low --> playback_stall
+
+# ...and capacity oscillation makes the controller hunt the ladder.
+forward_delay_up --> ladder_switch_down --> ladder_oscillation
+"#;
+
 /// A parse failure with its source line (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -171,6 +202,11 @@ pub fn default_graph() -> CausalGraph {
     parse(DEFAULT_CONFIG).expect("default config is valid")
 }
 
+/// Parses the ABR streaming configuration ([`ABR_CONFIG`]).
+pub fn abr_graph() -> CausalGraph {
+    parse(ABR_CONFIG).expect("abr config is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +217,17 @@ mod tests {
         assert_eq!(g.roots().len(), 6, "six root causes");
         assert_eq!(g.leaves().len(), 3, "three consequences");
         assert_eq!(g.enumerate_chains().len(), 24, "Fig. 9 yields 24 chains");
+    }
+
+    #[test]
+    fn abr_graph_has_12_chains() {
+        let g = abr_graph();
+        assert_eq!(g.roots().len(), 6, "same six root causes");
+        assert_eq!(g.leaves().len(), 2, "stall and oscillation");
+        assert_eq!(g.enumerate_chains().len(), 12, "6 roots x 2 leaves");
+        for chain in g.enumerate_chains() {
+            assert_eq!(chain.len(), 4, "root -> delay -> precursor -> leaf");
+        }
     }
 
     #[test]

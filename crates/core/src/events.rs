@@ -1,14 +1,15 @@
-//! The twenty event-detection conditions of Table 5 (Appendix D), applied
-//! to one sliding window of cross-layer telemetry to produce the
-//! 36-dimension [`FeatureVector`].
+//! The twenty event-detection conditions of Table 5 (Appendix D), plus the
+//! four ABR playback conditions of the streaming workload, applied to one
+//! sliding window of cross-layer telemetry to produce the 40-dimension
+//! [`FeatureVector`].
 
 use simcore::SimTime;
 use telemetry::{
-    AppStatsRecord, DciRecord, Direction, GccNetworkState, GnbEvent, PacketRecord, StreamKind,
-    TraceBundle,
+    AppStatsRecord, DciRecord, Direction, GccNetworkState, GnbEvent, PacketRecord,
+    PlaybackStatsRecord, StreamKind, TraceBundle,
 };
 
-use crate::features::{AppEvent, ClientSide, Feature, FeatureVector, RanEvent};
+use crate::features::{AppEvent, ClientSide, Feature, FeatureVector, PlaybackEvent, RanEvent};
 
 /// All tunable constants of the Table 5 conditions. Defaults are the
 /// paper's values.
@@ -42,6 +43,10 @@ pub struct Thresholds {
     pub rate_drop_epsilon: f64,
     /// Jitter-buffer drain level (ms at or below counts as drained).
     pub drain_level_ms: f64,
+    /// Playback buffer low-water mark (ms; below counts as buffer-low).
+    pub playback_buffer_low_ms: f64,
+    /// Ladder oscillation: rung changes in the window must exceed this.
+    pub ladder_switch_count: usize,
 }
 
 impl Default for Thresholds {
@@ -61,11 +66,13 @@ impl Default for Thresholds {
             harq_retx_count: 10,
             rate_drop_epsilon: 0.01,
             drain_level_ms: 0.5,
+            playback_buffer_low_ms: 2_000.0,
+            ladder_switch_count: 3,
         }
     }
 }
 
-/// Extracts the full 36-dim feature vector for the window `[from, to)`.
+/// Extracts the full 40-dim feature vector for the window `[from, to)`.
 pub fn extract_features(
     bundle: &TraceBundle,
     from: SimTime,
@@ -136,7 +143,37 @@ pub fn extract_features(
     // Row 20: RNTI change within the window.
     v.set(Feature::RrcStateChange, rnti_changed(dci));
 
+    // Rows 21–24: ABR playback events (streaming sessions only; the
+    // playback stream is empty for RTC bundles).
+    let playback = bundle.playback_window(from, to);
+    for e in PlaybackEvent::ALL {
+        v.set(Feature::Playback(e), playback_event(playback, e, th));
+    }
+
     v
+}
+
+/// Rows 21–24: playback conditions over one window of 50 ms samples.
+fn playback_event(samples: &[PlaybackStatsRecord], e: PlaybackEvent, th: &Thresholds) -> bool {
+    if samples.len() < 2 {
+        return false;
+    }
+    match e {
+        PlaybackEvent::BufferLow => samples
+            .iter()
+            .any(|s| s.started && s.buffer_ms < th.playback_buffer_low_ms),
+        PlaybackEvent::Stall => samples.iter().any(|s| s.stalled),
+        PlaybackEvent::LadderSwitchDown => samples
+            .windows(2)
+            .any(|w| w[1].target_rung < w[0].target_rung),
+        PlaybackEvent::LadderOscillation => {
+            samples
+                .windows(2)
+                .filter(|w| w[1].target_rung != w[0].target_rung)
+                .count()
+                > th.ladder_switch_count
+        }
+    }
 }
 
 fn app_event(samples: &[AppStatsRecord], e: AppEvent, th: &Thresholds) -> bool {
@@ -571,6 +608,60 @@ mod tests {
             ClientSide::Local,
             AppEvent::OutboundResolutionDown
         )));
+    }
+
+    #[test]
+    fn playback_conditions() {
+        let th = Thresholds::default();
+        let pb = |ms: u64| {
+            let mut s = telemetry::PlaybackStatsRecord::baseline(t(ms));
+            s.started = true;
+            s.buffer_ms = 5_000.0;
+            s
+        };
+        // Healthy buffer, fixed rung: nothing fires.
+        let mut b = bundle_with(vec![], vec![], vec![]);
+        b.playback = (0..100).map(|i| pb(i * 50)).collect();
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert_eq!(v.count_active(), 0);
+        // Draining buffer into a stall: buffer-low then stall.
+        let mut b = bundle_with(vec![], vec![], vec![]);
+        b.playback = (0..100)
+            .map(|i| {
+                let mut s = pb(i * 50);
+                s.buffer_ms = (4_000.0 - i as f64 * 50.0).max(0.0);
+                s.stalled = s.buffer_ms == 0.0;
+                s
+            })
+            .collect();
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Playback(PlaybackEvent::BufferLow)));
+        assert!(v.get(Feature::Playback(PlaybackEvent::Stall)));
+        assert!(!v.get(Feature::Playback(PlaybackEvent::LadderSwitchDown)));
+        // Rung hunting: switch-down and oscillation.
+        let mut b = bundle_with(vec![], vec![], vec![]);
+        b.playback = (0..100)
+            .map(|i| {
+                let mut s = pb(i * 50);
+                s.target_rung = if (i / 10) % 2 == 0 { 2 } else { 1 };
+                s
+            })
+            .collect();
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Playback(PlaybackEvent::LadderSwitchDown)));
+        assert!(v.get(Feature::Playback(PlaybackEvent::LadderOscillation)));
+        // A single clean down-switch is not oscillation.
+        let mut b = bundle_with(vec![], vec![], vec![]);
+        b.playback = (0..100)
+            .map(|i| {
+                let mut s = pb(i * 50);
+                s.target_rung = if i < 50 { 3 } else { 2 };
+                s
+            })
+            .collect();
+        let v = extract_features(&b, t(0), t(5000), &th);
+        assert!(v.get(Feature::Playback(PlaybackEvent::LadderSwitchDown)));
+        assert!(!v.get(Feature::Playback(PlaybackEvent::LadderOscillation)));
     }
 
     #[test]

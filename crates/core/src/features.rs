@@ -1,9 +1,12 @@
-//! The 36-dimensional feature space of Domino's sliding-window detector.
+//! The 40-dimensional feature space of Domino's sliding-window detector.
 //!
 //! Per paper §4.2 / Appendix D: 10 application events extracted from both
 //! clients (20 dims), 6 bidirectional 5G events extracted for UL and DL
 //! (12 dims), plus forward/reverse packet-delay trends, uplink scheduling,
-//! and RRC state change (4 dims) — 2×10 + 6×2 + 4 = 36.
+//! and RRC state change (4 dims) — 2×10 + 6×2 + 4 = 36 — plus 4 ABR
+//! playback events for the streaming workload (dims 36–39). RTC bundles
+//! carry no playback stream, so the playback dims are identically false
+//! there and the original 36-dim semantics are unchanged.
 
 use telemetry::Direction;
 
@@ -113,6 +116,46 @@ impl RanEvent {
     }
 }
 
+/// The four ABR playback events of the streaming workload (dims 36–39).
+///
+/// Extracted from the bundle's `playback` stream; always false for RTC
+/// sessions, whose playback stream is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaybackEvent {
+    /// 21. Playback buffer fell below the low-water mark after startup.
+    BufferLow,
+    /// 22. Playback stalled (rebuffering) within the window.
+    Stall,
+    /// 23. The ABR controller switched down the bitrate ladder.
+    LadderSwitchDown,
+    /// 24. The controller hunted up and down the ladder (oscillation).
+    LadderOscillation,
+}
+
+impl PlaybackEvent {
+    /// All four, in index order.
+    pub const ALL: [PlaybackEvent; 4] = [
+        PlaybackEvent::BufferLow,
+        PlaybackEvent::Stall,
+        PlaybackEvent::LadderSwitchDown,
+        PlaybackEvent::LadderOscillation,
+    ];
+
+    fn ordinal(self) -> usize {
+        Self::ALL.iter().position(|&e| e == self).expect("in ALL")
+    }
+
+    /// Canonical snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlaybackEvent::BufferLow => "playback_buffer_low",
+            PlaybackEvent::Stall => "playback_stall",
+            PlaybackEvent::LadderSwitchDown => "ladder_switch_down",
+            PlaybackEvent::LadderOscillation => "ladder_oscillation",
+        }
+    }
+}
+
 /// Which client an application event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClientSide {
@@ -132,7 +175,7 @@ impl ClientSide {
     }
 }
 
-/// One of the 36 features.
+/// One of the 40 features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Feature {
     /// Application event at one client.
@@ -150,10 +193,12 @@ pub enum Feature {
     UlScheduling,
     /// 20. The UE's RNTI changed within the window.
     RrcStateChange,
+    /// 21–24. ABR playback event (streaming workload).
+    Playback(PlaybackEvent),
 }
 
 /// Total number of features.
-pub const FEATURE_COUNT: usize = 36;
+pub const FEATURE_COUNT: usize = 40;
 
 impl Feature {
     /// Fixed index of this feature in the vector.
@@ -167,10 +212,11 @@ impl Feature {
             Feature::Ran(Direction::Downlink, e) => 28 + e.ordinal(),
             Feature::UlScheduling => 34,
             Feature::RrcStateChange => 35,
+            Feature::Playback(e) => 36 + e.ordinal(),
         }
     }
 
-    /// All 36 features in index order.
+    /// All 40 features in index order.
     pub fn all() -> Vec<Feature> {
         let mut v = Vec::with_capacity(FEATURE_COUNT);
         for e in AppEvent::ALL {
@@ -189,6 +235,9 @@ impl Feature {
         }
         v.push(Feature::UlScheduling);
         v.push(Feature::RrcStateChange);
+        for e in PlaybackEvent::ALL {
+            v.push(Feature::Playback(e));
+        }
         v
     }
 
@@ -207,6 +256,7 @@ impl Feature {
             Feature::ReverseDelayUp => "reverse_delay_up".to_string(),
             Feature::UlScheduling => "ul_scheduling".to_string(),
             Feature::RrcStateChange => "rrc_state_change".to_string(),
+            Feature::Playback(e) => e.name().to_string(),
         }
     }
 
@@ -216,7 +266,7 @@ impl Feature {
     }
 }
 
-/// A boolean vector over the 36 features for one window.
+/// A boolean vector over the 40 features for one window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureVector {
     bits: [bool; FEATURE_COUNT],
@@ -266,7 +316,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exactly_36_features_with_unique_indices() {
+    fn exactly_40_features_with_unique_indices() {
         let all = Feature::all();
         assert_eq!(all.len(), FEATURE_COUNT);
         let mut seen = [false; FEATURE_COUNT];
@@ -292,6 +342,17 @@ mod tests {
         assert!(Feature::parse("dl_harq_retx").is_some());
         assert!(Feature::parse("forward_delay_up").is_some());
         assert!(Feature::parse("local_jitter_buffer_drain").is_some());
+    }
+
+    #[test]
+    fn playback_features_occupy_the_tail() {
+        assert_eq!(Feature::Playback(PlaybackEvent::BufferLow).index(), 36);
+        assert_eq!(
+            Feature::Playback(PlaybackEvent::LadderOscillation).index(),
+            39
+        );
+        assert!(Feature::parse("playback_stall").is_some());
+        assert!(Feature::parse("ladder_oscillation").is_some());
     }
 
     #[test]

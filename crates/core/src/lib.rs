@@ -6,8 +6,8 @@
 //!
 //! Pipeline (paper §4):
 //!
-//! 1. [`features`] — the 36-dimension event space (2×10 app events +
-//!    6×2 directional 5G events + 4 singletons).
+//! 1. [`features`] — the 40-dimension event space (2×10 app events +
+//!    6×2 directional 5G events + 4 singletons + 4 ABR playback events).
 //! 2. [`events`] — the 20 detection conditions of Table 5 / Appendix D,
 //!    evaluated over a sliding window (W = 5 s, Δt = 0.5 s).
 //! 3. [`graph`] — the user-reconfigurable causal DAG of Fig. 9
@@ -42,9 +42,11 @@ pub mod stream;
 
 pub use codegen::{compile, DetectionProgram, ProgramOutput};
 pub use detect::{Analysis, ChainHit, Domino, DominoConfig, WindowAnalysis};
-pub use dsl::{default_graph, emit, parse, ParseError, DEFAULT_CONFIG};
+pub use dsl::{abr_graph, default_graph, emit, parse, ParseError, ABR_CONFIG, DEFAULT_CONFIG};
 pub use events::{extract_features, Thresholds};
-pub use features::{AppEvent, ClientSide, Feature, FeatureVector, RanEvent, FEATURE_COUNT};
+pub use features::{
+    AppEvent, ClientSide, Feature, FeatureVector, PlaybackEvent, RanEvent, FEATURE_COUNT,
+};
 pub use graph::{CausalGraph, GraphBuilder, GraphError, NodeId};
 pub use stats::{
     render_chain_ratio_table, render_conditional_table, render_frequency_table, ChainStats,

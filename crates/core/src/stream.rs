@@ -27,13 +27,13 @@ use std::collections::VecDeque;
 use simcore::{SimDuration, SimTime};
 use telemetry::{
     AppStatsRecord, DciRecord, Direction, GccNetworkState, GnbEvent, GnbLogRecord, PacketRecord,
-    Resolution, StreamKind, TraceBundle,
+    PlaybackStatsRecord, Resolution, StreamKind, TraceBundle,
 };
 
 use crate::detect::{trace_chains_in, Analysis, Domino, DominoConfig, WindowAnalysis};
 use crate::events::Thresholds;
 use crate::features::RanEvent;
-use crate::features::{AppEvent, ClientSide, Feature, FeatureVector};
+use crate::features::{AppEvent, ClientSide, Feature, FeatureVector, PlaybackEvent};
 use crate::graph::CausalGraph;
 
 /// Width of the rate-comparison bins of Table 5 row 14, µs.
@@ -351,6 +351,79 @@ impl AppWindow {
     }
 }
 
+/// The per-sample facts the playback conditions need, precomputed at ingest.
+#[derive(Debug, Clone, Copy)]
+struct PlaybackEntry {
+    ts: SimTime,
+    buffer_low: bool,
+    stalled: bool,
+    target_rung: u8,
+}
+
+/// Rolling state for the ABR playback stream (rows 21–24), mirroring
+/// [`AppWindow`]'s counter/pair-count discipline so the streaming path stays
+/// bit-identical to the batch `playback_event` conditions.
+#[derive(Debug, Clone, Default)]
+struct PlaybackWindow {
+    entries: VecDeque<PlaybackEntry>,
+    buffer_low_count: usize,
+    stall_count: usize,
+    rung_down_pairs: usize,
+    rung_change_pairs: usize,
+}
+
+impl PlaybackWindow {
+    fn push(&mut self, s: &PlaybackStatsRecord, th: &Thresholds) {
+        let e = PlaybackEntry {
+            ts: s.ts,
+            buffer_low: s.started && s.buffer_ms < th.playback_buffer_low_ms,
+            stalled: s.stalled,
+            target_rung: s.target_rung,
+        };
+        self.buffer_low_count += e.buffer_low as usize;
+        self.stall_count += e.stalled as usize;
+        if let Some(prev) = self.entries.back() {
+            self.rung_down_pairs += (e.target_rung < prev.target_rung) as usize;
+            self.rung_change_pairs += (e.target_rung != prev.target_rung) as usize;
+        }
+        self.entries.push_back(e);
+    }
+
+    fn expire(&mut self, from: SimTime) {
+        while self.entries.front().is_some_and(|e| e.ts < from) {
+            let e = self.entries.pop_front().expect("non-empty");
+            self.buffer_low_count -= e.buffer_low as usize;
+            self.stall_count -= e.stalled as usize;
+            if let Some(next) = self.entries.front() {
+                self.rung_down_pairs -= (next.target_rung < e.target_rung) as usize;
+                self.rung_change_pairs -= (next.target_rung != e.target_rung) as usize;
+            }
+        }
+    }
+
+    /// Evaluates one playback event exactly as the batch `playback_event`
+    /// does.
+    fn event(&self, e: PlaybackEvent, th: &Thresholds) -> bool {
+        if self.entries.len() < 2 {
+            return false;
+        }
+        match e {
+            PlaybackEvent::BufferLow => self.buffer_low_count > 0,
+            PlaybackEvent::Stall => self.stall_count > 0,
+            PlaybackEvent::LadderSwitchDown => self.rung_down_pairs > 0,
+            PlaybackEvent::LadderOscillation => self.rung_change_pairs > th.ladder_switch_count,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.buffer_low_count = 0;
+        self.stall_count = 0;
+        self.rung_down_pairs = 0;
+        self.rung_change_pairs = 0;
+    }
+}
+
 /// Rows 1–2 on rolling extrema: max > high, min < low, max strictly first.
 fn framerate_down(w: &MinMaxWindow, th: &Thresholds) -> bool {
     match w.extrema() {
@@ -658,6 +731,7 @@ pub struct StreamingAnalyzer {
     cfg: DominoConfig,
     group_us: u64,
     app: [AppWindow; 2],
+    playback: PlaybackWindow,
     /// Indexed `[dir][rtcp]`.
     delays: [[DelaySeries; 2]; 2],
     app_bins: [RollingBins; 2],
@@ -692,6 +766,7 @@ impl StreamingAnalyzer {
             cfg,
             group_us,
             app: Default::default(),
+            playback: Default::default(),
             delays,
             app_bins: Default::default(),
             dci: Default::default(),
@@ -733,6 +808,7 @@ impl StreamingAnalyzer {
         for a in &mut self.app {
             a.clear();
         }
+        self.playback.clear();
         for row in &mut self.delays {
             for s in row {
                 s.clear();
@@ -755,6 +831,12 @@ impl StreamingAnalyzer {
             ClientSide::Remote => 1,
         };
         self.app[i].push(s, &self.cfg.thresholds);
+    }
+
+    /// Ingests one ABR playback sample.
+    pub fn push_playback(&mut self, s: &PlaybackStatsRecord) {
+        self.watermark = self.watermark.max(s.ts);
+        self.playback.push(s, &self.cfg.thresholds);
     }
 
     /// Ingests one packet record. The record's `received` field must be
@@ -840,6 +922,9 @@ impl StreamingAnalyzer {
         for r in s.gnb {
             self.push_gnb(r);
         }
+        for r in s.playback {
+            self.push_playback(r);
+        }
     }
 
     fn expire(&mut self, from: SimTime) {
@@ -847,6 +932,7 @@ impl StreamingAnalyzer {
         for a in &mut self.app {
             a.expire(from, &th);
         }
+        self.playback.expire(from);
         for row in &mut self.delays {
             for s in row {
                 s.expire(from, &th);
@@ -895,7 +981,7 @@ impl StreamingAnalyzer {
         }
     }
 
-    /// Assembles the 36-dim feature vector from the rolling state.
+    /// Assembles the 40-dim feature vector from the rolling state.
     fn features(&mut self, from: SimTime, to: SimTime) -> FeatureVector {
         // All-scalar struct; cloning sidesteps a borrow conflict with the
         // `&mut self` median cache below.
@@ -945,6 +1031,11 @@ impl StreamingAnalyzer {
         // Rows 19–20.
         v.set(Feature::UlScheduling, self.dci.ul_sched_count > 0);
         v.set(Feature::RrcStateChange, self.dci.rnti_change_pairs > 0);
+
+        // Rows 21–24: ABR playback events.
+        for e in PlaybackEvent::ALL {
+            v.set(Feature::Playback(e), self.playback.event(e, th));
+        }
         v
     }
 

@@ -7,8 +7,8 @@ use std::collections::{HashMap, VecDeque};
 
 use simcore::{SimDuration, SimTime};
 use telemetry::{
-    AppStatsRecord, DciRecord, GnbLogRecord, LiveTap, PacketRecord, SessionMeta, TraceBundle,
-    TraceCursor,
+    AppStatsRecord, DciRecord, GnbLogRecord, LiveTap, PacketRecord, PlaybackStatsRecord,
+    SessionMeta, TraceBundle, TraceCursor,
 };
 
 use domino_core::detect::{Analysis, ChainHit, DominoConfig, WindowAnalysis};
@@ -82,7 +82,7 @@ pub struct LiveVerdict {
 /// Counters the pipeline maintains while it runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LiveStats {
-    /// Records that entered the tap (all five streams, packets once).
+    /// Records that entered the tap (all six streams, packets once).
     pub records_seen: usize,
     /// Records dropped for arriving behind the released watermark frontier
     /// (lateness-bound violations; each one may cost verdict fidelity).
@@ -207,8 +207,9 @@ impl PendingPackets {
 /// use domino_live::{LiveConfig, LivePipeline};
 /// # let cfg = scenarios::SessionConfig::default();
 /// let mut pipe = LivePipeline::with_defaults(LiveConfig::default()).unwrap();
-/// let bundle = scenarios::run_cell_session_with_tap(
-///     scenarios::amarisoft(), &cfg, |_| {}, &mut pipe);
+/// let bundle = scenarios::SessionRun::cell(scenarios::amarisoft(), &cfg)
+///     .tap(&mut pipe)
+///     .run();
 /// let analysis = pipe.take_analysis(bundle.meta.duration);
 /// ```
 pub struct LivePipeline {
@@ -221,6 +222,7 @@ pub struct LivePipeline {
     app_remote: Reorder<AppStatsRecord>,
     dci: Reorder<DciRecord>,
     gnb: Reorder<GnbLogRecord>,
+    playback: Reorder<PlaybackStatsRecord>,
     pending: PendingPackets,
     packet_frontier: SimTime,
     late_sends: usize,
@@ -269,6 +271,7 @@ impl LivePipeline {
             app_remote: Reorder::new(),
             dci: Reorder::new(),
             gnb: Reorder::new(),
+            playback: Reorder::new(),
             pending: PendingPackets::default(),
             packet_frontier: SimTime::ZERO,
             late_sends: 0,
@@ -330,7 +333,8 @@ impl LivePipeline {
                 + self.app_local.late_count()
                 + self.app_remote.late_count()
                 + self.dci.late_count()
-                + self.gnb.late_count(),
+                + self.gnb.late_count()
+                + self.playback.late_count(),
             late_deliveries: self.late_deliveries,
             windows_emitted: self.windows_emitted,
             peak_retained_records: self.peak_retained,
@@ -370,6 +374,7 @@ impl LivePipeline {
         self.app_remote.clear();
         self.dci.clear();
         self.gnb.clear();
+        self.playback.clear();
         self.pending.clear();
         self.packet_frontier = SimTime::ZERO;
         self.late_sends = 0;
@@ -379,6 +384,7 @@ impl LivePipeline {
         self.staging.packets.clear();
         self.staging.app_local.clear();
         self.staging.app_remote.clear();
+        self.staging.playback.clear();
         self.cursor = TraceCursor::default();
         self.next_start = SimTime::ZERO + warmup;
         self.now = SimTime::ZERO;
@@ -403,6 +409,7 @@ impl LivePipeline {
             + self.app_remote.len()
             + self.dci.len()
             + self.gnb.len()
+            + self.playback.len()
     }
 
     fn note_retained(&mut self) {
@@ -445,6 +452,8 @@ impl LivePipeline {
         self.gnb.release_below(end, |r| {
             staging.append_gnb(r);
         });
+        self.playback
+            .release_below(end, |r| staging.append_playback(r));
         // Packets sent before the window end: their fate is frozen now —
         // a delivery that arrives later is counted as late.
         self.pending
@@ -491,7 +500,7 @@ impl LivePipeline {
         }
     }
 
-    /// The exact batch horizon: max last-record time over all five streams,
+    /// The exact batch horizon: max last-record time over all six streams,
     /// with the packet term read from the greatest-`(sent, id)` record just
     /// like `TraceBundle::horizon()` reads the sorted vector's last element.
     fn horizon(&self) -> SimTime {
@@ -526,6 +535,12 @@ impl LiveTap for LivePipeline {
         self.records_seen += 1;
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.gnb.push(r.ts, r.clone());
+    }
+
+    fn on_playback(&mut self, r: &PlaybackStatsRecord) {
+        self.records_seen += 1;
+        self.horizon_lb = self.horizon_lb.max(r.ts);
+        self.playback.push(r.ts, r.clone());
     }
 
     fn on_packet_sent(&mut self, id: u64, r: &PacketRecord) {
@@ -575,6 +590,8 @@ impl LiveTap for LivePipeline {
         self.gnb.release_below(flush_to, |r| {
             staging.append_gnb(r);
         });
+        self.playback
+            .release_below(flush_to, |r| staging.append_playback(r));
         self.pending
             .release_below(flush_to, |record| staging.append_packet(record));
         self.packet_frontier = flush_to;
@@ -597,6 +614,7 @@ impl LiveTap for LivePipeline {
         self.staging.packets.clear();
         self.staging.app_local.clear();
         self.staging.app_remote.clear();
+        self.staging.playback.clear();
         self.cursor = TraceCursor::default();
     }
 
@@ -610,8 +628,7 @@ mod tests {
     use super::*;
     use domino_core::Domino;
     use scenarios::{
-        amarisoft, run_cell_session_with_tap, tmobile_fdd_15mhz_quiet, ScriptAction, SessionConfig,
-        SessionSpec,
+        amarisoft, tmobile_fdd_15mhz_quiet, ScriptAction, SessionConfig, SessionRun, SessionSpec,
     };
     use telemetry::Direction;
 
@@ -657,7 +674,9 @@ mod tests {
     fn live_matches_batch_on_healthy_session() {
         let domino = Domino::with_defaults();
         let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
-        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(41, 20), |_| {}, &mut pipe);
+        let bundle = SessionRun::cell(amarisoft(), &cfg(41, 20))
+            .tap(&mut pipe)
+            .run();
         let live = pipe.take_analysis(bundle.meta.duration);
         let batch = domino.analyze(&bundle);
         assert_identical(&batch, &live);
@@ -698,7 +717,9 @@ mod tests {
             early_exit: EarlyExit::Never,
         })
         .unwrap();
-        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(43, 20), |_| {}, &mut pipe);
+        let bundle = SessionRun::cell(amarisoft(), &cfg(43, 20))
+            .tap(&mut pipe)
+            .run();
         let verdicts = pipe.drain_verdicts();
         assert!(!verdicts.is_empty());
         // With a 2 s bound, a window's verdict lands ~2 s after its end —
@@ -760,7 +781,9 @@ mod tests {
             early_exit: EarlyExit::StableFor(4),
         })
         .unwrap();
-        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(45, 60), |_| {}, &mut pipe);
+        let bundle = SessionRun::cell(amarisoft(), &cfg(45, 60))
+            .tap(&mut pipe)
+            .run();
         let stats = pipe.stats();
         assert!(stats.early_exited);
         assert!(
@@ -776,10 +799,14 @@ mod tests {
     fn reset_reuses_pipeline_across_sessions() {
         let domino = Domino::with_defaults();
         let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
-        let b1 = run_cell_session_with_tap(amarisoft(), &cfg(46, 15), |_| {}, &mut pipe);
+        let b1 = SessionRun::cell(amarisoft(), &cfg(46, 15))
+            .tap(&mut pipe)
+            .run();
         let first = pipe.take_analysis(b1.meta.duration);
         pipe.reset();
-        let b2 = run_cell_session_with_tap(amarisoft(), &cfg(47, 15), |_| {}, &mut pipe);
+        let b2 = SessionRun::cell(amarisoft(), &cfg(47, 15))
+            .tap(&mut pipe)
+            .run();
         let second = pipe.take_analysis(b2.meta.duration);
         assert_identical(&domino.analyze(&b1), &first);
         assert_identical(&domino.analyze(&b2), &second);
@@ -818,7 +845,9 @@ mod tests {
         let seen2 = Rc::clone(&seen);
         let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
         pipe.set_verdict_hook(move |_| *seen2.borrow_mut() += 1);
-        run_cell_session_with_tap(amarisoft(), &cfg(48, 15), |_| {}, &mut pipe);
+        SessionRun::cell(amarisoft(), &cfg(48, 15))
+            .tap(&mut pipe)
+            .run();
         assert_eq!(*seen.borrow(), pipe.stats().windows_emitted);
         assert!(*seen.borrow() > 0);
     }
@@ -844,7 +873,9 @@ mod tests {
             early_exit: EarlyExit::Never,
         })
         .unwrap();
-        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(49, 30), |_| {}, &mut pipe);
+        let bundle = SessionRun::cell(amarisoft(), &cfg(49, 30))
+            .tap(&mut pipe)
+            .run();
         let stats = pipe.stats();
         assert!(stats.records_seen as f64 >= bundle.total_records() as f64 * 0.99);
         assert!(
@@ -860,7 +891,9 @@ mod tests {
     #[test]
     fn verdicts_match_windows() {
         let mut pipe = LivePipeline::with_defaults(generous()).unwrap();
-        let bundle = run_cell_session_with_tap(amarisoft(), &cfg(50, 15), |_| {}, &mut pipe);
+        let bundle = SessionRun::cell(amarisoft(), &cfg(50, 15))
+            .tap(&mut pipe)
+            .run();
         let verdicts = pipe.drain_verdicts();
         let analysis = pipe.take_analysis(bundle.meta.duration);
         assert_eq!(verdicts.len(), analysis.windows.len());

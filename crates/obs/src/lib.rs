@@ -89,6 +89,8 @@ metric_enum! {
         NetJitterInversions => ("net/jitter_inversions", Class::Sim),
         NetLost => ("net/lost", Class::Sim),
         NetPackets => ("net/packets", Class::Sim),
+        PlaybackLadderSwitches => ("playback/ladder_switches", Class::Sim),
+        PlaybackStalls => ("playback/stalls", Class::Sim),
         RanDataSlots => ("ran/data_slots", Class::Sim),
         RanHarqRetx => ("ran/harq_retx", Class::Sim),
         RanPrbBudget => ("ran/prb_budget", Class::Sim),
@@ -125,6 +127,8 @@ metric_enum! {
     /// Fixed-layout histograms (bucket-wise sum-merged). All `Sim`.
     pub enum HistId {
         LiveVerdictLatencyMs => ("live/verdict_latency_ms", Class::Sim),
+        PlaybackBufferMs => ("playback/buffer_ms", Class::Sim),
+        PlaybackStallMs => ("playback/stall_ms", Class::Sim),
         RanPrbUtilPct => ("ran/prb_util_pct", Class::Sim),
         RanRlcQueueBytes => ("ran/rlc_queue_bytes", Class::Sim),
         RtcPacerBacklog => ("rtc/pacer_backlog_pkts", Class::Sim),
@@ -149,6 +153,8 @@ impl HistId {
     pub fn layout(self) -> HistLayout {
         match self {
             HistId::LiveVerdictLatencyMs => HistLayout::Log2(17),
+            HistId::PlaybackBufferMs => HistLayout::Log2(17),
+            HistId::PlaybackStallMs => HistLayout::Log2(17),
             HistId::RanPrbUtilPct => HistLayout::Pct10,
             HistId::RanRlcQueueBytes => HistLayout::Log2(22),
             HistId::RtcPacerBacklog => HistLayout::Log2(12),

@@ -19,10 +19,12 @@
 
 use std::fmt::Display;
 
+use abr_sim::LadderRung;
 use ran_sim::{CellConfig, CrossTrafficConfig, ProactiveGrantConfig, TrafficUeConfig};
 use simcore::{derive_seed, SimDuration};
 
 use crate::grid::{AccessSpec, ScriptAction, SessionSpec};
+use crate::session::AppSpec;
 
 /// One field edit applied to a [`SessionSpec`] during axis expansion.
 ///
@@ -60,6 +62,13 @@ pub enum AxisPatch {
     TrafficUes(Vec<TrafficUeConfig>),
     /// Append a scripted impairment.
     Script(ScriptAction),
+    /// ABR `segment_duration` (applies to [`AppSpec::Abr`] specs only;
+    /// ignored for RTC sessions, which have no playback pipeline).
+    AbrSegmentDuration(SimDuration),
+    /// ABR encoding ladder (ascending bitrate).
+    AbrLadder(Vec<LadderRung>),
+    /// ABR playback `buffer_target`.
+    AbrBufferTarget(SimDuration),
 }
 
 impl AxisPatch {
@@ -72,6 +81,24 @@ impl AxisPatch {
             }
             AxisPatch::Duration(d) => spec.cfg.duration = *d,
             AxisPatch::Script(a) => spec.scripts.push(*a),
+            AxisPatch::AbrSegmentDuration(d) => {
+                let AppSpec::Abr(abr) = &mut spec.app else {
+                    return; // RTC sessions have no playback pipeline
+                };
+                abr.segment_duration = *d;
+            }
+            AxisPatch::AbrLadder(ladder) => {
+                let AppSpec::Abr(abr) = &mut spec.app else {
+                    return;
+                };
+                abr.ladder = ladder.clone();
+            }
+            AxisPatch::AbrBufferTarget(t) => {
+                let AppSpec::Abr(abr) = &mut spec.app else {
+                    return;
+                };
+                abr.buffer_target = *t;
+            }
             _ => {
                 let AccessSpec::Cell(cell) = &mut spec.access else {
                     return; // baseline access has no cell to patch
@@ -88,7 +115,12 @@ impl AxisPatch {
                     AxisPatch::DlCross(c) => cell.dl_cross = c.clone(),
                     AxisPatch::RrcReleaseEvery(e) => cell.rrc.random_release_every = *e,
                     AxisPatch::TrafficUes(ues) => cell.traffic_ues = ues.clone(),
-                    AxisPatch::Cell(_) | AxisPatch::Duration(_) | AxisPatch::Script(_) => {
+                    AxisPatch::Cell(_)
+                    | AxisPatch::Duration(_)
+                    | AxisPatch::Script(_)
+                    | AxisPatch::AbrSegmentDuration(_)
+                    | AxisPatch::AbrLadder(_)
+                    | AxisPatch::AbrBufferTarget(_) => {
                         unreachable!("handled above")
                     }
                 }

@@ -15,10 +15,7 @@ use telemetry::{Direction, TraceBundle};
 use ran_sim::{CellConfig, CellSim};
 
 use crate::cells::all_cells;
-use crate::session::{
-    run_baseline_session_with_tap_in, run_cell_session_with_tap_in, BaselineAccess, SessionArena,
-    SessionConfig,
-};
+use crate::session::{AppSpec, BaselineAccess, SessionArena, SessionConfig, SessionRun};
 
 /// Which access network a session runs over.
 #[derive(Debug, Clone)]
@@ -107,6 +104,8 @@ pub struct SessionSpec {
     pub label: String,
     /// Access network.
     pub access: AccessSpec,
+    /// Application workload (RTC call or ABR stream) riding the access.
+    pub app: AppSpec,
     /// Scripted impairments (applied to cells; ignored for baselines).
     pub scripts: Vec<ScriptAction>,
     /// Session configuration, including the derived seed.
@@ -119,6 +118,7 @@ impl SessionSpec {
         SessionSpec {
             label: cell.name.clone(),
             access: AccessSpec::Cell(Box::new(cell)),
+            app: AppSpec::Rtc,
             scripts: Vec::new(),
             cfg,
         }
@@ -133,9 +133,16 @@ impl SessionSpec {
         SessionSpec {
             label: label.to_string(),
             access: AccessSpec::Baseline(access),
+            app: AppSpec::Rtc,
             scripts: Vec::new(),
             cfg,
         }
+    }
+
+    /// Switches the session to the QUIC/ABR streaming workload.
+    pub fn abr(mut self, cfg: abr_sim::AbrConfig) -> Self {
+        self.app = AppSpec::Abr(cfg);
+        self
     }
 
     /// Adds a scripted impairment.
@@ -178,6 +185,7 @@ impl SessionSpec {
         match &self.access {
             AccessSpec::Cell(cell) => crate::session::SessionState::start_cell(
                 (**cell).clone(),
+                &self.app,
                 &self.cfg,
                 |sim| {
                     for a in &self.scripts {
@@ -187,9 +195,9 @@ impl SessionSpec {
                 tapped,
                 arena,
             ),
-            AccessSpec::Baseline(access) => {
-                crate::session::SessionState::start_baseline(*access, &self.cfg, tapped, arena)
-            }
+            AccessSpec::Baseline(access) => crate::session::SessionState::start_baseline(
+                *access, &self.app, &self.cfg, tapped, arena,
+            ),
         }
     }
 
@@ -199,22 +207,7 @@ impl SessionSpec {
         tap: &mut dyn telemetry::LiveTap,
         arena: &mut SessionArena,
     ) -> TraceBundle {
-        match &self.access {
-            AccessSpec::Cell(cell) => run_cell_session_with_tap_in(
-                (**cell).clone(),
-                &self.cfg,
-                |sim| {
-                    for a in &self.scripts {
-                        a.apply(sim);
-                    }
-                },
-                tap,
-                arena,
-            ),
-            AccessSpec::Baseline(access) => {
-                run_baseline_session_with_tap_in(*access, &self.cfg, tap, arena)
-            }
-        }
+        SessionRun::new(self).tap(tap).arena(arena).run()
     }
 }
 
@@ -348,7 +341,6 @@ pub fn all_cells_grid(master_seed: u64, duration: SimDuration) -> Vec<SessionSpe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::run_cell_session;
 
     #[test]
     fn grid_is_deterministic_and_covers_product() {
@@ -417,14 +409,16 @@ mod tests {
                 prb_fraction: 0.9,
             });
         let from_spec = spec.run();
-        let manual = run_cell_session(crate::cells::tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-            cell.script_cross_traffic(
-                Direction::Downlink,
-                SimTime::from_secs(4),
-                SimTime::from_secs(6),
-                0.9,
-            );
-        });
+        let manual = SessionRun::cell(crate::cells::tmobile_fdd_15mhz_quiet(), &cfg)
+            .script(|cell| {
+                cell.script_cross_traffic(
+                    Direction::Downlink,
+                    SimTime::from_secs(4),
+                    SimTime::from_secs(6),
+                    0.9,
+                );
+            })
+            .run();
         assert_eq!(from_spec.packets.len(), manual.packets.len());
         assert_eq!(from_spec.dci.len(), manual.dci.len());
     }

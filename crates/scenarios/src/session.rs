@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use simcore::{rng_for, EventQueue, RngStream, SimDuration, SimTime};
 use telemetry::{Direction, LiveTap, PacketRecord, SessionMeta, StreamKind, TraceBundle};
 
+use abr_sim::{AbrClient, AbrConfig, AbrOutgoing, AbrPayload, AbrServer};
 use netpath::{PathConfig, PathModel};
 use ran_sim::{CellConfig, CellSim, CellUeTable, Delivery};
 use rtc_sim::{OutgoingPacket, PacketPayload, RtcEndpoint, SenderConfig};
@@ -52,6 +53,40 @@ impl Default for SessionConfig {
             peer_path: PathConfig::wired_wan(),
         }
     }
+}
+
+/// Which application workload a session runs over the two-party transport.
+///
+/// The session engine is application-generic: every workload shares the
+/// access/core/peer path plumbing, the in-flight packet map, the
+/// [`telemetry::LiveTap`] contract, and the [`SessionArena`] leases — only
+/// the endpoint pair differs. An [`AppSpec::Rtc`] session is byte-identical
+/// to the engine before this abstraction existed.
+#[derive(Debug, Clone, Default)]
+pub enum AppSpec {
+    /// Two-party WebRTC video call (the paper's workload).
+    #[default]
+    Rtc,
+    /// QUIC/ABR video streaming: a UE-side player fetching segments from a
+    /// wired origin through the same access + path models (see [`abr_sim`]).
+    Abr(AbrConfig),
+}
+
+/// The live endpoint pair realising an [`AppSpec`]. `a` always sits behind
+/// the access network (the UE side), `b` on the wired side.
+///
+/// RTC endpoints stay inline (not boxed): the pre-`AppSpec` engine held
+/// them by value, and keeping that layout preserves its allocation profile
+/// exactly.
+#[allow(clippy::large_enum_variant)]
+enum AppPair {
+    Rtc { a: RtcEndpoint, b: RtcEndpoint },
+    Abr(Box<AbrPair>),
+}
+
+struct AbrPair {
+    client: AbrClient,
+    server: AbrServer,
 }
 
 /// Baseline (non-cellular) access types for the §2 comparisons.
@@ -247,9 +282,15 @@ impl RouteSink for TaggedSink<'_> {
     }
 }
 
+/// In-flight application payload, one variant per [`AppSpec`] workload.
+enum AppPayload {
+    Rtc(PacketPayload),
+    Abr(AbrPayload),
+}
+
 struct Pending {
     record_idx: usize,
-    payload: PacketPayload,
+    payload: AppPayload,
     sent: SimTime,
     size: u32,
 }
@@ -291,6 +332,7 @@ type IdMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<IdHasher>>;
 #[derive(Default)]
 pub struct EngineScratch {
     emit: Vec<OutgoingPacket>,
+    abr_emit: Vec<AbrOutgoing>,
     deliveries: Vec<Delivery>,
     ran: RanScratch,
     /// The worker's observability recorder. Defaults to off (a no-op);
@@ -303,7 +345,7 @@ pub struct EngineScratch {
 impl EngineScratch {
     fn footprint(&self) -> (usize, usize, usize) {
         (
-            self.emit.capacity(),
+            self.emit.capacity() + self.abr_emit.capacity(),
             self.deliveries.capacity(),
             self.ran.dci.capacity() + self.ran.gnb.capacity(),
         )
@@ -491,8 +533,7 @@ impl SessionArena {
 /// `(time, seq)` order (which [`SharedRouteQueue`] guarantees).
 pub struct SessionState {
     access: AccessSim,
-    a: RtcEndpoint,
-    b: RtcEndpoint,
+    app: AppPair,
     core_ul: Option<PathModel>,
     core_dl: Option<PathModel>,
     peer_ul: PathModel,
@@ -518,16 +559,26 @@ impl SessionState {
         access: AccessSim,
         core_path: Option<PathConfig>,
         meta: SessionMeta,
+        app: &AppSpec,
         cfg: &SessionConfig,
         tapped: bool,
         arena: &mut SessionArena,
     ) -> Self {
         let bundle = arena.take_bundle(meta);
         let ticks = cfg.duration / cfg.tick;
+        let app = match app {
+            AppSpec::Rtc => AppPair::Rtc {
+                a: RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11),
+                b: RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12),
+            },
+            AppSpec::Abr(abr) => AppPair::Abr(Box::new(AbrPair {
+                client: AbrClient::new(abr.clone()),
+                server: AbrServer::new(abr.clone()),
+            })),
+        };
         SessionState {
             access,
-            a: RtcEndpoint::new(cfg.ue_sender.clone(), cfg.seed, 11),
-            b: RtcEndpoint::new(cfg.wired_sender.clone(), cfg.seed, 12),
+            app,
             core_ul: core_path.clone().map(PathModel::new),
             core_dl: core_path.map(PathModel::new),
             peer_ul: PathModel::new(cfg.peer_path.clone()), // egress → peer
@@ -555,6 +606,7 @@ impl SessionState {
     /// to the step methods (pass `false` to skip all tap work).
     pub fn start_cell(
         cell_cfg: CellConfig,
+        app: &AppSpec,
         cfg: &SessionConfig,
         script: impl FnOnce(&mut CellSim),
         tapped: bool,
@@ -582,6 +634,7 @@ impl SessionState {
             access,
             Some(PathConfig::core_network()),
             meta,
+            app,
             cfg,
             tapped,
             arena,
@@ -596,6 +649,7 @@ impl SessionState {
     /// shared-access mailboxes each tick.
     pub fn start_shared(
         cell_cfg: &CellConfig,
+        app: &AppSpec,
         cfg: &SessionConfig,
         ue: u32,
         tapped: bool,
@@ -622,6 +676,7 @@ impl SessionState {
             access,
             Some(PathConfig::core_network()),
             meta,
+            app,
             cfg,
             tapped,
             arena,
@@ -657,6 +712,7 @@ impl SessionState {
     /// Starts a baseline (wired or Wi-Fi) session in steppable form.
     pub fn start_baseline(
         access: BaselineAccess,
+        app: &AppSpec,
         cfg: &SessionConfig,
         tapped: bool,
         arena: &mut SessionArena,
@@ -673,7 +729,7 @@ impl SessionState {
             rng_dl: rng_for(cfg.seed, RngStream::Custom(102)),
             out: Vec::new(),
         }));
-        Self::new(sim, None, meta, cfg, tapped, arena)
+        Self::new(sim, None, meta, app, cfg, tapped, arena)
     }
 
     /// The engine tick granularity. A multiplexing driver requires every
@@ -732,65 +788,130 @@ impl SessionState {
             .recorder
             .add(Counter::EngineSimTimeUs, self.tick_len.as_micros());
 
-        // 1. Endpoints emit (media from senders, RTCP from receivers).
-        let emit = &mut scratch.emit;
-        emit.clear();
-        self.a.sender.poll_into(now, emit);
-        self.a.receiver.poll_into(now, emit);
-        for p in emit.drain(..) {
-            let id = self.next_id;
-            self.next_id += 1;
-            let record_idx = self.bundle.packets.len();
-            self.bundle
-                .packets
-                .push(packet_record(&p, Direction::Uplink));
-            if self.tapped {
-                tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+        // 1. Endpoints emit. The uplink/downlink plumbing is shared by
+        // every workload; only the endpoint polling differs per arm.
+        match &mut self.app {
+            AppPair::Rtc { a, b } => {
+                // Media from senders, RTCP from receivers.
+                let emit = &mut scratch.emit;
+                emit.clear();
+                a.sender.poll_into(now, emit);
+                a.receiver.poll_into(now, emit);
+                for p in emit.drain(..) {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let record_idx = self.bundle.packets.len();
+                    self.bundle
+                        .packets
+                        .push(packet_record(&p, Direction::Uplink));
+                    if self.tapped {
+                        tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+                    }
+                    self.pending.insert(
+                        id,
+                        Pending {
+                            record_idx,
+                            payload: AppPayload::Rtc(p.payload),
+                            sent: p.at,
+                            size: p.size_bytes,
+                        },
+                    );
+                    self.access
+                        .enqueue(p.at, Direction::Uplink, id, p.size_bytes);
+                }
+                emit.clear();
+                b.sender.poll_into(now, emit);
+                b.receiver.poll_into(now, emit);
+                for p in emit.drain(..) {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let record_idx = self.bundle.packets.len();
+                    self.bundle
+                        .packets
+                        .push(packet_record(&p, Direction::Downlink));
+                    if self.tapped {
+                        tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+                    }
+                    // Peer → (transit, core) → access ingress.
+                    let hop1 = self.peer_dl.traverse(p.at, p.size_bytes, &mut self.rng_rev);
+                    let arrival = hop1.and_then(|t| match &mut self.core_dl {
+                        Some(core) => core.traverse(t, p.size_bytes, &mut self.rng_rev),
+                        None => Some(t),
+                    });
+                    // A `None` arrival is a loss before the access network;
+                    // the packet record simply stays unreceived.
+                    if let Some(at) = arrival {
+                        self.pending.insert(
+                            id,
+                            Pending {
+                                record_idx,
+                                payload: AppPayload::Rtc(p.payload),
+                                sent: p.at,
+                                size: p.size_bytes,
+                            },
+                        );
+                        sink.schedule(at, RouteEvent::EnqueueDownlink(id));
+                    }
+                }
             }
-            self.pending.insert(
-                id,
-                Pending {
-                    record_idx,
-                    payload: p.payload,
-                    sent: p.at,
-                    size: p.size_bytes,
-                },
-            );
-            self.access
-                .enqueue(p.at, Direction::Uplink, id, p.size_bytes);
-        }
-        emit.clear();
-        self.b.sender.poll_into(now, emit);
-        self.b.receiver.poll_into(now, emit);
-        for p in emit.drain(..) {
-            let id = self.next_id;
-            self.next_id += 1;
-            let record_idx = self.bundle.packets.len();
-            self.bundle
-                .packets
-                .push(packet_record(&p, Direction::Downlink));
-            if self.tapped {
-                tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
-            }
-            // Peer → (transit, core) → access ingress.
-            let hop1 = self.peer_dl.traverse(p.at, p.size_bytes, &mut self.rng_rev);
-            let arrival = hop1.and_then(|t| match &mut self.core_dl {
-                Some(core) => core.traverse(t, p.size_bytes, &mut self.rng_rev),
-                None => Some(t),
-            });
-            // A `None` arrival is a loss before the access network; the
-            // packet record simply stays unreceived.
-            if let Some(at) = arrival {
-                self.pending.insert(
-                    id,
-                    Pending {
-                        record_idx,
-                        payload: p.payload,
-                        sent: p.at,
-                        size: p.size_bytes,
-                    },
-                );
-                sink.schedule(at, RouteEvent::EnqueueDownlink(id));
+            AppPair::Abr(pair) => {
+                // Segment requests from the player, paced chunks from the
+                // origin.
+                let emit = &mut scratch.abr_emit;
+                emit.clear();
+                pair.client.poll_into(now, emit);
+                for p in emit.drain(..) {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let record_idx = self.bundle.packets.len();
+                    self.bundle
+                        .packets
+                        .push(abr_packet_record(&p, Direction::Uplink));
+                    if self.tapped {
+                        tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+                    }
+                    self.pending.insert(
+                        id,
+                        Pending {
+                            record_idx,
+                            payload: AppPayload::Abr(p.payload),
+                            sent: p.at,
+                            size: p.size_bytes,
+                        },
+                    );
+                    self.access
+                        .enqueue(p.at, Direction::Uplink, id, p.size_bytes);
+                }
+                emit.clear();
+                pair.server.poll_into(now, emit);
+                for p in emit.drain(..) {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let record_idx = self.bundle.packets.len();
+                    self.bundle
+                        .packets
+                        .push(abr_packet_record(&p, Direction::Downlink));
+                    if self.tapped {
+                        tap.on_packet_sent(id, &self.bundle.packets[record_idx]);
+                    }
+                    let hop1 = self.peer_dl.traverse(p.at, p.size_bytes, &mut self.rng_rev);
+                    let arrival = hop1.and_then(|t| match &mut self.core_dl {
+                        Some(core) => core.traverse(t, p.size_bytes, &mut self.rng_rev),
+                        None => Some(t),
+                    });
+                    if let Some(at) = arrival {
+                        self.pending.insert(
+                            id,
+                            Pending {
+                                record_idx,
+                                payload: AppPayload::Abr(p.payload),
+                                sent: p.at,
+                                size: p.size_bytes,
+                            },
+                        );
+                        sink.schedule(at, RouteEvent::EnqueueDownlink(id));
+                    }
+                }
             }
         }
     }
@@ -847,13 +968,27 @@ impl SessionState {
                 }
             }
             RouteEvent::ArriveAtPeer(id) => {
-                if deliver(&mut self.pending, &mut self.bundle, id, at, &mut self.b) && self.tapped
+                if deliver(
+                    &mut self.pending,
+                    &mut self.bundle,
+                    id,
+                    at,
+                    &mut self.app,
+                    false,
+                ) && self.tapped
                 {
                     tap.on_packet_delivered(id, at);
                 }
             }
             RouteEvent::ArriveAtUe(id) => {
-                if deliver(&mut self.pending, &mut self.bundle, id, at, &mut self.a) && self.tapped
+                if deliver(
+                    &mut self.pending,
+                    &mut self.bundle,
+                    id,
+                    at,
+                    &mut self.app,
+                    true,
+                ) && self.tapped
                 {
                     tap.on_packet_delivered(id, at);
                 }
@@ -878,26 +1013,53 @@ impl SessionState {
         // 4. 50 ms app-stats sampling on both clients. The sorted-append
         // hooks double as a debug-build check that sampling stays monotone.
         if now >= self.next_stats {
-            // Pacer backlog is sampled on the app-stats cadence, not every
-            // tick, so the histogram tracks the same 50 ms lattice as the
-            // client stats it sits beside.
-            scratch.recorder.observe(
-                HistId::RtcPacerBacklog,
-                self.a.sender.pacer_backlog() as u64,
-            );
-            scratch.recorder.observe(
-                HistId::RtcPacerBacklog,
-                self.b.sender.pacer_backlog() as u64,
-            );
-            let sa = self.a.sample_stats(now);
-            let sb = self.b.sample_stats(now);
-            if self.tapped {
-                tap.on_app_local(&sa);
-                tap.on_app_remote(&sb);
+            match &mut self.app {
+                AppPair::Rtc { a, b } => {
+                    // Pacer backlog is sampled on the app-stats cadence, not
+                    // every tick, so the histogram tracks the same 50 ms
+                    // lattice as the client stats it sits beside.
+                    scratch
+                        .recorder
+                        .observe(HistId::RtcPacerBacklog, a.sender.pacer_backlog() as u64);
+                    scratch
+                        .recorder
+                        .observe(HistId::RtcPacerBacklog, b.sender.pacer_backlog() as u64);
+                    let sa = a.sample_stats(now);
+                    let sb = b.sample_stats(now);
+                    if self.tapped {
+                        tap.on_app_local(&sa);
+                        tap.on_app_remote(&sb);
+                    }
+                    self.bundle.append_app_local(sa);
+                    self.bundle.append_app_remote(sb);
+                }
+                AppPair::Abr(pair) => {
+                    let s = pair.client.sample_stats(now);
+                    scratch
+                        .recorder
+                        .observe(HistId::PlaybackBufferMs, s.buffer_ms as u64);
+                    if self.tapped {
+                        tap.on_playback(&s);
+                    }
+                    self.bundle.append_playback(s);
+                }
             }
-            self.bundle.append_app_local(sa);
-            self.bundle.append_app_remote(sb);
             self.next_stats += self.stats_interval;
+        }
+
+        // Playback transitions count on the tick they happen, not on the
+        // 50 ms sampling lattice, so short stalls are never missed.
+        if let AppPair::Abr(pair) = &mut self.app {
+            let ev = pair.client.take_events();
+            if ev.stall_started {
+                scratch.recorder.add(Counter::PlaybackStalls, 1);
+            }
+            if let Some(ms) = ev.stall_ended_ms {
+                scratch.recorder.observe(HistId::PlaybackStallMs, ms);
+            }
+            if ev.ladder_switched {
+                scratch.recorder.add(Counter::PlaybackLadderSwitches, 1);
+            }
         }
 
         // 5. Live taps see RAN telemetry and the clock every tick, and may
@@ -992,33 +1154,201 @@ impl SessionState {
     }
 }
 
+/// One solo session run, configured fluently: the single entry point that
+/// replaced the `run_cell_session*` / `run_baseline_session*` free-function
+/// family.
+///
+/// ```
+/// use scenarios::{cells, SessionConfig, SessionRun, SessionSpec};
+///
+/// let cfg = SessionConfig {
+///     duration: simcore::SimDuration::from_secs(2),
+///     ..Default::default()
+/// };
+/// // From a declarative spec:
+/// let spec = SessionSpec::cell(cells::amarisoft(), cfg.clone());
+/// let bundle = SessionRun::new(&spec).run();
+/// // Or directly from a cell config (a `.script(..)` call could install
+/// // imperative overrides here):
+/// let direct = SessionRun::cell(cells::amarisoft(), &cfg).run();
+/// assert_eq!(bundle.packets.len(), direct.packets.len());
+/// ```
+///
+/// Optional pieces compose: [`SessionRun::tap`] streams telemetry at
+/// emission time, [`SessionRun::arena`] reuses a caller-owned
+/// [`SessionArena`]'s buffers. The defaults (no tap, a fresh arena) produce
+/// byte-identical bundles to any other combination — taps and arenas never
+/// perturb the simulation.
+pub struct SessionRun<'a> {
+    source: RunSource<'a>,
+    tap: Option<&'a mut dyn LiveTap>,
+    arena: Option<&'a mut SessionArena>,
+}
+
+/// A one-shot cell-setup closure handed to [`SessionRun::script`].
+type ScriptFn<'a> = Box<dyn FnOnce(&mut CellSim) + 'a>;
+
+// A builder that lives on the stack for one call; boxing the inline
+// `CellConfig` would buy nothing.
+#[allow(clippy::large_enum_variant)]
+enum RunSource<'a> {
+    Spec(&'a crate::grid::SessionSpec),
+    Cell {
+        cell: CellConfig,
+        app: AppSpec,
+        cfg: &'a SessionConfig,
+        script: Option<ScriptFn<'a>>,
+    },
+    Baseline {
+        access: BaselineAccess,
+        app: AppSpec,
+        cfg: &'a SessionConfig,
+    },
+}
+
+impl<'a> SessionRun<'a> {
+    /// A run of a declarative [`SessionSpec`](crate::grid::SessionSpec)
+    /// (access, workload, scripts, and config all come from the spec).
+    pub fn new(spec: &'a crate::grid::SessionSpec) -> Self {
+        SessionRun {
+            source: RunSource::Spec(spec),
+            tap: None,
+            arena: None,
+        }
+    }
+
+    /// A run over a 5G cell with the default RTC workload.
+    pub fn cell(cell: CellConfig, cfg: &'a SessionConfig) -> Self {
+        SessionRun {
+            source: RunSource::Cell {
+                cell,
+                app: AppSpec::Rtc,
+                cfg,
+                script: None,
+            },
+            tap: None,
+            arena: None,
+        }
+    }
+
+    /// A baseline (wired or Wi-Fi) run with the default RTC workload.
+    pub fn baseline(access: BaselineAccess, cfg: &'a SessionConfig) -> Self {
+        SessionRun {
+            source: RunSource::Baseline {
+                access,
+                app: AppSpec::Rtc,
+                cfg,
+            },
+            tap: None,
+            arena: None,
+        }
+    }
+
+    /// Installs an imperative cell script (forced fades, cross-traffic
+    /// windows, HARQ failures, RRC releases), applied before the call
+    /// starts. Only meaningful for [`SessionRun::cell`] sources; ignored
+    /// otherwise (spec sources carry their scripts as data).
+    pub fn script(mut self, f: impl FnOnce(&mut CellSim) + 'a) -> Self {
+        if let RunSource::Cell { script, .. } = &mut self.source {
+            *script = Some(Box::new(f));
+        }
+        self
+    }
+
+    /// Selects the application workload for cell/baseline sources (spec
+    /// sources carry their own [`AppSpec`]).
+    pub fn app(mut self, spec: AppSpec) -> Self {
+        match &mut self.source {
+            RunSource::Cell { app, .. } | RunSource::Baseline { app, .. } => *app = spec,
+            RunSource::Spec(_) => {}
+        }
+        self
+    }
+
+    /// Streams every telemetry record into `tap` at emission time (see
+    /// [`telemetry::LiveTap`] for the event contract). The finished bundle
+    /// is identical to an untapped run for the same inputs unless the tap
+    /// requests an early exit, in which case the bundle is truncated at the
+    /// abort tick.
+    pub fn tap(mut self, tap: &'a mut dyn LiveTap) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Runs inside a caller-owned [`SessionArena`], reusing its buffers —
+    /// the allocation-reusing mode sweep workers use.
+    pub fn arena(mut self, arena: &'a mut SessionArena) -> Self {
+        self.arena = Some(arena);
+        self
+    }
+
+    /// Drives the session to completion and returns its trace bundle.
+    pub fn run(self) -> TraceBundle {
+        let mut local_arena;
+        let arena = match self.arena {
+            Some(a) => a,
+            None => {
+                local_arena = SessionArena::new();
+                &mut local_arena
+            }
+        };
+        let mut null = telemetry::NullTap;
+        let tap: &mut dyn LiveTap = match self.tap {
+            Some(t) => t,
+            None => &mut null,
+        };
+        let tapped = tap.is_active();
+        let state = match self.source {
+            RunSource::Spec(spec) => spec.start_in(tapped, arena),
+            RunSource::Cell {
+                cell,
+                app,
+                cfg,
+                script,
+            } => match script {
+                Some(f) => SessionState::start_cell(cell, &app, cfg, f, tapped, arena),
+                None => SessionState::start_cell(cell, &app, cfg, |_| {}, tapped, arena),
+            },
+            RunSource::Baseline { access, app, cfg } => {
+                SessionState::start_baseline(access, &app, cfg, tapped, arena)
+            }
+        };
+        drive(state, tap, arena)
+    }
+}
+
 /// Runs a session over a 5G cell. `script` can install scripted overrides
 /// (forced fades, cross-traffic windows, HARQ failures, RRC releases) on
 /// the cell before the call starts.
+#[deprecated(note = "use `SessionRun::cell(cell_cfg, cfg).script(script).run()`")]
 pub fn run_cell_session(
     cell_cfg: CellConfig,
     cfg: &SessionConfig,
     script: impl FnOnce(&mut CellSim),
 ) -> TraceBundle {
-    run_cell_session_with_tap(cell_cfg, cfg, script, &mut telemetry::NullTap)
+    SessionRun::cell(cell_cfg, cfg).script(script).run()
 }
 
 /// Runs a session over a 5G cell while streaming every telemetry record into
 /// `tap` at emission time (see [`telemetry::LiveTap`] for the event
-/// contract). The finished bundle is identical to [`run_cell_session`]'s for
-/// the same inputs unless the tap requests an early exit, in which case the
-/// bundle is truncated at the abort tick.
+/// contract).
+#[deprecated(note = "use `SessionRun::cell(cell_cfg, cfg).script(script).tap(tap).run()`")]
 pub fn run_cell_session_with_tap(
     cell_cfg: CellConfig,
     cfg: &SessionConfig,
     script: impl FnOnce(&mut CellSim),
     tap: &mut dyn LiveTap,
 ) -> TraceBundle {
-    run_cell_session_with_tap_in(cell_cfg, cfg, script, tap, &mut SessionArena::new())
+    SessionRun::cell(cell_cfg, cfg)
+        .script(script)
+        .tap(tap)
+        .run()
 }
 
-/// [`run_cell_session_with_tap`] running inside a caller-owned
-/// [`SessionArena`] — the allocation-reusing entry point sweep workers use.
+/// Cell session with a tap inside a caller-owned [`SessionArena`].
+#[deprecated(
+    note = "use `SessionRun::cell(cell_cfg, cfg).script(script).tap(tap).arena(arena).run()`"
+)]
 pub fn run_cell_session_with_tap_in(
     cell_cfg: CellConfig,
     cfg: &SessionConfig,
@@ -1026,34 +1356,41 @@ pub fn run_cell_session_with_tap_in(
     tap: &mut dyn LiveTap,
     arena: &mut SessionArena,
 ) -> TraceBundle {
-    let state = SessionState::start_cell(cell_cfg, cfg, script, tap.is_active(), arena);
-    drive(state, tap, arena)
+    SessionRun::cell(cell_cfg, cfg)
+        .script(script)
+        .tap(tap)
+        .arena(arena)
+        .run()
 }
 
 /// Runs a baseline (wired or Wi-Fi) session for the §2 comparisons.
+#[deprecated(note = "use `SessionRun::baseline(access, cfg).run()`")]
 pub fn run_baseline_session(access: BaselineAccess, cfg: &SessionConfig) -> TraceBundle {
-    run_baseline_session_with_tap(access, cfg, &mut telemetry::NullTap)
+    SessionRun::baseline(access, cfg).run()
 }
 
-/// Runs a baseline session with a live tap (see [`run_cell_session_with_tap`]).
+/// Runs a baseline session with a live tap.
+#[deprecated(note = "use `SessionRun::baseline(access, cfg).tap(tap).run()`")]
 pub fn run_baseline_session_with_tap(
     access: BaselineAccess,
     cfg: &SessionConfig,
     tap: &mut dyn LiveTap,
 ) -> TraceBundle {
-    run_baseline_session_with_tap_in(access, cfg, tap, &mut SessionArena::new())
+    SessionRun::baseline(access, cfg).tap(tap).run()
 }
 
-/// [`run_baseline_session_with_tap`] running inside a caller-owned
-/// [`SessionArena`].
+/// Baseline session with a tap inside a caller-owned [`SessionArena`].
+#[deprecated(note = "use `SessionRun::baseline(access, cfg).tap(tap).arena(arena).run()`")]
 pub fn run_baseline_session_with_tap_in(
     access: BaselineAccess,
     cfg: &SessionConfig,
     tap: &mut dyn LiveTap,
     arena: &mut SessionArena,
 ) -> TraceBundle {
-    let state = SessionState::start_baseline(access, cfg, tap.is_active(), arena);
-    drive(state, tap, arena)
+    SessionRun::baseline(access, cfg)
+        .tap(tap)
+        .arena(arena)
+        .run()
 }
 
 /// The solo driver: advances one [`SessionState`] to completion through the
@@ -1061,7 +1398,11 @@ pub fn run_baseline_session_with_tap_in(
 /// arena (the queue's `clear()` resets the tie-break sequence, so a
 /// recycled queue replays identically to a fresh one); at steady state no
 /// step of the tick loop allocates.
-fn drive(mut state: SessionState, tap: &mut dyn LiveTap, arena: &mut SessionArena) -> TraceBundle {
+pub(crate) fn drive(
+    mut state: SessionState,
+    tap: &mut dyn LiveTap,
+    arena: &mut SessionArena,
+) -> TraceBundle {
     let (queue, scratch) = arena.solo_parts();
     queue.clear();
     while !state.is_done() {
@@ -1130,21 +1471,53 @@ fn deliver(
     bundle: &mut TraceBundle,
     id: u64,
     at: SimTime,
-    endpoint: &mut RtcEndpoint,
+    app: &mut AppPair,
+    to_ue: bool,
 ) -> bool {
     let Some(p) = pending.remove(&id) else {
         return false;
     };
     bundle.packets[p.record_idx].received = Some(at);
-    match &p.payload {
-        PacketPayload::Video { .. } | PacketPayload::Audio { .. } => {
-            let seq = bundle.packets[p.record_idx].seq;
-            endpoint.receiver.on_packet(at, seq, p.sent, &p.payload);
+    match (&p.payload, app) {
+        (AppPayload::Rtc(payload), AppPair::Rtc { a, b }) => {
+            let endpoint = if to_ue { a } else { b };
+            match payload {
+                PacketPayload::Video { .. } | PacketPayload::Audio { .. } => {
+                    let seq = bundle.packets[p.record_idx].seq;
+                    endpoint.receiver.on_packet(at, seq, p.sent, payload);
+                }
+                PacketPayload::Feedback(fb) => endpoint.sender.on_transport_feedback(at, fb),
+                PacketPayload::Report(rr) => endpoint.sender.on_receiver_report(at, rr),
+            }
         }
-        PacketPayload::Feedback(fb) => endpoint.sender.on_transport_feedback(at, fb),
-        PacketPayload::Report(rr) => endpoint.sender.on_receiver_report(at, rr),
+        (AppPayload::Abr(payload), AppPair::Abr(pair)) => {
+            if to_ue {
+                pair.client.on_chunk(at, payload);
+            } else {
+                pair.server.on_request(at, payload);
+            }
+        }
+        _ => debug_assert!(
+            false,
+            "in-flight payload kind must match the session workload"
+        ),
     }
     true
+}
+
+fn abr_packet_record(p: &AbrOutgoing, dir: Direction) -> PacketRecord {
+    PacketRecord {
+        sent: p.at,
+        received: None,
+        direction: dir,
+        stream: p.payload.stream(),
+        seq: if p.payload.stream() == StreamKind::Rtcp {
+            0
+        } else {
+            p.transport_seq
+        },
+        size_bytes: p.size_bytes,
+    }
 }
 
 fn packet_record(p: &OutgoingPacket, dir: Direction) -> PacketRecord {
@@ -1186,6 +1559,13 @@ pub(crate) mod tests_support {
         }
         assert_eq!(a.app_local.len(), b.app_local.len());
         assert_eq!(a.app_remote.len(), b.app_remote.len());
+        assert_eq!(a.playback.len(), b.playback.len());
+        for (x, y) in a.playback.iter().zip(&b.playback) {
+            assert_eq!(
+                (x.ts, x.stall_count, x.rung, x.buffer_ms.to_bits()),
+                (y.ts, y.stall_count, y.rung, y.buffer_ms.to_bits())
+            );
+        }
     }
 }
 
@@ -1204,7 +1584,7 @@ mod tests {
 
     #[test]
     fn baseline_wired_session_is_clean() {
-        let b = run_baseline_session(BaselineAccess::Wired, &short_cfg(1));
+        let b = SessionRun::baseline(BaselineAccess::Wired, &short_cfg(1)).run();
         assert!(b.is_sorted());
         assert!(b.packets.len() > 1_000, "packets {}", b.packets.len());
         assert!(b.dci.is_empty());
@@ -1228,7 +1608,7 @@ mod tests {
 
     #[test]
     fn cell_session_produces_full_bundle() {
-        let b = run_cell_session(cells::amarisoft(), &short_cfg(2), |_| {});
+        let b = SessionRun::cell(cells::amarisoft(), &short_cfg(2)).run();
         assert!(b.is_sorted());
         assert!(!b.dci.is_empty(), "cell sessions must emit DCI telemetry");
         assert!(!b.gnb.is_empty(), "Amarisoft emits gNB logs");
@@ -1253,7 +1633,7 @@ mod tests {
 
     #[test]
     fn commercial_cell_hides_gnb_log() {
-        let b = run_cell_session(cells::tmobile_tdd_100mhz(), &short_cfg(3), |_| {});
+        let b = SessionRun::cell(cells::tmobile_tdd_100mhz(), &short_cfg(3)).run();
         assert!(b.gnb.is_empty());
         assert!(!b.meta.has_gnb_log);
     }
@@ -1261,8 +1641,8 @@ mod tests {
     #[test]
     fn cellular_delay_exceeds_wired() {
         let cfg = short_cfg(4);
-        let cell = run_cell_session(cells::tmobile_fdd_15mhz(), &cfg, |_| {});
-        let wired = run_baseline_session(BaselineAccess::Wired, &cfg);
+        let cell = SessionRun::cell(cells::tmobile_fdd_15mhz(), &cfg).run();
+        let wired = SessionRun::baseline(BaselineAccess::Wired, &cfg).run();
         let med = |b: &TraceBundle, dir| {
             let d: Vec<f64> = b
                 .packets
@@ -1310,6 +1690,9 @@ mod tests {
         fn on_app_local(&mut self, r: &telemetry::AppStatsRecord) {
             self.rebuilt.append_app_local(r.clone());
         }
+        fn on_playback(&mut self, r: &telemetry::PlaybackStatsRecord) {
+            self.rebuilt.append_playback(r.clone());
+        }
         fn on_app_remote(&mut self, r: &telemetry::AppStatsRecord) {
             self.rebuilt.append_app_remote(r.clone());
         }
@@ -1345,9 +1728,11 @@ mod tests {
     #[test]
     fn tapped_session_matches_untapped_and_rebuilds_bundle() {
         let cfg = short_cfg(8);
-        let untapped = run_cell_session(cells::amarisoft(), &cfg, |_| {});
+        let untapped = SessionRun::cell(cells::amarisoft(), &cfg).run();
         let mut tap = RecordingTap::new();
-        let tapped = run_cell_session_with_tap(cells::amarisoft(), &cfg, |_| {}, &mut tap);
+        let tapped = SessionRun::cell(cells::amarisoft(), &cfg)
+            .tap(&mut tap)
+            .run();
         // The tap must not perturb the simulation.
         assert_bundles_identical(&untapped, &tapped);
         // Rebuilding from tap events reproduces the bundle after one sort
@@ -1367,8 +1752,10 @@ mod tests {
         let cfg = short_cfg(9);
         let mut tap = RecordingTap::new();
         tap.stop_after = Some(SimTime::from_secs(5));
-        let truncated = run_cell_session_with_tap(cells::amarisoft(), &cfg, |_| {}, &mut tap);
-        let full = run_cell_session(cells::amarisoft(), &cfg, |_| {});
+        let truncated = SessionRun::cell(cells::amarisoft(), &cfg)
+            .tap(&mut tap)
+            .run();
+        let full = SessionRun::cell(cells::amarisoft(), &cfg).run();
         assert!(truncated.packets.len() < full.packets.len() / 2);
         assert!(truncated.horizon() < SimTime::from_secs(6));
         // Early exit reports the abort instant, not the configured duration.
@@ -1386,13 +1773,86 @@ mod tests {
     #[test]
     fn sessions_are_deterministic() {
         let cfg = short_cfg(7);
-        let x = run_cell_session(cells::mosolabs(), &cfg, |_| {});
-        let y = run_cell_session(cells::mosolabs(), &cfg, |_| {});
+        let x = SessionRun::cell(cells::mosolabs(), &cfg).run();
+        let y = SessionRun::cell(cells::mosolabs(), &cfg).run();
         assert_eq!(x.packets.len(), y.packets.len());
         assert_eq!(x.dci.len(), y.dci.len());
         for (p, q) in x.packets.iter().zip(&y.packets) {
             assert_eq!(p.sent, q.sent);
             assert_eq!(p.received, q.received);
         }
+    }
+
+    /// The deprecated free-function wrappers must stay byte-identical to
+    /// the builder they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_session_run() {
+        let cfg = short_cfg(21);
+        let via_builder = SessionRun::cell(cells::mosolabs(), &cfg)
+            .script(|sim| sim.script_rrc_release(SimTime::from_secs(5)))
+            .run();
+        let via_wrapper = run_cell_session(cells::mosolabs(), &cfg, |sim| {
+            sim.script_rrc_release(SimTime::from_secs(5))
+        });
+        assert_bundles_identical(&via_builder, &via_wrapper);
+        let base_builder = SessionRun::baseline(BaselineAccess::Wifi, &cfg).run();
+        let base_wrapper = run_baseline_session(BaselineAccess::Wifi, &cfg);
+        assert_bundles_identical(&base_builder, &base_wrapper);
+    }
+
+    #[test]
+    fn abr_session_streams_over_a_cell() {
+        let cfg = short_cfg(31);
+        let b = SessionRun::cell(cells::amarisoft(), &cfg)
+            .app(AppSpec::Abr(AbrConfig::default()))
+            .run();
+        assert!(b.is_sorted());
+        assert!(!b.dci.is_empty(), "cell telemetry flows for ABR too");
+        // Playback samples on the 50 ms lattice; RTC app stats absent.
+        assert!(b.playback.len() > 250, "playback {}", b.playback.len());
+        assert!(b.app_local.is_empty() && b.app_remote.is_empty());
+        let last = b.playback.last().unwrap();
+        assert!(last.started, "playback must start on a healthy cell");
+        assert!(last.segments_fetched > 5);
+        // Segment requests ride the uplink, chunks ride the downlink.
+        let ul = b
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink)
+            .count();
+        let dl = b
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink && p.stream == StreamKind::Video)
+            .count();
+        assert!(ul > 5, "requests {ul}");
+        assert!(dl > 500, "chunks {dl}");
+    }
+
+    #[test]
+    fn abr_sessions_are_deterministic_and_tap_invisible() {
+        let cfg = short_cfg(32);
+        let mk = || {
+            SessionRun::cell(cells::mosolabs(), &cfg)
+                .app(AppSpec::Abr(AbrConfig::default()))
+                .run()
+        };
+        let x = mk();
+        let y = mk();
+        assert_bundles_identical(&x, &y);
+        assert_eq!(x.playback.len(), y.playback.len());
+        for (p, q) in x.playback.iter().zip(&y.playback) {
+            assert_eq!((p.ts, p.stall_count, p.rung), (q.ts, q.stall_count, q.rung));
+            assert_eq!(p.buffer_ms.to_bits(), q.buffer_ms.to_bits());
+        }
+        // A recording tap neither perturbs the run nor misses records.
+        let mut tap = RecordingTap::new();
+        let tapped = SessionRun::cell(cells::mosolabs(), &cfg)
+            .app(AppSpec::Abr(AbrConfig::default()))
+            .tap(&mut tap)
+            .run();
+        assert_bundles_identical(&x, &tapped);
+        assert_eq!(tap.rebuilt.playback.len(), tapped.playback.len());
     }
 }

@@ -28,7 +28,7 @@ use ran_sim::{CellConfig, CellSim};
 use simcore::{derive_seed, SimDuration, SimTime};
 use telemetry::{DciRecord, NullTap, TraceBundle};
 
-use crate::session::{SessionArena, SessionConfig, SessionState, SharedRouteQueue};
+use crate::session::{AppSpec, SessionArena, SessionConfig, SessionState, SharedRouteQueue};
 
 /// Drives N diagnosed call pairs over one shared cell to completion.
 ///
@@ -58,6 +58,20 @@ impl SharedCellDriver {
         pairs: usize,
         script: impl FnOnce(&mut CellSim),
     ) -> Self {
+        Self::new_with_app(cell_cfg, &AppSpec::Rtc, cfg, pairs, script)
+    }
+
+    /// [`Self::new`] with an explicit application workload: every pair runs
+    /// `app` (an [`AppSpec::Abr`] driver puts N streaming players on one
+    /// cell). The session engine is workload-generic, so the tick pipeline
+    /// is identical either way.
+    pub fn new_with_app(
+        cell_cfg: CellConfig,
+        app: &AppSpec,
+        cfg: &SessionConfig,
+        pairs: usize,
+        script: impl FnOnce(&mut CellSim),
+    ) -> Self {
         assert!(pairs >= 1, "a shared cell needs at least one call pair");
         let mut arena = SessionArena::new();
         let mut cell = CellSim::new_in(cell_cfg, cfg.seed, arena.take_ue_table());
@@ -77,6 +91,7 @@ impl SharedCellDriver {
                 };
                 Some(SessionState::start_shared(
                     cell.config(),
+                    app,
                     &lane_cfg,
                     i as u32,
                     false,
@@ -201,7 +216,7 @@ pub fn run_shared_cell_sessions(
 mod tests {
     use super::*;
     use crate::cells;
-    use crate::session::run_cell_session;
+    use crate::session::SessionRun;
     use ran_sim::traffic_mix;
     use telemetry::Direction;
 
@@ -215,7 +230,7 @@ mod tests {
 
     #[test]
     fn single_pair_matches_solo_session_exactly() {
-        let solo = run_cell_session(cells::amarisoft(), &cfg(77, 10), |_| {});
+        let solo = SessionRun::cell(cells::amarisoft(), &cfg(77, 10)).run();
         let shared = run_shared_cell_sessions(cells::amarisoft(), &cfg(77, 10), 1, |_| {});
         assert_eq!(shared.len(), 1);
         crate::session::tests_support::assert_bundles_identical(&solo, &shared[0]);

@@ -136,6 +136,48 @@ impl SweepOptions {
         }
     }
 
+    /// Sets the worker-thread count (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-worker execution mode (sequential or multiplexed).
+    pub fn mode(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the per-session analysis mode.
+    pub fn analysis(mut self, analysis: AnalysisMode) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Sets the live-stage configuration used by [`AnalysisMode::Live`].
+    pub fn live(mut self, live: LiveConfig) -> Self {
+        self.live = live;
+        self
+    }
+
+    /// Sets the observability recorder configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Retains each session's [`TraceBundle`] in its outcome.
+    pub fn keep_bundles(mut self, keep: bool) -> Self {
+        self.keep_bundles = keep;
+        self
+    }
+
+    /// Retains each session's full per-window [`Analysis`].
+    pub fn keep_analyses(mut self, keep: bool) -> Self {
+        self.keep_analyses = keep;
+        self
+    }
+
     fn resolved_threads(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(NonZeroUsize::get)

@@ -6,7 +6,10 @@
 
 use simcore::{SimDuration, SimTime};
 
-use crate::records::{AppStatsRecord, CellClass, DciRecord, Duplexing, GnbLogRecord, PacketRecord};
+use crate::records::{
+    AppStatsRecord, CellClass, DciRecord, Duplexing, GnbLogRecord, PacketRecord,
+    PlaybackStatsRecord,
+};
 
 /// Descriptive metadata of a capture session (one row of Table 1).
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +78,9 @@ pub struct TraceBundle {
     pub app_local: Vec<AppStatsRecord>,
     /// 50 ms app stats of the wired client, sorted by time.
     pub app_remote: Vec<AppStatsRecord>,
+    /// 50 ms playback samples of an ABR streaming client, sorted by time
+    /// (empty for RTC sessions).
+    pub playback: Vec<PlaybackStatsRecord>,
 }
 
 impl TraceBundle {
@@ -87,6 +93,7 @@ impl TraceBundle {
             packets: Vec::new(),
             app_local: Vec::new(),
             app_remote: Vec::new(),
+            playback: Vec::new(),
         }
     }
 
@@ -102,6 +109,7 @@ impl TraceBundle {
         self.packets.clear();
         self.app_local.clear();
         self.app_remote.clear();
+        self.playback.clear();
     }
 
     /// Sorts every record vector by timestamp. Simulators append records in
@@ -113,6 +121,7 @@ impl TraceBundle {
         self.packets.sort_by_key(|r| r.sent);
         self.app_local.sort_by_key(|r| r.ts);
         self.app_remote.sort_by_key(|r| r.ts);
+        self.playback.sort_by_key(|r| r.ts);
     }
 
     /// Verifies all record vectors are time-sorted.
@@ -122,6 +131,7 @@ impl TraceBundle {
             && self.packets.windows(2).all(|w| w[0].sent <= w[1].sent)
             && self.app_local.windows(2).all(|w| w[0].ts <= w[1].ts)
             && self.app_remote.windows(2).all(|w| w[0].ts <= w[1].ts)
+            && self.playback.windows(2).all(|w| w[0].ts <= w[1].ts)
     }
 
     /// End of the last record in any stream (bundle horizon).
@@ -140,6 +150,9 @@ impl TraceBundle {
             t = t.max(r.ts);
         }
         if let Some(r) = self.app_remote.last() {
+            t = t.max(r.ts);
+        }
+        if let Some(r) = self.playback.last() {
             t = t.max(r.ts);
         }
         t
@@ -168,6 +181,11 @@ impl TraceBundle {
     /// Wired-client app samples in `[from, to)`.
     pub fn app_remote_window(&self, from: SimTime, to: SimTime) -> &[AppStatsRecord] {
         window_by(&self.app_remote, from, to, |r| r.ts)
+    }
+
+    /// ABR playback samples in `[from, to)`.
+    pub fn playback_window(&self, from: SimTime, to: SimTime) -> &[PlaybackStatsRecord] {
+        window_by(&self.playback, from, to, |r| r.ts)
     }
 
     /// Appends a DCI record, keeping the time-sorted invariant.
@@ -235,6 +253,15 @@ impl TraceBundle {
         self.app_remote.push(r);
     }
 
+    /// Appends an ABR playback sample in timestamp order.
+    pub fn append_playback(&mut self, r: PlaybackStatsRecord) {
+        debug_assert!(
+            self.playback.last().is_none_or(|l| l.ts <= r.ts),
+            "unsorted playback append"
+        );
+        self.playback.push(r);
+    }
+
     /// Starts an incremental read cursor at the beginning of every stream.
     pub fn cursor(&self) -> TraceCursor {
         TraceCursor::default()
@@ -265,16 +292,18 @@ impl TraceBundle {
             packets: take(&self.packets, &mut cur.packets, t, |r| r.sent),
             app_local: take(&self.app_local, &mut cur.app_local, t, |r| r.ts),
             app_remote: take(&self.app_remote, &mut cur.app_remote, t, |r| r.ts),
+            playback: take(&self.playback, &mut cur.playback, t, |r| r.ts),
         }
     }
 
-    /// Total records across all five streams.
+    /// Total records across all six streams.
     pub fn total_records(&self) -> usize {
         self.dci.len()
             + self.gnb.len()
             + self.packets.len()
             + self.app_local.len()
             + self.app_remote.len()
+            + self.playback.len()
     }
 
     /// Drops every record `cur` has already consumed (the prefix of each
@@ -290,12 +319,14 @@ impl TraceBundle {
     /// [`Self::advance_until`] do not (they borrow the pruned storage), so
     /// prune only between read batches.
     pub fn prune_consumed(&mut self, cur: &mut TraceCursor) -> usize {
-        let pruned = cur.dci + cur.gnb + cur.packets + cur.app_local + cur.app_remote;
+        let pruned =
+            cur.dci + cur.gnb + cur.packets + cur.app_local + cur.app_remote + cur.playback;
         self.dci.drain(..cur.dci);
         self.gnb.drain(..cur.gnb);
         self.packets.drain(..cur.packets);
         self.app_local.drain(..cur.app_local);
         self.app_remote.drain(..cur.app_remote);
+        self.playback.drain(..cur.playback);
         *cur = TraceCursor::default();
         pruned
     }
@@ -321,6 +352,7 @@ pub struct TraceCursor {
     packets: usize,
     app_local: usize,
     app_remote: usize,
+    playback: usize,
 }
 
 /// One batch of newly visible records, one slice per stream.
@@ -336,16 +368,19 @@ pub struct StreamSlices<'a> {
     pub app_local: &'a [AppStatsRecord],
     /// New wired-client stats samples.
     pub app_remote: &'a [AppStatsRecord],
+    /// New ABR playback samples.
+    pub playback: &'a [PlaybackStatsRecord],
 }
 
 impl StreamSlices<'_> {
-    /// Total records across all five streams.
+    /// Total records across all six streams.
     pub fn len(&self) -> usize {
         self.dci.len()
             + self.gnb.len()
             + self.packets.len()
             + self.app_local.len()
             + self.app_remote.len()
+            + self.playback.len()
     }
 
     /// Whether no stream produced a record.

@@ -27,6 +27,6 @@ pub use bundle::{SessionMeta, StreamSlices, TraceBundle, TraceCursor};
 pub use livetap::{LiveTap, NullTap};
 pub use records::{
     AppStatsRecord, CellClass, DciRecord, Direction, Duplexing, GccNetworkState, GnbEvent,
-    GnbLogRecord, PacketRecord, Resolution, RrcState, StreamKind,
+    GnbLogRecord, PacketRecord, PlaybackStatsRecord, Resolution, RrcState, StreamKind,
 };
 pub use series::{Cdf, SummaryStats, CDF_GRID};

@@ -30,7 +30,7 @@
 
 use simcore::SimTime;
 
-use crate::records::{AppStatsRecord, DciRecord, GnbLogRecord, PacketRecord};
+use crate::records::{AppStatsRecord, DciRecord, GnbLogRecord, PacketRecord, PlaybackStatsRecord};
 
 /// Emission-time consumer of one session's cross-layer telemetry.
 pub trait LiveTap {
@@ -39,6 +39,10 @@ pub trait LiveTap {
 
     /// A wired-side (remote) app-stats sample was taken at `r.ts`.
     fn on_app_remote(&mut self, _r: &AppStatsRecord) {}
+
+    /// An ABR playback sample was taken at `r.ts` (streaming sessions only;
+    /// samples arrive in timestamp order like app stats).
+    fn on_playback(&mut self, _r: &PlaybackStatsRecord) {}
 
     /// A DCI record was captured (records arrive in timestamp order).
     fn on_dci(&mut self, _r: &DciRecord) {}

@@ -279,6 +279,59 @@ pub struct AppStatsRecord {
     pub trendline_threshold: f64,
 }
 
+/// One 50 ms sample of an ABR streaming client's playback state.
+///
+/// The streaming analogue of [`AppStatsRecord`]: where the RTC client
+/// reports jitter-buffer and GCC internals, the ABR client reports its
+/// playback buffer, stall accounting, and ladder position. A streaming
+/// session yields exactly one of these streams (the client side); the
+/// segment server has no player state to sample.
+#[derive(Debug, Clone)]
+pub struct PlaybackStatsRecord {
+    /// Sample time.
+    pub ts: SimTime,
+    /// Media buffered ahead of the playhead (ms).
+    pub buffer_ms: f64,
+    /// `true` once initial startup buffering completed and playback began.
+    pub started: bool,
+    /// `true` while playback is stalled (rebuffering after start).
+    pub stalled: bool,
+    /// Cumulative stall (rebuffering) time since start (ms).
+    pub total_stall_ms: f64,
+    /// Number of distinct stall events so far.
+    pub stall_count: u32,
+    /// Ladder rung index currently playing (0 = lowest).
+    pub rung: u8,
+    /// Resolution of the currently playing rung.
+    pub resolution: Resolution,
+    /// Rung index the controller most recently requested.
+    pub target_rung: u8,
+    /// Controller's smoothed throughput estimate (bits/s; 0 before the
+    /// first segment completes).
+    pub est_throughput_bps: f64,
+    /// Segments fully downloaded so far.
+    pub segments_fetched: u32,
+}
+
+impl PlaybackStatsRecord {
+    /// A neutral sample at `ts` (session start, before any segment flows).
+    pub fn baseline(ts: SimTime) -> Self {
+        PlaybackStatsRecord {
+            ts,
+            buffer_ms: 0.0,
+            started: false,
+            stalled: false,
+            total_stall_ms: 0.0,
+            stall_count: 0,
+            rung: 0,
+            resolution: Resolution::R180p,
+            target_rung: 0,
+            est_throughput_bps: 0.0,
+            segments_fetched: 0,
+        }
+    }
+}
+
 impl AppStatsRecord {
     /// A neutral sample at `ts` (session start, before any media flows).
     pub fn baseline(ts: SimTime) -> Self {

@@ -7,7 +7,7 @@
 //! ```
 
 use domino::core::{compile, parse, Domino, DominoConfig};
-use domino::scenarios::{run_cell_session, tmobile_fdd_15mhz_quiet, SessionConfig};
+use domino::scenarios::{tmobile_fdd_15mhz_quiet, SessionConfig, SessionRun};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 
@@ -42,14 +42,16 @@ fn main() {
         seed: 99,
         ..Default::default()
     };
-    let bundle = run_cell_session(tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        cell.script_cross_traffic(
-            Direction::Downlink,
-            SimTime::from_secs(12),
-            SimTime::from_secs(15),
-            0.99,
-        );
-    });
+    let bundle = SessionRun::cell(tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            cell.script_cross_traffic(
+                Direction::Downlink,
+                SimTime::from_secs(12),
+                SimTime::from_secs(15),
+                0.99,
+            );
+        })
+        .run();
 
     let domino = Domino::new(graph, DominoConfig::default());
     let analysis = domino.analyze(&bundle);

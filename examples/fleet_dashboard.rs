@@ -14,13 +14,14 @@
 
 use std::time::Instant;
 
-use domino::core::Domino;
-use domino::live::{EarlyExit, LiveConfig};
 use domino::obs::{Counter, FGauge, Gauge, HistId, MetricsSnapshot, SpanId};
-use domino::scenarios::{all_cells, ScriptAction, SessionConfig, SessionSpec};
+use domino::scenarios::{all_cells, ScriptAction, SessionConfig};
 use domino::simcore::{SimDuration, SimTime};
-use domino::sweep::{run_sweep, AnalysisMode, ExecutionMode, ObsConfig, SweepOptions};
 use domino::telemetry::Direction;
+use domino::{
+    run_sweep, AnalysisMode, Domino, EarlyExit, ExecutionMode, LiveConfig, ObsConfig, SessionSpec,
+    SweepOptions,
+};
 
 const CALLS: usize = 16;
 
@@ -85,19 +86,17 @@ fn span_line(m: &MetricsSnapshot, id: SpanId, label: &str) {
 fn main() {
     let specs = fleet();
     let domino = Domino::with_defaults();
-    let opts = SweepOptions {
-        threads: 2,
-        execution: ExecutionMode::Multiplexed { width: 8 },
-        analysis: AnalysisMode::Live,
-        live: LiveConfig {
+    let opts = SweepOptions::default()
+        .threads(2)
+        .mode(ExecutionMode::Multiplexed { width: 8 })
+        .analysis(AnalysisMode::Live)
+        .live(LiveConfig {
             lateness: SimDuration::from_secs(1),
             early_exit: EarlyExit::StableFor(6),
-        },
+        })
         // `full()` reads the wall clock on every span entry so the phase
         // table below is exact; production sweeps would use `on()`.
-        obs: ObsConfig::full(),
-        ..Default::default()
-    };
+        .obs(ObsConfig::full());
 
     let wall = Instant::now();
     let report = run_sweep(&specs, &domino, &opts);

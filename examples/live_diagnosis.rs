@@ -18,7 +18,7 @@
 //! ```
 
 use domino::live::{EarlyExit, LiveConfig, LivePipeline};
-use domino::scenarios::{run_cell_session_with_tap, tmobile_fdd_15mhz_quiet, SessionConfig};
+use domino::scenarios::{tmobile_fdd_15mhz_quiet, SessionConfig, SessionRun};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 
@@ -87,12 +87,10 @@ fn main() {
     }
 
     println!("== live diagnosis feed (lateness bound: 2 s) ==");
-    let bundle = run_cell_session_with_tap(
-        tmobile_fdd_15mhz_quiet(),
-        &session_cfg(),
-        degrading_call,
-        &mut pipe,
-    );
+    let bundle = SessionRun::cell(tmobile_fdd_15mhz_quiet(), &session_cfg())
+        .script(degrading_call)
+        .tap(&mut pipe)
+        .run();
 
     let stats = pipe.stats();
     let analysis = pipe.take_analysis(bundle.meta.duration);
@@ -123,12 +121,10 @@ fn main() {
         early_exit: EarlyExit::AfterChains(3),
     })
     .expect("default config is aligned");
-    let truncated = run_cell_session_with_tap(
-        tmobile_fdd_15mhz_quiet(),
-        &session_cfg(),
-        degrading_call,
-        &mut triage,
-    );
+    let truncated = SessionRun::cell(tmobile_fdd_15mhz_quiet(), &session_cfg())
+        .script(degrading_call)
+        .tap(&mut triage)
+        .run();
     let tstats = triage.stats();
     println!("\n== triage run (early exit after 3 confirmed chains) ==");
     println!(

@@ -11,7 +11,7 @@
 //! ```
 
 use domino::core::{ChainStats, Domino};
-use domino::scenarios::{run_cell_session, tmobile_fdd_15mhz_quiet, SessionConfig};
+use domino::scenarios::{tmobile_fdd_15mhz_quiet, SessionConfig, SessionRun};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 
@@ -21,16 +21,18 @@ fn main() {
         seed: 31,
         ..Default::default()
     };
-    let bundle = run_cell_session(tmobile_fdd_15mhz_quiet(), &cfg, |cell| {
-        // Two incidents an operator would want attributed:
-        cell.script_rrc_release(SimTime::from_secs(20));
-        cell.script_sinr(
-            Direction::Uplink,
-            SimTime::from_secs(40),
-            SimTime::from_secs(43),
-            -2.0,
-        );
-    });
+    let bundle = SessionRun::cell(tmobile_fdd_15mhz_quiet(), &cfg)
+        .script(|cell| {
+            // Two incidents an operator would want attributed:
+            cell.script_rrc_release(SimTime::from_secs(20));
+            cell.script_sinr(
+                Direction::Uplink,
+                SimTime::from_secs(40),
+                SimTime::from_secs(43),
+                -2.0,
+            );
+        })
+        .run();
 
     let domino = Domino::with_defaults();
     let analysis = domino.analyze(&bundle);

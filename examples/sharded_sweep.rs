@@ -22,14 +22,11 @@
 
 use std::process::ExitCode;
 
-use domino::core::Domino;
 use domino::obs::MetricsSnapshot;
-use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
+use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis};
 use domino::simcore::SimDuration;
-use domino::sweep::{
-    merge_shards, run_shard_with_metrics, ExecutionMode, ObsConfig, ShardPlan, ShardReport,
-    SweepOptions,
-};
+use domino::sweep::{merge_shards, run_shard_with_metrics, ShardPlan, ShardReport};
+use domino::{Domino, ExecutionMode, ObsConfig, SessionGrid, SessionSpec, SweepOptions};
 
 /// The demo grid every invocation agrees on: the four Table 1 cells × a
 /// proactive-grant scenario axis, 20 s per session. Eight specs — small
@@ -68,9 +65,51 @@ fn shared_grid() -> Vec<SessionSpec> {
         .build()
 }
 
+/// The ABR streaming grid (`--grid abr`): one cell, an `AppSpec::Abr` base
+/// spec expanded over `segment duration × ladder × buffer target`. Eight
+/// playback-driven sessions; CI byte-diffs this grid at 1-vs-3 shards and
+/// mux width 1-vs-8, extending the determinism contract to the streaming
+/// workload.
+fn abr_grid() -> Vec<SessionSpec> {
+    use domino::abr::{default_ladder, AbrConfig};
+    use domino::scenarios::{amarisoft, expand_product, ScriptAction, SeedPolicy, SessionConfig};
+    use domino::simcore::SimTime;
+    use domino::telemetry::Direction;
+    let base = SessionSpec::cell(
+        amarisoft(),
+        SessionConfig {
+            duration: SimDuration::from_secs(15),
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .abr(AbrConfig::default())
+    .with_script(ScriptAction::CrossTraffic {
+        dir: Direction::Downlink,
+        from: SimTime::from_secs(3),
+        to: SimTime::from_secs(9),
+        prb_fraction: 0.97,
+    });
+    let axes = [
+        ScenarioAxis::values("segment", [1u64, 2], |&s| {
+            vec![AxisPatch::AbrSegmentDuration(SimDuration::from_secs(s))]
+        }),
+        ScenarioAxis::new("ladder")
+            .point("full", vec![AxisPatch::AbrLadder(default_ladder())])
+            .point(
+                "low3",
+                vec![AxisPatch::AbrLadder(default_ladder()[..3].to_vec())],
+            ),
+        ScenarioAxis::values("buffer", [4u64, 8], |&s| {
+            vec![AxisPatch::AbrBufferTarget(SimDuration::from_secs(s))]
+        }),
+    ];
+    expand_product(&base, &axes, SeedPolicy::Derived(1907))
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sharded_sweep run [--grid demo|shared] [--shards N] [--shard I] [--threads T] \
+        "usage:\n  sharded_sweep run [--grid demo|shared|abr] [--shards N] [--shard I] [--threads T] \
          [--mux-width W] [--obs] --out FILE\n  sharded_sweep merge --out FILE \
          <shard-report-files...>\n\nWith --obs, `run` also writes the deterministic metrics \
          section to FILE.metrics, and `merge` folds any INPUT.metrics files into OUT.metrics."
@@ -104,7 +143,7 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--grid" => match take("--grid") {
-                Some(v) if v == "demo" || v == "shared" => grid = v,
+                Some(v) if v == "demo" || v == "shared" || v == "abr" => grid = v,
                 _ => return usage(),
             },
             "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
@@ -147,6 +186,7 @@ fn main() -> ExitCode {
             }
             let specs = match grid.as_str() {
                 "shared" => shared_grid(),
+                "abr" => abr_grid(),
                 _ => demo_grid(),
             };
             let plan = ShardPlan::new(specs.len(), shards);
@@ -167,20 +207,18 @@ fn main() -> ExitCode {
             // --mux-width W > 1 interleaves W sessions per worker through
             // one shared calendar queue/arena; the report is byte-identical
             // to the per-worker driver's — CI diffs width 1 vs width 8.
-            let opts = SweepOptions {
-                threads,
-                execution: if mux_width > 1 {
+            let opts = SweepOptions::default()
+                .threads(threads)
+                .mode(if mux_width > 1 {
                     ExecutionMode::Multiplexed { width: mux_width }
                 } else {
                     ExecutionMode::PerWorker
-                },
-                obs: if obs {
+                })
+                .obs(if obs {
                     ObsConfig::full()
                 } else {
                     ObsConfig::default()
-                },
-                ..Default::default()
-            };
+                });
             let (report, metrics) = run_shard_with_metrics(&specs, &my, &domino, &opts);
             if let Err(e) = std::fs::write(&out, report.encode()) {
                 eprintln!("cannot write {out}: {e}");

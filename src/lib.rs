@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the full Domino workspace API.
+pub use abr_sim as abr;
 pub use domino_core as core;
 pub use domino_live as live;
 pub use domino_obs as obs;
@@ -9,3 +10,12 @@ pub use rtc_sim as rtc;
 pub use scenarios;
 pub use simcore;
 pub use telemetry;
+
+// One-stop entry points, so binaries and examples don't have to reach into
+// submodules for the common run-a-sweep / run-a-session path.
+pub use domino_core::Domino;
+pub use domino_sweep::{
+    run_sweep, run_sweep_with_progress, AnalysisMode, EarlyExit, ExecutionMode, LiveConfig,
+    ObsConfig, SweepOptions, SweepReport,
+};
+pub use scenarios::{SessionGrid, SessionRun, SessionSpec};

@@ -203,3 +203,50 @@ fn many_ue_cell_stays_allocation_flat() {
         );
     }
 }
+
+/// The ABR playback endpoint must lease from the [`SessionArena`] like the
+/// RTC one: after a cold session grows the client/server buffers and the
+/// engine scratch, warm streaming sessions run under the same
+/// sub-one-per-tick budget as calls. This is the tripwire for the streaming
+/// workload quietly re-opening the allocation faucet the arena closed.
+#[test]
+fn abr_sessions_stay_within_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap();
+    let secs = 12u64;
+    let ticks = secs * 1000;
+    let abr_spec = |seed: u64| {
+        SessionSpec::cell(
+            domino::scenarios::amarisoft(),
+            SessionConfig {
+                duration: SimDuration::from_secs(secs),
+                seed,
+                ..Default::default()
+            },
+        )
+        .abr(domino::abr::AbrConfig::default())
+    };
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions::default();
+    let mut scratch = WorkerScratch::new(&domino, &opts);
+
+    // Cold run: arena growth, playback buffer, chunk queue capacity.
+    let (_, cold) = alloc_count::measure(|| scratch.run_session(&abr_spec(51), 0, &domino, &opts));
+
+    let mut per_session = Vec::new();
+    for i in 1..4usize {
+        let (outcome, warm) =
+            alloc_count::measure(|| scratch.run_session(&abr_spec(51), i, &domino, &opts));
+        assert!(outcome.stats.is_some());
+        per_session.push(warm.allocations);
+    }
+    let worst = *per_session.iter().max().unwrap();
+    eprintln!(
+        "cold ABR session: {} allocs; warm sessions: {per_session:?} ({ticks} ticks)",
+        cold.allocations
+    );
+    assert!(
+        worst < ticks,
+        "warm ABR session allocates {worst}× for {ticks} ticks — playback endpoint is not leasing"
+    );
+    assert!(worst <= cold.allocations);
+}

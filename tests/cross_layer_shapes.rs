@@ -2,7 +2,7 @@
 //! reproduced mechanism. These encode the "who wins, by what factor" facts
 //! EXPERIMENTS.md reports.
 
-use domino::scenarios::{run_baseline_session, run_cell_session, BaselineAccess, SessionConfig};
+use domino::scenarios::{BaselineAccess, SessionConfig, SessionRun};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::{Cdf, Direction, StreamKind, TraceBundle};
 
@@ -33,8 +33,8 @@ fn media_delays(bundle: &TraceBundle, dir: Direction) -> Cdf {
 /// Fig. 2: 5G inflates one-way delay well beyond the wired baseline.
 #[test]
 fn fig2_shape_cellular_dominates_wired() {
-    let cell = run_cell_session(domino::scenarios::tmobile_fdd_15mhz(), &cfg(70, 30), |_| {});
-    let wired = run_baseline_session(BaselineAccess::Wired, &cfg(70, 30));
+    let cell = SessionRun::cell(domino::scenarios::tmobile_fdd_15mhz(), &cfg(70, 30)).run();
+    let wired = SessionRun::baseline(BaselineAccess::Wired, &cfg(70, 30)).run();
     for dir in [Direction::Uplink, Direction::Downlink] {
         let c = media_delays(&cell, dir).median().unwrap();
         let w = media_delays(&wired, dir).median().unwrap();
@@ -58,7 +58,7 @@ fn fig8_shape_ul_delay_exceeds_dl() {
         (domino::scenarios::amarisoft(), 72),
     ] {
         let name = cell.name.clone();
-        let b = run_cell_session(cell, &cfg(seed, 30), |_| {});
+        let b = SessionRun::cell(cell, &cfg(seed, 30)).run();
         let ul = media_delays(&b, Direction::Uplink).median().unwrap();
         let dl = media_delays(&b, Direction::Downlink).median().unwrap();
         assert!(ul > dl, "{name}: UL median {ul} must exceed DL {dl}");
@@ -69,7 +69,7 @@ fn fig8_shape_ul_delay_exceeds_dl() {
 /// below the DL bitrate.
 #[test]
 fn fig8_shape_amarisoft_ul_bitrate_gap() {
-    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(73, 45), |_| {});
+    let b = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(73, 45)).run();
     let ul_target: f64 = b
         .app_local
         .iter()
@@ -91,10 +91,12 @@ fn fig8_shape_amarisoft_ul_bitrate_gap() {
 /// Fig. 17: one HARQ retransmission inflates delay by ≈ one HARQ RTT.
 #[test]
 fn fig17_shape_harq_adds_one_rtt() {
-    let clean = run_cell_session(domino::scenarios::amarisoft_ideal(), &cfg(74, 16), |_| {});
-    let harq = run_cell_session(domino::scenarios::amarisoft_ideal(), &cfg(74, 16), |cell| {
-        cell.script_harq_failures(Direction::Uplink, t(10.0), t(12.0), 1);
-    });
+    let clean = SessionRun::cell(domino::scenarios::amarisoft_ideal(), &cfg(74, 16)).run();
+    let harq = SessionRun::cell(domino::scenarios::amarisoft_ideal(), &cfg(74, 16))
+        .script(|cell| {
+            cell.script_harq_failures(Direction::Uplink, t(10.0), t(12.0), 1);
+        })
+        .run();
     let window = |b: &TraceBundle| {
         let d: Vec<f64> = b
             .packets_window(t(10.0), t(12.0))
@@ -116,9 +118,11 @@ fn fig17_shape_harq_adds_one_rtt() {
 /// in-order release burst.
 #[test]
 fn fig18_shape_rlc_retx_delay_and_hol() {
-    let b = run_cell_session(domino::scenarios::amarisoft_ideal(), &cfg(75, 16), |cell| {
-        cell.script_harq_failures(Direction::Uplink, t(10.0), t(10.035), 4);
-    });
+    let b = SessionRun::cell(domino::scenarios::amarisoft_ideal(), &cfg(75, 16))
+        .script(|cell| {
+            cell.script_harq_failures(Direction::Uplink, t(10.0), t(10.035), 4);
+        })
+        .run();
     let max_delay = b
         .packets_window(t(9.9), t(10.4))
         .iter()
@@ -141,11 +145,9 @@ fn fig18_shape_rlc_retx_delay_and_hol() {
 /// Fig. 19: an RRC release halts transmission ≈300 ms and changes the RNTI.
 #[test]
 fn fig19_shape_rrc_outage() {
-    let b = run_cell_session(
-        domino::scenarios::tmobile_fdd_15mhz_quiet(),
-        &cfg(76, 16),
-        |cell| cell.script_rrc_release(t(10.0)),
-    );
+    let b = SessionRun::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), &cfg(76, 16))
+        .script(|cell| cell.script_rrc_release(t(10.0)))
+        .run();
     let mut rntis: Vec<u32> = b
         .dci
         .iter()
@@ -183,7 +185,7 @@ fn fig19_shape_rrc_outage() {
 /// Fig. 16: proactive grants waste capacity (unused grants exist).
 #[test]
 fn fig16_shape_proactive_waste() {
-    let b = run_cell_session(domino::scenarios::mosolabs(), &cfg(77, 15), |_| {});
+    let b = SessionRun::cell(domino::scenarios::mosolabs(), &cfg(77, 15)).run();
     let wasted = b
         .dci
         .iter()
@@ -198,13 +200,11 @@ fn fig16_shape_proactive_waste() {
 fn fig22_shape_pushback_without_target_drop() {
     let mut session = cfg(78, 20);
     session.wired_sender.start_bps = 2_000_000.0;
-    let b = run_cell_session(
-        domino::scenarios::tmobile_fdd_15mhz_quiet(),
-        &session,
-        |cell| {
+    let b = SessionRun::cell(domino::scenarios::tmobile_fdd_15mhz_quiet(), &session)
+        .script(|cell| {
             cell.script_cross_traffic(Direction::Downlink, t(10.0), t(12.5), 0.99);
-        },
-    );
+        })
+        .run();
     // During the episode the local sender's pushback must dip below target.
     let episode = b.app_local_window(t(10.2), t(12.5));
     let pushback_hit = episode

@@ -2,7 +2,7 @@
 //! traces and identical Domino analyses; different seeds must diverge.
 
 use domino::core::{ChainStats, Domino};
-use domino::scenarios::{run_cell_session, SessionConfig};
+use domino::scenarios::{SessionConfig, SessionRun};
 use domino::simcore::SimDuration;
 
 fn cfg(seed: u64) -> SessionConfig {
@@ -15,8 +15,8 @@ fn cfg(seed: u64) -> SessionConfig {
 
 #[test]
 fn identical_seeds_identical_traces_and_analysis() {
-    let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
-    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
+    let a = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(123)).run();
+    let b = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(123)).run();
 
     assert_eq!(a.packets.len(), b.packets.len());
     for (x, y) in a.packets.iter().zip(&b.packets) {
@@ -71,12 +71,12 @@ fn fingerprint(
 /// slot loop changed single-UE physics.
 #[test]
 fn n1_cell_reproduces_prerefactor_golden_traces() {
-    let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
+    let a = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(123)).run();
     assert_eq!(
         fingerprint(&a),
         (4629, 29329767038, 5906, 4961, 30911960, 5599, 12002, 240)
     );
-    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(9), |_| {});
+    let b = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(9)).run();
     assert_eq!(
         fingerprint(&b),
         (4964, 30633548092, 6676, 5100, 36788384, 6381, 12002, 240)
@@ -92,8 +92,8 @@ fn traffic_ue_population_is_deterministic() {
     use domino::ran::traffic_mix;
     let mut cell = domino::scenarios::amarisoft();
     cell.traffic_ues = traffic_mix(16);
-    let a = run_cell_session(cell.clone(), &cfg(31), |_| {});
-    let b = run_cell_session(cell, &cfg(31), |_| {});
+    let a = SessionRun::cell(cell.clone(), &cfg(31)).run();
+    let b = SessionRun::cell(cell, &cfg(31)).run();
     assert_eq!(fingerprint(&a), fingerprint(&b));
     // The scripted population shows up as foreign RNTIs in the DCI log.
     assert!(
@@ -109,7 +109,7 @@ fn traffic_ue_population_is_deterministic() {
 #[test]
 fn shared_driver_single_pair_matches_solo_engine() {
     use domino::scenarios::run_shared_cell_sessions;
-    let solo = run_cell_session(domino::scenarios::amarisoft(), &cfg(123), |_| {});
+    let solo = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(123)).run();
     let shared = run_shared_cell_sessions(domino::scenarios::amarisoft(), &cfg(123), 1, |_| {});
     assert_eq!(shared.len(), 1);
     assert_eq!(fingerprint(&solo), fingerprint(&shared[0]));
@@ -129,21 +129,26 @@ fn shared_driver_single_pair_matches_solo_engine() {
 /// run.
 #[test]
 fn warm_arena_matches_fresh_arena_with_traffic_ues() {
-    use domino::scenarios::{run_cell_session_with_tap_in, SessionArena};
+    use domino::scenarios::SessionArena;
     use domino::telemetry::NullTap;
     let mut cell = domino::scenarios::amarisoft();
     cell.traffic_ues = domino::ran::traffic_mix(8);
     let mut arena = SessionArena::new();
-    let first =
-        run_cell_session_with_tap_in(cell.clone(), &cfg(55), |_| {}, &mut NullTap, &mut arena);
-    let warm = run_cell_session_with_tap_in(cell, &cfg(55), |_| {}, &mut NullTap, &mut arena);
+    let first = SessionRun::cell(cell.clone(), &cfg(55))
+        .tap(&mut NullTap)
+        .arena(&mut arena)
+        .run();
+    let warm = SessionRun::cell(cell, &cfg(55))
+        .tap(&mut NullTap)
+        .arena(&mut arena)
+        .run();
     assert_eq!(fingerprint(&first), fingerprint(&warm));
 }
 
 #[test]
 fn different_seeds_diverge() {
-    let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(1), |_| {});
-    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(2), |_| {});
+    let a = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(1)).run();
+    let b = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(2)).run();
     let same = a
         .packets
         .iter()
@@ -169,8 +174,12 @@ fn scripted_overrides_do_not_break_determinism() {
             0.0,
         );
     };
-    let a = run_cell_session(domino::scenarios::amarisoft(), &cfg(9), script);
-    let b = run_cell_session(domino::scenarios::amarisoft(), &cfg(9), script);
+    let a = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(9))
+        .script(script)
+        .run();
+    let b = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(9))
+        .script(script)
+        .run();
     assert_eq!(a.packets.len(), b.packets.len());
     let last_a = a.packets.last().expect("packets exist");
     let last_b = b.packets.last().expect("packets exist");

@@ -3,7 +3,7 @@
 //! every window of an actual simulated trace.
 
 use domino::core::{compile, default_graph, emit, parse, Domino, DominoConfig};
-use domino::scenarios::{run_cell_session, SessionConfig};
+use domino::scenarios::{SessionConfig, SessionRun};
 use domino::simcore::SimDuration;
 
 #[test]
@@ -13,7 +13,7 @@ fn program_agrees_with_search_on_real_trace() {
         seed: 404,
         ..Default::default()
     };
-    let bundle = run_cell_session(domino::scenarios::tmobile_fdd_15mhz(), &cfg, |_| {});
+    let bundle = SessionRun::cell(domino::scenarios::tmobile_fdd_15mhz(), &cfg).run();
 
     let domino = Domino::with_defaults();
     let program = compile(domino.graph());
@@ -44,7 +44,7 @@ fn dsl_round_trip_preserves_detection_behaviour() {
         seed: 405,
         ..Default::default()
     };
-    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg, |_| {});
+    let bundle = SessionRun::cell(domino::scenarios::amarisoft(), &cfg).run();
     let d1 = Domino::new(g1, DominoConfig::default());
     let d2 = Domino::new(g2, DominoConfig::default());
     let a1 = d1.analyze(&bundle);

@@ -143,12 +143,9 @@ fn retained_trace_is_bounded_by_window_plus_lateness_not_session() {
             early_exit: EarlyExit::Never,
         })
         .expect("default config is aligned");
-        let bundle = domino::scenarios::run_cell_session_with_tap(
-            domino::scenarios::amarisoft(),
-            &cfg,
-            |_| {},
-            &mut pipe,
-        );
+        let bundle = domino::scenarios::SessionRun::cell(domino::scenarios::amarisoft(), &cfg)
+            .tap(&mut pipe)
+            .run();
         let stats = pipe.stats();
         assert!(stats.windows_emitted > 0);
         assert_eq!(pipe.retained_records(), 0, "everything drained at finish");

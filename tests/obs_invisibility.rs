@@ -37,6 +37,49 @@ fn grid() -> Vec<SessionSpec> {
         .build()
 }
 
+/// The ABR streaming grid: `segment × ladder × buffer` over an
+/// `AppSpec::Abr` base spec (same shape as `tests/abr_determinism.rs`),
+/// with a mid-session cross-traffic squeeze so the playback metric
+/// families actually fire.
+fn abr_grid() -> Vec<SessionSpec> {
+    use domino::abr::{default_ladder, AbrConfig};
+    use domino::scenarios::{
+        expand_product, AxisPatch, ScenarioAxis, ScriptAction, SeedPolicy, SessionConfig,
+    };
+    use domino::simcore::SimTime;
+    use domino::telemetry::Direction;
+    let base = SessionSpec::cell(
+        domino::scenarios::amarisoft(),
+        SessionConfig {
+            duration: SimDuration::from_secs(12),
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .abr(AbrConfig::default())
+    .with_script(ScriptAction::CrossTraffic {
+        dir: Direction::Downlink,
+        from: SimTime::from_secs(3),
+        to: SimTime::from_secs(9),
+        prb_fraction: 0.97,
+    });
+    let axes = [
+        ScenarioAxis::values("segment", [1u64, 2], |&s| {
+            vec![AxisPatch::AbrSegmentDuration(SimDuration::from_secs(s))]
+        }),
+        ScenarioAxis::new("ladder")
+            .point("full", vec![AxisPatch::AbrLadder(default_ladder())])
+            .point(
+                "low3",
+                vec![AxisPatch::AbrLadder(default_ladder()[..3].to_vec())],
+            ),
+        ScenarioAxis::values("buffer", [4u64, 8], |&s| {
+            vec![AxisPatch::AbrBufferTarget(SimDuration::from_secs(s))]
+        }),
+    ];
+    expand_product(&base, &axes, SeedPolicy::Derived(1907))
+}
+
 fn opts(execution: ExecutionMode, threads: usize, obs: ObsConfig) -> SweepOptions {
     SweepOptions {
         threads,
@@ -127,6 +170,58 @@ fn recording_never_changes_live_report_bytes() {
         m.counter(Counter::LiveVerdicts) > 0,
         "live metrics recorded"
     );
+}
+
+#[test]
+fn recording_never_changes_abr_report_bytes() {
+    // The streaming workload inherits the invisibility contract: the
+    // playback metric families (stall counters, buffer/stall histograms,
+    // ladder-switch counter) may observe the session but never steer it.
+    let specs = abr_grid();
+    for execution in [
+        ExecutionMode::PerWorker,
+        ExecutionMode::Multiplexed { width: 8 },
+    ] {
+        let (off, none) = run_sharded(&specs, 1, &opts(execution, 2, ObsConfig::default()));
+        let (on, metrics) = run_sharded(&specs, 1, &opts(execution, 2, ObsConfig::full()));
+        assert!(none.is_none());
+        let m = metrics.expect("recorder on must yield a snapshot");
+        assert_eq!(off, on, "recorder changed ABR report bytes ({execution:?})");
+        // The playback families actually recorded.
+        assert!(
+            m.counter(Counter::PlaybackStalls) > 0,
+            "squeezed ABR grid must stall at least once"
+        );
+        assert!(m.counter(Counter::PlaybackLadderSwitches) > 0);
+    }
+}
+
+#[test]
+fn abr_sim_metrics_are_partition_invariant() {
+    let specs = abr_grid();
+    let reference = run_sharded(
+        &specs,
+        1,
+        &opts(ExecutionMode::PerWorker, 1, ObsConfig::full()),
+    )
+    .1
+    .expect("snapshot")
+    .encode_sim();
+    for (shards, execution, threads) in [
+        (1, ExecutionMode::Multiplexed { width: 8 }, 4),
+        (3, ExecutionMode::PerWorker, 2),
+    ] {
+        let snap = run_sharded(&specs, shards, &opts(execution, threads, ObsConfig::full()))
+            .1
+            .expect("snapshot");
+        assert_eq!(
+            reference,
+            snap.encode_sim(),
+            "ABR sim metrics diverged at {shards} shard(s), {execution:?}, {threads} thread(s)"
+        );
+    }
+    // The deterministic section carries the playback families.
+    assert!(reference.contains("playback/"), "{reference}");
 }
 
 #[test]

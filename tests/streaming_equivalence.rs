@@ -1,10 +1,10 @@
 //! Streaming ↔ batch equivalence over real simulated sessions: the
 //! incremental analyzer must reproduce the batch sliding-window pipeline
-//! bit-for-bit across a full sweep of a `run_cell_session` bundle.
+//! bit-for-bit across a full sweep of a `SessionRun` bundle.
 
 use domino::core::stream::StreamingAnalyzer;
 use domino::core::{Analysis, Domino, DominoConfig};
-use domino::scenarios::{run_cell_session, ScriptAction, SessionConfig, SessionSpec};
+use domino::scenarios::{ScriptAction, SessionConfig, SessionRun, SessionSpec};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::{Direction, TraceBundle};
 
@@ -51,7 +51,7 @@ fn assert_equivalent_on(bundle: &TraceBundle, domino: &Domino) {
 #[test]
 fn healthy_cell_session_is_bit_identical() {
     let domino = Domino::with_defaults();
-    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg(901, 30), |_| {});
+    let bundle = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(901, 30)).run();
     assert_equivalent_on(&bundle, &domino);
 }
 
@@ -103,7 +103,7 @@ fn one_second_step_window_grid_is_bit_identical() {
         ..Default::default()
     };
     let domino = Domino::new(domino::core::default_graph(), config);
-    let bundle = run_cell_session(domino::scenarios::mosolabs(), &cfg(905, 30), |_| {});
+    let bundle = SessionRun::cell(domino::scenarios::mosolabs(), &cfg(905, 30)).run();
     assert_equivalent_on(&bundle, &domino);
 }
 
@@ -183,7 +183,7 @@ fn push_api_in_irregular_batches_matches_batch() {
     // per-window schedule `analyze` uses: emission must only depend on what
     // has been pushed, not on the batching.
     let domino = Domino::with_defaults();
-    let bundle = run_cell_session(domino::scenarios::amarisoft(), &cfg(906, 20), |_| {});
+    let bundle = SessionRun::cell(domino::scenarios::amarisoft(), &cfg(906, 20)).run();
     let batch = domino.analyze(&bundle);
 
     let mut streaming =
