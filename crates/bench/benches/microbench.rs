@@ -10,7 +10,10 @@ use domino_core::{
     compile, default_graph, extract_features, Domino, DominoConfig, Feature, FeatureVector,
     StreamingAnalyzer, Thresholds,
 };
-use domino_sweep::{ExecutionMode, MuxWorker, SweepOptions, WorkerScratch};
+use domino_sweep::{
+    merge_shards, run_coordinator, run_shard, CoordinatorConfig, ExecutionMode, FaultPlan,
+    InProcFleet, MuxWorker, ShardPlan, SweepOptions, WorkerScratch,
+};
 use ran_sim::phy;
 use rtc_sim::gcc::trendline::{PacketTiming, TrendlineEstimator};
 use scenarios::{SessionArena, SessionConfig, SessionRun, SessionSpec};
@@ -664,6 +667,43 @@ fn bench_trendline(c: &mut Criterion) {
     });
 }
 
+/// Coordinator machinery tax: the same 8-spec grid swept once through the
+/// fault-tolerant coordinator (in-process transport, no faults, 2-spec
+/// ranges — so framing, report encode/parse/checksum, dispatch/deadline
+/// bookkeeping, and the final merge are all on the clock) and once through
+/// the bare `run_shard` + `merge_shards` file path it wraps. Sweep compute
+/// dominates both; the coordinator number must stay within noise of the
+/// direct one.
+fn bench_coordinator_overhead(c: &mut Criterion) {
+    let specs: Vec<SessionSpec> = scenarios::all_cells_grid(42, SimDuration::from_secs(2));
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions::default().threads(1);
+    let cfg = CoordinatorConfig {
+        chunk_specs: 2,
+        ..Default::default()
+    };
+    c.bench_function("sweep/coordinator_overhead", |b| {
+        b.iter(|| {
+            let mut fleet =
+                InProcFleet::new(black_box(&specs), &domino, &opts, 2, &FaultPlan::none());
+            run_coordinator(specs.len(), &mut fleet, &cfg, |_| {})
+                .expect("clean fleet")
+                .report
+        })
+    });
+    c.bench_function("sweep/shard_merge_direct", |b| {
+        b.iter(|| {
+            let plan = ShardPlan::new(black_box(&specs).len(), specs.len().div_ceil(2));
+            let reports: Vec<_> = plan
+                .shards()
+                .iter()
+                .map(|s| run_shard(&specs, s, &domino, &opts))
+                .collect();
+            merge_shards(&reports).expect("tiles")
+        })
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -683,6 +723,7 @@ criterion_group!(
         bench_cell_slot_marginal_ue,
         bench_shared_cell_sweep,
         bench_multiplexed_sweep,
+        bench_coordinator_overhead,
         bench_streaming_step_busy,
         bench_phy,
         bench_trendline

@@ -28,7 +28,7 @@ pub mod snapshot;
 
 use std::time::Instant;
 
-pub use snapshot::{MetricsSnapshot, SnapshotParseError};
+pub use snapshot::{fnv1a64, MetricsSnapshot, SnapshotParseError};
 
 /// Determinism class of a metric.
 ///
@@ -96,6 +96,19 @@ metric_enum! {
         RanPrbBudget => ("ran/prb_budget", Class::Sim),
         RanPrbGranted => ("ran/prb_granted", Class::Sim),
         // -- runtime --
+        // Coordinator families: retry/steal/straggler traffic depends on
+        // real-world failure timing (which workers died when), so the whole
+        // family is Runtime — a chaos run and a clean run of the same grid
+        // share identical Sim sections and differ only here.
+        CoordCorruptReports => ("coord/corrupt_reports", Class::Runtime),
+        CoordDispatches => ("coord/dispatches", Class::Runtime),
+        CoordDuplicates => ("coord/duplicates_discarded", Class::Runtime),
+        CoordRangesCompleted => ("coord/ranges_completed", Class::Runtime),
+        CoordRetries => ("coord/retries", Class::Runtime),
+        CoordSteals => ("coord/steals", Class::Runtime),
+        CoordStragglerReissues => ("coord/straggler_reissues", Class::Runtime),
+        CoordWorkerDeaths => ("coord/worker_deaths", Class::Runtime),
+        CoordWorkerLiveMs => ("coord/worker_live_ms", Class::Runtime),
         MuxStaleDrops => ("mux/stale_drops", Class::Runtime),
         PoolCreated => ("pool/created", Class::Runtime),
         PoolEvicted => ("pool/evicted", Class::Runtime),
@@ -110,6 +123,7 @@ metric_enum! {
     pub enum Gauge {
         LivePeakRetained => ("live/peak_retained_records", Class::Sim),
         ArenaFootprint => ("arena/footprint_elems", Class::Runtime),
+        CoordWorkersPeak => ("coord/workers_peak", Class::Runtime),
         MuxInFlightPeak => ("mux/in_flight_peak", Class::Runtime),
     }
 }

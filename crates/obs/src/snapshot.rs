@@ -90,8 +90,11 @@ impl fmt::Display for SnapshotParseError {
 
 impl std::error::Error for SnapshotParseError {}
 
-/// FNV-1a 64-bit over the raw bytes.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit over the raw bytes — the workspace's shared wire-format
+/// checksum (used by this snapshot encoding and by `ShardReport`'s
+/// trailer, so corrupted-in-transit reports fail parse instead of folding
+/// bad numbers into a merge).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

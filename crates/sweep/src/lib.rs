@@ -28,14 +28,27 @@
 //! ([`merge_shards`]) into a report byte-identical to a single-machine
 //! [`run_sweep`] — at any shard count and any per-shard thread count.
 
+pub mod chaos;
+pub mod coordinator;
 pub mod multiplex;
 pub mod shard;
+pub mod transport;
+pub mod worker;
 
+pub use chaos::{Fault, FaultLog, FaultPlan, InProcFleet};
+pub use coordinator::{
+    run_coordinator, CoordinatorConfig, CoordinatorError, CoordinatorProgress, CoordinatorRun,
+    CoordinatorStats,
+};
 pub use multiplex::{ExecutionMode, MuxWorker};
 pub use shard::{
     merge_shards, run_shard, run_shard_with_metrics, LiveTotals, MergeError, Shard, ShardPlan,
     ShardReport, SpecOutcome,
 };
+pub use transport::{
+    DispatchSpec, Frame, FrameKind, TcpLink, TcpTransport, Transport, TransportEvent, WorkerId,
+};
+pub use worker::{run_worker, SweepWorker, WorkerExit, WorkerFaults};
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;

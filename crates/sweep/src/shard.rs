@@ -35,7 +35,7 @@ use domino_live::LiveStats;
 use scenarios::SessionSpec;
 use telemetry::{CellClass, Duplexing, SessionMeta};
 
-use domino_obs::MetricsSnapshot;
+use domino_obs::{fnv1a64, MetricsSnapshot};
 
 use crate::{run_sweep, SessionOutcome, SweepOptions, SweepReport};
 
@@ -181,13 +181,20 @@ pub struct ShardReport {
     pub live_totals: LiveTotals,
 }
 
-const FORMAT_HEADER: &str = "domino-shard-report\tv1";
+/// Format version. v2 added the FNV-1a checksum trailer (same scheme as
+/// `MetricsSnapshot`): the `end` line carries the 64-bit hex checksum of
+/// every byte above it, and [`ShardReport::parse`] rejects a mismatch
+/// *before* the aggregate-refold check — closing the gap where a report
+/// was corrupted in transit into something that still parsed (e.g. a bit
+/// flip inside a label or a hex float, which no refold can catch).
+const FORMAT_HEADER: &str = "domino-shard-report\tv2";
+const END_TAG: &str = "end\tdomino-shard-report";
 
 impl ShardReport {
     /// Builds a report from sweep outcomes whose `index` fields are
     /// *global* spec indices. The aggregate is re-folded here so it always
     /// matches the outcome list.
-    fn from_spec_outcomes(
+    pub(crate) fn from_spec_outcomes(
         shard_index: usize,
         shard_count: usize,
         start: usize,
@@ -296,15 +303,38 @@ impl ShardReport {
             t.peak_retained_records,
             t.early_exits,
         );
-        let _ = writeln!(out, "end\tdomino-shard-report");
+        let sum = fnv1a64(out.as_bytes());
+        let _ = writeln!(out, "{END_TAG}\t{sum:016x}");
         out
     }
 
-    /// Parses text written by [`Self::encode`]. Validates the format
-    /// version, the outcome count against the declared range, and that the
-    /// aggregate block re-folds from the per-spec stats.
+    /// Parses text written by [`Self::encode`]. Validates, in order: the
+    /// trailing FNV-1a checksum over the whole body (so any in-transit
+    /// corruption — even one that would still parse — is rejected first),
+    /// the format version, the outcome count against the declared range,
+    /// and that the aggregate block re-folds from the per-spec stats.
     pub fn parse(text: &str) -> Result<ShardReport, StatsParseError> {
         let err = |msg: String| StatsParseError(msg);
+
+        // Checksum pre-pass: the last line must be `end\t…\t<fnv1a64>` of
+        // every byte above it, with nothing after.
+        let stripped = text
+            .strip_suffix('\n')
+            .ok_or_else(|| err("shard report must end with a newline".into()))?;
+        let (_, last) = stripped
+            .rsplit_once('\n')
+            .ok_or_else(|| err("shard report too short".into()))?;
+        let sum_field = last
+            .strip_prefix(END_TAG)
+            .and_then(|rest| rest.strip_prefix('\t'))
+            .ok_or_else(|| err("expected checksummed end line".into()))?;
+        let body = &text[..text.len() - last.len() - 1];
+        // Exact-width comparison: a re-padded or truncated checksum field
+        // can't sneak through.
+        if sum_field != format!("{:016x}", fnv1a64(body.as_bytes())) {
+            return Err(err("shard report checksum mismatch".into()));
+        }
+
         let mut lines = text.lines();
 
         let header = next_line(&mut lines)?;
@@ -382,8 +412,13 @@ impl ShardReport {
         }
         let aggregate = ChainStats::parse_from(&mut lines)?;
         let live_totals = parse_live_totals(next_line(&mut lines)?)?;
-        if next_line(&mut lines)? != "end\tdomino-shard-report" {
+        // Checksum already validated; here we only require the end line to
+        // sit exactly where the canonical line sequence says it does.
+        if !next_line(&mut lines)?.starts_with(END_TAG) {
             return Err(err("expected end of shard report".into()));
+        }
+        if lines.next().is_some() {
+            return Err(err("trailing data after shard report".into()));
         }
 
         let report = ShardReport {
@@ -580,7 +615,11 @@ pub fn run_shard_with_metrics(
     )
 }
 
-/// Error from [`merge_shards`].
+/// Error from [`merge_shards`]. Each way a shard set can fail to tile the
+/// grid gets its own variant, so a coordinator can distinguish "a shard is
+/// missing" (retry it) from "two shards claim the same specs" (a duplicate
+/// slipped past range-id dedup — a bug worth alerting on) from "a report
+/// belongs to a different grid entirely".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MergeError {
     /// No reports were given.
@@ -592,12 +631,27 @@ pub enum MergeError {
         /// The disagreeing size.
         found: usize,
     },
-    /// After sorting by range start, coverage is not exactly `0..total`.
-    Coverage {
-        /// Where contiguous coverage broke (expected next index).
+    /// Two reports cover overlapping spec ranges.
+    Overlap {
+        /// Start of the report that re-covers already-covered specs.
+        start: usize,
+        /// End (exclusive) of the coverage so far — `start` is below it.
+        prior_end: usize,
+    },
+    /// After sorting by range start, a gap separates two reports.
+    Gap {
+        /// First uncovered spec index.
         expected: usize,
-        /// The range start actually found (or the end of coverage).
+        /// The next range start actually found.
         found: usize,
+    },
+    /// Contiguous coverage from 0, but it stops short of (or is
+    /// inconsistent with) the declared grid total.
+    WrongTotal {
+        /// Specs actually covered.
+        covered: usize,
+        /// Grid size every report declared.
+        declared: usize,
     },
 }
 
@@ -611,9 +665,17 @@ impl std::fmt::Display for MergeError {
                     "shard reports disagree on grid size: {expected} vs {found}"
                 )
             }
-            MergeError::Coverage { expected, found } => write!(
+            MergeError::Overlap { start, prior_end } => write!(
                 f,
-                "shard ranges do not tile the grid: expected index {expected}, found {found}"
+                "shard ranges overlap: a shard starting at {start} re-covers specs below {prior_end}"
+            ),
+            MergeError::Gap { expected, found } => write!(
+                f,
+                "shard ranges leave a gap: expected index {expected}, next shard starts at {found}"
+            ),
+            MergeError::WrongTotal { covered, declared } => write!(
+                f,
+                "shard ranges cover {covered} specs but the grid declares {declared}"
             ),
         }
     }
@@ -642,8 +704,19 @@ pub fn merge_shards(reports: &[ShardReport]) -> Result<ShardReport, MergeError> 
     ordered.sort_by_key(|r| r.start);
     let mut outcomes: Vec<SpecOutcome> = Vec::with_capacity(grid_total);
     for r in ordered {
-        if r.start != outcomes.len() {
-            return Err(MergeError::Coverage {
+        // Empty reports (tail shards of an over-split plan) tile trivially
+        // and can share a start with a non-empty one.
+        if r.outcomes.is_empty() {
+            continue;
+        }
+        if r.start < outcomes.len() {
+            return Err(MergeError::Overlap {
+                start: r.start,
+                prior_end: outcomes.len(),
+            });
+        }
+        if r.start > outcomes.len() {
+            return Err(MergeError::Gap {
                 expected: outcomes.len(),
                 found: r.start,
             });
@@ -651,9 +724,9 @@ pub fn merge_shards(reports: &[ShardReport]) -> Result<ShardReport, MergeError> 
         outcomes.extend(r.outcomes.iter().cloned());
     }
     if outcomes.len() != grid_total {
-        return Err(MergeError::Coverage {
-            expected: grid_total,
-            found: outcomes.len(),
+        return Err(MergeError::WrongTotal {
+            covered: outcomes.len(),
+            declared: grid_total,
         });
     }
     Ok(ShardReport::from_spec_outcomes(
@@ -750,15 +823,39 @@ mod tests {
     fn parse_rejects_tampering() {
         let r = report_over(0..3, (0, 1), 3);
         let text = r.encode();
-        assert!(ShardReport::parse(&text.replace("v1", "v2")).is_err());
-        // Dropping an outcome breaks the declared count.
+        assert!(ShardReport::parse(&text.replace("v2", "v3")).is_err());
+        // Dropping an outcome breaks the declared count (and the checksum).
         let mut truncated: Vec<&str> = text.lines().collect();
         truncated.truncate(8);
-        assert!(ShardReport::parse(&truncated.join("\n")).is_err());
-        // Editing a per-spec counter breaks the aggregate refold check.
+        assert!(ShardReport::parse(&(truncated.join("\n") + "\n")).is_err());
+        // Editing a per-spec counter trips the checksum trailer.
         let tampered = text.replacen("kv\tharq_retx\t1", "kv\tharq_retx\t9", 1);
         assert_ne!(tampered, text);
         assert!(ShardReport::parse(&tampered).is_err());
+    }
+
+    #[test]
+    fn checksum_trailer_catches_corrupted_but_parseable_bytes() {
+        let r = report_over(0..3, (0, 1), 3);
+        let text = r.encode();
+        // A flipped character inside a *label* parses fine structurally and
+        // perturbs nothing the aggregate refold can see — only the checksum
+        // trailer rejects it.
+        let corrupted = text.replacen("rep0", "rep1", 1);
+        assert_ne!(corrupted, text);
+        let e = ShardReport::parse(&corrupted).expect_err("must reject");
+        assert!(e.0.contains("checksum"), "got {e:?}");
+        // A forger who recomputes the checksum after editing a per-spec
+        // counter still fails: the aggregate no longer re-folds.
+        let tampered = text.replacen("kv\tharq_retx\t1", "kv\tharq_retx\t9", 1);
+        let body_end = tampered.rfind(END_TAG).unwrap();
+        let body = &tampered[..body_end];
+        let forged = format!("{body}{END_TAG}\t{:016x}\n", fnv1a64(body.as_bytes()));
+        let e = ShardReport::parse(&forged).expect_err("must reject");
+        assert!(e.0.contains("re-fold"), "got {e:?}");
+        // Trailing garbage after the end line is rejected.
+        assert!(ShardReport::parse(&format!("{text}x\n")).is_err());
+        assert!(ShardReport::parse(text.trim_end()).is_err(), "no newline");
     }
 
     #[test]
@@ -766,10 +863,10 @@ mod tests {
         let a = report_over(0..4, (0, 3), 10);
         let b = report_over(4..7, (1, 3), 10);
         let c = report_over(7..10, (2, 3), 10);
-        assert!(merge_shards(&[]).is_err());
+        assert!(matches!(merge_shards(&[]), Err(MergeError::Empty)));
         assert!(matches!(
             merge_shards(&[a.clone(), c.clone()]),
-            Err(MergeError::Coverage {
+            Err(MergeError::Gap {
                 expected: 4,
                 found: 7
             })
@@ -785,6 +882,46 @@ mod tests {
         assert!(matches!(
             merge_shards(&[a, wrong, c]),
             Err(MergeError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_shards() {
+        // 0..4 and 2..7 double-cover specs 2 and 3: a duplicate delivery
+        // that slipped past range-id dedup must not silently mis-fold.
+        let a = report_over(0..4, (0, 3), 10);
+        let dup = report_over(2..7, (1, 3), 10);
+        let c = report_over(7..10, (2, 3), 10);
+        assert!(matches!(
+            merge_shards(&[a, dup, c]),
+            Err(MergeError::Overlap {
+                start: 2,
+                prior_end: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_wrong_total() {
+        // Contiguous from 0 but every report agrees on a grid of 12 while
+        // only 10 specs are covered: the tail shard never reported.
+        let a = report_over(0..4, (0, 3), 12);
+        let b = report_over(4..10, (1, 3), 12);
+        assert!(matches!(
+            merge_shards(&[a, b]),
+            Err(MergeError::WrongTotal {
+                covered: 10,
+                declared: 12
+            })
+        ));
+        // Over-coverage relative to the declared total is WrongTotal too.
+        let a = report_over(0..4, (0, 2), 3);
+        assert!(matches!(
+            merge_shards(&[a]),
+            Err(MergeError::WrongTotal {
+                covered: 4,
+                declared: 3
+            })
         ));
     }
 

@@ -21,11 +21,15 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 use domino::obs::MetricsSnapshot;
 use domino::scenarios::{all_cells, AxisPatch, ScenarioAxis};
 use domino::simcore::SimDuration;
-use domino::sweep::{merge_shards, run_shard_with_metrics, ShardPlan, ShardReport};
+use domino::sweep::{
+    merge_shards, run_coordinator, run_shard_with_metrics, run_worker, CoordinatorConfig,
+    ShardPlan, ShardReport, TcpLink, TcpTransport, WorkerExit, WorkerFaults,
+};
 use domino::{Domino, ExecutionMode, ObsConfig, SessionGrid, SessionSpec, SweepOptions};
 
 /// The demo grid every invocation agrees on: the four Table 1 cells × a
@@ -111,8 +115,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sharded_sweep run [--grid demo|shared|abr] [--shards N] [--shard I] [--threads T] \
          [--mux-width W] [--obs] --out FILE\n  sharded_sweep merge --out FILE \
-         <shard-report-files...>\n\nWith --obs, `run` also writes the deterministic metrics \
-         section to FILE.metrics, and `merge` folds any INPUT.metrics files into OUT.metrics."
+         <shard-report-files...>\n  sharded_sweep coordinator [--grid G] [--workers N] [--chunk C] \
+         [--threads T] [--mux-width W] [--chaos kill-retry] [--stats FILE] --out FILE\n  \
+         sharded_sweep worker --connect HOST:PORT [--grid G] [--threads T] [--mux-width W] \
+         [--exit-after-specs N] [--corrupt-first-result]\n\nWith --obs, `run` also writes the \
+         deterministic metrics section to FILE.metrics, and `merge` folds any INPUT.metrics files \
+         into OUT.metrics.\n`coordinator` serves the grid to worker subprocesses over TCP and \
+         writes the merged report (byte-identical to a single-machine run) to --out; \
+         `--chaos kill-retry` spawns one worker that crashes mid-range and one that corrupts its \
+         first report.\n`worker` connects to a coordinator and serves dispatches until drained."
     );
     ExitCode::from(2)
 }
@@ -131,6 +142,13 @@ fn main() -> ExitCode {
     let mut obs = false;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
+    let mut workers = 3usize;
+    let mut chunk = 2usize;
+    let mut chaos: Option<String> = None;
+    let mut stats_out: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut exit_after_specs: Option<usize> = None;
+    let mut corrupt_first_result = false;
 
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -167,6 +185,31 @@ fn main() -> ExitCode {
                 Some(v) => out = Some(v),
                 None => return usage(),
             },
+            "--workers" => match take("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => workers = v,
+                _ => return usage(),
+            },
+            "--chunk" => match take("--chunk").and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => chunk = v,
+                _ => return usage(),
+            },
+            "--chaos" => match take("--chaos") {
+                Some(v) if v == "kill-retry" => chaos = Some(v),
+                _ => return usage(),
+            },
+            "--stats" => match take("--stats") {
+                Some(v) => stats_out = Some(v),
+                None => return usage(),
+            },
+            "--connect" => match take("--connect") {
+                Some(v) => connect = Some(v),
+                None => return usage(),
+            },
+            "--exit-after-specs" => match take("--exit-after-specs").and_then(|v| v.parse().ok()) {
+                Some(v) => exit_after_specs = Some(v),
+                None => return usage(),
+            },
+            "--corrupt-first-result" => corrupt_first_result = true,
             other if other.starts_with("--") || mode != "merge" => {
                 eprintln!("unknown argument {other:?}");
                 return usage();
@@ -174,9 +217,10 @@ fn main() -> ExitCode {
             other => inputs.push(other.to_string()),
         }
     }
-    let Some(out) = out else {
+    if mode != "worker" && out.is_none() {
         return usage();
-    };
+    }
+    let out = out.unwrap_or_default();
 
     match mode.as_str() {
         "run" => {
@@ -312,6 +356,192 @@ fn main() -> ExitCode {
                 merged.outcomes.len(),
                 merged.aggregate.total_chain_windows
             );
+        }
+        // A long-running sweep service: bind a TCP transport, spawn worker
+        // subprocesses against it, and survive their failures. The merged
+        // report is byte-identical to `run --shards 1` on the same grid —
+        // CI's coordinator-chaos job diffs exactly that, with one worker
+        // scripted to crash mid-range and one to corrupt its first report.
+        "coordinator" => {
+            let specs = match grid.as_str() {
+                "shared" => shared_grid(),
+                "abr" => abr_grid(),
+                _ => demo_grid(),
+            };
+            let mut transport = match TcpTransport::bind() {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot bind coordinator socket: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let port = transport.port();
+            let exe = match std::env::current_exe() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot locate own binary: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spawn = {
+                let exe = exe.clone();
+                let grid = grid.clone();
+                move |faults: &[&str]| {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.arg("worker")
+                        .arg("--connect")
+                        .arg(format!("127.0.0.1:{port}"))
+                        .arg("--grid")
+                        .arg(&grid)
+                        .arg("--threads")
+                        .arg(threads.to_string())
+                        .arg("--mux-width")
+                        .arg(mux_width.to_string());
+                    for f in faults {
+                        cmd.arg(f);
+                    }
+                    cmd.spawn()
+                }
+            };
+            let children = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..workers {
+                // The kill-retry chaos preset scripts worker 0 to crash on
+                // the first spec it starts and worker 1 to flip a byte in
+                // its first report. Paired with min_workers + prefetch 1
+                // below, every worker is guaranteed a dispatch, so the
+                // death, the steal, and the corruption all happen on every
+                // run regardless of TCP connection order.
+                let faults: Vec<&str> = match chaos.as_deref() {
+                    Some("kill-retry") if i == 0 => vec!["--exit-after-specs", "0"],
+                    Some("kill-retry") if i == 1 => vec!["--corrupt-first-result"],
+                    _ => vec![],
+                };
+                match spawn(&faults) {
+                    Ok(c) => children.lock().unwrap().push(c),
+                    Err(e) => {
+                        eprintln!("cannot spawn worker {i}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            // Crashed workers get fault-free replacements, so the sweep
+            // finishes even if every scripted worker dies. Capped so a
+            // misbehaving fleet can't fork-bomb the host.
+            {
+                let children = Arc::clone(&children);
+                let spawn = spawn.clone();
+                let mut respawned = 0usize;
+                transport.set_on_disconnect(move |_deaths| {
+                    if respawned >= 4 {
+                        return;
+                    }
+                    respawned += 1;
+                    if let Ok(c) = spawn(&[]) {
+                        children.lock().unwrap().push(c);
+                    }
+                });
+            }
+            let cfg = CoordinatorConfig {
+                chunk_specs: chunk,
+                // Wait for the whole spawned fleet before dispatching, and
+                // under chaos keep prefetch at 1 so the scripted workers
+                // are guaranteed to receive work (see the preset above).
+                min_workers: workers,
+                prefetch: if chaos.is_some() { 1 } else { 2 },
+                ..Default::default()
+            };
+            let outcome = run_coordinator(specs.len(), &mut transport, &cfg, |p| {
+                eprintln!(
+                    "[coordinator] {}/{} ranges ({}/{} specs) done, {} worker(s), {} in flight, {} chain windows",
+                    p.ranges_done,
+                    p.ranges_total,
+                    p.specs_done,
+                    p.specs_total,
+                    p.workers,
+                    p.in_flight,
+                    p.chain_windows,
+                );
+            });
+            drop(transport); // close worker links before reaping
+            let mut kids = children.lock().unwrap();
+            for c in kids.iter_mut() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            let run = match outcome {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("coordinated sweep failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&out, run.report.encode()) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(path) = stats_out {
+                if let Err(e) = std::fs::write(&path, run.stats.encode()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[coordinator] wrote {path}");
+            }
+            eprintln!(
+                "[coordinator] wrote {out}: {} specs, {} chain windows; {} dispatches, \
+                 {} deaths, {} steals, {} corrupt, {} duplicates, {} retries",
+                run.report.outcomes.len(),
+                run.report.aggregate.total_chain_windows,
+                run.stats.dispatches,
+                run.stats.worker_deaths,
+                run.stats.steals,
+                run.stats.corrupt_reports,
+                run.stats.duplicates_discarded,
+                run.stats.retries,
+            );
+        }
+        "worker" => {
+            let Some(addr) = connect else {
+                return usage();
+            };
+            let specs = match grid.as_str() {
+                "shared" => shared_grid(),
+                "abr" => abr_grid(),
+                _ => demo_grid(),
+            };
+            let domino = Domino::with_defaults();
+            let opts = SweepOptions::default()
+                .threads(threads)
+                .mode(if mux_width > 1 {
+                    ExecutionMode::Multiplexed { width: mux_width }
+                } else {
+                    ExecutionMode::PerWorker
+                });
+            let mut link = match TcpLink::connect(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot connect to coordinator at {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let faults = WorkerFaults {
+                exit_after_specs,
+                corrupt_first_result,
+            };
+            let name = format!("worker-{}", std::process::id());
+            match run_worker(&mut link, &name, &specs, &domino, &opts, faults) {
+                WorkerExit::Drained => {
+                    eprintln!("[{name}] drained, exiting");
+                }
+                WorkerExit::Killed => {
+                    // Scripted crash: die abruptly, result unsent.
+                    eprintln!("[{name}] scripted kill fired");
+                    std::process::exit(3);
+                }
+                WorkerExit::Link(e) => {
+                    eprintln!("[{name}] link failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         _ => return usage(),
     }

@@ -1,0 +1,312 @@
+//! The coordinator contract: a fault-tolerant distributed sweep must
+//! produce a merged report **byte-identical** to single-machine
+//! [`run_sweep`] under *any* failure/retry schedule — worker kills
+//! mid-range, stragglers hedged to a second worker with duplicate
+//! deliveries, corrupted report bytes, and dead-worker work-stealing —
+//! at any sub-range granularity, thread count, and mux width.
+//!
+//! All scenarios run on the virtual-clock [`InProcFleet`], so "wait 400ms
+//! for the straggler" costs microseconds and every schedule replays
+//! deterministically.
+
+use domino::core::Domino;
+use domino::scenarios::{all_cells, SessionGrid, SessionSpec};
+use domino::simcore::SimDuration;
+use domino::sweep::{
+    run_coordinator, run_sweep, CoordinatorConfig, CoordinatorStats, ExecutionMode, Fault,
+    FaultPlan, InProcFleet, ShardReport, SweepOptions,
+};
+use proptest::strategy::Strategy;
+
+/// Table 1 cells × three durations: a 12-spec grid, short enough to sweep
+/// many times under chaos.
+fn grid() -> Vec<SessionSpec> {
+    SessionGrid::new()
+        .cells(all_cells())
+        .durations([
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(6),
+            SimDuration::from_secs(9),
+        ])
+        .master_seed(90_210)
+        .build()
+}
+
+/// Virtual-time coordinator tuning for the chaos matrix: deadlines well
+/// above the fleet's synthetic range cost (~4+3/spec ms) but far below
+/// the watchdog, tight backoff, generous attempt budget.
+fn chaos_config(chunk_specs: usize) -> CoordinatorConfig {
+    CoordinatorConfig {
+        chunk_specs,
+        prefetch: 2,
+        min_workers: 0,
+        dispatch_timeout_ms: 800,
+        backoff_base_ms: 10,
+        backoff_max_ms: 80,
+        max_attempts: 8,
+        straggler_after_ms: 100,
+        worker_wait_ms: 5_000,
+        drain_grace_ms: 2_000,
+    }
+}
+
+/// Runs the coordinator over the fleet and checks merged bytes against the
+/// single-machine reference.
+fn run_chaos(
+    specs: &[SessionSpec],
+    opts: &SweepOptions,
+    plan: &FaultPlan,
+    cfg: &CoordinatorConfig,
+    workers: usize,
+    reference: &str,
+    label: &str,
+) -> CoordinatorStats {
+    let domino = Domino::with_defaults();
+    let mut fleet = InProcFleet::new(specs, &domino, opts, workers, plan);
+    let run = run_coordinator(specs.len(), &mut fleet, cfg, |_| {})
+        .unwrap_or_else(|e| panic!("{label}: coordinator failed: {e}"));
+    assert_eq!(
+        run.report.encode(),
+        reference,
+        "{label}: merged bytes diverged from single-machine run_sweep"
+    );
+    assert_eq!(
+        run.stats.ranges_completed as usize,
+        specs.len().div_ceil(cfg.chunk_specs.max(1)),
+        "{label}: range accounting"
+    );
+    run.stats
+}
+
+/// The four named failure schedules from the acceptance criteria. Each is
+/// exercised at 1 and 3 sub-ranges (chunk = grid, chunk = grid/3) below.
+fn named_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            // Worker 0 completes its first range (at 3-range chunking) and
+            // dies partway through the next; at 1-range chunking it dies
+            // partway through the whole-grid range.
+            "worker-kill-mid-range",
+            FaultPlan {
+                seed: 1,
+                faults: vec![Fault::KillWorker {
+                    worker: 0,
+                    after_specs: 5,
+                    respawn_after_ms: Some(30),
+                }],
+            },
+        ),
+        (
+            "straggler-reissue-duplicate-delivery",
+            FaultPlan {
+                seed: 2,
+                faults: vec![
+                    Fault::DelayRange {
+                        range: 0,
+                        delay_ms: 400,
+                    },
+                    Fault::DuplicateResult { range: 0 },
+                ],
+            },
+        ),
+        (
+            "corrupted-report-retry",
+            FaultPlan {
+                seed: 3,
+                faults: vec![Fault::CorruptResult { range: 0, times: 2 }],
+            },
+        ),
+        (
+            // Worker 0 dies on its very first dispatch, so everything
+            // queued on it (two ranges at 3-range chunking, thanks to
+            // prefetch) is stolen and rebalanced onto the survivors.
+            "dead-worker-work-steal",
+            FaultPlan {
+                seed: 4,
+                faults: vec![Fault::KillWorker {
+                    worker: 0,
+                    after_specs: 0,
+                    respawn_after_ms: Some(25),
+                }],
+            },
+        ),
+    ]
+}
+
+#[test]
+fn chaos_matrix_is_byte_identical_to_single_machine() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let reference = ShardReport::from_sweep(&run_sweep(
+        &specs,
+        &domino,
+        &SweepOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    ))
+    .encode();
+    assert!(reference.contains("chainstats"), "reference carries stats");
+
+    // Failure schedules × {1, 3} sub-ranges × worker thread/mux variation.
+    let exec = [
+        (1usize, ExecutionMode::PerWorker),
+        (2, ExecutionMode::Multiplexed { width: 4 }),
+    ];
+    for (pi, (name, plan)) in named_plans().into_iter().enumerate() {
+        for (chunk, n_ranges) in [(specs.len(), 1usize), (specs.len().div_ceil(3), 3)] {
+            let (threads, mode) = exec[(pi + n_ranges) % exec.len()];
+            let opts = SweepOptions {
+                threads,
+                execution: mode,
+                ..Default::default()
+            };
+            let label = format!("{name} @ {n_ranges} range(s)");
+            let stats = run_chaos(
+                &specs,
+                &opts,
+                &plan,
+                &chaos_config(chunk),
+                3,
+                &reference,
+                &label,
+            );
+            // Each schedule must actually exercise its failure mode.
+            match name {
+                "worker-kill-mid-range" | "dead-worker-work-steal" => {
+                    assert!(stats.worker_deaths >= 1, "{label}: no death observed");
+                    assert!(stats.steals >= 1, "{label}: nothing stolen");
+                }
+                "straggler-reissue-duplicate-delivery" => {
+                    assert!(stats.straggler_reissues >= 1, "{label}: no hedge issued");
+                    assert!(
+                        stats.duplicates_discarded >= 1,
+                        "{label}: no duplicate discarded"
+                    );
+                }
+                "corrupted-report-retry" => {
+                    assert_eq!(
+                        stats.corrupt_reports, 2,
+                        "{label}: corruptions not surfaced"
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_fleet_matches_and_counts_nothing() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        threads: 2,
+        ..Default::default()
+    };
+    let reference = ShardReport::from_sweep(&run_sweep(&specs, &domino, &opts)).encode();
+    let stats = run_chaos(
+        &specs,
+        &opts,
+        &FaultPlan::none(),
+        &chaos_config(2),
+        3,
+        &reference,
+        "clean fleet",
+    );
+    assert_eq!(stats.worker_deaths, 0);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.corrupt_reports, 0);
+    assert_eq!(stats.duplicates_discarded, 0);
+    assert_eq!(stats.steals, 0);
+    assert_eq!(stats.workers_peak, 3);
+}
+
+/// Random seeded fault schedules: merged bytes must stay identical to the
+/// single-machine reference, and every corrupted delivery the fleet
+/// injected must surface in `CoordinatorStats::corrupt_reports`. The
+/// straggler hedge is disabled here so a corrupted delivery can never race
+/// a completed hedge copy — which makes the surfaced-corruption count
+/// *exactly* equal to the injected count, not merely bounded below.
+#[test]
+fn random_fault_plans_fuzz() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        threads: 2,
+        ..Default::default()
+    };
+    let reference = ShardReport::from_sweep(&run_sweep(&specs, &domino, &opts)).encode();
+
+    let mut rng = proptest::test_rng("coordinator_random_fault_plans");
+    // Each case is a full chaos sweep; cap below proptest::CASES to keep
+    // tier-1 wall time sane.
+    let cases = proptest::CASES.min(18);
+    for case in 0..cases {
+        let seed = (0u64..u64::MAX).generate(&mut rng);
+        let chunk = (1usize..=6).generate(&mut rng);
+        let workers = (1usize..=4).generate(&mut rng);
+        let n_ranges = specs.len().div_ceil(chunk);
+        let plan = FaultPlan::random(seed, workers, n_ranges);
+        let mut cfg = chaos_config(chunk);
+        cfg.straggler_after_ms = 1_000_000;
+        let label = format!("case {case} (seed {seed}, chunk {chunk}, workers {workers})");
+
+        let mut fleet = InProcFleet::new(&specs, &domino, &opts, workers, &plan);
+        let run = run_coordinator(specs.len(), &mut fleet, &cfg, |_| {})
+            .unwrap_or_else(|e| panic!("{label}: coordinator failed: {e} (plan {plan:?})"));
+        assert_eq!(
+            run.report.encode(),
+            reference,
+            "{label}: merged bytes diverged (plan {plan:?})"
+        );
+        assert_eq!(
+            run.stats.corrupt_reports, fleet.log.corruptions as u64,
+            "{label}: injected corruptions not fully surfaced (log {:?}, stats {:?})",
+            fleet.log, run.stats
+        );
+        assert_eq!(run.stats.worker_deaths, fleet.log.kills as u64, "{label}");
+        assert!(
+            run.stats.dispatches >= n_ranges as u64,
+            "{label}: dispatch accounting"
+        );
+    }
+}
+
+/// Progress streaming: monotone spec counts, final snapshot covers the
+/// grid.
+#[test]
+fn progress_streams_monotonically() {
+    let specs = grid();
+    let domino = Domino::with_defaults();
+    let opts = SweepOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let plan = named_plans().remove(0).1;
+    let mut fleet = InProcFleet::new(&specs, &domino, &opts, 3, &plan);
+    let mut seen = Vec::new();
+    let run = run_coordinator(specs.len(), &mut fleet, &chaos_config(3), |p| {
+        seen.push(*p);
+    })
+    .expect("coordinated sweep");
+    assert!(!seen.is_empty());
+    let mut last = 0;
+    for p in &seen {
+        assert!(p.specs_done >= last, "specs_done regressed");
+        assert_eq!(p.specs_total, specs.len());
+        last = p.specs_done;
+    }
+    let end = seen.last().unwrap();
+    assert_eq!(end.specs_done, specs.len());
+    assert_eq!(end.ranges_done, end.ranges_total);
+    assert_eq!(
+        end.chain_windows,
+        run.report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.stats.as_ref())
+            .map(|s| s.total_chain_windows as u64)
+            .sum::<u64>()
+    );
+}
