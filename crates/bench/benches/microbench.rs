@@ -170,6 +170,7 @@ fn replay_second(
 
 fn bench_live_step(c: &mut Criterion) {
     use domino_live::{EarlyExit, LiveConfig, LivePipeline};
+    use telemetry::Lateness;
 
     let bundle = session_bundle();
     let (events, unsent) = tap_replay(&bundle);
@@ -182,7 +183,7 @@ fn bench_live_step(c: &mut Criterion) {
         default_graph(),
         cfg,
         LiveConfig {
-            lateness: SimDuration::from_secs(1),
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
             early_exit: EarlyExit::Never,
         },
     )
@@ -203,6 +204,103 @@ fn bench_live_step(c: &mut Criterion) {
     });
 }
 
+/// The same per-step workload as `domino/live_step` with the adaptive
+/// lateness bound: every record additionally feeds the per-stream delay
+/// histograms and every tick re-derives the watermark bound from the target
+/// quantile. The delta over `domino/live_step` is the whole price of
+/// adaptivity.
+fn bench_adaptive_step(c: &mut Criterion) {
+    use domino_live::{EarlyExit, LiveConfig, LivePipeline};
+    use telemetry::Lateness;
+
+    let bundle = session_bundle();
+    let (events, unsent) = tap_replay(&bundle);
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    let mut pipe = LivePipeline::new(
+        default_graph(),
+        cfg,
+        LiveConfig {
+            lateness: Lateness::Adaptive {
+                target_quantile: 0.99,
+                floor: SimDuration::from_millis(100),
+                ceil: SimDuration::from_secs(5),
+            },
+            early_exit: EarlyExit::Never,
+        },
+    )
+    .expect("aligned");
+    let mut idx = 0usize;
+    let mut now = SimTime::ZERO;
+    c.bench_function("live/adaptive_step", |b| {
+        b.iter(|| {
+            if idx >= events.len() {
+                pipe.reset();
+                idx = 0;
+                now = SimTime::ZERO;
+            }
+            replay_second(&mut pipe, &bundle, &events, &unsent, &mut idx, &mut now);
+            black_box(pipe.stats())
+        })
+    });
+}
+
+/// Tap-layer tax of chaos injection: `domino/live_step`'s replay pushed
+/// through a [`ChaosTap`](domino_live::ChaosTap) whose script rolls a drop
+/// and a delay fault on the gNB stream — so every record pays the seeded
+/// fault rolls, the fault log, and (for the delayed few) the stash
+/// round-trip. Compare against `domino/live_step` for the per-record
+/// overhead; production sweeps without a chaos spec skip the wrapper
+/// entirely.
+fn bench_chaos_tap_overhead(c: &mut Criterion) {
+    use domino_live::{ChaosState, ChaosTap, EarlyExit, LiveConfig, LivePipeline};
+    use telemetry::{Lateness, TapChaosSpec, TapFault, TapStream};
+
+    let bundle = session_bundle();
+    let (events, unsent) = tap_replay(&bundle);
+    let cfg = DominoConfig {
+        step: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    let mut pipe = LivePipeline::new(
+        default_graph(),
+        cfg,
+        LiveConfig {
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
+            early_exit: EarlyExit::Never,
+        },
+    )
+    .expect("aligned");
+    let spec = TapChaosSpec::new(0xC4A0)
+        .fault(TapFault::Drop {
+            stream: TapStream::Gnb,
+            pct: 5,
+        })
+        .fault(TapFault::Delay {
+            stream: TapStream::Gnb,
+            pct: 5,
+            max_delay: SimDuration::from_millis(400),
+        });
+    let mut state = ChaosState::new(&spec);
+    let mut idx = 0usize;
+    let mut now = SimTime::ZERO;
+    c.bench_function("live/chaos_tap_overhead", |b| {
+        b.iter(|| {
+            if idx >= events.len() {
+                pipe.reset();
+                state = ChaosState::new(&spec);
+                idx = 0;
+                now = SimTime::ZERO;
+            }
+            let mut tap = ChaosTap::new(&mut state, &mut pipe);
+            replay_second(&mut tap, &bundle, &events, &unsent, &mut idx, &mut now);
+            black_box(pipe.stats())
+        })
+    });
+}
+
 /// The same per-step workload as `domino/live_step`, but through a
 /// session-keyed [`domino_live::PipelinePool`]: each full-session replay
 /// checks a pipeline out (reset of a warm free-list entry) and releases it
@@ -211,6 +309,7 @@ fn bench_live_step(c: &mut Criterion) {
 /// lease cycle — over a dedicated per-worker pipeline.
 fn bench_pool_step(c: &mut Criterion) {
     use domino_live::{EarlyExit, LiveConfig, PipelinePool};
+    use telemetry::Lateness;
 
     let bundle = session_bundle();
     let (events, unsent) = tap_replay(&bundle);
@@ -222,7 +321,7 @@ fn bench_pool_step(c: &mut Criterion) {
         default_graph(),
         cfg,
         LiveConfig {
-            lateness: SimDuration::from_secs(1),
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
             early_exit: EarlyExit::Never,
         },
     )
@@ -712,6 +811,8 @@ criterion_group!(
         bench_full_window_analysis,
         bench_streaming_step,
         bench_live_step,
+        bench_adaptive_step,
+        bench_chaos_tap_overhead,
         bench_pool_step,
         bench_full_sweep,
         bench_chain_search,

@@ -46,6 +46,54 @@ pub struct ChainHit {
     pub consequence: NodeId,
 }
 
+/// How much of the telemetry a verdict's window was actually analysed
+/// with — the live pipeline's honesty annotation for degraded feeds.
+///
+/// A window analysed over gapped or late-dropped telemetry can report a
+/// silently wrong cause; instead of hiding that, the live pipeline stamps
+/// each verdict with what was missing. Derived purely from simulation
+/// state, so it is byte-identical across partitionings like every other
+/// live output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictCoverage {
+    /// Records dropped for lateness since the previous window closed.
+    pub late_drops: usize,
+    /// Bitmask of telemetry streams (bit = `telemetry::TapStream::idx()`)
+    /// that had produced records before but contributed none to this
+    /// window's span — a gap or blackout, not a stream that never existed.
+    pub gapped_streams: u8,
+    /// `1.0` for a fully covered window, reduced per gapped stream and per
+    /// late drop; floor 0.0.
+    pub confidence: f64,
+}
+
+impl VerdictCoverage {
+    /// Full coverage: nothing dropped, nothing gapped.
+    pub fn full() -> Self {
+        VerdictCoverage {
+            late_drops: 0,
+            gapped_streams: 0,
+            confidence: 1.0,
+        }
+    }
+
+    /// Whether anything was missing from this window's telemetry.
+    pub fn is_degraded(&self) -> bool {
+        self.late_drops > 0 || self.gapped_streams != 0
+    }
+
+    /// Number of gapped streams.
+    pub fn gapped_count(&self) -> u32 {
+        self.gapped_streams.count_ones()
+    }
+}
+
+impl Default for VerdictCoverage {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
 /// Analysis result for one window position.
 #[derive(Debug, Clone)]
 pub struct WindowAnalysis {

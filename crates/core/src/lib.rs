@@ -41,7 +41,7 @@ pub mod stats;
 pub mod stream;
 
 pub use codegen::{compile, DetectionProgram, ProgramOutput};
-pub use detect::{Analysis, ChainHit, Domino, DominoConfig, WindowAnalysis};
+pub use detect::{Analysis, ChainHit, Domino, DominoConfig, VerdictCoverage, WindowAnalysis};
 pub use dsl::{abr_graph, default_graph, emit, parse, ParseError, ABR_CONFIG, DEFAULT_CONFIG};
 pub use events::{extract_features, Thresholds};
 pub use features::{

@@ -35,20 +35,40 @@
 //!    confirmed or the verdict has been stable long enough, aborting the
 //!    simulation itself through [`telemetry::LiveTap::should_stop`].
 //!
-//! **Equivalence contract:** with [`EarlyExit::Never`] and a lateness bound
-//! that covers the longest in-network packet delay (so no late drops or
-//! late deliveries occur), [`LivePipeline::take_analysis`] is bit-identical
-//! to [`domino_core::Domino::analyze`] over the same session's bundle —
-//! enforced by `tests/live_equivalence.rs` at the workspace root and the
-//! unit tests here. Like the streaming analyzer it builds on, the pipeline
-//! requires the window grid to align with the detector's bin granule
-//! ([`domino_core::StreamingAnalyzer::supports`]); [`LivePipeline::new`]
-//! reports [`domino_core::UnsupportedConfig`] otherwise.
+//! Two resilience layers wrap the healthy-path stages:
+//!
+//! * **Degraded telemetry** ([`chaos`]). A [`ChaosTap`] sits between the
+//!   engine and any [`telemetry::LiveTap`], injecting seeded, scripted
+//!   faults — drops, duplicates, delays, clock skew, blackouts — from a
+//!   [`telemetry::TapChaosSpec`], and keeps a [`TapFaultLog`] ground truth
+//!   so every injected fault is accountable in the downstream stats.
+//! * **Adaptive lateness & SLO verdicts** ([`estimator`]). A
+//!   [`DelayEstimator`] tracks the observed per-record delay distribution;
+//!   [`telemetry::Lateness::Adaptive`] derives the watermark bound from a
+//!   target quantile of it, and [`EarlyExit::Slo`] caps verdict latency
+//!   while bounding the implied late-drop risk. Every verdict carries a
+//!   [`domino_core::detect::VerdictCoverage`] annotation saying how much
+//!   telemetry it actually saw.
+//!
+//! **Equivalence contract:** with [`EarlyExit::Never`] and a static
+//! lateness bound that covers the longest in-network packet delay (so no
+//! late drops or late deliveries occur), [`LivePipeline::take_analysis`]
+//! is bit-identical to [`domino_core::Domino::analyze`] over the same
+//! session's bundle — enforced by `tests/live_equivalence.rs` at the
+//! workspace root and the unit tests here. Like the streaming analyzer it
+//! builds on, the pipeline requires the window grid to align with the
+//! detector's bin granule ([`domino_core::StreamingAnalyzer::supports`]);
+//! [`LivePipeline::new`] reports [`domino_core::UnsupportedConfig`]
+//! otherwise.
 
+pub mod chaos;
+pub mod estimator;
 pub mod pipeline;
 pub mod pool;
 pub mod reorder;
 
+pub use chaos::{ChaosState, ChaosTap, TapFaultLog};
+pub use estimator::DelayEstimator;
 pub use pipeline::{EarlyExit, LiveConfig, LivePipeline, LiveStats, LiveVerdict};
 pub use pool::{PipelinePool, PoolStats};
 pub use reorder::Reorder;

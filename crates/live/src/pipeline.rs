@@ -7,18 +7,20 @@ use std::collections::{HashMap, VecDeque};
 
 use simcore::{SimDuration, SimTime};
 use telemetry::{
-    AppStatsRecord, DciRecord, GnbLogRecord, LiveTap, PacketRecord, PlaybackStatsRecord,
-    SessionMeta, TraceBundle, TraceCursor,
+    AppStatsRecord, DciRecord, GnbLogRecord, Lateness, LiveTap, PacketRecord, PlaybackStatsRecord,
+    SessionMeta, TapStream, TraceBundle, TraceCursor,
 };
 
-use domino_core::detect::{Analysis, ChainHit, DominoConfig, WindowAnalysis};
+use domino_core::detect::{Analysis, ChainHit, DominoConfig, VerdictCoverage, WindowAnalysis};
 use domino_core::graph::{CausalGraph, NodeId};
 use domino_core::stream::{StreamingAnalyzer, UnsupportedConfig};
+use domino_obs::{HistData, HistLayout};
 
+use crate::estimator::{DelayEstimator, ADAPTIVE_MIN_SAMPLES, DELAY_LAYOUT};
 use crate::reorder::Reorder;
 
 /// When the live pipeline may abort the session it is watching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum EarlyExit {
     /// Run to the end of the session (required for batch equivalence).
     #[default]
@@ -35,18 +37,34 @@ pub enum EarlyExit {
     /// which is exactly the fleet-scale triage behaviour (don't keep
     /// watching healthy calls).
     StableFor(usize),
+    /// SLO-aware graceful degradation: cap the effective lateness bound so
+    /// every verdict lands within `verdict_within` of its window's end,
+    /// and give up on the session (stop watching, `early_exited` set) once
+    /// the delay estimator shows that honouring the cap would drop more
+    /// than `max_drop_risk` (a fraction in `[0, 1]`) of the telemetry.
+    /// Verdicts emitted up to that point carry their
+    /// [`VerdictCoverage`] so consumers know what they were worth.
+    Slo {
+        /// Maximum verdict latency after a window's end.
+        verdict_within: SimDuration,
+        /// Tolerated late-drop risk before the session is abandoned.
+        max_drop_risk: f64,
+    },
 }
 
 /// Configuration of the live stages (the analysis itself is configured by
 /// the [`DominoConfig`] passed to [`LivePipeline::new`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LiveConfig {
-    /// Watermark lateness bound: a record with timestamp `t` is expected to
-    /// reach the tap by session time `t + lateness`. Larger bounds tolerate
-    /// slower telemetry (packets are only final at delivery, so this must
-    /// cover the longest one-way delay for exact batch equivalence) at the
-    /// cost of diagnosis latency and retained-memory, both O(lateness).
-    pub lateness: SimDuration,
+    /// Watermark lateness policy: a record with timestamp `t` is expected
+    /// to reach the tap by session time `t + bound`. Larger bounds
+    /// tolerate slower telemetry (packets are only final at delivery, so
+    /// the bound must cover the longest one-way delay for exact batch
+    /// equivalence) at the cost of diagnosis latency and retained memory,
+    /// both O(bound). [`Lateness::Static`] fixes the bound;
+    /// [`Lateness::Adaptive`] tracks a quantile of the observed delay
+    /// distribution per session.
+    pub lateness: Lateness,
     /// Early-exit policy.
     pub early_exit: EarlyExit,
 }
@@ -54,7 +72,7 @@ pub struct LiveConfig {
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
-            lateness: SimDuration::from_secs(5),
+            lateness: Lateness::Static(SimDuration::from_secs(5)),
             early_exit: EarlyExit::Never,
         }
     }
@@ -77,6 +95,9 @@ pub struct LiveVerdict {
     pub unknown_consequences: Vec<NodeId>,
     /// Whether this verdict differs from the previous window's.
     pub changed: bool,
+    /// How much of the telemetry this window was actually analysed with —
+    /// full coverage unless records were late-dropped or a stream gapped.
+    pub coverage: VerdictCoverage,
 }
 
 /// Counters the pipeline maintains while it runs.
@@ -98,6 +119,12 @@ pub struct LiveStats {
     pub peak_retained_records: usize,
     /// Whether an [`EarlyExit`] policy stopped the session.
     pub early_exited: bool,
+    /// [`Self::late_records_dropped`] broken out per telemetry stream,
+    /// indexed by [`TapStream::idx`] (the packet slot counts late sends).
+    pub late_drops_by_stream: [usize; TapStream::COUNT],
+    /// Windows whose verdict carried degraded coverage (late drops or
+    /// gapped streams).
+    pub degraded_windows: usize,
 }
 
 /// Tracks the packet contribution to the bundle horizon: the record with
@@ -139,6 +166,7 @@ impl PacketHorizon {
 struct PendingPackets {
     buf: VecDeque<(SimTime, u64, PacketRecord)>,
     in_flight: HashMap<u64, SimTime>,
+    released: usize,
 }
 
 impl PendingPackets {
@@ -157,12 +185,11 @@ impl PendingPackets {
         self.in_flight.insert(id, sent);
     }
 
-    /// Patches the record announced as `id` with its delivery time; `false`
-    /// if that record's fate was already frozen (released).
-    fn deliver(&mut self, id: u64, at: SimTime) -> bool {
-        let Some(&sent) = self.in_flight.get(&id) else {
-            return false;
-        };
+    /// Patches the record announced as `id` with its delivery time,
+    /// returning its send time; `None` if that record's fate was already
+    /// frozen (released).
+    fn deliver(&mut self, id: u64, at: SimTime) -> Option<SimTime> {
+        let &sent = self.in_flight.get(&id)?;
         let start = self.buf.partition_point(|&(s, _, _)| s < sent);
         for slot in self.buf.range_mut(start..) {
             if slot.0 != sent {
@@ -170,7 +197,7 @@ impl PendingPackets {
             }
             if slot.1 == id {
                 slot.2.received = Some(at);
-                return true;
+                return Some(sent);
             }
         }
         unreachable!("in_flight and buf are updated together")
@@ -185,6 +212,7 @@ impl PendingPackets {
             }
             let (_, id, record) = self.buf.pop_front().expect("checked non-empty");
             self.in_flight.remove(&id);
+            self.released += 1;
             sink(record);
         }
     }
@@ -193,9 +221,14 @@ impl PendingPackets {
         self.buf.len()
     }
 
+    fn released_count(&self) -> usize {
+        self.released
+    }
+
     fn clear(&mut self) {
         self.buf.clear();
         self.in_flight.clear();
+        self.released = 0;
     }
 }
 
@@ -227,6 +260,19 @@ pub struct LivePipeline {
     packet_frontier: SimTime,
     late_sends: usize,
     late_deliveries: usize,
+
+    // Adaptive lateness: observed delay distribution and the bound
+    // currently in effect (fixed for `Lateness::Static`).
+    estimator: DelayEstimator,
+    effective_lateness: SimDuration,
+    bound_hist: HistData,
+    risk_hist: HistData,
+
+    // Per-window coverage bookkeeping: released/late counts at the
+    // previous window close, so each close sees only its own delta.
+    cov_released_base: [usize; TapStream::COUNT],
+    cov_late_base: usize,
+    degraded_windows: usize,
 
     // Constant-memory staging: released records transit this bundle, read
     // once via the cursor and pruned at each window close.
@@ -264,6 +310,7 @@ impl LivePipeline {
     ) -> Result<Self, UnsupportedConfig> {
         let warmup = cfg.warmup;
         let analyzer = StreamingAnalyzer::new(graph, cfg)?;
+        let effective_lateness = Self::initial_bound(&live_cfg);
         Ok(LivePipeline {
             analyzer,
             live_cfg,
@@ -276,6 +323,13 @@ impl LivePipeline {
             packet_frontier: SimTime::ZERO,
             late_sends: 0,
             late_deliveries: 0,
+            estimator: DelayEstimator::new(),
+            effective_lateness,
+            bound_hist: HistData::EMPTY,
+            risk_hist: HistData::EMPTY,
+            cov_released_base: [0; TapStream::COUNT],
+            cov_late_base: 0,
+            degraded_windows: 0,
             staging: TraceBundle::new(SessionMeta::baseline(
                 "domino-live staging",
                 SimDuration::ZERO,
@@ -318,6 +372,46 @@ impl LivePipeline {
         &self.live_cfg
     }
 
+    /// Replaces the live-stage configuration. Call right after
+    /// [`Self::reset`] when a pooled pipeline is reused for a session with
+    /// a different lateness or exit policy; the effective bound restarts
+    /// from the new policy's cold-start value.
+    pub fn set_live_config(&mut self, cfg: LiveConfig) {
+        self.live_cfg = cfg;
+        self.effective_lateness = Self::initial_bound(&self.live_cfg);
+    }
+
+    /// The lateness bound currently in effect: the configured bound for
+    /// [`Lateness::Static`], the estimator-driven one for
+    /// [`Lateness::Adaptive`] (the policy ceiling until warm).
+    pub fn current_lateness(&self) -> SimDuration {
+        self.effective_lateness
+    }
+
+    /// The observed per-record delay distribution, combined across
+    /// streams (milliseconds; layout [`DELAY_LAYOUT`]).
+    pub fn delay_hist(&self) -> &HistData {
+        self.estimator.combined()
+    }
+
+    /// The effective lateness bound sampled at each window close
+    /// (milliseconds; layout [`DELAY_LAYOUT`]).
+    pub fn bound_hist(&self) -> &HistData {
+        &self.bound_hist
+    }
+
+    /// The estimated late-drop risk sampled at each window close
+    /// (percent; layout [`HistLayout::Pct10`]).
+    pub fn risk_hist(&self) -> &HistData {
+        &self.risk_hist
+    }
+
+    /// The online delay estimator feeding adaptive lateness and SLO
+    /// verdicts.
+    pub fn estimator(&self) -> &DelayEstimator {
+        &self.estimator
+    }
+
     /// Installs a callback invoked synchronously for every emitted verdict
     /// (in addition to the retained stream drained by
     /// [`Self::drain_verdicts`]).
@@ -327,18 +421,23 @@ impl LivePipeline {
 
     /// Counters so far (final after the session's `on_finish`).
     pub fn stats(&self) -> LiveStats {
+        let late_drops_by_stream = [
+            self.app_local.late_count(),
+            self.app_remote.late_count(),
+            self.playback.late_count(),
+            self.dci.late_count(),
+            self.gnb.late_count(),
+            self.late_sends,
+        ];
         LiveStats {
             records_seen: self.records_seen,
-            late_records_dropped: self.late_sends
-                + self.app_local.late_count()
-                + self.app_remote.late_count()
-                + self.dci.late_count()
-                + self.gnb.late_count()
-                + self.playback.late_count(),
+            late_records_dropped: late_drops_by_stream.iter().sum(),
             late_deliveries: self.late_deliveries,
             windows_emitted: self.windows_emitted,
             peak_retained_records: self.peak_retained,
             early_exited: self.stopped,
+            late_drops_by_stream,
+            degraded_windows: self.degraded_windows,
         }
     }
 
@@ -379,6 +478,13 @@ impl LivePipeline {
         self.packet_frontier = SimTime::ZERO;
         self.late_sends = 0;
         self.late_deliveries = 0;
+        self.estimator.clear();
+        self.effective_lateness = Self::initial_bound(&self.live_cfg);
+        self.bound_hist = HistData::EMPTY;
+        self.risk_hist = HistData::EMPTY;
+        self.cov_released_base = [0; TapStream::COUNT];
+        self.cov_late_base = 0;
+        self.degraded_windows = 0;
         self.staging.dci.clear();
         self.staging.gnb.clear();
         self.staging.packets.clear();
@@ -416,12 +522,53 @@ impl LivePipeline {
         self.peak_retained = self.peak_retained.max(self.retained_records());
     }
 
-    /// The watermark: session time minus the lateness bound.
+    /// The cold-start bound for a configuration: the policy's maximum,
+    /// capped by the verdict-latency SLO if one is set.
+    fn initial_bound(cfg: &LiveConfig) -> SimDuration {
+        let mut b = cfg.lateness.max_bound();
+        if let EarlyExit::Slo { verdict_within, .. } = cfg.early_exit {
+            b = b.min(verdict_within);
+        }
+        b
+    }
+
+    /// Re-derives the effective lateness bound from the policy and the
+    /// estimator. Called once per tick; deterministic because the
+    /// estimator state is a pure function of the session's event sequence.
+    fn refresh_lateness(&mut self) {
+        let mut bound = match self.live_cfg.lateness {
+            Lateness::Static(s) => s,
+            Lateness::Adaptive {
+                target_quantile,
+                floor,
+                ceil,
+            } => {
+                if self.estimator.samples() < ADAPTIVE_MIN_SAMPLES {
+                    ceil
+                } else {
+                    // Cap in ms space before converting: `bound_ms` is
+                    // u64::MAX on an empty/saturated histogram and
+                    // `from_millis` would overflow.
+                    let ms = self
+                        .estimator
+                        .bound_ms(target_quantile)
+                        .min(ceil.as_millis());
+                    SimDuration::from_millis(ms).max(floor).min(ceil)
+                }
+            }
+        };
+        if let EarlyExit::Slo { verdict_within, .. } = self.live_cfg.early_exit {
+            bound = bound.min(verdict_within);
+        }
+        self.effective_lateness = bound;
+    }
+
+    /// The watermark: session time minus the effective lateness bound.
     fn watermark(&self) -> SimTime {
         SimTime::from_micros(
             self.now
                 .as_micros()
-                .saturating_sub(self.live_cfg.lateness.as_micros()),
+                .saturating_sub(self.effective_lateness.as_micros()),
         )
     }
 
@@ -436,6 +583,60 @@ impl LivePipeline {
                 break;
             }
             self.close_one(end);
+        }
+    }
+
+    /// The coverage annotation for a window just released: which streams
+    /// contributed nothing to the newly released span despite having
+    /// produced records, and how many records were late-dropped since the
+    /// previous close. Pure integer bookkeeping over per-stream counters,
+    /// so byte-identical across partitionings.
+    fn window_coverage(&mut self) -> VerdictCoverage {
+        let released = [
+            self.app_local.released_count(),
+            self.app_remote.released_count(),
+            self.playback.released_count(),
+            self.dci.released_count(),
+            self.gnb.released_count(),
+            self.pending.released_count(),
+        ];
+        let buffered = [
+            self.app_local.len(),
+            self.app_remote.len(),
+            self.playback.len(),
+            self.dci.len(),
+            self.gnb.len(),
+            self.pending.len(),
+        ];
+        let late = [
+            self.app_local.late_count(),
+            self.app_remote.late_count(),
+            self.playback.late_count(),
+            self.dci.late_count(),
+            self.gnb.late_count(),
+            self.late_sends,
+        ];
+        let mut gapped = 0u8;
+        for i in 0..TapStream::COUNT {
+            let delta = released[i] - self.cov_released_base[i];
+            // A stream that never produced anything (e.g. playback on an
+            // RTC session) is absent, not gapped.
+            let pushed_ever = released[i] + buffered[i] + late[i];
+            if delta == 0 && pushed_ever > 0 {
+                gapped |= 1 << i;
+            }
+        }
+        let late_now: usize = late.iter().sum();
+        let late_drops = late_now - self.cov_late_base;
+        self.cov_released_base = released;
+        self.cov_late_base = late_now;
+        let confidence =
+            (1.0 - 0.2 * f64::from(gapped.count_ones()) - (0.02 * late_drops as f64).min(0.5))
+                .max(0.0);
+        VerdictCoverage {
+            late_drops,
+            gapped_streams: gapped,
+            confidence,
         }
     }
 
@@ -460,29 +661,39 @@ impl LivePipeline {
             .release_below(end, |record| staging.append_packet(record));
         self.packet_frontier = self.packet_frontier.max(end);
 
+        let coverage = self.window_coverage();
+        let bound_ms = self.effective_lateness.as_millis();
+        self.bound_hist.record(DELAY_LAYOUT, bound_ms);
+        self.risk_hist
+            .record(HistLayout::Pct10, self.estimator.drop_risk_pct(bound_ms));
+
         let slices = self.staging.advance_until(&mut self.cursor, end);
         self.analyzer.push_slices(&slices);
         let analysis = self.analyzer.emit(self.next_start);
         self.note_retained();
         self.staging.prune_consumed(&mut self.cursor);
         self.next_start += self.analyzer.config().step;
-        self.record_window(analysis);
+        self.record_window(analysis, coverage);
     }
 
     /// Appends one window's verdict to the output streams and applies the
     /// early-exit policy.
-    fn record_window(&mut self, w: WindowAnalysis) {
+    fn record_window(&mut self, w: WindowAnalysis, coverage: VerdictCoverage) {
         let changed = self.windows.last().is_none_or(|prev| {
             prev.chains != w.chains || prev.unknown_consequences != w.unknown_consequences
         });
         self.stable_run = if changed { 1 } else { self.stable_run + 1 };
         self.chain_total += w.chains.len();
+        if coverage.is_degraded() {
+            self.degraded_windows += 1;
+        }
         let verdict = LiveVerdict {
             window_start: w.start,
             emitted_at: self.now,
             chains: w.chains.clone(),
             unknown_consequences: w.unknown_consequences.clone(),
             changed,
+            coverage,
         };
         if let Some(hook) = &mut self.hook {
             hook(&verdict);
@@ -497,6 +708,15 @@ impl LivePipeline {
             EarlyExit::Never => {}
             EarlyExit::AfterChains(n) => self.stopped = self.chain_total >= n.max(1),
             EarlyExit::StableFor(k) => self.stopped = self.stable_run >= k.max(1),
+            EarlyExit::Slo { max_drop_risk, .. } => {
+                // Give up once the observed delay distribution shows the
+                // SLO-capped bound drops more telemetry than tolerated.
+                self.stopped = self.estimator.samples() >= ADAPTIVE_MIN_SAMPLES
+                    && self
+                        .estimator
+                        .drop_risk(self.effective_lateness.as_millis())
+                        > max_drop_risk;
+            }
         }
     }
 
@@ -515,30 +735,40 @@ impl LivePipeline {
 impl LiveTap for LivePipeline {
     fn on_app_local(&mut self, r: &AppStatsRecord) {
         self.records_seen += 1;
+        self.estimator
+            .record(TapStream::AppLocal, self.now.saturating_since(r.ts));
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.app_local.push(r.ts, r.clone());
     }
 
     fn on_app_remote(&mut self, r: &AppStatsRecord) {
         self.records_seen += 1;
+        self.estimator
+            .record(TapStream::AppRemote, self.now.saturating_since(r.ts));
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.app_remote.push(r.ts, r.clone());
     }
 
     fn on_dci(&mut self, r: &DciRecord) {
         self.records_seen += 1;
+        self.estimator
+            .record(TapStream::Dci, self.now.saturating_since(r.ts));
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.dci.push(r.ts, r.clone());
     }
 
     fn on_gnb(&mut self, r: &GnbLogRecord) {
         self.records_seen += 1;
+        self.estimator
+            .record(TapStream::Gnb, self.now.saturating_since(r.ts));
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.gnb.push(r.ts, r.clone());
     }
 
     fn on_playback(&mut self, r: &PlaybackStatsRecord) {
         self.records_seen += 1;
+        self.estimator
+            .record(TapStream::Playback, self.now.saturating_since(r.ts));
         self.horizon_lb = self.horizon_lb.max(r.ts);
         self.playback.push(r.ts, r.clone());
     }
@@ -557,14 +787,22 @@ impl LiveTap for LivePipeline {
 
     fn on_packet_delivered(&mut self, id: u64, at: SimTime) {
         self.packet_horizon.on_delivered(id, at);
-        if !self.pending.deliver(id, at) {
-            // Fate already frozen as lost when its window closed.
-            self.late_deliveries += 1;
+        match self.pending.deliver(id, at) {
+            // A packet's observable delay is how long its fate stayed
+            // open: delivery time minus send time.
+            Some(sent) => self
+                .estimator
+                .record(TapStream::Packet, at.saturating_since(sent)),
+            None => {
+                // Fate already frozen as lost when its window closed.
+                self.late_deliveries += 1;
+            }
         }
     }
 
     fn on_tick(&mut self, now: SimTime) {
         self.now = now;
+        self.refresh_lateness();
         self.close_ready();
         self.note_retained();
     }
@@ -578,37 +816,26 @@ impl LiveTap for LivePipeline {
         if self.stopped {
             return;
         }
-        // Flush: every record is now final, so release everything and close
-        // the remaining windows against the exact batch horizon.
-        let flush_to = SimTime::from_micros(u64::MAX);
-        let staging = &mut self.staging;
-        self.app_local
-            .release_below(flush_to, |r| staging.append_app_local(r));
-        self.app_remote
-            .release_below(flush_to, |r| staging.append_app_remote(r));
-        self.dci.release_below(flush_to, |r| staging.append_dci(r));
-        self.gnb.release_below(flush_to, |r| {
-            staging.append_gnb(r);
-        });
-        self.playback
-            .release_below(flush_to, |r| staging.append_playback(r));
-        self.pending
-            .release_below(flush_to, |record| staging.append_packet(record));
-        self.packet_frontier = flush_to;
-        self.note_retained();
-
+        // Every record is now final, so the watermark no longer gates the
+        // closes: close the remaining windows incrementally against the
+        // exact batch horizon. Each close releases exactly what its window
+        // needs, keeping the retained high-water mark at its in-flight
+        // level instead of spiking on a whole-tail flush.
         let horizon = self.horizon();
         let window = self.analyzer.config().window;
         while !self.stopped && self.next_start + window <= horizon {
-            let end = self.next_start + window;
-            let slices = self.staging.advance_until(&mut self.cursor, end);
-            self.analyzer.push_slices(&slices);
-            let analysis = self.analyzer.emit(self.next_start);
-            self.next_start += self.analyzer.config().step;
-            self.record_window(analysis);
+            self.close_one(self.next_start + window);
         }
-        // Nothing further will be analysed: drop the consumed prefix and
-        // the tail past the last window alike.
+        // Discard the tail past the last window — nothing further will be
+        // analysed. Late counters survive; they feed the final stats.
+        let flush_to = SimTime::from_micros(u64::MAX);
+        self.app_local.release_below(flush_to, |_| {});
+        self.app_remote.release_below(flush_to, |_| {});
+        self.dci.release_below(flush_to, |_| {});
+        self.gnb.release_below(flush_to, |_| {});
+        self.playback.release_below(flush_to, |_| {});
+        self.pending.release_below(flush_to, |_| {});
+        self.packet_frontier = flush_to;
         self.staging.dci.clear();
         self.staging.gnb.clear();
         self.staging.packets.clear();
@@ -640,12 +867,16 @@ mod tests {
         }
     }
 
+    fn static_cfg(lateness: SimDuration, early_exit: EarlyExit) -> LiveConfig {
+        LiveConfig {
+            lateness: Lateness::Static(lateness),
+            early_exit,
+        }
+    }
+
     fn generous() -> LiveConfig {
         // Covers any in-network delay these short sessions can produce.
-        LiveConfig {
-            lateness: SimDuration::from_secs(30),
-            early_exit: EarlyExit::Never,
-        }
+        static_cfg(SimDuration::from_secs(30), EarlyExit::Never)
     }
 
     fn assert_identical(batch: &Analysis, live: &Analysis) {
@@ -683,6 +914,7 @@ mod tests {
         let stats = pipe.stats();
         assert_eq!(stats.late_records_dropped, 0);
         assert_eq!(stats.late_deliveries, 0);
+        assert_eq!(stats.degraded_windows, 0);
         assert!(!stats.early_exited);
     }
 
@@ -712,11 +944,9 @@ mod tests {
 
     #[test]
     fn verdicts_arrive_during_the_call_not_after() {
-        let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness: SimDuration::from_secs(2),
-            early_exit: EarlyExit::Never,
-        })
-        .unwrap();
+        let mut pipe =
+            LivePipeline::with_defaults(static_cfg(SimDuration::from_secs(2), EarlyExit::Never))
+                .unwrap();
         let bundle = SessionRun::cell(amarisoft(), &cfg(43, 20))
             .tap(&mut pipe)
             .run();
@@ -727,7 +957,7 @@ mod tests {
         // watermark deadline falls past the session end are flushed at the
         // finish instant instead.
         let window = pipe.config().window;
-        let lateness = pipe.live_config().lateness;
+        let lateness = pipe.current_lateness();
         let session_end = SimTime::ZERO + bundle.meta.duration;
         for v in &verdicts {
             let due = (v.window_start + window + lateness).min(session_end);
@@ -754,10 +984,10 @@ mod tests {
                 },
             )
         };
-        let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness: SimDuration::from_secs(1),
-            early_exit: EarlyExit::AfterChains(1),
-        })
+        let mut pipe = LivePipeline::with_defaults(static_cfg(
+            SimDuration::from_secs(1),
+            EarlyExit::AfterChains(1),
+        ))
         .unwrap();
         let truncated = impaired(44).run_with_tap(&mut pipe);
         let full = impaired(44).run();
@@ -776,10 +1006,10 @@ mod tests {
 
     #[test]
     fn stable_verdict_exits_quickly_on_healthy_call() {
-        let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness: SimDuration::from_secs(1),
-            early_exit: EarlyExit::StableFor(4),
-        })
+        let mut pipe = LivePipeline::with_defaults(static_cfg(
+            SimDuration::from_secs(1),
+            EarlyExit::StableFor(4),
+        ))
         .unwrap();
         let bundle = SessionRun::cell(amarisoft(), &cfg(45, 60))
             .tap(&mut pipe)
@@ -814,10 +1044,10 @@ mod tests {
 
     #[test]
     fn late_records_are_counted_not_crashing() {
-        let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness: SimDuration::from_millis(500),
-            early_exit: EarlyExit::Never,
-        })
+        let mut pipe = LivePipeline::with_defaults(static_cfg(
+            SimDuration::from_millis(500),
+            EarlyExit::Never,
+        ))
         .unwrap();
         // Drive the tap by hand: advance far enough that windows close,
         // then inject a record from the deep past.
@@ -831,7 +1061,11 @@ mod tests {
         assert!(pipe.stats().windows_emitted > 0);
         let stale = AppStatsRecord::baseline(SimTime::from_millis(100));
         pipe.on_app_local(&stale);
-        assert_eq!(pipe.stats().late_records_dropped, 1);
+        let stats = pipe.stats();
+        assert_eq!(stats.late_records_dropped, 1);
+        // The per-stream breakout attributes the drop to its stream.
+        assert_eq!(stats.late_drops_by_stream[TapStream::AppLocal.idx()], 1);
+        assert_eq!(stats.late_drops_by_stream[TapStream::AppRemote.idx()], 0);
         // A delivery for an unknown (already-frozen) packet is late too.
         pipe.on_packet_delivered(999, SimTime::from_secs(21));
         assert_eq!(pipe.stats().late_deliveries, 1);
@@ -868,11 +1102,9 @@ mod tests {
 
     #[test]
     fn memory_stays_bounded_while_running() {
-        let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness: SimDuration::from_secs(2),
-            early_exit: EarlyExit::Never,
-        })
-        .unwrap();
+        let mut pipe =
+            LivePipeline::with_defaults(static_cfg(SimDuration::from_secs(2), EarlyExit::Never))
+                .unwrap();
         let bundle = SessionRun::cell(amarisoft(), &cfg(49, 30))
             .tap(&mut pipe)
             .run();
@@ -910,5 +1142,121 @@ mod tests {
                 && pair[0].unknown_consequences == pair[1].unknown_consequences;
             assert_eq!(pair[1].changed, !same);
         }
+    }
+
+    #[test]
+    fn adaptive_pinned_to_clamp_matches_static() {
+        let s = SimDuration::from_secs(2);
+        let run = |lateness| {
+            let mut pipe = LivePipeline::with_defaults(LiveConfig {
+                lateness,
+                early_exit: EarlyExit::Never,
+            })
+            .unwrap();
+            let bundle = SessionRun::cell(amarisoft(), &cfg(51, 20))
+                .tap(&mut pipe)
+                .run();
+            let stats = pipe.stats();
+            let verdicts = pipe.drain_verdicts();
+            (pipe.take_analysis(bundle.meta.duration), stats, verdicts)
+        };
+        let (a1, s1, v1) = run(Lateness::Static(s));
+        let (a2, s2, v2) = run(Lateness::Adaptive {
+            target_quantile: 0.5,
+            floor: s,
+            ceil: s,
+        });
+        // floor == ceil pins the adaptive bound: everything downstream is
+        // identical to the static configuration, bit for bit.
+        assert_identical(&a1, &a2);
+        assert_eq!(s1, s2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn adaptive_bound_comes_off_the_ceiling() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: Lateness::Adaptive {
+                target_quantile: 0.99,
+                floor: SimDuration::from_millis(250),
+                ceil: SimDuration::from_secs(10),
+            },
+            early_exit: EarlyExit::Never,
+        })
+        .unwrap();
+        SessionRun::cell(amarisoft(), &cfg(52, 20))
+            .tap(&mut pipe)
+            .run();
+        assert!(pipe.estimator().samples() >= ADAPTIVE_MIN_SAMPLES);
+        let bound = pipe.current_lateness();
+        assert!(bound >= SimDuration::from_millis(250));
+        assert!(
+            bound < SimDuration::from_secs(10),
+            "bound stuck at ceiling: {bound:?}"
+        );
+        assert!(pipe.stats().windows_emitted > 0);
+    }
+
+    #[test]
+    fn slo_exit_gives_up_when_risk_exceeds_budget() {
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness: Lateness::Static(SimDuration::from_secs(5)),
+            early_exit: EarlyExit::Slo {
+                verdict_within: SimDuration::from_millis(100),
+                max_drop_risk: 0.25,
+            },
+        })
+        .unwrap();
+        // The SLO caps the effective bound below the static setting.
+        assert_eq!(pipe.current_lateness(), SimDuration::from_millis(100));
+        // Telemetry running 600 ms behind the clock: honouring a 100 ms
+        // bound would drop nearly everything, so the pipeline must give up.
+        for i in 0..400u64 {
+            let now = SimTime::from_millis(i * 50);
+            let ts = SimTime::from_micros(now.as_micros().saturating_sub(600_000));
+            let mut s = AppStatsRecord::baseline(ts);
+            s.inbound_fps = 30.0;
+            pipe.on_app_local(&s);
+            pipe.on_app_remote(&s);
+            pipe.on_tick(now);
+            if pipe.should_stop() {
+                break;
+            }
+        }
+        let stats = pipe.stats();
+        assert!(stats.early_exited, "{stats:?}");
+        assert!(stats.windows_emitted >= 1);
+    }
+
+    #[test]
+    fn coverage_flags_gapped_stream() {
+        let mut pipe = LivePipeline::with_defaults(static_cfg(
+            SimDuration::from_millis(500),
+            EarlyExit::Never,
+        ))
+        .unwrap();
+        // app_remote goes dark for 9 s..15 s of a 20 s hand-driven feed.
+        for i in 0..400u64 {
+            let ts = SimTime::from_millis(i * 50);
+            let mut s = AppStatsRecord::baseline(ts);
+            s.inbound_fps = 30.0;
+            pipe.on_app_local(&s);
+            if !(180..300).contains(&i) {
+                pipe.on_app_remote(&s);
+            }
+            pipe.on_tick(ts);
+        }
+        pipe.on_finish(SimTime::from_secs(20));
+        let verdicts = pipe.drain_verdicts();
+        assert!(!verdicts.is_empty());
+        assert!(!verdicts[0].coverage.is_degraded(), "gap starts later");
+        let bit = 1u8 << TapStream::AppRemote.idx();
+        let gapped: Vec<&LiveVerdict> = verdicts
+            .iter()
+            .filter(|v| v.coverage.gapped_streams & bit != 0)
+            .collect();
+        assert!(!gapped.is_empty(), "blackout must surface as gap coverage");
+        assert!(gapped.iter().all(|v| v.coverage.confidence < 1.0));
+        assert_eq!(pipe.stats().degraded_windows, gapped.len());
     }
 }

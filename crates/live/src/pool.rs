@@ -143,6 +143,10 @@ impl PipelinePool {
         let pipe = match self.free.pop() {
             Some(mut p) => {
                 p.reset();
+                // A previous lease may have overridden the live config
+                // (per-spec lateness); restore the pool-wide default so
+                // reuse is indistinguishable from a fresh build.
+                p.set_live_config(self.live);
                 self.stats.reused += 1;
                 p
             }

@@ -25,6 +25,7 @@ pub struct Reorder<T> {
     buf: VecDeque<(SimTime, T)>,
     frontier: SimTime,
     late: usize,
+    released: usize,
 }
 
 impl<T> Reorder<T> {
@@ -34,6 +35,7 @@ impl<T> Reorder<T> {
             buf: VecDeque::new(),
             frontier: SimTime::ZERO,
             late: 0,
+            released: 0,
         }
     }
 
@@ -64,6 +66,7 @@ impl<T> Reorder<T> {
                 break;
             }
             let (_, record) = self.buf.pop_front().expect("checked non-empty");
+            self.released += 1;
             sink(record);
         }
         self.frontier = self.frontier.max(t);
@@ -84,6 +87,14 @@ impl<T> Reorder<T> {
         self.late
     }
 
+    /// Records released to a sink so far — with [`Self::len`] and
+    /// [`Self::late_count`], gives the total ever pushed. Window-close
+    /// deltas of this counter drive the live pipeline's per-window
+    /// coverage (gap/blackout) annotations.
+    pub fn released_count(&self) -> usize {
+        self.released
+    }
+
     /// The exclusive upper bound of everything released so far.
     pub fn frontier(&self) -> SimTime {
         self.frontier
@@ -95,6 +106,7 @@ impl<T> Reorder<T> {
         self.buf.clear();
         self.frontier = SimTime::ZERO;
         self.late = 0;
+        self.released = 0;
     }
 }
 

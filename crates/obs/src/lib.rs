@@ -76,11 +76,19 @@ metric_enum! {
     /// Monotone counters (sum-merged).
     pub enum Counter {
         // -- deterministic (declaration order == sorted wire order) --
+        // Telemetry-chaos families: injected faults are seeded per spec, so
+        // the counts depend only on (spec, seed) and stay Sim-class.
+        ChaosBlackoutDrops => ("chaos/blackout_drops", Class::Sim),
+        ChaosRecordsDelayed => ("chaos/records_delayed", Class::Sim),
+        ChaosRecordsDropped => ("chaos/records_dropped", Class::Sim),
+        ChaosRecordsDuplicated => ("chaos/records_duplicated", Class::Sim),
+        ChaosRecordsSkewed => ("chaos/records_skewed", Class::Sim),
         EngineEarlyExits => ("engine/early_exits", Class::Sim),
         EngineRouteEvents => ("engine/route_events", Class::Sim),
         EngineSessions => ("engine/sessions", Class::Sim),
         EngineSimTimeUs => ("engine/sim_time_us", Class::Sim),
         EngineTicks => ("engine/ticks", Class::Sim),
+        LiveDegradedWindows => ("live/degraded_windows", Class::Sim),
         LiveLateDeliveries => ("live/late_deliveries", Class::Sim),
         LiveLateDrops => ("live/late_drops", Class::Sim),
         LiveRecordsSeen => ("live/records_seen", Class::Sim),
@@ -140,6 +148,9 @@ metric_enum! {
 metric_enum! {
     /// Fixed-layout histograms (bucket-wise sum-merged). All `Sim`.
     pub enum HistId {
+        LiveAdaptiveBoundMs => ("live/adaptive_bound_ms", Class::Sim),
+        LiveDelayMs => ("live/delay_ms", Class::Sim),
+        LiveDropRiskPct => ("live/drop_risk_pct", Class::Sim),
         LiveVerdictLatencyMs => ("live/verdict_latency_ms", Class::Sim),
         PlaybackBufferMs => ("playback/buffer_ms", Class::Sim),
         PlaybackStallMs => ("playback/stall_ms", Class::Sim),
@@ -166,6 +177,9 @@ impl HistId {
     #[inline]
     pub fn layout(self) -> HistLayout {
         match self {
+            HistId::LiveAdaptiveBoundMs => HistLayout::Log2(17),
+            HistId::LiveDelayMs => HistLayout::Log2(17),
+            HistId::LiveDropRiskPct => HistLayout::Pct10,
             HistId::LiveVerdictLatencyMs => HistLayout::Log2(17),
             HistId::PlaybackBufferMs => HistLayout::Log2(17),
             HistId::PlaybackStallMs => HistLayout::Log2(17),
@@ -461,6 +475,17 @@ impl Recorder {
             if let Some(s) = &mut self.sink {
                 s.spans[id.idx()].wall_ns += start.elapsed().as_nanos() as u64;
             }
+        }
+    }
+
+    /// Merges an externally accumulated histogram (e.g. the live delay
+    /// estimator's per-session [`HistData`]) into this recorder's slot for
+    /// `h`. The caller must have recorded with the same [`HistLayout`] as
+    /// `h.layout()` for the bucket counts to be meaningful.
+    #[inline]
+    pub fn absorb_hist(&mut self, h: HistId, d: &HistData) {
+        if let Some(s) = &mut self.sink {
+            s.hists[h.idx()].merge(d);
         }
     }
 

@@ -69,6 +69,11 @@ pub enum AxisPatch {
     AbrLadder(Vec<LadderRung>),
     /// ABR playback `buffer_target`.
     AbrBufferTarget(SimDuration),
+    /// Telemetry-chaos plan for live-tap consumers (`None` = clean
+    /// telemetry) — the degraded-telemetry axis of resilience sweeps.
+    TapChaos(Option<telemetry::TapChaosSpec>),
+    /// Live watermark lateness override (applies to any access).
+    Lateness(telemetry::Lateness),
 }
 
 impl AxisPatch {
@@ -99,6 +104,8 @@ impl AxisPatch {
                 };
                 abr.buffer_target = *t;
             }
+            AxisPatch::TapChaos(chaos) => spec.chaos = chaos.clone(),
+            AxisPatch::Lateness(l) => spec.lateness = Some(*l),
             _ => {
                 let AccessSpec::Cell(cell) = &mut spec.access else {
                     return; // baseline access has no cell to patch
@@ -120,7 +127,9 @@ impl AxisPatch {
                     | AxisPatch::Script(_)
                     | AxisPatch::AbrSegmentDuration(_)
                     | AxisPatch::AbrLadder(_)
-                    | AxisPatch::AbrBufferTarget(_) => {
+                    | AxisPatch::AbrBufferTarget(_)
+                    | AxisPatch::TapChaos(_)
+                    | AxisPatch::Lateness(_) => {
                         unreachable!("handled above")
                     }
                 }

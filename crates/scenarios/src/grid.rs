@@ -10,7 +10,7 @@
 //! axes shifts indices and therefore seeds).
 
 use simcore::{derive_seed, SimDuration, SimTime};
-use telemetry::{Direction, TraceBundle};
+use telemetry::{Direction, Lateness, TapChaosSpec, TraceBundle};
 
 use ran_sim::{CellConfig, CellSim};
 
@@ -110,6 +110,13 @@ pub struct SessionSpec {
     pub scripts: Vec<ScriptAction>,
     /// Session configuration, including the derived seed.
     pub cfg: SessionConfig,
+    /// Telemetry-chaos plan for live-tap consumers (`None` = clean
+    /// telemetry). The session engine itself ignores this: it is honoured
+    /// by drivers that wrap the tap (the sweep engine, chaos tests).
+    pub chaos: Option<TapChaosSpec>,
+    /// Per-spec watermark lateness override for live-tap consumers
+    /// (`None` = the sweep's configured default).
+    pub lateness: Option<Lateness>,
 }
 
 impl SessionSpec {
@@ -121,6 +128,8 @@ impl SessionSpec {
             app: AppSpec::Rtc,
             scripts: Vec::new(),
             cfg,
+            chaos: None,
+            lateness: None,
         }
     }
 
@@ -136,6 +145,8 @@ impl SessionSpec {
             app: AppSpec::Rtc,
             scripts: Vec::new(),
             cfg,
+            chaos: None,
+            lateness: None,
         }
     }
 
@@ -148,6 +159,18 @@ impl SessionSpec {
     /// Adds a scripted impairment.
     pub fn with_script(mut self, action: ScriptAction) -> Self {
         self.scripts.push(action);
+        self
+    }
+
+    /// Sets the telemetry-chaos plan for live-tap consumers.
+    pub fn with_chaos(mut self, chaos: TapChaosSpec) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Overrides the live watermark lateness policy for this session.
+    pub fn with_lateness(mut self, lateness: Lateness) -> Self {
+        self.lateness = Some(lateness);
         self
     }
 

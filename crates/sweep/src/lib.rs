@@ -57,7 +57,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
-use domino_live::{LivePipeline, LiveStats};
+use domino_live::{ChaosState, ChaosTap, LivePipeline, LiveStats, TapFaultLog};
 use domino_obs::{Counter, FGauge, Gauge, HistId, Recorder};
 use scenarios::{SessionArena, SessionSpec};
 use simcore::alloc_count;
@@ -65,6 +65,7 @@ use telemetry::{SessionMeta, TraceBundle};
 
 pub use domino_live::{EarlyExit, LiveConfig};
 pub use domino_obs::{MetricsSnapshot, ObsConfig};
+pub use telemetry::{Lateness, TapChaosSpec, TapFault, TapStream};
 
 /// What each sweep worker does with a finished session's bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -500,7 +501,35 @@ pub(crate) fn record_live_obs(rec: &mut Recorder, p: &LivePipeline) {
     rec.add(Counter::LiveLateDrops, st.late_records_dropped as u64);
     rec.add(Counter::LiveLateDeliveries, st.late_deliveries as u64);
     rec.add(Counter::LiveWindows, st.windows_emitted as u64);
+    rec.add(Counter::LiveDegradedWindows, st.degraded_windows as u64);
     rec.gauge_max(Gauge::LivePeakRetained, st.peak_retained_records as u64);
+    rec.absorb_hist(HistId::LiveDelayMs, p.delay_hist());
+    rec.absorb_hist(HistId::LiveAdaptiveBoundMs, p.bound_hist());
+    rec.absorb_hist(HistId::LiveDropRiskPct, p.risk_hist());
+}
+
+/// Folds one finished session's telemetry-chaos ground truth into `rec`:
+/// every fault the [`ChaosTap`] injected becomes a `Sim`-class counter, so
+/// an operator can reconcile injected faults against the live pipeline's
+/// late-drop/coverage stats straight from the metrics artifact.
+pub(crate) fn record_chaos_obs(rec: &mut Recorder, log: &TapFaultLog) {
+    if !rec.is_on() {
+        return;
+    }
+    rec.add(Counter::ChaosRecordsDropped, log.total_dropped());
+    rec.add(Counter::ChaosBlackoutDrops, log.total_blackout_dropped());
+    rec.add(Counter::ChaosRecordsDuplicated, log.total_duplicated());
+    rec.add(Counter::ChaosRecordsDelayed, log.total_delayed());
+    rec.add(Counter::ChaosRecordsSkewed, log.total_skewed());
+}
+
+/// The live configuration a spec actually runs under: the sweep-wide
+/// default with the spec's [`SessionSpec::lateness`] override applied.
+pub(crate) fn live_config_for(spec: &SessionSpec, opts: &SweepOptions) -> LiveConfig {
+    LiveConfig {
+        lateness: spec.lateness.unwrap_or(opts.live.lateness),
+        early_exit: opts.live.early_exit,
+    }
 }
 
 /// Everything one sweep worker reuses across the sessions it claims: the
@@ -580,7 +609,25 @@ impl WorkerScratch {
                 // Analysis runs inline, during the simulation; the pipeline
                 // may abort the session early per `opts.live.early_exit`.
                 p.reset();
-                let bundle = spec.run_with_tap_in(p, &mut self.arena);
+                p.set_live_config(live_config_for(spec, opts));
+                let bundle = match &spec.chaos {
+                    Some(chaos) => {
+                        // Degraded-telemetry cell: the chaos tap sits
+                        // between the engine and the pipeline, injecting
+                        // the spec's seeded faults.
+                        let mut state = ChaosState::new(chaos);
+                        let bundle = if state.is_noop() {
+                            spec.run_with_tap_in(p, &mut self.arena)
+                        } else {
+                            let mut tap = ChaosTap::new(&mut state, p);
+                            spec.run_with_tap_in(&mut tap, &mut self.arena)
+                        };
+                        debug_assert!(state.log.reconciled(), "chaos log must balance");
+                        record_chaos_obs(self.arena.recorder_mut(), &state.log);
+                        bundle
+                    }
+                    None => spec.run_with_tap_in(p, &mut self.arena),
+                };
                 let analysis = p.take_analysis(bundle.meta.duration);
                 (bundle, Some(analysis), Some(p.stats()))
             }
@@ -752,7 +799,7 @@ mod tests {
             &SweepOptions {
                 analysis: AnalysisMode::Live,
                 live: LiveConfig {
-                    lateness: SimDuration::from_secs(30),
+                    lateness: Lateness::Static(SimDuration::from_secs(30)),
                     early_exit: EarlyExit::Never,
                 },
                 ..Default::default()

@@ -42,16 +42,19 @@
 //! dropped — exactly as the solo driver's `queue.clear()` would have
 //! discarded them.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use domino_core::{Analysis, ChainStats, Domino, StreamingAnalyzer};
-use domino_live::{LiveStats, PipelinePool};
+use domino_live::{ChaosState, ChaosTap, LiveStats, PipelinePool};
 use domino_obs::{Counter, FGauge, Gauge, Recorder, SpanId};
 use scenarios::{SessionArena, SessionSpec, SessionState, SharedRouteQueue};
 use simcore::{alloc_count, SimDuration, SimTime};
 use telemetry::{LiveTap, NullTap, TraceBundle};
 
-use crate::{record_live_obs, AnalysisMode, SessionOutcome, SweepOptions};
+use crate::{
+    live_config_for, record_chaos_obs, record_live_obs, AnalysisMode, SessionOutcome, SweepOptions,
+};
 
 /// How each sweep worker schedules the sessions it claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +97,10 @@ pub struct MuxWorker {
     shared: SharedRouteQueue,
     pool: Option<PipelinePool>,
     analyzer: Option<StreamingAnalyzer>,
+    /// Per-session telemetry-chaos state for in-flight degraded cells,
+    /// keyed like the pipeline pool. Sessions with no chaos plan have no
+    /// entry and their taps bypass the wrapper entirely.
+    chaos: HashMap<u64, ChaosState>,
 }
 
 impl MuxWorker {
@@ -119,6 +126,7 @@ impl MuxWorker {
             shared: SharedRouteQueue::new(),
             pool,
             analyzer,
+            chaos: HashMap::new(),
         }
     }
 
@@ -178,6 +186,7 @@ impl MuxWorker {
         let width = width.max(1);
         let live = opts.analysis == AnalysisMode::Live && self.pool.is_some();
         self.shared.clear();
+        self.chaos.clear();
         let obs_on = self.arena.recorder_mut().is_on();
         // Batch-level baselines: the recorder outlives run() calls (warm
         // worker reuse), so allocator and pool rollups record deltas.
@@ -219,16 +228,25 @@ impl MuxWorker {
                     Some(_) => {}
                 }
                 if live {
-                    self.pool
+                    let pipe = self
+                        .pool
                         .as_mut()
                         .expect("live implies pool")
                         .checkout(index as u64);
+                    pipe.set_live_config(live_config_for(spec, opts));
+                    if let Some(plan) = &spec.chaos {
+                        let state = ChaosState::new(plan);
+                        if !state.is_noop() {
+                            self.chaos.insert(index as u64, state);
+                        }
+                    }
                 }
                 let state = spec.start_in(live, &mut self.arena);
                 if state.is_done() {
                     // Degenerate spec (duration shorter than its tick): no
                     // tick may be begun — finalise straight away, exactly
                     // like the solo driver's `while !is_done()` guard.
+                    let mut chaos_state = self.chaos.remove(&(index as u64));
                     let MuxWorker {
                         arena, pool: pl, ..
                     } = self;
@@ -245,7 +263,11 @@ impl MuxWorker {
                         domino,
                         opts,
                         live,
+                        chaos_state.as_mut(),
                     ));
+                    if let Some(st) = &chaos_state {
+                        record_chaos_obs(self.arena.recorder_mut(), &st.log);
+                    }
                     continue;
                 }
                 active.push(Active {
@@ -264,6 +286,7 @@ impl MuxWorker {
                 arena,
                 shared,
                 pool,
+                chaos,
                 ..
             } = self;
             global += tick.expect("tick fixed by the first claimed spec");
@@ -271,8 +294,9 @@ impl MuxWorker {
             // Phase 1–2 for every active session, in slot order.
             for s in active.iter_mut() {
                 let mut sink = shared.sink(s.index as u64, s.offset);
-                let tap = tap_for(live, pool, &mut null, s.index as u64);
-                s.state.begin_tick(tap, arena.scratch_mut(), &mut sink);
+                with_tap(live, pool, chaos, &mut null, s.index as u64, |tap| {
+                    s.state.begin_tick(tap, arena.scratch_mut(), &mut sink)
+                });
             }
 
             // Phase 3: one global drain in (time, session, seq) order.
@@ -284,8 +308,9 @@ impl MuxWorker {
                     continue; // stale event of a finished session
                 };
                 let local = at - s.offset;
-                s.state
-                    .route_event(local, ev, tap_for(live, pool, &mut null, tag));
+                with_tap(live, pool, chaos, &mut null, tag, |tap| {
+                    s.state.route_event(local, ev, tap)
+                });
                 routed += 1;
             }
             let rec = arena.recorder_mut();
@@ -300,11 +325,13 @@ impl MuxWorker {
             let mut i = 0;
             while i < active.len() {
                 let s = &mut active[i];
-                let tap = tap_for(live, pool, &mut null, s.index as u64);
-                let done = s.state.end_tick(tap, arena.scratch_mut());
+                let done = with_tap(live, pool, chaos, &mut null, s.index as u64, |tap| {
+                    s.state.end_tick(tap, arena.scratch_mut())
+                });
                 if done {
                     let s = active.swap_remove(i);
                     let label = specs[s.index].label.clone();
+                    let mut chaos_state = chaos.remove(&(s.index as u64));
                     complete(finalize(
                         s,
                         label,
@@ -314,7 +341,12 @@ impl MuxWorker {
                         domino,
                         opts,
                         live,
+                        chaos_state.as_mut(),
                     ));
+                    if let Some(st) = &chaos_state {
+                        debug_assert!(st.log.reconciled(), "chaos log must balance");
+                        record_chaos_obs(arena.recorder_mut(), &st.log);
+                    }
                     if obs_on {
                         let fp = arena.footprint() as u64;
                         arena.recorder_mut().gauge_max(Gauge::ArenaFootprint, fp);
@@ -377,7 +409,22 @@ impl MuxWorker {
         let (bundle, analysis, live_stats) = if live {
             let pool = pool.as_mut().expect("live implies pool");
             let pipe = pool.checkout(index as u64);
-            let bundle = spec.run_with_tap_in(pipe, arena);
+            pipe.set_live_config(live_config_for(spec, opts));
+            let bundle = match &spec.chaos {
+                Some(plan) => {
+                    let mut state = ChaosState::new(plan);
+                    let bundle = if state.is_noop() {
+                        spec.run_with_tap_in(pipe, arena)
+                    } else {
+                        let mut tap = ChaosTap::new(&mut state, pipe);
+                        spec.run_with_tap_in(&mut tap, arena)
+                    };
+                    debug_assert!(state.log.reconciled(), "chaos log must balance");
+                    record_chaos_obs(arena.recorder_mut(), &state.log);
+                    bundle
+                }
+                None => spec.run_with_tap_in(pipe, arena),
+            };
             let analysis = pool
                 .get_mut(index as u64)
                 .expect("leased above")
@@ -406,21 +453,30 @@ impl MuxWorker {
     }
 }
 
-/// Resolves the tap a session's step methods receive: its leased pipeline
-/// in live mode, the worker's shared null tap otherwise.
-fn tap_for<'a>(
+/// Resolves the tap a session's step methods receive — its leased pipeline
+/// in live mode, the worker's shared null tap otherwise — wraps it in the
+/// session's [`ChaosTap`] when a chaos plan is in flight, and hands it to
+/// `f`. The wrapper is built per call (it borrows both the per-session
+/// chaos state and the pipeline), which is free: it is two reborrows.
+fn with_tap<R>(
     live: bool,
-    pool: &'a mut Option<PipelinePool>,
-    null: &'a mut NullTap,
+    pool: &mut Option<PipelinePool>,
+    chaos: &mut HashMap<u64, ChaosState>,
+    null: &mut NullTap,
     session: u64,
-) -> &'a mut dyn LiveTap {
-    if live {
+    f: impl FnOnce(&mut dyn LiveTap) -> R,
+) -> R {
+    let inner: &mut dyn LiveTap = if live {
         pool.as_mut()
             .expect("live implies pool")
             .get_mut(session)
             .expect("leased at claim")
     } else {
         null
+    };
+    match chaos.get_mut(&session) {
+        Some(state) => f(&mut ChaosTap::new(state, inner)),
+        None => f(inner),
     }
 }
 
@@ -456,12 +512,19 @@ fn finalize(
     domino: &Domino,
     opts: &SweepOptions,
     live: bool,
+    chaos: Option<&mut ChaosState>,
 ) -> SessionOutcome {
     let index = s.index;
     let (bundle, analysis, live_stats) = if live {
         let pool = pool.as_mut().expect("live implies pool");
         let tap = pool.get_mut(index as u64).expect("leased at claim");
-        let bundle = s.state.finish(tap, arena);
+        // `finish` drives the tap's `on_finish`; with chaos in flight it
+        // must route through the wrapper so delayed records still in the
+        // chaos stash flush into the pipeline before the final windows.
+        let bundle = match chaos {
+            Some(state) => s.state.finish(&mut ChaosTap::new(state, tap), arena),
+            None => s.state.finish(tap, arena),
+        };
         let analysis = pool
             .get_mut(index as u64)
             .expect("leased at claim")

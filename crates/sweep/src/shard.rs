@@ -33,7 +33,7 @@ use domino_core::stats::{escape_field, unescape_field, StatsParseError};
 use domino_core::{ChainStats, Domino};
 use domino_live::LiveStats;
 use scenarios::SessionSpec;
-use telemetry::{CellClass, Duplexing, SessionMeta};
+use telemetry::{CellClass, Duplexing, SessionMeta, TapStream};
 
 use domino_obs::{fnv1a64, MetricsSnapshot};
 
@@ -146,6 +146,15 @@ pub struct LiveTotals {
     pub peak_retained_records: usize,
     /// Sessions an [`EarlyExit`](crate::EarlyExit) policy aborted.
     pub early_exits: usize,
+    /// Sum of [`LiveStats::late_drops_by_stream`], indexed by
+    /// [`TapStream`]. Serialised on an *optional* `livetotalsdetail` line
+    /// emitted only when some entry is nonzero, so reports from healthy
+    /// (chaos-free, generous-lateness) sweeps are byte-identical to the
+    /// pre-breakout format.
+    pub late_drops_by_stream: [usize; TapStream::COUNT],
+    /// Sum of [`LiveStats::degraded_windows`]. Rides the same optional
+    /// detail line as the per-stream drop breakout.
+    pub degraded_windows: usize,
 }
 
 impl LiveTotals {
@@ -158,6 +167,14 @@ impl LiveTotals {
         self.windows_emitted += s.windows_emitted;
         self.peak_retained_records = self.peak_retained_records.max(s.peak_retained_records);
         self.early_exits += usize::from(s.early_exited);
+        for (total, per) in self
+            .late_drops_by_stream
+            .iter_mut()
+            .zip(s.late_drops_by_stream)
+        {
+            *total += per;
+        }
+        self.degraded_windows += s.degraded_windows;
     }
 }
 
@@ -283,6 +300,16 @@ impl ShardReport {
                         l.peak_retained_records,
                         u8::from(l.early_exited),
                     );
+                    // Version-tolerant degraded-telemetry breakout: the
+                    // line appears only when something degraded, so
+                    // healthy-sweep reports keep their pre-breakout bytes.
+                    if l.late_drops_by_stream.iter().any(|&d| d != 0) || l.degraded_windows != 0 {
+                        let _ = write!(out, "livedetail");
+                        for d in l.late_drops_by_stream {
+                            let _ = write!(out, "\t{d}");
+                        }
+                        let _ = writeln!(out, "\t{}", l.degraded_windows);
+                    }
                 }
                 None => {
                     let _ = writeln!(out, "live\t0");
@@ -303,6 +330,13 @@ impl ShardReport {
             t.peak_retained_records,
             t.early_exits,
         );
+        if t.late_drops_by_stream.iter().any(|&d| d != 0) || t.degraded_windows != 0 {
+            let _ = write!(out, "livetotalsdetail");
+            for d in t.late_drops_by_stream {
+                let _ = write!(out, "\t{d}");
+            }
+            let _ = writeln!(out, "\t{}", t.degraded_windows);
+        }
         let sum = fnv1a64(out.as_bytes());
         let _ = writeln!(out, "{END_TAG}\t{sum:016x}");
         out
@@ -397,7 +431,20 @@ impl ShardReport {
                 "stats\t0" => None,
                 other => return Err(err(format!("expected stats line, got {other:?}"))),
             };
-            let live = parse_live(next_line(&mut lines)?)?;
+            let mut live = parse_live(next_line(&mut lines)?)?;
+            // Optional degraded-telemetry breakout (absent = all zero,
+            // which keeps pre-breakout reports parseable unchanged).
+            if let Some(l) = live.as_mut() {
+                let mut ahead = lines.clone();
+                if let Some(next) = ahead.next() {
+                    if next.starts_with("livedetail\t") {
+                        let (drops, degraded) = parse_detail_fields(next, "livedetail")?;
+                        l.late_drops_by_stream = drops;
+                        l.degraded_windows = degraded;
+                        lines = ahead;
+                    }
+                }
+            }
             outcomes.push(SpecOutcome {
                 index,
                 label,
@@ -411,7 +458,18 @@ impl ShardReport {
             return Err(err("expected aggregate section".into()));
         }
         let aggregate = ChainStats::parse_from(&mut lines)?;
-        let live_totals = parse_live_totals(next_line(&mut lines)?)?;
+        let mut live_totals = parse_live_totals(next_line(&mut lines)?)?;
+        {
+            let mut ahead = lines.clone();
+            if let Some(next) = ahead.next() {
+                if next.starts_with("livetotalsdetail\t") {
+                    let (drops, degraded) = parse_detail_fields(next, "livetotalsdetail")?;
+                    live_totals.late_drops_by_stream = drops;
+                    live_totals.degraded_windows = degraded;
+                    lines = ahead;
+                }
+            }
+        }
         // Checksum already validated; here we only require the end line to
         // sit exactly where the canonical line sequence says it does.
         if !next_line(&mut lines)?.starts_with(END_TAG) {
@@ -542,7 +600,34 @@ fn parse_live(line: &str) -> Result<Option<LiveStats>, StatsParseError> {
             "1" => true,
             _ => return Err(err("bad early-exit flag")),
         },
+        // Filled from the optional `livedetail` line by the caller.
+        ..Default::default()
     }))
+}
+
+/// Parses a `livedetail` / `livetotalsdetail` line: one late-drop count per
+/// [`TapStream`] followed by the degraded-window count.
+fn parse_detail_fields(
+    line: &str,
+    tag: &str,
+) -> Result<([usize; TapStream::COUNT], usize), StatsParseError> {
+    let err = |msg: &str| StatsParseError(format!("{msg} in {tag} line {line:?}"));
+    let rest = line
+        .strip_prefix(tag)
+        .and_then(|r| r.strip_prefix('\t'))
+        .ok_or_else(|| err("expected detail line"))?;
+    let fields: Vec<&str> = rest.split('\t').collect();
+    if fields.len() != TapStream::COUNT + 1 {
+        return Err(err("wrong detail field count"));
+    }
+    let mut drops = [0usize; TapStream::COUNT];
+    for (slot, f) in drops.iter_mut().zip(&fields) {
+        *slot = f.parse().map_err(|_| err("bad count"))?;
+    }
+    let degraded = fields[TapStream::COUNT]
+        .parse()
+        .map_err(|_| err("bad count"))?;
+    Ok((drops, degraded))
 }
 
 fn parse_live_totals(line: &str) -> Result<LiveTotals, StatsParseError> {
@@ -564,6 +649,8 @@ fn parse_live_totals(line: &str) -> Result<LiveTotals, StatsParseError> {
         windows_emitted: num(fields[4])?,
         peak_retained_records: num(fields[5])?,
         early_exits: num(fields[6])?,
+        // Filled from the optional `livetotalsdetail` line by the caller.
+        ..Default::default()
     })
 }
 
@@ -780,6 +867,14 @@ mod tests {
                 windows_emitted: 10 + index,
                 peak_retained_records: 500 - index,
                 early_exited: index % 2 == 1,
+                late_drops_by_stream: {
+                    // Attribute the drops to the gNB stream so the detail
+                    // line round-trips whenever any spec dropped records.
+                    let mut per = [0usize; TapStream::COUNT];
+                    per[TapStream::Gnb.idx()] = index;
+                    per
+                },
+                degraded_windows: index / 2,
             }),
         }
     }
@@ -947,5 +1042,31 @@ mod tests {
         assert_eq!(t.late_records_dropped, 6);
         assert_eq!(t.peak_retained_records, 500);
         assert_eq!(t.early_exits, 2);
+        assert_eq!(t.late_drops_by_stream[TapStream::Gnb.idx()], 6);
+        assert_eq!(t.late_drops_by_stream[TapStream::Packet.idx()], 0);
+        // index/2 per outcome: 0 + 0 + 1 + 1.
+        assert_eq!(t.degraded_windows, 2);
+    }
+
+    #[test]
+    fn detail_lines_are_omitted_when_healthy() {
+        // All-zero breakout: the encoded bytes must not contain the
+        // optional detail lines, so pre-breakout goldens stay stable.
+        let outcomes: Vec<SpecOutcome> = (0..3)
+            .map(|i| {
+                let mut o = outcome(i, true);
+                let l = o.live.as_mut().unwrap();
+                l.late_records_dropped = 0;
+                l.late_drops_by_stream = [0; TapStream::COUNT];
+                l.degraded_windows = 0;
+                o
+            })
+            .collect();
+        let r = ShardReport::from_spec_outcomes(0, 1, 0, 3, outcomes);
+        let text = r.encode();
+        assert!(!text.contains("livedetail"), "healthy report has no detail");
+        let parsed = ShardReport::parse(&text).expect("parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.encode(), text);
     }
 }

@@ -1,0 +1,228 @@
+//! Degraded-telemetry vocabulary shared by the live pipeline, the
+//! scenario grid, and the sweep harness.
+//!
+//! Real capture pipelines misbehave: records arrive late, duplicated,
+//! clock-skewed, or not at all. This module holds the *descriptions* of
+//! that degradation — which tap stream is affected ([`TapStream`]), what
+//! fault is injected ([`TapFault`] / [`TapChaosSpec`]), and how the
+//! watermark lateness bound should respond ([`Lateness`]). The machinery
+//! that acts on these descriptions lives in `domino-live` (the `ChaosTap`
+//! wrapper and the adaptive delay estimator); keeping the types here lets
+//! `scenarios` put degraded-telemetry cells on a sweep grid without
+//! depending on the live crate.
+
+use simcore::{SimDuration, SimTime};
+
+/// One of the six per-session tap streams a [`crate::LiveTap`] consumes.
+///
+/// Not to be confused with [`crate::StreamKind`], which classifies the
+/// *media* carried by a packet; a `TapStream` names a telemetry *source*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapStream {
+    /// UE-side (local) app-stats samples.
+    AppLocal,
+    /// Wired-side (remote) app-stats samples.
+    AppRemote,
+    /// ABR playback samples.
+    Playback,
+    /// DCI decodes.
+    Dci,
+    /// gNB log records.
+    Gnb,
+    /// Packet send/delivery events.
+    Packet,
+}
+
+impl TapStream {
+    /// Number of tap streams.
+    pub const COUNT: usize = 6;
+
+    /// All streams, in declaration order (the per-stream array order used
+    /// by fault logs and per-stream stats).
+    pub const ALL: [TapStream; Self::COUNT] = [
+        TapStream::AppLocal,
+        TapStream::AppRemote,
+        TapStream::Playback,
+        TapStream::Dci,
+        TapStream::Gnb,
+        TapStream::Packet,
+    ];
+
+    /// Stable short name (reports, fault logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            TapStream::AppLocal => "app_local",
+            TapStream::AppRemote => "app_remote",
+            TapStream::Playback => "playback",
+            TapStream::Dci => "dci",
+            TapStream::Gnb => "gnb",
+            TapStream::Packet => "packet",
+        }
+    }
+
+    /// Index into per-stream arrays (declaration order).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// How the live watermark lateness bound is chosen.
+///
+/// `Static` is the original behaviour: one fixed bound for the whole
+/// session. `Adaptive` sets the bound per session from an online
+/// per-stream delay estimator: the bound tracks the `target_quantile` of
+/// observed record delays, clamped to `[floor, ceil]` — trading verdict
+/// latency against late-drop risk per cell instead of one global bound.
+/// With `floor == ceil` the clamp pins the bound, so
+/// `Adaptive { floor: s, ceil: s, .. }` is byte-identical to `Static(s)`
+/// (property-tested in `tests/live_chaos.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lateness {
+    /// A fixed lateness bound.
+    Static(SimDuration),
+    /// Bound follows a delay-distribution quantile, clamped to
+    /// `[floor, ceil]`. Until the estimator has seen enough samples the
+    /// bound stays at `ceil` (conservative start).
+    Adaptive {
+        /// Target quantile of the observed delay distribution, in
+        /// `[0, 1]`; the estimator rounds up to a histogram bucket upper
+        /// bound, so the realised coverage is at least this.
+        target_quantile: f64,
+        /// Lower clamp on the bound.
+        floor: SimDuration,
+        /// Upper clamp on the bound (also the cold-start bound).
+        ceil: SimDuration,
+    },
+}
+
+impl Lateness {
+    /// The largest bound this policy can ever choose — what memory-bound
+    /// reasoning (retained records are O(window + lateness)) should use.
+    pub fn max_bound(&self) -> SimDuration {
+        match *self {
+            Lateness::Static(s) => s,
+            Lateness::Adaptive { ceil, .. } => ceil,
+        }
+    }
+}
+
+/// One scripted telemetry fault. Probabilities are integer percentages so
+/// specs stay `Eq`-comparable and wire-encodable without float formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapFault {
+    /// Drop `pct`% of the stream's records (seeded per-record roll).
+    Drop { stream: TapStream, pct: u8 },
+    /// Duplicate `pct`% of the stream's records (the copy is forwarded
+    /// back-to-back). Not applicable to [`TapStream::Packet`]: a packet's
+    /// emission id is unique, so a duplicate would be a different packet.
+    Duplicate { stream: TapStream, pct: u8 },
+    /// Delay `pct`% of the stream's records by a seeded amount in
+    /// `(0, max_delay]`; delayed records are re-emitted in `(release
+    /// time, original order)` order — a reorder burst from the consumer's
+    /// point of view. Not applicable to [`TapStream::Packet`].
+    Delay {
+        stream: TapStream,
+        pct: u8,
+        max_delay: SimDuration,
+    },
+    /// Shift every record timestamp on the stream `skew` behind its true
+    /// value — a slow capture clock. Not applicable to
+    /// [`TapStream::Packet`].
+    SkewBehind {
+        stream: TapStream,
+        skew: SimDuration,
+    },
+    /// Black out the stream completely for `[from, to)`: every record
+    /// whose (true) timestamp falls in the span is swallowed.
+    Blackout {
+        stream: TapStream,
+        from: SimTime,
+        to: SimTime,
+    },
+}
+
+impl TapFault {
+    /// The stream this fault acts on.
+    pub fn stream(&self) -> TapStream {
+        match *self {
+            TapFault::Drop { stream, .. }
+            | TapFault::Duplicate { stream, .. }
+            | TapFault::Delay { stream, .. }
+            | TapFault::SkewBehind { stream, .. }
+            | TapFault::Blackout { stream, .. } => stream,
+        }
+    }
+}
+
+/// A seeded telemetry fault script, carried by scenario specs so degraded
+/// cells are sweepable. Deterministic: given the same spec and the same
+/// event sequence, the injected faults are identical regardless of thread
+/// count, shard count, or multiplex width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapChaosSpec {
+    /// Seed for the per-record fault rolls (independent of the session's
+    /// simulation seed, so chaos can vary while the session stays fixed).
+    pub seed: u64,
+    /// The faults, applied per record in declaration order.
+    pub faults: Vec<TapFault>,
+}
+
+impl TapChaosSpec {
+    /// An empty script (valid; injects nothing).
+    pub fn new(seed: u64) -> Self {
+        TapChaosSpec {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends one fault (builder style).
+    pub fn fault(mut self, f: TapFault) -> Self {
+        self.faults.push(f);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_indices_match_declaration_order() {
+        for (i, s) in TapStream::ALL.iter().enumerate() {
+            assert_eq!(s.idx(), i);
+        }
+        assert_eq!(TapStream::COUNT, TapStream::ALL.len());
+    }
+
+    #[test]
+    fn lateness_max_bound() {
+        let s = SimDuration::from_secs(5);
+        assert_eq!(Lateness::Static(s).max_bound(), s);
+        let a = Lateness::Adaptive {
+            target_quantile: 0.99,
+            floor: SimDuration::from_millis(250),
+            ceil: s,
+        };
+        assert_eq!(a.max_bound(), s);
+    }
+
+    #[test]
+    fn chaos_spec_builder_appends_in_order() {
+        let spec = TapChaosSpec::new(7)
+            .fault(TapFault::Drop {
+                stream: TapStream::Gnb,
+                pct: 10,
+            })
+            .fault(TapFault::Blackout {
+                stream: TapStream::Dci,
+                from: SimTime::from_secs(2),
+                to: SimTime::from_secs(4),
+            });
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.faults.len(), 2);
+        assert_eq!(spec.faults[0].stream(), TapStream::Gnb);
+        assert_eq!(spec.faults[1].stream(), TapStream::Dci);
+    }
+}

@@ -19,11 +19,13 @@
 
 pub mod bundle;
 pub mod csv;
+pub mod degrade;
 pub mod livetap;
 pub mod records;
 pub mod series;
 
 pub use bundle::{SessionMeta, StreamSlices, TraceBundle, TraceCursor};
+pub use degrade::{Lateness, TapChaosSpec, TapFault, TapStream};
 pub use livetap::{LiveTap, NullTap};
 pub use records::{
     AppStatsRecord, CellClass, DciRecord, Direction, Duplexing, GccNetworkState, GnbEvent,

@@ -19,8 +19,8 @@ use domino::scenarios::{all_cells, ScriptAction, SessionConfig};
 use domino::simcore::{SimDuration, SimTime};
 use domino::telemetry::Direction;
 use domino::{
-    run_sweep, AnalysisMode, Domino, EarlyExit, ExecutionMode, LiveConfig, ObsConfig, SessionSpec,
-    SweepOptions,
+    run_sweep, AnalysisMode, Domino, EarlyExit, ExecutionMode, Lateness, LiveConfig, ObsConfig,
+    SessionSpec, SweepOptions,
 };
 
 const CALLS: usize = 16;
@@ -91,7 +91,7 @@ fn main() {
         .mode(ExecutionMode::Multiplexed { width: 8 })
         .analysis(AnalysisMode::Live)
         .live(LiveConfig {
-            lateness: SimDuration::from_secs(1),
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
             early_exit: EarlyExit::StableFor(6),
         })
         // `full()` reads the wall clock on every span entry so the phase

@@ -20,7 +20,7 @@
 use domino::live::{EarlyExit, LiveConfig, LivePipeline};
 use domino::scenarios::{tmobile_fdd_15mhz_quiet, SessionConfig, SessionRun};
 use domino::simcore::{SimDuration, SimTime};
-use domino::telemetry::Direction;
+use domino::telemetry::{Direction, Lateness};
 
 fn session_cfg() -> SessionConfig {
     SessionConfig {
@@ -45,7 +45,7 @@ fn main() {
 
     // ---- Run 1: watch the whole call, verdict by verdict -----------------
     let live_cfg = LiveConfig {
-        lateness: SimDuration::from_secs(2),
+        lateness: Lateness::Static(SimDuration::from_secs(2)),
         early_exit: EarlyExit::Never,
     };
     let mut pipe = LivePipeline::with_defaults(live_cfg).expect("default config is aligned");
@@ -117,7 +117,7 @@ fn main() {
 
     // ---- Run 2: triage mode — stop simulating once the verdict is in ----
     let mut triage = LivePipeline::with_defaults(LiveConfig {
-        lateness: SimDuration::from_secs(2),
+        lateness: Lateness::Static(SimDuration::from_secs(2)),
         early_exit: EarlyExit::AfterChains(3),
     })
     .expect("default config is aligned");

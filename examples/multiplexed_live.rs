@@ -26,7 +26,7 @@ use domino::scenarios::{
     SharedRouteQueue,
 };
 use domino::simcore::{SimDuration, SimTime};
-use domino::telemetry::Direction;
+use domino::telemetry::{Direction, Lateness};
 
 const CALLS: usize = 16;
 const WIDTH: usize = 6;
@@ -110,7 +110,7 @@ fn main() {
     // stable for 6 windows — healthy calls free their slot early, exactly
     // how a fleet diagnoser sheds load.
     let live_cfg = LiveConfig {
-        lateness: SimDuration::from_secs(1),
+        lateness: Lateness::Static(SimDuration::from_secs(1)),
         early_exit: EarlyExit::StableFor(6),
     };
 

@@ -30,7 +30,9 @@ use domino::sweep::{
     merge_shards, run_coordinator, run_shard_with_metrics, run_worker, CoordinatorConfig,
     ShardPlan, ShardReport, TcpLink, TcpTransport, WorkerExit, WorkerFaults,
 };
-use domino::{Domino, ExecutionMode, ObsConfig, SessionGrid, SessionSpec, SweepOptions};
+use domino::{
+    AnalysisMode, Domino, ExecutionMode, ObsConfig, SessionGrid, SessionSpec, SweepOptions,
+};
 
 /// The demo grid every invocation agrees on: the four Table 1 cells × a
 /// proactive-grant scenario axis, 20 s per session. Eight specs — small
@@ -111,9 +113,75 @@ fn abr_grid() -> Vec<SessionSpec> {
     expand_product(&base, &axes, SeedPolicy::Derived(1907))
 }
 
+/// The degraded-telemetry grid (`--grid chaos`): two cells × a chaos axis
+/// (clean, a lossy tap, a dark tap) × a lateness axis (static 2 s vs the
+/// adaptive quantile bound), analysed live. Every fault is seeded from the
+/// spec, so the grid carries the full determinism contract: CI byte-diffs
+/// the merged report *and* the obs metrics (which count every injected
+/// drop/duplicate/delay/skew/blackout) at 1-vs-3 shards and mux width
+/// 1-vs-8, then asserts the counters are nonzero — injected chaos must be
+/// observable, not just survivable.
+fn chaos_grid() -> Vec<SessionSpec> {
+    use domino::scenarios::{amarisoft, mosolabs};
+    use domino::simcore::SimTime;
+    use domino::{Lateness, TapChaosSpec, TapFault, TapStream};
+    let lossy = TapChaosSpec::new(0xD06E)
+        .fault(TapFault::Drop {
+            stream: TapStream::Gnb,
+            pct: 20,
+        })
+        .fault(TapFault::Duplicate {
+            stream: TapStream::Dci,
+            pct: 10,
+        })
+        .fault(TapFault::Delay {
+            stream: TapStream::AppLocal,
+            pct: 15,
+            max_delay: SimDuration::from_millis(800),
+        });
+    let dark = TapChaosSpec::new(0xDA4C)
+        .fault(TapFault::Blackout {
+            stream: TapStream::AppRemote,
+            from: SimTime::from_secs(4),
+            to: SimTime::from_secs(7),
+        })
+        .fault(TapFault::SkewBehind {
+            stream: TapStream::Gnb,
+            skew: SimDuration::from_millis(350),
+        });
+    SessionGrid::new()
+        .cells(vec![amarisoft(), mosolabs()])
+        .durations([SimDuration::from_secs(12)])
+        .axis(
+            ScenarioAxis::new("chaos")
+                .point("clean", vec![])
+                .point("lossy", vec![AxisPatch::TapChaos(Some(lossy))])
+                .point("dark", vec![AxisPatch::TapChaos(Some(dark))]),
+        )
+        .axis(
+            ScenarioAxis::new("lateness")
+                .point(
+                    "static2s",
+                    vec![AxisPatch::Lateness(Lateness::Static(
+                        SimDuration::from_secs(2),
+                    ))],
+                )
+                .point(
+                    "adaptive",
+                    vec![AxisPatch::Lateness(Lateness::Adaptive {
+                        target_quantile: 0.99,
+                        floor: SimDuration::from_millis(250),
+                        ceil: SimDuration::from_secs(5),
+                    })],
+                ),
+        )
+        .master_seed(909)
+        .build()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sharded_sweep run [--grid demo|shared|abr] [--shards N] [--shard I] [--threads T] \
+        "usage:\n  sharded_sweep run [--grid demo|shared|abr|chaos] [--shards N] [--shard I] [--threads T] \
          [--mux-width W] [--obs] --out FILE\n  sharded_sweep merge --out FILE \
          <shard-report-files...>\n  sharded_sweep coordinator [--grid G] [--workers N] [--chunk C] \
          [--threads T] [--mux-width W] [--chaos kill-retry] [--stats FILE] --out FILE\n  \
@@ -161,7 +229,7 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--grid" => match take("--grid") {
-                Some(v) if v == "demo" || v == "shared" || v == "abr" => grid = v,
+                Some(v) if ["demo", "shared", "abr", "chaos"].contains(&v.as_str()) => grid = v,
                 _ => return usage(),
             },
             "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
@@ -231,6 +299,7 @@ fn main() -> ExitCode {
             let specs = match grid.as_str() {
                 "shared" => shared_grid(),
                 "abr" => abr_grid(),
+                "chaos" => chaos_grid(),
                 _ => demo_grid(),
             };
             let plan = ShardPlan::new(specs.len(), shards);
@@ -263,6 +332,13 @@ fn main() -> ExitCode {
                 } else {
                     ObsConfig::default()
                 });
+            // The chaos grid's fault scripts ride the live tap, so it runs
+            // in live analysis mode; the other grids keep the default.
+            let opts = if grid == "chaos" {
+                opts.analysis(AnalysisMode::Live)
+            } else {
+                opts
+            };
             let (report, metrics) = run_shard_with_metrics(&specs, &my, &domino, &opts);
             if let Err(e) = std::fs::write(&out, report.encode()) {
                 eprintln!("cannot write {out}: {e}");
@@ -366,6 +442,7 @@ fn main() -> ExitCode {
             let specs = match grid.as_str() {
                 "shared" => shared_grid(),
                 "abr" => abr_grid(),
+                "chaos" => chaos_grid(),
                 _ => demo_grid(),
             };
             let mut transport = match TcpTransport::bind() {
@@ -506,6 +583,7 @@ fn main() -> ExitCode {
             let specs = match grid.as_str() {
                 "shared" => shared_grid(),
                 "abr" => abr_grid(),
+                "chaos" => chaos_grid(),
                 _ => demo_grid(),
             };
             let domino = Domino::with_defaults();
@@ -516,6 +594,11 @@ fn main() -> ExitCode {
                 } else {
                     ExecutionMode::PerWorker
                 });
+            let opts = if grid == "chaos" {
+                opts.analysis(AnalysisMode::Live)
+            } else {
+                opts
+            };
             let mut link = match TcpLink::connect(&addr) {
                 Ok(l) => l,
                 Err(e) => {

@@ -15,7 +15,7 @@ pub use telemetry;
 // submodules for the common run-a-sweep / run-a-session path.
 pub use domino_core::Domino;
 pub use domino_sweep::{
-    run_sweep, run_sweep_with_progress, AnalysisMode, EarlyExit, ExecutionMode, LiveConfig,
-    ObsConfig, SweepOptions, SweepReport,
+    run_sweep, run_sweep_with_progress, AnalysisMode, EarlyExit, ExecutionMode, Lateness,
+    LiveConfig, ObsConfig, SweepOptions, SweepReport, TapChaosSpec, TapFault, TapStream,
 };
 pub use scenarios::{SessionGrid, SessionRun, SessionSpec};

@@ -1,0 +1,401 @@
+//! Degraded-telemetry resilience contracts (ISSUE 10).
+//!
+//! Three promises under telemetry chaos:
+//!
+//! 1. **Adaptive ≡ static when pinned** — `Lateness::Adaptive` with
+//!    `floor == ceil == s` must be byte-identical (report *and* metrics)
+//!    to `Lateness::Static(s)`, chaos or no chaos: the estimator may run,
+//!    but a pinned clamp must leave no observable trace of adaptivity.
+//! 2. **Every injected fault is accounted for** — the `ChaosTap`'s ground
+//!    truth log reconciles exactly (no record silently appears or
+//!    vanishes), and the sweep's obs counters reproduce the log's totals,
+//!    so injected chaos is observable from the metrics artifact alone.
+//! 3. **Chaos is part of the determinism contract** — a seeded-chaos grid
+//!    produces byte-identical reports and metrics across thread counts,
+//!    multiplex widths, and shard counts.
+//!
+//! Plus the headline robustness claim: on a degraded reference cell the
+//! adaptive watermark beats a conservative `Static(5s)` — lower verdict
+//! latency p95 at an equal-or-lower late-drop rate.
+
+use domino::core::Domino;
+use domino::live::{ChaosState, ChaosTap, EarlyExit, LiveConfig, LivePipeline};
+use domino::obs::{Counter, HistId, MetricsSnapshot, ObsConfig};
+use domino::scenarios::{
+    all_cells, amarisoft, AxisPatch, ScenarioAxis, SessionConfig, SessionGrid, SessionSpec,
+};
+use domino::simcore::{SimDuration, SimTime};
+use domino::sweep::{
+    merge_shards, run_shard_with_metrics, AnalysisMode, ExecutionMode, ShardPlan, SweepOptions,
+};
+use domino::telemetry::{Lateness, TapChaosSpec, TapFault, TapStream};
+
+use proptest::strategy::Strategy;
+
+fn live_opts(lateness: Lateness) -> SweepOptions {
+    SweepOptions {
+        threads: 1,
+        analysis: AnalysisMode::Live,
+        live: LiveConfig {
+            lateness,
+            early_exit: EarlyExit::Never,
+        },
+        obs: ObsConfig::full(),
+        ..Default::default()
+    }
+}
+
+/// Runs `specs` single-threaded and returns (report bytes, metrics bytes).
+fn encode_run(specs: &[SessionSpec], opts: &SweepOptions) -> (String, String) {
+    let domino = Domino::with_defaults();
+    let plan = ShardPlan::new(specs.len(), 1);
+    let (report, metrics) = run_shard_with_metrics(specs, &plan.shard(0), &domino, opts);
+    (report.encode(), metrics.expect("obs enabled").encode_sim())
+}
+
+/// A fault script touching every fault class, seeded from `seed`.
+fn mixed_chaos(seed: u64) -> TapChaosSpec {
+    TapChaosSpec::new(seed)
+        .fault(TapFault::Drop {
+            stream: TapStream::Gnb,
+            pct: 15,
+        })
+        .fault(TapFault::Duplicate {
+            stream: TapStream::Dci,
+            pct: 10,
+        })
+        .fault(TapFault::Delay {
+            stream: TapStream::AppLocal,
+            pct: 20,
+            max_delay: SimDuration::from_millis(700),
+        })
+        .fault(TapFault::SkewBehind {
+            stream: TapStream::AppRemote,
+            skew: SimDuration::from_millis(250),
+        })
+        .fault(TapFault::Blackout {
+            stream: TapStream::Gnb,
+            from: SimTime::from_secs(5),
+            to: SimTime::from_secs(7),
+        })
+}
+
+#[test]
+fn pinned_adaptive_is_byte_identical_to_static() {
+    // Property: for random bound s, seed, and cell — with a chaos script
+    // running, to stress the estimator with faulted delays — Adaptive
+    // pinned to [s, s] and Static(s) produce identical bytes.
+    let mut rng = proptest::test_rng("pinned_adaptive_is_byte_identical_to_static");
+    let cells = all_cells();
+    for case in 0..4 {
+        let s = SimDuration::from_millis((300u64..=2500).generate(&mut rng));
+        let seed = proptest::any::<u64>().generate(&mut rng);
+        let cell = cells[(0..cells.len()).generate(&mut rng)].clone();
+        let spec = SessionSpec::cell(
+            cell,
+            SessionConfig {
+                duration: SimDuration::from_secs(10),
+                seed,
+                ..Default::default()
+            },
+        )
+        .with_chaos(mixed_chaos(seed ^ 0x5EED));
+        let stat = encode_run(std::slice::from_ref(&spec), &live_opts(Lateness::Static(s)));
+        let pinned = encode_run(
+            &[spec],
+            &live_opts(Lateness::Adaptive {
+                target_quantile: 0.9,
+                floor: s,
+                ceil: s,
+            }),
+        );
+        assert_eq!(
+            stat, pinned,
+            "case {case}: pinned adaptive diverged from Static({s:?})"
+        );
+    }
+}
+
+#[test]
+fn seeded_chaos_fuzz_reconciles_every_fault() {
+    // Fuzz random fault scripts over random sessions; for each, (a) the
+    // tap's ground-truth log must balance exactly, (b) the wrapped
+    // pipeline must have seen exactly the forwarded emissions, and (c) a
+    // sweep of the same spec must surface the same totals as obs counters.
+    let mut rng = proptest::test_rng("seeded_chaos_fuzz_reconciles_every_fault");
+    let cells = all_cells();
+    let streams = [
+        TapStream::AppLocal,
+        TapStream::AppRemote,
+        TapStream::Dci,
+        TapStream::Gnb,
+    ];
+    let mut any_fault = false;
+    for case in 0..5 {
+        let seed = proptest::any::<u64>().generate(&mut rng);
+        let mut chaos = TapChaosSpec::new(seed);
+        for _ in 0..(1usize..=4).generate(&mut rng) {
+            let stream = streams[(0..streams.len()).generate(&mut rng)];
+            let pct = (5u8..=40).generate(&mut rng);
+            chaos = chaos.fault(match (0u8..5).generate(&mut rng) {
+                0 => TapFault::Drop {
+                    // Packet drops (and their suppressed deliveries) ride
+                    // this arm too, some of the time.
+                    stream: if proptest::any::<bool>().generate(&mut rng) {
+                        TapStream::Packet
+                    } else {
+                        stream
+                    },
+                    pct,
+                },
+                1 => TapFault::Duplicate { stream, pct },
+                2 => TapFault::Delay {
+                    stream,
+                    pct,
+                    max_delay: SimDuration::from_millis((100u64..=1200).generate(&mut rng)),
+                },
+                3 => TapFault::SkewBehind {
+                    stream,
+                    skew: SimDuration::from_millis((50u64..=600).generate(&mut rng)),
+                },
+                _ => {
+                    let from = (2u64..=6).generate(&mut rng);
+                    TapFault::Blackout {
+                        stream,
+                        from: SimTime::from_secs(from),
+                        to: SimTime::from_secs(from + (1u64..=3).generate(&mut rng)),
+                    }
+                }
+            });
+        }
+        let cell = cells[(0..cells.len()).generate(&mut rng)].clone();
+        let spec = SessionSpec::cell(
+            cell,
+            SessionConfig {
+                duration: SimDuration::from_secs(10),
+                seed,
+                ..Default::default()
+            },
+        )
+        .with_chaos(chaos.clone());
+
+        // Ground truth: drive the session through an explicit ChaosTap.
+        let lateness = Lateness::Static(SimDuration::from_secs(30));
+        let mut pipe = LivePipeline::with_defaults(LiveConfig {
+            lateness,
+            early_exit: EarlyExit::Never,
+        })
+        .expect("default config is aligned");
+        let mut state = ChaosState::new(&chaos);
+        {
+            let mut tap = ChaosTap::new(&mut state, &mut pipe);
+            spec.run_with_tap(&mut tap);
+        }
+        let log = state.log.clone();
+        assert!(log.reconciled(), "case {case}: fault log does not balance");
+        any_fault |= log.any_fault();
+        assert_eq!(
+            log.total_forwarded(),
+            pipe.stats().records_seen as u64,
+            "case {case}: pipeline saw records the log did not forward"
+        );
+
+        // The sweep path replays the same seeded faults and must surface
+        // exactly the log's totals in the metrics artifact.
+        let domino = Domino::with_defaults();
+        let plan = ShardPlan::new(1, 1);
+        let (report, metrics) =
+            run_shard_with_metrics(&[spec], &plan.shard(0), &domino, &live_opts(lateness));
+        let m = metrics.expect("obs enabled");
+        assert_eq!(m.counter(Counter::ChaosRecordsDropped), log.total_dropped());
+        assert_eq!(
+            m.counter(Counter::ChaosBlackoutDrops),
+            log.total_blackout_dropped()
+        );
+        assert_eq!(
+            m.counter(Counter::ChaosRecordsDuplicated),
+            log.total_duplicated()
+        );
+        assert_eq!(m.counter(Counter::ChaosRecordsDelayed), log.total_delayed());
+        assert_eq!(m.counter(Counter::ChaosRecordsSkewed), log.total_skewed());
+        assert_eq!(
+            m.counter(Counter::LiveRecordsSeen),
+            log.total_forwarded(),
+            "case {case}: sweep pipeline record count diverged from the log"
+        );
+        assert_eq!(
+            report.live_totals.records_seen as u64,
+            log.total_forwarded()
+        );
+    }
+    assert!(any_fault, "the fuzz never injected a fault; it is too tame");
+}
+
+/// The seeded-chaos determinism grid: one cell × (lossy | dark) × (static |
+/// adaptive), small enough to sweep repeatedly under every partitioning.
+fn chaos_grid() -> Vec<SessionSpec> {
+    let lossy = mixed_chaos(0xA11);
+    let dark = TapChaosSpec::new(0xB22)
+        .fault(TapFault::Blackout {
+            stream: TapStream::AppRemote,
+            from: SimTime::from_secs(3),
+            to: SimTime::from_secs(6),
+        })
+        .fault(TapFault::SkewBehind {
+            stream: TapStream::Gnb,
+            skew: SimDuration::from_millis(300),
+        });
+    SessionGrid::new()
+        .cells(vec![amarisoft()])
+        .durations([SimDuration::from_secs(10)])
+        .axis(
+            ScenarioAxis::new("chaos")
+                .point("lossy", vec![AxisPatch::TapChaos(Some(lossy))])
+                .point("dark", vec![AxisPatch::TapChaos(Some(dark))]),
+        )
+        .axis(
+            ScenarioAxis::new("lateness")
+                .point(
+                    "static2s",
+                    vec![AxisPatch::Lateness(Lateness::Static(
+                        SimDuration::from_secs(2),
+                    ))],
+                )
+                .point(
+                    "adaptive",
+                    vec![AxisPatch::Lateness(Lateness::Adaptive {
+                        target_quantile: 0.99,
+                        floor: SimDuration::from_millis(250),
+                        ceil: SimDuration::from_secs(5),
+                    })],
+                ),
+        )
+        .master_seed(616)
+        .build()
+}
+
+#[test]
+fn chaos_bytes_depend_only_on_spec_and_seed() {
+    // The tentpole determinism claim: with chaos on, output bytes are a
+    // function of (spec, seed) alone — identical across thread counts,
+    // multiplex widths, and shard counts.
+    let specs = chaos_grid();
+    let domino = Domino::with_defaults();
+    let base = live_opts(Lateness::Static(SimDuration::from_secs(2)));
+    let reference = encode_run(&specs, &base);
+
+    for threads in [2usize, 4] {
+        let opts = SweepOptions {
+            threads,
+            ..base.clone()
+        };
+        assert_eq!(
+            reference,
+            encode_run(&specs, &opts),
+            "chaos bytes changed with {threads} threads"
+        );
+    }
+    for width in [2usize, 8] {
+        let opts = SweepOptions {
+            execution: ExecutionMode::Multiplexed { width },
+            ..base.clone()
+        };
+        assert_eq!(
+            reference,
+            encode_run(&specs, &opts),
+            "chaos bytes changed at mux width {width}"
+        );
+    }
+
+    // Sharded: three shards, merged report and order-folded metrics must
+    // both reproduce the single-machine bytes.
+    let plan = ShardPlan::new(specs.len(), 3);
+    let mut reports = Vec::new();
+    let mut metrics: Option<MetricsSnapshot> = None;
+    for shard in plan.shards() {
+        let (r, m) = run_shard_with_metrics(&specs, &shard, &domino, &base);
+        reports.push(r);
+        let m = m.expect("obs enabled");
+        match metrics.as_mut() {
+            Some(acc) => acc.merge(&m),
+            None => metrics = Some(m),
+        }
+    }
+    let merged = merge_shards(&reports).expect("shards tile");
+    assert_eq!(
+        reference.0,
+        merged.encode(),
+        "sharded chaos report diverged"
+    );
+    assert_eq!(
+        reference.1,
+        metrics.expect("3 shards").encode_sim(),
+        "sharded chaos metrics diverged"
+    );
+}
+
+#[test]
+fn adaptive_beats_static_5s_on_degraded_cell() {
+    // The headline trade-off (same shape `examples/lateness_tradeoff.rs`
+    // prints): on a reference cell whose telemetry runs ~300 ms behind and
+    // partially dark, the adaptive watermark must deliver verdicts much
+    // sooner than a conservative Static(5s) *without* paying for it in
+    // late drops.
+    let chaos = TapChaosSpec::new(0xDE6)
+        .fault(TapFault::SkewBehind {
+            stream: TapStream::Gnb,
+            skew: SimDuration::from_millis(300),
+        })
+        .fault(TapFault::Drop {
+            stream: TapStream::Dci,
+            pct: 10,
+        })
+        .fault(TapFault::Blackout {
+            stream: TapStream::AppRemote,
+            from: SimTime::from_secs(8),
+            to: SimTime::from_secs(12),
+        });
+    let spec = SessionSpec::cell(
+        amarisoft(),
+        SessionConfig {
+            duration: SimDuration::from_secs(20),
+            seed: 4242,
+            ..Default::default()
+        },
+    )
+    .with_chaos(chaos);
+
+    let run = |lateness: Lateness| {
+        let domino = Domino::with_defaults();
+        let plan = ShardPlan::new(1, 1);
+        let (report, metrics) = run_shard_with_metrics(
+            std::slice::from_ref(&spec),
+            &plan.shard(0),
+            &domino,
+            &live_opts(lateness),
+        );
+        let m = metrics.expect("obs enabled");
+        let t = report.live_totals;
+        assert!(t.windows_emitted > 0);
+        (
+            m.quantile(HistId::LiveVerdictLatencyMs, 0.95),
+            t.late_records_dropped as f64 / t.records_seen as f64,
+        )
+    };
+
+    let (static_p95, static_drops) = run(Lateness::Static(SimDuration::from_secs(5)));
+    let (adaptive_p95, adaptive_drops) = run(Lateness::Adaptive {
+        target_quantile: 0.99,
+        floor: SimDuration::from_millis(250),
+        ceil: SimDuration::from_secs(5),
+    });
+    assert!(
+        adaptive_p95 < static_p95 / 2.0,
+        "adaptive verdict-latency p95 ({adaptive_p95:.0} ms) not well below \
+         Static(5s)'s ({static_p95:.0} ms)"
+    );
+    assert!(
+        adaptive_drops <= static_drops,
+        "adaptive late-drop rate {adaptive_drops:.4} exceeds Static(5s)'s {static_drops:.4}"
+    );
+}

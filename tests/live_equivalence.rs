@@ -15,7 +15,7 @@ use domino::core::{Analysis, Domino};
 use domino::live::{EarlyExit, LiveConfig, LivePipeline};
 use domino::scenarios::{all_cells, ScriptAction, SessionConfig, SessionSpec};
 use domino::simcore::{SimDuration, SimTime};
-use domino::telemetry::Direction;
+use domino::telemetry::{Direction, Lateness};
 
 use proptest::strategy::Strategy;
 
@@ -49,7 +49,7 @@ fn assert_identical(batch: &Analysis, live: &Analysis, label: &str) {
 fn assert_live_matches_batch(spec: &SessionSpec, lateness: SimDuration, label: &str) {
     let domino = Domino::with_defaults();
     let mut pipe = LivePipeline::with_defaults(LiveConfig {
-        lateness,
+        lateness: Lateness::Static(lateness),
         early_exit: EarlyExit::Never,
     })
     .expect("default config is aligned");
@@ -139,7 +139,7 @@ fn retained_trace_is_bounded_by_window_plus_lateness_not_session() {
             ..Default::default()
         };
         let mut pipe = LivePipeline::with_defaults(LiveConfig {
-            lateness,
+            lateness: Lateness::Static(lateness),
             early_exit: EarlyExit::Never,
         })
         .expect("default config is aligned");
@@ -243,7 +243,7 @@ fn pool_reuse_and_eviction_are_output_invisible() {
     use domino::live::PipelinePool;
     let lateness = SimDuration::from_secs(30);
     let cfg = LiveConfig {
-        lateness,
+        lateness: Lateness::Static(lateness),
         early_exit: EarlyExit::Never,
     };
     let specs: Vec<SessionSpec> = (0..4)
@@ -358,7 +358,7 @@ fn live_sweep_mode_matches_batch_sweep() {
         &SweepOptions {
             analysis: AnalysisMode::Live,
             live: LiveConfig {
-                lateness: SimDuration::from_secs(30),
+                lateness: Lateness::Static(SimDuration::from_secs(30)),
                 early_exit: EarlyExit::Never,
             },
             keep_analyses: true,

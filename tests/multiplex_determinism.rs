@@ -23,7 +23,7 @@ use domino::simcore::{SimDuration, SimTime};
 use domino::sweep::{
     run_shard, AnalysisMode, EarlyExit, ExecutionMode, LiveConfig, ShardPlan, SweepOptions,
 };
-use domino::telemetry::Direction;
+use domino::telemetry::{Direction, Lateness};
 
 /// A grid with deliberately mixed durations: sessions end at different
 /// global ticks, so multiplexed slot refills start at staggered offsets.
@@ -90,7 +90,7 @@ fn multiplexed_live_mode_is_byte_identical_across_widths_and_threads() {
         execution,
         analysis: AnalysisMode::Live,
         live: LiveConfig {
-            lateness: SimDuration::from_secs(30),
+            lateness: Lateness::Static(SimDuration::from_secs(30)),
             early_exit: EarlyExit::Never,
         },
         ..Default::default()
@@ -226,7 +226,7 @@ fn early_exit_refills_keep_staggered_sessions_identical() {
         execution,
         analysis: AnalysisMode::Live,
         live: LiveConfig {
-            lateness: SimDuration::from_secs(1),
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
             early_exit: EarlyExit::StableFor(3),
         },
         ..Default::default()

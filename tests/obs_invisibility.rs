@@ -22,8 +22,8 @@ use domino::obs::{Counter, FGauge, Gauge, HistId, MetricsSnapshot, ObsConfig, Re
 use domino::scenarios::{all_cells, SessionGrid, SessionSpec};
 use domino::simcore::SimDuration;
 use domino::sweep::{
-    merge_shards, run_shard_with_metrics, AnalysisMode, EarlyExit, ExecutionMode, LiveConfig,
-    ShardPlan, SweepOptions,
+    merge_shards, run_shard_with_metrics, AnalysisMode, EarlyExit, ExecutionMode, Lateness,
+    LiveConfig, ShardPlan, SweepOptions,
 };
 use proptest::strategy::Strategy;
 
@@ -156,7 +156,7 @@ fn recording_never_changes_live_report_bytes() {
         execution: ExecutionMode::Multiplexed { width: 4 },
         analysis: AnalysisMode::Live,
         live: LiveConfig {
-            lateness: SimDuration::from_secs(1),
+            lateness: Lateness::Static(SimDuration::from_secs(1)),
             early_exit: EarlyExit::StableFor(3),
         },
         obs,

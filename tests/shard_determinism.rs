@@ -8,7 +8,7 @@ use domino::core::Domino;
 use domino::scenarios::{AxisPatch, ScenarioAxis, SessionGrid, SessionSpec};
 use domino::simcore::SimDuration;
 use domino::sweep::{
-    merge_shards, run_shard, run_sweep, AnalysisMode, EarlyExit, LiveConfig, ShardPlan,
+    merge_shards, run_shard, run_sweep, AnalysisMode, EarlyExit, Lateness, LiveConfig, ShardPlan,
     ShardReport, SweepOptions,
 };
 
@@ -102,7 +102,7 @@ fn live_mode_shards_carry_and_merge_live_stats() {
     let opts = SweepOptions {
         analysis: AnalysisMode::Live,
         live: LiveConfig {
-            lateness: SimDuration::from_secs(30),
+            lateness: Lateness::Static(SimDuration::from_secs(30)),
             early_exit: EarlyExit::Never,
         },
         ..Default::default()
